@@ -1,0 +1,18 @@
+"""Ablation A2 — phases detected / coverage vs BBB geometry.
+
+Smaller tables suffer contention ("prevent the branch from being
+tracked at all", section 3.1); the Table 2 geometry (512x4) should be
+at least as good as the small configurations.
+"""
+
+from repro.experiments import run_bbb_ablation
+
+
+
+
+def test_ablation_bbb_geometry(once, emit):
+    report = once(run_bbb_ablation)
+    emit("ablation_bbb", report.render())
+    assert len(report.rows) == 4
+    for row in report.rows:
+        assert all(cell for cell in row[1:])

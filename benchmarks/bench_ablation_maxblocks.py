@@ -1,0 +1,11 @@
+"""Ablation A1 — coverage vs the MAX_BLOCKS growth budget (paper: 1)."""
+
+from repro.experiments import run_max_blocks_ablation
+
+
+
+
+def test_ablation_max_blocks(once, emit):
+    report = once(run_max_blocks_ablation)
+    emit("ablation_maxblocks", report.render())
+    assert len(report.rows) == 4

@@ -1,0 +1,24 @@
+"""Ablation A3 — rank-guided package ordering vs worst/construction order.
+
+The paper converts linking into an ordering problem solved by rank
+maximization (section 3.3.4); the "best" policy must achieve at least
+the total rank of the alternatives.
+"""
+
+from repro.experiments import run_ordering_ablation
+
+
+
+
+def _total_rank(cell: str) -> float:
+    return float(cell.split("/")[-1])
+
+
+def test_ablation_ordering(once, emit):
+    report = once(run_ordering_ablation)
+    emit("ablation_ordering", report.render())
+    assert len(report.rows) == 4
+    for row in report.rows:
+        best, first, worst = (_total_rank(c) for c in row[1:])
+        assert best >= first - 1e-9
+        assert best >= worst - 1e-9

@@ -1,0 +1,26 @@
+"""Figure 10 — speedup from package relayout and rescheduling.
+
+Expected shape: modest speedups that correlate with the coverage
+pattern across the four configurations (the paper's observation in
+section 5.4); the full configuration is the best on average.
+"""
+
+from repro.experiments import run_figure10
+
+
+
+
+def test_figure10_speedup(once, emit):
+    report = once(run_figure10, verbose=True)
+    emit("figure10_speedup", report.render())
+    assert len(report.rows) == 19
+
+    averages = report.averages()
+    full = averages[3]
+    assert full > 1.0, f"packing must not slow programs down: {full:.3f}"
+    assert full < 2.0, f"speedup implausibly high: {full:.3f}"
+    # The configuration pattern tracks coverage: both features on is at
+    # least as good on average as both off.
+    assert averages[3] >= averages[0] - 0.01
+    # Linking adds performance on top of inference on average.
+    assert averages[3] >= averages[2] - 0.005

@@ -1,0 +1,30 @@
+"""Figure 8 — percent of dynamic instructions from within packages.
+
+Expected shape (paper section 5.1): the full configuration averages
+above ~75-80 %; linking visibly lifts benchmarks whose phases share
+root functions/launch points.
+"""
+
+from repro.experiments import FOUR_CONFIGS, run_figure8
+
+
+
+
+def test_figure8_coverage(once, emit):
+    report = once(run_figure8, verbose=True)
+    emit("figure8_coverage", report.render())
+    assert len(report.rows) == 19
+
+    averages = report.averages()
+    full = averages[3]      # with inference, with linking
+    bare = averages[0]      # without either
+    assert full > 0.70, f"full-config coverage too low: {full:.1%}"
+    assert full >= bare
+    # Linking must help on average (paper: m88ksim/mcf/parser/twolf).
+    assert averages[1] >= averages[0]
+    assert averages[3] >= averages[2]
+    # At least a few benchmarks must individually gain from linking.
+    gainers = sum(
+        1 for row in report.rows if row.coverage[3] - row.coverage[2] > 0.03
+    )
+    assert gainers >= 3

@@ -1,0 +1,34 @@
+"""Figure 9 — categorization of hot-spot branch behavior across phases.
+
+Expected shape: unique branches are mostly biased; a "significant
+portion of execution is seen in instructions which occur in multiple
+phases"; Multi High + Multi Low are a small-but-present opportunity
+(099.go's Multi High is ~3 % in the paper).
+"""
+
+from repro.experiments import run_figure9
+
+
+
+
+def test_figure9_categorization(once, emit):
+    report = once(run_figure9, verbose=True)
+    emit("figure9_categorization", report.render())
+    assert len(report.rows) == 19
+
+    averages = report.averages()
+    # Multi categories carry significant execution.
+    multi = (
+        averages["multi_high"]
+        + averages["multi_low"]
+        + averages["multi_same"]
+        + averages["multi_no_bias"]
+    )
+    assert multi > 0.3
+    # The customization opportunity exists but is a minority share.
+    opportunity = averages["multi_high"] + averages["multi_low"]
+    assert 0.005 < opportunity < 0.5
+    # Unique branches are "notably mostly biased".
+    assert averages["unique_biased"] >= averages["unique_unbiased"]
+    # The detector captures the overwhelming majority of execution.
+    assert averages["not_in_hot_spot"] < 0.25

@@ -1,0 +1,26 @@
+"""Table 3 — code expansion from package construction.
+
+Expected shape: average static growth near the paper's ~12 % with a
+small selected fraction (~4.5 % in the paper) and a replication factor
+in the vicinity of 2.6.
+"""
+
+from repro.experiments import run_table3
+
+
+
+
+def test_table3_expansion(once, emit):
+    report = once(run_table3, verbose=True)
+    emit("table3_expansion", report.render())
+    assert len(report.rows) == 19
+
+    avg_increase = report.average_increase()
+    avg_selected = report.average_selected()
+    avg_replication = report.average_replication()
+    assert 3.0 < avg_increase < 40.0, avg_increase
+    assert 1.0 < avg_selected < 15.0, avg_selected
+    assert 1.2 < avg_replication < 4.0, avg_replication
+    # Growth must exceed selection (replication > 1) for every input.
+    for row in report.rows:
+        assert row.pct_increase >= row.pct_selected * 0.9, row

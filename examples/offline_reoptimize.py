@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Offline re-optimization from a persisted hardware profile.
+
+Post-link optimization separates profiling from optimization: the
+profile is captured once (in the end-user environment) and the
+optimizer can be re-run later with different policies.  This example
+profiles a benchmark, saves the phase records to JSON, then rebuilds
+packages twice from the *saved* profile — once with linking, once
+without — and compares coverage without ever re-profiling.
+
+Run:  python examples/offline_reoptimize.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.hsd import load_profile, save_profile
+from repro.postlink import VacuumPacker
+from repro.postlink.vacuum import ProfileResult
+from repro.workloads.suite import load_benchmark
+
+
+def main() -> None:
+    workload = load_benchmark("255.vortex", "A", scale=0.5)
+    packer = VacuumPacker()
+
+    print("profiling once under the Hot Spot Detector ...")
+    profile = packer.profile(workload)
+    print(f"  {profile.raw_detections} raw detections -> "
+          f"{profile.phase_count} unique phases")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "vortex.profile.json"
+        save_profile(path, profile.records,
+                     meta={"benchmark": "255.vortex/A", "scale": 0.5})
+        print(f"  profile saved to {path.name} "
+              f"({path.stat().st_size} bytes)")
+
+        records = load_profile(path)
+        print(f"  reloaded {len(records)} phase records")
+
+        # Rebuild a ProfileResult around the loaded records (the image
+        # and summary come from the original profiling run).
+        loaded = ProfileResult(
+            records=records,
+            raw_detections=profile.raw_detections,
+            summary=profile.summary,
+            image=profile.image,
+        )
+
+        print("\nre-optimizing offline with two policies:")
+        for label, policy in (
+            ("with linking   ", VacuumPacker(link=True)),
+            ("without linking", VacuumPacker(link=False)),
+        ):
+            result = policy.pack(workload, profile=loaded)
+            print(f"  {label}: {len(result.packages)} packages, "
+                  f"coverage {result.coverage.package_fraction:.1%}")
+
+
+if __name__ == "__main__":
+    main()

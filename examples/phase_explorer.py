@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Phase explorer: watch the Hot Spot Detector find a benchmark's phases.
+
+Loads a Table 1 benchmark from the suite, runs it under the HSD, and
+prints the detection timeline against the workload's ground-truth phase
+script — the hardware never sees the script, so the comparison shows
+how well (and how quickly) the detector rediscovers the phase structure.
+
+Run:  python examples/phase_explorer.py [benchmark] [input]
+      python examples/phase_explorer.py 134.perl B
+"""
+
+import sys
+
+from repro.engine.listeners import HSDListener
+from repro.hsd import HotSpotDetector, missing_fraction
+from repro.program import ProgramImage
+from repro.workloads.suite import load_benchmark
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "197.parser"
+    input_name = sys.argv[2] if len(sys.argv) > 2 else "A"
+    workload = load_benchmark(benchmark, input_name, scale=0.5)
+
+    print(f"benchmark {benchmark}/{input_name}: "
+          f"{workload.program.static_size()} static instructions")
+    print("\nground-truth phase script (invisible to the hardware):")
+    for segment in workload.phase_script.segments:
+        print(f"   phase {segment.phase_id}: {segment.branches:,} branches")
+
+    image = ProgramImage(workload.program)
+    detector = HotSpotDetector()
+    listener = HSDListener(detector, dict(image.instruction_address))
+    summary = workload.run(branch_hooks=[listener])
+
+    print(f"\nran {summary.branches:,} branches / "
+          f"{summary.instructions:,} instructions")
+    print(f"raw detections: {listener.raw_detections}   "
+          f"refresh events: {detector.stats.refreshes}   "
+          f"BBB clears: {detector.stats.clears}")
+
+    print("\nunique phases after software filtering:")
+    records = listener.unique_records
+    for record in records:
+        truth = workload.phase_script.phase_at(record.detected_at_branch - 1)
+        biased = sum(1 for b in record if b.bias() is not None)
+        print(f"   record #{record.index:3d} detected at branch "
+              f"{record.detected_at_branch:>9,} "
+              f"(ground-truth phase {truth}): "
+              f"{len(record)} hot branches, {biased} biased")
+
+    if len(records) >= 2:
+        print("\npairwise branch-set distance (the 30% similarity rule):")
+        for i, a in enumerate(records):
+            cells = " ".join(
+                f"{missing_fraction(a, b):4.0%}" for b in records
+            )
+            print(f"   #{a.index:<3d} {cells}")
+
+    from repro.experiments import detection_latencies, render_timeline
+
+    print("\ndetection timeline (truth vs records):")
+    print(render_timeline(workload.phase_script, records))
+    latencies = detection_latencies(workload.phase_script, records)
+    if latencies:
+        print(f"\nreaction time after each transition: "
+              f"{', '.join(f'{l:,}' for l in latencies)} branches")
+
+    print("\nhottest branches of the first phase:")
+    first = records[0]
+    locate = {}
+    for function in workload.program.functions.values():
+        for block in function.blocks:
+            term = block.terminator
+            if term is not None and term.is_conditional_branch:
+                locate[image.address_of(term)] = f"{function.name}/{block.label}"
+    top = sorted(first, key=lambda b: -b.executed)[:8]
+    for profile in top:
+        print(f"   {locate.get(profile.address, hex(profile.address)):40s} "
+              f"executed={profile.executed:4d} taken={profile.taken:4d} "
+              f"({profile.taken_fraction:.0%} taken)")
+
+
+if __name__ == "__main__":
+    main()

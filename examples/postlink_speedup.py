@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Post-link speedup: time a benchmark before and after Vacuum Packing.
+
+Runs one Table 1 benchmark under the Table 2 EPIC timing model twice —
+original binary vs packed binary — and breaks the cycle difference into
+its components (schedule cycles, taken-branch fetch bubbles, mispredict
+penalties, I-cache stalls), the effects the paper attributes its
+Figure 10 speedups to.
+
+Run:  python examples/postlink_speedup.py [benchmark] [input]
+      python examples/postlink_speedup.py 164.gzip A
+"""
+
+import sys
+
+from repro.cpu import TimingSimulator
+from repro.optimize import baseline_block_costs, packed_block_costs
+from repro.postlink import VacuumPacker
+from repro.workloads.suite import load_benchmark
+
+
+def components(result):
+    scheduled = (
+        result.cycles
+        - result.mispredict_cycles
+        - result.fetch_bubble_cycles
+        - result.icache_stall_cycles
+        - result.btb_redirect_cycles
+        - result.ras_penalty_cycles
+    )
+    return [
+        ("scheduled block cycles", scheduled),
+        ("taken-branch fetch bubbles", result.fetch_bubble_cycles),
+        ("branch mispredict penalties", result.mispredict_cycles),
+        ("BTB redirects", result.btb_redirect_cycles),
+        ("RAS mispredicts", result.ras_penalty_cycles),
+        ("I-cache stalls", result.icache_stall_cycles),
+    ]
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "130.li"
+    input_name = sys.argv[2] if len(sys.argv) > 2 else "B"
+    workload = load_benchmark(benchmark, input_name, scale=0.5)
+    print(f"benchmark {benchmark}/{input_name}")
+
+    result = VacuumPacker().pack(workload)
+    print(f"phases: {result.profile.phase_count}, "
+          f"packages: {len(result.packages)}, "
+          f"coverage: {result.coverage.package_fraction:.1%}")
+
+    base = TimingSimulator(
+        workload.program, baseline_block_costs(workload.program)
+    ).run(workload)
+    packed = TimingSimulator(
+        result.packed.program,
+        packed_block_costs(result.packed.program, result.packed.package_names),
+    ).run(workload)
+
+    print(f"\n{'component':32s} {'original':>14s} {'packed':>14s} {'delta':>12s}")
+    for (name, before), (_, after) in zip(components(base), components(packed)):
+        print(f"{name:32s} {before:14,d} {after:14,d} {after - before:+12,d}")
+    print(f"{'total cycles':32s} {base.cycles:14,d} {packed.cycles:14,d} "
+          f"{packed.cycles - base.cycles:+12,d}")
+
+    print(f"\ninstructions: {base.instructions:,} -> {packed.instructions:,} "
+          f"(jump elimination in packages)")
+    print(f"IPC: {base.ipc:.3f} -> {packed.ipc:.3f}")
+    print(f"predictor accuracy: {base.predictor_accuracy:.2%} -> "
+          f"{packed.predictor_accuracy:.2%}")
+    print(f"\nSPEEDUP: {base.cycles / packed.cycles:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

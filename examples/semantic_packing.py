@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Semantic packing: prove the packed binary computes the same answers.
+
+This example uses the *semantic* interpreter (real registers, memory,
+and arithmetic — no behavioral model).  A checksum kernel alternates
+between two processing modes; we hand the Vacuum Packing pipeline a
+deliberately lossy synthetic profile, pack the binary, and then execute
+both versions for real, comparing final architectural state.
+
+Run:  python examples/semantic_packing.py
+"""
+
+from repro.engine import Interpreter
+from repro.hsd.records import BranchProfile, HotSpotRecord
+from repro.isa.assembler import assemble
+from repro.packages import construct_all
+from repro.postlink import rewrite_program
+from repro.regions import identify_region
+
+PROGRAM = """
+; Computes two checksums over pseudo-data; r20 = "mode A" checksum,
+; r21 = "mode B" checksum, alternating per element; every 8th element
+; triggers a slow path.
+func main:
+  init:
+    movi r1, 0
+    movi r2, 240
+    movi r20, 0
+    movi r21, 0
+  loop:
+    addi r1, r1, 1
+    call step
+  post:
+    andi r5, r1, 7
+    brz r5, slow
+  resume:
+    slt r5, r1, r2
+    brnz r5, loop
+  done:
+    halt
+  slow:
+    muli r20, r20, 3
+    addi r20, r20, 7
+    jump resume
+
+func step:
+  s_entry:
+    andi r10, r1, 1
+    brz r10, mode_b
+  mode_a:
+    mul r11, r1, r1
+    add r20, r20, r11
+    ret
+  mode_b:
+    shli r12, r1, 2
+    xor r21, r21, r12
+    ret
+"""
+
+# A deliberately imperfect hardware profile: it only saw three of the
+# branches, underestimates `post`, and never saw `s_entry` at all.
+PROFILE = {
+    ("main", "post"): BranchProfile(0x10, executed=300, taken=9),
+    ("main", "resume"): BranchProfile(0x18, executed=300, taken=290),
+}
+
+
+def main() -> None:
+    program = assemble(PROGRAM)
+
+    baseline = Interpreter(program).run()
+    print("original  :", dict(sorted(
+        (k, v) for k, v in baseline.state.int_regs.items() if k in (1, 20, 21)
+    )))
+
+    record = HotSpotRecord(
+        index=0, detected_at_branch=0,
+        branches={p.address: p for p in PROFILE.values()},
+    )
+    locate = {p.address: loc for loc, p in PROFILE.items()}
+    region = identify_region(program, record, locate)
+    print(f"\nregion: {region.hot_block_count()} hot blocks in "
+          f"{region.function_names()} (profile covered "
+          f"{len(record.branches)} branches)")
+
+    plan = construct_all([region])
+    packed = rewrite_program(program, plan)
+    print(f"packages: {[p.name for p in plan.packages]}")
+    print(f"static size {packed.original_static_size} -> "
+          f"{packed.program.static_size()}")
+
+    rewritten = Interpreter(packed.program).run(trace_blocks=True)
+    print("\npacked    :", dict(sorted(
+        (k, v) for k, v in rewritten.state.int_regs.items() if k in (1, 20, 21)
+    )))
+
+    in_pkg = sum(1 for fn, _ in rewritten.trace if fn in packed.package_names)
+    print(f"{in_pkg}/{len(rewritten.trace)} dynamic blocks ran in packages")
+
+    for reg in (1, 20, 21):
+        original = baseline.state.int_regs.get(reg, 0)
+        new = rewritten.state.int_regs.get(reg, 0)
+        status = "OK" if original == new else "MISMATCH"
+        print(f"   r{reg}: {original} vs {new}  [{status}]")
+        assert original == new
+
+    image = packed.link_image()
+    print(f"\nlinked packed image: {image.size_bytes()} bytes "
+          f"({image.size_instructions()} instructions)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment's setuptools lacks the ``wheel`` package, so editable
+installs go through ``setup.py develop``; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Vacuum Packing — reproduction of Barnes, Merten, Nystrom & Hwu,
+"Vacuum Packing: Extracting Hardware-Detected Program Phases for
+Post-Link Optimization" (MICRO 2002).
+
+Top-level convenience exports cover the common end-to-end flow::
+
+    from repro import VacuumPacker, load_benchmark
+
+    workload = load_benchmark("134.perl", "A")
+    packer = VacuumPacker()
+    packed = packer.pack(workload)
+    print(packed.coverage().package_fraction)
+
+The subpackages are:
+
+* :mod:`repro.isa` — synthetic EPIC-like instruction set
+* :mod:`repro.program` — blocks, CFGs, functions, call graphs, images
+* :mod:`repro.analysis` — liveness, dominators, loops, weight estimation
+* :mod:`repro.hsd` — the Hot Spot Detector hardware model
+* :mod:`repro.engine` — behavioral + semantic execution engines
+* :mod:`repro.regions` — hot-region identification (inference, growth)
+* :mod:`repro.packages` — package construction, partial inlining, linking
+* :mod:`repro.optimize` — layout, superblocks, EPIC list scheduler
+* :mod:`repro.cpu` — branch predictors, caches, block-level timing
+* :mod:`repro.postlink` — binary rewriting and the VacuumPacker API
+* :mod:`repro.workloads` — the synthetic Table 1 benchmark suite
+* :mod:`repro.experiments` — harnesses for Fig. 8/9/10 and Table 3
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["VacuumPacker", "load_benchmark", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` cheap and avoid import cycles
+    # for users who only need a subpackage.
+    if name == "VacuumPacker":
+        from repro.postlink.vacuum import VacuumPacker
+
+        return VacuumPacker
+    if name == "load_benchmark":
+        from repro.workloads.suite import load_benchmark
+
+        return load_benchmark
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

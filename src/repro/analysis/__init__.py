@@ -1,0 +1,25 @@
+"""Static analyses: data-flow framework, liveness, dominators, loops, weights."""
+
+from .dataflow import DataflowResult, gen_kill_transfer, solve_backward, solve_forward
+from .dominators import DominatorTree
+from .liveness import LivenessAnalysis, instruction_defs, instruction_uses
+from .loops import LoopNest, NaturalLoop
+from .reaching import ReachingDefinitions
+from .weights import WeightEstimate, arc_probabilities, estimate_weights
+
+__all__ = [
+    "DataflowResult",
+    "DominatorTree",
+    "LivenessAnalysis",
+    "LoopNest",
+    "NaturalLoop",
+    "ReachingDefinitions",
+    "WeightEstimate",
+    "arc_probabilities",
+    "estimate_weights",
+    "gen_kill_transfer",
+    "instruction_defs",
+    "instruction_uses",
+    "solve_backward",
+    "solve_forward",
+]

@@ -1,0 +1,110 @@
+"""Generic iterative data-flow framework over a CFG.
+
+Liveness (needed for the paper's exit-block dummy consumers,
+section 3.3.1) and any other bit-vector-style analyses are instances of
+this worklist solver.  The framework is deliberately simple: block-level
+transfer functions over arbitrary ``frozenset`` lattices with union or
+intersection joins, iterated to a fixed point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Generic, Iterable, TypeVar
+
+from repro.program.cfg import ControlFlowGraph
+
+T = TypeVar("T")
+
+TransferFn = Callable[[str, FrozenSet[T]], FrozenSet[T]]
+
+
+@dataclass
+class DataflowResult(Generic[T]):
+    """Per-block ``in`` and ``out`` sets at the fixed point."""
+
+    in_sets: Dict[str, FrozenSet[T]]
+    out_sets: Dict[str, FrozenSet[T]]
+
+
+def solve_backward(
+    cfg: ControlFlowGraph,
+    transfer: TransferFn,
+    boundary: FrozenSet[T] = frozenset(),
+    may: bool = True,
+) -> DataflowResult:
+    """Solve a backward data-flow problem.
+
+    ``out[b] = join over successors s of in[s]`` (``boundary`` at CFG
+    exits), ``in[b] = transfer(b, out[b])``.  ``may=True`` joins with
+    union; ``may=False`` with intersection.
+    """
+    labels = cfg.labels()
+    in_sets: Dict[str, FrozenSet[T]] = {l: frozenset() for l in labels}
+    out_sets: Dict[str, FrozenSet[T]] = {l: frozenset() for l in labels}
+    worklist = deque(reversed(labels))
+    queued = set(worklist)
+
+    while worklist:
+        label = worklist.popleft()
+        queued.discard(label)
+        succs = cfg.succ_labels(label)
+        if not succs:
+            out_set = boundary
+        else:
+            sets = [in_sets[s] for s in succs]
+            out_set = frozenset().union(*sets) if may else frozenset.intersection(*sets)
+        out_sets[label] = out_set
+        new_in = transfer(label, out_set)
+        if new_in != in_sets[label]:
+            in_sets[label] = new_in
+            for arc in cfg.predecessors(label):
+                if arc.src not in queued:
+                    worklist.append(arc.src)
+                    queued.add(arc.src)
+    return DataflowResult(in_sets, out_sets)
+
+
+def solve_forward(
+    cfg: ControlFlowGraph,
+    transfer: TransferFn,
+    boundary: FrozenSet[T] = frozenset(),
+    may: bool = True,
+) -> DataflowResult:
+    """Solve a forward data-flow problem (dual of :func:`solve_backward`)."""
+    labels = cfg.labels()
+    in_sets: Dict[str, FrozenSet[T]] = {l: frozenset() for l in labels}
+    out_sets: Dict[str, FrozenSet[T]] = {l: frozenset() for l in labels}
+    worklist = deque(labels)
+    queued = set(worklist)
+
+    while worklist:
+        label = worklist.popleft()
+        queued.discard(label)
+        preds = cfg.pred_labels(label)
+        if label == cfg.entry_label or not preds:
+            in_set = boundary
+        else:
+            sets = [out_sets[p] for p in preds]
+            in_set = frozenset().union(*sets) if may else frozenset.intersection(*sets)
+        in_sets[label] = in_set
+        new_out = transfer(label, in_set)
+        if new_out != out_sets[label]:
+            out_sets[label] = new_out
+            for arc in cfg.successors(label):
+                if arc.dst not in queued:
+                    worklist.append(arc.dst)
+                    queued.add(arc.dst)
+    return DataflowResult(in_sets, out_sets)
+
+
+def gen_kill_transfer(
+    gen: Dict[str, FrozenSet[T]], kill: Dict[str, FrozenSet[T]]
+) -> TransferFn:
+    """Classic ``gen/kill`` transfer: ``gen[b] | (x - kill[b])``."""
+
+    def transfer(label: str, flowing: FrozenSet[T]) -> FrozenSet[T]:
+        return gen.get(label, frozenset()) | (flowing - kill.get(label, frozenset()))
+
+    return transfer

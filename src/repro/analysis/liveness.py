@@ -1,0 +1,117 @@
+"""Register liveness.
+
+Function pruning (paper section 3.3.1) must know "the live registers at
+these exit points" so that a dummy-consumer *exit block* can keep the
+removed cold code from corrupting data-flow analysis.  This module
+computes classic backward liveness at block boundaries and exposes
+:func:`live_after_instruction` for arc-precise queries at side exits.
+
+Call instructions are modeled with the calling convention from
+:mod:`repro.isa.registers`: a call uses the argument registers and
+defines the return-value registers plus the remaining caller-saved
+registers.  Returns use the return-value registers; this is the
+conservative intra-procedural view a post-link optimizer would take.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.isa.instructions import Instruction
+from repro.isa.registers import (
+    ARG_REGS,
+    CALLER_SAVED,
+    FLOAT_RETURN_REG,
+    INT_RETURN_REG,
+    Reg,
+)
+from repro.program.cfg import ControlFlowGraph
+
+from .dataflow import DataflowResult, solve_backward
+
+_RETURN_VALUE_REGS: FrozenSet[Reg] = frozenset({INT_RETURN_REG, FLOAT_RETURN_REG})
+
+
+def instruction_uses(inst: Instruction) -> FrozenSet[Reg]:
+    """Registers an instruction reads, including call/return effects."""
+    if inst.is_call:
+        return frozenset(ARG_REGS)
+    if inst.is_return:
+        return _RETURN_VALUE_REGS
+    return frozenset(inst.uses())
+
+
+def instruction_defs(inst: Instruction) -> FrozenSet[Reg]:
+    """Registers an instruction writes, including call clobbers."""
+    if inst.is_call:
+        return frozenset(CALLER_SAVED)
+    return frozenset(inst.defs())
+
+
+class LivenessAnalysis:
+    """Backward liveness over one function's CFG.
+
+    ``boundary`` is the live set at CFG exits (blocks without local
+    successors).  The default — nothing live — is the classic
+    intra-procedural assumption; passes that must respect unseen
+    downstream code (e.g. package dead-code elimination) pass the full
+    register set instead.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, boundary: FrozenSet[Reg] = frozenset()):
+        self.cfg = cfg
+        self.boundary = frozenset(boundary)
+        gen: Dict[str, FrozenSet[Reg]] = {}
+        kill: Dict[str, FrozenSet[Reg]] = {}
+        for block in cfg.blocks:
+            use: set = set()
+            define: set = set()
+            for inst in block.instructions:
+                use |= instruction_uses(inst) - define
+                define |= instruction_defs(inst)
+            gen[block.label] = frozenset(use)
+            kill[block.label] = frozenset(define)
+        self._gen = gen
+        self._kill = kill
+        self._result: DataflowResult = solve_backward(
+            cfg,
+            lambda label, out: gen[label] | (out - kill[label]),
+            boundary=self.boundary,
+            may=True,
+        )
+
+    # -- block-level results ----------------------------------------
+    def live_in(self, label: str) -> FrozenSet[Reg]:
+        return self._result.in_sets[label]
+
+    def live_out(self, label: str) -> FrozenSet[Reg]:
+        return self._result.out_sets[label]
+
+    # -- arc / point-level results ------------------------------------
+    def live_on_arc(self, src: str, dst: str) -> FrozenSet[Reg]:
+        """Registers live when control flows along ``src -> dst``.
+
+        This is what the exit-block builder needs for a side exit that
+        leaves the package along this arc: everything the destination
+        (and beyond) may still read.
+        """
+        if self.cfg.arc(src, dst) is None:
+            raise ValueError(f"no arc {src} -> {dst}")
+        return self._result.in_sets[dst]
+
+    def live_points(self, label: str) -> List[FrozenSet[Reg]]:
+        """Liveness *before* each instruction of block ``label``.
+
+        ``result[i]`` is the live set immediately before instruction
+        ``i``; a final entry equal to ``live_out`` is appended so the
+        list has ``len(instructions) + 1`` entries.
+        """
+        block = self.cfg.by_label[label]
+        live = set(self.live_out(label))
+        points: List[FrozenSet[Reg]] = [frozenset(live)]
+        for inst in reversed(block.instructions):
+            live -= instruction_defs(inst)
+            live |= instruction_uses(inst)
+            points.append(frozenset(live))
+        points.reverse()
+        return points

@@ -1,0 +1,111 @@
+"""Natural-loop detection.
+
+The paper's regions frequently wrap an outer loop ("a modestly sized
+code base that represents a significant portion of execution, often an
+outer loop", section 2); the optimizer's layout pass and the workload
+suite's statistics both use the loop nest computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.program.cfg import Arc, ControlFlowGraph
+
+from .dominators import DominatorTree
+
+
+@dataclass
+class NaturalLoop:
+    """One natural loop: header, back edges, and member blocks."""
+
+    header: str
+    body: FrozenSet[str]
+    back_edges: List[Arc] = field(default_factory=list)
+    parent: Optional["NaturalLoop"] = None
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def contains(self, label: str) -> bool:
+        return label in self.body
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<Loop header={self.header} blocks={len(self.body)} depth={self.depth}>"
+
+
+class LoopNest:
+    """All natural loops of one function, nested by containment."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self.dom = DominatorTree(cfg)
+        self.loops: List[NaturalLoop] = self._find_loops()
+        self._nest()
+
+    def _find_loops(self) -> List[NaturalLoop]:
+        by_header: Dict[str, NaturalLoop] = {}
+        for arc in self.cfg.arcs:
+            if not self.dom.dominates(arc.dst, arc.src):
+                continue
+            body = self._loop_body(arc)
+            loop = by_header.get(arc.dst)
+            if loop is None:
+                by_header[arc.dst] = NaturalLoop(arc.dst, body, [arc])
+            else:
+                by_header[arc.dst] = NaturalLoop(
+                    arc.dst, loop.body | body, loop.back_edges + [arc]
+                )
+        return sorted(by_header.values(), key=lambda l: len(l.body))
+
+    def _loop_body(self, back_edge: Arc) -> FrozenSet[str]:
+        # Standard natural-loop construction: walk predecessors from the
+        # back edge's source, never expanding past the header.
+        body = {back_edge.dst}
+        stack = []
+        if back_edge.src != back_edge.dst:
+            body.add(back_edge.src)
+            stack.append(back_edge.src)
+        while stack:
+            label = stack.pop()
+            for arc in self.cfg.predecessors(label):
+                if arc.src not in body:
+                    body.add(arc.src)
+                    stack.append(arc.src)
+        return frozenset(body)
+
+    def _nest(self) -> None:
+        # loops are sorted smallest first; the parent of a loop is the
+        # smallest strictly-larger loop containing its header.
+        for i, loop in enumerate(self.loops):
+            for candidate in self.loops[i + 1 :]:
+                if loop.header in candidate.body and candidate.body != loop.body:
+                    loop.parent = candidate
+                    break
+
+    # -- queries --------------------------------------------------------
+    def innermost_loop(self, label: str) -> Optional[NaturalLoop]:
+        for loop in self.loops:  # smallest first
+            if label in loop.body:
+                return loop
+        return None
+
+    def loop_depth(self, label: str) -> int:
+        loop = self.innermost_loop(label)
+        return loop.depth if loop else 0
+
+    def headers(self) -> List[str]:
+        return [loop.header for loop in self.loops]
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def __iter__(self):
+        return iter(self.loops)

@@ -1,0 +1,65 @@
+"""Reaching definitions.
+
+A forward may-analysis over one function's CFG: which instruction
+(identified by uid) may have produced the value of a register at a
+program point.  Built on the generic worklist solver; used by tooling
+that wants def-use chains (e.g. explaining why the sinking or DCE pass
+did or did not fire) and exercised directly by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.analysis.dataflow import solve_forward
+from repro.analysis.liveness import instruction_defs
+from repro.isa.registers import Reg
+from repro.program.cfg import ControlFlowGraph
+
+#: One definition: (register, uid of the defining instruction).
+Definition = Tuple[Reg, int]
+
+
+class ReachingDefinitions:
+    """Forward reaching-definitions over a CFG."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        gen: Dict[str, FrozenSet[Definition]] = {}
+        kill_regs: Dict[str, FrozenSet[Reg]] = {}
+        all_defs: List[Definition] = []
+
+        for block in cfg.blocks:
+            block_gen: Dict[Reg, int] = {}
+            for inst in block.instructions:
+                for reg in instruction_defs(inst):
+                    block_gen[reg] = inst.uid
+            gen[block.label] = frozenset(block_gen.items())
+            kill_regs[block.label] = frozenset(block_gen)
+            all_defs.extend(block_gen.items())
+        self._all_defs = frozenset(all_defs)
+
+        def transfer(label: str, flowing: FrozenSet[Definition]):
+            killed = kill_regs[label]
+            survivors = frozenset(
+                d for d in flowing if d[0] not in killed
+            )
+            return gen[label] | survivors
+
+        self._result = solve_forward(cfg, transfer, boundary=frozenset(), may=True)
+
+    # -- queries ------------------------------------------------------
+    def reaching_in(self, label: str) -> FrozenSet[Definition]:
+        """Definitions that may reach the top of ``label``."""
+        return self._result.in_sets[label]
+
+    def reaching_out(self, label: str) -> FrozenSet[Definition]:
+        return self._result.out_sets[label]
+
+    def definers_of(self, label: str, reg: Reg) -> FrozenSet[int]:
+        """Uids of instructions that may define ``reg`` at block entry."""
+        return frozenset(uid for r, uid in self.reaching_in(label) if r == reg)
+
+    def is_single_reaching_def(self, label: str, reg: Reg) -> bool:
+        """True when exactly one definition of ``reg`` reaches ``label``."""
+        return len(self.definers_of(label, reg)) == 1

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's tables/figures or run the pipeline on
+one benchmark input:
+
+.. code-block:: console
+
+   python -m repro table1
+   python -m repro figure8 --scale 0.5
+   python -m repro figure10 --bench 130.li/B --bench 181.mcf/A
+   python -m repro table3 --out /tmp/table3.txt
+   python -m repro ablations
+   python -m repro pack 134.perl B --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    run_bbb_ablation,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_max_blocks_ablation,
+    run_ordering_ablation,
+    run_table1,
+    run_table3,
+)
+from repro.workloads.suite import SUITE, BenchmarkInput
+
+
+def _parse_entries(specs: Optional[Sequence[str]]) -> Optional[List[BenchmarkInput]]:
+    if not specs:
+        return None
+    by_name = {entry.full_name: entry for entry in SUITE}
+    entries = []
+    for spec in specs:
+        if spec not in by_name:
+            known = ", ".join(sorted(by_name))
+            raise SystemExit(f"unknown benchmark {spec!r}; known: {known}")
+        entries.append(by_name[spec])
+    return entries
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    print(text)
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n(written to {out})")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    entries = _parse_entries(args.bench)
+    runners = {
+        "table1": run_table1,
+        "figure8": run_figure8,
+        "table3": run_table3,
+        "figure9": run_figure9,
+        "figure10": run_figure10,
+    }
+    report = runners[args.command](
+        entries=entries, scale=args.scale, verbose=args.verbose
+    )
+    _emit(report.render(), args.out)
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    parts = [
+        run_max_blocks_ablation(scale=args.scale).render(),
+        "",
+        run_bbb_ablation(scale=args.scale).render(),
+        "",
+        run_ordering_ablation(scale=args.scale).render(),
+    ]
+    _emit("\n".join(parts), args.out)
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.postlink import VacuumPacker
+    from repro.workloads.suite import load_benchmark
+
+    workload = load_benchmark(args.benchmark, args.input, scale=args.scale)
+    result = VacuumPacker(classic=args.classic).pack(workload)
+    print(f"benchmark          : {args.benchmark}/{args.input}")
+    print(f"static instructions: {workload.program.static_size():,}")
+    print(f"dynamic branches   : {result.profile.summary.branches:,}")
+    print(f"raw detections     : {result.profile.raw_detections}")
+    print(f"unique phases      : {result.profile.phase_count}")
+    print(f"packages           : {len(result.packages)}")
+    for package in result.packages:
+        linked = sum(1 for e in package.exits if e.is_linked)
+        print(f"  {package.name}: root={package.root} "
+              f"size={package.static_size()} exits={len(package.exits)} "
+              f"linked={linked}")
+    row = result.expansion_row()
+    print(f"code growth        : +{row['pct_increase']:.1f}% "
+          f"(selected {row['pct_selected']:.1f}%, "
+          f"replication {row['replication']:.2f}x)")
+    print(f"coverage           : {result.coverage.package_fraction:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vacuum Packing (MICRO 2002) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in [
+        ("table1", "benchmark/input inventory with measured sizes"),
+        ("figure8", "coverage under the four formation configurations"),
+        ("table3", "code expansion from package construction"),
+        ("figure9", "hot-spot branch categorization"),
+        ("figure10", "speedup from relayout + rescheduling"),
+    ]:
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--scale", type=float, default=None,
+                         help="dynamic-budget scale (default: REPRO_SCALE or 1.0)")
+        cmd.add_argument("--bench", action="append", metavar="NAME/INPUT",
+                         help="restrict to one input (repeatable)")
+        cmd.add_argument("--out", help="also write the table to this file")
+        cmd.add_argument("--verbose", action="store_true",
+                         help="print per-input progress")
+        cmd.set_defaults(func=_cmd_experiment)
+
+    abl = sub.add_parser("ablations", help="run the three ablation studies")
+    abl.add_argument("--scale", type=float, default=None)
+    abl.add_argument("--out", help="also write the tables to this file")
+    abl.set_defaults(func=_cmd_ablations)
+
+    pack = sub.add_parser("pack", help="run the pipeline on one input")
+    pack.add_argument("benchmark")
+    pack.add_argument("input", nargs="?", default="A")
+    pack.add_argument("--scale", type=float, default=None)
+    pack.add_argument("--classic", action="store_true",
+                      help="also apply the classic clean-up passes")
+    pack.set_defaults(func=_cmd_pack)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""CPU timing substrate: branch predictors, fetch caches, block timing."""
+
+from .branch_pred import (
+    BranchTargetBuffer,
+    GsharePredictor,
+    PredictorStats,
+    ReturnAddressStack,
+)
+from .caches import (
+    CacheStats,
+    FetchHierarchy,
+    MemoryHierarchyConfig,
+    SetAssociativeCache,
+)
+from .pipeline import InOrderPipeline, PipelineResult
+from .timing import TimingResult, TimingSimulator
+
+__all__ = [
+    "BranchTargetBuffer",
+    "CacheStats",
+    "FetchHierarchy",
+    "GsharePredictor",
+    "InOrderPipeline",
+    "MemoryHierarchyConfig",
+    "PipelineResult",
+    "PredictorStats",
+    "ReturnAddressStack",
+    "SetAssociativeCache",
+    "TimingResult",
+    "TimingSimulator",
+]

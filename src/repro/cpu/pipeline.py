@@ -1,0 +1,140 @@
+"""Cycle-accurate in-order EPIC pipeline (validation model).
+
+The paper's emulator "performs cycle-by-cycle full-pipeline simulation
+of each instruction" on a ten-stage EPIC pipeline.  This module is the
+per-instruction analogue of that emulator for *small* runs: it consumes
+the semantic interpreter's retired-instruction stream and models
+
+* in-order issue, ``issue_width`` instructions per cycle, bounded by
+  the Table 2 functional-unit counts;
+* a register scoreboard with full bypassing (results usable
+  ``latency`` cycles after issue);
+* gshare direction prediction with the 7-cycle resolution penalty,
+  plus a 1-cycle fetch redirect on every taken transfer (ten front-end
+  stages hide the rest under correct prediction).
+
+It exists to *validate* the block-granularity
+:class:`~repro.cpu.timing.TimingSimulator` used by the Figure 10
+experiments: on programs small enough to run both, the two models must
+agree on magnitudes and on which binary is faster (see
+``tests/test_pipeline_validation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.engine.interpreter import Interpreter, InterpreterResult, MachineState
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import Reg
+from repro.optimize.machine import MachineDescription, TABLE2_MACHINE
+from repro.program.image import ProgramImage
+from repro.program.program import Program
+
+from .branch_pred import GsharePredictor
+
+
+@dataclass
+class PipelineResult:
+    """Cycle count and statistics from one per-instruction simulation."""
+
+    cycles: int
+    instructions: int
+    branches: int
+    mispredictions: int
+    interpreter: InterpreterResult
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class InOrderPipeline:
+    """Per-instruction in-order issue model over a retired stream."""
+
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineDescription = TABLE2_MACHINE,
+        max_instructions: int = 300_000,
+    ):
+        self.program = program
+        self.machine = machine
+        self.max_instructions = max_instructions
+        self.image = ProgramImage(program)
+
+    def run(self, state: Optional[MachineState] = None) -> PipelineResult:
+        machine = self.machine
+        predictor = GsharePredictor()
+        ready: Dict[Reg, int] = {}
+
+        cycle = 0
+        issued_in_cycle = 0
+        unit_used: Dict[str, int] = {}
+        next_fetch_cycle = 0  # earliest issue cycle after redirects
+        instructions = 0
+        branches = 0
+        mispredictions = 0
+
+        unit_limits = {
+            "ialu": machine.ialu_units,
+            "fpu": machine.fpu_units,
+            "mem": machine.mem_units,
+            "branch": machine.branch_units,
+        }
+
+        def retire(inst: Instruction, taken: Optional[bool]) -> None:
+            nonlocal cycle, issued_in_cycle, unit_used
+            nonlocal next_fetch_cycle, instructions, branches, mispredictions
+
+            instructions += 1
+            earliest = max(cycle, next_fetch_cycle)
+            for src in inst.uses():
+                earliest = max(earliest, ready.get(src, 0))
+
+            unit = machine.unit_class(inst)
+            limit = unit_limits.get(unit, machine.issue_width)
+
+            # Advance to a cycle with issue and unit slots free.
+            if earliest > cycle:
+                cycle = earliest
+                issued_in_cycle = 0
+                unit_used = {}
+            while (
+                issued_in_cycle >= machine.issue_width
+                or unit_used.get(unit, 0) >= limit
+            ):
+                cycle += 1
+                issued_in_cycle = 0
+                unit_used = {}
+
+            issued_in_cycle += 1
+            unit_used[unit] = unit_used.get(unit, 0) + 1
+
+            if inst.dest is not None:
+                ready[inst.dest] = cycle + machine.latency(inst)
+
+            opcode = inst.opcode
+            if opcode in (Opcode.BRZ, Opcode.BRNZ):
+                branches += 1
+                address = self.image.instruction_address.get(inst.uid, 0)
+                correct = predictor.predict_and_update(address, bool(taken))
+                if not correct:
+                    mispredictions += 1
+                    next_fetch_cycle = cycle + machine.branch_resolution
+                elif taken:
+                    next_fetch_cycle = cycle + 1 + machine.taken_bubble
+            elif opcode in (Opcode.JUMP, Opcode.CALL, Opcode.RET):
+                next_fetch_cycle = cycle + 1 + machine.taken_bubble
+
+        interpreter = Interpreter(self.program, self.max_instructions)
+        result = interpreter.run(state=state, instruction_hook=retire)
+
+        return PipelineResult(
+            cycles=cycle + 1,
+            instructions=instructions,
+            branches=branches,
+            mispredictions=mispredictions,
+            interpreter=result,
+        )

@@ -1,0 +1,185 @@
+"""Block-granularity timing model of the Table 2 EPIC machine.
+
+The paper measures speedup with "a custom software emulator that
+performs cycle-by-cycle full-pipeline simulation"; simulating every
+instruction through a ten-stage pipeline is infeasible in Python at
+the experiment scale, so this model charges (see DESIGN.md,
+"Substitutions"):
+
+* each block's *statically scheduled* cycle count (independent
+  per-block schedules for original code, superblock-aware incremental
+  costs for packages — computed by :mod:`repro.optimize.passes`);
+* a 1-cycle fetch bubble per taken control transfer (this is what the
+  layout pass's fallthrough chaining wins back);
+* the 7-cycle branch resolution penalty per gshare direction
+  mispredict, BTB-miss redirects on taken branches, and RAS-mismatch
+  penalties on returns;
+* I-cache / L2 fetch-miss latencies per cache line of each block.
+
+Both binaries run under identical structures, so the measured speedup
+isolates the effects of packaging, layout, and rescheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.engine.executor import (
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_JUMP,
+    KIND_RET,
+    BlockInfo,
+    ExecutionSummary,
+)
+from repro.optimize.machine import MachineDescription, TABLE2_MACHINE
+from repro.program.image import ProgramImage
+from repro.program.program import Program
+from repro.workloads.base import Workload
+
+from .branch_pred import BranchTargetBuffer, GsharePredictor, ReturnAddressStack
+from .caches import FetchHierarchy, MemoryHierarchyConfig
+
+_BTB_REDIRECT_PENALTY = 2
+
+
+@dataclass
+class TimingResult:
+    """Cycle count and component statistics for one run."""
+
+    cycles: int
+    instructions: int
+    branches: int
+    mispredict_cycles: int
+    fetch_bubble_cycles: int
+    icache_stall_cycles: int
+    btb_redirect_cycles: int
+    ras_penalty_cycles: int
+    summary: ExecutionSummary
+    predictor_accuracy: float
+    icache_miss_rate: float
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class TimingSimulator:
+    """Runs a workload over one program and accumulates cycles."""
+
+    def __init__(
+        self,
+        program: Program,
+        block_costs: Dict[int, int],
+        machine: MachineDescription = TABLE2_MACHINE,
+        hierarchy: Optional[MemoryHierarchyConfig] = None,
+    ):
+        self.program = program
+        self.machine = machine
+        self.image = ProgramImage(program)
+        self.hierarchy = FetchHierarchy(hierarchy or MemoryHierarchyConfig())
+        self.predictor = GsharePredictor()
+        self.btb = BranchTargetBuffer()
+        self.ras = ReturnAddressStack()
+
+        # Per block uid: (cost, address, bytes, inverted-branch flag).
+        self._static: Dict[int, Tuple[int, int, int, bool]] = {}
+        for function in program.functions.values():
+            for block in function.blocks:
+                address = self.image.block_address[(function.name, block.label)]
+                size_bytes = block.size() * 8
+                self._static[block.uid] = (
+                    block_costs.get(block.uid, 0),
+                    address,
+                    size_bytes,
+                    bool(block.meta.get("branch_inverted")),
+                )
+
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
+        self.cycles = 0
+        self.mispredict_cycles = 0
+        self.fetch_bubbles = 0
+        self.icache_stalls = 0
+        self.btb_redirects = 0
+        self.ras_penalties = 0
+        self._pending_branch: Optional[Tuple[int, bool]] = None
+        self._return_pending = False
+        self._return_predicted: Optional[int] = None
+
+    # -- hooks ----------------------------------------------------------
+    def _on_block(self, info: BlockInfo) -> None:
+        cost, address, size_bytes, inverted = self._static[info.uid]
+
+        if self._return_pending:
+            if self._return_predicted != address:
+                self.ras_penalties += self.machine.branch_resolution
+            self._return_pending = False
+            self._return_predicted = None
+
+        self.cycles += cost
+        stall = self.hierarchy.fetch_penalty(address, size_bytes)
+        self.icache_stalls += stall
+
+        kind = info.kind
+        if kind == KIND_BRANCH:  # resolved by the branch hook
+            branch_address = address + max(size_bytes - 8, 0)
+            self._pending_branch = (branch_address, inverted)
+        elif kind == KIND_JUMP:
+            self.fetch_bubbles += self.machine.taken_bubble
+            if not self.btb.lookup_and_update(address + max(size_bytes - 8, 0)):
+                self.btb_redirects += _BTB_REDIRECT_PENALTY
+        elif kind == KIND_CALL:
+            self.fetch_bubbles += self.machine.taken_bubble
+            self.ras.push(address + size_bytes)
+        elif kind == KIND_RET:
+            self.fetch_bubbles += self.machine.taken_bubble
+            self._return_pending = True
+            self._return_predicted = self.ras.pop()
+
+    def _on_branch(self, _uid: int, taken: bool, _phase: int) -> None:
+        pending = self._pending_branch
+        self._pending_branch = None
+        if pending is None:
+            return
+        branch_address, inverted = pending
+        physical_taken = taken != inverted
+        correct = self.predictor.predict_and_update(branch_address, physical_taken)
+        if not correct:
+            self.mispredict_cycles += self.machine.branch_resolution
+        elif physical_taken:
+            self.fetch_bubbles += self.machine.taken_bubble
+            if not self.btb.lookup_and_update(branch_address):
+                self.btb_redirects += _BTB_REDIRECT_PENALTY
+
+    # -- driving ---------------------------------------------------------
+    def run(self, workload: Workload) -> TimingResult:
+        self._reset_counters()
+        summary = workload.run(
+            program=self.program,
+            block_hook=self._on_block,
+            branch_hooks=[self._on_branch],
+        )
+        total = (
+            self.cycles
+            + self.mispredict_cycles
+            + self.fetch_bubbles
+            + self.icache_stalls
+            + self.btb_redirects
+            + self.ras_penalties
+        )
+        return TimingResult(
+            cycles=total,
+            instructions=summary.instructions,
+            branches=summary.branches,
+            mispredict_cycles=self.mispredict_cycles,
+            fetch_bubble_cycles=self.fetch_bubbles,
+            icache_stall_cycles=self.icache_stalls,
+            btb_redirect_cycles=self.btb_redirects,
+            ras_penalty_cycles=self.ras_penalties,
+            summary=summary,
+            predictor_accuracy=self.predictor.stats.accuracy,
+            icache_miss_rate=self.hierarchy.l1i.stats.miss_rate,
+        )

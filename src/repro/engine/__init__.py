@@ -1,0 +1,36 @@
+"""Execution engines: behavioral block executor and semantic interpreter."""
+
+from .behavior import BehaviorModel, hash_unit
+from .executor import (
+    BlockExecutor,
+    BlockInfo,
+    ExecutionLimits,
+    ExecutionSummary,
+    ExecutorError,
+    StopReason,
+)
+from .interpreter import Interpreter, InterpreterError, InterpreterResult, MachineState
+from .listeners import BranchTrace, HSDListener, PhaseBranchStats
+from .phases import PhaseCursor, PhaseScript, PhaseSegment, uniform_script
+
+__all__ = [
+    "BehaviorModel",
+    "BlockExecutor",
+    "BlockInfo",
+    "BranchTrace",
+    "ExecutionLimits",
+    "ExecutionSummary",
+    "ExecutorError",
+    "HSDListener",
+    "Interpreter",
+    "InterpreterError",
+    "InterpreterResult",
+    "MachineState",
+    "PhaseBranchStats",
+    "PhaseCursor",
+    "PhaseScript",
+    "PhaseSegment",
+    "StopReason",
+    "hash_unit",
+    "uniform_script",
+]

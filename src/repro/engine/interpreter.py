@@ -1,0 +1,264 @@
+"""Semantic interpreter for the synthetic ISA.
+
+The behavioral :class:`~repro.engine.executor.BlockExecutor` drives the
+large phase experiments; this module instead executes full register,
+memory, and control semantics.  It is used by the test suite (to pin
+down instruction semantics and to validate the encoder round trip), by
+the examples, and by anyone writing real micro-kernels in the ISA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import Reg, RegClass
+from repro.program.cfg import is_cross_function, split_cross_function
+from repro.program.program import Program
+
+_WORD_MASK = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+def _to_signed(value: int) -> int:
+    value &= _WORD_MASK
+    return value - (1 << 64) if value & _SIGN_BIT else value
+
+
+class InterpreterError(Exception):
+    """Raised on malformed execution (bad targets, budget exhausted)."""
+
+
+@dataclass
+class MachineState:
+    """Architectural state: registers, memory, call stack."""
+
+    int_regs: Dict[int, int] = field(default_factory=dict)
+    float_regs: Dict[int, float] = field(default_factory=dict)
+    memory: Dict[int, int] = field(default_factory=dict)
+    float_memory: Dict[int, float] = field(default_factory=dict)
+
+    def read(self, reg: Reg):
+        if reg.cls is RegClass.INT:
+            return self.int_regs.get(reg.index, 0)
+        return self.float_regs.get(reg.index, 0.0)
+
+    def write(self, reg: Reg, value) -> None:
+        if reg.cls is RegClass.INT:
+            self.int_regs[reg.index] = _to_signed(int(value))
+        else:
+            self.float_regs[reg.index] = float(value)
+
+
+@dataclass
+class InterpreterResult:
+    """Final state and counters of a semantic run."""
+
+    state: MachineState
+    instructions: int
+    branches: int
+    halted: bool
+    trace: List[Tuple[str, str]] = field(default_factory=list)
+
+
+class Interpreter:
+    """Executes a program's actual semantics."""
+
+    def __init__(self, program: Program, max_instructions: int = 1_000_000):
+        self.program = program
+        self.max_instructions = max_instructions
+
+    # -- instruction semantics ------------------------------------------
+    def _alu(self, op: Opcode, a: int, b: int) -> int:
+        if op in (Opcode.ADD, Opcode.ADDI):
+            return a + b
+        if op in (Opcode.SUB, Opcode.SUBI):
+            return a - b
+        if op in (Opcode.MUL, Opcode.MULI):
+            return a * b
+        if op in (Opcode.AND, Opcode.ANDI):
+            return a & b
+        if op in (Opcode.OR, Opcode.ORI):
+            return a | b
+        if op in (Opcode.XOR, Opcode.XORI):
+            return a ^ b
+        if op in (Opcode.SHL, Opcode.SHLI):
+            return a << (b & 63)
+        if op in (Opcode.SHR, Opcode.SHRI):
+            return a >> (b & 63)
+        if op in (Opcode.SLT, Opcode.SLTI):
+            return 1 if a < b else 0
+        if op is Opcode.SEQ:
+            return 1 if a == b else 0
+        if op is Opcode.SNE:
+            return 1 if a != b else 0
+        raise InterpreterError(f"not an ALU opcode: {op}")
+
+    def _fpu(self, op: Opcode, a: float, b: float) -> float:
+        if op is Opcode.FADD:
+            return a + b
+        if op is Opcode.FSUB:
+            return a - b
+        if op is Opcode.FMUL:
+            return a * b
+        if op is Opcode.FDIV:
+            if b == 0.0:
+                return float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+            return a / b
+        raise InterpreterError(f"not an FPU opcode: {op}")
+
+    # -- run -----------------------------------------------------------------
+    def run(
+        self,
+        state: Optional[MachineState] = None,
+        trace_blocks: bool = False,
+        instruction_hook=None,
+    ) -> InterpreterResult:
+        """Execute; ``instruction_hook(inst, taken)`` is called per
+        retired instruction (``taken`` is the outcome for conditional
+        branches, ``None`` otherwise) — the cycle-accurate pipeline
+        validator consumes this stream."""
+        state = state or MachineState()
+        function = self.program.functions[self.program.entry]
+        block_index = self._index_of(function.name)
+        label = function.entry_label
+        fn_name = function.name
+        call_stack: List[Tuple[str, str]] = []
+        executed = 0
+        branches = 0
+        halted = False
+        trace: List[Tuple[str, str]] = []
+
+        while True:
+            if trace_blocks:
+                trace.append((fn_name, label))
+            block, next_label = block_index[fn_name][label]
+            transfer: Optional[Tuple[str, str]] = None
+            for inst in block.instructions:
+                if inst.is_pseudo:
+                    continue
+                executed += 1
+                if executed > self.max_instructions:
+                    raise InterpreterError("instruction budget exhausted")
+                op = inst.opcode
+                if op is Opcode.MOVI:
+                    state.write(inst.dest, inst.imm)
+                elif op is Opcode.MOV:
+                    state.write(inst.dest, state.read(inst.srcs[0]))
+                elif op is Opcode.NOP:
+                    pass
+                elif op in (Opcode.LOAD,):
+                    address = state.read(inst.srcs[0]) + inst.imm
+                    state.write(inst.dest, state.memory.get(address, 0))
+                elif op is Opcode.STORE:
+                    address = state.read(inst.srcs[1]) + inst.imm
+                    state.memory[address] = state.read(inst.srcs[0])
+                elif op is Opcode.FLOAD:
+                    address = state.read(inst.srcs[0]) + inst.imm
+                    state.write(inst.dest, state.float_memory.get(address, 0.0))
+                elif op is Opcode.FSTORE:
+                    address = state.read(inst.srcs[1]) + inst.imm
+                    state.float_memory[address] = state.read(inst.srcs[0])
+                elif op is Opcode.FMOV:
+                    state.write(inst.dest, state.read(inst.srcs[0]))
+                elif op is Opcode.FNEG:
+                    state.write(inst.dest, -state.read(inst.srcs[0]))
+                elif op is Opcode.FSQRT:
+                    value = state.read(inst.srcs[0])
+                    state.write(inst.dest, value**0.5 if value >= 0 else float("nan"))
+                elif op is Opcode.CVTIF:
+                    state.write(inst.dest, float(state.read(inst.srcs[0])))
+                elif op is Opcode.CVTFI:
+                    state.write(inst.dest, int(state.read(inst.srcs[0])))
+                elif op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
+                    state.write(
+                        inst.dest,
+                        self._fpu(op, state.read(inst.srcs[0]), state.read(inst.srcs[1])),
+                    )
+                elif op in (Opcode.BRZ, Opcode.BRNZ):
+                    branches += 1
+                    value = state.read(inst.srcs[0])
+                    taken = (value == 0) if op is Opcode.BRZ else (value != 0)
+                    if taken:
+                        if block.continuations:
+                            call_stack.extend(block.continuations)
+                        transfer = self._resolve(fn_name, inst.target)
+                    # not taken: fall through to next_label below
+                elif op is Opcode.JUMP:
+                    # Package exit blocks leaving partially-inlined code
+                    # push their recorded return continuations so the
+                    # original callee's `ret` unwinds correctly.
+                    if block.continuations:
+                        call_stack.extend(block.continuations)
+                    transfer = self._resolve(fn_name, inst.target)
+                elif op is Opcode.CALL:
+                    if next_label is None:
+                        raise InterpreterError(
+                            f"{fn_name}/{label}: call at end of function"
+                        )
+                    call_stack.append((fn_name, next_label))
+                    if is_cross_function(inst.target):
+                        transfer = split_cross_function(inst.target)
+                    else:
+                        callee = self.program.functions[inst.target]
+                        transfer = (callee.name, callee.entry_label)
+                elif op is Opcode.RET:
+                    if instruction_hook is not None:
+                        instruction_hook(inst, None)
+                    if not call_stack:
+                        halted = True
+                        transfer = None
+                        break
+                    transfer = call_stack.pop()
+                    continue
+                elif op is Opcode.HALT:
+                    if instruction_hook is not None:
+                        instruction_hook(inst, None)
+                    halted = True
+                    break
+                else:
+                    # Three-register / immediate integer ALU.
+                    if inst.srcs and len(inst.srcs) == 2:
+                        result = self._alu(
+                            op, state.read(inst.srcs[0]), state.read(inst.srcs[1])
+                        )
+                    else:
+                        result = self._alu(op, state.read(inst.srcs[0]), inst.imm)
+                    state.write(inst.dest, result)
+
+                if instruction_hook is not None:
+                    taken_outcome = None
+                    if op in (Opcode.BRZ, Opcode.BRNZ):
+                        taken_outcome = transfer is not None
+                    instruction_hook(inst, taken_outcome)
+
+            if halted:
+                break
+            if transfer is not None:
+                fn_name, label = transfer
+            else:
+                if next_label is None:
+                    raise InterpreterError(
+                        f"{fn_name}/{label} fell off the end of the function"
+                    )
+                label = next_label
+
+        return InterpreterResult(state, executed, branches, halted, trace)
+
+    # -- helpers ---------------------------------------------------------
+    def _index_of(self, _fn: str):
+        index: Dict[str, Dict[str, Tuple[object, Optional[str]]]] = {}
+        for function in self.program.functions.values():
+            per_fn: Dict[str, Tuple[object, Optional[str]]] = {}
+            blocks = function.blocks
+            for i, block in enumerate(blocks):
+                next_label = blocks[i + 1].label if i + 1 < len(blocks) else None
+                per_fn[block.label] = (block, next_label)
+            index[function.name] = per_fn
+        return index
+
+    def _resolve(self, fn_name: str, target: str) -> Tuple[str, str]:
+        if is_cross_function(target):
+            return split_cross_function(target)
+        return (fn_name, target)

@@ -1,0 +1,111 @@
+"""Branch-event listeners that plug into the block executor.
+
+The executor reports each retired conditional branch as
+``hook(branch_origin_uid, taken, phase)``.  The classes here adapt that
+stream to the consumers used in the paper's evaluation:
+
+* :class:`HSDListener` — feeds the Hot Spot Detector with *addresses*
+  (the BBB is indexed by address bits) and runs the software
+  redundancy filter over its detections;
+* :class:`PhaseBranchStats` — per-(static branch, phase) executed/taken
+  aggregation, the input to the Figure 9 branch categorization;
+* :class:`BranchTrace` — bounded raw recording, for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hsd.detector import HotSpotDetector
+from repro.hsd.filtering import HotSpotFilter, SimilarityPolicy
+from repro.hsd.records import HotSpotRecord
+
+
+class HSDListener:
+    """Adapts the branch stream to the Hot Spot Detector.
+
+    ``address_of`` maps a branch instruction uid to its linked address
+    in the original binary image.  Detections are passed through a
+    :class:`~repro.hsd.filtering.HotSpotFilter`; the unique phase
+    records accumulate in :attr:`unique_records`.
+    """
+
+    def __init__(
+        self,
+        detector: HotSpotDetector,
+        address_of: Dict[int, int],
+        policy: SimilarityPolicy = SimilarityPolicy(),
+    ):
+        self.detector = detector
+        self.address_of = address_of
+        self.filter = HotSpotFilter(policy)
+        self.raw_detections = 0
+
+    def __call__(self, branch_uid: int, taken: bool, phase: int) -> None:
+        record = self.detector.observe(self.address_of[branch_uid], taken)
+        if record is not None:
+            self.raw_detections += 1
+            self.filter.accept(record)
+
+    @property
+    def unique_records(self) -> List[HotSpotRecord]:
+        return list(self.filter.accepted)
+
+
+@dataclass
+class _Cell:
+    executed: int = 0
+    taken: int = 0
+
+
+class PhaseBranchStats:
+    """Executed/taken counts per (static branch, ground-truth phase)."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[Tuple[int, int], _Cell] = {}
+
+    def __call__(self, branch_uid: int, taken: bool, phase: int) -> None:
+        cell = self.counts.get((branch_uid, phase))
+        if cell is None:
+            cell = _Cell()
+            self.counts[(branch_uid, phase)] = cell
+        cell.executed += 1
+        if taken:
+            cell.taken += 1
+
+    # -- queries -----------------------------------------------------
+    def phases_of(self, branch_uid: int) -> List[int]:
+        return sorted(p for (uid, p) in self.counts if uid == branch_uid)
+
+    def executed(self, branch_uid: int, phase: int) -> int:
+        cell = self.counts.get((branch_uid, phase))
+        return cell.executed if cell else 0
+
+    def taken_fraction(self, branch_uid: int, phase: int) -> Optional[float]:
+        cell = self.counts.get((branch_uid, phase))
+        if cell is None or cell.executed == 0:
+            return None
+        return cell.taken / cell.executed
+
+    def by_branch(self) -> Dict[int, Dict[int, Tuple[int, int]]]:
+        """``{branch_uid: {phase: (executed, taken)}}`` for bulk analysis."""
+        result: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        for (uid, phase), cell in self.counts.items():
+            result.setdefault(uid, {})[phase] = (cell.executed, cell.taken)
+        return result
+
+
+@dataclass
+class BranchTrace:
+    """Raw per-branch event recording (bounded; for tests)."""
+
+    limit: int = 100_000
+    events: List[Tuple[int, bool, int]] = field(default_factory=list)
+    dropped: int = 0
+
+    def __call__(self, branch_uid: int, taken: bool, phase: int) -> None:
+        if len(self.events) < self.limit:
+            self.events.append((branch_uid, taken, phase))
+        else:
+            self.dropped += 1

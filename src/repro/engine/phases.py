@@ -1,0 +1,124 @@
+"""Phase scripts: the ground-truth phase structure of a workload.
+
+The paper's workloads have *natural* phases (e.g. perl switching
+between string and numeric command processing).  Our synthetic
+workloads make that structure explicit: a :class:`PhaseScript` is a
+sequence of segments, each naming a phase id and a duration measured in
+retired conditional branches.  The behavioral execution engine asks the
+script which phase is current to pick per-branch biases; the Hot Spot
+Detector never sees the script — it must *rediscover* the phases from
+the branch stream, which is exactly the experiment.
+
+Durations are in conditional-branch retirements (not instructions)
+because the conditional-branch stream is identical between the original
+and the packed binary, keeping the two coverage/timing runs aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """``branches`` consecutive branch retirements in phase ``phase_id``."""
+
+    phase_id: int
+    branches: int
+
+    def __post_init__(self) -> None:
+        if self.branches <= 0:
+            raise ValueError("segment length must be positive")
+        if self.phase_id < 0:
+            raise ValueError("phase ids are non-negative")
+
+
+class PhaseScript:
+    """An immutable schedule of phase segments."""
+
+    def __init__(self, segments: Sequence[PhaseSegment]):
+        if not segments:
+            raise ValueError("a phase script needs at least one segment")
+        self.segments: Tuple[PhaseSegment, ...] = tuple(segments)
+        boundaries: List[int] = []
+        total = 0
+        for segment in self.segments:
+            total += segment.branches
+            boundaries.append(total)
+        self._boundaries = boundaries
+        self.total_branches = total
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[int, int]]) -> "PhaseScript":
+        """Build from ``(phase_id, branches)`` pairs."""
+        return cls([PhaseSegment(pid, n) for pid, n in pairs])
+
+    # -- queries -----------------------------------------------------
+    def phase_ids(self) -> List[int]:
+        """Distinct phase ids in first-appearance order."""
+        seen: List[int] = []
+        for segment in self.segments:
+            if segment.phase_id not in seen:
+                seen.append(segment.phase_id)
+        return seen
+
+    def phase_at(self, branch_index: int) -> int:
+        """Phase of the ``branch_index``-th (0-based) branch retirement.
+
+        Indices beyond the script stay in the final phase.
+        """
+        if branch_index < 0:
+            raise ValueError("branch_index must be non-negative")
+        import bisect
+
+        pos = bisect.bisect_right(self._boundaries, branch_index)
+        if pos >= len(self.segments):
+            return self.segments[-1].phase_id
+        return self.segments[pos].phase_id
+
+    def transitions(self) -> List[int]:
+        """Branch indices at which the phase changes."""
+        result = []
+        for i in range(len(self.segments) - 1):
+            if self.segments[i].phase_id != self.segments[i + 1].phase_id:
+                result.append(self._boundaries[i])
+        return result
+
+    def cursor(self) -> "PhaseCursor":
+        return PhaseCursor(self)
+
+    def __iter__(self) -> Iterator[PhaseSegment]:
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+
+class PhaseCursor:
+    """O(1) sequential reader of a phase script (the executor's view)."""
+
+    def __init__(self, script: PhaseScript):
+        self._script = script
+        self._segment_index = 0
+        self._remaining = script.segments[0].branches
+        self.branches_consumed = 0
+
+    @property
+    def current_phase(self) -> int:
+        return self._script.segments[self._segment_index].phase_id
+
+    def advance(self) -> int:
+        """Consume one branch retirement; returns the phase it was in."""
+        phase = self.current_phase
+        self.branches_consumed += 1
+        self._remaining -= 1
+        if self._remaining <= 0 and self._segment_index + 1 < len(self._script.segments):
+            self._segment_index += 1
+            self._remaining = self._script.segments[self._segment_index].branches
+        return phase
+
+
+def uniform_script(phase_ids: Sequence[int], branches_per_phase: int) -> PhaseScript:
+    """Equal-length segment per phase id, in order."""
+    return PhaseScript.from_pairs([(pid, branches_per_phase) for pid in phase_ids])

@@ -1,0 +1,56 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from .ablations import (
+    AblationReport,
+    run_bbb_ablation,
+    run_max_blocks_ablation,
+    run_ordering_ablation,
+)
+from .categorize import (
+    CategorizationReport,
+    CategorizationRow,
+    categorize_branch,
+    categorize_workload,
+    run_figure9,
+)
+from .configs import FOUR_CONFIGS, FULL_CONFIG, FormationConfig
+from .coverage import CoverageReport, CoverageRow, measure_input, run_figure8
+from .expansion import ExpansionReport, ExpansionRow, run_table3
+from .report import format_percent, format_series, format_table
+from .speedup import SpeedupReport, SpeedupRow, measure_speedups, run_figure10
+from .table1 import Table1Report, Table1Row, run_table1
+from .timeline import detection_latencies, render_timeline
+
+__all__ = [
+    "AblationReport",
+    "CategorizationReport",
+    "CategorizationRow",
+    "CoverageReport",
+    "CoverageRow",
+    "ExpansionReport",
+    "ExpansionRow",
+    "FOUR_CONFIGS",
+    "FULL_CONFIG",
+    "FormationConfig",
+    "SpeedupReport",
+    "SpeedupRow",
+    "Table1Report",
+    "Table1Row",
+    "categorize_branch",
+    "categorize_workload",
+    "detection_latencies",
+    "render_timeline",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "measure_input",
+    "measure_speedups",
+    "run_bbb_ablation",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10",
+    "run_max_blocks_ablation",
+    "run_ordering_ablation",
+    "run_table1",
+    "run_table3",
+]

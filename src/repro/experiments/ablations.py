@@ -1,0 +1,133 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+* **A1 — MAX_BLOCKS**: the heuristic-growth budget of section 3.2.3
+  (the paper fixes it at 1).
+* **A2 — BBB geometry**: sets/ways of the Branch Behavior Buffer;
+  smaller tables lose more branches to contention (section 3.1).
+* **A3 — package ordering**: the rank-guided ordering of section 3.3.4
+  versus the worst and construction orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hsd.config import HSDConfig
+from repro.postlink.vacuum import VacuumPacker
+from repro.regions.config import RegionConfig
+from repro.workloads.base import Workload
+from repro.workloads.suite import BenchmarkInput, load_benchmark
+
+from .report import format_percent, format_table
+
+#: Default subset: inputs whose behavior is sensitive to the ablated
+#: parameter (shared-root interpreters for ordering/linking, a branchy
+#: benchmark for BBB pressure).
+DEFAULT_SUBSET: Sequence[Tuple[str, str]] = (
+    ("124.m88ksim", "A"),
+    ("134.perl", "B"),
+    ("099.go", "A"),
+    ("197.parser", "A"),
+)
+
+
+def _workloads(
+    subset: Optional[Sequence[Tuple[str, str]]], scale: Optional[float]
+) -> List[Workload]:
+    subset = subset or DEFAULT_SUBSET
+    return [load_benchmark(b, i, scale) for b, i in subset]
+
+
+@dataclass
+class AblationReport:
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+def run_max_blocks_ablation(
+    budgets: Sequence[int] = (0, 1, 2, 4),
+    subset: Optional[Sequence[Tuple[str, str]]] = None,
+    scale: Optional[float] = None,
+) -> AblationReport:
+    """Coverage as the growth budget MAX_BLOCKS varies (paper: 1)."""
+    report = AblationReport(
+        title="Ablation A1: coverage vs MAX_BLOCKS growth budget",
+        headers=["benchmark"] + [f"MAX_BLOCKS={b}" for b in budgets],
+    )
+    for workload in _workloads(subset, scale):
+        profile = VacuumPacker().profile(workload)
+        row: List[object] = [workload.name]
+        for budget in budgets:
+            packer = VacuumPacker(
+                region_config=RegionConfig(max_growth_blocks=budget)
+            )
+            result = packer.pack(workload, profile=profile)
+            row.append(format_percent(result.coverage.package_fraction))
+        report.rows.append(row)
+    return report
+
+
+def run_bbb_ablation(
+    geometries: Sequence[Tuple[int, int]] = ((2, 2), (4, 2), (16, 4), (512, 4)),
+    subset: Optional[Sequence[Tuple[str, str]]] = None,
+    scale: Optional[float] = None,
+) -> AblationReport:
+    """Coverage vs BBB geometry, with inference on and off.
+
+    A small table loses branches to contention (section 3.1's "prevent
+    the branch from being tracked at all"), which is precisely what
+    temperature inference (section 3.2.2) exists to tolerate — the
+    inference-on column should degrade more gracefully than the
+    inference-off column as the table shrinks.  At the paper's 512x4
+    geometry our synthetic working sets fit comfortably, so the two
+    coincide there.
+    """
+    report = AblationReport(
+        title="Ablation A2: coverage (inference on / off) vs BBB geometry",
+        headers=["benchmark"] + [f"{s}x{w}" for s, w in geometries],
+    )
+    for workload in _workloads(subset, scale):
+        row: List[object] = [workload.name]
+        for sets, ways in geometries:
+            hsd = HSDConfig(bbb_sets=sets, bbb_ways=ways)
+            cells = []
+            for inference in (True, False):
+                packer = VacuumPacker(
+                    hsd_config=hsd,
+                    region_config=RegionConfig(inference=inference),
+                )
+                result = packer.pack(workload)
+                cells.append(format_percent(result.coverage.package_fraction))
+            row.append(f"{cells[0]} / {cells[1]}")
+        report.rows.append(row)
+    return report
+
+
+def run_ordering_ablation(
+    subset: Optional[Sequence[Tuple[str, str]]] = None,
+    scale: Optional[float] = None,
+) -> AblationReport:
+    """Rank-guided ordering vs worst/construction order (coverage + rank)."""
+    modes = ("best", "first", "worst")
+    report = AblationReport(
+        title="Ablation A3: package ordering policy",
+        headers=["benchmark"] + [f"{m} (cov / total rank)" for m in modes],
+    )
+    for workload in _workloads(subset, scale):
+        profile = VacuumPacker().profile(workload)
+        row: List[object] = [workload.name]
+        for mode in modes:
+            packer = VacuumPacker(ordering=mode)
+            result = packer.pack(workload, profile=profile)
+            total_rank = sum(g.rank for g in result.plan.groups)
+            row.append(
+                f"{format_percent(result.coverage.package_fraction)} / "
+                f"{total_rank:.2f}"
+            )
+        report.rows.append(row)
+    return report

@@ -1,0 +1,45 @@
+"""The four region-formation configurations of Figures 8 and 10.
+
+"The experiments vary the use of hot block inference (Section 3.2.3)
+and inter-package ordering (Section 3.3.4).  Four bars are listed for
+each benchmark input, one without inference or linking, one without
+inference but with linking, one with inference but without linking,
+and one with both inference and linking."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.postlink.vacuum import VacuumPacker
+from repro.regions.config import RegionConfig
+
+
+@dataclass(frozen=True)
+class FormationConfig:
+    """One Figure 8 / Figure 10 bar."""
+
+    label: str
+    inference: bool
+    linking: bool
+
+    def packer(self, **kwargs) -> VacuumPacker:
+        return VacuumPacker(
+            region_config=RegionConfig(inference=self.inference),
+            link=self.linking,
+            **kwargs,
+        )
+
+
+#: Paper bar order: (inference?, linking?) =
+#: (no, no), (no, yes), (yes, no), (yes, yes).
+FOUR_CONFIGS: List[FormationConfig] = [
+    FormationConfig("w/o inference, w/o linking", inference=False, linking=False),
+    FormationConfig("w/o inference, w/ linking", inference=False, linking=True),
+    FormationConfig("w/ inference, w/o linking", inference=True, linking=False),
+    FormationConfig("w/ inference, w/ linking", inference=True, linking=True),
+]
+
+#: The paper's full configuration (the headline numbers).
+FULL_CONFIG = FOUR_CONFIGS[3]

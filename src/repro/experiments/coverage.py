@@ -1,0 +1,100 @@
+"""Figure 8: percent of dynamic instructions executed inside packages.
+
+For each Table 1 benchmark input, the workload is profiled once under
+the Hot Spot Detector; then each of the four formation configurations
+(inference x linking) builds its own packages and the packed binary is
+re-run to tabulate dynamic instructions in packages versus original
+code — exactly the paper's section 5.1 methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.postlink.vacuum import ProfileResult
+from repro.workloads.base import Workload
+from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
+
+from .configs import FOUR_CONFIGS, FormationConfig
+from .report import format_percent, format_table
+
+
+@dataclass
+class CoverageRow:
+    """Figure 8 bars for one benchmark input."""
+
+    benchmark: str
+    input_name: str
+    #: coverage fraction per configuration, in FOUR_CONFIGS order
+    coverage: List[float]
+    phases: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.benchmark} {self.input_name}"
+
+
+@dataclass
+class CoverageReport:
+    rows: List[CoverageRow] = field(default_factory=list)
+
+    def averages(self) -> List[float]:
+        if not self.rows:
+            return [0.0] * len(FOUR_CONFIGS)
+        return [
+            sum(row.coverage[i] for row in self.rows) / len(self.rows)
+            for i in range(len(FOUR_CONFIGS))
+        ]
+
+    def render(self) -> str:
+        headers = ["benchmark", "phases"] + [c.label for c in FOUR_CONFIGS]
+        table_rows = [
+            [row.name, row.phases] + [format_percent(c) for c in row.coverage]
+            for row in self.rows
+        ]
+        table_rows.append(
+            ["average", ""] + [format_percent(a) for a in self.averages()]
+        )
+        return format_table(
+            headers,
+            table_rows,
+            title="Figure 8: percent of dynamic instructions from within packages",
+        )
+
+
+def measure_input(
+    workload: Workload,
+    configs: Sequence[FormationConfig] = FOUR_CONFIGS,
+    profile: Optional[ProfileResult] = None,
+) -> CoverageRow:
+    """All configuration bars for one workload (profile shared)."""
+    entry = workload.meta.get("entry")
+    profile = profile or configs[-1].packer().profile(workload)
+    coverage = []
+    for config in configs:
+        result = config.packer().pack(workload, profile=profile)
+        coverage.append(result.coverage.package_fraction)
+    return CoverageRow(
+        benchmark=entry.benchmark if entry else workload.name,
+        input_name=entry.input_name if entry else "",
+        coverage=coverage,
+        phases=profile.phase_count,
+    )
+
+
+def run_figure8(
+    entries: Optional[Sequence[BenchmarkInput]] = None,
+    scale: Optional[float] = None,
+    verbose: bool = False,
+) -> CoverageReport:
+    """Regenerate Figure 8 over the (sub)suite."""
+    report = CoverageReport()
+    for entry in entries or SUITE:
+        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+        row = measure_input(workload)
+        report.rows.append(row)
+        if verbose:
+            bars = " ".join(format_percent(c) for c in row.coverage)
+            print(f"  {row.name:18s} {bars}", flush=True)
+    return report

@@ -1,0 +1,104 @@
+"""Table 3: code expansion from package construction.
+
+"Table 3 shows the percentage growth of static instructions due to
+package construction and averages 12% ...  Table 3 additionally shows
+the percentage of static instructions that were selected to be a part
+of at least one package.  An average of 4.5% of instructions were
+selected, yielding an average replication factor ... of approximately
+2.6."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
+
+from .configs import FULL_CONFIG
+from .report import format_table
+
+
+@dataclass
+class ExpansionRow:
+    """One Table 3 row."""
+
+    benchmark: str
+    input_name: str
+    pct_increase: float
+    pct_selected: float
+    replication: float
+
+    @property
+    def name(self) -> str:
+        return f"{self.benchmark} {self.input_name}"
+
+
+@dataclass
+class ExpansionReport:
+    rows: List[ExpansionRow] = field(default_factory=list)
+
+    def average_increase(self) -> float:
+        return (
+            sum(r.pct_increase for r in self.rows) / len(self.rows)
+            if self.rows
+            else 0.0
+        )
+
+    def average_selected(self) -> float:
+        return (
+            sum(r.pct_selected for r in self.rows) / len(self.rows)
+            if self.rows
+            else 0.0
+        )
+
+    def average_replication(self) -> float:
+        return (
+            sum(r.replication for r in self.rows) / len(self.rows)
+            if self.rows
+            else 0.0
+        )
+
+    def render(self) -> str:
+        headers = ["benchmark", "% incr in size", "% static inst selected",
+                   "replication"]
+        table_rows = [
+            [r.name, f"{r.pct_increase:.1f}", f"{r.pct_selected:.1f}",
+             f"{r.replication:.2f}"]
+            for r in self.rows
+        ]
+        table_rows.append([
+            "average",
+            f"{self.average_increase():.1f}",
+            f"{self.average_selected():.1f}",
+            f"{self.average_replication():.2f}",
+        ])
+        return format_table(headers, table_rows, title="Table 3: code expansion")
+
+
+def run_table3(
+    entries: Optional[Sequence[BenchmarkInput]] = None,
+    scale: Optional[float] = None,
+    verbose: bool = False,
+) -> ExpansionReport:
+    """Regenerate Table 3 (full configuration) over the (sub)suite."""
+    report = ExpansionReport()
+    for entry in entries or SUITE:
+        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+        result = FULL_CONFIG.packer().pack(workload)
+        row_data = result.expansion_row()
+        row = ExpansionRow(
+            benchmark=entry.benchmark,
+            input_name=entry.input_name,
+            pct_increase=row_data["pct_increase"],
+            pct_selected=row_data["pct_selected"],
+            replication=row_data["replication"],
+        )
+        report.rows.append(row)
+        if verbose:
+            print(
+                f"  {row.name:18s} incr={row.pct_increase:5.1f}% "
+                f"sel={row.pct_selected:4.1f}% repl={row.replication:.2f}",
+                flush=True,
+            )
+    return report

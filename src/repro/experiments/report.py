@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_series(title: str, pairs: Sequence) -> str:
+    """Render ``name: value`` pairs as a labeled block."""
+    width = max((len(str(name)) for name, _ in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"  {str(name).ljust(width)}  {_fmt(value)}" for name, value in pairs)
+    return "\n".join(lines)

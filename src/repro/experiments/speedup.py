@@ -1,0 +1,118 @@
+"""Figure 10: speedup from package relayout and rescheduling.
+
+For each benchmark input, the original binary and each configuration's
+packed binary run under the Table 2 timing model
+(:mod:`repro.cpu.timing`); speedup is baseline cycles over packed
+cycles.  As in the paper, "the average speedup forms a pattern of
+improvement over the four experiments that correlates to the
+improvements in coverage".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cpu.timing import TimingSimulator
+from repro.optimize.passes import baseline_block_costs, packed_block_costs
+from repro.postlink.vacuum import ProfileResult
+from repro.workloads.base import Workload
+from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
+
+from .configs import FOUR_CONFIGS, FormationConfig
+from .report import format_table
+
+
+@dataclass
+class SpeedupRow:
+    """Figure 10 bars for one benchmark input."""
+
+    benchmark: str
+    input_name: str
+    baseline_cycles: int
+    #: packed cycles per configuration, FOUR_CONFIGS order
+    packed_cycles: List[int]
+
+    @property
+    def name(self) -> str:
+        return f"{self.benchmark} {self.input_name}"
+
+    @property
+    def speedups(self) -> List[float]:
+        return [
+            self.baseline_cycles / cycles if cycles else 0.0
+            for cycles in self.packed_cycles
+        ]
+
+
+@dataclass
+class SpeedupReport:
+    rows: List[SpeedupRow] = field(default_factory=list)
+
+    def averages(self) -> List[float]:
+        if not self.rows:
+            return [0.0] * len(FOUR_CONFIGS)
+        return [
+            sum(row.speedups[i] for row in self.rows) / len(self.rows)
+            for i in range(len(FOUR_CONFIGS))
+        ]
+
+    def render(self) -> str:
+        headers = ["benchmark"] + [c.label for c in FOUR_CONFIGS]
+        table_rows = [
+            [row.name] + [f"{s:.3f}" for s in row.speedups] for row in self.rows
+        ]
+        table_rows.append(
+            ["average"] + [f"{a:.3f}" for a in self.averages()]
+        )
+        return format_table(
+            headers,
+            table_rows,
+            title="Figure 10: speedup from package relayout and rescheduling",
+        )
+
+
+def measure_speedups(
+    workload: Workload,
+    configs: Sequence[FormationConfig] = FOUR_CONFIGS,
+    profile: Optional[ProfileResult] = None,
+) -> SpeedupRow:
+    """Baseline + per-config packed timing for one workload."""
+    baseline = TimingSimulator(
+        workload.program, baseline_block_costs(workload.program)
+    ).run(workload)
+
+    profile = profile or configs[-1].packer().profile(workload)
+    packed_cycles = []
+    for config in configs:
+        result = config.packer().pack(workload, profile=profile)
+        costs = packed_block_costs(
+            result.packed.program, result.packed.package_names
+        )
+        timing = TimingSimulator(result.packed.program, costs).run(workload)
+        packed_cycles.append(timing.cycles)
+
+    entry = workload.meta.get("entry")
+    return SpeedupRow(
+        benchmark=entry.benchmark if entry else workload.name,
+        input_name=entry.input_name if entry else "",
+        baseline_cycles=baseline.cycles,
+        packed_cycles=packed_cycles,
+    )
+
+
+def run_figure10(
+    entries: Optional[Sequence[BenchmarkInput]] = None,
+    scale: Optional[float] = None,
+    verbose: bool = False,
+) -> SpeedupReport:
+    """Regenerate Figure 10 over the (sub)suite."""
+    report = SpeedupReport()
+    for entry in entries or SUITE:
+        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+        row = measure_speedups(workload)
+        report.rows.append(row)
+        if verbose:
+            bars = " ".join(f"{s:.3f}" for s in row.speedups)
+            print(f"  {row.name:18s} {bars}", flush=True)
+    return report

@@ -1,0 +1,85 @@
+"""Table 1: the benchmark/input inventory with dynamic sizes.
+
+The paper's Table 1 lists each benchmark, its inputs, and the dynamic
+instruction count.  Here the counts are *measured* by running each
+workload to its budget, alongside the scaled-down target derived from
+the paper (see DESIGN.md, "Substitutions": ~1/1000 scale with a
+detector-imposed floor on phase lengths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
+
+from .report import format_table
+
+
+@dataclass
+class Table1Row:
+    benchmark: str
+    input_name: str
+    input_description: str
+    paper_minsts: int
+    measured_instructions: int
+    measured_branches: int
+    static_instructions: int
+    functions: int
+
+
+@dataclass
+class Table1Report:
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = [
+            "benchmark", "input", "paper #inst", "measured #inst",
+            "branches", "static inst", "functions",
+        ]
+        table_rows = [
+            [
+                r.benchmark,
+                f"{r.input_name}: {r.input_description}",
+                f"{r.paper_minsts}M",
+                f"{r.measured_instructions:,}",
+                f"{r.measured_branches:,}",
+                f"{r.static_instructions:,}",
+                r.functions,
+            ]
+            for r in self.rows
+        ]
+        return format_table(
+            headers, table_rows,
+            title="Table 1: benchmarks and inputs used in experiments",
+        )
+
+
+def run_table1(
+    entries: Optional[Sequence[BenchmarkInput]] = None,
+    scale: Optional[float] = None,
+    verbose: bool = False,
+) -> Table1Report:
+    """Regenerate Table 1 with measured dynamic sizes."""
+    report = Table1Report()
+    for entry in entries or SUITE:
+        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+        summary = workload.run()
+        row = Table1Row(
+            benchmark=entry.benchmark,
+            input_name=entry.input_name,
+            input_description=entry.input_description,
+            paper_minsts=entry.paper_minsts,
+            measured_instructions=summary.instructions,
+            measured_branches=summary.branches,
+            static_instructions=workload.program.static_size(),
+            functions=len(workload.program.functions),
+        )
+        report.rows.append(row)
+        if verbose:
+            print(
+                f"  {row.benchmark:12s} {row.input_name}: "
+                f"{row.measured_instructions:,} insts", flush=True,
+            )
+    return report

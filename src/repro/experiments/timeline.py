@@ -1,0 +1,104 @@
+"""ASCII phase timelines: detections vs ground truth.
+
+Renders a fixed-width lane per unique phase record over the branch
+timeline, with the ground-truth phase script above it — a quick way to
+*see* the Hot Spot Detector's reaction time and any spurious
+transition-window records::
+
+    truth    000000000000111111111111222222222222
+    record 0 ^###########
+    record 1             ^###########
+    record 2                         ^###########
+
+``^`` marks the detection point; ``#`` marks the span during which the
+record was the most recent detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.engine.phases import PhaseScript
+from repro.hsd.records import HotSpotRecord
+
+
+@dataclass
+class TimelineLane:
+    label: str
+    cells: str
+
+
+def render_truth_lane(script: PhaseScript, width: int) -> str:
+    """Ground-truth phase id per timeline cell (mod 10 for display)."""
+    total = script.total_branches
+    cells = []
+    for i in range(width):
+        branch = min(int((i + 0.5) * total / width), total - 1)
+        cells.append(str(script.phase_at(branch) % 10))
+    return "".join(cells)
+
+
+def render_record_lanes(
+    records: Sequence[HotSpotRecord], total_branches: int, width: int
+) -> List[TimelineLane]:
+    """One lane per record: detection point plus reign span."""
+    ordered = sorted(records, key=lambda r: r.detected_at_branch)
+    lanes = []
+    for i, record in enumerate(ordered):
+        start = record.detected_at_branch
+        end = (
+            ordered[i + 1].detected_at_branch
+            if i + 1 < len(ordered)
+            else total_branches
+        )
+        cells = []
+        for col in range(width):
+            branch = (col + 0.5) * total_branches / width
+            lo = col * total_branches / width
+            hi = (col + 1) * total_branches / width
+            if lo <= start < hi:
+                cells.append("^")
+            elif start < branch <= end:
+                cells.append("#")
+            else:
+                cells.append(" ")
+        lanes.append(TimelineLane(f"record {record.index}", "".join(cells)))
+    return lanes
+
+
+def render_timeline(
+    script: PhaseScript,
+    records: Sequence[HotSpotRecord],
+    width: int = 72,
+    total_branches: Optional[int] = None,
+) -> str:
+    """Full ASCII timeline: truth lane + one lane per record."""
+    total = total_branches or script.total_branches
+    label_width = max(
+        [len("truth")] + [len(f"record {r.index}") for r in records]
+    )
+    lines = [f"{'truth'.ljust(label_width)}  {render_truth_lane(script, width)}"]
+    for lane in render_record_lanes(records, total, width):
+        lines.append(f"{lane.label.ljust(label_width)}  {lane.cells}")
+    lines.append(
+        f"{''.ljust(label_width)}  0{'.' * (width - 2)}{total:,}".rstrip()
+    )
+    return "\n".join(lines)
+
+
+def detection_latencies(
+    script: PhaseScript, records: Sequence[HotSpotRecord]
+) -> List[int]:
+    """Branches between each phase transition and the next detection.
+
+    A rough reaction-time metric: for every ground-truth transition,
+    how long until *some* unique record was detected.
+    """
+    detections = sorted(r.detected_at_branch for r in records)
+    latencies = []
+    for boundary in [0] + script.transitions():
+        after = [d for d in detections if d >= boundary]
+        if after:
+            latencies.append(after[0] - boundary)
+    return latencies

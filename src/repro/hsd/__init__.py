@@ -1,0 +1,43 @@
+"""Hot Spot Detector hardware model (paper section 3.1, Table 2)."""
+
+from .bbb import BBBEntry, BranchBehaviorBuffer
+from .config import HSDConfig, TABLE2_CONFIG
+from .detector import DetectorStats, HotSpotDetector
+from .filtering import (
+    HotSpotFilter,
+    SimilarityPolicy,
+    bias_flips,
+    filter_records,
+    missing_fraction,
+    same_hot_spot,
+)
+from .records import BranchProfile, HotSpotRecord
+from .serialize import (
+    ProfileFormatError,
+    load_profile,
+    records_from_json,
+    records_to_json,
+    save_profile,
+)
+
+__all__ = [
+    "BBBEntry",
+    "BranchBehaviorBuffer",
+    "BranchProfile",
+    "DetectorStats",
+    "HSDConfig",
+    "HotSpotDetector",
+    "HotSpotFilter",
+    "HotSpotRecord",
+    "ProfileFormatError",
+    "SimilarityPolicy",
+    "TABLE2_CONFIG",
+    "load_profile",
+    "records_from_json",
+    "records_to_json",
+    "save_profile",
+    "bias_flips",
+    "filter_records",
+    "missing_fraction",
+    "same_hot_spot",
+]

@@ -1,0 +1,145 @@
+"""Branch Behavior Buffer: the HSD's profiling table (paper Fig. 2).
+
+A set-associative table indexed by branch address.  Each entry holds
+9-bit saturating executed/taken counters and a *candidate* flag that is
+set once the executed count crosses the candidate threshold.
+
+Two lossy behaviours called out in the paper are modeled faithfully:
+
+* **Contention** — "contention for table entries may force a static
+  branch to begin profiling later in the detection process ... and in
+  the worst case, prevent the branch from being tracked at all."
+  Replacement only evicts non-candidate entries (LRU among them); if
+  every way of a set holds a candidate, new branches mapping there are
+  simply not tracked.
+* **Saturation** — "the hardware counters tracking each branch saturate
+  when the execute count reaches its maximum value.  However, at
+  saturation, the taken fraction for the branch is preserved": both
+  counters freeze when the executed counter saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .config import HSDConfig
+from .records import BranchProfile
+
+
+@dataclass
+class BBBEntry:
+    """One BBB way: a tracked static branch."""
+
+    address: int
+    executed: int = 0
+    taken: int = 0
+    candidate: bool = False
+    last_use: int = 0
+
+    def update(self, taken: bool, config: HSDConfig) -> None:
+        if self.executed < config.counter_max:
+            self.executed += 1
+            if taken:
+                self.taken += 1
+        # else: frozen at saturation, preserving the taken fraction.
+        if self.executed >= config.candidate_threshold:
+            self.candidate = True
+
+    def profile(self) -> BranchProfile:
+        return BranchProfile(self.address, self.executed, self.taken)
+
+
+class BranchBehaviorBuffer:
+    """The set-associative branch profiling table."""
+
+    def __init__(self, config: Optional[HSDConfig] = None):
+        self.config = config or HSDConfig()
+        self._sets: List[Dict[int, BBBEntry]] = [
+            {} for _ in range(self.config.bbb_sets)
+        ]
+        self._tick = 0
+        self.misses_untracked = 0  # allocation failures due to contention
+
+    # -- access --------------------------------------------------------
+    def access(self, address: int, taken: bool) -> Optional[BBBEntry]:
+        """Record one retirement of the branch at ``address``.
+
+        Returns the entry tracking the branch, or ``None`` when the
+        branch could not be tracked (all ways hold candidates).
+        """
+        self._tick += 1
+        bbb_set = self._sets[self.config.set_index(address)]
+        entry = bbb_set.get(address)
+        if entry is None:
+            entry = self._allocate(bbb_set, address)
+            if entry is None:
+                self.misses_untracked += 1
+                return None
+        entry.last_use = self._tick
+        entry.update(taken, self.config)
+        return entry
+
+    def _allocate(self, bbb_set: Dict[int, BBBEntry], address: int) -> Optional[BBBEntry]:
+        if len(bbb_set) < self.config.bbb_ways:
+            entry = BBBEntry(address)
+            bbb_set[address] = entry
+            return entry
+        victims = [e for e in bbb_set.values() if not e.candidate]
+        if not victims:
+            return None
+        victim = min(victims, key=lambda e: e.last_use)
+        del bbb_set[victim.address]
+        entry = BBBEntry(address)
+        bbb_set[address] = entry
+        return entry
+
+    # -- snapshot / maintenance ------------------------------------------
+    def candidates(self) -> List[BBBEntry]:
+        """All entries currently flagged as candidate branches."""
+        result = []
+        for bbb_set in self._sets:
+            result.extend(e for e in bbb_set.values() if e.candidate)
+        return result
+
+    def entries(self) -> List[BBBEntry]:
+        result = []
+        for bbb_set in self._sets:
+            result.extend(bbb_set.values())
+        return result
+
+    def snapshot_profiles(self) -> Dict[int, BranchProfile]:
+        """Profiles of the candidate (hot spot) branches."""
+        return {e.address: e.profile() for e in self.candidates()}
+
+    def clear(self) -> None:
+        """Flush the table (the HSD's clear timer fired, or a hot spot
+        was recorded and monitoring restarts for the next phase)."""
+        self._sets = [{} for _ in range(self.config.bbb_sets)]
+
+    def current_tick(self) -> int:
+        """Monotonic access counter (one per branch retirement)."""
+        return self._tick
+
+    def evict_stale(self, min_tick: int) -> int:
+        """Drop entries not accessed since ``min_tick``.
+
+        Called by the detector's refresh timer: branches that stopped
+        retiring (the previous phase's working set) wash out of the
+        table within one refresh interval instead of lingering as
+        unevictable candidates and polluting the next phase's record.
+        Returns the number of entries evicted.
+        """
+        evicted = 0
+        for bbb_set in self._sets:
+            stale = [a for a, e in bbb_set.items() if e.last_use < min_tick]
+            for address in stale:
+                del bbb_set[address]
+            evicted += len(stale)
+        return evicted
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._sets[self.config.set_index(address)]

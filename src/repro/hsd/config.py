@@ -1,0 +1,72 @@
+"""Hot Spot Detector configuration (paper Table 2).
+
+The HSD internals follow Merten et al. [17] as summarized in the
+paper's section 3.1.  The two counter steps are named after Table 2's
+"Hot spot detection cntr inc/dec" rows: a *candidate* branch moves the
+detection counter **toward** zero by ``hdc_candidate_step`` (Table 2's
+"inc 2") and a non-candidate moves it **away** by
+``hdc_noncandidate_step`` ("dec 1"), so a hot spot is detected only
+while candidate branches make up more than
+
+    hdc_noncandidate_step / (hdc_candidate_step + hdc_noncandidate_step)
+
+of the retiring-branch stream — 1/3 with the Table 2 values — and,
+because the refresh timer re-arms the counter every
+``refresh_interval`` branches, detection additionally requires the
+excess to accumulate to the full counter range within one refresh
+window (a sustained candidate fraction of about 2/3 at the Table 2
+values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HSDConfig:
+    """All Hot Spot Detector parameters, defaulted to paper Table 2."""
+
+    bbb_sets: int = 512
+    bbb_ways: int = 4
+    candidate_threshold: int = 16
+    counter_bits: int = 9
+    hdc_bits: int = 13
+    hdc_candidate_step: int = 2
+    hdc_noncandidate_step: int = 1
+    refresh_interval: int = 8192
+    clear_interval: int = 65526
+    #: Branch instructions are 8 bytes in our ISA; the BBB set index is
+    #: taken from the address bits just above the alignment bits.
+    address_shift: int = 3
+
+    def __post_init__(self) -> None:
+        if self.bbb_sets <= 0 or self.bbb_sets & (self.bbb_sets - 1):
+            raise ValueError("bbb_sets must be a positive power of two")
+        if self.bbb_ways <= 0:
+            raise ValueError("bbb_ways must be positive")
+        if self.counter_bits <= 0 or self.hdc_bits <= 0:
+            raise ValueError("counter widths must be positive")
+        if self.hdc_candidate_step <= 0 or self.hdc_noncandidate_step < 0:
+            raise ValueError("HDC steps must be positive / non-negative")
+
+    @property
+    def counter_max(self) -> int:
+        """Saturation value of the 9-bit execute/taken counters."""
+        return (1 << self.counter_bits) - 1
+
+    @property
+    def hdc_max(self) -> int:
+        """Initial (armed) value of the hot spot detection counter."""
+        return (1 << self.hdc_bits) - 1
+
+    @property
+    def bbb_entries(self) -> int:
+        return self.bbb_sets * self.bbb_ways
+
+    def set_index(self, address: int) -> int:
+        return (address >> self.address_shift) & (self.bbb_sets - 1)
+
+
+#: Configuration used throughout the paper's evaluation (Table 2).
+TABLE2_CONFIG = HSDConfig()

@@ -1,0 +1,127 @@
+"""The Hot Spot Detector: BBB + Hot Spot Detection Counter (paper Fig. 2).
+
+The detector watches the retired-branch stream.  Per retiring branch:
+
+1. the branch is looked up / allocated in the
+   :class:`~repro.hsd.bbb.BranchBehaviorBuffer` and its counters update;
+2. the Hot Spot Detection Counter (HDC) moves *toward* zero by
+   ``hdc_candidate_step`` if the branch is a candidate, else *away* by
+   ``hdc_noncandidate_step`` (saturating at its maximum);
+3. when the HDC reaches zero a hot spot is detected: the candidate
+   profiles are snapshotted into a :class:`~repro.hsd.records.HotSpotRecord`,
+   the table is flushed, and monitoring restarts for the next phase;
+4. a *refresh timer* re-arms the HDC every ``refresh_interval``
+   branches so only sustained hot behaviour can reach zero, and a
+   *clear timer* flushes a stale BBB after ``clear_interval`` branches
+   without a detection.
+
+Re-detections of the same phase are expected from the hardware; the
+software-side :mod:`repro.hsd.filtering` removes them, as the paper
+assumes ("we assume software filtering eliminates all redundant hot
+spot detections").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .bbb import BranchBehaviorBuffer
+from .config import HSDConfig
+from .records import HotSpotRecord
+
+
+@dataclass
+class DetectorStats:
+    """Counters describing one profiling run."""
+
+    branches_observed: int = 0
+    detections: int = 0
+    refreshes: int = 0
+    clears: int = 0
+
+
+class HotSpotDetector:
+    """Hardware hot-spot detection over a retired-branch stream."""
+
+    def __init__(self, config: Optional[HSDConfig] = None):
+        self.config = config or HSDConfig()
+        self.bbb = BranchBehaviorBuffer(self.config)
+        self.hdc = self.config.hdc_max
+        self.stats = DetectorStats()
+        self._branches_since_refresh = 0
+        self._branches_since_clear = 0
+        self._tick_at_last_refresh = 0
+        self._records: List[HotSpotRecord] = []
+
+    # -- the per-branch pipeline ------------------------------------
+    def observe(self, address: int, taken: bool) -> Optional[HotSpotRecord]:
+        """Feed one retired branch; returns a record upon detection."""
+        self.stats.branches_observed += 1
+        self._branches_since_refresh += 1
+        self._branches_since_clear += 1
+
+        entry = self.bbb.access(address, taken)
+        is_candidate = entry is not None and entry.candidate
+
+        if is_candidate:
+            self.hdc = max(0, self.hdc - self.config.hdc_candidate_step)
+        else:
+            self.hdc = min(
+                self.config.hdc_max, self.hdc + self.config.hdc_noncandidate_step
+            )
+
+        if self.hdc == 0:
+            return self._detect()
+
+        if self._branches_since_refresh >= self.config.refresh_interval:
+            self._refresh()
+        if self._branches_since_clear >= self.config.clear_interval:
+            self._clear()
+        return None
+
+    # -- events ----------------------------------------------------------
+    def _detect(self) -> HotSpotRecord:
+        record = HotSpotRecord(
+            index=len(self._records),
+            detected_at_branch=self.stats.branches_observed,
+            branches=self.bbb.snapshot_profiles(),
+        )
+        self._records.append(record)
+        self.stats.detections += 1
+        # Restart monitoring for the next phase.
+        self.bbb.clear()
+        self.hdc = self.config.hdc_max
+        self._branches_since_refresh = 0
+        self._branches_since_clear = 0
+        self._tick_at_last_refresh = self.bbb.current_tick()
+        return record
+
+    def _refresh(self) -> None:
+        """Refresh timer: re-arm the HDC and wash out stale entries.
+
+        Only sustained hotness can reach detection, and branches that
+        stopped retiring during the last interval (the previous phase's
+        working set) leave the table instead of polluting the next
+        snapshot as frozen candidates.
+        """
+        self.hdc = self.config.hdc_max
+        self._branches_since_refresh = 0
+        self.bbb.evict_stale(self._tick_at_last_refresh)
+        self._tick_at_last_refresh = self.bbb.current_tick()
+        self.stats.refreshes += 1
+
+    def _clear(self) -> None:
+        """Clear timer: flush a BBB that produced no detection."""
+        self.bbb.clear()
+        self.hdc = self.config.hdc_max
+        self._branches_since_clear = 0
+        self._branches_since_refresh = 0
+        self._tick_at_last_refresh = self.bbb.current_tick()
+        self.stats.clears += 1
+
+    # -- results -----------------------------------------------------------
+    @property
+    def records(self) -> List[HotSpotRecord]:
+        """All raw (unfiltered) hot spot records detected so far."""
+        return list(self._records)

@@ -1,0 +1,126 @@
+"""Software filtering of redundant hot-spot detections.
+
+Paper section 3.1: "In determining the similarity between two hot
+spots, two criteria are used.  First, given a hot spot A and hot spot
+B, if 30% or more of A's branches are missing from B (or vice versa)
+then A and B are different hot spots.  Second, if a single biased
+branch that is common to both A and B has a different bias (taken vs.
+not-taken) between A and B, then A and B are different hot spots."
+
+The filter keeps the history of every accepted record ("we assume
+software filtering eliminates all redundant hot spot detections") and
+drops any new detection similar to one already recorded.  The
+thresholds are configurable so the paper's remark that "the threshold
+of varying biased branches could be increased to more than one" can be
+explored as an ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .records import HotSpotRecord
+
+
+@dataclass(frozen=True)
+class SimilarityPolicy:
+    """Thresholds for deciding whether two hot spots are "the same"."""
+
+    #: Two hot spots differ if >= this fraction of either's branches is
+    #: missing from the other (paper: 30 %).
+    missing_fraction: float = 0.30
+    #: Taken-fraction threshold that marks a branch as biased.
+    bias_threshold: float = 0.7
+    #: Number of common biased branches that must flip direction before
+    #: the hot spots are considered different (paper: 1).
+    max_bias_flips: int = 1
+    #: Refresh a stored record from later redundant detections of the
+    #: same phase.  This models the BBB-history enhancement of [4] the
+    #: paper leans on ("records a phase only when it is different than
+    #: the previous phase"): the profile that survives for a phase is
+    #: a late, fully saturated snapshot rather than the first —
+    #: least-saturated — one.  A snapshot is only committed once a
+    #: *subsequent* same-phase detection confirms it, so the final
+    #: snapshot of a phase (which may straddle the transition into the
+    #: next phase and mix both working sets) never pollutes the record.
+    refresh_on_redundant: bool = True
+
+
+def missing_fraction(a: HotSpotRecord, b: HotSpotRecord) -> float:
+    """Largest fraction of one record's branches absent from the other."""
+    if not a.branches or not b.branches:
+        return 1.0 if a.branches or b.branches else 0.0
+    missing_from_b = len(a.addresses - b.addresses) / len(a.addresses)
+    missing_from_a = len(b.addresses - a.addresses) / len(b.addresses)
+    return max(missing_from_b, missing_from_a)
+
+
+def bias_flips(a: HotSpotRecord, b: HotSpotRecord, threshold: float = 0.7) -> int:
+    """Common branches biased in both records but in opposite directions."""
+    flips = 0
+    for address in a.addresses & b.addresses:
+        bias_a = a.branches[address].bias(threshold)
+        bias_b = b.branches[address].bias(threshold)
+        if bias_a is not None and bias_b is not None and bias_a != bias_b:
+            flips += 1
+    return flips
+
+
+def same_hot_spot(
+    a: HotSpotRecord, b: HotSpotRecord, policy: SimilarityPolicy = SimilarityPolicy()
+) -> bool:
+    """Apply the paper's two similarity criteria."""
+    if missing_fraction(a, b) >= policy.missing_fraction:
+        return False
+    if bias_flips(a, b, policy.bias_threshold) >= policy.max_bias_flips:
+        return False
+    return True
+
+
+class HotSpotFilter:
+    """Stateful filter over a stream of detections."""
+
+    def __init__(self, policy: SimilarityPolicy = SimilarityPolicy()):
+        self.policy = policy
+        self.accepted: List[HotSpotRecord] = []
+        self.rejected_count = 0
+        # index into `accepted` -> snapshot awaiting confirmation
+        self._pending: dict = {}
+
+    def accept(self, record: HotSpotRecord) -> bool:
+        """True (and remembered) iff the record is a new, unique phase."""
+        if not record.branches:
+            self.rejected_count += 1
+            return False
+        for position, prior in enumerate(self.accepted):
+            if same_hot_spot(record, prior, self.policy):
+                self.rejected_count += 1
+                if self.policy.refresh_on_redundant:
+                    # The previous redundant snapshot is now confirmed
+                    # (another same-phase detection followed it): commit
+                    # it, and stage this one.
+                    pending = self._pending.get(position)
+                    if (
+                        pending is not None
+                        and sum(p.executed for p in pending.values())
+                        >= prior.total_executed()
+                    ):
+                        prior.branches = pending
+                    self._pending[position] = dict(record.branches)
+                return False
+        # A new phase: any staged snapshots were the final (possibly
+        # transition-straddling) windows of their phases — discard them.
+        self._pending.clear()
+        self.accepted.append(record)
+        return True
+
+
+def filter_records(
+    records: Iterable[HotSpotRecord], policy: SimilarityPolicy = SimilarityPolicy()
+) -> List[HotSpotRecord]:
+    """Run a :class:`HotSpotFilter` over a finished detection list."""
+    hs_filter = HotSpotFilter(policy)
+    for record in records:
+        hs_filter.accept(record)
+    return hs_filter.accepted

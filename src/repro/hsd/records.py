@@ -1,0 +1,78 @@
+"""Hot-spot records: what the hardware hands to software.
+
+"Upon the detection of a hot spot, the BBB contains the set of hot spot
+branches and their executed and taken counts" (paper section 3.1).
+A :class:`HotSpotRecord` is the snapshot of that state; it is the *only*
+profile information the region-identification step may consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """Executed/taken counts of one static branch in one hot spot."""
+
+    address: int
+    executed: int
+    taken: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.taken <= self.executed:
+            raise ValueError(
+                f"inconsistent counts: taken={self.taken} executed={self.executed}"
+            )
+
+    @property
+    def taken_fraction(self) -> float:
+        """Fraction of executions that were taken (0.0 if never executed)."""
+        if self.executed == 0:
+            return 0.0
+        return self.taken / self.executed
+
+    def bias(self, threshold: float = 0.7) -> Optional[str]:
+        """``"taken"`` / ``"not_taken"`` when one direction dominates.
+
+        Returns ``None`` for unbiased branches.  The default threshold
+        mirrors the paper's Multi-High boundary (>70 %).
+        """
+        fraction = self.taken_fraction
+        if fraction >= threshold:
+            return "taken"
+        if fraction <= 1.0 - threshold:
+            return "not_taken"
+        return None
+
+
+@dataclass
+class HotSpotRecord:
+    """One detected hot spot: the branch profiles captured in the BBB."""
+
+    index: int
+    detected_at_branch: int
+    branches: Dict[int, BranchProfile] = field(default_factory=dict)
+
+    @property
+    def addresses(self) -> FrozenSet[int]:
+        return frozenset(self.branches)
+
+    def profile(self, address: int) -> Optional[BranchProfile]:
+        return self.branches.get(address)
+
+    def total_executed(self) -> int:
+        return sum(b.executed for b in self.branches.values())
+
+    def __len__(self) -> int:
+        return len(self.branches)
+
+    def __iter__(self) -> Iterator[BranchProfile]:
+        return iter(self.branches.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"<HotSpotRecord #{self.index} at branch {self.detected_at_branch} "
+            f"({len(self.branches)} branches)>"
+        )

@@ -1,0 +1,114 @@
+"""Hot-spot profile persistence.
+
+Post-link optimization is offline: the profiling run happens in the
+end-user environment and the optimizer consumes the recorded hot spots
+later ("the profiled program runs to completion before any of the
+phases are further processed by the software", paper section 3).  This
+module serializes the filtered phase records to a small, versioned JSON
+document so a profile can be captured once and re-optimized many times.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .records import BranchProfile, HotSpotRecord
+
+FORMAT_NAME = "vacuum-packing-profile"
+FORMAT_VERSION = 1
+
+
+class ProfileFormatError(Exception):
+    """Raised when a profile document cannot be parsed."""
+
+
+def records_to_dict(
+    records: Iterable[HotSpotRecord], meta: Optional[Dict] = None
+) -> Dict:
+    """Serializable representation of a list of phase records."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "meta": dict(meta or {}),
+        "records": [
+            {
+                "index": record.index,
+                "detected_at_branch": record.detected_at_branch,
+                "branches": [
+                    {
+                        "address": profile.address,
+                        "executed": profile.executed,
+                        "taken": profile.taken,
+                    }
+                    for profile in sorted(
+                        record.branches.values(), key=lambda p: p.address
+                    )
+                ],
+            }
+            for record in records
+        ],
+    }
+
+
+def records_from_dict(document: Dict) -> List[HotSpotRecord]:
+    """Parse a document produced by :func:`records_to_dict`."""
+    if document.get("format") != FORMAT_NAME:
+        raise ProfileFormatError(
+            f"not a {FORMAT_NAME} document: format={document.get('format')!r}"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise ProfileFormatError(
+            f"unsupported profile version {document.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    records = []
+    for entry in document.get("records", []):
+        try:
+            branches = {
+                b["address"]: BranchProfile(
+                    b["address"], b["executed"], b["taken"]
+                )
+                for b in entry["branches"]
+            }
+            records.append(
+                HotSpotRecord(
+                    index=entry["index"],
+                    detected_at_branch=entry["detected_at_branch"],
+                    branches=branches,
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileFormatError(f"malformed record entry: {exc}") from exc
+    return records
+
+
+def records_to_json(
+    records: Iterable[HotSpotRecord], meta: Optional[Dict] = None
+) -> str:
+    return json.dumps(records_to_dict(records, meta), indent=2, sort_keys=True)
+
+
+def records_from_json(text: str) -> List[HotSpotRecord]:
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProfileFormatError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProfileFormatError("profile document must be a JSON object")
+    return records_from_dict(document)
+
+
+def save_profile(
+    path: Union[str, Path],
+    records: Iterable[HotSpotRecord],
+    meta: Optional[Dict] = None,
+) -> None:
+    """Write a profile document to ``path``."""
+    Path(path).write_text(records_to_json(records, meta))
+
+
+def load_profile(path: Union[str, Path]) -> List[HotSpotRecord]:
+    """Read a profile document from ``path``."""
+    return records_from_json(Path(path).read_text())

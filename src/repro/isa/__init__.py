@@ -1,0 +1,36 @@
+"""Synthetic EPIC-like instruction set: registers, instructions, encoding.
+
+The assembler and disassembler live in :mod:`repro.isa.assembler` and
+:mod:`repro.isa.disassembler`; they are imported explicitly (not
+re-exported here) because they depend on :mod:`repro.program`.
+"""
+
+from .instructions import FuClass, Instruction, Opcode
+from .registers import (
+    ARG_REGS,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    F,
+    INT_RETURN_REG,
+    R,
+    Reg,
+    RegClass,
+    STACK_POINTER,
+    parse_reg,
+)
+
+__all__ = [
+    "FuClass",
+    "Instruction",
+    "Opcode",
+    "Reg",
+    "RegClass",
+    "R",
+    "F",
+    "parse_reg",
+    "ARG_REGS",
+    "CALLER_SAVED",
+    "CALLEE_SAVED",
+    "INT_RETURN_REG",
+    "STACK_POINTER",
+]

@@ -1,0 +1,214 @@
+"""Textual assembler for the synthetic ISA.
+
+The assembly format is line oriented::
+
+    ; comments start with ';' or '#'
+    func main:
+      entry:
+        movi r1, 10
+        movi r2, 0
+      loop:
+        add  r2, r2, r1
+        subi r1, r1, 1
+        brnz r1, loop
+      done:
+        store r2, [r60+0]
+        halt
+
+Rules:
+
+* ``func NAME:`` starts a function; the first block is its entry.
+* ``LABEL:`` starts a basic block.
+* Memory operands are written ``[rN+IMM]`` (``+IMM`` optional).
+* ``call`` takes a function name, branches take a block label.
+* Instructions before the first explicit label go into an implicit
+  block named ``entry``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.program.block import BasicBlock
+from repro.program.builder import BlockBuilder, FunctionBuilder
+from repro.program.function import Function
+from repro.program.program import Program
+
+from .instructions import IMMEDIATE_ALU, Instruction, Opcode, OPCODE_BY_MNEMONIC
+from .registers import Reg, parse_reg
+
+
+class AssemblyError(Exception):
+    """Raised with a line number when the assembly text is malformed."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_FUNC_RE = re.compile(r"^func\s+([A-Za-z_][\w.]*)\s*:\s*$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*)\s*:\s*$")
+_MEM_RE = re.compile(r"^\[\s*([rf]\d+)\s*(?:\+\s*(-?\d+)\s*)?\]$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def _parse_mem(operand: str, line_no: int) -> Tuple[Reg, int]:
+    match = _MEM_RE.match(operand)
+    if not match:
+        raise AssemblyError(line_no, f"malformed memory operand {operand!r}")
+    base = parse_reg(match.group(1))
+    offset = int(match.group(2)) if match.group(2) else 0
+    return base, offset
+
+
+def _parse_int(operand: str, line_no: int) -> int:
+    try:
+        return int(operand, 0)
+    except ValueError:
+        raise AssemblyError(line_no, f"malformed immediate {operand!r}") from None
+
+
+def assemble_instruction(mnemonic: str, operands: List[str], line_no: int) -> Instruction:
+    """Assemble one instruction from its mnemonic and operand strings."""
+    opcode = OPCODE_BY_MNEMONIC.get(mnemonic)
+    if opcode is None:
+        raise AssemblyError(line_no, f"unknown mnemonic {mnemonic!r}")
+
+    def need(n: int) -> None:
+        if len(operands) != n:
+            raise AssemblyError(
+                line_no, f"{mnemonic} expects {n} operand(s), got {len(operands)}"
+            )
+
+    if opcode in (Opcode.LOAD, Opcode.FLOAD):
+        need(2)
+        base, offset = _parse_mem(operands[1], line_no)
+        return Instruction(opcode, dest=parse_reg(operands[0]), srcs=(base,), imm=offset)
+    if opcode in (Opcode.STORE, Opcode.FSTORE):
+        need(2)
+        base, offset = _parse_mem(operands[1], line_no)
+        return Instruction(opcode, srcs=(parse_reg(operands[0]), base), imm=offset)
+    if opcode is Opcode.MOVI:
+        need(2)
+        return Instruction(
+            opcode, dest=parse_reg(operands[0]), imm=_parse_int(operands[1], line_no)
+        )
+    if opcode in IMMEDIATE_ALU:
+        need(3)
+        return Instruction(
+            opcode,
+            dest=parse_reg(operands[0]),
+            srcs=(parse_reg(operands[1]),),
+            imm=_parse_int(operands[2], line_no),
+        )
+    if opcode in (Opcode.BRZ, Opcode.BRNZ):
+        need(2)
+        return Instruction(opcode, srcs=(parse_reg(operands[0]),), target=operands[1])
+    if opcode in (Opcode.JUMP, Opcode.CALL):
+        need(1)
+        return Instruction(opcode, target=operands[0])
+    if opcode in (Opcode.RET, Opcode.HALT, Opcode.NOP):
+        need(0)
+        return Instruction(opcode)
+    if opcode in (
+        Opcode.MOV,
+        Opcode.FMOV,
+        Opcode.FNEG,
+        Opcode.FSQRT,
+        Opcode.CVTIF,
+        Opcode.CVTFI,
+    ):
+        need(2)
+        return Instruction(
+            opcode, dest=parse_reg(operands[0]), srcs=(parse_reg(operands[1]),)
+        )
+    if opcode is Opcode.CONSUME:
+        return Instruction(opcode, srcs=tuple(parse_reg(op) for op in operands))
+    # Remaining are three-register ALU / FP forms.
+    need(3)
+    return Instruction(
+        opcode,
+        dest=parse_reg(operands[0]),
+        srcs=(parse_reg(operands[1]), parse_reg(operands[2])),
+    )
+
+
+def assemble(text: str, entry: str = "main", validate: bool = True) -> Program:
+    """Assemble a full program from text."""
+    functions: List[Function] = []
+    fb: Optional[FunctionBuilder] = None
+    bb: Optional[BlockBuilder] = None
+
+    def finish_function(line_no: int) -> None:
+        nonlocal fb, bb
+        if fb is None:
+            return
+        try:
+            functions.append(fb.build())
+        except Exception as exc:
+            raise AssemblyError(line_no, str(exc)) from exc
+        fb = None
+        bb = None
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        func_match = _FUNC_RE.match(line)
+        if func_match:
+            finish_function(line_no)
+            fb = FunctionBuilder(func_match.group(1))
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            if fb is None:
+                raise AssemblyError(line_no, "label outside of any function")
+            bb = fb.block(label_match.group(1))
+            continue
+        if fb is None:
+            raise AssemblyError(line_no, "instruction outside of any function")
+        if bb is None or bb.terminated:
+            # Implicit block start (first block, or after a terminator
+            # with no explicit label).
+            label = "entry" if bb is None else fb.fresh_label("anon")
+            bb = fb.block(label)
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1] if len(parts) > 1 else "")
+        bb.raw(assemble_instruction(mnemonic, operands, line_no))
+
+    finish_function(line_no=len(text.splitlines()) + 1)
+    if not functions:
+        raise AssemblyError(0, "no functions in input")
+    program = Program(functions, entry=entry)
+    if validate:
+        program.validate()
+    return program
+
+
+def assemble_function(text: str) -> Function:
+    """Assemble a single function (text must contain exactly one)."""
+    name_line = next(
+        (line for line in text.splitlines() if _strip_comment(line)), ""
+    )
+    match = _FUNC_RE.match(_strip_comment(name_line))
+    if not match:
+        raise AssemblyError(1, "input must start with 'func NAME:'")
+    program = assemble(text, entry=match.group(1), validate=False)
+    if len(program.functions) != 1:
+        raise AssemblyError(0, "assemble_function expects exactly one function")
+    return program.functions[match.group(1)]

@@ -1,0 +1,48 @@
+"""Disassembler: programs and images back to assembly text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.program.function import Function
+from repro.program.image import ProgramImage
+from repro.program.program import Program
+
+from .encoding import INSTRUCTION_BYTES
+
+
+def disassemble_function(function: Function) -> str:
+    """Render one function in assembler syntax."""
+    lines: List[str] = [f"func {function.name}:"]
+    for block in function.blocks:
+        lines.append(f"{block.label}:")
+        for inst in block.instructions:
+            lines.append(f"  {inst.render()}")
+    return "\n".join(lines)
+
+
+def disassemble(program: Program) -> str:
+    """Render a full program in assembler syntax (entry function first)."""
+    order = [program.entry] + sorted(
+        name for name in program.functions if name != program.entry
+    )
+    return "\n\n".join(disassemble_function(program.functions[name]) for name in order)
+
+
+def disassemble_image(image: ProgramImage) -> str:
+    """Decode the raw image bytes back to an address-annotated listing.
+
+    Unlike :func:`disassemble`, this reads the *encoded bytes*, so it
+    reflects any post-link patches applied to the image.
+    """
+    lines: List[str] = []
+    symbols_by_address = {sym.address: sym for sym in image.symbols}
+    address = image.base_address
+    while address < image.end_address:
+        symbol = symbols_by_address.get(address)
+        if symbol is not None:
+            lines.append(f"{symbol.function}/{symbol.label}:")
+        inst = image.decode_at(address)
+        lines.append(f"  {address:#8x}  {inst.render()}")
+        address += INSTRUCTION_BYTES
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Fixed-width binary encoding for the synthetic ISA.
+
+Each instruction encodes to :data:`INSTRUCTION_BYTES` (8) bytes:
+
+====== =======================================================
+offset contents
+====== =======================================================
+0      opcode byte
+1      destination register (``0xFF`` when absent)
+2      first source register (``0xFF`` when absent)
+3      second source register (``0xFF`` when absent)
+4..7   32-bit little-endian signed immediate / branch displacement
+====== =======================================================
+
+Register bytes use the integer register index directly for ``r``
+registers and ``0x80 | index`` for ``f`` registers.
+
+Control-transfer targets are encoded as *byte displacements* relative
+to the address of the instruction itself, which is what makes the
+post-link rewriter's patching realistic: retargeting a launch point is
+a 4-byte write into the image (see :mod:`repro.postlink.rewriter`).
+Encoding a program therefore requires a resolver that maps label /
+function-name targets to absolute addresses.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+from .instructions import Instruction, Opcode, OPCODE_BY_CODE
+from .registers import Reg, RegClass
+
+INSTRUCTION_BYTES = 8
+
+_NO_REG = 0xFF
+_FLOAT_FLAG = 0x80
+
+
+class EncodingError(Exception):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _encode_reg(reg: Optional[Reg]) -> int:
+    if reg is None:
+        return _NO_REG
+    if reg.cls is RegClass.FLOAT:
+        return _FLOAT_FLAG | reg.index
+    return reg.index
+
+
+def _decode_reg(byte: int) -> Optional[Reg]:
+    if byte == _NO_REG:
+        return None
+    if byte & _FLOAT_FLAG:
+        return Reg(RegClass.FLOAT, byte & 0x7F)
+    return Reg(RegClass.INT, byte)
+
+
+def encode_instruction(
+    inst: Instruction,
+    address: int,
+    resolve_target: Optional[Callable[[str], int]] = None,
+) -> bytes:
+    """Encode one instruction located at ``address``.
+
+    ``resolve_target`` maps a label or function name to an absolute
+    byte address; it is required for control transfers with a target.
+    """
+    if inst.is_pseudo:
+        raise EncodingError(f"pseudo-instruction {inst.opcode.mnemonic} "
+                            "cannot be encoded to the binary image")
+    imm = inst.imm
+    if inst.target is not None:
+        if resolve_target is None:
+            raise EncodingError(
+                f"instruction {inst.render()!r} needs a target resolver"
+            )
+        imm = resolve_target(inst.target) - address
+    src1 = inst.srcs[0] if len(inst.srcs) > 0 else None
+    src2 = inst.srcs[1] if len(inst.srcs) > 1 else None
+    try:
+        return struct.pack(
+            "<BBBBi",
+            inst.opcode.code,
+            _encode_reg(inst.dest),
+            _encode_reg(src1),
+            _encode_reg(src2),
+            imm,
+        )
+    except struct.error as exc:
+        raise EncodingError(f"cannot encode {inst.render()!r}: {exc}") from exc
+
+
+def decode_instruction(data: bytes, address: int = 0) -> Instruction:
+    """Decode 8 bytes back into an :class:`Instruction`.
+
+    Control-transfer targets are recovered as absolute addresses and
+    stored in ``imm`` (the symbolic label is gone after linking); the
+    ``target`` field is set to the rendered hex address for display.
+    """
+    if len(data) != INSTRUCTION_BYTES:
+        raise EncodingError(f"expected {INSTRUCTION_BYTES} bytes, got {len(data)}")
+    code, dest_b, src1_b, src2_b, imm = struct.unpack("<BBBBi", data)
+    opcode = OPCODE_BY_CODE.get(code)
+    if opcode is None:
+        raise EncodingError(f"unknown opcode byte 0x{code:02x}")
+    dest = _decode_reg(dest_b)
+    srcs = tuple(r for r in (_decode_reg(src1_b), _decode_reg(src2_b)) if r is not None)
+    target = None
+    if opcode in (Opcode.BRZ, Opcode.BRNZ, Opcode.JUMP, Opcode.CALL):
+        target = f"0x{address + imm:x}"
+    return Instruction(opcode=opcode, dest=dest, srcs=srcs, imm=imm, target=target)
+
+
+def patch_target(image: bytearray, inst_address: int, new_target_address: int) -> None:
+    """Rewrite the displacement of the control instruction at ``inst_address``.
+
+    This is the primitive post-link patch used to retarget launch
+    points: a single 4-byte store into the binary image.
+    """
+    displacement = new_target_address - inst_address
+    struct.pack_into("<i", image, inst_address + 4, displacement)

@@ -1,0 +1,110 @@
+"""Register model for the synthetic EPIC-like ISA.
+
+The machine has 64 general-purpose integer registers (``r0`` .. ``r63``)
+and 32 floating-point registers (``f0`` .. ``f31``).  A small calling
+convention is fixed here so that inter-procedural analyses (liveness at
+call sites, exit-block dummy consumers) have something concrete to work
+against:
+
+* ``r1`` .. ``r8``  — argument registers (caller sets, callee reads)
+* ``r1``            — integer return value
+* ``f1``            — floating-point return value
+* ``r60``           — stack pointer
+* ``r63``           — return-address register (written by ``call``)
+* ``r9`` .. ``r31`` and ``f2`` .. ``f15`` — caller-saved scratch
+* ``r32`` .. ``r59`` and ``f16`` .. ``f31`` — callee-saved
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet
+
+
+class RegClass(Enum):
+    """Architectural register file a register belongs to."""
+
+    INT = "r"
+    FLOAT = "f"
+
+
+INT_REG_COUNT = 64
+FLOAT_REG_COUNT = 32
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A single architectural register (e.g. ``r5`` or ``f2``)."""
+
+    cls: RegClass
+    index: int
+
+    def __lt__(self, other: "Reg") -> bool:
+        if not isinstance(other, Reg):
+            return NotImplemented
+        return (self.cls.value, self.index) < (other.cls.value, other.index)
+
+    def __post_init__(self) -> None:
+        limit = INT_REG_COUNT if self.cls is RegClass.INT else FLOAT_REG_COUNT
+        if not 0 <= self.index < limit:
+            raise ValueError(
+                f"register index {self.index} out of range for {self.cls.name}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.cls.value}{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def R(index: int) -> Reg:
+    """Shorthand constructor for an integer register."""
+    return Reg(RegClass.INT, index)
+
+
+def F(index: int) -> Reg:
+    """Shorthand constructor for a floating-point register."""
+    return Reg(RegClass.FLOAT, index)
+
+
+def parse_reg(text: str) -> Reg:
+    """Parse a register name such as ``"r12"`` or ``"f3"``.
+
+    Raises :class:`ValueError` for malformed names or out-of-range
+    indices.
+    """
+    text = text.strip().lower()
+    if len(text) < 2 or text[0] not in ("r", "f"):
+        raise ValueError(f"malformed register name: {text!r}")
+    try:
+        index = int(text[1:])
+    except ValueError as exc:
+        raise ValueError(f"malformed register name: {text!r}") from exc
+    cls = RegClass.INT if text[0] == "r" else RegClass.FLOAT
+    return Reg(cls, index)
+
+
+# Calling convention ---------------------------------------------------
+
+ARG_REGS: tuple = tuple(R(i) for i in range(1, 9))
+INT_RETURN_REG: Reg = R(1)
+FLOAT_RETURN_REG: Reg = F(1)
+STACK_POINTER: Reg = R(60)
+RETURN_ADDRESS_REG: Reg = R(63)
+
+CALLER_SAVED: FrozenSet[Reg] = frozenset(
+    [*(R(i) for i in range(1, 32)), *(F(i) for i in range(0, 16)), R(63)]
+)
+CALLEE_SAVED: FrozenSet[Reg] = frozenset(
+    [*(R(i) for i in range(32, 60)), *(F(i) for i in range(16, 32)), R(60)]
+)
+
+ALL_REGS: tuple = tuple(
+    [R(i) for i in range(INT_REG_COUNT)] + [F(i) for i in range(FLOAT_REG_COUNT)]
+)

@@ -1,0 +1,58 @@
+"""Optimizer: machine model, scheduling, layout, superblocks, sinking."""
+
+from .classic import (
+    ClassicReport,
+    constant_folding,
+    copy_propagation,
+    dead_code_elimination,
+    run_classic_passes,
+)
+from .depgraph import DependenceGraph, DepNode
+from .layout import LayoutResult, layout_package, package_weights
+from .machine import DEFAULT_LATENCIES, MachineDescription, TABLE2_MACHINE
+from .passes import (
+    OptimizationSummary,
+    PackageOptimizationReport,
+    baseline_block_costs,
+    optimize_package,
+    optimize_packages,
+    packed_block_costs,
+    region_taken_probabilities,
+)
+from .reorder import reorder_block, reorder_blocks, reorder_package
+from .schedule import Schedule, block_cycles, schedule_sequence
+from .sink import sink_cold_instructions
+from .superblock import Superblock, form_superblocks, per_block_costs, superblock_costs
+
+__all__ = [
+    "ClassicReport",
+    "constant_folding",
+    "copy_propagation",
+    "dead_code_elimination",
+    "run_classic_passes",
+    "DEFAULT_LATENCIES",
+    "DependenceGraph",
+    "DepNode",
+    "LayoutResult",
+    "MachineDescription",
+    "OptimizationSummary",
+    "PackageOptimizationReport",
+    "Schedule",
+    "Superblock",
+    "TABLE2_MACHINE",
+    "baseline_block_costs",
+    "block_cycles",
+    "form_superblocks",
+    "layout_package",
+    "optimize_package",
+    "optimize_packages",
+    "package_weights",
+    "packed_block_costs",
+    "per_block_costs",
+    "region_taken_probabilities",
+    "reorder_block",
+    "reorder_blocks",
+    "reorder_package",
+    "schedule_sequence",
+    "sink_cold_instructions",
+]

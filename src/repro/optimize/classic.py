@@ -1,0 +1,174 @@
+"""Classic clean-up optimizations over packages.
+
+The paper notes that beyond relayout and rescheduling, "various
+classic, ILP, and loop optimizations could also be applied to further
+improve the application's performance" (section 5.4) — and that
+packages are a *good* target for them because cold-path elimination
+removed the merge points that usually block them.  This module supplies
+the classic tier:
+
+* **local copy propagation** — forward ``mov d, s`` sources through a
+  block;
+* **local constant folding** — fold ``movi`` constants into dependent
+  immediate-form ALU operations;
+* **dead code elimination** — liveness-driven removal of instructions
+  whose results are never used (the CONSUME pseudo-ops at exits keep
+  everything the original code may still read alive, which is what
+  makes this sound inside a package).
+
+All three are conservative and semantics-preserving; the integration
+tests run the real interpreter over optimized packages to verify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.analysis.liveness import LivenessAnalysis, instruction_defs, instruction_uses
+from repro.isa.instructions import IMMEDIATE_ALU, Instruction, Opcode
+from repro.isa.registers import Reg
+from repro.packages.package import Package
+from repro.program.cfg import ControlFlowGraph
+
+
+@dataclass
+class ClassicReport:
+    """What the classic passes changed in one package."""
+
+    copies_propagated: int = 0
+    constants_folded: int = 0
+    dead_removed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.copies_propagated + self.constants_folded + self.dead_removed
+
+
+def copy_propagation(package: Package) -> int:
+    """Forward local copies: after ``mov d, s``, uses of ``d`` read ``s``.
+
+    Local (per-block) and killed by any redefinition of either side, so
+    it needs no global analysis to stay safe.
+    """
+    rewritten = 0
+    for block in package.blocks:
+        copies: Dict[Reg, Reg] = {}
+        for i, inst in enumerate(block.instructions):
+            if inst.srcs and not inst.is_pseudo:
+                new_srcs = tuple(copies.get(s, s) for s in inst.srcs)
+                if new_srcs != inst.srcs:
+                    block.instructions[i] = replace(inst, srcs=new_srcs)
+                    inst = block.instructions[i]
+                    rewritten += 1
+            for defined in instruction_defs(inst):
+                copies.pop(defined, None)
+                stale = [d for d, s in copies.items() if s == defined]
+                for d in stale:
+                    del copies[d]
+            if inst.opcode is Opcode.MOV and inst.dest != inst.srcs[0]:
+                copies[inst.dest] = inst.srcs[0]
+    return rewritten
+
+
+_FOLDABLE = {
+    Opcode.ADD: Opcode.ADDI,
+    Opcode.SUB: Opcode.SUBI,
+    Opcode.MUL: Opcode.MULI,
+    Opcode.AND: Opcode.ANDI,
+    Opcode.OR: Opcode.ORI,
+    Opcode.XOR: Opcode.XORI,
+}
+
+_IMM_LIMIT = 1 << 31
+
+
+def constant_folding(package: Package) -> int:
+    """Fold locally known ``movi`` constants into immediate ALU forms.
+
+    ``movi r1, 5; add r2, r3, r1`` becomes ``addi r2, r3, 5`` (the movi
+    itself is left for DCE to collect if it becomes dead).
+    """
+    folded = 0
+    for block in package.blocks:
+        constants: Dict[Reg, int] = {}
+        for i, inst in enumerate(block.instructions):
+            op = inst.opcode
+            if (
+                op in _FOLDABLE
+                and len(inst.srcs) == 2
+                and inst.srcs[1] in constants
+                and abs(constants[inst.srcs[1]]) < _IMM_LIMIT
+            ):
+                value = constants[inst.srcs[1]]
+                block.instructions[i] = replace(
+                    inst,
+                    opcode=_FOLDABLE[op],
+                    srcs=(inst.srcs[0],),
+                    imm=value,
+                )
+                inst = block.instructions[i]
+                folded += 1
+            for defined in instruction_defs(inst):
+                constants.pop(defined, None)
+            if op is Opcode.MOVI:
+                constants[inst.dest] = inst.imm
+    return folded
+
+
+def _has_side_effects(inst: Instruction) -> bool:
+    return inst.is_control or inst.is_store or inst.is_pseudo
+
+
+def dead_code_elimination(package: Package) -> int:
+    """Remove instructions whose results are provably never read.
+
+    Iterates liveness + sweep to a fixed point (removing one dead
+    instruction can make its inputs' producers dead too).
+
+    Blocks that leave the package — returns, halts, and cross-function
+    side exits — are treated as using *every* register: the code that
+    runs afterwards (the caller, or original cold code) is outside this
+    analysis, so only values provably overwritten or consumed within
+    the package may be considered dead.  This is deliberately more
+    conservative than the exit blocks' CONSUME lists, which describe
+    intra-procedural liveness only.
+    """
+    from repro.isa.registers import ALL_REGS
+
+    entry = next(iter(package.entry_map), package.blocks[0].label)
+    boundary = frozenset(ALL_REGS)
+    removed_total = 0
+    while True:
+        cfg = ControlFlowGraph(package.blocks, entry)
+        liveness = LivenessAnalysis(cfg, boundary=boundary)
+        removed = 0
+        for block in package.blocks:
+            live = set(liveness.live_out(block.label))
+            keep = []
+            for inst in reversed(block.instructions):
+                defs = instruction_defs(inst)
+                if (
+                    not _has_side_effects(inst)
+                    and inst.dest is not None
+                    and not (set(defs) & live)
+                ):
+                    removed += 1
+                    continue
+                keep.append(inst)
+                live -= set(defs)
+                live |= set(instruction_uses(inst))
+            keep.reverse()
+            block.instructions[:] = keep
+        removed_total += removed
+        if not removed:
+            return removed_total
+
+
+def run_classic_passes(package: Package) -> ClassicReport:
+    """Copy propagation, folding, then DCE (in that order)."""
+    report = ClassicReport()
+    report.copies_propagated = copy_propagation(package)
+    report.constants_folded = constant_folding(package)
+    report.dead_removed = dead_code_elimination(package)
+    return report

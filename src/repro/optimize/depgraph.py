@@ -1,0 +1,127 @@
+"""Dependence graphs over straight-line instruction sequences.
+
+Used by the list scheduler for both single blocks and superblocks.
+Edges:
+
+* register RAW / WAR / WAW (call instructions use the calling
+  convention's use/def sets);
+* conservative memory ordering: store->store, store->load, load->store;
+* control ordering: branches stay in order; stores, calls, and pseudo
+  consumers never move above an earlier branch (loads and plain ALU
+  operations may — the paper's compiler schedules with *control
+  speculation*, and package formation relies on the same freedom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.analysis.liveness import instruction_defs, instruction_uses
+from repro.isa.instructions import Instruction
+
+from .machine import MachineDescription
+
+
+@dataclass
+class DepNode:
+    """One instruction in the dependence DAG."""
+
+    index: int
+    inst: Instruction
+    succs: Dict[int, int] = field(default_factory=dict)  # succ index -> latency
+    pred_count: int = 0
+    height: int = 0  # critical-path height (scheduling priority)
+
+
+class DependenceGraph:
+    """DAG over one instruction sequence."""
+
+    def __init__(self, instructions: Sequence[Instruction], machine: MachineDescription):
+        self.machine = machine
+        self.nodes: List[DepNode] = [
+            DepNode(i, inst) for i, inst in enumerate(instructions)
+        ]
+        self._build()
+        self._compute_heights()
+
+    def _add_edge(self, src: int, dst: int, latency: int) -> None:
+        node = self.nodes[src]
+        existing = node.succs.get(dst)
+        if existing is None:
+            node.succs[dst] = latency
+            self.nodes[dst].pred_count += 1
+        elif latency > existing:
+            node.succs[dst] = latency
+
+    def _build(self) -> None:
+        last_def: Dict = {}
+        last_uses: Dict = {}
+        last_store = -1
+        last_branch = -1
+        pending_loads: List[int] = []
+
+        for i, node in enumerate(self.nodes):
+            inst = node.inst
+            latency = self.machine.latency(inst)
+            uses = instruction_uses(inst)
+            defs = instruction_defs(inst)
+
+            for reg in uses:  # RAW
+                if reg in last_def:
+                    src = last_def[reg]
+                    self._add_edge(src, i, self.machine.latency(self.nodes[src].inst))
+            for reg in defs:  # WAW / WAR
+                if reg in last_def:
+                    self._add_edge(last_def[reg], i, 1)
+                for user in last_uses.get(reg, ()):
+                    if user != i:
+                        self._add_edge(user, i, 0)
+
+            if inst.is_store:
+                if last_store >= 0:
+                    self._add_edge(last_store, i, 1)
+                for load in pending_loads:
+                    self._add_edge(load, i, 0)
+                pending_loads = []
+                last_store = i
+            elif inst.is_load:
+                if last_store >= 0:
+                    self._add_edge(
+                        last_store, i, self.machine.latency(self.nodes[last_store].inst)
+                    )
+                pending_loads.append(i)
+
+            speculation_barrier = inst.is_store or inst.is_call or inst.is_pseudo
+            if inst.is_control:
+                # Branches stay ordered among themselves and after the
+                # instructions the previous branch guarded.
+                if last_branch >= 0:
+                    self._add_edge(last_branch, i, 1)
+                last_branch = i
+            elif speculation_barrier and last_branch >= 0:
+                self._add_edge(last_branch, i, 1)
+
+            for reg in defs:
+                last_def[reg] = i
+                last_uses[reg] = []
+            for reg in uses:
+                last_uses.setdefault(reg, []).append(i)
+
+        # Memory and register state must be final before a terminator
+        # leaves the sequence: order the last store before the last branch.
+        if last_branch >= 0 and last_store >= 0 and last_store < last_branch:
+            self._add_edge(last_store, last_branch, 0)
+
+    def _compute_heights(self) -> None:
+        for node in reversed(self.nodes):
+            height = 0
+            for succ, latency in node.succs.items():
+                height = max(height, self.nodes[succ].height + max(latency, 1))
+            node.height = height
+
+    def roots(self) -> List[int]:
+        return [n.index for n in self.nodes if n.pred_count == 0]
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,248 @@
+"""Code layout for packages (paper section 5.4, "package relayout").
+
+Greedy hot-path chaining in the Pettis-Hansen style:
+
+1. estimate block/arc weights from the package's own CFG and the
+   region's recorded taken probabilities;
+2. chain blocks along the heaviest arcs.  A conditional branch and its
+   one-jump fall-through *trampoline* (see the inliner) form a glued
+   unit whose tail may chain to **either** successor — the fall-through
+   destination, or the taken destination via *branch inversion*;
+3. emit chains entry-first, then heaviest-head first;
+4. clean up: apply the inversions the chains chose (flip ``brz`` <->
+   ``brnz`` and swap the two targets) and delete jumps whose target
+   ended up adjacent.
+
+Branch inversion flips the opcode so real semantics stay correct for
+the interpreter, and tags the block with ``meta['branch_inverted']`` so
+the behavioral executor keeps mapping the *original* taken direction
+onto the right successor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.weights import estimate_weights
+from repro.isa.instructions import Opcode
+from repro.packages.package import Package
+from repro.program.cfg import ArcKind, ControlFlowGraph, is_cross_function
+
+_INVERSE = {Opcode.BRZ: Opcode.BRNZ, Opcode.BRNZ: Opcode.BRZ}
+
+
+@dataclass
+class LayoutResult:
+    """Statistics of one layout run."""
+
+    chains: int = 0
+    jumps_removed: int = 0
+    branches_inverted: int = 0
+
+
+def package_weights(package: Package, taken_prob: Dict[int, float]):
+    """Block weights of a package CFG.
+
+    ``taken_prob`` maps *branch origin uids* to recorded taken
+    probabilities (from the hot-spot record); unknown branches default
+    to 50/50 inside the weight solver.  Previously inverted branches
+    flip their probability so it describes the physical taken arc.
+    """
+    cfg = ControlFlowGraph(package.blocks, next(iter(package.entry_map), None))
+    label_prob: Dict[str, float] = {}
+    for block in package.blocks:
+        term = block.terminator
+        if term is not None and term.is_conditional_branch:
+            prob = taken_prob.get(term.root_origin())
+            if prob is not None:
+                if block.meta.get("branch_inverted"):
+                    prob = 1.0 - prob
+                label_prob[block.label] = prob
+    entry_weights = {label: 1.0 for label in package.entry_map}
+    if not entry_weights:
+        entry_weights = {package.blocks[0].label: 1.0}
+    return cfg, estimate_weights(cfg, label_prob, entry_weights=entry_weights)
+
+
+@dataclass
+class _BranchUnit:
+    """A conditional branch block glued to its fall-through trampoline."""
+
+    branch_label: str
+    trampoline_label: str
+    taken_target: str
+    fall_target: str
+
+
+def _find_branch_units(package: Package, cfg: ControlFlowGraph) -> Dict[str, _BranchUnit]:
+    """Map trampoline label -> unit, for invertible branch/trampoline pairs."""
+    units: Dict[str, _BranchUnit] = {}
+    blocks = package.blocks
+    for i, block in enumerate(blocks[:-1]):
+        term = block.terminator
+        if term is None or not term.is_conditional_branch:
+            continue
+        if is_cross_function(term.target):
+            continue  # patched launch point: leave alone
+        trampoline = blocks[i + 1]
+        tramp_term = trampoline.terminator
+        if (
+            tramp_term is None
+            or tramp_term.opcode is not Opcode.JUMP
+            or len(trampoline.instructions) != 1
+            or is_cross_function(tramp_term.target)
+        ):
+            continue
+        fall_arc = cfg.arc(block.label, trampoline.label)
+        if fall_arc is None or fall_arc.kind is not ArcKind.FALLTHROUGH:
+            continue
+        units[trampoline.label] = _BranchUnit(
+            branch_label=block.label,
+            trampoline_label=trampoline.label,
+            taken_target=term.target,
+            fall_target=tramp_term.target,
+        )
+    return units
+
+
+def layout_package(
+    package: Package, taken_prob: Optional[Dict[int, float]] = None
+) -> LayoutResult:
+    """Re-lay-out a package's blocks in place."""
+    result = LayoutResult()
+    taken_prob = taken_prob or {}
+    cfg, weights = package_weights(package, taken_prob)
+    units = _find_branch_units(package, cfg)
+
+    order, inversions = _chain_order(package, cfg, weights, units, result)
+    package.blocks = [cfg.by_label[label] for label in order]
+    _apply_inversions(package, units, inversions, result)
+    _remove_adjacent_jumps(package, result)
+    return result
+
+
+def _chain_order(
+    package, cfg, weights, units, result
+) -> Tuple[List[str], Set[str]]:
+    labels = [b.label for b in package.blocks]
+    next_in_chain: Dict[str, str] = {}
+    prev_in_chain: Dict[str, str] = {}
+    inversions: Set[str] = set()  # trampoline labels whose unit inverts
+
+    # Mandatory glue: fallthrough and call-return successors must stay
+    # physically adjacent.
+    for arc in cfg.arcs:
+        if arc.kind is ArcKind.TAKEN:
+            continue
+        next_in_chain[arc.src] = arc.dst
+        prev_in_chain[arc.dst] = arc.src
+
+    # Candidate arcs: (weight, src, dst, inverts-unit?).  A jump block's
+    # target may follow it; a branch unit's trampoline may be followed
+    # by either branch destination (following the taken one inverts).
+    candidates: List[Tuple[float, str, str, bool]] = []
+    for arc in cfg.arcs:
+        if arc.kind is not ArcKind.TAKEN:
+            continue
+        unit = None
+        src_block = cfg.by_label[arc.src]
+        term = src_block.terminator
+        if term is not None and term.is_conditional_branch:
+            # Taken arc of a branch: only placeable via its unit.
+            for candidate_unit in units.values():
+                if candidate_unit.branch_label == arc.src:
+                    unit = candidate_unit
+                    break
+            if unit is None:
+                continue
+            candidates.append(
+                (weights.arc_weight(arc.src, arc.dst), unit.trampoline_label,
+                 arc.dst, True)
+            )
+        else:
+            candidates.append(
+                (weights.arc_weight(arc.src, arc.dst), arc.src, arc.dst, False)
+            )
+
+    candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+    for weight, src, dst, inverts in candidates:
+        if src in next_in_chain or dst in prev_in_chain:
+            continue
+        if src == dst:
+            continue
+        if _would_close_cycle(next_in_chain, src, dst):
+            continue
+        next_in_chain[src] = dst
+        prev_in_chain[dst] = src
+        if inverts:
+            inversions.add(src)  # src is the trampoline label
+
+    entry_labels = set(package.entry_map)
+    heads = [l for l in labels if l not in prev_in_chain]
+
+    def chain_key(head: str):
+        is_entry_chain = 0 if _chain_contains(next_in_chain, head, entry_labels) else 1
+        return (is_entry_chain, -weights.weight(head), head)
+
+    order: List[str] = []
+    for head in sorted(heads, key=chain_key):
+        label: Optional[str] = head
+        while label is not None:
+            order.append(label)
+            label = next_in_chain.get(label)
+    result.chains = len(heads)
+    return order, inversions
+
+
+def _chain_contains(next_in_chain, head, wanted) -> bool:
+    label = head
+    while label is not None:
+        if label in wanted:
+            return True
+        label = next_in_chain.get(label)
+    return False
+
+
+def _would_close_cycle(next_in_chain, src, dst) -> bool:
+    label = dst
+    while label is not None:
+        if label == src:
+            return True
+        label = next_in_chain.get(label)
+    return False
+
+
+def _apply_inversions(package, units, inversions, result) -> None:
+    """Flip the branches whose taken destination was chained after the
+    trampoline."""
+    by_label = {b.label: b for b in package.blocks}
+    for trampoline_label in inversions:
+        unit = units[trampoline_label]
+        branch_block = by_label[unit.branch_label]
+        trampoline = by_label[unit.trampoline_label]
+        term = branch_block.terminator
+        tramp_term = trampoline.terminator
+        inverted = replace(
+            term, opcode=_INVERSE[term.opcode], target=unit.fall_target
+        )
+        branch_block.instructions[-1] = inverted
+        trampoline.instructions[-1] = tramp_term.retargeted(unit.taken_target)
+        branch_block.meta["branch_inverted"] = not branch_block.meta.get(
+            "branch_inverted", False
+        )
+        result.branches_inverted += 1
+
+
+def _remove_adjacent_jumps(package, result) -> None:
+    """Drop ``jump X`` when ``X`` is the next block in layout."""
+    blocks = package.blocks
+    for i, block in enumerate(blocks[:-1]):
+        term = block.terminator
+        if term is None or term.opcode is not Opcode.JUMP:
+            continue
+        if is_cross_function(term.target):
+            continue
+        if blocks[i + 1].label == term.target:
+            block.instructions.pop()
+            result.jumps_removed += 1

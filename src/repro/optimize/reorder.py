@@ -1,0 +1,51 @@
+"""Physical instruction rescheduling within blocks.
+
+The list scheduler (:mod:`repro.optimize.schedule`) computes issue
+cycles; this pass *realizes* them by reordering each block's body into
+schedule order (stable on ties), keeping the terminator last.  The
+dependence graph already encodes every register and memory constraint,
+so the permutation is semantics-preserving — and it is what makes the
+schedule visible to a real in-order machine (see
+:mod:`repro.cpu.pipeline`), not just to the analytical cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.packages.package import Package
+from repro.program.block import BasicBlock
+
+from .machine import MachineDescription, TABLE2_MACHINE
+from .schedule import schedule_sequence
+
+
+def reorder_block(
+    block: BasicBlock, machine: MachineDescription = TABLE2_MACHINE
+) -> bool:
+    """Reorder one block's body into schedule order; True if changed."""
+    term = block.terminator
+    body = block.body
+    if len(body) < 2:
+        return False
+    schedule = schedule_sequence(body, machine)
+    order = sorted(range(len(body)), key=lambda i: (schedule.cycle_of(i), i))
+    if order == list(range(len(body))):
+        return False
+    new_body = [body[i] for i in order]
+    block.instructions[:] = new_body + ([term] if term is not None else [])
+    return True
+
+
+def reorder_package(
+    package: Package, machine: MachineDescription = TABLE2_MACHINE
+) -> int:
+    """Reorder every block of a package; returns blocks changed."""
+    return sum(1 for block in package.blocks if reorder_block(block, machine))
+
+
+def reorder_blocks(
+    blocks: Sequence[BasicBlock], machine: MachineDescription = TABLE2_MACHINE
+) -> int:
+    """Reorder a plain block list (used on whole functions in tests)."""
+    return sum(1 for block in blocks if reorder_block(block, machine))

@@ -1,0 +1,108 @@
+"""List scheduler for the Table 2 EPIC machine.
+
+Cycle-by-cycle list scheduling with critical-path priority: at each
+cycle, ready instructions issue in height order while issue slots and
+functional units last.  Works over a single basic block or over a
+superblock (a straight-line sequence with side-exit branches — the
+dependence graph already encodes which motions are legal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.instructions import Instruction
+
+from .depgraph import DependenceGraph
+from .machine import MachineDescription, TABLE2_MACHINE
+
+
+@dataclass
+class Schedule:
+    """Result of scheduling one instruction sequence."""
+
+    issue_cycle: Dict[int, int] = field(default_factory=dict)  # index -> cycle
+    length: int = 0  # total cycles (last issue + 1); at least 1
+
+    def cycle_of(self, index: int) -> int:
+        return self.issue_cycle[index]
+
+
+def schedule_sequence(
+    instructions: Sequence[Instruction],
+    machine: MachineDescription = TABLE2_MACHINE,
+) -> Schedule:
+    """Schedule one straight-line sequence; returns issue cycles."""
+    real = [inst for inst in instructions]
+    if not real:
+        return Schedule(length=0)
+
+    graph = DependenceGraph(real, machine)
+    ready_cycle = [0] * len(real)
+    pred_left = [node.pred_count for node in graph.nodes]
+    ready: List[int] = [i for i, left in enumerate(pred_left) if left == 0]
+
+    schedule = Schedule()
+    cycle = 0
+    scheduled = 0
+    guard = 0
+    while scheduled < len(real):
+        guard += 1
+        if guard > 10 * len(real) + 1000:  # pragma: no cover - safety net
+            raise RuntimeError("scheduler failed to make progress")
+        issue_budget = machine.issue_width
+        unit_budget = {
+            "ialu": machine.ialu_units,
+            "fpu": machine.fpu_units,
+            "mem": machine.mem_units,
+            "branch": machine.branch_units,
+        }
+        # Highest critical path first; original order breaks ties.
+        candidates = sorted(
+            (i for i in ready if ready_cycle[i] <= cycle),
+            key=lambda i: (-graph.nodes[i].height, i),
+        )
+        for index in candidates:
+            inst = graph.nodes[index].inst
+            if inst.is_pseudo:
+                # Pseudo consumers occupy no resources.
+                schedule.issue_cycle[index] = cycle
+            else:
+                unit = machine.unit_class(inst)
+                if issue_budget <= 0 or unit_budget.get(unit, 0) <= 0:
+                    continue
+                issue_budget -= 1
+                unit_budget[unit] -= 1
+                schedule.issue_cycle[index] = cycle
+            scheduled += 1
+            ready.remove(index)
+            for succ, latency in graph.nodes[index].succs.items():
+                pred_left[succ] -= 1
+                ready_cycle[succ] = max(ready_cycle[succ], cycle + latency)
+                if pred_left[succ] == 0:
+                    ready.append(succ)
+        if scheduled == len(real):
+            break
+        cycle += 1
+
+    # Pseudo instructions (dummy consumers) occupy no pipeline slot;
+    # the sequence's length is defined by its real instructions.
+    real_cycles = [
+        cycle
+        for index, cycle in schedule.issue_cycle.items()
+        if not graph.nodes[index].inst.is_pseudo
+    ]
+    schedule.length = (max(real_cycles) + 1) if real_cycles else 0
+    return schedule
+
+
+def block_cycles(
+    instructions: Sequence[Instruction],
+    machine: MachineDescription = TABLE2_MACHINE,
+) -> int:
+    """Schedule length of one block (1 minimum for non-empty blocks)."""
+    real = [inst for inst in instructions if not inst.is_pseudo]
+    if not real:
+        return 0
+    return schedule_sequence(instructions, machine).length

@@ -1,0 +1,121 @@
+"""Cold-instruction sinking into exit blocks (paper section 5.4).
+
+"Further compaction of the code schedule may be achieved by a
+redundancy-elimination optimization that moves cold instructions
+(those whose results are not consumed within the hot package) to the
+side exit block."
+
+An instruction is sunk when its result is dead on every in-package
+path and live only into exit blocks; it is then removed from the hot
+block and re-materialized at the top of each exit block that needs it
+(duplicating across exits when necessary).  The CONSUME pseudo-ops
+placed by pruning are what makes the liveness query sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.liveness import LivenessAnalysis, instruction_defs, instruction_uses
+from repro.isa.instructions import Instruction, Opcode
+from repro.packages.package import Package
+from repro.program.cfg import ControlFlowGraph
+
+
+def _is_exit_block(block) -> bool:
+    return bool(block.meta.get("exit"))
+
+
+def _resolve_through_jumps(cfg: ControlFlowGraph, label: str, limit: int = 8) -> str:
+    """Follow single-jump trampolines to the real destination."""
+    current = label
+    for _ in range(limit):
+        block = cfg.by_label[current]
+        term = block.terminator
+        if (
+            len(block.instructions) == 1
+            and term is not None
+            and term.opcode is Opcode.JUMP
+            and term.target in cfg
+        ):
+            current = term.target
+        else:
+            return current
+    return current
+
+
+def sink_cold_instructions(package: Package) -> int:
+    """Run the sinking pass in place; returns instructions moved."""
+    entry = next(iter(package.entry_map), package.blocks[0].label)
+    cfg = ControlFlowGraph(package.blocks, entry)
+    liveness = LivenessAnalysis(cfg)
+    moved = 0
+
+    for block in package.blocks:
+        if _is_exit_block(block) or not block.instructions:
+            continue
+        moved += _sink_from_block(package, cfg, liveness, block)
+    return moved
+
+
+def _sink_from_block(package, cfg, liveness, block) -> int:
+    exit_succs: List[str] = []
+    hot_succs: List[str] = []
+    for arc in cfg.successors(block.label):
+        resolved = _resolve_through_jumps(cfg, arc.dst)
+        target_block = cfg.by_label[resolved]
+        if _is_exit_block(target_block):
+            exit_succs.append(resolved)
+        else:
+            hot_succs.append(arc.dst)
+    if not exit_succs:
+        return 0
+
+    body = block.instructions
+    term = block.terminator
+    limit = len(body) - (1 if term is not None else 0)
+
+    sinkable: Dict[int, List[str]] = {}
+    for i in range(limit - 1, -1, -1):
+        inst = body[i]
+        if (
+            inst.is_control
+            or inst.is_store
+            or inst.is_pseudo
+            or inst.dest is None
+        ):
+            continue
+        dest = inst.dest
+        later = body[i + 1 :]
+        if any(dest in instruction_uses(x) for x in later):
+            continue
+        if any(dest in instruction_defs(x) for x in later):
+            continue
+        if any(
+            set(instruction_defs(x)) & set(instruction_uses(inst)) for x in later
+        ):
+            continue
+        if any(dest in liveness.live_in(s) for s in hot_succs):
+            continue
+        receivers = [s for s in exit_succs if dest in liveness.live_in(s)]
+        if not receivers:
+            continue
+        sinkable[i] = receivers
+
+    if not sinkable:
+        return 0
+
+    moved = 0
+    # Collect per receiver in original order, then remove bottom-up so
+    # indices stay valid.
+    staged: Dict[str, List[Instruction]] = {}
+    for i in sorted(sinkable):
+        for receiver in sinkable[i]:
+            staged.setdefault(receiver, []).append(body[i].clone())
+    for i in sorted(sinkable, reverse=True):
+        del body[i]
+        moved += 1
+    for receiver, instructions in staged.items():
+        target_block = cfg.by_label[receiver]
+        target_block.instructions[0:0] = instructions
+    return moved

@@ -1,0 +1,44 @@
+"""Package construction: pruning, roots, partial inlining, linking (paper 3.3)."""
+
+from .construct import (
+    PackagedProgramPlan,
+    RegionPackages,
+    construct_all,
+    construct_packages,
+)
+from .inlining import PackageBuilder, build_package
+from .linking import Link, apply_links, compute_links, find_link_target
+from .ordering import OrderedGroup, group_by_root, order_group, order_packages, rank_ordering
+from .package import BranchInstance, Package, PackageExit
+from .pruning import BlockPlan, ExitPlan, PrunedFunction, prune_function, prune_region
+from .roots import RootInfo, entry_blocks, inlinable_functions, select_roots
+
+__all__ = [
+    "BlockPlan",
+    "BranchInstance",
+    "ExitPlan",
+    "Link",
+    "OrderedGroup",
+    "Package",
+    "PackageBuilder",
+    "PackageExit",
+    "PackagedProgramPlan",
+    "PrunedFunction",
+    "RegionPackages",
+    "RootInfo",
+    "apply_links",
+    "build_package",
+    "compute_links",
+    "construct_all",
+    "construct_packages",
+    "entry_blocks",
+    "find_link_target",
+    "group_by_root",
+    "inlinable_functions",
+    "order_group",
+    "order_packages",
+    "prune_function",
+    "prune_region",
+    "rank_ordering",
+    "select_roots",
+]

@@ -1,0 +1,314 @@
+"""Partial inlining and package assembly (paper section 3.3.3).
+
+"The inlining process successively progresses through root functions of
+the call graph producing individual packages for the region ...  When
+partial inlining is performed, the blocks of the callee reachable from
+the prologue are inlined as normal into the caller while any other
+disjoint segments are discarded ...  The inlining process continues for
+this root function until its out-going arcs are exhausted."
+
+Assembly style: every intra-package transfer is an explicit jump (a
+conditional branch gets a one-jump *trampoline* for its fall-through
+side), so block emission order never affects semantics.  The layout
+pass (:mod:`repro.optimize.layout`) later chains blocks to turn hot
+jumps back into fallthroughs and deletes the trampolines it absorbs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.program.block import BasicBlock
+from repro.program.cfg import cross_function_target
+from repro.regions.region import HotRegion
+
+from .package import BranchInstance, Location, Package, PackageExit
+from .pruning import BlockPlan, ExitPlan, PrunedFunction
+
+#: Hard bound on inlining depth; cycles in the region call graph are
+#: already cut by the chain-occurrence rule, this is a safety net.
+MAX_INLINE_DEPTH = 32
+
+
+class PackageBuilder:
+    """Builds one package by partially inlining from a root function."""
+
+    def __init__(
+        self,
+        region: HotRegion,
+        pruned: Dict[str, PrunedFunction],
+        inlinable: frozenset,
+        name: str,
+        root: str,
+    ):
+        self.region = region
+        self.pruned = pruned
+        self.inlinable = inlinable
+        self.package = Package(name=name, region_index=region.record.index, root=root)
+        self._instances = itertools.count()
+
+    # -- public -------------------------------------------------------
+    def build(self) -> Package:
+        root_template = self.pruned[self.package.root]
+        starts = root_template.entry_labels or [root_template.order[0]]
+        label_map = self._emit_body(
+            fn_name=self.package.root,
+            starts=starts,
+            context=(),
+            cont_frames=(),
+            ret_target=None,
+            chain=(self.package.root,),
+        )
+        for entry in starts:
+            if entry in label_map:
+                self.package.entry_map[label_map[entry]] = (
+                    self.package.root,
+                    entry,
+                )
+        return self.package
+
+    # -- body emission ----------------------------------------------------
+    def _emit_body(
+        self,
+        fn_name: str,
+        starts: List[str],
+        context: tuple,
+        cont_frames: Tuple[Location, ...],
+        ret_target: Optional[str],
+        chain: Tuple[str, ...],
+    ) -> Dict[str, str]:
+        """Emit one instance of a pruned function; returns its label map."""
+        template = self.pruned[fn_name]
+        original_cfg = self.region.program.function(fn_name).cfg
+        labels = template.reachable_from(starts)
+        prefix = f"{self.package.name}_i{next(self._instances)}"
+        label_map = {label: f"{prefix}_{label}" for label in labels}
+
+        for label in labels:
+            plan = template.plans[label]
+            origin_block = original_cfg.by_label[label]
+            new_label = label_map[label]
+            body = [inst.clone() for inst in origin_block.body]
+            self._index_block(fn_name, label, context, new_label)
+
+            if plan.call_target is not None:
+                self._emit_call_block(
+                    fn_name, plan, origin_block, new_label, body, label_map,
+                    context, cont_frames, chain,
+                )
+            elif plan.has_conditional_branch:
+                self._emit_branch_block(
+                    plan, origin_block, new_label, body, label_map,
+                    context, cont_frames,
+                )
+            elif plan.taken_to is not None or plan.taken_exit is not None:
+                # Unconditional jump block.
+                target = self._resolve(
+                    plan.taken_to, plan.taken_exit, new_label, label_map,
+                    context, cont_frames, branch_origin=None,
+                )
+                body.append(Instruction(Opcode.JUMP, target=target))
+                self._append(BasicBlock(new_label, body, origin=origin_block.uid,
+                                        context=context))
+            elif plan.is_return:
+                if ret_target is None:
+                    body.append(origin_block.terminator.clone())
+                else:
+                    body.append(Instruction(Opcode.JUMP, target=ret_target))
+                self._append(BasicBlock(new_label, body, origin=origin_block.uid,
+                                        context=context))
+            elif plan.is_halt:
+                body.append(origin_block.terminator.clone())
+                self._append(BasicBlock(new_label, body, origin=origin_block.uid,
+                                        context=context))
+            else:
+                # Plain fallthrough block: make the transfer explicit.
+                target = self._resolve(
+                    plan.fall_to, plan.fall_exit, new_label, label_map,
+                    context, cont_frames, branch_origin=None,
+                )
+                body.append(Instruction(Opcode.JUMP, target=target))
+                self._append(BasicBlock(new_label, body, origin=origin_block.uid,
+                                        context=context))
+        return label_map
+
+    # -- block kinds ----------------------------------------------------
+    def _emit_branch_block(
+        self, plan, origin_block, new_label, body, label_map, context, cont_frames
+    ) -> None:
+        branch = origin_block.terminator.clone()
+        branch_origin = branch.root_origin()
+        taken_target = self._resolve(
+            plan.taken_to, plan.taken_exit, new_label, label_map,
+            context, cont_frames, branch_origin=branch_origin,
+        )
+        fall_target = self._resolve(
+            plan.fall_to, plan.fall_exit, new_label, label_map,
+            context, cont_frames, branch_origin=branch_origin,
+        )
+        body.append(branch.retargeted(taken_target))
+        block = BasicBlock(new_label, body, origin=origin_block.uid, context=context)
+        self._append(block)
+        # Fall-through trampoline immediately after the branch.
+        tramp = BasicBlock(
+            f"{new_label}_ft",
+            [Instruction(Opcode.JUMP, target=fall_target)],
+            context=context,
+        )
+        self._append(tramp)
+
+        bias = plan.bias() or "U"
+        exit_label = None
+        if bias == "T" and plan.fall_exit is not None:
+            exit_label = fall_target
+        elif bias == "F" and plan.taken_exit is not None:
+            exit_label = taken_target
+        self.package.branch_instances.append(
+            BranchInstance(
+                origin_uid=branch_origin,
+                context=context,
+                bias=bias,
+                block_label=new_label,
+                exit_label=exit_label,
+            )
+        )
+
+    def _emit_call_block(
+        self, fn_name, plan, origin_block, new_label, body, label_map,
+        context, cont_frames, chain,
+    ) -> None:
+        call_inst = origin_block.terminator
+        callee = plan.call_target
+        return_target = self._resolve(
+            plan.fall_to, plan.fall_exit, new_label, label_map,
+            context, cont_frames, branch_origin=None,
+        )
+        if self._may_inline(callee, chain):
+            # Replace the call with a jump into the inlined prologue;
+            # the callee instance's returns jump to the return target.
+            # The call block itself is spliced in *front* of the callee
+            # blocks once the prologue copy's label is known (the mark
+            # is a local, so nested inlining cannot clobber it).
+            callee_template = self.pruned[callee]
+            original_fall = self._original_fall_label(fn_name, origin_block.label)
+            callee_frames = cont_frames + ((fn_name, original_fall),)
+            mark = len(self.package.blocks)
+            callee_map = self._emit_body(
+                callee, [callee_template.prologue_label],
+                context + (call_inst.uid,), callee_frames,
+                return_target, chain + (callee,),
+            )
+            prologue_copy = callee_map[callee_template.prologue_label]
+            body.append(Instruction(Opcode.JUMP, target=prologue_copy))
+            block = BasicBlock(
+                new_label, body, origin=origin_block.uid, context=context
+            )
+            self.package.blocks.insert(mark, block)
+        else:
+            body.append(call_inst.clone())
+            block = BasicBlock(
+                new_label, body, origin=origin_block.uid, context=context
+            )
+            self._append(block)
+            tramp = BasicBlock(
+                f"{new_label}_ft",
+                [Instruction(Opcode.JUMP, target=return_target)],
+                context=context,
+            )
+            self._append(tramp)
+
+    # -- helpers -----------------------------------------------------------
+    def _may_inline(self, callee: str, chain: Tuple[str, ...]) -> bool:
+        if callee not in self.pruned or callee not in self.inlinable:
+            return False
+        if len(chain) >= MAX_INLINE_DEPTH:
+            return False
+        limit = 2 if callee == self.package.root else 1
+        return chain.count(callee) < limit
+
+    def _original_fall_label(self, fn_name: str, call_label: str) -> str:
+        """The original return point after a call block (layout successor)."""
+        blocks = self.region.program.function(fn_name).blocks
+        for i, block in enumerate(blocks):
+            if block.label == call_label:
+                return blocks[i + 1].label
+        raise KeyError(call_label)  # pragma: no cover - structural invariant
+
+    def _resolve(
+        self,
+        to_label: Optional[str],
+        exit_plan: Optional[ExitPlan],
+        new_label: str,
+        label_map: Dict[str, str],
+        context: tuple,
+        cont_frames: Tuple[Location, ...],
+        branch_origin: Optional[int],
+    ) -> str:
+        """Resolve a plan direction to a package label, creating the
+        exit block when the direction leaves the region."""
+        if to_label is not None:
+            return label_map[to_label]
+        assert exit_plan is not None
+        return self._emit_exit(new_label, exit_plan, context, cont_frames, branch_origin)
+
+    def _emit_exit(
+        self,
+        from_label: str,
+        exit_plan: ExitPlan,
+        context: tuple,
+        cont_frames: Tuple[Location, ...],
+        branch_origin: Optional[int],
+    ) -> str:
+        suffix = {"taken": "xt", "fallthrough": "xf", "jump": "xj",
+                  "fall": "xn", "call_return": "xc"}[exit_plan.direction]
+        label = f"{from_label}_{suffix}"
+        instructions = []
+        if exit_plan.live:
+            instructions.append(
+                Instruction(Opcode.CONSUME, srcs=tuple(sorted(exit_plan.live)))
+            )
+        target_fn, target_label = exit_plan.target
+        instructions.append(
+            Instruction(
+                Opcode.JUMP, target=cross_function_target(target_fn, target_label)
+            )
+        )
+        block = BasicBlock(
+            label,
+            instructions,
+            context=context,
+            continuations=tuple(cont_frames),
+            meta={"exit": True},
+        )
+        self._append(block)
+        self.package.exits.append(
+            PackageExit(
+                label=label,
+                target=exit_plan.target,
+                direction=exit_plan.direction,
+                context=context,
+                branch_origin=branch_origin,
+            )
+        )
+        return label
+
+    def _index_block(
+        self, fn_name: str, label: str, context: tuple, new_label: str
+    ) -> None:
+        self.package.location_index[((fn_name, label), context)] = new_label
+
+    def _append(self, block: BasicBlock) -> None:
+        self.package.blocks.append(block)
+
+
+def build_package(
+    region: HotRegion,
+    pruned: Dict[str, PrunedFunction],
+    inlinable: frozenset,
+    name: str,
+    root: str,
+) -> Package:
+    """Assemble one package rooted at ``root``."""
+    return PackageBuilder(region, pruned, inlinable, name, root).build()

@@ -1,0 +1,97 @@
+"""Package linking (paper section 3.3.4).
+
+"Package linking provides paths to selectively reach alternate packages
+rooted at the same point by retargeting cold (exit) paths in one
+package to their target blocks that are hot in another package."
+
+Compatibility is structural: an exit transfers to original location
+``t`` under inlining context ``c``; a sibling package can receive the
+link iff it contains a copy of ``t`` under the *identical* context
+``c`` (the paper's B1'/B1'' example: same static branch, different
+contexts, never linkable).  In bias terms this is exactly the paper's
+rule that an ``F``-biased branch's cold (taken) side may connect to a
+``T``- or ``U``-biased instance of the same branch, because only those
+instances contain the taken-direction code.
+
+"For our implementation, a link is always formed to the first
+compatible package to the 'right', wrapping around the end to the
+first package."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.isa.instructions import Opcode
+from repro.program.cfg import cross_function_target
+
+from .package import Package, PackageExit
+
+
+@dataclass(frozen=True)
+class Link:
+    """A resolved link: ``source`` package's exit enters ``dest``."""
+
+    source: str       # source package name
+    exit_label: str
+    dest: str         # destination package name
+    dest_label: str
+
+
+def find_link_target(
+    exit_site: PackageExit, source: Package, ordered: Sequence[Package]
+) -> Optional[Link]:
+    """First compatible package to the right (cyclically), if any."""
+    try:
+        start = next(i for i, p in enumerate(ordered) if p.name == source.name)
+    except StopIteration:  # pragma: no cover - caller passes member packages
+        raise ValueError(f"{source.name} not in ordering")
+    key = (exit_site.target, exit_site.context)
+    count = len(ordered)
+    for step in range(1, count):
+        candidate = ordered[(start + step) % count]
+        dest_label = candidate.location_index.get(key)
+        if dest_label is not None:
+            return Link(source.name, exit_site.label, candidate.name, dest_label)
+    return None
+
+
+def compute_links(ordered: Sequence[Package]) -> List[Link]:
+    """All links formed under the right-with-wraparound rule."""
+    links: List[Link] = []
+    for package in ordered:
+        for exit_site in package.exits:
+            link = find_link_target(exit_site, package, ordered)
+            if link is not None:
+                links.append(link)
+    return links
+
+
+def incoming_link_counts(ordered: Sequence[Package], links: Sequence[Link]):
+    counts = {package.name: 0 for package in ordered}
+    for link in links:
+        counts[link.dest] += 1
+    return counts
+
+
+def apply_links(ordered: Sequence[Package], links: Sequence[Link]) -> None:
+    """Retarget exit blocks along the computed links.
+
+    The exit block's jump now enters the destination package; its
+    return-continuation frames are dropped because the destination copy
+    shares the identical calling context (the continuation structure is
+    re-established by *that* package's own exits if ever needed).
+    """
+    by_name = {package.name: package for package in ordered}
+    for link in links:
+        source = by_name[link.source]
+        exit_site = source.exit_by_label(link.exit_label)
+        block = source.find_block(link.exit_label)
+        jump = block.instructions[-1]
+        assert jump.opcode is Opcode.JUMP
+        block.instructions[-1] = jump.retargeted(
+            cross_function_target(link.dest, link.dest_label)
+        )
+        block.continuations = ()
+        exit_site.linked_to = (link.dest, link.dest_label)

@@ -1,0 +1,111 @@
+"""The :class:`Package` object (paper section 3.3).
+
+"A *package* is a connected piece of code derived from a region that
+may include instructions from multiple functions and may have multiple
+entrances and exits."  Packages are assembled by the partial inliner
+(:mod:`repro.packages.inlining`), linked to sibling packages
+(:mod:`repro.packages.linking`), optimized, and finally deployed into
+the packed binary by the post-link rewriter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.program.block import BasicBlock
+from repro.program.function import Function
+
+#: (function name, block label) in the original program.
+Location = Tuple[str, str]
+
+
+@dataclass
+class PackageExit:
+    """One side exit from a package back to original (or linked) code."""
+
+    label: str                 # exit block label inside the package
+    target: Location           # original code the exit transfers to
+    direction: str             # taken / fallthrough / jump / fall / call_return
+    context: tuple             # inlining context of the exiting code
+    branch_origin: Optional[int] = None  # branch uid whose cold side this is
+    linked_to: Optional[Tuple[str, str]] = None  # (package name, label)
+
+    @property
+    def is_linked(self) -> bool:
+        return self.linked_to is not None
+
+
+@dataclass
+class BranchInstance:
+    """One conditional branch replicated into a package.
+
+    The paper's Figure 7 annotates each branch instance with its bias
+    for the phase (``U`` unbiased, ``F`` biased fall-through, ``T``
+    biased taken); instances from different inlining contexts of the
+    same static branch are *incompatible* for linking.
+    """
+
+    origin_uid: int
+    context: tuple
+    bias: str
+    block_label: str
+    exit_label: Optional[str] = None  # the exiting side, for T/F biases
+
+
+@dataclass
+class Package:
+    """An assembled, function-shaped code package for one phase."""
+
+    name: str
+    region_index: int
+    root: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+    #: package entry label -> original location it mirrors
+    entry_map: Dict[str, Location] = field(default_factory=dict)
+    exits: List[PackageExit] = field(default_factory=list)
+    branch_instances: List[BranchInstance] = field(default_factory=list)
+    #: (original location, context) -> package block label; the linking
+    #: index (paper 3.3.4: links require identical calling contexts).
+    location_index: Dict[Tuple[Location, tuple], str] = field(default_factory=dict)
+
+    # -- derived -----------------------------------------------------
+    def branch_count(self) -> int:
+        """Number of conditional-branch instances (the rank denominator)."""
+        return len(self.branch_instances)
+
+    def static_size(self) -> int:
+        return sum(block.size() for block in self.blocks)
+
+    def entry_labels(self) -> List[str]:
+        return list(self.entry_map)
+
+    def entry_locations(self) -> List[Location]:
+        return list(self.entry_map.values())
+
+    def exit_by_label(self, label: str) -> PackageExit:
+        for exit_site in self.exits:
+            if exit_site.label == label:
+                return exit_site
+        raise KeyError(label)
+
+    def find_block(self, label: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.label == label:
+                return block
+        raise KeyError(label)
+
+    def build_function(self) -> Function:
+        """Materialize the package as a function-shaped code unit.
+
+        Call after linking and optimization passes have finished
+        mutating :attr:`blocks`.
+        """
+        entry_label = next(iter(self.entry_map), self.blocks[0].label)
+        return Function(self.name, self.blocks, entry_label=entry_label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"<Package {self.name} root={self.root} blocks={len(self.blocks)} "
+            f"entries={len(self.entry_map)} exits={len(self.exits)}>"
+        )

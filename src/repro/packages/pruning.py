@@ -1,0 +1,208 @@
+"""Function pruning and data-flow preservation (paper section 3.3.1).
+
+"For each hot region, copies of the marked functions are reduced to
+include only the blocks and control-flow arcs declared important (Hot)
+for that region. ... The live registers at these exit points are
+maintained in the optimizer by creating a new basic block, called an
+exit block, along each exit path and by placing dummy consumer
+instructions for each register that is live across the exit."
+
+Pruning produces *plans*, not concrete blocks: the same pruned function
+is instantiated many times during partial inlining (once per inline
+site, possibly in several packages), each time with a different label
+prefix, calling context, and continuation frames.  A
+:class:`BlockPlan` records, per hot block, where each control direction
+goes — another hot block, or an exit carrying the registers live across
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.liveness import LivenessAnalysis
+from repro.isa.instructions import Opcode
+from repro.isa.registers import Reg
+from repro.program.cfg import ArcKind
+from repro.regions.region import HotRegion
+
+#: An original-code location: (function name, block label).
+Location = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ExitPlan:
+    """One side exit: back to original code at ``target``."""
+
+    target: Location
+    #: Registers live when control arrives at ``target`` in the
+    #: original code; the exit block consumes them.
+    live: FrozenSet[Reg]
+    #: ``"taken"`` / ``"fallthrough"`` for conditional-branch exits,
+    #: ``"jump"`` for jump exits, ``"fall"`` for plain fallthrough
+    #: exits, ``"call_return"`` when the return point after a call is
+    #: cold.
+    direction: str
+
+
+@dataclass
+class BlockPlan:
+    """How one hot block is reproduced inside a package."""
+
+    origin_label: str
+    #: Successor plans.  ``taken_to`` / ``fall_to`` name hot blocks of
+    #: the same pruned function; the corresponding ``*_exit`` is set
+    #: instead when that direction leaves the region.
+    taken_to: Optional[str] = None
+    fall_to: Optional[str] = None
+    taken_exit: Optional[ExitPlan] = None
+    fall_exit: Optional[ExitPlan] = None
+    #: Callee name when the block ends in a call.
+    call_target: Optional[str] = None
+    is_return: bool = False
+    is_halt: bool = False
+
+    @property
+    def has_conditional_branch(self) -> bool:
+        return (self.taken_to is not None or self.taken_exit is not None) and (
+            self.fall_to is not None or self.fall_exit is not None
+        )
+
+    def bias(self) -> Optional[str]:
+        """Phase bias of a conditional branch in this package.
+
+        ``"U"``: both directions stay in the package; ``"T"``: only the
+        taken side stays (fallthrough exits); ``"F"``: only the
+        fallthrough stays.  ``None`` for non-branch blocks (paper
+        Figure 7's U/T/F annotations).
+        """
+        if not self.has_conditional_branch:
+            return None
+        taken_in = self.taken_to is not None
+        fall_in = self.fall_to is not None
+        if taken_in and fall_in:
+            return "U"
+        if taken_in:
+            return "T"
+        if fall_in:
+            return "F"
+        return None  # both sides exit: degenerate, treated as no branch
+
+
+@dataclass
+class PrunedFunction:
+    """The pruned (hot-only) template of one region function."""
+
+    origin: str                      # original function name
+    plans: Dict[str, BlockPlan]      # origin block label -> plan
+    order: List[str]                 # origin labels in layout order
+    prologue_label: str
+    prologue_included: bool
+    epilogue_labels: List[str]       # hot blocks ending in return
+    entry_labels: List[str] = field(default_factory=list)
+
+    def reachable_from(self, starts: List[str]) -> List[str]:
+        """Hot blocks reachable from ``starts`` along included arcs,
+        returned in layout order."""
+        seen: Set[str] = set()
+        stack = [s for s in starts if s in self.plans]
+        seen.update(stack)
+        while stack:
+            label = stack.pop()
+            plan = self.plans[label]
+            for nxt in (plan.taken_to, plan.fall_to):
+                if nxt is not None and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return [label for label in self.order if label in seen]
+
+    def has_prologue_epilogue_path(self) -> bool:
+        """Partial-inlining legality (section 3.3.3): the callee needs a
+        prologue, an epilogue, and a path between them."""
+        if not self.prologue_included or not self.epilogue_labels:
+            return False
+        reachable = set(self.reachable_from([self.prologue_label]))
+        return any(label in reachable for label in self.epilogue_labels)
+
+
+def prune_function(region: HotRegion, function_name: str) -> PrunedFunction:
+    """Build the pruned template for one region function."""
+    subgraph = region.subgraph(function_name)
+    function = region.program.function(function_name)
+    cfg = function.cfg
+    liveness = LivenessAnalysis(cfg)
+    hot = set(subgraph.blocks)
+    included = set(subgraph.arcs)
+
+    plans: Dict[str, BlockPlan] = {}
+    for label in subgraph.blocks:
+        block = cfg.by_label[label]
+        plan = BlockPlan(origin_label=label)
+        term = block.terminator
+
+        def exit_plan(target_label: str, direction: str) -> ExitPlan:
+            return ExitPlan(
+                target=(function_name, target_label),
+                live=frozenset(liveness.live_in(target_label)),
+                direction=direction,
+            )
+
+        if term is None or term.opcode is Opcode.NOP:
+            _plan_fallthrough(plan, cfg, label, hot, included, exit_plan, "fall")
+        elif term.is_conditional_branch:
+            taken_label = term.target
+            if (label, taken_label) in included and taken_label in hot:
+                plan.taken_to = taken_label
+            else:
+                plan.taken_exit = exit_plan(taken_label, "taken")
+            _plan_fallthrough(plan, cfg, label, hot, included, exit_plan, "fallthrough")
+        elif term.opcode is Opcode.JUMP:
+            target = term.target
+            if (label, target) in included and target in hot:
+                plan.taken_to = target
+            else:
+                plan.taken_exit = exit_plan(target, "jump")
+        elif term.is_call:
+            plan.call_target = term.target
+            _plan_fallthrough(plan, cfg, label, hot, included, exit_plan, "call_return")
+        elif term.is_return:
+            plan.is_return = True
+        elif term.opcode is Opcode.HALT:
+            plan.is_halt = True
+        plans[label] = plan
+
+    epilogues = [l for l in subgraph.blocks if plans[l].is_return]
+    from repro.regions.growth import entry_blocks_of
+
+    marking = region.marking.marking(function_name)
+    return PrunedFunction(
+        origin=function_name,
+        plans=plans,
+        order=list(subgraph.blocks),
+        prologue_label=function.prologue_label(),
+        prologue_included=function.prologue_label() in hot,
+        epilogue_labels=epilogues,
+        entry_labels=entry_blocks_of(marking),
+    )
+
+
+def _plan_fallthrough(plan, cfg, label, hot, included, exit_plan, direction) -> None:
+    """Resolve a block's fallthrough side to a hot block or an exit."""
+    fall_arcs = [
+        a for a in cfg.successors(label) if a.kind in (ArcKind.FALLTHROUGH, ArcKind.CALL_RETURN)
+    ]
+    if not fall_arcs:
+        return
+    fall_label = fall_arcs[0].dst
+    if (label, fall_label) in included and fall_label in hot:
+        plan.fall_to = fall_label
+    else:
+        plan.fall_exit = exit_plan(fall_label, direction)
+
+
+def prune_region(region: HotRegion) -> Dict[str, PrunedFunction]:
+    """Prune every function of the region."""
+    return {
+        name: prune_function(region, name) for name in region.function_names()
+    }

@@ -1,0 +1,90 @@
+"""Root functions and entry blocks (paper section 3.3.2).
+
+"A function will be chosen as a root for one of three reasons.  First,
+any function without any callers in the region (ignoring back edges in
+the call graph) will be a root ...  Second, any function that will not
+be inlined into any callers will be marked a root function ... Last,
+any self-recursive function will be chosen as a root."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.program.callgraph import CallGraph
+from repro.regions.region import HotRegion
+
+from .pruning import PrunedFunction
+
+
+@dataclass(frozen=True)
+class RootInfo:
+    """Why a function became a package root."""
+
+    function: str
+    no_region_callers: bool
+    not_inlinable: bool
+    self_recursive: bool
+
+    @property
+    def reasons(self) -> List[str]:
+        reasons = []
+        if self.no_region_callers:
+            reasons.append("no callers in region")
+        if self.not_inlinable:
+            reasons.append("not inlinable into callers")
+        if self.self_recursive:
+            reasons.append("self-recursive")
+        return reasons
+
+
+def inlinable_functions(pruned: Dict[str, PrunedFunction]) -> Set[str]:
+    """Functions legal to partially inline (prologue + epilogue + path)."""
+    return {
+        name
+        for name, template in pruned.items()
+        if template.has_prologue_epilogue_path()
+    }
+
+
+def select_roots(
+    region: HotRegion, pruned: Dict[str, PrunedFunction]
+) -> List[RootInfo]:
+    """Apply the three root criteria, in deterministic function order."""
+    graph: CallGraph = region.call_graph()
+    inlinable = inlinable_functions(pruned)
+
+    # "Ignoring back edges in the call graph": classify DFS back edges
+    # starting from caller-less functions for a stable orientation.
+    seeds = sorted(
+        name for name in graph.functions if not graph.caller_names(name)
+    )
+    back_sites = graph.back_edge_sites(roots=seeds)
+    forward_callers: Dict[str, Set[str]] = {name: set() for name in graph.functions}
+    for site in graph.sites:
+        if site not in back_sites and site.caller != site.callee:
+            forward_callers[site.callee].add(site.caller)
+
+    roots: List[RootInfo] = []
+    for name in sorted(graph.functions):
+        no_callers = not forward_callers[name]
+        not_inlinable = name not in inlinable and bool(forward_callers[name])
+        self_recursive = name in graph.callee_names(name)
+        if no_callers or not_inlinable or self_recursive:
+            roots.append(
+                RootInfo(
+                    function=name,
+                    no_region_callers=no_callers,
+                    not_inlinable=not_inlinable,
+                    self_recursive=self_recursive,
+                )
+            )
+    return roots
+
+
+def entry_blocks(pruned_root: PrunedFunction) -> List[str]:
+    """Entry blocks of a root: hot blocks without predecessors in the
+    pruned subgraph, ignoring back edges (precomputed during pruning
+    from the region marking)."""
+    return list(pruned_root.entry_labels)

@@ -1,0 +1,18 @@
+"""Post-link rewriting, coverage measurement, and the VacuumPacker API."""
+
+from .coverage import CoverageResult, classify_summary, measure_coverage
+from .rewriter import PackedProgram, RewriteStats, clone_program, rewrite_program
+from .vacuum import PackResult, ProfileResult, VacuumPacker
+
+__all__ = [
+    "CoverageResult",
+    "PackResult",
+    "PackedProgram",
+    "ProfileResult",
+    "RewriteStats",
+    "VacuumPacker",
+    "classify_summary",
+    "clone_program",
+    "measure_coverage",
+    "rewrite_program",
+]

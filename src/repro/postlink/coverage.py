@@ -1,0 +1,84 @@
+"""Execution-coverage measurement (paper section 5.1, Figure 8).
+
+"Our emulator tabulated the number of dynamic instructions executed in
+the packages and in original code and computed the percentage spent in
+the packages."
+
+The packed program's conditional-branch stream is identical to the
+original run's (copies resolve behaviour through origin uids), so the
+coverage run simply re-executes the workload over the packed program
+and classifies dynamic instructions by the block they came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.engine.executor import ExecutionSummary
+from repro.workloads.base import Workload
+
+from .rewriter import PackedProgram
+
+
+@dataclass
+class CoverageResult:
+    """Dynamic instruction split between packages and original code."""
+
+    package_instructions: int
+    original_instructions: int
+    branches: int
+    launch_entries: int
+
+    @property
+    def total_instructions(self) -> int:
+        return self.package_instructions + self.original_instructions
+
+    @property
+    def package_fraction(self) -> float:
+        total = self.total_instructions
+        return self.package_instructions / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"<CoverageResult {self.package_fraction:.1%} of "
+            f"{self.total_instructions} instructions in packages>"
+        )
+
+
+def classify_summary(
+    packed: PackedProgram, summary: ExecutionSummary
+) -> CoverageResult:
+    """Split a finished run's dynamic instructions by code section."""
+    package_uids = packed.package_block_uids()
+    sizes: Dict[int, int] = {}
+    launch_uids = set()
+    for function in packed.program.functions.values():
+        for block in function.blocks:
+            sizes[block.uid] = block.size()
+            if block.meta.get("launch_trampoline"):
+                launch_uids.add(block.uid)
+
+    package_count = 0
+    original_count = 0
+    launch_entries = 0
+    for uid, visits in summary.block_visits.items():
+        weight = visits * sizes[uid]
+        if uid in package_uids:
+            package_count += weight
+        else:
+            original_count += weight
+        if uid in launch_uids:
+            launch_entries += visits
+    return CoverageResult(
+        package_instructions=package_count,
+        original_instructions=original_count,
+        branches=summary.branches,
+        launch_entries=launch_entries,
+    )
+
+
+def measure_coverage(workload: Workload, packed: PackedProgram) -> CoverageResult:
+    """Run the workload over the packed program and classify it."""
+    summary = workload.run(program=packed.program)
+    return classify_summary(packed, summary)

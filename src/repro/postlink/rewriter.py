@@ -1,0 +1,202 @@
+"""Post-link rewriting: deploy packages and patch launch points.
+
+"Control transitions are established between the original program and
+the extracted packages" (paper section 3): every original-code transfer
+into an *entry block* of a package-owning location becomes a *launch
+point* into the package.  When several packages share an entry, "the
+'left-most' package in the ordering is given precedence".
+
+The rewriter never mutates the profiled program: it clones it (cloned
+instructions remember their origin uid, keeping the behavioral engine
+aligned), appends the package functions, and patches:
+
+* conditional branches and jumps targeting an entry location,
+* call instructions targeting a function whose prologue is an entry
+  (the patched call enters the package block directly), and
+* fallthrough paths into an entry location, which get a one-jump
+  *launch trampoline* spliced in front of the entry block.
+
+``PackedProgram.link_image()`` additionally lowers the whole result to
+a binary image, demonstrating that every patch is representable as a
+4-byte displacement write (see :mod:`repro.isa.encoding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.packages.construct import PackagedProgramPlan
+from repro.packages.package import Location
+from repro.program.block import BasicBlock
+from repro.program.cfg import cross_function_target
+from repro.program.function import Function
+from repro.program.image import ProgramImage
+from repro.program.program import Program
+
+
+def clone_program(program: Program) -> Program:
+    """Deep-copy a program; copies remember their origins."""
+    functions = []
+    for function in program.functions.values():
+        blocks = [block.clone(block.label) for block in function.blocks]
+        functions.append(Function(function.name, blocks, function.entry_label))
+    return Program(functions, entry=program.entry)
+
+
+@dataclass
+class RewriteStats:
+    """What the rewriter changed."""
+
+    branch_patches: int = 0
+    jump_patches: int = 0
+    call_patches: int = 0
+    trampolines: int = 0
+
+    @property
+    def launch_points(self) -> int:
+        return (
+            self.branch_patches
+            + self.jump_patches
+            + self.call_patches
+            + self.trampolines
+        )
+
+
+@dataclass
+class PackedProgram:
+    """The rewritten binary: original code + phase packages."""
+
+    program: Program
+    plan: PackagedProgramPlan
+    launch_map: Dict[Location, Tuple[str, str]]
+    stats: RewriteStats
+    original_static_size: int
+    package_names: Set[str] = field(default_factory=set)
+
+    # -- classification -------------------------------------------------
+    def package_block_uids(self) -> Set[int]:
+        uids = set()
+        for name in self.package_names:
+            for block in self.program.functions[name].blocks:
+                uids.add(block.uid)
+        return uids
+
+    def package_static_size(self) -> int:
+        return sum(
+            self.program.functions[name].size() for name in self.package_names
+        )
+
+    def static_size_increase(self) -> float:
+        """Fractional growth of static instructions (Table 3's '% Incr
+        in size'), including launch trampolines."""
+        packed_total = self.program.static_size()
+        return (packed_total - self.original_static_size) / self.original_static_size
+
+    def link_image(self) -> ProgramImage:
+        """Lower the packed program to a concrete binary image."""
+        return ProgramImage(self.program)
+
+
+def _launch_assignments(plan: PackagedProgramPlan) -> Dict[Location, Tuple[str, str]]:
+    """Entry location -> (package name, package entry label).
+
+    Group order, then left-to-right within the ordered group; the first
+    (left-most) package claims contested entry locations.
+    """
+    launch: Dict[Location, Tuple[str, str]] = {}
+    for group in plan.groups:
+        for package in group.packages:
+            for entry_label, location in package.entry_map.items():
+                launch.setdefault(location, (package.name, entry_label))
+    return launch
+
+
+def rewrite_program(
+    original: Program, plan: PackagedProgramPlan
+) -> PackedProgram:
+    """Produce the packed program for an already-linked package plan."""
+    packed = clone_program(original)
+    launch = _launch_assignments(plan)
+    stats = RewriteStats()
+
+    # 1. Append the package functions.
+    package_names: Set[str] = set()
+    for package in plan.packages:
+        function = package.build_function()
+        packed.add_function(function)
+        package_names.add(function.name)
+
+    # 2. Patch explicit branch/jump transfers into entry locations.
+    for function in list(packed.functions.values()):
+        if function.name in package_names:
+            continue
+        for block in function.blocks:
+            term = block.terminator
+            if term is None:
+                continue
+            if term.is_conditional_branch or term.opcode is Opcode.JUMP:
+                key = (function.name, term.target)
+                dest = launch.get(key)
+                if dest is not None:
+                    block.instructions[-1] = term.retargeted(
+                        cross_function_target(*dest)
+                    )
+                    if term.is_conditional_branch:
+                        stats.branch_patches += 1
+                    else:
+                        stats.jump_patches += 1
+
+    # 3. Entry locations that are function prologues get a launch
+    #    trampoline spliced in as the new function entry, so *every*
+    #    call — from original code, from inside packages, from deep
+    #    recursion — launches into the package.  (A real rewriter
+    #    patches the function's entry address in the same way.)  Other
+    #    entry locations reached by fallthrough get the trampoline
+    #    spliced immediately in front of them.
+    for (fn_name, label), dest in sorted(launch.items()):
+        function = packed.functions.get(fn_name)
+        if function is None:
+            continue
+        blocks = function.blocks
+        index = next(
+            (i for i, b in enumerate(blocks) if b.label == label), None
+        )
+        if index is None:
+            continue
+        trampoline = BasicBlock(
+            f"{label}__lp",
+            [Instruction(Opcode.JUMP, target=cross_function_target(*dest))],
+            meta={"launch_trampoline": True},
+        )
+        if label == function.entry_label:
+            function.replace_blocks(
+                [trampoline] + blocks, entry_label=trampoline.label
+            )
+            stats.call_patches += 1
+            continue
+        if index == 0:
+            continue
+        previous = blocks[index - 1]
+        prev_term = previous.terminator
+        falls_through = (
+            prev_term is None
+            or prev_term.is_conditional_branch
+            or prev_term.is_call
+        )
+        if not falls_through:
+            continue
+        new_blocks = blocks[:index] + [trampoline] + blocks[index:]
+        function.replace_blocks(new_blocks)
+        stats.trampolines += 1
+
+    packed.validate()
+    return PackedProgram(
+        program=packed,
+        plan=plan,
+        launch_map=launch,
+        stats=stats,
+        original_static_size=original.static_size(),
+        package_names=package_names,
+    )

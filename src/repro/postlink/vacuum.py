@@ -1,0 +1,171 @@
+"""The top-level :class:`VacuumPacker` API.
+
+Ties the whole pipeline together (paper Figure 1):
+
+1. **profile** — run the workload under the Hot Spot Detector and
+   software-filter the detections into unique phase records;
+2. **identify** — map each record onto the CFG (seeding + inference +
+   heuristic growth) to get one hot region per phase;
+3. **pack** — construct, order, and link the packages, then rewrite
+   the binary with launch points.
+
+Example::
+
+    packer = VacuumPacker()
+    result = packer.pack(workload)
+    print(result.coverage.package_fraction)   # Figure 8's metric
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.engine.executor import ExecutionSummary
+from repro.engine.listeners import HSDListener
+from repro.hsd.config import HSDConfig
+from repro.hsd.detector import HotSpotDetector
+from repro.hsd.filtering import SimilarityPolicy
+from repro.hsd.records import HotSpotRecord
+from repro.packages.construct import PackagedProgramPlan, construct_all
+from repro.program.image import ProgramImage
+from repro.regions.config import RegionConfig
+from repro.regions.identify import branch_locator_from_image, identify_regions
+from repro.regions.region import HotRegion
+from repro.workloads.base import Workload
+
+from .coverage import CoverageResult, measure_coverage
+from .rewriter import PackedProgram, rewrite_program
+
+
+@dataclass
+class ProfileResult:
+    """Output of the hardware profiling step."""
+
+    records: List[HotSpotRecord]
+    raw_detections: int
+    summary: ExecutionSummary
+    image: ProgramImage
+
+    @property
+    def phase_count(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class PackResult:
+    """Output of the full Vacuum Packing pipeline for one workload."""
+
+    workload: Workload
+    profile: ProfileResult
+    regions: List[HotRegion]
+    plan: PackagedProgramPlan
+    packed: PackedProgram
+    coverage: CoverageResult
+
+    # -- convenience views -------------------------------------------
+    @property
+    def packages(self):
+        return self.plan.packages
+
+    def expansion_row(self) -> dict:
+        """Table 3 metrics for this workload."""
+        original = self.packed.original_static_size
+        # Unique static instructions selected into at least one package.
+        unique_selected = _unique_selected_instructions(self.regions)
+        return {
+            "benchmark": self.workload.name,
+            "pct_increase": 100.0 * self.packed.static_size_increase(),
+            "pct_selected": 100.0 * unique_selected / original,
+            "package_instructions": self.packed.package_static_size(),
+            "replication": (
+                self.packed.package_static_size() / unique_selected
+                if unique_selected
+                else 0.0
+            ),
+        }
+
+
+def _unique_selected_instructions(regions: List[HotRegion]) -> int:
+    selected = set()
+    for region in regions:
+        for name in region.function_names():
+            function = region.program.function(name)
+            for label in region.subgraph(name).blocks:
+                for inst in function.cfg.by_label[label].instructions:
+                    if not inst.is_pseudo:
+                        selected.add(inst.root_origin())
+    return len(selected)
+
+
+class VacuumPacker:
+    """End-to-end Vacuum Packing pipeline with the paper's defaults."""
+
+    def __init__(
+        self,
+        hsd_config: Optional[HSDConfig] = None,
+        region_config: Optional[RegionConfig] = None,
+        similarity: Optional[SimilarityPolicy] = None,
+        link: bool = True,
+        optimize: bool = True,
+        classic: bool = False,
+        ordering: str = "best",
+    ):
+        self.hsd_config = hsd_config or HSDConfig()
+        self.region_config = region_config or RegionConfig()
+        self.similarity = similarity or SimilarityPolicy()
+        self.link = link
+        self.optimize = optimize
+        self.classic = classic
+        self.ordering = ordering
+
+    # -- step 1 ------------------------------------------------------
+    def profile(self, workload: Workload) -> ProfileResult:
+        """Run the workload under the Hot Spot Detector."""
+        image = ProgramImage(workload.program)
+        address_of = {
+            uid: address
+            for uid, address in image.instruction_address.items()
+        }
+        listener = HSDListener(
+            HotSpotDetector(self.hsd_config), address_of, self.similarity
+        )
+        summary = workload.run(branch_hooks=[listener])
+        return ProfileResult(
+            records=listener.unique_records,
+            raw_detections=listener.raw_detections,
+            summary=summary,
+            image=image,
+        )
+
+    # -- step 2 -----------------------------------------------------------
+    def identify(
+        self, workload: Workload, profile: ProfileResult
+    ) -> List[HotRegion]:
+        locate = branch_locator_from_image(profile.image)
+        return identify_regions(
+            workload.program, profile.records, locate, self.region_config
+        )
+
+    # -- step 3 -----------------------------------------------------------
+    def pack(
+        self, workload: Workload, profile: Optional[ProfileResult] = None
+    ) -> PackResult:
+        """Run the full pipeline; profiles first if not given one."""
+        profile = profile or self.profile(workload)
+        regions = self.identify(workload, profile)
+        plan = construct_all(regions, link=self.link, ordering=self.ordering)
+        if self.optimize:
+            from repro.optimize.passes import optimize_packages
+
+            optimize_packages(plan.packages, regions, enable_classic=self.classic)
+        packed = rewrite_program(workload.program, plan)
+        coverage = measure_coverage(workload, packed)
+        return PackResult(
+            workload=workload,
+            profile=profile,
+            regions=regions,
+            plan=plan,
+            packed=packed,
+            coverage=coverage,
+        )

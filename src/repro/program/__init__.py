@@ -1,0 +1,30 @@
+"""Program model: blocks, CFGs, functions, call graphs, linked images."""
+
+from .block import BasicBlock
+from .builder import BlockBuilder, BuildError, FunctionBuilder, ProgramBuilder
+from .callgraph import CallGraph, CallSite
+from .cfg import Arc, ArcKind, CfgError, ControlFlowGraph
+from .function import Function
+from .image import LinkError, ProgramImage, Symbol
+from .program import Program, ProgramError, merge_programs
+
+__all__ = [
+    "Arc",
+    "ArcKind",
+    "BasicBlock",
+    "BlockBuilder",
+    "BuildError",
+    "CallGraph",
+    "CallSite",
+    "CfgError",
+    "ControlFlowGraph",
+    "Function",
+    "FunctionBuilder",
+    "LinkError",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "ProgramImage",
+    "Symbol",
+    "merge_programs",
+]

@@ -1,0 +1,126 @@
+"""Basic blocks.
+
+Following the paper (section 3.2.1), instructions are divided into
+basic blocks "where each block contains no more than one branch or
+sub-routine call, which is always the last instruction in the block".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa.instructions import Instruction, Opcode
+
+_block_uid_counter = itertools.count(1)
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of instructions with a unique label.
+
+    ``origin`` records the uid of the block this one was copied from
+    when the package extractor replicates code; ``context`` records the
+    partial-inlining calling context (the tuple of call-site
+    instruction uids through which the block was inlined), which the
+    package linker uses to enforce the paper's identical-calling-context
+    rule (section 3.3.4).
+
+    ``continuations`` is used only by package *exit blocks* whose side
+    exit leaves partially-inlined callee code: before transferring to
+    the original (cold) callee body, the listed ``(function, label)``
+    return points must be pushed so the callee's eventual ``ret``
+    unwinds to the correct original continuation.  A real binary would
+    materialize these with explicit return-address stores; the
+    block-level executor honors the metadata directly.
+
+    ``meta`` carries free-form annotations (e.g. the package extractor
+    marks exit blocks and records their original cold target).
+    """
+
+    label: str
+    instructions: List[Instruction] = field(default_factory=list)
+    uid: int = field(default_factory=lambda: next(_block_uid_counter))
+    origin: Optional[int] = None
+    context: tuple = ()
+    continuations: tuple = ()
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- structure -------------------------------------------------
+    def validate(self) -> None:
+        """Check the one-control-instruction-at-the-end invariant."""
+        for i, inst in enumerate(self.instructions):
+            if inst.is_control and i != len(self.instructions) - 1:
+                raise ValueError(
+                    f"block {self.label}: control instruction "
+                    f"{inst.render()!r} is not last"
+                )
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The trailing control instruction, or ``None`` for a
+        fallthrough-only block."""
+        if self.instructions and self.instructions[-1].is_control:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> List[Instruction]:
+        """Instructions excluding the terminator."""
+        term = self.terminator
+        if term is None:
+            return list(self.instructions)
+        return self.instructions[:-1]
+
+    @property
+    def ends_in_conditional_branch(self) -> bool:
+        term = self.terminator
+        return term is not None and term.is_conditional_branch
+
+    @property
+    def ends_in_call(self) -> bool:
+        term = self.terminator
+        return term is not None and term.is_call
+
+    @property
+    def ends_in_return(self) -> bool:
+        term = self.terminator
+        return term is not None and term.is_return
+
+    @property
+    def ends_in_halt(self) -> bool:
+        term = self.terminator
+        return term is not None and term.opcode is Opcode.HALT
+
+    def size(self) -> int:
+        """Number of real (non-pseudo) instructions."""
+        return sum(1 for inst in self.instructions if not inst.is_pseudo)
+
+    def root_origin(self) -> int:
+        return self.origin if self.origin is not None else self.uid
+
+    # -- copying ---------------------------------------------------
+    def clone(self, new_label: str, context: tuple = ()) -> "BasicBlock":
+        """Deep-copy for package extraction, tracking provenance."""
+        return BasicBlock(
+            label=new_label,
+            instructions=[inst.clone() for inst in self.instructions],
+            origin=self.root_origin(),
+            context=context,
+        )
+
+    # -- printing ----------------------------------------------------
+    def render(self, indent: str = "  ") -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"{indent}{inst.render()}" for inst in self.instructions)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<BasicBlock {self.label} ({len(self.instructions)} insts)>"

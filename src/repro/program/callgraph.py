@@ -1,0 +1,132 @@
+"""Call graphs.
+
+Region identification builds "a call graph representing function call
+relationships within the region" (paper section 3.2); root-function
+selection walks it "ignoring back edges in the call graph"
+(section 3.3.2).  The graph here keeps every call *site* (the calling
+block) on its edges because partial inlining and package linking both
+need per-site identity, not just per-pair connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call instruction: ``caller`` calls ``callee`` from ``block``."""
+
+    caller: str
+    callee: str
+    block_label: str
+    call_uid: int  # uid of the call instruction
+
+
+class CallGraph:
+    """Directed multigraph of call sites between functions."""
+
+    def __init__(self, sites: Iterable[CallSite] = ()):
+        self.sites: List[CallSite] = []
+        self._out: Dict[str, List[CallSite]] = {}
+        self._in: Dict[str, List[CallSite]] = {}
+        self.functions: Set[str] = set()
+        for site in sites:
+            self.add_site(site)
+
+    @classmethod
+    def from_program(cls, program) -> "CallGraph":
+        """Build the call graph of a whole :class:`~repro.program.program.Program`."""
+        graph = cls()
+        for function in program.functions.values():
+            graph.add_function(function.name)
+            for block in function.blocks:
+                term = block.terminator
+                if term is not None and term.is_call:
+                    graph.add_site(
+                        CallSite(function.name, term.target, block.label, term.uid)
+                    )
+        return graph
+
+    # -- construction -----------------------------------------------
+    def add_function(self, name: str) -> None:
+        self.functions.add(name)
+        self._out.setdefault(name, [])
+        self._in.setdefault(name, [])
+
+    def add_site(self, site: CallSite) -> None:
+        self.add_function(site.caller)
+        self.add_function(site.callee)
+        self.sites.append(site)
+        self._out[site.caller].append(site)
+        self._in[site.callee].append(site)
+
+    # -- queries -----------------------------------------------------
+    def callees(self, name: str) -> List[CallSite]:
+        return list(self._out.get(name, ()))
+
+    def callers(self, name: str) -> List[CallSite]:
+        return list(self._in.get(name, ()))
+
+    def callee_names(self, name: str) -> Set[str]:
+        return {s.callee for s in self._out.get(name, ())}
+
+    def caller_names(self, name: str) -> Set[str]:
+        return {s.caller for s in self._in.get(name, ())}
+
+    def restricted_to(self, names: Iterable[str]) -> "CallGraph":
+        """Subgraph over the given functions (used per hot region)."""
+        keep = set(names)
+        graph = CallGraph()
+        for name in keep:
+            graph.add_function(name)
+        for site in self.sites:
+            if site.caller in keep and site.callee in keep:
+                graph.add_site(site)
+        return graph
+
+    # -- back edges ------------------------------------------------------
+    def back_edge_sites(self, roots: Iterable[str] = ()) -> Set[CallSite]:
+        """Call sites that are DFS back edges (including self-recursion).
+
+        ``roots`` seeds the DFS order; any functions not reachable from
+        them are used as additional roots in name order so every edge
+        is classified deterministically.
+        """
+        color: Dict[str, int] = {}
+        back: Set[CallSite] = set()
+        ordered_roots = list(roots) + sorted(self.functions)
+
+        for root in ordered_roots:
+            if root not in self.functions or color.get(root):
+                continue
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            color[root] = 1
+            while stack:
+                name, idx = stack[-1]
+                sites = self._out.get(name, [])
+                if idx < len(sites):
+                    stack[-1] = (name, idx + 1)
+                    site = sites[idx]
+                    state = color.get(site.callee, 0)
+                    if state == 0:
+                        color[site.callee] = 1
+                        stack.append((site.callee, 0))
+                    elif state == 1:
+                        back.add(site)
+                else:
+                    color[name] = 2
+                    stack.pop()
+        return back
+
+    def forward_sites(self, roots: Iterable[str] = ()) -> List[CallSite]:
+        """All call sites except DFS back edges."""
+        back = self.back_edge_sites(roots)
+        return [s for s in self.sites if s not in back]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __len__(self) -> int:
+        return len(self.functions)

@@ -1,0 +1,250 @@
+"""Control-flow graphs over basic blocks.
+
+Arcs carry a :class:`ArcKind` telling how control reaches the
+destination; the region-identification step (paper section 3.2)
+attaches *temperature* and *weight* to blocks and arcs, which it keys
+by block label and by ``(src_label, dst_label)`` pairs produced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.isa.instructions import Opcode
+
+from .block import BasicBlock
+
+
+CROSS_FUNCTION_SEP = "::"
+
+
+def is_cross_function(target: Optional[str]) -> bool:
+    """True for ``function::label`` targets that leave the current function.
+
+    Post-link code is address-based: launch points and package side
+    exits jump across function boundaries.  Such targets have no local
+    CFG arc; the executor and the image linker resolve them globally.
+    """
+    return target is not None and CROSS_FUNCTION_SEP in target
+
+
+def split_cross_function(target: str) -> Tuple[str, str]:
+    """Split ``function::label`` into its parts."""
+    function, _sep, label = target.partition(CROSS_FUNCTION_SEP)
+    return function, label
+
+
+def cross_function_target(function: str, label: str) -> str:
+    """Build a ``function::label`` target string."""
+    return f"{function}{CROSS_FUNCTION_SEP}{label}"
+
+
+class ArcKind(Enum):
+    """How control flows along a CFG arc."""
+
+    TAKEN = "taken"              # conditional branch taken, or jump
+    FALLTHROUGH = "fallthrough"  # conditional branch not taken / no terminator
+    CALL_RETURN = "call_return"  # from a call block to its return point
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A directed control-flow arc between two blocks of one function."""
+
+    src: str
+    dst: str
+    kind: ArcKind
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{self.src} -[{self.kind.value}]-> {self.dst}"
+
+
+class CfgError(Exception):
+    """Raised for malformed control-flow graphs."""
+
+
+class ControlFlowGraph:
+    """Blocks of one function plus explicit control-flow arcs.
+
+    Blocks are kept in *layout order*: the fallthrough successor of a
+    block is the next block in the order.  The graph is (re)derived
+    from the instruction stream by :meth:`rebuild_arcs`.
+    """
+
+    def __init__(self, blocks: Iterable[BasicBlock], entry_label: Optional[str] = None):
+        self.blocks: List[BasicBlock] = list(blocks)
+        if not self.blocks:
+            raise CfgError("a control-flow graph needs at least one block")
+        self.by_label: Dict[str, BasicBlock] = {}
+        for block in self.blocks:
+            if block.label in self.by_label:
+                raise CfgError(f"duplicate block label {block.label!r}")
+            self.by_label[block.label] = block
+        self.entry_label = entry_label or self.blocks[0].label
+        if self.entry_label not in self.by_label:
+            raise CfgError(f"entry label {self.entry_label!r} not in CFG")
+        self.arcs: List[Arc] = []
+        self._succs: Dict[str, List[Arc]] = {}
+        self._preds: Dict[str, List[Arc]] = {}
+        self.rebuild_arcs()
+
+    # -- derivation -------------------------------------------------
+    def rebuild_arcs(self) -> None:
+        """Recompute arcs from terminators and layout order."""
+        self.arcs = []
+        self._succs = {b.label: [] for b in self.blocks}
+        self._preds = {b.label: [] for b in self.blocks}
+        for i, block in enumerate(self.blocks):
+            next_label = self.blocks[i + 1].label if i + 1 < len(self.blocks) else None
+            for arc in self._arcs_of(block, next_label):
+                self._add_arc(arc)
+
+    def _arcs_of(self, block: BasicBlock, next_label: Optional[str]) -> Iterator[Arc]:
+        term = block.terminator
+        if term is None:
+            if next_label is None:
+                raise CfgError(
+                    f"block {block.label} falls through past the end of the function"
+                )
+            yield Arc(block.label, next_label, ArcKind.FALLTHROUGH)
+            return
+        if term.is_conditional_branch:
+            if next_label is None:
+                raise CfgError(
+                    f"block {block.label} may fall through past the function end"
+                )
+            if is_cross_function(term.target):
+                # Taken side leaves the function (e.g. a patched launch
+                # point); only the fallthrough arc is local.
+                yield Arc(block.label, next_label, ArcKind.FALLTHROUGH)
+                return
+            if term.target not in self.by_label:
+                raise CfgError(
+                    f"block {block.label}: branch target {term.target!r} missing"
+                )
+            yield Arc(block.label, term.target, ArcKind.TAKEN)
+            yield Arc(block.label, next_label, ArcKind.FALLTHROUGH)
+        elif term.opcode is Opcode.JUMP:
+            if is_cross_function(term.target):
+                # Cross-function jump (package side exit / link): the
+                # block has no local successor.
+                return
+            if term.target not in self.by_label:
+                raise CfgError(
+                    f"block {block.label}: jump target {term.target!r} missing"
+                )
+            yield Arc(block.label, term.target, ArcKind.TAKEN)
+        elif term.is_call:
+            if next_label is None:
+                raise CfgError(
+                    f"block {block.label}: call needs a return point after it"
+                )
+            yield Arc(block.label, next_label, ArcKind.CALL_RETURN)
+        elif term.is_return or term.opcode is Opcode.HALT:
+            return
+        else:  # pragma: no cover - defensive
+            raise CfgError(f"unhandled terminator {term.render()!r}")
+
+    def _add_arc(self, arc: Arc) -> None:
+        self.arcs.append(arc)
+        self._succs[arc.src].append(arc)
+        self._preds[arc.dst].append(arc)
+
+    # -- queries -----------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        return self.by_label[self.entry_label]
+
+    def successors(self, label: str) -> List[Arc]:
+        return self._succs[label]
+
+    def predecessors(self, label: str) -> List[Arc]:
+        return self._preds[label]
+
+    def succ_labels(self, label: str) -> List[str]:
+        return [a.dst for a in self._succs[label]]
+
+    def pred_labels(self, label: str) -> List[str]:
+        return [a.src for a in self._preds[label]]
+
+    def arc(self, src: str, dst: str) -> Optional[Arc]:
+        for a in self._succs.get(src, ()):
+            if a.dst == dst:
+                return a
+        return None
+
+    def exit_labels(self) -> List[str]:
+        """Labels of blocks ending in return or halt."""
+        return [b.label for b in self.blocks if b.ends_in_return or b.ends_in_halt]
+
+    def labels(self) -> List[str]:
+        return [b.label for b in self.blocks]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.by_label
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    # -- traversal -----------------------------------------------------
+    def reachable_from(self, start: Optional[str] = None) -> List[str]:
+        """Labels reachable from ``start`` (default: the entry block)."""
+        start = start or self.entry_label
+        seen = {start}
+        stack = [start]
+        order = []
+        while stack:
+            label = stack.pop()
+            order.append(label)
+            for arc in self._succs[label]:
+                if arc.dst not in seen:
+                    seen.add(arc.dst)
+                    stack.append(arc.dst)
+        return order
+
+    def back_edges(self) -> List[Arc]:
+        """Arcs that close a cycle in a DFS from the entry block.
+
+        The paper's root/entry analyses (section 3.3.2) "ignore back
+        edges"; this is the DFS notion of a back edge, which is robust
+        on irreducible graphs where the dominator notion is partial.
+        """
+        color: Dict[str, int] = {}
+        back: List[Arc] = []
+
+        for root in [self.entry_label] + [
+            b.label for b in self.blocks if b.label not in color
+        ]:
+            if color.get(root):
+                continue
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            color[root] = 1
+            while stack:
+                label, idx = stack[-1]
+                arcs = self._succs[label]
+                if idx < len(arcs):
+                    stack[-1] = (label, idx + 1)
+                    arc = arcs[idx]
+                    state = color.get(arc.dst, 0)
+                    if state == 0:
+                        color[arc.dst] = 1
+                        stack.append((arc.dst, 0))
+                    elif state == 1:
+                        back.append(arc)
+                else:
+                    color[label] = 2
+                    stack.pop()
+        return back
+
+    # -- printing ------------------------------------------------------
+    def render(self) -> str:
+        return "\n".join(block.render() for block in self.blocks)

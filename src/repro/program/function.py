@@ -1,0 +1,79 @@
+"""Functions: a named CFG plus prologue/epilogue structure.
+
+The partial-inlining legality checks of the paper (section 3.3.3) are
+phrased in terms of a function's *prologue* (its entry block) and
+*epilogue* (blocks ending in return); those notions live here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .block import BasicBlock
+from .cfg import ControlFlowGraph
+
+
+class Function:
+    """A named function over a control-flow graph."""
+
+    def __init__(
+        self,
+        name: str,
+        blocks: Iterable[BasicBlock],
+        entry_label: Optional[str] = None,
+    ):
+        self.name = name
+        self.cfg = ControlFlowGraph(blocks, entry_label)
+
+    # -- structure ----------------------------------------------------
+    @property
+    def entry_label(self) -> str:
+        return self.cfg.entry_label
+
+    @property
+    def blocks(self) -> List[BasicBlock]:
+        return self.cfg.blocks
+
+    def prologue_label(self) -> str:
+        """The function's prologue block label (its entry)."""
+        return self.cfg.entry_label
+
+    def epilogue_labels(self) -> List[str]:
+        """Labels of blocks that return to the caller."""
+        return [b.label for b in self.blocks if b.ends_in_return]
+
+    def size(self) -> int:
+        """Static instruction count (excluding pseudo instructions)."""
+        return sum(b.size() for b in self.blocks)
+
+    def callee_names(self) -> List[str]:
+        """Names of functions this one calls, in block order."""
+        names = []
+        for block in self.blocks:
+            term = block.terminator
+            if term is not None and term.is_call:
+                names.append(term.target)
+        return names
+
+    def call_blocks(self) -> List[BasicBlock]:
+        return [b for b in self.blocks if b.ends_in_call]
+
+    def is_self_recursive(self) -> bool:
+        return self.name in self.callee_names()
+
+    # -- editing --------------------------------------------------------
+    def replace_blocks(
+        self, blocks: Iterable[BasicBlock], entry_label: Optional[str] = None
+    ) -> None:
+        """Install a new block list (used by layout and pruning passes)."""
+        self.cfg = ControlFlowGraph(blocks, entry_label or self.cfg.entry_label)
+
+    # -- printing ---------------------------------------------------------
+    def render(self) -> str:
+        return f"func {self.name}:\n" + self.cfg.render()
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"

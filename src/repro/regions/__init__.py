@@ -1,0 +1,28 @@
+"""Hot-region identification (paper section 3.2)."""
+
+from .config import DEFAULT_REGION_CONFIG, RegionConfig
+from .growth import adopt_unknown_arcs, entry_blocks_of, grow_entry_predecessors, grow_region
+from .identify import branch_locator_from_image, identify_region, identify_regions
+from .inference import infer_temperatures
+from .region import HotRegion, HotSubgraph
+from .seeding import seed_marking
+from .temperature import FunctionMarking, RegionMarking, Temp
+
+__all__ = [
+    "DEFAULT_REGION_CONFIG",
+    "FunctionMarking",
+    "HotRegion",
+    "HotSubgraph",
+    "RegionConfig",
+    "RegionMarking",
+    "Temp",
+    "adopt_unknown_arcs",
+    "branch_locator_from_image",
+    "entry_blocks_of",
+    "grow_entry_predecessors",
+    "grow_region",
+    "identify_region",
+    "identify_regions",
+    "infer_temperatures",
+    "seed_marking",
+]

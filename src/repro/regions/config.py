@@ -1,0 +1,36 @@
+"""Region-formation configuration (paper sections 3.2.1-3.2.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RegionConfig:
+    """Knobs of the hot-region identification algorithm.
+
+    * ``hot_arc_fraction`` — an arc direction is Hot when it carries at
+      least this fraction of its branch's flow (paper: 25 %).
+    * ``hot_arc_weight_threshold`` — ... or when its weight exceeds
+      "the HSD's hot spot branch execution threshold" (paper: the
+      candidate threshold, 16).
+    * ``inference`` — enable full temperature inference.  When off,
+      only blocks that do *not* end in a conditional branch may be
+      inferred (the Figure 8 "w/o inference" configurations: the HSD
+      data is treated as complete for branch blocks).
+    * ``max_growth_blocks`` — MAX_BLOCKS of section 3.2.3 (paper: 1).
+    """
+
+    hot_arc_fraction: float = 0.25
+    hot_arc_weight_threshold: int = 16
+    inference: bool = True
+    max_growth_blocks: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hot_arc_fraction <= 1.0:
+            raise ValueError("hot_arc_fraction must be in [0, 1]")
+        if self.max_growth_blocks < 0:
+            raise ValueError("max_growth_blocks must be non-negative")
+
+
+DEFAULT_REGION_CONFIG = RegionConfig()

@@ -1,0 +1,99 @@
+"""Heuristic hot-region growth (paper section 3.2.3).
+
+Two expansion steps run after inference:
+
+1. **Unknown-arc adoption** — "any arc with an Unknown temperature
+   between two Hot blocks is included in the selected region", which
+   eliminates it as an exit.  Cold arcs between Hot blocks stay
+   excluded: the package remains specialized to the phase.
+2. **Entry-predecessor expansion** — "in an attempt to find a single
+   launch point for each package, the selected region is expanded into
+   adjacent predecessor blocks from each entry block until another Hot
+   temperature block is reached.  Such growth avoids all Cold arcs and
+   blocks, and is limited to MAX_BLOCKS additional blocks."
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .config import RegionConfig
+from .temperature import FunctionMarking, RegionMarking, Temp
+
+
+def adopt_unknown_arcs(region: RegionMarking) -> int:
+    """Step 1: include Unknown arcs whose endpoints are both Hot."""
+    adopted = 0
+    for marking in region:
+        for arc in marking.function.cfg.arcs:
+            if (
+                marking.arc(arc.key) is Temp.UNKNOWN
+                and marking.block(arc.src) is Temp.HOT
+                and marking.block(arc.dst) is Temp.HOT
+            ):
+                marking.set_arc(arc.key, Temp.HOT)
+                adopted += 1
+    return adopted
+
+
+def entry_blocks_of(marking: FunctionMarking) -> List[str]:
+    """Hot blocks with no Hot incoming arcs, ignoring CFG back edges.
+
+    These are the points where control enters the hot subgraph of the
+    function and hence where the grown region may still want upstream
+    predecessors.
+    """
+    back = {arc.key for arc in marking.function.cfg.back_edges()}
+    entries = []
+    for label in marking.hot_blocks():
+        hot_in = [
+            arc
+            for arc in marking.in_arcs(label)
+            if arc.key not in back and marking.arc(arc.key) is Temp.HOT
+        ]
+        if not hot_in:
+            entries.append(label)
+    return entries
+
+
+def grow_entry_predecessors(region: RegionMarking, config: RegionConfig) -> int:
+    """Step 2: pull in up to MAX_BLOCKS predecessors above each entry."""
+    total_added = 0
+    for marking in region:
+        for entry in entry_blocks_of(marking):
+            total_added += _grow_from(marking, entry, config.max_growth_blocks)
+    return total_added
+
+
+def _grow_from(marking: FunctionMarking, entry: str, budget: int) -> int:
+    """Walk predecessor chains upward from one entry block."""
+    added = 0
+    frontier: Set[str] = {entry}
+    while added < budget and frontier:
+        next_frontier: Set[str] = set()
+        for label in frontier:
+            for arc in marking.in_arcs(label):
+                if marking.arc(arc.key) is Temp.COLD:
+                    continue  # growth avoids all Cold arcs
+                pred = arc.src
+                pred_temp = marking.block(pred)
+                if pred_temp is Temp.COLD:
+                    continue  # ... and Cold blocks
+                if pred_temp is Temp.HOT:
+                    # Reached another Hot block: connect and stop here.
+                    marking.set_arc(arc.key, Temp.HOT)
+                    continue
+                if added >= budget:
+                    break
+                marking.set_block(pred, Temp.HOT)
+                marking.set_arc(arc.key, Temp.HOT)
+                added += 1
+                next_frontier.add(pred)
+        frontier = next_frontier
+    return added
+
+
+def grow_region(region: RegionMarking, config: RegionConfig) -> None:
+    """Run both growth steps in paper order."""
+    adopt_unknown_arcs(region)
+    grow_entry_predecessors(region, config)

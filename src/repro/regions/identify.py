@@ -1,0 +1,49 @@
+"""Top-level region identification: record -> HotRegion (paper section 3.2)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.hsd.records import HotSpotRecord
+from repro.program.image import ProgramImage
+from repro.program.program import Program
+
+from .config import DEFAULT_REGION_CONFIG, RegionConfig
+from .growth import grow_region
+from .inference import infer_temperatures
+from .seeding import BranchLocator, seed_marking
+from .region import HotRegion
+
+
+def branch_locator_from_image(image: ProgramImage) -> BranchLocator:
+    """Map branch addresses of a linked image back to (function, block)."""
+    index: BranchLocator = {}
+    for function in image.program.functions.values():
+        for block in function.blocks:
+            term = block.terminator
+            if term is not None and term.is_conditional_branch:
+                index[image.address_of(term)] = (function.name, block.label)
+    return index
+
+
+def identify_region(
+    program: Program,
+    record: HotSpotRecord,
+    locate: BranchLocator,
+    config: RegionConfig = DEFAULT_REGION_CONFIG,
+) -> HotRegion:
+    """Run seeding, inference, and growth for one hot-spot record."""
+    marking = seed_marking(program, record, locate, config)
+    infer_temperatures(marking, config)
+    grow_region(marking, config)
+    return HotRegion(program, record, marking, config)
+
+
+def identify_regions(
+    program: Program,
+    records: Iterable[HotSpotRecord],
+    locate: BranchLocator,
+    config: RegionConfig = DEFAULT_REGION_CONFIG,
+) -> List[HotRegion]:
+    """Identify one region per (already filtered) hot-spot record."""
+    return [identify_region(program, record, locate, config) for record in records]

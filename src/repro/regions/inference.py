@@ -1,0 +1,150 @@
+"""Block and arc temperature inference (paper Figure 4 / Figure 5).
+
+The algorithm iterates the following rules to a fixed point, only ever
+*solving unknowns* (a known Hot or Cold temperature is never
+overwritten):
+
+* **Statement 3** (rule a) — a block is Cold if all of its incoming
+  arcs, or all of its outgoing arcs, are known Cold.
+* **Statement 4** (rules b, c) — a block is Hot if any arc in or out of
+  it is Hot.
+* **Statement 6** (rule d) — every arc in or out of a Cold block is
+  Cold.
+* **Statement 7** (rules e, f) — flow conservation at a Hot block: if
+  all *other* incoming (resp. outgoing) arcs of a Hot block are known
+  Cold, the remaining unknown arc must be Hot.  With a single arc the
+  condition is vacuously true — a Hot block's only outgoing arc is Hot.
+* **Statement 9** — a Hot block ending in a subroutine call heats the
+  callee's prologue block (this is what lets regions span functions).
+
+When the Figure 8 experiments turn inference *off*, "the region
+identification process treat[s] the branch data recorded by the HSD as
+complete ... additional inference is only performed to blocks that do
+not contain a branch": block-temperature rules are then restricted to
+blocks that do not end in a conditional branch (arc rules still run).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.program.cfg import Arc
+
+from .config import RegionConfig
+from .temperature import FunctionMarking, RegionMarking, Temp
+
+
+def _ends_in_conditional_branch(marking: FunctionMarking, label: str) -> bool:
+    block = marking.function.cfg.by_label[label]
+    return block.ends_in_conditional_branch
+
+
+def _may_infer_block(
+    marking: FunctionMarking, label: str, config: RegionConfig
+) -> bool:
+    """Whether block-temperature inference may touch this block."""
+    if config.inference:
+        return True
+    return not _ends_in_conditional_branch(marking, label)
+
+
+def _apply_block_rules(
+    marking: FunctionMarking, label: str, config: RegionConfig
+) -> bool:
+    """Statements 3 and 4; returns True on any change."""
+    if marking.block(label) is not Temp.UNKNOWN:
+        return False
+    if not _may_infer_block(marking, label, config):
+        return False
+    in_arcs = marking.in_arcs(label)
+    out_arcs = marking.out_arcs(label)
+
+    # Statement 4: any Hot arc in or out heats the block.
+    for arc in in_arcs:
+        if marking.arc(arc.key) is Temp.HOT:
+            return marking.set_block(label, Temp.HOT)
+    for arc in out_arcs:
+        if marking.arc(arc.key) is Temp.HOT:
+            return marking.set_block(label, Temp.HOT)
+
+    # Statement 3: all-in Cold or all-out Cold freezes the block.
+    if in_arcs and all(marking.arc(a.key) is Temp.COLD for a in in_arcs):
+        return marking.set_block(label, Temp.COLD)
+    if out_arcs and all(marking.arc(a.key) is Temp.COLD for a in out_arcs):
+        return marking.set_block(label, Temp.COLD)
+    return False
+
+
+def _apply_arc_rules(marking: FunctionMarking, label: str) -> bool:
+    """Statements 6 and 7; returns True on any change."""
+    changed = False
+    temp = marking.block(label)
+    in_arcs = marking.in_arcs(label)
+    out_arcs = marking.out_arcs(label)
+
+    if temp is Temp.COLD:
+        # Statement 6: everything touching a Cold block is Cold.
+        for arc in list(in_arcs) + list(out_arcs):
+            if marking.arc(arc.key) is Temp.UNKNOWN:
+                changed |= marking.set_arc(arc.key, Temp.COLD)
+        return changed
+
+    if temp is Temp.HOT:
+        # Statement 7: flow conservation on each side separately.
+        changed |= _solve_remaining_arc(marking, in_arcs)
+        changed |= _solve_remaining_arc(marking, out_arcs)
+    return changed
+
+
+def _solve_remaining_arc(marking: FunctionMarking, arcs: List[Arc]) -> bool:
+    """If all arcs but one are Cold and that one is Unknown, it is Hot."""
+    unknown = [a for a in arcs if marking.arc(a.key) is Temp.UNKNOWN]
+    if len(unknown) != 1:
+        return False
+    others = [a for a in arcs if a is not unknown[0]]
+    if all(marking.arc(a.key) is Temp.COLD for a in others):
+        return marking.set_arc(unknown[0].key, Temp.HOT)
+    return False
+
+
+def _apply_call_rule(
+    region: RegionMarking, marking: FunctionMarking, label: str, config: RegionConfig
+) -> bool:
+    """Statement 9: a Hot call block heats the callee's prologue."""
+    if marking.block(label) is not Temp.HOT:
+        return False
+    block = marking.function.cfg.by_label[label]
+    term = block.terminator
+    if term is None or not term.is_call:
+        return False
+    if term.target not in region.program.functions:
+        return False
+    callee_marking = region.marking(term.target)
+    prologue = callee_marking.function.prologue_label()
+    if callee_marking.block(prologue) is not Temp.UNKNOWN:
+        return False
+    if not _may_infer_block(callee_marking, prologue, config):
+        return False
+    return callee_marking.set_block(prologue, Temp.HOT)
+
+
+def infer_temperatures(region: RegionMarking, config: RegionConfig) -> int:
+    """Run the Figure 4 algorithm to a fixed point.
+
+    Returns the number of inference passes performed.  The rules are
+    monotone on the temperature lattice (unknowns only ever become Hot
+    or Cold, never change again), so termination is guaranteed.
+    """
+    passes = 0
+    changed = True
+    while changed:
+        passes += 1
+        changed = False
+        # List() because Statement 9 may add new function markings.
+        for marking in list(region):
+            for block in marking.function.cfg.blocks:
+                label = block.label
+                changed |= _apply_block_rules(marking, label, config)
+                changed |= _apply_arc_rules(marking, label)
+                changed |= _apply_call_rule(region, marking, label, config)
+    return passes

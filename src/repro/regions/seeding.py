@@ -1,0 +1,67 @@
+"""Hot spot block and branch identification (paper section 3.2.1).
+
+Seeds a :class:`~repro.regions.temperature.RegionMarking` from one
+:class:`~repro.hsd.records.HotSpotRecord`:
+
+* each block containing a hot-spot branch gets weight = executed count,
+  temperature Hot, and taken probability = taken / executed;
+* the branch's taken and fall-through arcs get weights from the
+  counters, and a temperature of Hot when the direction carries at
+  least 25 % of the branch's flow *or* more weight than the HSD's
+  hot-spot branch execution threshold — Cold otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hsd.records import HotSpotRecord
+from repro.program.cfg import ArcKind
+from repro.program.program import Program
+
+from .config import RegionConfig
+from .temperature import RegionMarking, Temp
+
+#: Maps a branch address in the profiled image to its (function, block).
+BranchLocator = Dict[int, Tuple[str, str]]
+
+
+def seed_marking(
+    program: Program,
+    record: HotSpotRecord,
+    locate: BranchLocator,
+    config: RegionConfig,
+) -> RegionMarking:
+    """Initialize temperatures/weights from one hot-spot record."""
+    marking = RegionMarking(program)
+    for address, profile in record.branches.items():
+        location = locate.get(address)
+        if location is None:
+            # The record refers to code we no longer have (should not
+            # happen when profiling and packing the same binary).
+            continue
+        function_name, label = location
+        fn_marking = marking.marking(function_name)
+        fn_marking.set_block(label, Temp.HOT)
+        fn_marking.seeded_blocks.add(label)
+        fn_marking.block_weight[label] = float(profile.executed)
+        if profile.executed:
+            fn_marking.taken_prob[label] = profile.taken / profile.executed
+
+        for arc in fn_marking.out_arcs(label):
+            if arc.kind is ArcKind.TAKEN:
+                weight = float(profile.taken)
+            elif arc.kind is ArcKind.FALLTHROUGH:
+                weight = float(profile.executed - profile.taken)
+            else:  # pragma: no cover - branch blocks have no other kinds
+                continue
+            fn_marking.arc_weight[arc.key] = weight
+            fraction = weight / profile.executed if profile.executed else 0.0
+            if (
+                fraction >= config.hot_arc_fraction
+                or weight > config.hot_arc_weight_threshold
+            ):
+                fn_marking.set_arc(arc.key, Temp.HOT)
+            else:
+                fn_marking.set_arc(arc.key, Temp.COLD)
+    return marking

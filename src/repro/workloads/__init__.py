@@ -1,0 +1,15 @@
+"""Synthetic workload suite modeled on the paper's Table 1."""
+
+from .base import Workload
+
+__all__ = ["Workload"]
+
+
+def __getattr__(name):
+    # suite/synthetic are imported lazily to keep `repro.workloads`
+    # importable before those modules exist in partial checkouts.
+    if name in ("load_benchmark", "benchmark_names", "SUITE"):
+        from . import suite
+
+        return getattr(suite, name)
+    raise AttributeError(f"module 'repro.workloads' has no attribute {name!r}")

@@ -1,0 +1,533 @@
+"""Synthetic phase-structured workload generator.
+
+Builds programs whose *control-flow behaviour* mimics the paper's
+Table 1 benchmarks (see DESIGN.md, "Substitutions"): a dispatch loop
+(or per-phase driver functions) routes execution into *work functions*,
+each an inner loop of ILP-bearing basic blocks with data-dependent
+diamonds, optional callee chains, optional recursion, and guarded
+never-taken calls into a large body of cold filler code.  Each phase
+activates a subset of the work functions and re-biases the shared
+diamonds, which is exactly the structure the Hot Spot Detector must
+rediscover.
+
+Everything is derived deterministically from ``spec.seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.behavior import BehaviorModel
+from repro.engine.executor import ExecutionLimits
+from repro.engine.phases import PhaseScript
+from repro.isa.instructions import Instruction
+from repro.isa.registers import R, Reg
+from repro.program.builder import BlockBuilder, FunctionBuilder, ProgramBuilder
+from repro.program.program import Program
+
+from .base import Workload
+
+#: Registers the generator may use freely (clear of the calling
+#: convention's argument/stack/return-address registers).
+_POOL = [R(i) for i in range(10, 32)]
+_BASE_PTR = R(58)
+_SCRATCH = R(59)
+
+#: Detection needs roughly hdc_max/2 candidate-dominated branches after
+#: BBB warmup; phases shorter than this are invisible to the HSD.
+MIN_PHASE_BRANCHES = 45_000
+
+
+@dataclass
+class SyntheticSpec:
+    """Shape parameters of one synthetic benchmark."""
+
+    name: str
+    seed: int
+    phases: int = 2
+    #: "sequence" (1 2 3), "repeat" (1 2 1 2), or "return" (1 2 3 1)
+    phase_pattern: str = "sequence"
+    work_functions: int = 6
+    functions_per_phase: int = 2
+    #: fraction of each phase's active functions drawn from a shared pool
+    shared_fraction: float = 0.5
+    #: all phases dispatch from one root loop (perl/li/m88ksim style)
+    shared_root: bool = True
+    diamonds_per_function: int = 3
+    block_size: int = 5
+    call_depth: int = 1
+    #: statically present, dynamically dead code: most of a real
+    #: binary's text is cold, which is what makes Table 3's "% static
+    #: instructions selected" small
+    cold_functions: int = 110
+    cold_blocks_per_function: int = 14
+    #: fraction of shared diamonds whose bias swings hard across phases
+    #: (the paper's Multi High / Multi Low populations are small but
+    #: "allow the optimizer to wisely choose paths")
+    swing_fraction: float = 0.10
+    low_swing_fraction: float = 0.15
+    #: inner-loop back-edge bias (~20 iterations): inner diamonds then
+    #: execute often enough per detection window to saturate their BBB
+    #: counters, so only genuinely rare directions classify cold
+    trip_bias: float = 0.95
+    #: dispatch loops return to their caller every ~1/(1-bias)
+    #: iterations (real programs process one input unit per call);
+    #: stranded post-exit execution therefore re-launches at the next
+    #: call's prologue launch point
+    #: chosen so the thin driver main's own branches stay below the
+    #: BBB candidate threshold within a refresh window (main is cold,
+    #: dispatchers are the region roots with per-call launch points),
+    #: while each dispatch call is short enough to bound strands
+    dispatch_bias: float = 0.97
+    #: the thin driver main effectively never exits on its own; the
+    #: run is bounded by the branch budget (the paper's runs end with
+    #: the input, ours with the scaled budget)
+    outer_bias: float = 1.0
+    recursion: bool = False
+    #: dynamic branch budget for the whole run
+    branch_budget: int = 400_000
+    #: relative phase lengths (defaults to equal)
+    phase_weights: Optional[Sequence[float]] = None
+
+    def name_slug(self) -> str:
+        """Identifier-safe version of the benchmark name."""
+        return (
+            self.name.replace(".", "_").replace("-", "_").replace(" ", "_").lower()
+        )
+
+
+@dataclass
+class _GenState:
+    rng: random.Random
+    behavior: BehaviorModel
+    program_builder: ProgramBuilder = field(default_factory=ProgramBuilder)
+    cold_names: List[str] = field(default_factory=list)
+
+
+def _emit_alu_body(bb: BlockBuilder, rng: random.Random, size: int) -> None:
+    """Straight-line filler with a mix of chains and independent ops."""
+    regs = rng.sample(_POOL, min(6, len(_POOL)))
+    for i in range(size):
+        choice = rng.random()
+        d = regs[i % len(regs)]
+        a = regs[(i + 1) % len(regs)]
+        b = regs[(i + 2) % len(regs)]
+        if choice < 0.45:
+            bb.add(d, a, b)
+        elif choice < 0.6:
+            bb.addi(d, a, rng.randrange(1, 64))
+        elif choice < 0.7:
+            bb.mul(d, a, b)
+        elif choice < 0.8:
+            bb.xor(d, a, b)
+        elif choice < 0.9:
+            bb.load(d, _BASE_PTR, 8 * rng.randrange(0, 64))
+        else:
+            bb.store(a, _BASE_PTR, 8 * rng.randrange(0, 64))
+
+
+def _phase_biases(
+    state: _GenState,
+    active_phases: Sequence[int],
+    all_phases: Sequence[int],
+    swing: str,
+) -> Dict[int, float]:
+    """Per-phase taken probability for one diamond branch.
+
+    ``swing`` selects the Figure 9 category the branch should land in:
+    "high" (>70 % swing between phases), "low" (40-70 %), "same"
+    (biased, stable), or "none" (never biased).
+    """
+    rng = state.rng
+    biases: Dict[int, float] = {}
+    if swing == "high":
+        low, high = rng.uniform(0.04, 0.12), rng.uniform(0.88, 0.96)
+        flip = rng.random() < 0.5
+        for i, phase in enumerate(all_phases):
+            side = (i % 2 == 0) != flip
+            biases[phase] = high if side else low
+    elif swing == "low":
+        low, high = rng.uniform(0.15, 0.3), rng.uniform(0.6, 0.8)
+        flip = rng.random() < 0.5
+        for i, phase in enumerate(all_phases):
+            side = (i % 2 == 0) != flip
+            biases[phase] = high if side else low
+    elif swing == "none":
+        for phase in all_phases:
+            biases[phase] = rng.uniform(0.42, 0.58)
+    else:  # "same": stable bias; a few sides are genuinely cold
+        if rng.random() < 0.08:
+            # Below the HSD's hot-arc threshold even at counter
+            # saturation: this side becomes a (rare) package exit —
+            # the paper's "infrequently traversed" region exits.
+            value = rng.uniform(0.001, 0.005)
+        else:
+            value = rng.uniform(0.05, 0.16)
+        if rng.random() < 0.5:
+            value = 1.0 - value
+        for phase in all_phases:
+            jittered = value + rng.uniform(-0.003, 0.003)
+            biases[phase] = min(0.999, max(0.001, jittered))
+    return biases
+
+
+def _build_cold_function(state: _GenState, name: str, blocks: int) -> None:
+    fb = FunctionBuilder(name)
+    for i in range(blocks - 1):
+        bb = fb.block(f"{name}_c{i}")
+        _emit_alu_body(bb, state.rng, 4)
+        if i % 3 == 2:
+            bb.sne(_SCRATCH, _POOL[0], _POOL[1])
+            bb.brnz(_SCRATCH, f"{name}_c{state.rng.randrange(max(i - 2, 0), i + 1)}")
+    tail = fb.block(f"{name}_ret")
+    tail.ret()
+    state.program_builder.add(fb.build())
+
+
+def _build_work_function(
+    state: _GenState,
+    spec: SyntheticSpec,
+    name: str,
+    active_phases: Sequence[int],
+    all_phases: Sequence[int],
+    shared: bool,
+    callee: Optional[str],
+    cold_callee: Optional[str],
+) -> None:
+    """One hot work function: an inner loop over diamond blocks."""
+    rng = state.rng
+    fb = FunctionBuilder(name)
+
+    prologue = fb.block(f"{name}_pro")
+    prologue.movi(_BASE_PTR, 0x4000)
+    _emit_alu_body(prologue, rng, 2)
+
+    head = fb.block(f"{name}_head")
+    _emit_alu_body(head, rng, spec.block_size)
+
+    merge_target = None
+    for d in range(spec.diamonds_per_function):
+        cond_label = f"{name}_d{d}"
+        then_label = f"{name}_d{d}_t"
+        else_label = f"{name}_d{d}_e"
+        merge_label = f"{name}_d{d}_m"
+
+        cond = fb.block(cond_label)
+        _emit_alu_body(cond, rng, max(spec.block_size - 2, 1))
+        cond.sne(_SCRATCH, _POOL[d % len(_POOL)], _POOL[(d + 3) % len(_POOL)])
+        branch = cond.brnz(_SCRATCH, else_label)
+
+        if shared:
+            roll = rng.random()
+            if roll < spec.swing_fraction:
+                swing = "high"
+            elif roll < spec.swing_fraction + spec.low_swing_fraction:
+                swing = "low"
+            elif roll < spec.swing_fraction + spec.low_swing_fraction + 0.2:
+                swing = "none"
+            else:
+                swing = "same"
+            biases = _phase_biases(state, active_phases, all_phases, swing)
+        else:
+            swing = rng.choice(["same", "same", "same", "none"])
+            biases = _phase_biases(state, active_phases, active_phases, swing)
+        state.behavior.set_phase_biases(branch.uid, biases)
+
+        then_block = fb.block(then_label)
+        _emit_alu_body(then_block, rng, spec.block_size)
+        then_block.jump(merge_label)
+
+        else_block = fb.block(else_label)
+        _emit_alu_body(else_block, rng, spec.block_size)
+
+        merge = fb.block(merge_label)
+        _emit_alu_body(merge, rng, 2)
+        merge_target = merge_label
+
+    if callee is not None:
+        call_block = fb.block(f"{name}_call")
+        call_block.call(callee)
+
+    if cold_callee is not None:
+        guard = fb.block(f"{name}_guard")
+        guard.seq(_SCRATCH, _POOL[0], _POOL[1])
+        cold_branch = guard.brnz(_SCRATCH, f"{name}_cold")
+        state.behavior.set_bias(cold_branch.uid, 0.0)  # never taken
+
+    latch = fb.block(f"{name}_latch")
+    _emit_alu_body(latch, rng, 2)
+    latch.slt(_SCRATCH, _POOL[2], _POOL[5])
+    latch_branch = latch.brnz(_SCRATCH, f"{name}_head")
+    state.behavior.set_bias(latch_branch.uid, spec.trip_bias)
+
+    epilogue = fb.block(f"{name}_ret")
+    epilogue.ret()
+
+    if cold_callee is not None:
+        cold_block = fb.block(f"{name}_cold")
+        cold_block.call(cold_callee)
+        cold_back = fb.block(f"{name}_cold_back")
+        cold_back.jump(f"{name}_latch")
+
+    state.program_builder.add(fb.build())
+
+
+def _build_helper_chain(
+    state: _GenState, spec: SyntheticSpec, base_name: str, depth: int
+) -> Optional[str]:
+    """A chain of small callee functions under one work function."""
+    if depth <= 0:
+        return None
+    previous: Optional[str] = None
+    for level in range(depth, 0, -1):
+        name = f"{base_name}_h{level}"
+        fb = FunctionBuilder(name)
+        body = fb.block(f"{name}_b0")
+        _emit_alu_body(body, state.rng, spec.block_size)
+        body.sne(_SCRATCH, _POOL[3], _POOL[7])
+        branch = body.brnz(_SCRATCH, f"{name}_alt")
+        state.behavior.set_bias(branch.uid, state.rng.uniform(0.1, 0.3))
+        main_path = fb.block(f"{name}_main")
+        _emit_alu_body(main_path, state.rng, spec.block_size)
+        if previous is not None:
+            call = fb.block(f"{name}_call")
+            call.call(previous)
+        tail = fb.block(f"{name}_ret")
+        tail.ret()
+        alt = fb.block(f"{name}_alt")
+        _emit_alu_body(alt, state.rng, 2)
+        alt.jump(f"{name}_ret")
+        state.program_builder.add(fb.build())
+        previous = name
+    return previous
+
+
+def _build_recursive_function(state: _GenState, spec: SyntheticSpec, name: str) -> str:
+    """A self-recursive hot function (li/parser style)."""
+    fb = FunctionBuilder(name)
+    body = fb.block(f"{name}_b0")
+    _emit_alu_body(body, state.rng, spec.block_size)
+    body.slt(_SCRATCH, _POOL[1], _POOL[4])
+    branch = body.brnz(_SCRATCH, f"{name}_base")
+    # ~0.4 stop probability per level: expected recursion depth ~2.5.
+    state.behavior.set_bias(branch.uid, 0.4)
+    recurse = fb.block(f"{name}_rec")
+    _emit_alu_body(recurse, state.rng, 2)
+    recurse.call(name)
+    after = fb.block(f"{name}_after")
+    _emit_alu_body(after, state.rng, 2)
+    after.ret()
+    base = fb.block(f"{name}_base")
+    _emit_alu_body(base, state.rng, 2)
+    base.ret()
+    state.program_builder.add(fb.build())
+    return name
+
+
+def _build_dispatcher(
+    state: _GenState,
+    spec: SyntheticSpec,
+    name: str,
+    targets: Sequence[str],
+    activity: Dict[str, List[int]],
+    all_phases: Sequence[int],
+    outer_bias: float,
+    is_entry: bool,
+    cold_callee: Optional[str] = None,
+) -> None:
+    """A selector loop that calls one active target per iteration.
+
+    Selector branch ``i`` takes (calls its target) with probability
+    1/(number of active targets remaining in this phase), so each
+    iteration picks uniformly among the phase's active targets.
+    """
+    rng = state.rng
+    fb = FunctionBuilder(name)
+    entry = fb.block(f"{name}_entry")
+    entry.movi(_BASE_PTR, 0x8000)
+    _emit_alu_body(entry, rng, 2)
+
+    head = fb.block(f"{name}_head")
+    _emit_alu_body(head, rng, 3)
+
+    # Selector chain.
+    for i, target in enumerate(targets):
+        sel = fb.block(f"{name}_sel{i}")
+        sel.sne(_SCRATCH, _POOL[i % len(_POOL)], _POOL[(i + 5) % len(_POOL)])
+        branch = sel.brnz(_SCRATCH, f"{name}_do{i}")
+        biases: Dict[int, float] = {}
+        for phase in all_phases:
+            remaining = [
+                t for t in targets[i:] if phase in activity.get(t, [])
+            ]
+            if phase in activity.get(target, []):
+                biases[phase] = 1.0 / len(remaining)
+            else:
+                biases[phase] = 0.0
+        state.behavior.set_phase_biases(branch.uid, biases)
+
+    none_active = fb.block(f"{name}_none")
+    _emit_alu_body(none_active, rng, 1)
+    none_active.jump(f"{name}_latch")
+
+    for i, target in enumerate(targets):
+        do_block = fb.block(f"{name}_do{i}")
+        do_block.call(target)
+        back = fb.block(f"{name}_back{i}")
+        back.jump(f"{name}_latch")
+
+    latch = fb.block(f"{name}_latch")
+    _emit_alu_body(latch, rng, 2)
+    latch.slt(_SCRATCH, _POOL[6], _POOL[9])
+    latch_branch = latch.brnz(_SCRATCH, f"{name}_head")
+    state.behavior.set_bias(latch_branch.uid, outer_bias)
+
+    if cold_callee is not None:
+        cold_guard = fb.block(f"{name}_cold_guard")
+        cold_guard.seq(_SCRATCH, _POOL[0], _POOL[2])
+        cold_branch = cold_guard.brnz(_SCRATCH, f"{name}_colddo")
+        state.behavior.set_bias(cold_branch.uid, 0.0)
+
+    tail = fb.block(f"{name}_tail")
+    if is_entry:
+        tail.halt()
+    else:
+        tail.ret()
+
+    if cold_callee is not None:
+        cold_do = fb.block(f"{name}_colddo")
+        cold_do.call(cold_callee)
+        cold_back = fb.block(f"{name}_cold_ret")
+        cold_back.jump(f"{name}_tail")
+
+    state.program_builder.add(fb.build())
+
+
+def build_workload(spec: SyntheticSpec) -> Workload:
+    """Generate the program, behavior model, and phase script."""
+    rng = random.Random(spec.seed)
+    behavior = BehaviorModel(seed=spec.seed ^ 0xBEEF)
+    state = _GenState(rng=rng, behavior=behavior)
+    all_phases = list(range(spec.phases))
+
+    # Cold filler code (never executed, statically present).
+    for i in range(spec.cold_functions):
+        name = f"{spec.name_slug()}_cold{i}"
+        _build_cold_function(state, name, spec.cold_blocks_per_function)
+        state.cold_names.append(name)
+
+    # Assign work functions to phases: a shared pool plus per-phase ones.
+    shared_count = max(0, min(
+        spec.work_functions,
+        round(spec.functions_per_phase * spec.shared_fraction),
+    ))
+    activity: Dict[str, List[int]] = {}
+    work_names: List[str] = []
+    for i in range(spec.work_functions):
+        work_names.append(f"{spec.name_slug()}_work{i}")
+    shared_pool = work_names[:shared_count]
+    private_pool = work_names[shared_count:]
+    for name in shared_pool:
+        activity[name] = list(all_phases)
+    per_phase_private = max(spec.functions_per_phase - shared_count, 0)
+    cursor = 0
+    for phase in all_phases:
+        for _ in range(per_phase_private):
+            if not private_pool:
+                break
+            name = private_pool[cursor % len(private_pool)]
+            cursor += 1
+            activity.setdefault(name, [])
+            if phase not in activity[name]:
+                activity[name].append(phase)
+    for name in work_names:
+        activity.setdefault(name, [])
+
+    # Build work functions (+ helper chains, recursion, cold guards).
+    for i, name in enumerate(work_names):
+        callee = _build_helper_chain(state, spec, name, spec.call_depth)
+        if spec.recursion and i == 0:
+            recursive = _build_recursive_function(state, spec, f"{name}_rec")
+            callee = callee or recursive
+        cold_callee = (
+            state.cold_names[i % len(state.cold_names)]
+            if state.cold_names
+            else None
+        )
+        _build_work_function(
+            state,
+            spec,
+            name,
+            active_phases=activity[name] or all_phases,
+            all_phases=all_phases,
+            shared=len(activity[name]) > 1,
+            callee=callee,
+            cold_callee=cold_callee,
+        )
+
+    executed = [n for n in work_names if activity[n]]
+    slug = spec.name_slug()
+    if spec.shared_root:
+        # One dispatch function shared by all phases (perl's command
+        # loop); a thin driver main calls it once per "input unit".
+        process = f"{slug}_proc"
+        _build_dispatcher(
+            state, spec, process, executed, activity, all_phases,
+            spec.dispatch_bias, is_entry=False,
+            cold_callee=state.cold_names[0] if state.cold_names else None,
+        )
+        main_targets = [process]
+        main_activity = {process: list(all_phases)}
+    else:
+        # Per-phase driver functions: distinct roots per phase.
+        main_targets = []
+        for phase in all_phases:
+            driver = f"{slug}_drv{phase}"
+            driver_targets = [n for n in executed if phase in activity[n]]
+            driver_activity = {n: [phase] for n in driver_targets}
+            _build_dispatcher(
+                state, spec, driver, driver_targets, driver_activity,
+                [phase], outer_bias=spec.dispatch_bias, is_entry=False,
+            )
+            main_targets.append(driver)
+        main_activity = {d: [p] for p, d in enumerate(main_targets)}
+    _build_dispatcher(
+        state, spec, "main", main_targets, main_activity, all_phases,
+        spec.outer_bias, is_entry=True,
+        cold_callee=state.cold_names[1 % len(state.cold_names)]
+        if state.cold_names else None,
+    )
+
+    program = state.program_builder.build(entry="main")
+    script = _build_phase_script(spec, all_phases)
+    limits = ExecutionLimits(max_branches=script.total_branches)
+    return Workload(
+        name=spec.name,
+        program=program,
+        behavior=behavior,
+        phase_script=script,
+        limits=limits,
+        description=f"synthetic ({spec.phases} phases, seed {spec.seed})",
+        meta={"spec": spec},
+    )
+
+
+def _build_phase_script(spec: SyntheticSpec, all_phases: List[int]) -> PhaseScript:
+    weights = list(spec.phase_weights or [1.0] * spec.phases)
+    if spec.phase_pattern == "repeat":
+        sequence = all_phases + all_phases
+        weights = weights + weights
+    elif spec.phase_pattern == "return":
+        sequence = all_phases + [all_phases[0]]
+        weights = weights + [weights[0]]
+    else:
+        sequence = list(all_phases)
+    total_weight = sum(weights)
+    budget = max(spec.branch_budget, MIN_PHASE_BRANCHES * len(sequence))
+    pairs: List[Tuple[int, int]] = []
+    for phase, weight in zip(sequence, weights):
+        length = max(MIN_PHASE_BRANCHES, int(budget * weight / total_weight))
+        pairs.append((phase, length))
+    return PhaseScript.from_pairs(pairs)

@@ -1,0 +1,60 @@
+"""Shared fixtures: small programs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+
+LOOP_PROGRAM_SRC = """
+func main:
+  entry:
+    movi r1, 0
+    movi r2, 100
+  loop:
+    addi r1, r1, 1
+    call work
+  cond:
+    slt r3, r1, r2
+    brnz r3, loop
+  tail:
+    halt
+
+func work:
+  w0:
+    slt r4, r1, r2
+    brnz r4, w2
+  w1:
+    addi r5, r5, 2
+  w2:
+    ret
+"""
+
+DIAMOND_FUNCTION_SRC = """
+func dia:
+  top:
+    movi r1, 1
+    brnz r1, right
+  left:
+    addi r2, r2, 1
+    jump merge
+  right:
+    addi r2, r2, 2
+  merge:
+    add r3, r2, r1
+    ret
+"""
+
+
+@pytest.fixture
+def loop_program():
+    """Two-function program with a counted loop and a biased callee branch."""
+    return assemble(LOOP_PROGRAM_SRC)
+
+
+@pytest.fixture
+def diamond_function():
+    """Single function with an if/else diamond."""
+    from repro.isa.assembler import assemble_function
+
+    return assemble_function(DIAMOND_FUNCTION_SRC)

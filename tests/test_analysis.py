@@ -1,0 +1,179 @@
+"""Tests for dataflow, liveness, dominators, loops, and weight estimation."""
+
+import pytest
+
+from repro.analysis import (
+    DominatorTree,
+    LivenessAnalysis,
+    LoopNest,
+    estimate_weights,
+)
+from repro.analysis.weights import arc_probabilities
+from repro.isa.assembler import assemble, assemble_function
+from repro.isa.registers import R
+
+
+LIVENESS_SRC = """
+func f:
+  e:
+    movi r10, 1
+    movi r11, 2
+    brnz r10, use_b
+  use_a:
+    add r12, r10, r10
+    jump out
+  use_b:
+    add r12, r11, r11
+  out:
+    mov r1, r12
+    ret
+"""
+
+
+class TestLiveness:
+    def setup_method(self):
+        self.fn = assemble_function(LIVENESS_SRC)
+        self.lv = LivenessAnalysis(self.fn.cfg)
+
+    def test_defined_values_live_out_of_entry(self):
+        live = self.lv.live_out("e")
+        assert R(10) in live  # read by use_a
+        assert R(11) in live  # read by use_b
+
+    def test_branch_specific_liveness(self):
+        # Along e -> use_a only r10 matters; r11 is still live-in at use_b.
+        assert R(11) not in self.lv.live_in("use_a")
+        assert R(11) in self.lv.live_in("use_b")
+        assert self.lv.live_on_arc("e", "use_b") == self.lv.live_in("use_b")
+
+    def test_result_register_live_until_move(self):
+        assert R(12) in self.lv.live_in("out")
+        # r12 is dead after the move into the return register.
+        assert R(12) not in self.lv.live_out("out")
+
+    def test_return_uses_return_register(self):
+        assert R(1) in self.lv.live_points("out")[-2]
+
+    def test_live_points_shape(self):
+        points = self.lv.live_points("out")
+        block = self.fn.cfg.by_label["out"]
+        assert len(points) == len(block.instructions) + 1
+
+    def test_arc_query_requires_real_arc(self):
+        with pytest.raises(ValueError):
+            self.lv.live_on_arc("use_a", "use_b")
+
+    def test_call_treats_args_as_uses(self, loop_program):
+        lv = LivenessAnalysis(loop_program.functions["main"].cfg)
+        # r1 is an argument register, so it is live into the call block.
+        assert R(1) in lv.live_in("loop")
+
+
+NESTED_LOOP_SRC = """
+func f:
+  pre:
+    movi r1, 0
+  outer:
+    movi r2, 0
+  inner:
+    addi r2, r2, 1
+    slt r3, r2, r4
+    brnz r3, inner
+  after_inner:
+    addi r1, r1, 1
+    slt r3, r1, r5
+    brnz r3, outer
+  done:
+    ret
+"""
+
+
+class TestDominatorsAndLoops:
+    def setup_method(self):
+        self.fn = assemble_function(NESTED_LOOP_SRC)
+        self.dom = DominatorTree(self.fn.cfg)
+        self.loops = LoopNest(self.fn.cfg)
+
+    def test_entry_has_no_idom(self):
+        assert self.dom.immediate_dominator("pre") is None
+
+    def test_linear_domination(self):
+        assert self.dom.immediate_dominator("outer") == "pre"
+        assert self.dom.immediate_dominator("inner") == "outer"
+        assert self.dom.dominates("pre", "done")
+        assert not self.dom.dominates("inner", "pre")
+
+    def test_diamond_merge_dominated_by_fork(self, diamond_function):
+        dom = DominatorTree(diamond_function.cfg)
+        assert dom.immediate_dominator("merge") == "top"
+        assert not dom.dominates("left", "merge")
+
+    def test_two_loops_found(self):
+        assert len(self.loops) == 2
+        assert set(self.loops.headers()) == {"outer", "inner"}
+
+    def test_nesting(self):
+        inner = next(l for l in self.loops if l.header == "inner")
+        outer = next(l for l in self.loops if l.header == "outer")
+        assert inner.parent is outer
+        assert outer.parent is None
+        assert inner.depth == 2
+
+    def test_loop_bodies(self):
+        inner = next(l for l in self.loops if l.header == "inner")
+        assert inner.body == {"inner"}
+        outer = next(l for l in self.loops if l.header == "outer")
+        assert outer.body == {"outer", "inner", "after_inner"}
+
+    def test_loop_depth_query(self):
+        assert self.loops.loop_depth("inner") == 2
+        assert self.loops.loop_depth("pre") == 0
+
+
+class TestWeights:
+    def test_loop_weight_matches_trip_count(self):
+        fn = assemble_function(NESTED_LOOP_SRC)
+        # inner back edge taken 0.9 (10 iterations), outer 0.8 (5 iterations)
+        est = estimate_weights(fn.cfg, {"inner": 0.9, "after_inner": 0.8})
+        assert est.weight("outer") == pytest.approx(5.0, rel=1e-6)
+        assert est.weight("inner") == pytest.approx(50.0, rel=1e-6)
+        assert est.weight("done") == pytest.approx(1.0, rel=1e-6)
+
+    def test_flow_conservation_at_merge(self, diamond_function):
+        est = estimate_weights(diamond_function.cfg, {"top": 0.3})
+        assert est.weight("merge") == pytest.approx(
+            est.weight("left") + est.weight("right")
+        )
+        assert est.arc_weight("top", "right") == pytest.approx(0.3)
+
+    def test_missing_probability_defaults_to_half(self, diamond_function):
+        est = estimate_weights(diamond_function.cfg, {})
+        assert est.weight("left") == pytest.approx(0.5)
+
+    def test_always_taken_back_edge_stays_finite(self):
+        fn = assemble_function(
+            """
+            func f:
+              loop:
+                addi r1, r1, 1
+                brnz r1, loop
+              out:
+                ret
+            """
+        )
+        est = estimate_weights(fn.cfg, {"loop": 1.0})
+        assert est.weight("loop") > 100
+        assert est.weight("loop") < 1e9
+
+    def test_arc_probabilities_single_successor(self, loop_program):
+        cfg = loop_program.functions["main"].cfg
+        probs = arc_probabilities(cfg, {})
+        assert probs[("entry", "loop")] == 1.0
+
+    def test_multiple_entry_weights(self, diamond_function):
+        est = estimate_weights(
+            diamond_function.cfg,
+            {"top": 0.5},
+            entry_weights={"top": 10.0, "merge": 5.0},
+        )
+        assert est.weight("merge") == pytest.approx(15.0)

@@ -1,0 +1,126 @@
+"""Tests for the assembler / disassembler round trip."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble, assemble_function
+from repro.isa.disassembler import disassemble, disassemble_image
+from repro.isa.instructions import Opcode
+from repro.isa.registers import F, R
+from repro.program import ProgramImage
+
+
+class TestAssembleBasics:
+    def test_functions_and_blocks(self, loop_program):
+        assert set(loop_program.functions) == {"main", "work"}
+        main = loop_program.functions["main"]
+        assert [b.label for b in main.blocks] == ["entry", "loop", "cond", "tail"]
+
+    def test_entry_block_is_first(self, loop_program):
+        assert loop_program.functions["main"].entry_label == "entry"
+
+    def test_instruction_operands(self, loop_program):
+        entry = loop_program.functions["main"].cfg.by_label["entry"]
+        movi = entry.instructions[0]
+        assert movi.opcode is Opcode.MOVI
+        assert movi.dest == R(1)
+        assert movi.imm == 0
+
+    def test_memory_operand_syntax(self):
+        program = assemble(
+            """
+            func main:
+              e:
+                load r1, [r2+16]
+                store r1, [r2+-8]
+                fload f1, [r3]
+                halt
+            """
+        )
+        block = program.functions["main"].cfg.by_label["e"]
+        assert block.instructions[0].imm == 16
+        assert block.instructions[1].imm == -8
+        assert block.instructions[2].dest == F(1)
+        assert block.instructions[2].imm == 0
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble(
+            """
+            ; leading comment
+            func main:
+              e:
+                movi r1, 1  # trailing comment
+                halt
+            """
+        )
+        assert program.functions["main"].size() == 2
+
+    def test_implicit_entry_block(self):
+        program = assemble("func main:\n  movi r1, 1\n  halt\n")
+        assert program.functions["main"].entry_label == "entry"
+
+    def test_implicit_block_after_terminator(self):
+        program = assemble(
+            """
+            func main:
+              e:
+                call work
+                halt
+            func work:
+              w:
+                ret
+            """
+        )
+        labels = [b.label for b in program.functions["main"].blocks]
+        assert labels[0] == "e"
+        assert len(labels) == 2  # halt landed in an implicit block
+
+
+class TestAssembleErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("func main:\n  e:\n    frobnicate r1\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("func main:\n  e:\n    add r1, r2\n")
+
+    def test_instruction_outside_function(self):
+        with pytest.raises(AssemblyError, match="outside"):
+            assemble("movi r1, 1\n")
+
+    def test_undefined_call_target_fails_validation(self):
+        with pytest.raises(Exception):
+            assemble("func main:\n  e:\n    call ghost\n  x:\n    halt\n")
+
+    def test_malformed_memory_operand(self):
+        with pytest.raises(AssemblyError, match="memory operand"):
+            assemble("func main:\n  e:\n    load r1, (r2)\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("func main:\n  e:\n    bogus\n")
+
+
+class TestRoundTrip:
+    def test_disassemble_reassemble_fixed_point(self, loop_program):
+        text = disassemble(loop_program)
+        again = assemble(text)
+        assert disassemble(again) == text
+
+    def test_image_disassembly_reflects_layout(self, loop_program):
+        image = ProgramImage(loop_program)
+        listing = disassemble_image(image)
+        assert "main/entry:" in listing
+        assert "work/w0:" in listing
+        # Branch targets appear as absolute hex addresses.
+        loop_addr = image.address_of_block("main", "loop")
+        assert f"0x{loop_addr:x}" in listing
+
+    def test_assemble_function_helper(self, diamond_function):
+        assert diamond_function.name == "dia"
+        assert [b.label for b in diamond_function.blocks] == [
+            "top",
+            "left",
+            "right",
+            "merge",
+        ]

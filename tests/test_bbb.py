@@ -1,0 +1,127 @@
+"""Tests for the Branch Behavior Buffer (contention, saturation, candidates)."""
+
+from repro.hsd import BranchBehaviorBuffer, HSDConfig
+
+
+def tiny_config(**overrides):
+    defaults = dict(bbb_sets=2, bbb_ways=2, candidate_threshold=4)
+    defaults.update(overrides)
+    return HSDConfig(**defaults)
+
+
+def addr_in_set(config, set_index, slot):
+    """An address mapping to the given BBB set."""
+    return ((slot * config.bbb_sets + set_index) << config.address_shift)
+
+
+class TestBasicProfiling:
+    def test_counts_accumulate(self):
+        bbb = BranchBehaviorBuffer(tiny_config())
+        for i in range(10):
+            bbb.access(0x1000, taken=i % 2 == 0)
+        (profile,) = [e.profile() for e in bbb.entries()]
+        assert profile.executed == 10
+        assert profile.taken == 5
+
+    def test_candidate_flag_after_threshold(self):
+        config = tiny_config(candidate_threshold=4)
+        bbb = BranchBehaviorBuffer(config)
+        for i in range(3):
+            entry = bbb.access(0x1000, True)
+            assert not entry.candidate
+        entry = bbb.access(0x1000, True)
+        assert entry.candidate
+
+    def test_snapshot_contains_only_candidates(self):
+        config = tiny_config(candidate_threshold=4)
+        bbb = BranchBehaviorBuffer(config)
+        for _ in range(5):
+            bbb.access(0x1000, True)
+        bbb.access(0x2000, False)  # never reaches threshold
+        snapshot = bbb.snapshot_profiles()
+        assert set(snapshot) == {0x1000}
+
+
+class TestSaturation:
+    def test_counters_freeze_at_max(self):
+        config = tiny_config(counter_bits=4)  # max 15
+        bbb = BranchBehaviorBuffer(config)
+        for _ in range(40):
+            bbb.access(0x1000, True)
+        (entry,) = bbb.entries()
+        assert entry.executed == 15
+        assert entry.taken == 15
+
+    def test_taken_fraction_preserved_at_saturation(self):
+        # Paper 3.1: "at saturation, the taken fraction for the branch
+        # is preserved."
+        config = tiny_config(counter_bits=4)
+        bbb = BranchBehaviorBuffer(config)
+        for i in range(100):
+            bbb.access(0x1000, taken=(i % 4 != 0))  # 75% taken
+        (entry,) = bbb.entries()
+        fraction = entry.profile().taken_fraction
+        assert abs(fraction - 0.75) < 0.15
+
+
+class TestContention:
+    def test_non_candidate_evicted_lru(self):
+        config = tiny_config(bbb_sets=1, bbb_ways=2)
+        bbb = BranchBehaviorBuffer(config)
+        a, b, c = (addr_in_set(config, 0, i) for i in range(3))
+        bbb.access(a, True)
+        bbb.access(b, True)
+        bbb.access(a, True)  # refresh a; b is now LRU
+        bbb.access(c, True)  # evicts b
+        tracked = {e.address for e in bbb.entries()}
+        assert tracked == {a, c}
+
+    def test_candidates_are_not_evicted(self):
+        # Paper 3.1: contention "in the worst case, prevent[s] the
+        # branch from being tracked at all."
+        config = tiny_config(bbb_sets=1, bbb_ways=2, candidate_threshold=2)
+        bbb = BranchBehaviorBuffer(config)
+        a, b, c = (addr_in_set(config, 0, i) for i in range(3))
+        for _ in range(3):
+            bbb.access(a, True)
+            bbb.access(b, True)
+        assert all(e.candidate for e in bbb.entries())
+        result = bbb.access(c, True)
+        assert result is None
+        assert bbb.misses_untracked == 1
+        assert {e.address for e in bbb.entries()} == {a, b}
+
+    def test_set_indexing_isolates_sets(self):
+        config = tiny_config(bbb_sets=2, bbb_ways=1)
+        bbb = BranchBehaviorBuffer(config)
+        a0 = addr_in_set(config, 0, 0)
+        a1 = addr_in_set(config, 1, 0)
+        bbb.access(a0, True)
+        bbb.access(a1, True)
+        assert bbb.occupancy() == 2  # different sets, no eviction
+
+    def test_clear_flushes_everything(self):
+        bbb = BranchBehaviorBuffer(tiny_config())
+        bbb.access(0x1000, True)
+        bbb.clear()
+        assert bbb.occupancy() == 0
+        assert 0x1000 not in bbb
+
+
+class TestConfigValidation:
+    def test_sets_must_be_power_of_two(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            HSDConfig(bbb_sets=3)
+
+    def test_table2_defaults(self):
+        config = HSDConfig()
+        assert config.bbb_sets == 512
+        assert config.bbb_ways == 4
+        assert config.candidate_threshold == 16
+        assert config.counter_max == 511
+        assert config.hdc_max == 8191
+        assert config.refresh_interval == 8192
+        assert config.clear_interval == 65526
+        assert config.bbb_entries == 2048

@@ -1,0 +1,135 @@
+"""Tests for basic blocks and control-flow graphs."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import R
+from repro.program import ArcKind, BasicBlock, CfgError, ControlFlowGraph
+from repro.program.cfg import (
+    cross_function_target,
+    is_cross_function,
+    split_cross_function,
+)
+
+
+def block(label, *insts):
+    return BasicBlock(label, list(insts))
+
+
+def brnz(target):
+    return Instruction(Opcode.BRNZ, srcs=(R(1),), target=target)
+
+
+class TestBasicBlock:
+    def test_terminator_extraction(self):
+        b = block("a", Instruction(Opcode.NOP), Instruction(Opcode.RET))
+        assert b.terminator.opcode is Opcode.RET
+        assert [i.opcode for i in b.body] == [Opcode.NOP]
+
+    def test_fallthrough_block_has_no_terminator(self):
+        b = block("a", Instruction(Opcode.NOP))
+        assert b.terminator is None
+
+    def test_control_in_middle_rejected(self):
+        with pytest.raises(ValueError, match="not last"):
+            block("a", Instruction(Opcode.RET), Instruction(Opcode.NOP))
+
+    def test_size_excludes_pseudo(self):
+        b = block(
+            "a",
+            Instruction(Opcode.CONSUME, srcs=(R(1),)),
+            Instruction(Opcode.NOP),
+        )
+        assert b.size() == 1
+
+    def test_clone_tracks_origin_and_context(self):
+        b = block("a", Instruction(Opcode.NOP))
+        copy = b.clone("a_copy", context=(42,))
+        assert copy.origin == b.uid
+        assert copy.context == (42,)
+        assert copy.instructions[0].origin == b.instructions[0].uid
+        assert copy.clone("again").origin == b.uid  # root origin is stable
+
+
+class TestCrossFunctionTargets:
+    def test_build_and_split(self):
+        target = cross_function_target("pkg", "entry")
+        assert target == "pkg::entry"
+        assert is_cross_function(target)
+        assert split_cross_function(target) == ("pkg", "entry")
+
+    def test_plain_label_is_local(self):
+        assert not is_cross_function("entry")
+        assert not is_cross_function(None)
+
+
+class TestControlFlowGraph:
+    def make_diamond(self):
+        blocks = [
+            block("top", brnz("right")),
+            block("left", Instruction(Opcode.JUMP, target="merge")),
+            block("right", Instruction(Opcode.NOP)),
+            block("merge", Instruction(Opcode.RET)),
+        ]
+        return ControlFlowGraph(blocks)
+
+    def test_diamond_arcs(self):
+        cfg = self.make_diamond()
+        assert {a.dst for a in cfg.successors("top")} == {"right", "left"}
+        assert cfg.arc("top", "right").kind is ArcKind.TAKEN
+        assert cfg.arc("top", "left").kind is ArcKind.FALLTHROUGH
+        assert cfg.arc("right", "merge").kind is ArcKind.FALLTHROUGH
+        assert {a.src for a in cfg.predecessors("merge")} == {"left", "right"}
+
+    def test_call_block_flows_to_return_point(self):
+        blocks = [
+            block("a", Instruction(Opcode.CALL, target="f")),
+            block("b", Instruction(Opcode.RET)),
+        ]
+        cfg = ControlFlowGraph(blocks)
+        assert cfg.arc("a", "b").kind is ArcKind.CALL_RETURN
+
+    def test_missing_branch_target_rejected(self):
+        with pytest.raises(CfgError, match="missing"):
+            ControlFlowGraph([block("a", brnz("ghost")), block("b", Instruction(Opcode.RET))])
+
+    def test_fallthrough_past_end_rejected(self):
+        with pytest.raises(CfgError):
+            ControlFlowGraph([block("a", Instruction(Opcode.NOP))])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(CfgError, match="duplicate"):
+            ControlFlowGraph(
+                [block("a", Instruction(Opcode.RET)), block("a", Instruction(Opcode.RET))]
+            )
+
+    def test_cross_function_jump_has_no_local_arc(self):
+        blocks = [
+            block("a", Instruction(Opcode.JUMP, target="pkg::entry")),
+            block("b", Instruction(Opcode.RET)),
+        ]
+        cfg = ControlFlowGraph(blocks)
+        assert cfg.successors("a") == []
+
+    def test_cross_function_branch_keeps_fallthrough(self):
+        blocks = [
+            block("a", brnz("pkg::entry")),
+            block("b", Instruction(Opcode.RET)),
+        ]
+        cfg = ControlFlowGraph(blocks)
+        arcs = cfg.successors("a")
+        assert len(arcs) == 1
+        assert arcs[0].kind is ArcKind.FALLTHROUGH
+
+    def test_reachable_from_entry(self, diamond_function):
+        cfg = diamond_function.cfg
+        assert set(cfg.reachable_from()) == {"top", "left", "right", "merge"}
+
+    def test_back_edge_detection(self, loop_program):
+        cfg = loop_program.functions["main"].cfg
+        back = cfg.back_edges()
+        assert [(a.src, a.dst) for a in back] == [("cond", "loop")]
+
+    def test_exit_labels(self, loop_program):
+        assert loop_program.functions["main"].cfg.exit_labels() == ["tail"]
+        assert loop_program.functions["work"].cfg.exit_labels() == ["w2"]

@@ -1,0 +1,90 @@
+"""Tests for the call graph (sites, back edges, restriction)."""
+
+from repro.isa.assembler import assemble
+from repro.program import CallGraph
+
+
+RECURSIVE_SRC = """
+func main:
+  e:
+    call a
+  x:
+    halt
+
+func a:
+  a0:
+    call b
+  a1:
+    ret
+
+func b:
+  b0:
+    slt r1, r2, r3
+    brnz r1, b2
+  b1:
+    call a          ; mutual recursion back edge
+  b2:
+    call leaf
+  b3:
+    ret
+
+func leaf:
+  l0:
+    ret
+"""
+
+
+class TestCallGraph:
+    def setup_method(self):
+        self.program = assemble(RECURSIVE_SRC)
+        self.graph = CallGraph.from_program(self.program)
+
+    def test_functions_registered(self):
+        assert self.graph.functions == {"main", "a", "b", "leaf"}
+
+    def test_callee_names(self):
+        assert self.graph.callee_names("main") == {"a"}
+        assert self.graph.callee_names("b") == {"a", "leaf"}
+
+    def test_caller_names(self):
+        assert self.graph.caller_names("a") == {"main", "b"}
+        assert self.graph.caller_names("main") == set()
+
+    def test_sites_carry_block_and_uid(self):
+        sites = self.graph.callees("b")
+        assert {s.block_label for s in sites} == {"b1", "b2"}
+        uids = {s.call_uid for s in sites}
+        assert len(uids) == 2
+
+    def test_back_edges_identified(self):
+        back = self.graph.back_edge_sites(roots=["main"])
+        assert {(s.caller, s.callee) for s in back} == {("b", "a")}
+
+    def test_forward_sites_exclude_back_edges(self):
+        forward = self.graph.forward_sites(roots=["main"])
+        assert ("b", "a") not in {(s.caller, s.callee) for s in forward}
+        assert ("main", "a") in {(s.caller, s.callee) for s in forward}
+
+    def test_self_recursion_is_back_edge(self):
+        program = assemble(
+            """
+            func main:
+              e:
+                call main
+              x:
+                halt
+            """
+        )
+        graph = CallGraph.from_program(program)
+        back = graph.back_edge_sites(roots=["main"])
+        assert {(s.caller, s.callee) for s in back} == {("main", "main")}
+
+    def test_restricted_to_subset(self):
+        sub = self.graph.restricted_to({"a", "b"})
+        assert sub.functions == {"a", "b"}
+        pairs = {(s.caller, s.callee) for s in sub.sites}
+        assert pairs == {("a", "b"), ("b", "a")}
+
+    def test_restriction_drops_external_sites(self):
+        sub = self.graph.restricted_to({"b", "leaf"})
+        assert {(s.caller, s.callee) for s in sub.sites} == {("b", "leaf")}

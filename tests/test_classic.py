@@ -1,0 +1,178 @@
+"""Tests for the classic optimization passes (copy prop, folding, DCE)."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import R
+from repro.optimize import (
+    constant_folding,
+    copy_propagation,
+    dead_code_elimination,
+    run_classic_passes,
+)
+from repro.packages.package import Package
+from repro.program.block import BasicBlock
+
+
+def make_package(instruction_lists):
+    """Package with straight-line blocks ending in explicit transfers."""
+    package = Package(name="pkg", region_index=0, root="f")
+    labels = [f"b{i}" for i in range(len(instruction_lists))]
+    for i, (label, instructions) in enumerate(zip(labels, instruction_lists)):
+        body = list(instructions)
+        if i + 1 < len(labels):
+            body.append(Instruction(Opcode.JUMP, target=labels[i + 1]))
+        else:
+            body.append(Instruction(Opcode.RET))
+        package.blocks.append(BasicBlock(label, body))
+    package.entry_map[labels[0]] = ("f", labels[0])
+    return package
+
+
+class TestCopyPropagation:
+    def test_basic_forwarding(self):
+        package = make_package([[
+            Instruction(Opcode.MOV, dest=R(2), srcs=(R(1),)),
+            Instruction(Opcode.ADD, dest=R(3), srcs=(R(2), R(2))),
+        ]])
+        assert copy_propagation(package) == 1
+        add = package.blocks[0].instructions[1]
+        assert add.srcs == (R(1), R(1))
+
+    def test_copy_killed_by_redefinition_of_source(self):
+        package = make_package([[
+            Instruction(Opcode.MOV, dest=R(2), srcs=(R(1),)),
+            Instruction(Opcode.MOVI, dest=R(1), imm=9),   # kills the copy
+            Instruction(Opcode.ADD, dest=R(3), srcs=(R(2), R(2))),
+        ]])
+        copy_propagation(package)
+        add = package.blocks[0].instructions[2]
+        assert add.srcs == (R(2), R(2))
+
+    def test_copy_killed_by_redefinition_of_dest(self):
+        package = make_package([[
+            Instruction(Opcode.MOV, dest=R(2), srcs=(R(1),)),
+            Instruction(Opcode.MOVI, dest=R(2), imm=9),
+            Instruction(Opcode.ADD, dest=R(3), srcs=(R(2), R(2))),
+        ]])
+        copy_propagation(package)
+        add = package.blocks[0].instructions[2]
+        assert add.srcs == (R(2), R(2))
+
+    def test_does_not_cross_blocks(self):
+        package = make_package([
+            [Instruction(Opcode.MOV, dest=R(2), srcs=(R(1),))],
+            [Instruction(Opcode.ADD, dest=R(3), srcs=(R(2), R(2)))],
+        ])
+        assert copy_propagation(package) == 0
+
+
+class TestConstantFolding:
+    def test_fold_into_immediate_form(self):
+        package = make_package([[
+            Instruction(Opcode.MOVI, dest=R(1), imm=5),
+            Instruction(Opcode.ADD, dest=R(2), srcs=(R(3), R(1))),
+        ]])
+        assert constant_folding(package) == 1
+        folded = package.blocks[0].instructions[1]
+        assert folded.opcode is Opcode.ADDI
+        assert folded.srcs == (R(3),)
+        assert folded.imm == 5
+
+    def test_constant_killed_by_redefinition(self):
+        package = make_package([[
+            Instruction(Opcode.MOVI, dest=R(1), imm=5),
+            Instruction(Opcode.ADD, dest=R(1), srcs=(R(1), R(1))),
+            Instruction(Opcode.ADD, dest=R(2), srcs=(R(3), R(1))),
+        ]])
+        constant_folding(package)
+        assert package.blocks[0].instructions[2].opcode is Opcode.ADD
+
+
+class TestDeadCodeElimination:
+    def test_overwritten_value_removed(self):
+        package = make_package([[
+            Instruction(Opcode.MOVI, dest=R(1), imm=1),   # dead: overwritten
+            Instruction(Opcode.MOVI, dest=R(1), imm=2),
+        ]])
+        assert dead_code_elimination(package) == 1
+        (survivor, _ret) = package.blocks[0].instructions
+        assert survivor.imm == 2
+
+    def test_values_escaping_the_package_survive(self):
+        # r40 is never read inside the package, but a later `ret` means
+        # the caller may read it: boundary liveness keeps it.
+        package = make_package([[
+            Instruction(Opcode.MOVI, dest=R(40), imm=7),
+        ]])
+        assert dead_code_elimination(package) == 0
+
+    def test_chain_of_dead_producers_removed(self):
+        package = make_package([[
+            Instruction(Opcode.MOVI, dest=R(1), imm=1),
+            Instruction(Opcode.ADD, dest=R(2), srcs=(R(1), R(1))),
+            Instruction(Opcode.MOVI, dest=R(2), imm=0),   # kills the add
+            Instruction(Opcode.MOVI, dest=R(1), imm=0),   # kills the movi
+        ]])
+        removed = dead_code_elimination(package)
+        assert removed == 2
+
+    def test_stores_and_control_never_removed(self):
+        package = make_package([[
+            Instruction(Opcode.MOVI, dest=R(1), imm=1),
+            Instruction(Opcode.STORE, srcs=(R(1), R(2))),
+        ]])
+        assert dead_code_elimination(package) == 0
+
+
+class TestEndToEndSemantics:
+    def test_classic_passes_preserve_real_semantics(self):
+        """Optimize a real package and run the interpreter on both."""
+        from repro.engine import Interpreter
+        from tests.test_postlink import build_semantic_packed
+
+        program, packed_plain = build_semantic_packed()
+        baseline = Interpreter(program).run()
+
+        # Re-pack with the classic passes applied to every package.
+        from repro.hsd.records import HotSpotRecord
+        from repro.isa.assembler import assemble
+        from repro.packages import construct_all
+        from repro.postlink import rewrite_program
+        from repro.regions import identify_region
+        from tests.test_postlink import SEMANTIC_PROFILE, SEMANTIC_SRC
+
+        program2 = assemble(SEMANTIC_SRC)
+        record = HotSpotRecord(
+            index=0, detected_at_branch=0,
+            branches={p.address: p for p in SEMANTIC_PROFILE.values()},
+        )
+        locate = {p.address: loc for loc, p in SEMANTIC_PROFILE.items()}
+        region = identify_region(program2, record, locate)
+        plan = construct_all([region])
+        total_changes = 0
+        for package in plan.packages:
+            total_changes += run_classic_passes(package).total
+        packed = rewrite_program(program2, plan)
+
+        optimized = Interpreter(packed.program).run()
+        baseline2 = Interpreter(program2).run()
+        assert optimized.state.int_regs.get(10) == baseline2.state.int_regs.get(10)
+        assert optimized.state.int_regs.get(12) == baseline2.state.int_regs.get(12)
+
+    def test_report_totals(self):
+        package = make_package([[
+            Instruction(Opcode.MOVI, dest=R(1), imm=5),
+            Instruction(Opcode.MOV, dest=R(2), srcs=(R(1),)),
+            Instruction(Opcode.ADD, dest=R(3), srcs=(R(4), R(2))),
+            Instruction(Opcode.MOVI, dest=R(3), imm=0),
+        ]])
+        report = run_classic_passes(package)
+        assert report.copies_propagated >= 1
+        assert report.constants_folded >= 1
+        assert report.dead_removed >= 1
+        assert report.total == (
+            report.copies_propagated
+            + report.constants_folded
+            + report.dead_removed
+        )

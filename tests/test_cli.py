@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_present(self):
+        parser = build_parser()
+        for command in ("table1", "figure8", "table3", "figure9",
+                        "figure10", "ablations", "pack"):
+            args = parser.parse_args(
+                [command] if command != "pack" else [command, "181.mcf"]
+            )
+            assert args.command == command
+
+    def test_bench_filter_repeatable(self):
+        args = build_parser().parse_args(
+            ["figure8", "--bench", "130.li/B", "--bench", "181.mcf/A"]
+        )
+        assert args.bench == ["130.li/B", "181.mcf/A"]
+
+    def test_unknown_benchmark_exits(self):
+        with pytest.raises(SystemExit):
+            main(["figure8", "--bench", "nope/A", "--scale", "0.1"])
+
+
+class TestCommands:
+    def test_table1_single_input(self, capsys, tmp_path):
+        out = tmp_path / "t1.txt"
+        code = main([
+            "table1", "--bench", "181.mcf/A", "--scale", "0.2",
+            "--out", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "181.mcf" in captured
+        assert "Table 1" in out.read_text()
+
+    def test_pack_command(self, capsys):
+        code = main(["pack", "181.mcf", "A", "--scale", "0.2"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "unique phases" in captured
+        assert "coverage" in captured
+
+    def test_pack_with_classic_passes(self, capsys):
+        code = main(["pack", "181.mcf", "A", "--scale", "0.2", "--classic"])
+        assert code == 0
+        assert "coverage" in capsys.readouterr().out

@@ -1,0 +1,239 @@
+"""Tests for the CPU timing substrate: predictors, caches, block timing."""
+
+import pytest
+
+from repro.cpu import (
+    BranchTargetBuffer,
+    FetchHierarchy,
+    GsharePredictor,
+    MemoryHierarchyConfig,
+    ReturnAddressStack,
+    SetAssociativeCache,
+    TimingSimulator,
+)
+from repro.engine import BehaviorModel, BlockExecutor, ExecutionLimits, PhaseScript
+from repro.isa.assembler import assemble
+from repro.optimize import baseline_block_costs
+from repro.workloads.base import Workload
+
+
+class TestGshare:
+    def test_learns_constant_direction(self):
+        predictor = GsharePredictor()
+        for _ in range(20):
+            predictor.predict_and_update(0x1000, True)
+        assert predictor.predict_and_update(0x1000, True)
+        assert predictor.stats.accuracy > 0.8
+
+    def test_learns_alternating_pattern(self):
+        predictor = GsharePredictor()
+        correct_late = 0
+        for i in range(400):
+            correct = predictor.predict_and_update(0x1000, i % 2 == 0)
+            if i >= 200:
+                correct_late += correct
+        assert correct_late > 190  # history disambiguates the pattern
+
+    def test_random_stream_near_chance(self):
+        from repro.engine.behavior import hash_unit
+
+        predictor = GsharePredictor()
+        hits = sum(
+            predictor.predict_and_update(0x1000, hash_unit(1, i, 3) < 0.5)
+            for i in range(4000)
+        )
+        assert 0.4 < hits / 4000 < 0.65
+
+    def test_history_length(self):
+        predictor = GsharePredictor(history_bits=10)
+        assert predictor.table_size == 1024
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=1024, ways=4)
+        assert not btb.lookup_and_update(0x1000)
+        assert btb.lookup_and_update(0x1000)
+
+    def test_capacity_eviction(self):
+        btb = BranchTargetBuffer(entries=4, ways=1)
+        addresses = [0x1000 + 8 * 4 * i for i in range(3)]  # same set
+        for address in addresses:
+            btb.lookup_and_update(address)
+        # Oldest was evicted from the 1-way set.
+        assert not btb.lookup_and_update(addresses[0])
+
+
+class TestRAS:
+    def test_push_pop_matches(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop_and_check(0x100)
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack()
+        assert ras.pop() is None
+        assert not ras.pop_and_check(0x100)
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        for address in (1, 2, 3):
+            ras.push(address)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None  # 1 was dropped at overflow
+
+
+class TestCaches:
+    def test_cache_hit_after_fill(self):
+        cache = SetAssociativeCache(size_bytes=1024, line_bytes=64, ways=2)
+        assert not cache.access(5)
+        assert cache.access(5)
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+
+    def test_lru_within_set(self):
+        cache = SetAssociativeCache(size_bytes=128, line_bytes=64, ways=2)
+        # One set when sets = 128/(64*2) = 1.
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # refresh 0
+        cache.access(2)  # evict 1
+        assert cache.access(0)
+        assert not cache.access(1)
+
+    def test_fetch_hierarchy_penalties(self):
+        config = MemoryHierarchyConfig(
+            l1i_bytes=1024, l2_bytes=4096, l2_latency=10, memory_latency=100
+        )
+        hierarchy = FetchHierarchy(config)
+        first = hierarchy.fetch_penalty(0x4000, 8)
+        assert first == 100  # cold: L1 and L2 miss
+        again = hierarchy.fetch_penalty(0x4000, 8)
+        assert again == 0    # L1 hit
+
+    def test_multi_line_block_counts_each_line(self):
+        hierarchy = FetchHierarchy(MemoryHierarchyConfig(l1i_bytes=1024, l2_bytes=4096))
+        penalty = hierarchy.fetch_penalty(0x4000, 200)  # spans 4 lines
+        assert penalty == 4 * hierarchy.config.memory_latency
+
+    def test_zero_size_block_free(self):
+        hierarchy = FetchHierarchy()
+        assert hierarchy.fetch_penalty(0x4000, 0) == 0
+
+
+def timing_workload():
+    program = assemble(
+        """
+        func main:
+          entry:
+            movi r1, 0
+          loop:
+            addi r1, r1, 1
+            call work
+          cond:
+            slt r2, r1, r3
+            brnz r2, loop
+          done:
+            halt
+        func work:
+          w0:
+            add r4, r5, r6
+            mul r7, r4, r4
+            ret
+        """
+    )
+    behavior = BehaviorModel(seed=5)
+    cond_uid = next(
+        uid for uid, loc in program.branch_block_index().items()
+        if loc == ("main", "cond")
+    )
+    behavior.set_bias(cond_uid, 1.0)
+    return Workload(
+        "timing", program, behavior,
+        PhaseScript.from_pairs([(0, 1 << 20)]),
+        ExecutionLimits(max_branches=2000),
+    )
+
+
+class TestTimingSimulator:
+    def test_cycles_accumulate_components(self):
+        workload = timing_workload()
+        costs = baseline_block_costs(workload.program)
+        result = TimingSimulator(workload.program, costs).run(workload)
+        parts = (
+            result.mispredict_cycles
+            + result.fetch_bubble_cycles
+            + result.icache_stall_cycles
+            + result.btb_redirect_cycles
+            + result.ras_penalty_cycles
+        )
+        assert result.cycles > parts
+        assert result.instructions == result.summary.instructions
+
+    def test_perfectly_biased_branch_predicts_well(self):
+        workload = timing_workload()
+        costs = baseline_block_costs(workload.program)
+        result = TimingSimulator(workload.program, costs).run(workload)
+        assert result.predictor_accuracy > 0.95
+
+    def test_calls_and_returns_match_ras(self):
+        workload = timing_workload()
+        costs = baseline_block_costs(workload.program)
+        result = TimingSimulator(workload.program, costs).run(workload)
+        # Perfectly nested call/return: the RAS never mispredicts.
+        assert result.ras_penalty_cycles == 0
+
+    def test_taken_transfers_cost_bubbles(self):
+        workload = timing_workload()
+        costs = baseline_block_costs(workload.program)
+        result = TimingSimulator(workload.program, costs).run(workload)
+        # Each iteration: taken branch + call + ret = 3 bubbles.
+        assert result.fetch_bubble_cycles >= 3 * 1900
+
+    def test_deterministic(self):
+        workload = timing_workload()
+        costs = baseline_block_costs(workload.program)
+        first = TimingSimulator(workload.program, costs).run(workload)
+        second = TimingSimulator(workload.program, costs).run(workload)
+        assert first.cycles == second.cycles
+
+    def test_inverted_branch_direction_fed_to_predictor(self):
+        # A physically inverted branch (hot path = fallthrough) must
+        # train the predictor on the *physical* direction.  The
+        # original branch is 100%-taken; after inversion it is
+        # physically 100% not-taken — equally predictable, and the hot
+        # path no longer pays a taken bubble at the branch itself.
+        program = assemble(
+            """
+            func main:
+              entry:
+                movi r1, 0
+              loop:
+                addi r1, r1, 1
+                slt r2, r1, r3
+              cond:
+                brz r2, done
+              tramp:
+                jump loop
+              done:
+                halt
+            """
+        )
+        cond_block = program.functions["main"].cfg.by_label["cond"]
+        cond_block.meta["branch_inverted"] = True
+        behavior = BehaviorModel(seed=5)
+        behavior.set_bias(cond_block.terminator.uid, 1.0)  # original taken
+        workload = Workload(
+            "inv", program, behavior,
+            PhaseScript.from_pairs([(0, 1 << 20)]),
+            ExecutionLimits(max_branches=2000),
+        )
+        costs = baseline_block_costs(program)
+        result = TimingSimulator(program, costs).run(workload)
+        assert result.summary.branches == 2000  # loops via the inversion
+        assert result.predictor_accuracy > 0.95
+        # Bubbles come only from the trampoline jump (1 per iteration).
+        assert result.fetch_bubble_cycles <= 2001

@@ -1,0 +1,112 @@
+"""Tests for the fixed-width binary encoding and post-link patching."""
+
+import pytest
+
+from repro.isa.encoding import (
+    INSTRUCTION_BYTES,
+    EncodingError,
+    decode_instruction,
+    encode_instruction,
+    patch_target,
+)
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import F, R
+
+
+def roundtrip(inst, address=0x1000, resolver=None):
+    data = encode_instruction(inst, address, resolver)
+    assert len(data) == INSTRUCTION_BYTES
+    return decode_instruction(data, address)
+
+
+class TestRoundTrip:
+    def test_alu_roundtrip(self):
+        inst = Instruction(Opcode.ADD, dest=R(3), srcs=(R(1), R(2)))
+        decoded = roundtrip(inst)
+        assert decoded.opcode is Opcode.ADD
+        assert decoded.dest == R(3)
+        assert decoded.srcs == (R(1), R(2))
+
+    def test_immediate_roundtrip_negative(self):
+        inst = Instruction(Opcode.ADDI, dest=R(3), srcs=(R(1),), imm=-17)
+        decoded = roundtrip(inst)
+        assert decoded.imm == -17
+
+    def test_float_register_encoding(self):
+        inst = Instruction(Opcode.FADD, dest=F(2), srcs=(F(0), F(31)))
+        decoded = roundtrip(inst)
+        assert decoded.dest == F(2)
+        assert decoded.srcs == (F(0), F(31))
+
+    def test_branch_displacement(self):
+        inst = Instruction(Opcode.BRZ, srcs=(R(1),), target="lbl")
+        data = encode_instruction(inst, 0x1000, lambda t: 0x1080)
+        decoded = decode_instruction(data, 0x1000)
+        assert decoded.imm == 0x80
+        assert decoded.target == "0x1080"
+
+    def test_backward_branch_displacement(self):
+        inst = Instruction(Opcode.JUMP, target="lbl")
+        data = encode_instruction(inst, 0x1100, lambda t: 0x1000)
+        decoded = decode_instruction(data, 0x1100)
+        assert decoded.imm == -0x100
+        assert decoded.target == "0x1000"
+
+    def test_representative_opcodes_roundtrip(self):
+        cases = [
+            Instruction(Opcode.MOVI, dest=R(1), imm=12345),
+            Instruction(Opcode.MOV, dest=R(1), srcs=(R(2),)),
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.LOAD, dest=R(1), srcs=(R(2),), imm=64),
+            Instruction(Opcode.STORE, srcs=(R(1), R(2)), imm=-8),
+            Instruction(Opcode.FSQRT, dest=F(1), srcs=(F(2),)),
+            Instruction(Opcode.CVTIF, dest=F(1), srcs=(R(2),)),
+            Instruction(Opcode.RET),
+            Instruction(Opcode.HALT),
+        ]
+        for inst in cases:
+            decoded = roundtrip(inst)
+            assert decoded.opcode is inst.opcode
+            assert decoded.dest == inst.dest
+            assert decoded.srcs == inst.srcs
+            if inst.opcode not in (Opcode.RET, Opcode.HALT, Opcode.NOP):
+                assert decoded.imm == inst.imm
+
+
+class TestErrors:
+    def test_pseudo_instruction_rejected(self):
+        consume = Instruction(Opcode.CONSUME, srcs=(R(1),))
+        with pytest.raises(EncodingError):
+            encode_instruction(consume, 0)
+
+    def test_target_without_resolver_rejected(self):
+        inst = Instruction(Opcode.CALL, target="f")
+        with pytest.raises(EncodingError):
+            encode_instruction(inst, 0)
+
+    def test_decode_wrong_length_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(b"\x01\x02", 0)
+
+    def test_decode_unknown_opcode_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(bytes([0xEE] + [0] * 7), 0)
+
+
+class TestPatching:
+    def test_patch_target_rewrites_displacement(self):
+        inst = Instruction(Opcode.JUMP, target="a")
+        image = bytearray(encode_instruction(inst, 0, lambda t: 0x40))
+        assert decode_instruction(bytes(image), 0).imm == 0x40
+        patch_target(image, 0, 0x100)
+        assert decode_instruction(bytes(image), 0).imm == 0x100
+
+    def test_patch_only_touches_displacement_bytes(self):
+        inst = Instruction(Opcode.BRNZ, srcs=(R(9),), target="a")
+        image = bytearray(encode_instruction(inst, 0, lambda t: 8))
+        before = bytes(image[:4])
+        patch_target(image, 0, -64)
+        assert bytes(image[:4]) == before
+        decoded = decode_instruction(bytes(image), 0)
+        assert decoded.srcs == (R(9),)
+        assert decoded.imm == -64

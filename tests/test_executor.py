@@ -1,0 +1,250 @@
+"""Tests for the block-granularity behavioral executor."""
+
+import pytest
+
+from repro.engine import (
+    BehaviorModel,
+    BlockExecutor,
+    BranchTrace,
+    ExecutionLimits,
+    PhaseScript,
+    StopReason,
+)
+from repro.isa.assembler import assemble
+
+
+def branch_uid(program, fn, label):
+    block = program.functions[fn].cfg.by_label[label]
+    return block.terminator.uid
+
+
+def run(program, biases, max_branches=10_000, script=None, hooks=(), block_hook=None):
+    behavior = BehaviorModel()
+    for (fn, label), prob in biases.items():
+        behavior.set_bias(branch_uid(program, fn, label), prob)
+    executor = BlockExecutor(
+        program,
+        behavior,
+        script or PhaseScript.from_pairs([(0, 1 << 30)]),
+        branch_hooks=list(hooks),
+        block_hook=block_hook,
+        limits=ExecutionLimits(max_branches=max_branches),
+    )
+    return executor, executor.run()
+
+
+class TestControlFlow:
+    def test_halt_stops_execution(self):
+        program = assemble("func main:\n  e:\n    movi r1, 1\n    halt\n")
+        _, summary = run(program, {})
+        assert summary.stop_reason is StopReason.HALTED
+        assert summary.instructions == 2
+        assert summary.branches == 0
+
+    def test_loop_iterates_and_calls_every_iteration(self, loop_program):
+        _, summary = run(
+            loop_program,
+            {("main", "cond"): 1.0, ("work", "w0"): 0.5},
+            max_branches=1000,
+        )
+        assert summary.stop_reason is StopReason.BRANCH_LIMIT
+        assert summary.calls == summary.block_visits[
+            loop_program.functions["work"].cfg.by_label["w0"].uid
+        ]
+        assert summary.calls >= 400  # two branches per iteration
+
+    def test_biased_loop_eventually_falls_through(self, loop_program):
+        # cond taken with p=0.9: geometric exit, must halt well before
+        # the generous branch budget.
+        _, summary = run(
+            loop_program, {("main", "cond"): 0.9, ("work", "w0"): 0.5},
+            max_branches=100_000,
+        )
+        assert summary.stop_reason is StopReason.HALTED
+        tail_uid = loop_program.functions["main"].cfg.by_label["tail"].uid
+        assert summary.block_visits[tail_uid] == 1
+
+    def test_branch_limit(self, loop_program):
+        _, summary = run(
+            loop_program, {("main", "cond"): 1.0}, max_branches=500
+        )
+        assert summary.stop_reason is StopReason.BRANCH_LIMIT
+        assert summary.branches == 500
+
+    def test_instruction_limit(self, loop_program):
+        behavior = BehaviorModel()
+        behavior.set_bias(branch_uid(loop_program, "main", "cond"), 1.0)
+        executor = BlockExecutor(
+            loop_program,
+            behavior,
+            PhaseScript.from_pairs([(0, 1 << 30)]),
+            limits=ExecutionLimits(max_instructions=1000),
+        )
+        summary = executor.run()
+        assert summary.stop_reason is StopReason.INSTRUCTION_LIMIT
+        assert summary.instructions >= 1000
+
+    def test_call_and_return_stack(self):
+        program = assemble(
+            """
+            func main:
+              e:
+                call a
+              x:
+                halt
+            func a:
+              a0:
+                call b
+              a1:
+                ret
+            func b:
+              b0:
+                ret
+            """
+        )
+        _, summary = run(program, {})
+        assert summary.stop_reason is StopReason.HALTED
+        assert summary.calls == 2
+
+    def test_return_with_empty_stack_underflows(self):
+        program = assemble("func main:\n  e:\n    ret\n")
+        _, summary = run(program, {})
+        assert summary.stop_reason is StopReason.STACK_UNDERFLOW
+
+    def test_block_visits_counted(self, loop_program):
+        _, summary = run(loop_program, {("main", "cond"): 0.0})
+        loop_uid = loop_program.functions["main"].cfg.by_label["loop"].uid
+        assert summary.block_visits[loop_uid] == 1
+
+
+class TestHooksAndPhases:
+    def test_branch_hook_sees_every_branch(self, loop_program):
+        trace = BranchTrace()
+        _, summary = run(
+            loop_program, {("main", "cond"): 0.9}, hooks=[trace]
+        )
+        assert len(trace.events) == summary.branches
+
+    def test_phase_passed_to_hook(self, loop_program):
+        script = PhaseScript.from_pairs([(0, 10), (1, 1 << 30)])
+        trace = BranchTrace()
+        run(
+            loop_program,
+            {("main", "cond"): 1.0},
+            script=script,
+            hooks=[trace],
+            max_branches=60,
+        )
+        phases = [phase for (_uid, _taken, phase) in trace.events]
+        assert len(phases) == 60
+        assert phases[:10] == [0] * 10
+        assert all(p == 1 for p in phases[10:])
+
+    def test_block_hook_sequence_starts_at_entry(self, loop_program):
+        visited = []
+        run(
+            loop_program,
+            {("main", "cond"): 0.0},
+            block_hook=lambda info: visited.append((info.function, info.label)),
+        )
+        assert visited[0] == ("main", "entry")
+        assert ("work", "w0") in visited
+
+    def test_phase_changes_branch_behaviour(self, loop_program):
+        # w0 taken in phase 0, not taken in phase 1; check the split.
+        behavior = BehaviorModel()
+        behavior.set_bias(branch_uid(loop_program, "main", "cond"), 0.999)
+        behavior.set_phase_biases(
+            branch_uid(loop_program, "work", "w0"), {0: 1.0, 1: 0.0}
+        )
+        trace = BranchTrace()
+        executor = BlockExecutor(
+            loop_program,
+            behavior,
+            PhaseScript.from_pairs([(0, 100), (1, 100)]),
+            branch_hooks=[trace],
+            limits=ExecutionLimits(max_branches=200),
+        )
+        executor.run()
+        w0 = branch_uid(loop_program, "work", "w0")
+        phase0 = [t for (uid, t, p) in trace.events if uid == w0 and p == 0]
+        phase1 = [t for (uid, t, p) in trace.events if uid == w0 and p == 1]
+        assert all(phase0) and phase0
+        assert not any(phase1) and phase1
+
+
+class TestDeterminismAcrossPrograms:
+    def test_origin_uid_aligns_copies(self, loop_program):
+        """A cloned branch resolves identically to its original."""
+        behavior = BehaviorModel()
+        uid = branch_uid(loop_program, "work", "w0")
+        behavior.set_bias(uid, 0.37)
+        original = [behavior.taken(uid, i, 0) for i in range(50)]
+        clone = loop_program.functions["work"].cfg.by_label["w0"].terminator.clone()
+        cloned = [behavior.taken(clone.root_origin(), i, 0) for i in range(50)]
+        assert original == cloned
+
+    def test_identical_runs_identical_summaries(self, loop_program):
+        _, first = run(loop_program, {("main", "cond"): 0.97})
+        _, second = run(loop_program, {("main", "cond"): 0.97})
+        assert first.instructions == second.instructions
+        assert first.branches == second.branches
+        assert first.block_visits == second.block_visits
+
+
+class TestCrossFunctionTransfers:
+    def test_cross_function_jump(self):
+        program = assemble(
+            """
+            func main:
+              e:
+                jump helper::inside
+              dead:
+                halt
+            func helper:
+              h0:
+                movi r1, 1
+              inside:
+                halt
+            """,
+            validate=True,
+        )
+        _, summary = run(program, {})
+        assert summary.stop_reason is StopReason.HALTED
+        inside_uid = program.functions["helper"].cfg.by_label["inside"].uid
+        h0_uid = program.functions["helper"].cfg.by_label["h0"].uid
+        assert summary.block_visits[inside_uid] == 1
+        assert h0_uid not in summary.block_visits
+
+    def test_continuations_restore_return_path(self):
+        # Model of a package side exit leaving inlined callee code: the
+        # exit block pushes the original return point, then jumps into
+        # the original callee body; its `ret` must land there.
+        from repro.program import BasicBlock, Function
+        from repro.isa.instructions import Instruction, Opcode
+
+        program = assemble(
+            """
+            func main:
+              e:
+                jump pkg::p0
+              after_call:
+                halt
+            func callee:
+              c0:
+                movi r2, 5
+              c1:
+                ret
+            """,
+            validate=True,
+        )
+        exit_block = BasicBlock(
+            "p0",
+            [Instruction(Opcode.JUMP, target="callee::c0")],
+            continuations=(("main", "after_call"),),
+        )
+        program.add_function(Function("pkg", [exit_block]))
+        _, summary = run(program, {})
+        assert summary.stop_reason is StopReason.HALTED
+        after_uid = program.functions["main"].cfg.by_label["after_call"].uid
+        assert summary.block_visits[after_uid] == 1

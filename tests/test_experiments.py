@@ -1,0 +1,103 @@
+"""Tests for the experiment harnesses (small subsets, tiny scale)."""
+
+import pytest
+
+from repro.experiments import (
+    FOUR_CONFIGS,
+    categorize_branch,
+    format_percent,
+    format_series,
+    format_table,
+    measure_input,
+    measure_speedups,
+    run_table1,
+)
+from repro.workloads.suite import SUITE, load_benchmark
+
+TINY = 0.2  # floor-dominated, but fast
+
+MCFA = [e for e in SUITE if e.full_name == "181.mcf/A"]
+
+
+class TestConfigs:
+    def test_four_configs_cover_the_grid(self):
+        grid = {(c.inference, c.linking) for c in FOUR_CONFIGS}
+        assert grid == {(False, False), (False, True), (True, False), (True, True)}
+
+    def test_packer_applies_settings(self):
+        packer = FOUR_CONFIGS[0].packer()
+        assert not packer.region_config.inference
+        assert not packer.link
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["long", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows aligned
+
+    def test_format_percent(self):
+        assert format_percent(0.8123) == "81.2%"
+
+    def test_format_series(self):
+        text = format_series("s", [("a", 1.0), ("bb", 2)])
+        assert "a " in text and "bb" in text
+
+
+class TestCategorizeBranch:
+    def test_empty_is_undetected(self):
+        assert categorize_branch([]) == "not_in_hot_spot"
+
+    def test_unique_biased(self):
+        assert categorize_branch([0.95]) == "unique_biased"
+        assert categorize_branch([0.05]) == "unique_biased"
+
+    def test_unique_unbiased(self):
+        assert categorize_branch([0.5]) == "unique_unbiased"
+
+    def test_multi_high_swing(self):
+        assert categorize_branch([0.05, 0.95]) == "multi_high"
+
+    def test_multi_low_swing(self):
+        assert categorize_branch([0.3, 0.85]) == "multi_low"
+
+    def test_multi_same(self):
+        assert categorize_branch([0.9, 0.95]) == "multi_same"
+
+    def test_multi_no_bias(self):
+        assert categorize_branch([0.5, 0.45, 0.6]) == "multi_no_bias"
+
+    def test_boundaries(self):
+        assert categorize_branch([0.7]) == "unique_biased"        # >= 0.7
+        assert categorize_branch([0.25, 0.70]) == "multi_low"     # swing 0.45
+
+
+class TestHarnessesOnOneInput:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return load_benchmark("181.mcf", "A", scale=TINY)
+
+    def test_coverage_row_shape(self, workload):
+        row = measure_input(workload)
+        assert row.benchmark == "181.mcf"
+        assert len(row.coverage) == 4
+        assert all(0.0 <= c <= 1.0 for c in row.coverage)
+        # Full config is never worse than no-inference/no-linking by a
+        # large margin (allowing small noise from region differences).
+        assert row.coverage[3] >= row.coverage[0] - 0.05
+
+    def test_speedup_row_shape(self, workload):
+        row = measure_speedups(workload)
+        assert row.baseline_cycles > 0
+        assert len(row.packed_cycles) == 4
+        for speedup in row.speedups:
+            assert 0.8 < speedup < 2.5
+
+    def test_table1_row(self):
+        report = run_table1(entries=MCFA, scale=TINY)
+        (row,) = report.rows
+        assert row.paper_minsts == 105
+        assert row.measured_instructions > 100_000
+        assert "181.mcf" in report.render()

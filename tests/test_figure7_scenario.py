@@ -1,0 +1,190 @@
+"""Scenario test reconstructing the paper's Figure 7.
+
+Three phases are detected over a root function ``A`` that may call
+``B`` twice; the phases disagree about branch ``A2`` (whether the
+second call happens) and about ``B1``'s bias.  The test checks the
+package-transition machinery of section 3.3.4 end to end:
+
+* all phase packages share root ``A`` and a single launch point;
+* packages where ``A2`` is biased taken contain *two* partially inlined
+  copies of ``B`` (contexts ``B1'`` and ``B1''``), the paper's
+  incompatible-branch pair;
+* no link ever connects code from one inlining context to another;
+* the chosen ordering's rank is maximal over all orderings.
+"""
+
+import itertools
+
+import pytest
+
+from repro.engine import BehaviorModel, ExecutionLimits, PhaseScript
+from repro.isa.assembler import assemble
+from repro.packages.linking import compute_links
+from repro.packages.ordering import rank_from_links
+from repro.postlink import VacuumPacker
+from repro.workloads.base import Workload
+
+FIGURE7_SRC = """
+func main:
+  m_entry:
+    movi r1, 0
+  m_head:
+    call A
+  m_latch:
+    seq r2, r1, r1
+    brnz r2, m_head
+  m_tail:
+    halt
+
+func A:
+  A1:
+    sne r3, r1, r2
+    brnz r3, A1_alt
+  A1_main:
+    addi r4, r4, 1
+    jump A2
+  A1_alt:
+    addi r5, r5, 1
+    jump A2
+  A2:
+    slt r3, r1, r2
+    brnz r3, callB2
+  skip2:
+    addi r6, r6, 1
+    jump A3
+  callB2:
+    call B
+  after2:
+    addi r7, r7, 1
+    jump A3
+  A3:
+    addi r8, r8, 1
+    call B
+  A4:
+    slt r3, r2, r4
+    brnz r3, A1
+  A_ret:
+    ret
+
+func B:
+  B1:
+    sne r3, r4, r5
+    brnz r3, B_alt
+  B_main:
+    addi r10, r10, 1
+    ret
+  B_alt:
+    addi r11, r11, 1
+    ret
+"""
+
+
+@pytest.fixture(scope="module")
+def figure7():
+    program = assemble(FIGURE7_SRC)
+    behavior = BehaviorModel(seed=77)
+    branch = {loc: uid for uid, loc in program.branch_block_index().items()}
+
+    behavior.set_bias(branch[("main", "m_latch")], 1.0)
+    # Long A invocations keep the driver main cold (below the BBB
+    # candidate threshold per refresh window), so A is the root.
+    behavior.set_bias(branch[("A", "A4")], 0.997)
+
+    # A1: unbiased in phases 0 and 1, strongly biased in phase 2.
+    behavior.set_phase_biases(branch[("A", "A1")], {0: 0.5, 1: 0.5, 2: 0.97})
+    # A2: biased fall-through in phase 0 (skip the second call to B),
+    # biased taken in phases 1 and 2 (make the second call).
+    behavior.set_phase_biases(branch[("A", "A2")], {0: 0.01, 1: 0.99, 2: 0.99})
+    # B1 swings between the phases.
+    behavior.set_phase_biases(branch[("B", "B1")], {0: 0.9, 1: 0.1, 2: 0.9})
+
+    script = PhaseScript.from_pairs([(0, 120_000), (1, 120_000), (2, 120_000)])
+    workload = Workload(
+        "figure7", program, behavior, script,
+        ExecutionLimits(max_branches=script.total_branches),
+    )
+    result = VacuumPacker().pack(workload)
+    return workload, result
+
+
+def _a_group(result):
+    groups = [g for g in result.plan.groups if g.root == "A"]
+    assert groups, "packages must be rooted at A"
+    return groups[0]
+
+
+class TestFigure7:
+    def test_three_phases_three_packages(self, figure7):
+        _workload, result = figure7
+        assert result.profile.phase_count == 3
+        group = _a_group(result)
+        assert len(group.packages) == 3
+
+    def test_single_shared_launch_point(self, figure7):
+        _workload, result = figure7
+        group = _a_group(result)
+        # All three packages mirror the same entry location; only the
+        # left-most package owns the launch point.
+        entry_locations = set()
+        for package in group.packages:
+            entry_locations.update(package.entry_map.values())
+        owned = [
+            dest for loc, dest in result.packed.launch_map.items()
+            if loc in entry_locations
+        ]
+        assert len(owned) == len(entry_locations)
+        leftmost = group.packages[0]
+        for _loc, (pkg_name, _label) in result.packed.launch_map.items():
+            if _loc in entry_locations:
+                assert pkg_name == leftmost.name
+
+    def test_second_call_inlined_only_when_taken(self, figure7):
+        """Phase 0's A2 is biased fall-through: its package must skip
+        the second call to B; phases 1/2 include it twice."""
+        _workload, result = figure7
+        group = _a_group(result)
+        context_counts = {}
+        for package in group.packages:
+            b_contexts = {
+                context
+                for (location, context) in package.location_index
+                if location[0] == "B"
+            }
+            context_counts[package.name] = len(b_contexts)
+        counts = sorted(context_counts.values())
+        assert counts == [1, 2, 2], context_counts
+
+    def test_b1_copies_from_different_contexts_incompatible(self, figure7):
+        """The B1'/B1'' rule: links never cross inlining contexts."""
+        _workload, result = figure7
+        group = _a_group(result)
+        by_name = {p.name: p for p in group.packages}
+        checked = 0
+        for package in group.packages:
+            for exit_site in package.exits:
+                if exit_site.linked_to is None:
+                    continue
+                dest_name, dest_label = exit_site.linked_to
+                dest_block = by_name[dest_name].find_block(dest_label)
+                assert dest_block.context == exit_site.context
+                checked += 1
+        assert checked > 0, "the scenario must exercise linking"
+
+    def test_chosen_ordering_rank_is_maximal(self, figure7):
+        _workload, result = figure7
+        group = _a_group(result)
+        ranks = []
+        for permutation in itertools.permutations(group.packages):
+            ordered = list(permutation)
+            links = compute_links(ordered)
+            ranks.append(rank_from_links(ordered, links))
+        assert group.rank == pytest.approx(max(ranks))
+
+    def test_phase_transitions_covered(self, figure7):
+        workload, result = figure7
+        assert result.coverage.package_fraction > 0.85
+        no_link = VacuumPacker(link=False).pack(
+            workload, profile=result.profile
+        )
+        assert result.coverage.package_fraction >= \
+            no_link.coverage.package_fraction

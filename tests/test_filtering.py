@@ -1,0 +1,112 @@
+"""Tests for software hot-spot redundancy filtering (paper section 3.1)."""
+
+from repro.hsd import (
+    BranchProfile,
+    HotSpotFilter,
+    HotSpotRecord,
+    SimilarityPolicy,
+    bias_flips,
+    filter_records,
+    missing_fraction,
+    same_hot_spot,
+)
+
+
+def record(index, profiles):
+    return HotSpotRecord(
+        index=index,
+        detected_at_branch=index * 1000,
+        branches={p.address: p for p in profiles},
+    )
+
+
+def taken(address):
+    return BranchProfile(address, executed=100, taken=90)
+
+
+def not_taken(address):
+    return BranchProfile(address, executed=100, taken=10)
+
+
+def unbiased(address):
+    return BranchProfile(address, executed=100, taken=50)
+
+
+class TestSimilarityCriteria:
+    def test_identical_records_are_same(self):
+        a = record(0, [taken(0x10), not_taken(0x18)])
+        b = record(1, [taken(0x10), not_taken(0x18)])
+        assert same_hot_spot(a, b)
+
+    def test_thirty_percent_missing_rule(self):
+        # 3 of 10 branches missing = 30% -> different hot spots.
+        base = [taken(0x10 + 8 * i) for i in range(10)]
+        a = record(0, base)
+        b = record(1, base[:7])
+        assert missing_fraction(a, b) >= 0.30
+        assert not same_hot_spot(a, b)
+
+    def test_under_thirty_percent_missing_is_same(self):
+        base = [taken(0x10 + 8 * i) for i in range(10)]
+        a = record(0, base)
+        b = record(1, base[:8])  # only 20% missing
+        assert same_hot_spot(a, b)
+
+    def test_asymmetric_missing_uses_worse_side(self):
+        big = record(0, [taken(0x10 + 8 * i) for i in range(20)])
+        small = record(1, [taken(0x10 + 8 * i) for i in range(10)])
+        # Half of big's branches are missing from small.
+        assert missing_fraction(big, small) == 0.5
+        assert missing_fraction(small, big) == 0.5  # symmetric helper
+
+    def test_single_bias_flip_separates(self):
+        # Paper: "if a single biased branch ... has a different bias
+        # (taken vs. not-taken) between A and B, then A and B are
+        # different hot spots."
+        a = record(0, [taken(0x10), taken(0x18), taken(0x20)])
+        b = record(1, [taken(0x10), taken(0x18), not_taken(0x20)])
+        assert bias_flips(a, b) == 1
+        assert not same_hot_spot(a, b)
+
+    def test_unbiased_branch_cannot_flip(self):
+        a = record(0, [taken(0x10), unbiased(0x18)])
+        b = record(1, [taken(0x10), not_taken(0x18)])
+        assert bias_flips(a, b) == 0
+        assert same_hot_spot(a, b)
+
+    def test_raised_flip_threshold_merges_phases(self):
+        # The paper notes the flip threshold "could be increased to
+        # more than one, yielding fewer unique hot spots."
+        a = record(0, [taken(0x10), taken(0x18), taken(0x20)])
+        b = record(1, [taken(0x10), not_taken(0x18), not_taken(0x20)])
+        strict = SimilarityPolicy()
+        relaxed = SimilarityPolicy(max_bias_flips=3)
+        assert not same_hot_spot(a, b, strict)
+        assert same_hot_spot(a, b, relaxed)
+
+
+class TestHotSpotFilter:
+    def test_duplicate_stream_collapses(self):
+        records = [record(i, [taken(0x10), taken(0x18)]) for i in range(5)]
+        unique = filter_records(records)
+        assert len(unique) == 1
+        assert unique[0].index == 0
+
+    def test_distinct_phases_survive(self):
+        phase_a = [taken(0x10), taken(0x18)]
+        phase_b = [taken(0x40), taken(0x48)]
+        stream = [record(0, phase_a), record(1, phase_b), record(2, phase_a)]
+        unique = filter_records(stream)
+        assert [r.index for r in unique] == [0, 1]
+
+    def test_filter_compares_against_full_history(self):
+        # A recurrence of phase A after phase B is still redundant.
+        hs_filter = HotSpotFilter()
+        assert hs_filter.accept(record(0, [taken(0x10)]))
+        assert hs_filter.accept(record(1, [taken(0x80)]))
+        assert not hs_filter.accept(record(2, [taken(0x10)]))
+        assert hs_filter.rejected_count == 1
+
+    def test_empty_record_rejected(self):
+        hs_filter = HotSpotFilter()
+        assert not hs_filter.accept(record(0, []))

@@ -1,0 +1,91 @@
+"""Tests for the instruction model (classification, provenance, rendering)."""
+
+from repro.isa.instructions import FuClass, Instruction, Opcode
+from repro.isa.registers import F, R
+
+
+class TestClassification:
+    def test_fu_classes_match_table2_unit_types(self):
+        assert Opcode.ADD.fu_class is FuClass.IALU
+        assert Opcode.FADD.fu_class is FuClass.FPU
+        assert Opcode.FDIV.fu_class is FuClass.LONG_FP
+        assert Opcode.LOAD.fu_class is FuClass.MEM
+        assert Opcode.BRZ.fu_class is FuClass.BRANCH
+
+    def test_conditional_branch_flags(self):
+        br = Instruction(Opcode.BRNZ, srcs=(R(1),), target="x")
+        assert br.is_control and br.is_conditional_branch
+        assert not br.is_call and not br.is_return
+
+    def test_call_and_return_flags(self):
+        call = Instruction(Opcode.CALL, target="f")
+        ret = Instruction(Opcode.RET)
+        assert call.is_call and call.is_control
+        assert ret.is_return and ret.is_control
+
+    def test_memory_flags(self):
+        load = Instruction(Opcode.LOAD, dest=R(1), srcs=(R(2),))
+        store = Instruction(Opcode.STORE, srcs=(R(1), R(2)))
+        assert load.is_load and load.is_memory and not load.is_store
+        assert store.is_store and store.is_memory and not store.is_load
+
+    def test_consume_is_pseudo(self):
+        consume = Instruction(Opcode.CONSUME, srcs=(R(1), F(2)))
+        assert consume.is_pseudo
+
+
+class TestDataflowSets:
+    def test_defs_and_uses_of_alu(self):
+        inst = Instruction(Opcode.ADD, dest=R(3), srcs=(R(1), R(2)))
+        assert inst.defs() == (R(3),)
+        assert inst.uses() == (R(1), R(2))
+
+    def test_store_has_no_defs(self):
+        store = Instruction(Opcode.STORE, srcs=(R(1), R(2)))
+        assert store.defs() == ()
+
+
+class TestProvenance:
+    def test_uids_are_unique(self):
+        uids = {Instruction(Opcode.NOP).uid for _ in range(100)}
+        assert len(uids) == 100
+
+    def test_clone_records_origin(self):
+        original = Instruction(Opcode.ADD, dest=R(1), srcs=(R(2), R(3)))
+        copy = original.clone()
+        assert copy.uid != original.uid
+        assert copy.origin == original.uid
+        assert copy.root_origin() == original.uid
+
+    def test_clone_of_clone_keeps_root_origin(self):
+        original = Instruction(Opcode.ADD, dest=R(1), srcs=(R(2), R(3)))
+        second = original.clone().clone()
+        assert second.root_origin() == original.uid
+
+    def test_retargeted_preserves_uid(self):
+        br = Instruction(Opcode.JUMP, target="a")
+        patched = br.retargeted("pkg::entry")
+        assert patched.uid == br.uid
+        assert patched.target == "pkg::entry"
+        assert br.target == "a"  # the source instruction is untouched
+
+
+class TestRendering:
+    def test_render_alu(self):
+        inst = Instruction(Opcode.ADD, dest=R(3), srcs=(R(1), R(2)))
+        assert inst.render() == "add r3, r1, r2"
+
+    def test_render_immediate(self):
+        inst = Instruction(Opcode.ADDI, dest=R(3), srcs=(R(1),), imm=4)
+        assert inst.render() == "addi r3, r1, 4"
+
+    def test_render_memory(self):
+        load = Instruction(Opcode.LOAD, dest=R(1), srcs=(R(2),), imm=8)
+        assert load.render() == "load r1, [r2+8]"
+        store = Instruction(Opcode.STORE, srcs=(R(1), R(2)), imm=0)
+        assert store.render() == "store r1, [r2+0]"
+
+    def test_render_branch_and_call(self):
+        assert Instruction(Opcode.BRZ, srcs=(R(1),), target="x").render() == "brz r1, x"
+        assert Instruction(Opcode.CALL, target="f").render() == "call f"
+        assert Instruction(Opcode.RET).render() == "ret"

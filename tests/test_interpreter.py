@@ -1,0 +1,214 @@
+"""Tests for the semantic interpreter (real register/memory execution)."""
+
+import pytest
+
+from repro.engine import Interpreter, InterpreterError
+from repro.isa.assembler import assemble
+
+
+def run(src, **kwargs):
+    program = assemble(src, **kwargs)
+    return Interpreter(program).run()
+
+
+class TestArithmetic:
+    def test_sum_loop(self):
+        result = run(
+            """
+            func main:
+              e:
+                movi r1, 0
+                movi r2, 10
+              loop:
+                add r1, r1, r2
+                subi r2, r2, 1
+                brnz r2, loop
+              out:
+                halt
+            """
+        )
+        assert result.state.int_regs[1] == sum(range(1, 11))
+        assert result.halted
+
+    def test_alu_operations(self):
+        result = run(
+            """
+            func main:
+              e:
+                movi r1, 12
+                movi r2, 5
+                sub r3, r1, r2
+                mul r4, r1, r2
+                and r5, r1, r2
+                or r6, r1, r2
+                xor r7, r1, r2
+                shli r8, r2, 2
+                slt r9, r2, r1
+                seq r10, r1, r1
+                sne r11, r1, r1
+                halt
+            """
+        )
+        regs = result.state.int_regs
+        assert regs[3] == 7
+        assert regs[4] == 60
+        assert regs[5] == 12 & 5
+        assert regs[6] == 12 | 5
+        assert regs[7] == 12 ^ 5
+        assert regs[8] == 20
+        assert regs[9] == 1
+        assert regs[10] == 1
+        assert regs[11] == 0
+
+    def test_float_pipeline(self):
+        result = run(
+            """
+            func main:
+              e:
+                movi r1, 9
+                cvtif f1, r1
+                fsqrt f2, f1
+                movi r2, 2
+                cvtif f3, r2
+                fdiv f4, f1, f3
+                fmul f5, f4, f3
+                cvtfi r3, f2
+                halt
+            """
+        )
+        assert result.state.float_regs[2] == pytest.approx(3.0)
+        assert result.state.float_regs[5] == pytest.approx(9.0)
+        assert result.state.int_regs[3] == 3
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        result = run(
+            """
+            func main:
+              e:
+                movi r1, 100
+                movi r2, 77
+                store r2, [r1+8]
+                load r3, [r1+8]
+                halt
+            """
+        )
+        assert result.state.int_regs[3] == 77
+        assert result.state.memory[108] == 77
+
+    def test_uninitialized_memory_reads_zero(self):
+        result = run(
+            """
+            func main:
+              e:
+                movi r1, 4
+                load r2, [r1+0]
+                halt
+            """
+        )
+        assert result.state.int_regs[2] == 0
+
+
+class TestControl:
+    def test_brz_taken_on_zero(self):
+        result = run(
+            """
+            func main:
+              e:
+                movi r1, 0
+                brz r1, yes
+              no:
+                movi r2, 1
+                halt
+              yes:
+                movi r2, 2
+                halt
+            """
+        )
+        assert result.state.int_regs[2] == 2
+
+    def test_call_computes_in_callee(self):
+        result = run(
+            """
+            func main:
+              e:
+                movi r1, 21
+                call double
+              after:
+                mov r5, r1
+                halt
+            func double:
+              d:
+                add r1, r1, r1
+                ret
+            """
+        )
+        assert result.state.int_regs[5] == 42
+
+    def test_recursion_factorial(self):
+        # factorial(5) via memory-based stack discipline
+        result = run(
+            """
+            func main:
+              e:
+                movi r1, 5
+                call fact
+              after:
+                halt
+            func fact:
+              f0:
+                slti r9, r1, 2
+                brnz r9, base
+              rec:
+                mov r10, r1
+                store r10, [r60+0]
+                addi r60, r60, 8
+                subi r1, r1, 1
+                call fact
+              unwind:
+                subi r60, r60, 8
+                load r10, [r60+0]
+                mul r1, r1, r10
+                ret
+              base:
+                movi r1, 1
+                ret
+            """
+        )
+        assert result.state.int_regs[1] == 120
+
+    def test_main_return_halts(self):
+        result = run("func main:\n  e:\n    movi r1, 3\n    ret\n")
+        assert result.halted
+        assert result.state.int_regs[1] == 3
+
+    def test_budget_exhaustion_raises(self):
+        program = assemble(
+            """
+            func main:
+              loop:
+                movi r1, 1
+                brnz r1, loop
+              out:
+                halt
+            """
+        )
+        with pytest.raises(InterpreterError, match="budget"):
+            Interpreter(program, max_instructions=1000).run()
+
+    def test_trace_records_blocks(self):
+        program = assemble(
+            """
+            func main:
+              e:
+                movi r1, 0
+                brz r1, t
+              f:
+                halt
+              t:
+                halt
+            """
+        )
+        result = Interpreter(program).run(trace_blocks=True)
+        assert result.trace == [("main", "e"), ("main", "t")]

@@ -1,0 +1,164 @@
+"""Tests for package linking and ordering (paper section 3.3.4)."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.packages import (
+    BranchInstance,
+    Link,
+    Package,
+    PackageExit,
+    apply_links,
+    compute_links,
+    find_link_target,
+    order_group,
+    order_packages,
+    rank_ordering,
+)
+from repro.packages.ordering import rank_from_links
+from repro.program.block import BasicBlock
+
+
+def mock_package(name, branch_count, root="A"):
+    package = Package(name=name, region_index=0, root=root)
+    package.branch_instances = [
+        BranchInstance(origin_uid=i, context=(), bias="U", block_label=f"{name}_b{i}")
+        for i in range(branch_count)
+    ]
+    return package
+
+
+class TestRankFormula:
+    def test_paper_example_yields_0_64(self):
+        """Figure 7(c): ratios 2/5, 2/5, 3/6 -> rank 0.64."""
+        packages = [mock_package("p2", 5), mock_package("p1", 5), mock_package("p3", 6)]
+        links = (
+            [Link("x", f"e{i}", "p2", "t") for i in range(2)]
+            + [Link("x", f"f{i}", "p1", "t") for i in range(2)]
+            + [Link("x", f"g{i}", "p3", "t") for i in range(3)]
+        )
+        assert rank_from_links(packages, links) == pytest.approx(0.64)
+
+    def test_rank_prefers_reachable_first_package(self):
+        heavy = mock_package("heavy", 4)
+        light = mock_package("light", 4)
+        links = [Link("x", "e", "heavy", "t")] * 2
+        front = rank_from_links([heavy, light], links)
+        back = rank_from_links([light, heavy], links)
+        assert front > back
+
+    def test_zero_branch_package_contributes_zero(self):
+        a = mock_package("a", 0)
+        assert rank_from_links([a], [Link("x", "e", "a", "t")]) == 0.0
+
+
+def exit_package(name, exit_target, exit_context, index_entries, branch_count=2):
+    """Package with one exit and a location index for link matching."""
+    package = mock_package(name, branch_count)
+    exit_block = BasicBlock(
+        f"{name}_exit",
+        [Instruction(Opcode.JUMP, target=f"orig::{exit_target[1]}")],
+        continuations=(("orig", "cont"),),
+        context=exit_context,
+    )
+    package.blocks.append(exit_block)
+    package.exits.append(
+        PackageExit(
+            label=exit_block.label,
+            target=exit_target,
+            direction="taken",
+            context=exit_context,
+        )
+    )
+    for location, context, label in index_entries:
+        package.location_index[(location, context)] = label
+    return package
+
+
+class TestLinking:
+    def test_link_requires_identical_context(self):
+        """The B1'/B1'' rule: same branch, different inlining context,
+        never linkable."""
+        src = exit_package("p1", ("B", "B3"), (77,), [])
+        dst = exit_package("p2", ("B", "B9"), (), [(("B", "B3"), (88,), "p2_copy")])
+        assert find_link_target(src.exits[0], src, [src, dst]) is None
+
+    def test_link_to_matching_context(self):
+        src = exit_package("p1", ("B", "B3"), (77,), [])
+        dst = exit_package("p2", ("B", "B9"), (), [(("B", "B3"), (77,), "p2_copy")])
+        link = find_link_target(src.exits[0], src, [src, dst])
+        assert link == Link("p1", "p1_exit", "p2", "p2_copy")
+
+    def test_first_compatible_to_the_right_wins(self):
+        src = exit_package("p1", ("A", "x"), (), [])
+        mid = exit_package("p2", ("A", "y"), (), [(("A", "x"), (), "p2_copy")])
+        far = exit_package("p3", ("A", "z"), (), [(("A", "x"), (), "p3_copy")])
+        link = find_link_target(src.exits[0], src, [src, mid, far])
+        assert link.dest == "p2"
+
+    def test_wraparound(self):
+        left = exit_package("p1", ("A", "y"), (), [(("A", "x"), (), "p1_copy")])
+        src = exit_package("p2", ("A", "x"), (), [])
+        link = find_link_target(src.exits[0], src, [left, src])
+        assert link.dest == "p1"
+
+    def test_apply_links_retargets_and_drops_continuations(self):
+        src = exit_package("p1", ("B", "B3"), (5,), [])
+        dst = exit_package("p2", ("B", "B9"), (), [(("B", "B3"), (5,), "p2_copy")])
+        links = compute_links([src, dst])
+        assert len(links) == 1
+        apply_links([src, dst], links)
+        exit_block = src.find_block("p1_exit")
+        assert exit_block.instructions[-1].target == "p2::p2_copy"
+        assert exit_block.continuations == ()
+        assert src.exits[0].linked_to == ("p2", "p2_copy")
+
+    def test_unlinkable_exit_keeps_original_target(self):
+        src = exit_package("p1", ("B", "B3"), (), [])
+        other = exit_package("p2", ("B", "B9"), (), [])
+        links = compute_links([src, other])
+        assert links == []
+        assert src.find_block("p1_exit").instructions[-1].target == "orig::B3"
+
+
+class TestOrdering:
+    def two_way_group(self):
+        # p1's exit reaches code that only p2 has, and vice versa.
+        p1 = exit_package(
+            "p1", ("A", "cold1"), (), [(("A", "cold2"), (), "p1_copy")],
+            branch_count=2,
+        )
+        p2 = exit_package(
+            "p2", ("A", "cold2"), (), [(("A", "cold1"), (), "p2_copy")],
+            branch_count=4,
+        )
+        return p1, p2
+
+    def test_order_group_picks_highest_rank(self):
+        p1, p2 = self.two_way_group()
+        group = order_group([p1, p2])
+        # Both orderings link symmetrically (1 incoming each): ranks are
+        # r1 + r1*r2; starting with the smaller package maximizes r1.
+        expected = 1 / 2 + (1 / 2) * (1 / 4)
+        assert group.rank == pytest.approx(expected)
+        assert [p.name for p in group.packages] == ["p1", "p2"]
+        assert len(group.links) == 2
+
+    def test_rank_ordering_helper_matches(self):
+        p1, p2 = self.two_way_group()
+        assert rank_ordering([p1, p2]) == pytest.approx(0.625)
+        assert rank_ordering([p2, p1]) == pytest.approx(0.375)
+
+    def test_groups_split_by_root(self):
+        a1 = mock_package("a1", 1, root="A")
+        a2 = mock_package("a2", 1, root="A")
+        b1 = mock_package("b1", 1, root="B")
+        groups = order_packages([a1, a2, b1])
+        assert [g.root for g in groups] == ["A", "B"]
+        assert len(groups[0].packages) == 2
+        assert len(groups[1].packages) == 1
+
+    def test_singleton_group_has_no_links(self):
+        group = order_group([mock_package("solo", 3)])
+        assert group.links == []
+        assert group.rank == 0.0

@@ -1,0 +1,68 @@
+"""Tests for the executor branch-event listeners."""
+
+from repro.engine import BranchTrace, PhaseBranchStats
+from repro.engine.listeners import HSDListener
+from repro.hsd import HotSpotDetector, HSDConfig
+
+
+class TestPhaseBranchStats:
+    def test_counts_accumulate_per_phase(self):
+        stats = PhaseBranchStats()
+        for _ in range(10):
+            stats(1, True, 0)
+        for _ in range(5):
+            stats(1, False, 1)
+        assert stats.executed(1, 0) == 10
+        assert stats.executed(1, 1) == 5
+        assert stats.taken_fraction(1, 0) == 1.0
+        assert stats.taken_fraction(1, 1) == 0.0
+
+    def test_phases_of_branch(self):
+        stats = PhaseBranchStats()
+        stats(7, True, 2)
+        stats(7, True, 0)
+        stats(9, False, 1)
+        assert stats.phases_of(7) == [0, 2]
+        assert stats.phases_of(9) == [1]
+
+    def test_unknown_queries(self):
+        stats = PhaseBranchStats()
+        assert stats.executed(42, 0) == 0
+        assert stats.taken_fraction(42, 0) is None
+
+    def test_by_branch_bulk_view(self):
+        stats = PhaseBranchStats()
+        stats(1, True, 0)
+        stats(1, False, 0)
+        stats(2, True, 1)
+        table = stats.by_branch()
+        assert table[1][0] == (2, 1)
+        assert table[2][1] == (1, 1)
+
+
+class TestBranchTrace:
+    def test_bounded_recording(self):
+        trace = BranchTrace(limit=3)
+        for i in range(5):
+            trace(i, True, 0)
+        assert len(trace.events) == 3
+        assert trace.dropped == 2
+
+    def test_event_contents(self):
+        trace = BranchTrace()
+        trace(11, False, 4)
+        assert trace.events == [(11, False, 4)]
+
+
+class TestHSDListener:
+    def test_counts_raw_and_unique(self):
+        config = HSDConfig(bbb_sets=8, bbb_ways=2, candidate_threshold=4,
+                           hdc_bits=7)
+        listener = HSDListener(HotSpotDetector(config), {1: 0x1000, 2: 0x1008})
+        for _ in range(2000):
+            listener(1, True, 0)
+            listener(2, False, 0)
+        assert listener.raw_detections > 1
+        assert len(listener.unique_records) == 1
+        record = listener.unique_records[0]
+        assert set(record.branches) == {0x1000, 0x1008}

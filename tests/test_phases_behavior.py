@@ -1,0 +1,97 @@
+"""Tests for phase scripts and the behavioral branch model."""
+
+import pytest
+
+from repro.engine import BehaviorModel, PhaseScript, PhaseSegment, uniform_script
+from repro.engine.behavior import hash_unit
+
+
+class TestPhaseScript:
+    def test_phase_at_boundaries(self):
+        script = PhaseScript.from_pairs([(0, 10), (1, 5), (0, 10)])
+        assert script.phase_at(0) == 0
+        assert script.phase_at(9) == 0
+        assert script.phase_at(10) == 1
+        assert script.phase_at(14) == 1
+        assert script.phase_at(15) == 0
+
+    def test_beyond_end_stays_in_last_phase(self):
+        script = PhaseScript.from_pairs([(0, 10), (2, 5)])
+        assert script.phase_at(1_000_000) == 2
+
+    def test_phase_ids_first_appearance_order(self):
+        script = PhaseScript.from_pairs([(3, 5), (1, 5), (3, 5), (0, 5)])
+        assert script.phase_ids() == [3, 1, 0]
+
+    def test_transitions(self):
+        script = PhaseScript.from_pairs([(0, 10), (1, 5), (1, 5), (2, 10)])
+        assert script.transitions() == [10, 20]
+
+    def test_total_branches(self):
+        assert uniform_script([0, 1, 2], 100).total_branches == 300
+
+    def test_cursor_matches_phase_at(self):
+        script = PhaseScript.from_pairs([(0, 3), (7, 2), (1, 4)])
+        cursor = script.cursor()
+        observed = [cursor.advance() for _ in range(12)]
+        expected = [script.phase_at(i) for i in range(12)]
+        assert observed == expected
+
+    def test_invalid_segments_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSegment(0, 0)
+        with pytest.raises(ValueError):
+            PhaseScript([])
+
+
+class TestBehaviorModel:
+    def test_determinism(self):
+        model = BehaviorModel(seed=7)
+        model.set_bias(42, 0.3)
+        first = [model.taken(42, i, 0) for i in range(100)]
+        second = [model.taken(42, i, 0) for i in range(100)]
+        assert first == second
+
+    def test_seed_changes_outcomes(self):
+        a = BehaviorModel(seed=1)
+        b = BehaviorModel(seed=2)
+        outcomes_a = [a.taken(42, i, 0) for i in range(200)]
+        outcomes_b = [b.taken(42, i, 0) for i in range(200)]
+        assert outcomes_a != outcomes_b
+
+    def test_extreme_probabilities(self):
+        model = BehaviorModel()
+        model.set_bias(1, 1.0)
+        model.set_bias(2, 0.0)
+        assert all(model.taken(1, i, 0) for i in range(100))
+        assert not any(model.taken(2, i, 0) for i in range(100))
+
+    def test_empirical_rate_matches_probability(self):
+        model = BehaviorModel(seed=123)
+        model.set_bias(5, 0.8)
+        rate = sum(model.taken(5, i, 0) for i in range(20_000)) / 20_000
+        assert rate == pytest.approx(0.8, abs=0.02)
+
+    def test_phase_specific_bias(self):
+        model = BehaviorModel()
+        model.set_phase_biases(9, {0: 0.9, 1: 0.1})
+        assert model.prob(9, 0) == 0.9
+        assert model.prob(9, 1) == 0.1
+
+    def test_branch_default_falls_back(self):
+        model = BehaviorModel(default_prob=0.25)
+        model.set_bias(9, 0.7)          # branch default (phase=None)
+        model.set_bias(9, 0.1, phase=2)
+        assert model.prob(9, 2) == 0.1
+        assert model.prob(9, 5) == 0.7   # unknown phase -> branch default
+        assert model.prob(777, 0) == 0.25  # unknown branch -> global default
+
+    def test_probability_validation(self):
+        model = BehaviorModel()
+        with pytest.raises(ValueError):
+            model.set_bias(1, 1.5)
+
+    def test_hash_unit_range_and_spread(self):
+        values = [hash_unit(uid, occ, 0) for uid in range(10) for occ in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert abs(sum(values) / len(values) - 0.5) < 0.05

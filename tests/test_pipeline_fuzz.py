@@ -1,0 +1,87 @@
+"""Property-based fuzzing of the whole pipeline.
+
+Hypothesis generates workload shapes (phase counts, sharing, root
+style, recursion, ...); for each, the full Vacuum Packing pipeline must
+uphold its invariants: the packed program validates and links, the
+conditional-branch stream is bit-identical between original and packed
+runs, coverage accounting is exact, and all launch/link targets
+resolve.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.postlink import VacuumPacker
+from repro.workloads.synthetic import SyntheticSpec, build_workload
+
+spec_strategy = st.builds(
+    SyntheticSpec,
+    name=st.just("fuzz.bench"),
+    seed=st.integers(min_value=1, max_value=10_000),
+    phases=st.integers(min_value=1, max_value=3),
+    phase_pattern=st.sampled_from(["sequence", "repeat", "return"]),
+    work_functions=st.integers(min_value=2, max_value=6),
+    functions_per_phase=st.integers(min_value=1, max_value=3),
+    shared_fraction=st.floats(min_value=0.0, max_value=1.0),
+    shared_root=st.booleans(),
+    diamonds_per_function=st.integers(min_value=1, max_value=4),
+    block_size=st.integers(min_value=2, max_value=7),
+    call_depth=st.integers(min_value=0, max_value=2),
+    cold_functions=st.integers(min_value=0, max_value=8),
+    cold_blocks_per_function=st.integers(min_value=2, max_value=8),
+    recursion=st.booleans(),
+    branch_budget=st.just(90_000),
+)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(spec=spec_strategy)
+def test_pipeline_invariants_hold_for_arbitrary_workloads(spec):
+    workload = build_workload(spec)
+    workload.program.validate()
+
+    result = VacuumPacker().pack(workload)
+
+    # Structural soundness of the packed binary.
+    result.packed.program.validate()
+    image = result.packed.link_image()
+    assert image.size_instructions() == result.packed.program.static_size()
+
+    # The packed run replays the identical branch stream.
+    packed_run = workload.run(program=result.packed.program)
+    original = result.profile.summary
+    assert packed_run.branches == original.branches
+    assert packed_run.taken_branches == original.taken_branches
+
+    # Coverage accounting is exact and bounded.
+    coverage = result.coverage
+    assert 0.0 <= coverage.package_fraction <= 1.0
+    assert (
+        coverage.package_instructions + coverage.original_instructions
+        == coverage.total_instructions
+    )
+
+    # Launch points target real package blocks.
+    for (_fn, _label), (pkg, pkg_label) in result.packed.launch_map.items():
+        assert pkg_label in result.packed.program.functions[pkg].cfg
+
+    # Links stay inside the package set and never cross contexts.
+    by_name = {p.name: p for p in result.packages}
+    for package in result.packages:
+        for exit_site in package.exits:
+            if exit_site.linked_to is None:
+                continue
+            dest_name, dest_label = exit_site.linked_to
+            dest_block = by_name[dest_name].find_block(dest_label)
+            assert dest_block.context == exit_site.context
+
+    # Expansion metrics are consistent.  (Replication may dip slightly
+    # below 1.0 for single-package programs because layout's jump
+    # elimination shrinks the package below the selected set.)
+    row = result.expansion_row()
+    assert row["pct_increase"] >= 0.0
+    assert row["replication"] > 0.5 or row["pct_selected"] == 0.0

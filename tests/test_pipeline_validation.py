@@ -1,0 +1,176 @@
+"""Cross-validation: per-instruction pipeline vs block-level timing.
+
+The cycle-accurate :class:`~repro.cpu.pipeline.InOrderPipeline` runs
+real semantics instruction by instruction; the Figure 10 experiments
+use the much faster block-granularity
+:class:`~repro.cpu.timing.TimingSimulator`.  On programs small enough
+to run both, the models must tell a consistent story.
+"""
+
+import pytest
+
+from repro.cpu import InOrderPipeline
+from repro.engine import Interpreter
+from repro.isa.assembler import assemble
+from repro.optimize import reorder_blocks, reorder_package
+from repro.optimize.machine import MachineDescription
+
+SERIAL_SRC = """
+func main:
+  entry:
+    movi r1, 0
+    movi r2, 200
+  loop:
+    addi r1, r1, 1
+    mul r3, r1, r1
+    add r4, r3, r3
+    add r5, r4, r4
+    slt r6, r1, r2
+    brnz r6, loop
+  done:
+    halt
+"""
+
+PARALLEL_SRC = """
+func main:
+  entry:
+    movi r1, 0
+    movi r2, 200
+  loop:
+    addi r1, r1, 1
+    add r10, r20, r21
+    add r11, r22, r23
+    add r12, r24, r25
+    slt r6, r1, r2
+    brnz r6, loop
+  done:
+    halt
+"""
+
+
+class TestInOrderPipeline:
+    def test_counts_match_interpreter(self):
+        program = assemble(SERIAL_SRC)
+        result = InOrderPipeline(program).run()
+        reference = Interpreter(program).run()
+        assert result.instructions == reference.instructions
+        assert result.interpreter.state.int_regs[1] == 200
+
+    def test_serial_chain_bounds_ipc(self):
+        # mul(3) -> add(1) -> add(1) dependency chain per iteration:
+        # at least 6 cycles per 6-instruction iteration.
+        program = assemble(SERIAL_SRC)
+        result = InOrderPipeline(program).run()
+        assert result.ipc < 1.5
+
+    def test_independent_ops_pack(self):
+        serial = InOrderPipeline(assemble(SERIAL_SRC)).run()
+        parallel = InOrderPipeline(assemble(PARALLEL_SRC)).run()
+        assert parallel.cycles < serial.cycles
+        assert parallel.ipc > serial.ipc
+
+    def test_biased_loop_predicts_well(self):
+        program = assemble(SERIAL_SRC)
+        result = InOrderPipeline(program).run()
+        assert result.branches == 200
+        assert result.mispredictions < 20
+
+    def test_narrow_machine_is_slower(self):
+        program = assemble(PARALLEL_SRC)
+        wide = InOrderPipeline(program).run()
+        narrow = InOrderPipeline(
+            assemble(PARALLEL_SRC),
+            MachineDescription(issue_width=1),
+        ).run()
+        assert narrow.cycles > wide.cycles
+
+
+REORDER_SRC = """
+func main:
+  entry:
+    movi r1, 0
+    movi r2, 300
+  loop:
+    addi r1, r1, 1
+    mul r3, r1, r1
+    add r4, r3, r1
+    add r10, r20, r21
+    add r11, r22, r23
+    add r12, r11, r10
+    slt r6, r1, r2
+    brnz r6, loop
+  done:
+    halt
+"""
+
+
+class TestPhysicalReordering:
+    def test_reorder_preserves_semantics(self):
+        program = assemble(REORDER_SRC)
+        before = Interpreter(program).run()
+        changed = reorder_blocks(program.functions["main"].blocks)
+        program.functions["main"].replace_blocks(
+            program.functions["main"].blocks
+        )
+        after = Interpreter(program).run()
+        assert after.state.int_regs == before.state.int_regs
+        assert changed >= 1
+
+    def test_reorder_keeps_terminator_last(self):
+        program = assemble(REORDER_SRC)
+        reorder_blocks(program.functions["main"].blocks)
+        for block in program.functions["main"].blocks:
+            for inst in block.instructions[:-1]:
+                assert not inst.is_control
+
+    def test_reorder_helps_inorder_pipeline(self):
+        baseline = InOrderPipeline(assemble(REORDER_SRC)).run()
+        program = assemble(REORDER_SRC)
+        reorder_blocks(program.functions["main"].blocks)
+        program.functions["main"].replace_blocks(
+            program.functions["main"].blocks
+        )
+        optimized = InOrderPipeline(program).run()
+        # Interleaving the independent adds under the mul's latency
+        # must not hurt and should help an in-order machine.
+        assert optimized.cycles <= baseline.cycles
+
+
+class TestModelAgreement:
+    def test_block_model_and_pipeline_agree_on_winner(self):
+        """Both timing models must agree which binary is faster."""
+        from repro.cpu import TimingSimulator
+        from repro.engine import BehaviorModel, ExecutionLimits, PhaseScript
+        from repro.optimize import baseline_block_costs
+        from repro.workloads.base import Workload
+
+        serial = assemble(SERIAL_SRC)
+        parallel = assemble(PARALLEL_SRC)
+
+        pipeline_serial = InOrderPipeline(serial).run()
+        pipeline_parallel = InOrderPipeline(parallel).run()
+
+        def block_cycles_for(program):
+            behavior = BehaviorModel()
+            loop_uid = next(
+                uid for uid, loc in program.branch_block_index().items()
+                if loc == ("main", "loop")
+            )
+            # 200 iterations, then fall through (matches semantics).
+            behavior.set_bias(loop_uid, 0.995)
+            workload = Workload(
+                "w", program, behavior,
+                PhaseScript.from_pairs([(0, 1 << 20)]),
+                ExecutionLimits(max_branches=100_000),
+            )
+            sim = TimingSimulator(program, baseline_block_costs(program))
+            return sim.run(workload)
+
+        block_serial = block_cycles_for(serial)
+        block_parallel = block_cycles_for(parallel)
+
+        # Same winner under both models.
+        assert (pipeline_parallel.cycles < pipeline_serial.cycles) == (
+            block_parallel.cycles / block_parallel.instructions
+            < block_serial.cycles / block_serial.instructions
+        )

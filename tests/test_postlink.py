@@ -1,0 +1,319 @@
+"""Integration tests for the post-link rewriter and VacuumPacker.
+
+The key property: a packed program is *semantics preserving*.  We run
+the real (register/memory) interpreter over the original and the packed
+binary of a deterministic program and require identical final state —
+regardless of how wrong the (synthetic) profile was.
+"""
+
+import pytest
+
+from repro.engine import (
+    BehaviorModel,
+    ExecutionLimits,
+    Interpreter,
+    PhaseScript,
+)
+from repro.hsd.records import BranchProfile, HotSpotRecord
+from repro.isa.assembler import assemble
+from repro.packages import construct_all
+from repro.postlink import VacuumPacker, clone_program, rewrite_program
+from repro.regions import identify_region
+from repro.workloads.base import Workload
+
+SEMANTIC_SRC = """
+func main:
+  init:
+    movi r10, 0
+    movi r11, 20
+    movi r12, 0
+  loop:
+    addi r12, r12, 1
+    call work
+  post:
+    andi r13, r12, 3
+    brz r13, coldpath
+  hotc:
+    addi r10, r10, 1
+  latch:
+    slt r13, r12, r11
+    brnz r13, loop
+  done:
+    halt
+  coldpath:
+    addi r10, r10, 100
+    jump latch
+
+func work:
+  w0:
+    andi r20, r12, 1
+    brz r20, weven
+  wodd:
+    addi r10, r10, 2
+    ret
+  weven:
+    addi r10, r10, 3
+    ret
+"""
+
+SEMANTIC_PROFILE = {
+    ("main", "post"): BranchProfile(0x10, executed=400, taken=10),
+    ("main", "latch"): BranchProfile(0x18, executed=400, taken=380),
+    ("work", "w0"): BranchProfile(0x20, executed=300, taken=150),
+}
+
+
+def build_semantic_packed():
+    program = assemble(SEMANTIC_SRC)
+    record = HotSpotRecord(
+        index=0,
+        detected_at_branch=0,
+        branches={p.address: p for p in SEMANTIC_PROFILE.values()},
+    )
+    locate = {p.address: loc for loc, p in SEMANTIC_PROFILE.items()}
+    region = identify_region(program, record, locate)
+    plan = construct_all([region])
+    return program, rewrite_program(program, plan)
+
+
+class TestSemanticPreservation:
+    def test_final_state_identical(self):
+        program, packed = build_semantic_packed()
+        original = Interpreter(program).run()
+        rewritten = Interpreter(packed.program).run()
+        assert rewritten.halted
+        assert rewritten.state.int_regs[10] == original.state.int_regs[10]
+        assert rewritten.state.int_regs[12] == original.state.int_regs[12]
+
+    def test_expected_computation(self):
+        # 20 iterations; work adds 2 or 3 alternating; i % 4 == 0 takes
+        # the cold path (+100), otherwise +1.
+        program, packed = build_semantic_packed()
+        expected = 0
+        for i in range(1, 21):
+            expected += 3 if i % 2 == 0 else 2
+            expected += 100 if i % 4 == 0 else 1
+        result = Interpreter(packed.program).run()
+        assert result.state.int_regs[10] == expected
+
+    def test_packed_enters_package_at_start(self):
+        # main's entry is a launch location, so execution begins inside
+        # the package and stays there until the first cold side exit
+        # (i % 4 == 0 takes coldpath).  After that this run-once loop
+        # has no further launch point — the single-launch-point cost
+        # the paper's linking/launch discussion describes.
+        program, packed = build_semantic_packed()
+        result = Interpreter(packed.program).run(trace_blocks=True)
+        package_blocks = [
+            (fn, lbl) for fn, lbl in result.trace if fn in packed.package_names
+        ]
+        # main's prologue is a launch location, so the rewriter spliced
+        # a launch trampoline in as the new function entry.
+        assert result.trace[0] == ("main", "init__lp")
+        assert result.trace[1][0] in packed.package_names
+        assert len(package_blocks) > 10
+
+    def test_cold_path_runs_in_original_code(self):
+        program, packed = build_semantic_packed()
+        result = Interpreter(packed.program).run(trace_blocks=True)
+        assert ("main", "coldpath") in result.trace
+
+    def test_packed_program_links_to_image(self):
+        program, packed = build_semantic_packed()
+        image = packed.link_image()
+        assert image.size_instructions() > 0
+        # Every non-pseudo instruction must round-trip decode.
+        for address in sorted(image.address_instruction):
+            decoded = image.decode_at(address)
+            assert decoded.opcode is image.instruction_at(address).opcode
+
+
+class TestCloneProgram:
+    def test_clone_preserves_structure(self, loop_program):
+        copy = clone_program(loop_program)
+        assert set(copy.functions) == set(loop_program.functions)
+        assert copy.static_size() == loop_program.static_size()
+
+    def test_clone_tracks_origins(self, loop_program):
+        copy = clone_program(loop_program)
+        original_uids = {
+            inst.uid for _f, _b, inst in loop_program.iter_instructions()
+        }
+        for _f, _b, inst in copy.iter_instructions():
+            assert inst.uid not in original_uids
+            assert inst.root_origin() in original_uids
+
+    def test_mutating_clone_leaves_original_alone(self, loop_program):
+        copy = clone_program(loop_program)
+        copy.functions["main"].blocks[0].instructions.pop()
+        assert loop_program.functions["main"].blocks[0].instructions
+
+
+DISPATCH_SRC = """
+func main:
+  entry:
+    movi r1, 0
+  loop:
+    addi r1, r1, 1
+    seq r2, r1, r1
+    brz r2, exit
+  dispatch:
+    slt r3, r1, r2
+    brnz r3, do_b
+  do_a:
+    call work_a
+  back_a:
+    jump loop
+  do_b:
+    call work_b
+  back_b:
+    jump loop
+  exit:
+    halt
+
+func work_a:
+  a0:
+    addi r4, r4, 1
+    slt r5, r4, r6
+    brnz r5, a0
+  a1:
+    ret
+
+func work_b:
+  b0:
+    muli r7, r7, 3
+    slt r5, r7, r6
+    brnz r5, b0
+  b1:
+    ret
+"""
+
+
+def dispatch_workload(branches=240_000):
+    program = assemble(DISPATCH_SRC)
+    behavior = BehaviorModel(seed=11)
+    index = {loc: uid for uid, loc in program.branch_block_index().items()}
+    behavior.set_bias(index[("main", "loop")], 0.0)
+    behavior.set_phase_biases(index[("main", "dispatch")], {0: 0.02, 1: 0.98})
+    behavior.set_bias(index[("work_a", "a0")], 0.85)
+    behavior.set_bias(index[("work_b", "b0")], 0.85)
+    script = PhaseScript.from_pairs([(0, branches // 2), (1, branches // 2)])
+    return Workload(
+        "dispatch",
+        program,
+        behavior,
+        script,
+        ExecutionLimits(max_branches=branches),
+    )
+
+
+INLINE_DISPATCH_SRC = """
+func main:
+  entry:
+    movi r1, 0
+  loop:
+    addi r1, r1, 1
+    seq r2, r1, r1
+    brz r2, exit
+  dispatch:
+    slt r3, r1, r2
+    brnz r3, b_head
+  a_head:
+    addi r4, r4, 1
+    slt r5, r4, r6
+    brnz r5, a_head
+  a_done:
+    jump loop
+  b_head:
+    muli r7, r7, 3
+    slt r5, r7, r6
+    brnz r5, b_head
+  b_done:
+    jump loop
+  exit:
+    halt
+"""
+
+
+def inline_dispatch_workload(branches=240_000):
+    """Phase-specific loops living inside the root function itself."""
+    program = assemble(INLINE_DISPATCH_SRC)
+    behavior = BehaviorModel(seed=29)
+    index = {loc: uid for uid, loc in program.branch_block_index().items()}
+    behavior.set_bias(index[("main", "loop")], 0.0)
+    # The dispatch is absolute: phase 1 never executes the a-side, so
+    # the phase-1 region gains no accidental launch point in it.
+    behavior.set_phase_biases(index[("main", "dispatch")], {0: 0.0, 1: 1.0})
+    behavior.set_bias(index[("main", "a_head")], 0.9)
+    behavior.set_bias(index[("main", "b_head")], 0.9)
+    script = PhaseScript.from_pairs([(0, branches // 2), (1, branches // 2)])
+    return Workload(
+        "inline-dispatch",
+        program,
+        behavior,
+        script,
+        ExecutionLimits(max_branches=branches),
+    )
+
+
+class TestVacuumPackerEndToEnd:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return VacuumPacker().pack(dispatch_workload())
+
+    def test_two_phases_detected(self, result):
+        assert result.profile.phase_count == 2
+        assert result.profile.raw_detections > result.profile.phase_count
+
+    def test_branch_stream_preserved(self, result):
+        workload = result.workload
+        packed_summary = workload.run(program=result.packed.program)
+        assert packed_summary.branches == result.profile.summary.branches
+        assert (
+            packed_summary.taken_branches
+            == result.profile.summary.taken_branches
+        )
+
+    def test_high_coverage_with_linking(self, result):
+        assert result.coverage.package_fraction > 0.85
+
+    def test_linking_never_hurts_coverage(self, result):
+        no_link = VacuumPacker(link=False).pack(
+            result.workload, profile=result.profile
+        )
+        assert (
+            result.coverage.package_fraction
+            >= no_link.coverage.package_fraction
+        )
+
+    def test_linking_improves_coverage_for_inline_phases(self):
+        # When the phase-specific code lives *inside* the root function
+        # (no callee launch points to recover through), reaching the
+        # second phase's package requires linking — the paper's
+        # m88ksim observation.
+        workload = inline_dispatch_workload()
+        packer = VacuumPacker()
+        linked = packer.pack(workload)
+        unlinked = VacuumPacker(link=False).pack(
+            workload, profile=linked.profile
+        )
+        assert linked.profile.phase_count >= 2
+        assert linked.coverage.package_fraction > 0.9
+        assert unlinked.coverage.package_fraction < 0.75
+        main_groups = [g for g in linked.plan.groups if g.root == "main"]
+        assert main_groups and main_groups[0].links
+
+    def test_shared_root_packages_are_linked(self, result):
+        main_groups = [g for g in result.plan.groups if g.root == "main"]
+        assert main_groups and len(main_groups[0].packages) == 2
+        assert main_groups[0].links
+
+    def test_expansion_metrics_sane(self, result):
+        row = result.expansion_row()
+        assert row["pct_increase"] > 0
+        assert 0 < row["pct_selected"] <= 100
+        assert row["replication"] >= 1.0
+
+    def test_launch_points_recorded(self, result):
+        assert result.packed.stats.launch_points >= 1
+        assert result.packed.launch_map

@@ -1,0 +1,102 @@
+"""Tests for program-level queries and the linked binary image."""
+
+import pytest
+
+from repro.isa.encoding import INSTRUCTION_BYTES
+from repro.isa.instructions import Opcode
+from repro.program import LinkError, Program, ProgramError, ProgramImage
+from repro.program.builder import FunctionBuilder
+from repro.program.image import TEXT_BASE
+from repro.program.program import merge_programs
+
+
+class TestProgram:
+    def test_static_size(self, loop_program):
+        assert loop_program.static_size() == 11
+
+    def test_entry_must_exist(self, loop_program):
+        with pytest.raises(ProgramError):
+            Program(list(loop_program.functions.values()), entry="ghost")
+
+    def test_duplicate_function_rejected(self, loop_program):
+        main = loop_program.functions["main"]
+        with pytest.raises(ProgramError):
+            Program([main, main], entry="main")
+
+    def test_validate_rejects_undefined_callee(self):
+        fb = FunctionBuilder("main")
+        b = fb.block("e")
+        b.call("ghost")
+        done = fb.block("x")
+        done.halt()
+        program = Program([fb.build()], entry="main")
+        with pytest.raises(ProgramError, match="ghost"):
+            program.validate()
+
+    def test_branch_block_index(self, loop_program):
+        index = loop_program.branch_block_index()
+        locations = set(index.values())
+        assert ("main", "cond") in locations
+        assert ("work", "w0") in locations
+        assert len(index) == 2
+
+    def test_merge_programs(self, loop_program):
+        fb = FunctionBuilder("extra")
+        blk = fb.block("e")
+        blk.ret()
+        merged = merge_programs(loop_program, [fb.build()])
+        assert set(merged.functions) == {"main", "work", "extra"}
+        # The original program is untouched.
+        assert "extra" not in loop_program.functions
+
+
+class TestProgramImage:
+    def test_entry_function_laid_out_first(self, loop_program):
+        image = ProgramImage(loop_program)
+        assert image.function_address["main"] == TEXT_BASE
+        assert image.function_address["work"] > image.function_address["main"]
+
+    def test_addresses_are_dense_and_aligned(self, loop_program):
+        image = ProgramImage(loop_program)
+        addresses = sorted(image.instruction_address.values())
+        assert addresses[0] == TEXT_BASE
+        deltas = {b - a for a, b in zip(addresses, addresses[1:])}
+        assert deltas == {INSTRUCTION_BYTES}
+
+    def test_image_size_matches_instruction_count(self, loop_program):
+        image = ProgramImage(loop_program)
+        assert image.size_bytes() == loop_program.static_size() * INSTRUCTION_BYTES
+
+    def test_decode_matches_source_instructions(self, loop_program):
+        image = ProgramImage(loop_program)
+        for uid, address in image.instruction_address.items():
+            decoded = image.decode_at(address)
+            original = image.instruction_at(address)
+            assert decoded.opcode is original.opcode
+
+    def test_call_encodes_callee_entry_address(self, loop_program):
+        image = ProgramImage(loop_program)
+        call_inst = next(
+            inst
+            for _f, _b, inst in loop_program.iter_instructions()
+            if inst.is_call
+        )
+        decoded = image.decode_at(image.address_of(call_inst))
+        assert decoded.target == f"0x{image.function_address['work']:x}"
+
+    def test_patch_branch_target(self, loop_program):
+        image = ProgramImage(loop_program)
+        branch = next(
+            inst
+            for _f, _b, inst in loop_program.iter_instructions()
+            if inst.is_conditional_branch
+        )
+        new_target = image.address_of_block("work", "w2")
+        image.patch_branch_target(branch, new_target)
+        decoded = image.decode_at(image.address_of(branch))
+        assert decoded.target == f"0x{new_target:x}"
+
+    def test_unknown_block_lookup_raises(self, loop_program):
+        image = ProgramImage(loop_program)
+        with pytest.raises(LinkError):
+            image.address_of_block("main", "ghost")

@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.weights import estimate_weights
+from repro.engine.behavior import BehaviorModel, hash_unit
+from repro.engine.phases import PhaseScript
+from repro.hsd import BranchBehaviorBuffer, HSDConfig, HotSpotDetector
+from repro.hsd.filtering import missing_fraction, same_hot_spot
+from repro.hsd.records import BranchProfile, HotSpotRecord
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import R
+from repro.optimize import DependenceGraph, TABLE2_MACHINE, schedule_sequence
+
+# -- strategies ------------------------------------------------------
+
+int_regs = st.integers(min_value=0, max_value=63).map(R)
+
+alu_instructions = st.builds(
+    lambda d, a, b, op: Instruction(op, dest=d, srcs=(a, b)),
+    int_regs, int_regs, int_regs,
+    st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.XOR, Opcode.AND]),
+)
+
+mem_instructions = st.one_of(
+    st.builds(
+        lambda d, b, off: Instruction(Opcode.LOAD, dest=d, srcs=(b,), imm=off),
+        int_regs, int_regs, st.integers(0, 512),
+    ),
+    st.builds(
+        lambda s, b, off: Instruction(Opcode.STORE, srcs=(s, b), imm=off),
+        int_regs, int_regs, st.integers(0, 512),
+    ),
+)
+
+sequences = st.lists(st.one_of(alu_instructions, mem_instructions),
+                     min_size=1, max_size=24)
+
+
+# -- encoding round trip -----------------------------------------------
+
+@given(sequences)
+def test_encoding_roundtrip_preserves_operands(instructions):
+    for i, inst in enumerate(instructions):
+        address = 0x1000 + 8 * i
+        decoded = decode_instruction(
+            encode_instruction(inst, address), address
+        )
+        assert decoded.opcode is inst.opcode
+        assert decoded.dest == inst.dest
+        assert decoded.srcs == inst.srcs
+        assert decoded.imm == inst.imm
+
+
+# -- scheduler invariants -------------------------------------------------
+
+@given(sequences)
+@settings(max_examples=60)
+def test_schedule_respects_dependences_and_resources(instructions):
+    machine = TABLE2_MACHINE
+    graph = DependenceGraph(instructions, machine)
+    schedule = schedule_sequence(instructions, machine)
+
+    # Every instruction is scheduled exactly once.
+    assert set(schedule.issue_cycle) == set(range(len(instructions)))
+
+    # Dependences: a successor never issues before its predecessor.
+    for node in graph.nodes:
+        for succ in node.succs:
+            assert schedule.cycle_of(succ) >= schedule.cycle_of(node.index)
+
+    # Resources: per-cycle unit and issue-width limits hold.
+    per_cycle = {}
+    for index, cycle in schedule.issue_cycle.items():
+        inst = instructions[index]
+        if inst.is_pseudo:
+            continue
+        bucket = per_cycle.setdefault(cycle, {"total": 0})
+        unit = machine.unit_class(inst)
+        bucket["total"] += 1
+        bucket[unit] = bucket.get(unit, 0) + 1
+    for bucket in per_cycle.values():
+        assert bucket["total"] <= machine.issue_width
+        assert bucket.get("ialu", 0) <= machine.ialu_units
+        assert bucket.get("mem", 0) <= machine.mem_units
+        assert bucket.get("fpu", 0) <= machine.fpu_units
+
+
+@given(sequences)
+@settings(max_examples=40)
+def test_schedule_no_longer_than_serial(instructions):
+    real = [i for i in instructions if not i.is_pseudo]
+    schedule = schedule_sequence(instructions)
+    serial_bound = sum(max(TABLE2_MACHINE.latency(i), 1) for i in real)
+    assert schedule.length <= serial_bound
+
+
+# -- behavior model ---------------------------------------------------------
+
+@given(
+    st.integers(min_value=1, max_value=1 << 31),
+    st.integers(min_value=0, max_value=1 << 20),
+    st.integers(min_value=0, max_value=1 << 16),
+)
+def test_hash_unit_in_range_and_stable(uid, occurrence, seed):
+    value = hash_unit(uid, occurrence, seed)
+    assert 0.0 <= value < 1.0
+    assert value == hash_unit(uid, occurrence, seed)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0), st.integers(0, 1000))
+@settings(max_examples=30)
+def test_behavior_rate_tracks_probability(prob, seed):
+    model = BehaviorModel(seed=seed)
+    model.set_bias(1, prob)
+    n = 3000
+    rate = sum(model.taken(1, i, 0) for i in range(n)) / n
+    assert abs(rate - prob) < 0.05
+
+
+# -- phase scripts ---------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(1, 5000)),
+        min_size=1, max_size=8,
+    )
+)
+def test_cursor_agrees_with_phase_at(pairs):
+    script = PhaseScript.from_pairs(pairs)
+    cursor = script.cursor()
+    probe = min(script.total_branches + 10, 20000)
+    for i in range(probe):
+        assert cursor.advance() == script.phase_at(i)
+
+
+# -- BBB counters ------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.booleans()),
+        min_size=1, max_size=600,
+    )
+)
+@settings(max_examples=50)
+def test_bbb_counters_bounded_and_consistent(events):
+    config = HSDConfig(bbb_sets=4, bbb_ways=2, counter_bits=6,
+                       candidate_threshold=8)
+    bbb = BranchBehaviorBuffer(config)
+    for slot, taken in events:
+        bbb.access(0x1000 + 8 * slot, taken)
+    for entry in bbb.entries():
+        assert 0 <= entry.taken <= entry.executed <= config.counter_max
+        assert entry.candidate == (entry.executed >= config.candidate_threshold)
+    assert bbb.occupancy() <= config.bbb_entries
+
+
+@given(st.lists(st.tuples(st.integers(0, 60), st.booleans()),
+                min_size=1, max_size=2000))
+@settings(max_examples=25)
+def test_detector_hdc_stays_in_range(events):
+    config = HSDConfig(bbb_sets=8, bbb_ways=2, hdc_bits=8,
+                       candidate_threshold=4, refresh_interval=128,
+                       clear_interval=512)
+    detector = HotSpotDetector(config)
+    for slot, taken in events:
+        detector.observe(0x1000 + 8 * slot, taken)
+        assert 0 <= detector.hdc <= config.hdc_max
+    for record in detector.records:
+        for profile in record:
+            assert profile.executed >= config.candidate_threshold
+
+
+# -- hot-spot similarity -----------------------------------------------------
+
+record_strategy = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(1, 500), st.floats(0, 1)),
+    min_size=1, max_size=20,
+).map(
+    lambda items: HotSpotRecord(
+        index=0,
+        detected_at_branch=0,
+        branches={
+            0x1000 + 8 * slot: BranchProfile(
+                0x1000 + 8 * slot, executed, min(int(executed * frac), executed)
+            )
+            for slot, executed, frac in items
+        },
+    )
+)
+
+
+@given(record_strategy)
+def test_record_identical_to_itself(record):
+    assert missing_fraction(record, record) == 0.0
+    assert same_hot_spot(record, record)
+
+
+@given(record_strategy, record_strategy)
+def test_similarity_is_symmetric(a, b):
+    assert same_hot_spot(a, b) == same_hot_spot(b, a)
+    assert missing_fraction(a, b) == missing_fraction(b, a)
+
+
+# -- weight estimation ----------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.02, max_value=0.98),
+                min_size=1, max_size=6))
+@settings(max_examples=40)
+def test_flow_conservation_on_branch_chain(probs):
+    """A chain of diamonds conserves flow: exit weight == entry weight."""
+    from repro.program.builder import FunctionBuilder
+
+    fb = FunctionBuilder("f")
+    for i, _p in enumerate(probs):
+        cond = fb.block(f"c{i}")
+        cond.sne(R(1), R(2), R(3))
+        cond.brnz(R(1), f"t{i}")
+        fall = fb.block(f"f{i}")
+        fall.jump(f"m{i}")
+        taken = fb.block(f"t{i}")
+        taken.addi(R(4), R(4), 1)
+        merge = fb.block(f"m{i}")
+        merge.nop()
+    tail = fb.block("tail")
+    tail.ret()
+    function = fb.build()
+    est = estimate_weights(
+        function.cfg, {f"c{i}": p for i, p in enumerate(probs)}
+    )
+    assert abs(est.weight("tail") - 1.0) < 1e-6
+    for i in range(len(probs)):
+        merged = est.weight(f"f{i}") + est.weight(f"t{i}")
+        assert abs(merged - 1.0) < 1e-6

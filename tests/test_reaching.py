@@ -1,0 +1,70 @@
+"""Tests for reaching definitions (and thereby the forward solver)."""
+
+from repro.analysis import ReachingDefinitions
+from repro.isa.assembler import assemble_function
+from repro.isa.registers import R
+
+DIAMOND_SRC = """
+func f:
+  top:
+    movi r1, 1
+    brnz r1, right
+  left:
+    movi r2, 10
+    jump merge
+  right:
+    movi r2, 20
+  merge:
+    add r3, r2, r1
+    ret
+"""
+
+LOOP_SRC = """
+func f:
+  pre:
+    movi r1, 0
+  head:
+    addi r1, r1, 1
+    slt r2, r1, r3
+    brnz r2, head
+  out:
+    ret
+"""
+
+
+class TestDiamond:
+    def setup_method(self):
+        self.fn = assemble_function(DIAMOND_SRC)
+        self.reach = ReachingDefinitions(self.fn.cfg)
+
+    def test_both_arm_definitions_reach_merge(self):
+        definers = self.reach.definers_of("merge", R(2))
+        assert len(definers) == 2
+        assert not self.reach.is_single_reaching_def("merge", R(2))
+
+    def test_unique_definition_reaches_merge(self):
+        assert self.reach.is_single_reaching_def("merge", R(1))
+
+    def test_arm_sees_only_entry_definitions(self):
+        assert self.reach.definers_of("left", R(2)) == frozenset()
+        assert len(self.reach.definers_of("left", R(1))) == 1
+
+    def test_kill_inside_block(self):
+        # r2 defined in `left` kills nothing upstream but appears in out.
+        out = {r for r, _uid in self.reach.reaching_out("left")}
+        assert R(2) in out
+
+
+class TestLoop:
+    def setup_method(self):
+        self.fn = assemble_function(LOOP_SRC)
+        self.reach = ReachingDefinitions(self.fn.cfg)
+
+    def test_head_sees_preheader_and_latch_defs(self):
+        definers = self.reach.definers_of("head", R(1))
+        assert len(definers) == 2  # movi from pre + addi around the loop
+
+    def test_exit_sees_loop_definition(self):
+        definers = self.reach.definers_of("out", R(1))
+        addi_uid = self.fn.cfg.by_label["head"].instructions[0].uid
+        assert addi_uid in definers

@@ -1,0 +1,358 @@
+"""Tests for region identification (paper section 3.2).
+
+The centerpiece is a reconstruction of the paper's Figure 3 worked
+example: two functions whose hot spot was only partially captured by a
+tiny BBB, where inference must recover the missing blocks and
+propagate cold information.  Every narrative claim made in
+section 3.2.4 is asserted:
+
+* "Since A2's branch is strongly not-taken, the flow to A7 is
+  identified as Cold."
+* "The flow from A9 to A10 is similarly identified as Cold."
+* "Since the flow from A2 to A7 is Cold, block A7 must be Cold."
+* "Since A2 is Hot and is also strongly not-taken, the flow to A3 is
+  Hot ... propagated to block A3 ... even though it was missing from
+  the hot branch profile."
+* "The fact that B4 is Hot implies that B2 and B6 are Hot."
+"""
+
+import pytest
+
+from repro.hsd.records import BranchProfile, HotSpotRecord
+from repro.isa.assembler import assemble
+from repro.regions import (
+    RegionConfig,
+    Temp,
+    adopt_unknown_arcs,
+    entry_blocks_of,
+    grow_region,
+    identify_region,
+    infer_temperatures,
+    seed_marking,
+)
+
+FIGURE3_SRC = """
+func A:
+  A1:
+    slt r3, r1, r2
+    brnz r3, A9
+  A2:
+    sne r3, r1, r2
+    brnz r3, A7
+  A3:
+    addi r4, r4, 1
+  A4:
+    call B
+  A5:
+    addi r5, r5, 1
+  A6:
+    slt r3, r1, r2
+    brnz r3, A2
+  A9:
+    seq r3, r1, r2
+    brnz r3, A1
+  A10:
+    ret
+  A7:
+    addi r6, r6, 1
+  A8:
+    jump A10
+
+func B:
+  B1:
+    slt r3, r1, r2
+    brnz r3, B5
+  B2:
+    sne r3, r1, r2
+    brnz r3, B4
+  B3:
+    jump B6
+  B4:
+    slt r3, r1, r2
+    brnz r3, B6
+  B5:
+    addi r7, r7, 1
+  B6:
+    ret
+"""
+
+# The tiny four-entry BBB captured only A1, A2, A9, and B4 (half of the
+# hot branches): A1 unbiased, A2 strongly not-taken, A9 strongly taken,
+# B4 strongly taken.
+FIG3_PROFILE = {
+    ("A", "A1"): BranchProfile(0x10, executed=400, taken=200),
+    ("A", "A2"): BranchProfile(0x18, executed=400, taken=10),
+    ("A", "A9"): BranchProfile(0x20, executed=390, taken=375),
+    ("B", "B4"): BranchProfile(0x28, executed=500, taken=490),
+}
+
+
+@pytest.fixture
+def fig3():
+    program = assemble(FIGURE3_SRC, entry="A")
+    record = HotSpotRecord(
+        index=0,
+        detected_at_branch=100_000,
+        branches={p.address: p for p in FIG3_PROFILE.values()},
+    )
+    locate = {p.address: loc for loc, p in FIG3_PROFILE.items()}
+    return program, record, locate
+
+
+class TestSeeding:
+    def test_profiled_blocks_seeded_hot(self, fig3):
+        program, record, locate = fig3
+        marking = seed_marking(program, record, locate, RegionConfig())
+        a = marking.marking("A")
+        assert a.block("A1") is Temp.HOT
+        assert a.block("A2") is Temp.HOT
+        assert a.block("A9") is Temp.HOT
+        assert marking.marking("B").block("B4") is Temp.HOT
+        assert a.seeded_blocks == {"A1", "A2", "A9"}
+
+    def test_unbiased_branch_heats_both_arcs(self, fig3):
+        program, record, locate = fig3
+        marking = seed_marking(program, record, locate, RegionConfig())
+        a = marking.marking("A")
+        assert a.arc(("A1", "A9")) is Temp.HOT
+        assert a.arc(("A1", "A2")) is Temp.HOT
+
+    def test_strongly_biased_branch_cold_direction(self, fig3):
+        program, record, locate = fig3
+        marking = seed_marking(program, record, locate, RegionConfig())
+        a = marking.marking("A")
+        # A2 taken only 10/400 (2.5% < 25% and weight 10 <= 16).
+        assert a.arc(("A2", "A7")) is Temp.COLD
+        assert a.arc(("A2", "A3")) is Temp.HOT
+        # A9 falls through only 15/390.
+        assert a.arc(("A9", "A10")) is Temp.COLD
+
+    def test_low_fraction_but_heavy_direction_stays_hot(self, fig3):
+        program, record, locate = fig3
+        # 20% of flow but weight 80 > 16: still Hot per the OR rule.
+        record = HotSpotRecord(
+            index=0,
+            detected_at_branch=0,
+            branches={0x18: BranchProfile(0x18, executed=400, taken=80)},
+        )
+        marking = seed_marking(program, record, locate, RegionConfig())
+        assert marking.marking("A").arc(("A2", "A7")) is Temp.HOT
+
+    def test_taken_probability_recorded(self, fig3):
+        program, record, locate = fig3
+        marking = seed_marking(program, record, locate, RegionConfig())
+        assert marking.marking("A").taken_prob["A2"] == pytest.approx(10 / 400)
+
+    def test_unknown_addresses_ignored(self, fig3):
+        program, record, locate = fig3
+        record.branches[0xDEAD] = BranchProfile(0xDEAD, executed=100, taken=50)
+        marking = seed_marking(program, record, locate, RegionConfig())
+        assert marking.hot_block_count() == 4
+
+
+class TestInference:
+    @pytest.fixture
+    def inferred(self, fig3):
+        program, record, locate = fig3
+        config = RegionConfig()
+        marking = seed_marking(program, record, locate, config)
+        infer_temperatures(marking, config)
+        return marking
+
+    def test_cold_arc_freezes_a7(self, inferred):
+        assert inferred.marking("A").block("A7") is Temp.COLD
+
+    def test_cold_propagates_down_cold_chain(self, inferred):
+        a = inferred.marking("A")
+        assert a.arc(("A7", "A8")) is Temp.COLD  # statement 6
+        assert a.block("A8") is Temp.COLD        # statement 3
+        assert a.block("A10") is Temp.COLD       # via A9->A10 cold
+
+    def test_missing_branch_block_a3_inferred_hot(self, inferred):
+        assert inferred.marking("A").block("A3") is Temp.HOT
+
+    def test_hot_chain_recovered_through_a6(self, inferred):
+        a = inferred.marking("A")
+        for label in ("A4", "A5", "A6"):
+            assert a.block(label) is Temp.HOT, label
+
+    def test_hot_call_heats_callee_prologue(self, inferred):
+        # Statement 9: A4 is a hot call block, so B1 becomes hot.
+        assert inferred.marking("B").block("B1") is Temp.HOT
+
+    def test_b4_implies_b2_and_b6(self, inferred):
+        b = inferred.marking("B")
+        assert b.block("B2") is Temp.HOT  # statements 7 + 4
+        assert b.block("B6") is Temp.HOT  # statement 4
+
+    def test_unidentifiable_blocks_stay_unknown(self, inferred):
+        b = inferred.marking("B")
+        assert b.block("B3") is Temp.UNKNOWN
+        assert b.block("B5") is Temp.UNKNOWN
+
+    def test_inference_reaches_fixpoint(self, fig3):
+        program, record, locate = fig3
+        config = RegionConfig()
+        marking = seed_marking(program, record, locate, config)
+        infer_temperatures(marking, config)
+        # Running again must change nothing (single pass, no updates).
+        assert infer_temperatures(marking, config) == 1
+
+
+class TestInferenceDisabled:
+    def test_branch_blocks_not_inferred_hot(self, fig3):
+        program, record, locate = fig3
+        config = RegionConfig(inference=False)
+        marking = seed_marking(program, record, locate, config)
+        infer_temperatures(marking, config)
+        a = marking.marking("A")
+        # A3 has no branch: still inferred.
+        assert a.block("A3") is Temp.HOT
+        # A6 ends in a conditional branch missing from the profile:
+        # with inference off it must stay unknown.
+        assert a.block("A6") is Temp.UNKNOWN
+        b = marking.marking("B")
+        assert b.block("B2") is Temp.UNKNOWN
+
+    def test_cold_inference_also_restricted_to_branchless(self, fig3):
+        program, record, locate = fig3
+        config = RegionConfig(inference=False)
+        marking = seed_marking(program, record, locate, config)
+        infer_temperatures(marking, config)
+        # A7/A8/A10 contain no conditional branch: cold still flows.
+        a = marking.marking("A")
+        assert a.block("A7") is Temp.COLD
+        assert a.block("A10") is Temp.COLD
+
+
+class TestGrowth:
+    def test_unknown_arc_between_hot_blocks_adopted(self, fig3):
+        program, record, locate = fig3
+        config = RegionConfig()
+        marking = seed_marking(program, record, locate, config)
+        infer_temperatures(marking, config)
+        a = marking.marking("A")
+        # A6 has two unknown out-arcs, so flow conservation cannot
+        # solve them; growth adopts them because both endpoints are hot.
+        assert a.arc(("A6", "A2")) is Temp.UNKNOWN
+        assert a.arc(("A6", "A9")) is Temp.UNKNOWN
+        adopted = adopt_unknown_arcs(marking)
+        assert adopted >= 2
+        assert a.arc(("A6", "A2")) is Temp.HOT
+        assert a.arc(("A6", "A9")) is Temp.HOT
+
+    def test_cold_arcs_between_hot_blocks_stay_excluded(self, fig3):
+        program, record, locate = fig3
+        config = RegionConfig()
+        marking = seed_marking(program, record, locate, config)
+        infer_temperatures(marking, config)
+        grow_region(marking, config)
+        # A2 -> A7 stays a (cold) exit even though both regions grew.
+        assert marking.marking("A").arc(("A2", "A7")) is Temp.COLD
+
+    def test_entry_blocks_ignore_back_edges(self, fig3):
+        program, record, locate = fig3
+        config = RegionConfig()
+        marking = seed_marking(program, record, locate, config)
+        infer_temperatures(marking, config)
+        grow_region(marking, config)
+        assert entry_blocks_of(marking.marking("A")) == ["A1"]
+        assert entry_blocks_of(marking.marking("B")) == ["B1"]
+
+    def test_predecessor_growth_respects_max_blocks(self):
+        # Entry block with a chain of three unknown predecessors: only
+        # MAX_BLOCKS of them may be pulled in.
+        program = assemble(
+            """
+            func f:
+              p1:
+                addi r1, r1, 1
+              p2:
+                addi r1, r1, 1
+              p3:
+                addi r1, r1, 1
+              hot:
+                slt r2, r1, r3
+                brnz r2, hot
+              out:
+                ret
+            """,
+            entry="f",
+        )
+        record = HotSpotRecord(
+            index=0,
+            detected_at_branch=0,
+            branches={0x10: BranchProfile(0x10, executed=400, taken=300)},
+        )
+        locate = {0x10: ("f", "hot")}
+        config = RegionConfig(max_growth_blocks=1)
+        marking = seed_marking(program, record, locate, config)
+        infer_temperatures(marking, config)
+        grow_region(marking, config)
+        f = marking.marking("f")
+        assert f.block("p3") is Temp.HOT      # one predecessor adopted
+        assert f.block("p2") is Temp.UNKNOWN  # budget exhausted
+        assert f.block("p1") is Temp.UNKNOWN
+
+    def test_larger_budget_grows_further(self):
+        program = assemble(
+            """
+            func f:
+              p1:
+                addi r1, r1, 1
+              p2:
+                addi r1, r1, 1
+              hot:
+                slt r2, r1, r3
+                brnz r2, hot
+              out:
+                ret
+            """,
+            entry="f",
+        )
+        record = HotSpotRecord(
+            index=0,
+            detected_at_branch=0,
+            branches={0x10: BranchProfile(0x10, executed=400, taken=300)},
+        )
+        locate = {0x10: ("f", "hot")}
+        config = RegionConfig(max_growth_blocks=4)
+        marking = seed_marking(program, record, locate, config)
+        infer_temperatures(marking, config)
+        grow_region(marking, config)
+        f = marking.marking("f")
+        assert f.block("p1") is Temp.HOT
+        assert f.block("p2") is Temp.HOT
+
+
+class TestHotRegion:
+    @pytest.fixture
+    def region(self, fig3):
+        program, record, locate = fig3
+        return identify_region(program, record, locate)
+
+    def test_region_spans_both_functions(self, region):
+        assert region.function_names() == ["A", "B"]
+
+    def test_subgraph_contents(self, region):
+        sub_a = region.subgraph("A")
+        assert set(sub_a.blocks) == {"A1", "A2", "A3", "A4", "A5", "A6", "A9"}
+        assert ("A2", "A7") not in sub_a.arcs
+        assert ("A2", "A3") in sub_a.arcs
+        sub_b = region.subgraph("B")
+        assert set(sub_b.blocks) == {"B1", "B2", "B4", "B6"}
+        assert ("B2", "B4") in sub_b.arcs
+        assert ("B4", "B6") in sub_b.arcs
+
+    def test_region_call_graph(self, region):
+        graph = region.call_graph()
+        assert {(s.caller, s.callee) for s in graph.sites} == {("A", "B")}
+
+    def test_hot_counts(self, region):
+        assert region.hot_block_count() == 11
+        assert region.hot_instruction_count() > 0
+
+    def test_weight_estimation_uses_taken_probs(self, region):
+        est = region.estimate_weights("A")
+        # The loop body (A2..A6) must be much heavier than the exit A10.
+        assert est.weight("A2") > 10 * est.weight("A10")

@@ -1,0 +1,78 @@
+"""Tests for the register model and calling convention."""
+
+import pytest
+
+from repro.isa.registers import (
+    ARG_REGS,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    F,
+    INT_RETURN_REG,
+    R,
+    Reg,
+    RegClass,
+    STACK_POINTER,
+    parse_reg,
+)
+
+
+class TestRegConstruction:
+    def test_int_register_name(self):
+        assert R(5).name == "r5"
+        assert str(R(5)) == "r5"
+
+    def test_float_register_name(self):
+        assert F(3).name == "f3"
+
+    def test_out_of_range_int_register_rejected(self):
+        with pytest.raises(ValueError):
+            R(64)
+
+    def test_out_of_range_float_register_rejected(self):
+        with pytest.raises(ValueError):
+            F(32)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            R(-1)
+
+    def test_registers_hashable_and_equal(self):
+        assert R(7) == Reg(RegClass.INT, 7)
+        assert len({R(7), Reg(RegClass.INT, 7), F(7)}) == 2
+
+    def test_registers_ordered(self):
+        assert sorted([R(2), R(1)]) == [R(1), R(2)]
+
+
+class TestParseReg:
+    def test_parse_int(self):
+        assert parse_reg("r12") == R(12)
+
+    def test_parse_float(self):
+        assert parse_reg(" f3 ") == F(3)
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("x1", "r", "rr3", "r1a", ""):
+            with pytest.raises(ValueError):
+                parse_reg(bad)
+
+    def test_parse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_reg("f40")
+
+
+class TestCallingConvention:
+    def test_arg_regs_are_r1_to_r8(self):
+        assert list(ARG_REGS) == [R(i) for i in range(1, 9)]
+
+    def test_return_reg_is_first_arg(self):
+        assert INT_RETURN_REG == R(1)
+
+    def test_caller_and_callee_saved_disjoint(self):
+        assert not (CALLER_SAVED & CALLEE_SAVED)
+
+    def test_stack_pointer_is_callee_saved(self):
+        assert STACK_POINTER in CALLEE_SAVED
+
+    def test_args_are_caller_saved(self):
+        assert set(ARG_REGS) <= CALLER_SAVED

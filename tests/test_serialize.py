@@ -1,0 +1,103 @@
+"""Tests for hot-spot profile serialization."""
+
+import json
+
+import pytest
+
+from repro.hsd import (
+    BranchProfile,
+    HotSpotRecord,
+    ProfileFormatError,
+    load_profile,
+    records_from_json,
+    records_to_json,
+    save_profile,
+)
+from repro.hsd.serialize import FORMAT_VERSION, records_to_dict
+
+
+def sample_records():
+    return [
+        HotSpotRecord(
+            index=0,
+            detected_at_branch=4500,
+            branches={
+                0x1000: BranchProfile(0x1000, 511, 498),
+                0x1018: BranchProfile(0x1018, 400, 10),
+            },
+        ),
+        HotSpotRecord(
+            index=7,
+            detected_at_branch=105_000,
+            branches={0x2000: BranchProfile(0x2000, 300, 150)},
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_json_roundtrip(self):
+        text = records_to_json(sample_records(), meta={"benchmark": "x"})
+        loaded = records_from_json(text)
+        assert len(loaded) == 2
+        assert loaded[0].index == 0
+        assert loaded[0].detected_at_branch == 4500
+        assert loaded[0].branches[0x1000].taken == 498
+        assert loaded[1].branches[0x2000].executed == 300
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(path, sample_records())
+        loaded = load_profile(path)
+        assert {r.index for r in loaded} == {0, 7}
+
+    def test_document_is_stable(self):
+        a = records_to_json(sample_records())
+        b = records_to_json(sample_records())
+        assert a == b
+
+    def test_meta_preserved_in_document(self):
+        document = records_to_dict(sample_records(), meta={"scale": 0.5})
+        assert document["meta"] == {"scale": 0.5}
+        assert document["version"] == FORMAT_VERSION
+
+    def test_loaded_records_drive_region_identification(self):
+        """A persisted profile is as good as a live one."""
+        from repro.isa.assembler import assemble
+        from repro.regions import identify_region
+        from tests.test_regions import FIG3_PROFILE, FIGURE3_SRC
+
+        program = assemble(FIGURE3_SRC, entry="A")
+        record = HotSpotRecord(
+            index=0, detected_at_branch=0,
+            branches={p.address: p for p in FIG3_PROFILE.values()},
+        )
+        (loaded,) = records_from_json(records_to_json([record]))
+        locate = {p.address: loc for loc, p in FIG3_PROFILE.items()}
+        region = identify_region(program, loaded, locate)
+        assert region.hot_block_count() == 11
+
+
+class TestErrors:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ProfileFormatError, match="format"):
+            records_from_json(json.dumps({"format": "other", "version": 1}))
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ProfileFormatError, match="version"):
+            records_from_json(
+                json.dumps({"format": "vacuum-packing-profile", "version": 99})
+            )
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ProfileFormatError, match="JSON"):
+            records_from_json("{not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProfileFormatError, match="object"):
+            records_from_json("[1, 2]")
+
+    def test_rejects_inconsistent_counts(self):
+        document = records_to_dict(sample_records())
+        document["records"][0]["branches"][0]["taken"] = 10_000
+        with pytest.raises(ProfileFormatError, match="malformed"):
+            records_from_json(json.dumps(document))

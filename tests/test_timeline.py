@@ -1,0 +1,68 @@
+"""Tests for the phase-timeline rendering helpers."""
+
+from repro.engine.phases import PhaseScript
+from repro.experiments import detection_latencies, render_timeline
+from repro.experiments.timeline import render_record_lanes, render_truth_lane
+from repro.hsd.records import BranchProfile, HotSpotRecord
+
+
+def record(index, detected_at):
+    return HotSpotRecord(
+        index=index,
+        detected_at_branch=detected_at,
+        branches={0x10: BranchProfile(0x10, 100, 50)},
+    )
+
+
+class TestTruthLane:
+    def test_phases_fill_proportionally(self):
+        script = PhaseScript.from_pairs([(0, 500), (1, 500)])
+        lane = render_truth_lane(script, width=10)
+        assert lane == "0000011111"
+
+    def test_phase_ids_wrap_mod_ten(self):
+        script = PhaseScript.from_pairs([(12, 100)])
+        assert render_truth_lane(script, width=4) == "2222"
+
+
+class TestRecordLanes:
+    def test_detection_marker_and_reign(self):
+        lanes = render_record_lanes([record(0, 0), record(1, 500)], 1000, 10)
+        assert lanes[0].cells[0] == "^"
+        assert lanes[1].cells[5] == "^"
+        assert "#" in lanes[0].cells[1:5]
+        assert lanes[0].cells[6:] == "    "
+
+    def test_lanes_sorted_by_detection(self):
+        lanes = render_record_lanes([record(5, 900), record(2, 100)], 1000, 10)
+        assert lanes[0].label == "record 2"
+        assert lanes[1].label == "record 5"
+
+
+class TestRenderTimeline:
+    def test_full_render_contains_all_lanes(self):
+        script = PhaseScript.from_pairs([(0, 600), (1, 400)])
+        text = render_timeline(script, [record(0, 10), record(3, 620)], width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("truth")
+        assert any(line.startswith("record 0") for line in lines)
+        assert any(line.startswith("record 3") for line in lines)
+        assert "1,000" in lines[-1]
+
+    def test_lane_widths_equal(self):
+        script = PhaseScript.from_pairs([(0, 100)])
+        text = render_timeline(script, [record(0, 5)], width=30)
+        lanes = text.splitlines()[:-1]
+        assert len({len(line) for line in lanes}) == 1
+
+
+class TestDetectionLatencies:
+    def test_latency_per_transition(self):
+        script = PhaseScript.from_pairs([(0, 1000), (1, 1000)])
+        records = [record(0, 150), record(1, 1200)]
+        assert detection_latencies(script, records) == [150, 200]
+
+    def test_missing_detection_skipped(self):
+        script = PhaseScript.from_pairs([(0, 1000), (1, 1000)])
+        records = [record(0, 150)]  # nothing detected after the boundary
+        assert detection_latencies(script, records) == [150]

@@ -1,0 +1,153 @@
+"""Tests for the synthetic workload generator and the Table 1 suite."""
+
+import pytest
+
+from repro.workloads.suite import (
+    SUITE,
+    benchmark_names,
+    load_benchmark,
+    suite_entries,
+)
+from repro.workloads.synthetic import (
+    MIN_PHASE_BRANCHES,
+    SyntheticSpec,
+    build_workload,
+)
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="t.bench",
+        seed=3,
+        phases=2,
+        work_functions=4,
+        functions_per_phase=2,
+        cold_functions=5,
+        cold_blocks_per_function=4,
+        branch_budget=2 * MIN_PHASE_BRANCHES,
+    )
+    defaults.update(overrides)
+    return SyntheticSpec(**defaults)
+
+
+class TestGenerator:
+    def test_program_validates(self):
+        workload = build_workload(small_spec())
+        workload.program.validate()
+        assert workload.program.entry == "main"
+
+    def test_deterministic_from_seed(self):
+        a = build_workload(small_spec())
+        b = build_workload(small_spec())
+        assert a.program.static_size() == b.program.static_size()
+        sa = a.run()
+        sb = b.run()
+        assert (sa.instructions, sa.taken_branches) == (
+            sb.instructions,
+            sb.taken_branches,
+        )
+
+    def test_different_seeds_differ(self):
+        a = build_workload(small_spec(seed=3))
+        b = build_workload(small_spec(seed=4))
+        assert a.run().instructions != b.run().instructions
+
+    def test_phase_script_respects_floor(self):
+        workload = build_workload(small_spec(branch_budget=100))
+        for segment in workload.phase_script.segments:
+            assert segment.branches >= MIN_PHASE_BRANCHES
+
+    def test_run_exhausts_branch_budget(self):
+        workload = build_workload(small_spec())
+        summary = workload.run()
+        assert summary.branches == workload.limits.max_branches
+
+    def test_cold_functions_never_execute(self):
+        workload = build_workload(small_spec())
+        summary = workload.run()
+        visited = set(summary.block_visits)
+        for function in workload.program.functions.values():
+            if "_cold" in function.name:
+                for block in function.blocks:
+                    assert block.uid not in visited, function.name
+
+    def test_phase_changes_dispatch_behaviour(self):
+        workload = build_workload(small_spec(shared_fraction=0.0))
+        # Executed functions differ between the two phase halves.
+        halves = [set(), set()]
+        boundary = workload.phase_script.segments[0].branches
+        state = {"branches": 0}
+
+        def branch_hook(_uid, _taken, _phase):
+            state["branches"] += 1
+
+        fn_of = {}
+        for function in workload.program.functions.values():
+            for block in function.blocks:
+                fn_of[block.uid] = function.name
+
+        def block_hook(info):
+            half = 0 if state["branches"] < boundary else 1
+            halves[half].add(fn_of[info.uid])
+
+        workload.run(branch_hooks=[branch_hook], block_hook=block_hook)
+        work0 = {f for f in halves[0] if "_work" in f and "_h" not in f}
+        work1 = {f for f in halves[1] if "_work" in f and "_h" not in f}
+        assert work0 != work1
+
+    def test_recursion_flag_creates_self_call(self):
+        workload = build_workload(small_spec(recursion=True))
+        recursive = [
+            f for f in workload.program.functions.values()
+            if f.is_self_recursive()
+        ]
+        assert recursive
+
+    def test_shared_root_dispatcher(self):
+        workload = build_workload(small_spec(shared_root=True))
+        assert any(
+            name.endswith("_proc") for name in workload.program.functions
+        )
+
+    def test_per_phase_drivers(self):
+        workload = build_workload(small_spec(shared_root=False))
+        drivers = [
+            name for name in workload.program.functions if "_drv" in name
+        ]
+        assert len(drivers) == 2
+
+
+class TestSuite:
+    def test_nineteen_inputs_thirteen_benchmarks(self):
+        assert len(SUITE) == 19
+        assert len(benchmark_names()) == 12
+
+    def test_all_entries_loadable_structurally(self):
+        # Programs build and validate for every entry (no execution).
+        for entry in suite_entries():
+            workload = load_benchmark(entry.benchmark, entry.input_name,
+                                      scale=0.01)
+            workload.program.validate()
+            assert workload.program.static_size() > 500
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("999.nope")
+
+    def test_scale_changes_budget_above_floor(self):
+        big = load_benchmark("164.gzip", "A", scale=1.0)
+        small = load_benchmark("164.gzip", "A", scale=0.5)
+        assert big.limits.max_branches > small.limits.max_branches
+
+    def test_table1_sizes_ordinal(self):
+        budgets = {
+            e.full_name: e.spec.branch_budget for e in suite_entries()
+        }
+        assert budgets["164.gzip/A"] > budgets["181.mcf/A"]
+        assert budgets["134.perl/A"] > budgets["134.perl/C"]
+
+    def test_meta_carries_entry(self):
+        workload = load_benchmark("181.mcf", "A", scale=0.01)
+        entry = workload.meta["entry"]
+        assert entry.benchmark == "181.mcf"
+        assert entry.paper_minsts == 105
