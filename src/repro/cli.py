@@ -11,6 +11,7 @@ one benchmark input:
    python -m repro table3 --out /tmp/table3.txt
    python -m repro ablations
    python -m repro pack 134.perl B --scale 0.5
+   python -m repro faults --seed 0 --trials 5
 """
 
 from __future__ import annotations
@@ -86,7 +87,9 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     from repro.workloads.suite import load_benchmark
 
     workload = load_benchmark(args.benchmark, args.input, scale=args.scale)
-    result = VacuumPacker(classic=args.classic).pack(workload)
+    result = VacuumPacker(classic=args.classic, strict=args.strict).pack(
+        workload
+    )
     print(f"benchmark          : {args.benchmark}/{args.input}")
     print(f"static instructions: {workload.program.static_size():,}")
     print(f"dynamic branches   : {result.profile.summary.branches:,}")
@@ -103,7 +106,35 @@ def _cmd_pack(args: argparse.Namespace) -> int:
           f"(selected {row['pct_selected']:.1f}%, "
           f"replication {row['replication']:.2f}x)")
     print(f"coverage           : {result.coverage.package_fraction:.1%}")
+    if result.validation is not None:
+        status = "ok" if result.validation.ok else "FAILED"
+        print(f"validation         : {status} "
+              f"({result.validation.checks} checks)")
+    for diag in result.diagnostics:
+        print(f"  quarantine: {diag.render()}")
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.fault_campaign import run_fault_campaign
+    from repro.hsd.faults import ALL_FAULT_MODES, FaultSpec
+
+    try:
+        FaultSpec(modes=tuple(args.mode or ALL_FAULT_MODES), rate=args.rate)
+    except ValueError as exc:
+        raise SystemExit(f"repro faults: {exc}")
+    report = run_fault_campaign(
+        entries=_parse_entries(args.bench),
+        scale=args.scale,
+        seed=args.seed,
+        trials=args.trials,
+        modes=args.mode or ALL_FAULT_MODES,
+        rate=args.rate,
+        strict=args.strict,
+        verbose=args.verbose,
+    )
+    _emit(report.render(), args.out)
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,7 +172,34 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("--scale", type=float, default=None)
     pack.add_argument("--classic", action="store_true",
                       help="also apply the classic clean-up passes")
+    pack.add_argument("--strict", action="store_true",
+                      help="raise on the first phase failure instead of "
+                           "quarantining it")
     pack.set_defaults(func=_cmd_pack)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection campaign over lossy hardware profiles",
+    )
+    faults.add_argument("--seed", type=int, default=0,
+                        help="base RNG seed (trial i uses seed+i)")
+    faults.add_argument("--trials", type=int, default=20,
+                        help="faulty packs per benchmark input")
+    faults.add_argument("--rate", type=float, default=0.25,
+                        help="per-record fault probability for each mode")
+    faults.add_argument("--mode", action="append",
+                        help="fault mode to enable (repeatable; default all)")
+    faults.add_argument("--bench", action="append", metavar="NAME/INPUT",
+                        help="restrict to one input (repeatable; default a "
+                             "fast four-input subset)")
+    faults.add_argument("--scale", type=float, default=None)
+    faults.add_argument("--strict", action="store_true",
+                        help="pack without the quarantine loop (errors are "
+                             "counted as campaign failures)")
+    faults.add_argument("--verbose", action="store_true",
+                        help="print per-trial progress")
+    faults.add_argument("--out", help="also write the report to this file")
+    faults.set_defaults(func=_cmd_faults)
 
     return parser
 

@@ -1,0 +1,129 @@
+"""Typed errors for the Vacuum Packing pipeline.
+
+The hardware hands software a *lossy* profile (BBB evictions, partial
+snapshots, stale addresses — paper section 3.1), so every downstream
+stage must be able to say precisely *what* it could not digest.  Each
+pipeline stage raises its own :class:`ReproError` subclass; the
+:class:`~repro.postlink.vacuum.VacuumPacker` quarantine loop catches
+them per phase and degrades gracefully instead of failing the run.
+
+Every error carries an optional ``hint`` — a one-line remediation
+suggestion surfaced in :class:`~repro.postlink.vacuum.PhaseDiagnostic`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+
+class ReproError(Exception):
+    """Base class for all pipeline errors.
+
+    ``phase`` names the hot-spot record index the error belongs to when
+    the raising stage knows it; the quarantine loop uses it to isolate
+    the failing phase.  ``hint`` is a human-oriented remediation note.
+    """
+
+    default_hint: str = ""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: Optional[int] = None,
+        hint: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.phase = phase
+        self.hint = hint if hint is not None else self.default_hint
+
+
+class ProfileError(ReproError):
+    """The hot-spot profile itself is unusable (step 1)."""
+
+    default_hint = (
+        "re-profile the workload, or repair/drop the offending records "
+        "with repro.hsd.serialize before packing"
+    )
+
+
+class RegionError(ReproError):
+    """Region identification failed for one record (step 2).
+
+    ``addresses`` carries the offending branch addresses (e.g. stale
+    addresses that resolve to no known block in the profiled image).
+    """
+
+    default_hint = (
+        "the record references addresses absent from the profiled "
+        "image; profile and pack the same binary, or drop the stale "
+        "branches from the record"
+    )
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        addresses: Iterable[int] = (),
+        phase: Optional[int] = None,
+        hint: Optional[str] = None,
+    ):
+        super().__init__(message, phase=phase, hint=hint)
+        self.addresses: FrozenSet[int] = frozenset(addresses)
+
+
+class PackageError(ReproError):
+    """Package construction / ordering / linking failed (step 3)."""
+
+    default_hint = (
+        "the region's hot subgraph could not be packaged; lower "
+        "RegionConfig growth limits or quarantine the phase"
+    )
+
+
+class RewriteError(ReproError):
+    """Post-link rewriting failed.
+
+    ``package`` names the package being deployed when the failure is
+    attributable to one.
+    """
+
+    default_hint = (
+        "the packed binary could not be produced; quarantine the "
+        "offending package's phase and rewrite again"
+    )
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        package: Optional[str] = None,
+        phase: Optional[int] = None,
+        hint: Optional[str] = None,
+    ):
+        super().__init__(message, phase=phase, hint=hint)
+        self.package = package
+
+
+class ValidationError(ReproError):
+    """A validation oracle rejected a plan or packed program.
+
+    ``issues`` is the list of :class:`~repro.postlink.validate.ValidationIssue`
+    objects that failed (kept untyped here to avoid an import cycle).
+    """
+
+    default_hint = (
+        "inspect PackResult.validation for the failing invariants; in "
+        "non-strict mode the offending phases are quarantined"
+    )
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        issues: Iterable = (),
+        phase: Optional[int] = None,
+        hint: Optional[str] = None,
+    ):
+        super().__init__(message, phase=phase, hint=hint)
+        self.issues = list(issues)

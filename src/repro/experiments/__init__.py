@@ -16,6 +16,13 @@ from .categorize import (
 from .configs import FOUR_CONFIGS, FULL_CONFIG, FormationConfig
 from .coverage import CoverageReport, CoverageRow, measure_input, run_figure8
 from .expansion import ExpansionReport, ExpansionRow, run_table3
+from .fault_campaign import (
+    DEFAULT_FAULT_ENTRIES,
+    EntrySummary,
+    FaultCampaignReport,
+    TrialResult,
+    run_fault_campaign,
+)
 from .report import format_percent, format_series, format_table
 from .speedup import SpeedupReport, SpeedupRow, measure_speedups, run_figure10
 from .table1 import Table1Report, Table1Row, run_table1
@@ -27,8 +34,11 @@ __all__ = [
     "CategorizationRow",
     "CoverageReport",
     "CoverageRow",
+    "DEFAULT_FAULT_ENTRIES",
+    "EntrySummary",
     "ExpansionReport",
     "ExpansionRow",
+    "FaultCampaignReport",
     "FOUR_CONFIGS",
     "FULL_CONFIG",
     "FormationConfig",
@@ -36,6 +46,7 @@ __all__ = [
     "SpeedupRow",
     "Table1Report",
     "Table1Row",
+    "TrialResult",
     "categorize_branch",
     "categorize_workload",
     "detection_latencies",
@@ -48,6 +59,7 @@ __all__ = [
     "run_bbb_ablation",
     "run_figure8",
     "run_figure9",
+    "run_fault_campaign",
     "run_figure10",
     "run_max_blocks_ablation",
     "run_ordering_ablation",

@@ -1,0 +1,234 @@
+"""Fault-injection campaign: how does packing degrade on bad profiles?
+
+The paper's premise is that hardware profiles are *lossy* — BBB
+evictions, saturated 9-bit counters, partial snapshots — and that
+software must "package the imprecise data" anyway (section 2).  This
+campaign quantifies that robustness end to end: it perturbs the
+hot-spot records of real profiling runs with seeded faults
+(:mod:`repro.hsd.faults`), re-packs under the quarantine loop, and
+measures
+
+* **survival** — did the non-strict pipeline complete without an
+  uncaught exception?
+* **coverage retained** — packed coverage on the faulty profile as a
+  fraction of the fault-free baseline coverage;
+* **quarantine activity** — phases dropped, diagnostics emitted, and
+  whether the structural validators passed on the survivors.
+
+Run it via ``python -m repro faults --seed 0 --trials 5``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hsd.faults import ALL_FAULT_MODES, FaultInjector, FaultSpec
+from repro.postlink.vacuum import VacuumPacker
+from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
+
+from .report import format_table
+
+#: Default campaign subset: the suite's smallest dynamic footprints,
+#: so a multi-trial campaign stays tractable (CI runs five trials).
+DEFAULT_FAULT_ENTRIES: Tuple[str, ...] = (
+    "134.perl/C",
+    "134.perl/B",
+    "130.li/B",
+    "255.vortex/A",
+)
+
+
+@dataclass
+class TrialResult:
+    """One faulty pack attempt."""
+
+    entry: str
+    seed: int
+    faults_injected: int
+    records_in: int
+    survived: bool
+    error: str = ""
+    coverage: float = 0.0
+    retained: float = 0.0
+    packages: int = 0
+    quarantined: int = 0
+    diagnostics: int = 0
+    validation_ok: bool = False
+
+
+@dataclass
+class EntrySummary:
+    """Aggregate over one benchmark input's trials."""
+
+    entry: str
+    baseline_coverage: float
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def survival_rate(self) -> float:
+        if not self.trials:
+            return 1.0
+        return sum(t.survived for t in self.trials) / len(self.trials)
+
+    @property
+    def mean_retained(self) -> float:
+        survivors = [t for t in self.trials if t.survived]
+        if not survivors:
+            return 0.0
+        return sum(t.retained for t in survivors) / len(survivors)
+
+    @property
+    def mean_quarantined(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(t.quarantined for t in self.trials) / len(self.trials)
+
+
+@dataclass
+class FaultCampaignReport:
+    """Full campaign result across entries."""
+
+    entries: List[EntrySummary]
+    seed: int
+    trials_per_entry: int
+    modes: Tuple[str, ...]
+    rate: float
+
+    @property
+    def survival_rate(self) -> float:
+        all_trials = [t for e in self.entries for t in e.trials]
+        if not all_trials:
+            return 1.0
+        return sum(t.survived for t in all_trials) / len(all_trials)
+
+    @property
+    def mean_retained(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(e.mean_retained for e in self.entries) / len(self.entries)
+
+    def failures(self) -> List[TrialResult]:
+        return [t for e in self.entries for t in e.trials if not t.survived]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures()
+
+    def render(self) -> str:
+        rows = []
+        for entry in self.entries:
+            rows.append([
+                entry.entry,
+                len(entry.trials),
+                f"{100.0 * entry.survival_rate:.0f}%",
+                f"{100.0 * entry.baseline_coverage:.1f}%",
+                f"{100.0 * entry.mean_retained:.1f}%",
+                f"{entry.mean_quarantined:.1f}",
+            ])
+        table = format_table(
+            ["input", "trials", "survived", "baseline cov",
+             "cov retained", "quarantined/trial"],
+            rows,
+            title="Fault-injection campaign "
+                  f"(seed={self.seed}, rate={self.rate}, "
+                  f"modes={len(self.modes)})",
+        )
+        lines = [table, ""]
+        lines.append(
+            f"overall: {100.0 * self.survival_rate:.0f}% survival, "
+            f"{100.0 * self.mean_retained:.1f}% of fault-free coverage "
+            f"retained on average"
+        )
+        for failure in self.failures():
+            lines.append(
+                f"FAILED {failure.entry} seed={failure.seed}: {failure.error}"
+            )
+        return "\n".join(lines)
+
+
+def _resolve_entries(
+    entries: Optional[Sequence[BenchmarkInput]],
+) -> List[BenchmarkInput]:
+    if entries:
+        return list(entries)
+    by_name = {e.full_name: e for e in SUITE}
+    return [by_name[name] for name in DEFAULT_FAULT_ENTRIES]
+
+
+def run_fault_campaign(
+    entries: Optional[Sequence[BenchmarkInput]] = None,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    trials: int = 20,
+    modes: Sequence[str] = ALL_FAULT_MODES,
+    rate: float = 0.25,
+    strict: bool = False,
+    verbose: bool = False,
+) -> FaultCampaignReport:
+    """Run ``trials`` seeded fault-injection packs per benchmark input.
+
+    Each entry is profiled once; every trial perturbs that profile with
+    ``FaultInjector(seed + trial)`` and re-packs.  ``strict=True``
+    packs with the quarantine loop disabled (first error raises) —
+    useful to demonstrate what degraded mode is saving you from.
+    """
+    spec = FaultSpec(modes=tuple(modes), rate=rate)
+    packer = VacuumPacker(strict=strict)
+    summaries: List[EntrySummary] = []
+
+    for entry in _resolve_entries(entries):
+        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+        profile = packer.profile(workload)
+        baseline = packer.pack(workload, profile)
+        baseline_cov = baseline.coverage.package_fraction
+        summary = EntrySummary(entry=entry.full_name,
+                               baseline_coverage=baseline_cov)
+
+        for trial in range(trials):
+            trial_seed = seed + trial
+            injector = FaultInjector(seed=trial_seed, spec=spec,
+                                     hsd_config=packer.hsd_config)
+            faulty_records, log = injector.inject(profile.records)
+            faulty_profile = dataclasses.replace(
+                profile, records=faulty_records
+            )
+            result = TrialResult(
+                entry=entry.full_name,
+                seed=trial_seed,
+                faults_injected=log.total(),
+                records_in=len(faulty_records),
+                survived=False,
+            )
+            try:
+                pack = packer.pack(workload, faulty_profile)
+            except Exception as exc:  # noqa: BLE001 - the metric itself
+                result.error = f"{type(exc).__name__}: {exc}"
+            else:
+                result.survived = True
+                result.coverage = pack.coverage.package_fraction
+                result.retained = (
+                    result.coverage / baseline_cov if baseline_cov else 1.0
+                )
+                result.packages = len(pack.packages)
+                result.quarantined = len(pack.quarantined_phases())
+                result.diagnostics = len(pack.diagnostics)
+                result.validation_ok = (
+                    pack.validation.ok if pack.validation is not None else True
+                )
+            summary.trials.append(result)
+            if verbose:
+                status = "ok" if result.survived else "DIED"
+                print(f"  {entry.full_name} seed={trial_seed} {status} "
+                      f"faults={result.faults_injected} "
+                      f"retained={result.retained:.1%}")
+        summaries.append(summary)
+
+    return FaultCampaignReport(
+        entries=summaries,
+        seed=seed,
+        trials_per_entry=trials,
+        modes=tuple(modes),
+        rate=rate,
+    )

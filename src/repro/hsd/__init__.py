@@ -3,6 +3,13 @@
 from .bbb import BBBEntry, BranchBehaviorBuffer
 from .config import HSDConfig, TABLE2_CONFIG
 from .detector import DetectorStats, HotSpotDetector
+from .faults import (
+    ALL_FAULT_MODES,
+    FaultInjector,
+    FaultLog,
+    FaultSpec,
+    inject_faults,
+)
 from .filtering import (
     HotSpotFilter,
     SimilarityPolicy,
@@ -21,10 +28,15 @@ from .serialize import (
 )
 
 __all__ = [
+    "ALL_FAULT_MODES",
     "BBBEntry",
     "BranchBehaviorBuffer",
     "BranchProfile",
     "DetectorStats",
+    "FaultInjector",
+    "FaultLog",
+    "FaultSpec",
+    "inject_faults",
     "HSDConfig",
     "HotSpotDetector",
     "HotSpotFilter",

@@ -1,0 +1,235 @@
+"""Seeded fault injection for hot-spot profiles.
+
+The paper's profile path is lossy by design: BBB entries are evicted by
+set contention, counters saturate, snapshots are taken mid-phase, and
+an offline profile can go stale against a relinked binary.  This module
+reproduces those corruption modes *deliberately* so the pipeline's
+tolerance can be measured (see
+:mod:`repro.experiments.fault_campaign`):
+
+========================  ==============================================
+mode                      hardware / deployment analogue
+========================  ==============================================
+``drop_branches``         BBB set-conflict eviction loses branches
+``saturate_counters``     9-bit execute/taken counters pin at max
+``zero_counters``         snapshot races the counter clear interval
+``stale_addresses``       profile captured against a different layout
+``duplicate_records``     redundant detection slips past the filter
+``truncate_records``      partial snapshot (detection mid-transition)
+========================  ==============================================
+
+All perturbation is driven by one ``random.Random(seed)`` stream, so a
+campaign trial is exactly reproducible from ``(seed, modes, rates)``.
+Injection never mutates its input: records are rebuilt fresh.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .config import HSDConfig, TABLE2_CONFIG
+from .records import BranchProfile, HotSpotRecord
+
+#: All supported corruption modes, in canonical order.
+ALL_FAULT_MODES: Tuple[str, ...] = (
+    "drop_branches",
+    "saturate_counters",
+    "zero_counters",
+    "stale_addresses",
+    "duplicate_records",
+    "truncate_records",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Which corruption modes to apply, and how hard.
+
+    ``rate`` is the per-branch (or per-record, for the record-level
+    modes) probability that the perturbation applies.
+    """
+
+    modes: Tuple[str, ...] = ALL_FAULT_MODES
+    rate: float = 0.25
+    #: Counter value used by ``saturate_counters`` (defaults to the
+    #: Table 2 9-bit saturation value).
+    saturation_value: Optional[int] = None
+    #: Fraction of a record's branches kept by ``truncate_records``.
+    truncate_keep_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        unknown = [m for m in self.modes if m not in ALL_FAULT_MODES]
+        if unknown:
+            raise ValueError(
+                f"unknown fault mode(s) {unknown!r}; "
+                f"valid modes: {', '.join(ALL_FAULT_MODES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if not 0.0 <= self.truncate_keep_fraction <= 1.0:
+            raise ValueError(
+                "truncate_keep_fraction must be in [0, 1], "
+                f"got {self.truncate_keep_fraction}"
+            )
+
+
+@dataclass
+class FaultLog:
+    """What one injection pass actually did to the stream."""
+
+    branches_dropped: int = 0
+    counters_saturated: int = 0
+    counters_zeroed: int = 0
+    addresses_staled: int = 0
+    records_duplicated: int = 0
+    records_truncated: int = 0
+
+    def total(self) -> int:
+        return (
+            self.branches_dropped
+            + self.counters_saturated
+            + self.counters_zeroed
+            + self.addresses_staled
+            + self.records_duplicated
+            + self.records_truncated
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "branches_dropped": self.branches_dropped,
+            "counters_saturated": self.counters_saturated,
+            "counters_zeroed": self.counters_zeroed,
+            "addresses_staled": self.addresses_staled,
+            "records_duplicated": self.records_duplicated,
+            "records_truncated": self.records_truncated,
+        }
+
+
+class FaultInjector:
+    """Perturbs a hot-spot record stream with seeded corruption.
+
+    Example::
+
+        injector = FaultInjector(seed=0, spec=FaultSpec(modes=("stale_addresses",)))
+        dirty, log = injector.inject(profile.records)
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        spec: FaultSpec = FaultSpec(),
+        hsd_config: HSDConfig = TABLE2_CONFIG,
+    ):
+        self.seed = seed
+        self.spec = spec
+        self.hsd_config = hsd_config
+        self._rng = random.Random(seed)
+
+    # -- per-branch perturbations -------------------------------------
+    def _perturb_profile(
+        self, profile: BranchProfile, log: FaultLog
+    ) -> Optional[BranchProfile]:
+        """One branch through the enabled per-branch modes.
+
+        Returns ``None`` when the branch is dropped (BBB eviction).
+        """
+        spec = self.spec
+        rng = self._rng
+        address = profile.address
+        executed = profile.executed
+        taken = profile.taken
+
+        if "drop_branches" in spec.modes and rng.random() < spec.rate:
+            log.branches_dropped += 1
+            return None
+        if "saturate_counters" in spec.modes and rng.random() < spec.rate:
+            cap = (
+                spec.saturation_value
+                if spec.saturation_value is not None
+                else self.hsd_config.counter_max
+            )
+            # Both counters pin at the cap: the branch looks fully
+            # executed and (if it was ever taken) fully taken.
+            executed = cap
+            taken = cap if taken else 0
+            log.counters_saturated += 1
+        if "zero_counters" in spec.modes and rng.random() < spec.rate:
+            executed = 0
+            taken = 0
+            log.counters_zeroed += 1
+        if "stale_addresses" in spec.modes and rng.random() < spec.rate:
+            # Slide the address by a few instruction slots — with high
+            # probability it now points at a non-branch instruction (or
+            # out of the image entirely), exactly what a stale profile
+            # looks like after relinking.
+            slots = rng.choice([-4, -3, -2, -1, 1, 2, 3, 4])
+            address = max(0, address + slots * (1 << self.hsd_config.address_shift))
+            log.addresses_staled += 1
+        return BranchProfile(address=address, executed=executed, taken=taken)
+
+    # -- per-record perturbations -------------------------------------
+    def _perturb_record(
+        self, record: HotSpotRecord, log: FaultLog
+    ) -> HotSpotRecord:
+        branches: Dict[int, BranchProfile] = {}
+        for profile in sorted(record.branches.values(), key=lambda p: p.address):
+            perturbed = self._perturb_profile(profile, log)
+            if perturbed is not None:
+                # Stale addresses may collide; last write wins, like a
+                # real BBB snapshot keyed by address.
+                branches[perturbed.address] = perturbed
+        if (
+            "truncate_records" in self.spec.modes
+            and branches
+            and self._rng.random() < self.spec.rate
+        ):
+            keep = max(1, int(len(branches) * self.spec.truncate_keep_fraction))
+            kept_addresses = sorted(branches)[:keep]
+            branches = {a: branches[a] for a in kept_addresses}
+            log.records_truncated += 1
+        return HotSpotRecord(
+            index=record.index,
+            detected_at_branch=record.detected_at_branch,
+            branches=branches,
+        )
+
+    def inject(
+        self, records: Iterable[HotSpotRecord]
+    ) -> Tuple[List[HotSpotRecord], FaultLog]:
+        """Perturbed copies of ``records`` plus a log of what changed."""
+        log = FaultLog()
+        dirty: List[HotSpotRecord] = []
+        for record in records:
+            perturbed = self._perturb_record(record, log)
+            dirty.append(perturbed)
+            if (
+                "duplicate_records" in self.spec.modes
+                and self._rng.random() < self.spec.rate
+            ):
+                dirty.append(
+                    HotSpotRecord(
+                        index=perturbed.index,
+                        detected_at_branch=perturbed.detected_at_branch,
+                        branches=dict(perturbed.branches),
+                    )
+                )
+                log.records_duplicated += 1
+        return dirty, log
+
+
+def inject_faults(
+    records: Sequence[HotSpotRecord],
+    seed: int = 0,
+    modes: Sequence[str] = ALL_FAULT_MODES,
+    rate: float = 0.25,
+    hsd_config: HSDConfig = TABLE2_CONFIG,
+) -> Tuple[List[HotSpotRecord], FaultLog]:
+    """One-shot convenience wrapper around :class:`FaultInjector`."""
+    injector = FaultInjector(
+        seed=seed,
+        spec=FaultSpec(modes=tuple(modes), rate=rate),
+        hsd_config=hsd_config,
+    )
+    return injector.inject(records)

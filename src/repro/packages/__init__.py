@@ -3,12 +3,21 @@
 from .construct import (
     PackagedProgramPlan,
     RegionPackages,
+    assemble_plan,
     construct_all,
     construct_packages,
 )
 from .inlining import PackageBuilder, build_package
 from .linking import Link, apply_links, compute_links, find_link_target
-from .ordering import OrderedGroup, group_by_root, order_group, order_packages, rank_ordering
+from .ordering import (
+    VALID_ORDERINGS,
+    OrderedGroup,
+    check_ordering_mode,
+    group_by_root,
+    order_group,
+    order_packages,
+    rank_ordering,
+)
 from .package import BranchInstance, Package, PackageExit
 from .pruning import BlockPlan, ExitPlan, PrunedFunction, prune_function, prune_region
 from .roots import RootInfo, entry_blocks, inlinable_functions, select_roots
@@ -26,8 +35,11 @@ __all__ = [
     "PrunedFunction",
     "RegionPackages",
     "RootInfo",
+    "VALID_ORDERINGS",
     "apply_links",
+    "assemble_plan",
     "build_package",
+    "check_ordering_mode",
     "compute_links",
     "construct_all",
     "construct_packages",

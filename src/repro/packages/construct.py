@@ -11,11 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro.errors import PackageError
 from repro.regions.region import HotRegion
 
 from .inlining import build_package
 from .linking import apply_links
-from .ordering import OrderedGroup, order_packages
+from .ordering import OrderedGroup, check_ordering_mode, order_packages
 from .package import Package
 from .pruning import PrunedFunction, prune_region
 from .roots import RootInfo, inlinable_functions, select_roots
@@ -32,7 +33,25 @@ class RegionPackages:
 
 
 def construct_packages(region: HotRegion) -> RegionPackages:
-    """Build one package per root function of the region."""
+    """Build one package per root function of the region.
+
+    Structural failures inside pruning / root selection / inlining are
+    re-raised as a typed :class:`~repro.errors.PackageError` naming the
+    phase, so the quarantine loop can isolate it.
+    """
+    try:
+        return _construct_packages(region)
+    except PackageError:
+        raise
+    except (KeyError, IndexError, AttributeError, ValueError) as exc:
+        raise PackageError(
+            f"package construction failed for phase "
+            f"#{region.record.index} ({type(exc).__name__}: {exc})",
+            phase=region.record.index,
+        ) from exc
+
+
+def _construct_packages(region: HotRegion) -> RegionPackages:
     pruned = prune_region(region)
     # Drop functions whose pruned form is empty (can happen when a
     # record names a function whose hot blocks all failed inference).
@@ -72,6 +91,30 @@ class PackagedProgramPlan:
         return sum(package.static_size() for package in self.packages)
 
 
+def assemble_plan(
+    per_region: Sequence[RegionPackages],
+    link: bool = True,
+    ordering: str = "best",
+) -> PackagedProgramPlan:
+    """Order and (optionally) link already-constructed region packages.
+
+    Split out of :func:`construct_all` so the
+    :class:`~repro.postlink.vacuum.VacuumPacker` quarantine loop can
+    construct each region's packages in isolation, then assemble only
+    the survivors.
+    """
+    check_ordering_mode(ordering)
+    all_packages = [p for rp in per_region for p in rp.packages]
+    groups = order_packages(all_packages, ordering)
+    if link:
+        for group in groups:
+            apply_links(group.packages, group.links)
+    else:
+        for group in groups:
+            group.links = []
+    return PackagedProgramPlan(per_region=list(per_region), groups=groups)
+
+
 def construct_all(
     regions: Sequence[HotRegion], link: bool = True, ordering: str = "best"
 ) -> PackagedProgramPlan:
@@ -82,13 +125,6 @@ def construct_all(
     determine launch-point precedence) but no exit is retargeted.
     ``ordering`` is forwarded to the rank search (ablation hook).
     """
+    check_ordering_mode(ordering)
     per_region = [construct_packages(region) for region in regions]
-    all_packages = [p for rp in per_region for p in rp.packages]
-    groups = order_packages(all_packages, ordering)
-    if link:
-        for group in groups:
-            apply_links(group.packages, group.links)
-    else:
-        for group in groups:
-            group.links = []
-    return PackagedProgramPlan(per_region=per_region, groups=groups)
+    return assemble_plan(per_region, link=link, ordering=ordering)

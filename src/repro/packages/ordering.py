@@ -25,6 +25,23 @@ from .package import Package
 #: Groups up to this size are ordered by exhaustive permutation search.
 EXHAUSTIVE_LIMIT = 6
 
+#: Recognized ordering search modes (see :func:`order_group`).
+VALID_ORDERINGS: Tuple[str, ...] = ("best", "worst", "first")
+
+
+def check_ordering_mode(mode: str) -> str:
+    """Validate an ordering mode eagerly; returns it unchanged.
+
+    An unknown string would otherwise be silently misread as
+    ``"worst"`` deep inside the rank search.
+    """
+    if mode not in VALID_ORDERINGS:
+        raise ValueError(
+            f"unknown package ordering {mode!r}; "
+            f"valid orderings: {', '.join(VALID_ORDERINGS)}"
+        )
+    return mode
+
 
 def rank_ordering(ordered: Sequence[Package]) -> float:
     """The paper's accumulator/weight rank for one ordering."""
@@ -61,6 +78,7 @@ def order_group(packages: Sequence[Package], mode: str = "best") -> OrderedGroup
     rank (the paper's scheme), ``"worst"`` minimizes it (ablation
     baseline), ``"first"`` keeps the construction order untouched.
     """
+    check_ordering_mode(mode)
     packages = list(packages)
     root = packages[0].root
     if len(packages) == 1:
@@ -116,5 +134,6 @@ def order_packages(
     packages: Sequence[Package], mode: str = "best"
 ) -> List[OrderedGroup]:
     """Order every root group; groups come back in root-name order."""
+    check_ordering_mode(mode)
     groups = group_by_root(packages)
     return [order_group(groups[root], mode) for root in sorted(groups)]

@@ -1,18 +1,40 @@
-"""Post-link rewriting, coverage measurement, and the VacuumPacker API."""
+"""Post-link rewriting, coverage measurement, validation oracles, and
+the VacuumPacker API."""
 
 from .coverage import CoverageResult, classify_summary, measure_coverage
 from .rewriter import PackedProgram, RewriteStats, clone_program, rewrite_program
-from .vacuum import PackResult, ProfileResult, VacuumPacker
+from .vacuum import PackResult, PhaseDiagnostic, ProfileResult, VacuumPacker
+from .validate import (
+    DifferentialReport,
+    ValidationIssue,
+    ValidationReport,
+    differential_check,
+    retired_work_instructions,
+    validate_pack,
+    validate_package,
+    validate_packed,
+    validate_plan,
+)
 
 __all__ = [
     "CoverageResult",
+    "DifferentialReport",
     "PackResult",
     "PackedProgram",
+    "PhaseDiagnostic",
     "ProfileResult",
     "RewriteStats",
     "VacuumPacker",
+    "ValidationIssue",
+    "ValidationReport",
     "classify_summary",
     "clone_program",
+    "differential_check",
     "measure_coverage",
+    "retired_work_instructions",
     "rewrite_program",
+    "validate_pack",
+    "validate_package",
+    "validate_packed",
+    "validate_plan",
 ]

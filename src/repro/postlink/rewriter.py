@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.errors import RewriteError
 from repro.isa.instructions import Instruction, Opcode
 from repro.packages.construct import PackagedProgramPlan
 from repro.packages.package import Location
@@ -33,7 +34,7 @@ from repro.program.block import BasicBlock
 from repro.program.cfg import cross_function_target
 from repro.program.function import Function
 from repro.program.image import ProgramImage
-from repro.program.program import Program
+from repro.program.program import Program, ProgramError
 
 
 def clone_program(program: Program) -> Program:
@@ -124,8 +125,16 @@ def rewrite_program(
     # 1. Append the package functions.
     package_names: Set[str] = set()
     for package in plan.packages:
-        function = package.build_function()
-        packed.add_function(function)
+        try:
+            function = package.build_function()
+            packed.add_function(function)
+        except (ProgramError, IndexError, KeyError, ValueError) as exc:
+            raise RewriteError(
+                f"cannot deploy package {package.name!r} "
+                f"({type(exc).__name__}: {exc})",
+                package=package.name,
+                phase=package.region_index,
+            ) from exc
         package_names.add(function.name)
 
     # 2. Patch explicit branch/jump transfers into entry locations.
@@ -191,7 +200,12 @@ def rewrite_program(
         function.replace_blocks(new_blocks)
         stats.trampolines += 1
 
-    packed.validate()
+    try:
+        packed.validate()
+    except ProgramError as exc:
+        raise RewriteError(
+            f"rewritten program failed validation: {exc}"
+        ) from exc
     return PackedProgram(
         program=packed,
         plan=plan,

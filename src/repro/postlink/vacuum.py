@@ -9,28 +9,44 @@ Ties the whole pipeline together (paper Figure 1):
 3. **pack** — construct, order, and link the packages, then rewrite
    the binary with launch points.
 
+The hardware hands software *lossy* profile data, so ``pack`` runs a
+per-phase **quarantine loop**: a record whose region identification,
+package construction, rewrite, or validation fails is dropped with a
+structured :class:`PhaseDiagnostic` and the pipeline completes with the
+surviving packages.  ``strict=True`` is the escape hatch that re-raises
+the first typed error instead.
+
 Example::
 
     packer = VacuumPacker()
     result = packer.pack(workload)
     print(result.coverage.package_fraction)   # Figure 8's metric
+    for diag in result.diagnostics:           # quarantined phases
+        print(diag.render())
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.executor import ExecutionSummary
 from repro.engine.listeners import HSDListener
+from repro.errors import ProfileError, ReproError, RewriteError
 from repro.hsd.config import HSDConfig
 from repro.hsd.detector import HotSpotDetector
 from repro.hsd.filtering import SimilarityPolicy
 from repro.hsd.records import HotSpotRecord
-from repro.packages.construct import PackagedProgramPlan, construct_all
+from repro.packages.construct import (
+    PackagedProgramPlan,
+    RegionPackages,
+    assemble_plan,
+    construct_packages,
+)
+from repro.packages.ordering import check_ordering_mode
 from repro.program.image import ProgramImage
 from repro.regions.config import RegionConfig
-from repro.regions.identify import branch_locator_from_image, identify_regions
+from repro.regions.identify import branch_locator_from_image, identify_region
 from repro.regions.region import HotRegion
 from repro.workloads.base import Workload
 
@@ -53,6 +69,40 @@ class ProfileResult:
 
 
 @dataclass
+class PhaseDiagnostic:
+    """Why one phase was quarantined (or flagged) during packing."""
+
+    stage: str                      # profile | identify | construct |
+                                    # optimize | rewrite | validate | coverage
+    error: str
+    phase: Optional[int] = None     # hot-spot record index, when known
+    exception_type: str = ""
+    hint: str = ""
+
+    @classmethod
+    def from_exception(
+        cls, stage: str, exc: BaseException, phase: Optional[int] = None
+    ) -> "PhaseDiagnostic":
+        if phase is None and isinstance(exc, ReproError):
+            phase = exc.phase
+        hint = exc.hint if isinstance(exc, ReproError) else ""
+        return cls(
+            stage=stage,
+            error=str(exc),
+            phase=phase,
+            exception_type=type(exc).__name__,
+            hint=hint,
+        )
+
+    def render(self) -> str:
+        who = f"phase #{self.phase}" if self.phase is not None else "pipeline"
+        line = f"[{self.stage}] {who}: {self.error}"
+        if self.hint:
+            line += f" (hint: {self.hint})"
+        return line
+
+
+@dataclass
 class PackResult:
     """Output of the full Vacuum Packing pipeline for one workload."""
 
@@ -62,11 +112,25 @@ class PackResult:
     plan: PackagedProgramPlan
     packed: PackedProgram
     coverage: CoverageResult
+    #: Quarantined phases and other structured failure reports.
+    diagnostics: List[PhaseDiagnostic] = field(default_factory=list)
+    #: Structural validation report for the surviving plan+binary
+    #: (``None`` when the packer ran with ``validate=False``).
+    validation: Optional[object] = None
 
     # -- convenience views -------------------------------------------
     @property
     def packages(self):
         return self.plan.packages
+
+    def quarantined_phases(self) -> Set[int]:
+        """Record indexes that were dropped on the way to this result."""
+        packed_phases = {r.record.index for r in self.regions}
+        return {
+            d.phase
+            for d in self.diagnostics
+            if d.phase is not None and d.phase not in packed_phases
+        }
 
     def expansion_row(self) -> dict:
         """Table 3 metrics for this workload."""
@@ -99,7 +163,15 @@ def _unique_selected_instructions(regions: List[HotRegion]) -> int:
 
 
 class VacuumPacker:
-    """End-to-end Vacuum Packing pipeline with the paper's defaults."""
+    """End-to-end Vacuum Packing pipeline with the paper's defaults.
+
+    ``strict=False`` (the default) degrades per phase: any record whose
+    processing fails is quarantined with a :class:`PhaseDiagnostic` and
+    the pipeline completes with the survivors.  ``strict=True``
+    re-raises the first error instead.  ``validate`` controls whether
+    the structural oracles (:mod:`repro.postlink.validate`) gate every
+    pack.
+    """
 
     def __init__(
         self,
@@ -110,6 +182,8 @@ class VacuumPacker:
         optimize: bool = True,
         classic: bool = False,
         ordering: str = "best",
+        strict: bool = False,
+        validate: bool = True,
     ):
         self.hsd_config = hsd_config or HSDConfig()
         self.region_config = region_config or RegionConfig()
@@ -117,7 +191,9 @@ class VacuumPacker:
         self.link = link
         self.optimize = optimize
         self.classic = classic
-        self.ordering = ordering
+        self.ordering = check_ordering_mode(ordering)
+        self.strict = strict
+        self.validate = validate
 
     # -- step 1 ------------------------------------------------------
     def profile(self, workload: Workload) -> ProfileResult:
@@ -142,10 +218,15 @@ class VacuumPacker:
     def identify(
         self, workload: Workload, profile: ProfileResult
     ) -> List[HotRegion]:
+        """Strict identification of every record (raises on the first
+        unusable one); ``pack`` quarantines per record instead."""
         locate = branch_locator_from_image(profile.image)
-        return identify_regions(
-            workload.program, profile.records, locate, self.region_config
-        )
+        return [
+            identify_region(
+                workload.program, record, locate, self.region_config
+            )
+            for record in profile.records
+        ]
 
     # -- step 3 -----------------------------------------------------------
     def pack(
@@ -153,19 +234,206 @@ class VacuumPacker:
     ) -> PackResult:
         """Run the full pipeline; profiles first if not given one."""
         profile = profile or self.profile(workload)
-        regions = self.identify(workload, profile)
-        plan = construct_all(regions, link=self.link, ordering=self.ordering)
-        if self.optimize:
-            from repro.optimize.passes import optimize_packages
+        diagnostics: List[PhaseDiagnostic] = []
 
-            optimize_packages(plan.packages, regions, enable_classic=self.classic)
-        packed = rewrite_program(workload.program, plan)
-        coverage = measure_coverage(workload, packed)
+        records = self._screen_records(profile.records, diagnostics)
+        regions = self._identify_surviving(workload, profile, records,
+                                           diagnostics)
+
+        surviving = list(regions)
+        validation = None
+        while True:
+            plan, packed, validation, failed = self._attempt(
+                workload, surviving, diagnostics
+            )
+            if not failed:
+                break
+            next_surviving = [
+                r for r in surviving if r.record.index not in failed
+            ]
+            if len(next_surviving) == len(surviving):  # pragma: no cover
+                # Failure not attributable to any surviving phase; drop
+                # everything rather than loop forever.
+                diagnostics.append(PhaseDiagnostic(
+                    stage="rewrite",
+                    error="unattributable failure; quarantining all "
+                          "remaining phases",
+                ))
+                next_surviving = []
+            surviving = next_surviving
+
+        coverage = self._measure(workload, packed, diagnostics)
         return PackResult(
             workload=workload,
             profile=profile,
-            regions=regions,
+            regions=surviving,
             plan=plan,
             packed=packed,
             coverage=coverage,
+            diagnostics=diagnostics,
+            validation=validation,
         )
+
+    # -- quarantine machinery ---------------------------------------------
+    def _screen_records(
+        self,
+        records: List[HotSpotRecord],
+        diagnostics: List[PhaseDiagnostic],
+    ) -> List[HotSpotRecord]:
+        """Drop records with duplicate indexes (a redundant detection
+        that slipped past the software filter)."""
+        seen: Set[int] = set()
+        unique: List[HotSpotRecord] = []
+        for record in records:
+            if record.index in seen:
+                error = ProfileError(
+                    f"duplicate record for phase #{record.index}",
+                    phase=record.index,
+                    hint="the software similarity filter should have "
+                         "rejected this detection; keeping the first",
+                )
+                if self.strict:
+                    raise error
+                diagnostics.append(
+                    PhaseDiagnostic.from_exception("profile", error)
+                )
+                continue
+            seen.add(record.index)
+            unique.append(record)
+        return unique
+
+    def _identify_surviving(
+        self,
+        workload: Workload,
+        profile: ProfileResult,
+        records: List[HotSpotRecord],
+        diagnostics: List[PhaseDiagnostic],
+    ) -> List[HotRegion]:
+        locate = branch_locator_from_image(profile.image)
+        regions: List[HotRegion] = []
+        for record in records:
+            try:
+                regions.append(identify_region(
+                    workload.program, record, locate, self.region_config
+                ))
+            except ReproError as exc:
+                if self.strict:
+                    raise
+                diagnostics.append(PhaseDiagnostic.from_exception(
+                    "identify", exc, phase=record.index
+                ))
+        return regions
+
+    def _attempt(
+        self,
+        workload: Workload,
+        regions: List[HotRegion],
+        diagnostics: List[PhaseDiagnostic],
+    ) -> Tuple[PackagedProgramPlan, PackedProgram, Optional[object], Set[int]]:
+        """One construct→optimize→rewrite→validate attempt.
+
+        Returns the plan, the packed program (``None``-safe only when
+        ``failed`` is non-empty), the validation report, and the set of
+        phase indexes to quarantine before retrying.  In strict mode
+        any failure raises instead.
+        """
+        failed: Set[int] = set()
+
+        per_region: List[RegionPackages] = []
+        for region in regions:
+            index = region.record.index
+            try:
+                per_region.append(construct_packages(region))
+            except ReproError as exc:
+                if self.strict:
+                    raise
+                diagnostics.append(PhaseDiagnostic.from_exception(
+                    "construct", exc, phase=index
+                ))
+                failed.add(index)
+        if failed:
+            return None, None, None, failed
+
+        plan = assemble_plan(per_region, link=self.link,
+                             ordering=self.ordering)
+
+        if self.optimize:
+            from repro.optimize.passes import (
+                optimize_package,
+                region_taken_probabilities,
+            )
+
+            taken_prob = region_taken_probabilities(regions)
+            for package in plan.packages:
+                try:
+                    optimize_package(
+                        package, taken_prob, enable_classic=self.classic
+                    )
+                except Exception as exc:
+                    if self.strict:
+                        raise
+                    diagnostics.append(PhaseDiagnostic.from_exception(
+                        "optimize", exc, phase=package.region_index
+                    ))
+                    failed.add(package.region_index)
+            if failed:
+                return plan, None, None, failed
+
+        try:
+            packed = rewrite_program(workload.program, plan)
+        except RewriteError as exc:
+            if self.strict:
+                raise
+            diagnostics.append(
+                PhaseDiagnostic.from_exception("rewrite", exc)
+            )
+            if exc.phase is not None:
+                failed.add(exc.phase)
+            else:
+                failed.update(r.record.index for r in regions)
+            return plan, None, None, failed
+
+        validation = None
+        if self.validate:
+            from .validate import validate_packed, validate_plan
+
+            validation = validate_plan(plan, workload.program)
+            validation.merge(validate_packed(packed))
+            if not validation.ok:
+                if self.strict:
+                    validation.raise_if_failed()
+                for issue in validation.issues:
+                    diagnostics.append(PhaseDiagnostic(
+                        stage="validate",
+                        error=issue.render(),
+                        phase=issue.phase,
+                        exception_type="ValidationIssue",
+                    ))
+                attributable = validation.failing_phases()
+                if attributable:
+                    failed.update(attributable)
+                # Non-attributable issues are reported but do not
+                # quarantine: dropping arbitrary phases would not fix
+                # them, and the packed program still executes.
+        return plan, packed, validation, failed
+
+    def _measure(
+        self,
+        workload: Workload,
+        packed: PackedProgram,
+        diagnostics: List[PhaseDiagnostic],
+    ) -> CoverageResult:
+        try:
+            return measure_coverage(workload, packed)
+        except Exception as exc:
+            if self.strict:
+                raise
+            diagnostics.append(
+                PhaseDiagnostic.from_exception("coverage", exc)
+            )
+            return CoverageResult(
+                package_instructions=0,
+                original_instructions=0,
+                branches=0,
+                launch_entries=0,
+            )

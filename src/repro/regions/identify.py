@@ -1,12 +1,24 @@
-"""Top-level region identification: record -> HotRegion (paper section 3.2)."""
+"""Top-level region identification: record -> HotRegion (paper section 3.2).
+
+Hot-spot records are *untrusted* input: the BBB snapshot may reference
+addresses that resolve to no known block (a stale profile against a
+relinked binary, or fault-injected corruption — see
+:mod:`repro.hsd.faults`).  ``identify_region`` salvages what it can: a
+record with *some* resolvable branches is seeded from those, while a
+record whose branches are all unmapped — or whose marking collapses to
+an empty region — raises a typed
+:class:`~repro.errors.RegionError` carrying the offending addresses
+instead of letting a bare ``KeyError``/``AttributeError`` escape.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
+from repro.errors import RegionError
 from repro.hsd.records import HotSpotRecord
 from repro.program.image import ProgramImage
-from repro.program.program import Program
+from repro.program.program import Program, ProgramError
 
 from .config import DEFAULT_REGION_CONFIG, RegionConfig
 from .growth import grow_region
@@ -26,17 +38,59 @@ def branch_locator_from_image(image: ProgramImage) -> BranchLocator:
     return index
 
 
+def unmapped_addresses(
+    record: HotSpotRecord, locate: BranchLocator
+) -> List[int]:
+    """Record addresses that resolve to no known branch block."""
+    return sorted(a for a in record.branches if a not in locate)
+
+
 def identify_region(
     program: Program,
     record: HotSpotRecord,
     locate: BranchLocator,
     config: RegionConfig = DEFAULT_REGION_CONFIG,
 ) -> HotRegion:
-    """Run seeding, inference, and growth for one hot-spot record."""
-    marking = seed_marking(program, record, locate, config)
-    infer_temperatures(marking, config)
-    grow_region(marking, config)
-    return HotRegion(program, record, marking, config)
+    """Run seeding, inference, and growth for one hot-spot record.
+
+    Raises :class:`~repro.errors.RegionError` when the record cannot
+    produce a usable region (no mapped branches, or an empty marking).
+    """
+    if not record.branches:
+        raise RegionError(
+            f"record #{record.index} holds no branch profiles",
+            phase=record.index,
+        )
+    unmapped = unmapped_addresses(record, locate)
+    if len(unmapped) == len(record.branches):
+        raise RegionError(
+            f"record #{record.index}: none of its {len(unmapped)} branch "
+            f"addresses resolve to a known block "
+            f"(first: {hex(unmapped[0])})",
+            addresses=unmapped,
+            phase=record.index,
+        )
+    try:
+        marking = seed_marking(program, record, locate, config)
+        infer_temperatures(marking, config)
+        grow_region(marking, config)
+    except (KeyError, AttributeError, ProgramError) as exc:
+        raise RegionError(
+            f"record #{record.index}: region identification failed "
+            f"({type(exc).__name__}: {exc})",
+            addresses=unmapped,
+            phase=record.index,
+        ) from exc
+    region = HotRegion(program, record, marking, config)
+    if not region.function_names():
+        raise RegionError(
+            f"record #{record.index} produced an empty region "
+            f"({len(unmapped)} of {len(record.branches)} branch addresses "
+            "unmapped)",
+            addresses=unmapped,
+            phase=record.index,
+        )
+    return region
 
 
 def identify_regions(
@@ -45,5 +99,10 @@ def identify_regions(
     locate: BranchLocator,
     config: RegionConfig = DEFAULT_REGION_CONFIG,
 ) -> List[HotRegion]:
-    """Identify one region per (already filtered) hot-spot record."""
+    """Identify one region per (already filtered) hot-spot record.
+
+    This is the *strict* path: the first unusable record raises.  The
+    :class:`~repro.postlink.vacuum.VacuumPacker` quarantine loop calls
+    :func:`identify_region` per record instead and degrades per phase.
+    """
     return [identify_region(program, record, locate, config) for record in records]

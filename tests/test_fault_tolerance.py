@@ -1,0 +1,287 @@
+"""Robustness layer: fault injection, quarantine, validation oracles.
+
+The property test encodes the PR's core guarantee: *any* seeded fault
+mix over a real profile must leave the non-strict pipeline standing —
+``pack()`` never raises, and every package it produces passes the
+structural validators.  The differential-oracle tests then show the
+validators have teeth: a deliberately mis-patched launch point fails
+loudly, both structurally and behaviorally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProfileError, RegionError, ReproError
+from repro.hsd import ALL_FAULT_MODES, FaultInjector, FaultSpec, inject_faults
+from repro.postlink import (
+    VacuumPacker,
+    differential_check,
+    validate_packed,
+    validate_plan,
+)
+from repro.program.cfg import cross_function_target, split_cross_function
+from repro.regions.identify import branch_locator_from_image, identify_region
+from repro.workloads.suite import load_benchmark
+
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def perl():
+    """Profiled workload + fault-free baseline pack (134.perl/C)."""
+    workload = load_benchmark("134.perl", "C", scale=SCALE)
+    packer = VacuumPacker()
+    profile = packer.profile(workload)
+    baseline = packer.pack(workload, profile)
+    return workload, packer, profile, baseline
+
+
+# ---------------------------------------------------------------------------
+# fault injector mechanics
+# ---------------------------------------------------------------------------
+
+class TestFaultInjector:
+    def test_deterministic(self, perl):
+        _, _, profile, _ = perl
+        a, log_a = FaultInjector(seed=7).inject(profile.records)
+        b, log_b = FaultInjector(seed=7).inject(profile.records)
+        assert a == b
+        assert log_a.as_dict() == log_b.as_dict()
+
+    def test_different_seeds_differ(self, perl):
+        _, _, profile, _ = perl
+        a, _ = FaultInjector(seed=1).inject(profile.records)
+        b, _ = FaultInjector(seed=2).inject(profile.records)
+        assert a != b
+
+    def test_input_not_mutated(self, perl):
+        _, _, profile, _ = perl
+        before = [dataclasses.replace(r) for r in profile.records]
+        FaultInjector(seed=3, spec=FaultSpec(rate=1.0)).inject(
+            profile.records
+        )
+        assert profile.records == before
+
+    def test_profiles_stay_well_formed(self, perl):
+        _, _, profile, _ = perl
+        faulty, _ = FaultInjector(
+            seed=11, spec=FaultSpec(modes=ALL_FAULT_MODES, rate=1.0)
+        ).inject(profile.records)
+        for record in faulty:
+            for prof in record.branches.values():
+                # BranchProfile.__post_init__ enforces this, but make the
+                # invariant explicit: injection never builds bad profiles.
+                assert 0 <= prof.taken <= prof.executed
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(modes=("bit_rot",))
+
+    def test_rate_range_checked(self):
+        with pytest.raises(ValueError):
+            FaultSpec(rate=1.5)
+
+
+# ---------------------------------------------------------------------------
+# the core property: faulty profiles never break the non-strict pipeline
+# ---------------------------------------------------------------------------
+
+fault_mixes = st.lists(
+    st.sampled_from(ALL_FAULT_MODES), min_size=1, max_size=6, unique=True
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    modes=fault_mixes,
+    rate=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_any_fault_mix_survives_nonstrict_pack(perl, seed, modes, rate):
+    workload, packer, profile, _ = perl
+    injector = FaultInjector(
+        seed=seed, spec=FaultSpec(modes=tuple(modes), rate=rate)
+    )
+    faulty_records, _ = injector.inject(profile.records)
+    faulty_profile = dataclasses.replace(profile, records=faulty_records)
+
+    result = packer.pack(workload, faulty_profile)  # must never raise
+
+    # Whatever survived must be structurally sound.
+    report = validate_plan(result.plan, workload.program)
+    report.merge(validate_packed(result.packed))
+    assert report.ok, report.render()
+    assert 0.0 <= result.coverage.package_fraction <= 1.0
+    # Anything dropped left a structured trace.
+    for phase in result.quarantined_phases():
+        assert any(d.phase == phase for d in result.diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# strict mode and typed errors
+# ---------------------------------------------------------------------------
+
+class TestStrictMode:
+    def test_duplicate_record_raises(self, perl):
+        workload, _, profile, _ = perl
+        strict = VacuumPacker(strict=True)
+        doubled = dataclasses.replace(
+            profile, records=list(profile.records) + [profile.records[0]]
+        )
+        with pytest.raises(ProfileError) as excinfo:
+            strict.pack(workload, doubled)
+        assert excinfo.value.phase == profile.records[0].index
+
+    def test_nonstrict_quarantines_duplicate(self, perl):
+        workload, packer, profile, _ = perl
+        doubled = dataclasses.replace(
+            profile, records=list(profile.records) + [profile.records[0]]
+        )
+        result = packer.pack(workload, doubled)
+        assert any(
+            d.stage == "profile" and d.phase == profile.records[0].index
+            for d in result.diagnostics
+        )
+
+    def test_unknown_ordering_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="best, worst, first"):
+            VacuumPacker(ordering="bogus")
+
+    def test_region_error_carries_addresses(self, perl):
+        workload, packer, profile, _ = perl
+        record = profile.records[0]
+        # Slide every address far outside the program image.
+        hostile = dataclasses.replace(
+            record,
+            branches={
+                addr + 0x4000_0000: prof
+                for addr, prof in record.branches.items()
+            },
+        )
+        locate = branch_locator_from_image(profile.image)
+        with pytest.raises(RegionError) as excinfo:
+            identify_region(
+                workload.program, hostile, locate, packer.region_config
+            )
+        assert excinfo.value.addresses
+        assert excinfo.value.phase == record.index
+
+    def test_errors_are_typed(self, perl):
+        workload, packer, profile, _ = perl
+        record = profile.records[0]
+        hostile = dataclasses.replace(
+            record,
+            branches={
+                addr + 0x4000_0000: prof
+                for addr, prof in record.branches.items()
+            },
+        )
+        bad_profile = dataclasses.replace(profile, records=[hostile])
+        strict = VacuumPacker(strict=True)
+        with pytest.raises(ReproError):
+            strict.pack(workload, bad_profile)
+        # Non-strict: quarantined at identify, pipeline completes empty.
+        result = packer.pack(workload, bad_profile)
+        assert result.regions == []
+        assert any(d.stage == "identify" for d in result.diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# differential oracle
+# ---------------------------------------------------------------------------
+
+class TestDifferentialOracle:
+    def test_passes_on_clean_pack(self, perl):
+        workload, _, _, baseline = perl
+        report = differential_check(workload, baseline.packed)
+        assert report.ok, report.render()
+        assert report.branches_original == report.branches_packed
+        assert report.stream_digest_original == report.stream_digest_packed
+        assert report.work_original == report.work_packed
+
+    def test_detects_mispatched_launch_point(self, perl):
+        """Mutate one launch displacement; both oracles must fail loudly."""
+        workload, packer, profile, _ = perl
+        sabotaged = packer.pack(workload, profile).packed
+
+        mutated = False
+        for function in sabotaged.program.functions.values():
+            for block in function.blocks:
+                if not block.meta.get("launch_trampoline"):
+                    continue
+                term = block.terminator
+                pkg_name, entry_label = split_cross_function(term.target)
+                pkg_fn = sabotaged.program.functions[pkg_name]
+                wrong = next(
+                    b.label for b in pkg_fn.blocks if b.label != entry_label
+                )
+                block.instructions[-1] = term.retargeted(
+                    cross_function_target(pkg_name, wrong)
+                )
+                mutated = True
+                break
+            if mutated:
+                break
+        assert mutated, "no launch trampoline found to sabotage"
+
+        structural = validate_packed(sabotaged)
+        assert not structural.ok
+        assert any(i.kind == "patch_mismatch" for i in structural.issues)
+
+        behavioral = differential_check(workload, sabotaged)
+        assert not behavioral.ok
+
+
+# ---------------------------------------------------------------------------
+# convenience wrapper
+# ---------------------------------------------------------------------------
+
+def test_inject_faults_wrapper(perl):
+    _, _, profile, _ = perl
+    faulty, log = inject_faults(profile.records, seed=5)
+    direct, direct_log = FaultInjector(seed=5).inject(profile.records)
+    assert faulty == direct
+    assert log.as_dict() == direct_log.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# campaign driver and CLI
+# ---------------------------------------------------------------------------
+
+def test_fault_campaign_smoke():
+    from repro.experiments import run_fault_campaign
+    from repro.workloads.suite import SUITE
+
+    entry = next(e for e in SUITE if e.full_name == "134.perl/C")
+    report = run_fault_campaign(
+        entries=[entry], scale=SCALE, seed=0, trials=2
+    )
+    assert report.ok
+    assert report.survival_rate == 1.0
+    assert len(report.entries) == 1
+    assert len(report.entries[0].trials) == 2
+    rendered = report.render()
+    assert "134.perl/C" in rendered
+    assert "100% survival" in rendered
+
+
+def test_faults_cli(capsys):
+    from repro.cli import main
+
+    code = main([
+        "faults", "--bench", "134.perl/C", "--scale", str(SCALE),
+        "--seed", "0", "--trials", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Fault-injection campaign" in out
+    assert "survival" in out
