@@ -1,0 +1,306 @@
+"""Pinned micro-benchmark suite: ``python -m repro bench``.
+
+Times the performance-critical layers on a fixed workload
+(:data:`BENCH_WORKLOAD`, the suite's smallest dynamic footprint) so
+engine regressions are caught by number, not anecdote:
+
+* ``interpreter_loop`` — the reference :class:`BlockExecutor` run;
+* ``compiled_loop`` — the same run under the compiled trace engine;
+* ``detector_observe`` — per-event Hot Spot Detector throughput;
+* ``detector_observe_stream`` — the chunked detector fast path;
+* ``pack_pipeline`` — one full ``VacuumPacker.pack`` (cold caches);
+* ``fault_campaign`` — the end-to-end campaign driver on one entry
+  (the acceptance workload for this engine's speedup target).
+
+Results are written to ``BENCH_<date>.json``; ``--check BASELINE``
+compares against a committed baseline and fails on a >25% regression
+(the CI smoke job pins ``benchmarks/results/baseline.json``).  Each
+invocation runs against a private temporary trace-cache directory so
+numbers never depend on leftover cache state.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: The timing workload: smallest dynamic footprint in the suite.
+BENCH_WORKLOAD = ("134.perl", "C")
+
+#: Branch events for the detector throughput benchmarks.
+_DETECTOR_EVENTS = 200_000
+
+#: Regression gate used by ``--check`` and the CI smoke job.
+DEFAULT_THRESHOLD = 0.25
+
+
+def _load_bench_workload():
+    from repro.workloads.suite import load_benchmark
+
+    benchmark, input_name = BENCH_WORKLOAD
+    return load_benchmark(benchmark, input_name)
+
+
+def _best_of(fn: Callable[[], None], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# individual benchmarks
+# ---------------------------------------------------------------------------
+
+def _bench_interpreter(repeats: int) -> Dict[str, object]:
+    from repro.engine.executor import BlockExecutor
+
+    workload = _load_bench_workload()
+
+    def once() -> None:
+        BlockExecutor(
+            workload.program, workload.behavior, workload.phase_script,
+            limits=workload.limits,
+        ).run()
+
+    seconds = _best_of(once, repeats)
+    summary = workload.run()
+    return {
+        "seconds": seconds,
+        "branches": summary.branches,
+        "branches_per_second": summary.branches / seconds if seconds else 0.0,
+    }
+
+
+def _bench_compiled(repeats: int) -> Dict[str, object]:
+    from repro.engine.compiled import CompiledExecutor
+
+    workload = _load_bench_workload()
+
+    def once() -> None:
+        CompiledExecutor(
+            workload.program, workload.behavior, workload.phase_script,
+            limits=workload.limits,
+        ).run()
+
+    once()  # warm the per-program/behavior memos: steady-state cost
+    seconds = _best_of(once, repeats)
+    summary = workload.run()
+    return {
+        "seconds": seconds,
+        "branches": summary.branches,
+        "branches_per_second": summary.branches / seconds if seconds else 0.0,
+    }
+
+
+def _detector_stream() -> Tuple[List[int], List[bool]]:
+    from repro.engine.trace_cache import image_for, traced_run
+
+    workload = _load_bench_workload()
+    trace = traced_run(workload)
+    address_of = image_for(workload.program).instruction_address
+    uids = trace.uids[:_DETECTOR_EVENTS].tolist()
+    takens = trace.taken[:_DETECTOR_EVENTS].tolist()
+    addresses = [address_of[uid] for uid in uids]
+    return addresses, takens
+
+
+def _bench_detector(repeats: int) -> Dict[str, object]:
+    from repro.hsd.detector import HotSpotDetector
+
+    addresses, takens = _detector_stream()
+
+    def once() -> None:
+        detector = HotSpotDetector()
+        observe = detector.observe
+        for address, taken in zip(addresses, takens):
+            observe(address, taken)
+
+    seconds = _best_of(once, repeats)
+    return {
+        "seconds": seconds,
+        "events": len(addresses),
+        "events_per_second": len(addresses) / seconds if seconds else 0.0,
+    }
+
+
+def _bench_detector_stream(repeats: int) -> Dict[str, object]:
+    from repro.hsd.detector import HotSpotDetector
+
+    addresses, takens = _detector_stream()
+
+    def once() -> None:
+        HotSpotDetector().observe_stream(addresses, takens)
+
+    seconds = _best_of(once, repeats)
+    return {
+        "seconds": seconds,
+        "events": len(addresses),
+        "events_per_second": len(addresses) / seconds if seconds else 0.0,
+    }
+
+
+def _bench_pack(repeats: int) -> Dict[str, object]:
+    from repro.postlink.vacuum import VacuumPacker
+
+    workload = _load_bench_workload()
+    holder: Dict[str, object] = {}
+
+    def once() -> None:
+        holder["result"] = VacuumPacker().pack(workload)
+
+    seconds = _best_of(once, repeats)
+    result = holder["result"]
+    return {
+        "seconds": seconds,
+        "coverage": result.coverage.package_fraction,
+        "phases": len(result.regions),
+    }
+
+
+def _bench_campaign(trials: int) -> Dict[str, object]:
+    from repro.experiments.fault_campaign import run_fault_campaign
+    from repro.workloads.suite import SUITE
+
+    benchmark, input_name = BENCH_WORKLOAD
+    entry = next(
+        e for e in SUITE
+        if e.benchmark == benchmark and e.input_name == input_name
+    )
+    start = time.perf_counter()
+    report = run_fault_campaign(entries=[entry], seed=0, trials=trials)
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "trials": trials,
+        "survival_rate": report.survival_rate,
+    }
+
+
+# ---------------------------------------------------------------------------
+# suite driver
+# ---------------------------------------------------------------------------
+
+def run_bench(quick: bool = False) -> Dict[str, object]:
+    """Run the pinned suite; ``quick`` uses single repetitions and a
+    shorter campaign (the CI smoke configuration)."""
+    repeats = 1 if quick else 3
+    campaign_trials = 2 if quick else 5
+
+    previous_cache = os.environ.get("REPRO_TRACE_CACHE")
+    results: Dict[str, Dict[str, object]] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        os.environ["REPRO_TRACE_CACHE"] = cache_dir
+        from repro.engine.trace_cache import reset_default_cache
+
+        reset_default_cache()
+        try:
+            results["interpreter_loop"] = _bench_interpreter(repeats)
+            results["compiled_loop"] = _bench_compiled(repeats)
+            results["detector_observe"] = _bench_detector(repeats)
+            results["detector_observe_stream"] = _bench_detector_stream(
+                repeats
+            )
+            results["pack_pipeline"] = _bench_pack(repeats)
+            results["fault_campaign"] = _bench_campaign(campaign_trials)
+        finally:
+            if previous_cache is None:
+                os.environ.pop("REPRO_TRACE_CACHE", None)
+            else:
+                os.environ["REPRO_TRACE_CACHE"] = previous_cache
+            reset_default_cache()
+
+    return {
+        "date": datetime.date.today().isoformat(),
+        "quick": quick,
+        "workload": "/".join(BENCH_WORKLOAD),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "engine": os.environ.get("REPRO_ENGINE", "compiled"),
+        "results": results,
+    }
+
+
+def default_report_path(report: Dict[str, object]) -> str:
+    return f"BENCH_{report['date']}.json"
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_report(report: Dict[str, object]) -> str:
+    lines = [
+        f"bench {report['date']} ({'quick' if report['quick'] else 'full'}) "
+        f"workload={report['workload']} engine={report['engine']}"
+    ]
+    for name, result in sorted(report["results"].items()):
+        extras = " ".join(
+            f"{k}={v:,.0f}" if isinstance(v, float) and v > 100 else f"{k}={v}"
+            for k, v in sorted(result.items())
+            if k != "seconds"
+        )
+        lines.append(f"  {name:26s} {result['seconds']:8.3f}s  {extras}")
+    return "\n".join(lines)
+
+
+def check_report(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Regressions of ``report`` vs ``baseline`` beyond ``threshold``.
+
+    Only benchmarks present in both reports are compared, so adding a
+    benchmark never breaks an old baseline.
+    """
+    problems: List[str] = []
+    base_results = baseline.get("results", {})
+    for name, result in report["results"].items():
+        base = base_results.get(name)
+        if not base:
+            continue
+        base_seconds = float(base["seconds"])
+        seconds = float(result["seconds"])
+        if base_seconds <= 0:
+            continue
+        ratio = seconds / base_seconds
+        if ratio > 1.0 + threshold:
+            problems.append(
+                f"{name}: {seconds:.3f}s vs baseline {base_seconds:.3f}s "
+                f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)"
+            )
+    return problems
+
+
+def main_bench(
+    quick: bool = False,
+    out: Optional[str] = None,
+    check: Optional[str] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> int:
+    report = run_bench(quick=quick)
+    print(render_report(report))
+    path = out or default_report_path(report)
+    write_report(report, path)
+    print(f"(written to {path})")
+    if check:
+        with open(check) as handle:
+            baseline = json.load(handle)
+        problems = check_report(report, baseline, threshold)
+        if problems:
+            print(f"REGRESSION vs {check}:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"no regressions vs {check} (threshold {threshold:.0%})")
+    return 0

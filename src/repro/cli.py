@@ -11,7 +11,12 @@ one benchmark input:
    python -m repro table3 --out /tmp/table3.txt
    python -m repro ablations
    python -m repro pack 134.perl B --scale 0.5
-   python -m repro faults --seed 0 --trials 5
+   python -m repro faults --seed 0 --trials 5 --jobs 4
+   python -m repro bench --quick --check benchmarks/results/baseline.json
+
+Experiment commands accept ``--jobs N`` (or ``REPRO_JOBS``) to fan
+independent benchmark entries out across worker processes with
+deterministic, serial-identical results.
 """
 
 from __future__ import annotations
@@ -64,7 +69,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "figure10": run_figure10,
     }
     report = runners[args.command](
-        entries=entries, scale=args.scale, verbose=args.verbose
+        entries=entries, scale=args.scale, verbose=args.verbose,
+        jobs=args.jobs,
     )
     _emit(report.render(), args.out)
     return 0
@@ -72,11 +78,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
     parts = [
-        run_max_blocks_ablation(scale=args.scale).render(),
+        run_max_blocks_ablation(scale=args.scale, jobs=args.jobs).render(),
         "",
-        run_bbb_ablation(scale=args.scale).render(),
+        run_bbb_ablation(scale=args.scale, jobs=args.jobs).render(),
         "",
-        run_ordering_ablation(scale=args.scale).render(),
+        run_ordering_ablation(scale=args.scale, jobs=args.jobs).render(),
     ]
     _emit("\n".join(parts), args.out)
     return 0
@@ -132,9 +138,21 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         rate=args.rate,
         strict=args.strict,
         verbose=args.verbose,
+        jobs=args.jobs,
     )
     _emit(report.render(), args.out)
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import main_bench
+
+    return main_bench(
+        quick=args.quick,
+        out=args.out,
+        check=args.check,
+        threshold=args.threshold,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,11 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--out", help="also write the table to this file")
         cmd.add_argument("--verbose", action="store_true",
                          help="print per-input progress")
+        cmd.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (0 = one per CPU; "
+                              "default REPRO_JOBS or serial)")
         cmd.set_defaults(func=_cmd_experiment)
 
     abl = sub.add_parser("ablations", help="run the three ablation studies")
     abl.add_argument("--scale", type=float, default=None)
     abl.add_argument("--out", help="also write the tables to this file")
+    abl.add_argument("--jobs", type=int, default=None,
+                     help="worker processes (0 = one per CPU; "
+                          "default REPRO_JOBS or serial)")
     abl.set_defaults(func=_cmd_ablations)
 
     pack = sub.add_parser("pack", help="run the pipeline on one input")
@@ -199,7 +223,25 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--verbose", action="store_true",
                         help="print per-trial progress")
     faults.add_argument("--out", help="also write the report to this file")
+    faults.add_argument("--jobs", type=int, default=None,
+                        help="worker processes, one entry per worker "
+                             "(0 = one per CPU; default REPRO_JOBS or serial)")
     faults.set_defaults(func=_cmd_faults)
+
+    bench = sub.add_parser(
+        "bench",
+        help="pinned micro-benchmark suite (engine, detector, pipeline)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="single repetitions + short campaign (CI smoke)")
+    bench.add_argument("--out",
+                       help="report path (default BENCH_<date>.json)")
+    bench.add_argument("--check", metavar="BASELINE",
+                       help="compare against a baseline JSON and fail on "
+                            "regression")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="allowed slowdown vs baseline (default 0.25)")
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

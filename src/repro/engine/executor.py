@@ -21,6 +21,7 @@ the paper's coverage (Fig. 8) and speedup (Fig. 10) comparisons sound.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -121,6 +122,111 @@ class ExecutorError(Exception):
     """Raised when a program cannot be prepared for execution."""
 
 
+def _lookup_target(
+    infos: Dict[Tuple[str, str], BlockInfo], function: str, target: str
+) -> BlockInfo:
+    if is_cross_function(target):
+        remote_fn, remote_label = split_cross_function(target)
+        key = (remote_fn, remote_label)
+    else:
+        key = (function, target)
+    try:
+        return infos[key]
+    except KeyError:
+        raise ExecutorError(f"unresolved control target {key}") from None
+
+
+def _resolve_info(
+    infos: Dict[Tuple[str, str], BlockInfo],
+    program: Program,
+    info: BlockInfo,
+    function: str,
+    block,
+    next_info: Optional[BlockInfo],
+) -> None:
+    # Continuations are stored as (function, label) pairs.
+    if block.continuations:
+        info.continuations = tuple(
+            infos[(fn, label)] for fn, label in block.continuations
+        )
+    term = block.terminator
+    if term is None:
+        if next_info is None:
+            raise ExecutorError(
+                f"{function}/{block.label} falls off the end of the function"
+            )
+        info.kind = _FALL
+        info.fall = next_info
+    elif term.is_conditional_branch:
+        if next_info is None:
+            raise ExecutorError(
+                f"{function}/{block.label} may fall off the function end"
+            )
+        info.kind = _BRANCH
+        info.branch_uid = term.root_origin()
+        info.target = _lookup_target(infos, function, term.target)
+        info.fall = next_info
+        if block.meta.get("branch_inverted"):
+            # The layout pass physically inverted this branch; the
+            # behavior model still speaks in original-taken terms,
+            # so swap the successors here.
+            info.target, info.fall = info.fall, info.target
+    elif term.opcode is Opcode.JUMP:
+        info.kind = _JUMP
+        info.target = _lookup_target(infos, function, term.target)
+    elif term.is_call:
+        if next_info is None:
+            raise ExecutorError(
+                f"{function}/{block.label}: call at function end"
+            )
+        info.kind = _CALL
+        if is_cross_function(term.target):
+            # Patched launch point: call directly into a package block.
+            info.target = _lookup_target(infos, function, term.target)
+        else:
+            callee = program.functions.get(term.target)
+            if callee is None:
+                raise ExecutorError(
+                    f"{function}/{block.label}: call to unknown {term.target!r}"
+                )
+            info.target = infos[(callee.name, callee.entry_label)]
+        info.fall = next_info
+    elif term.is_return:
+        info.kind = _RET
+    elif term.opcode is Opcode.HALT:
+        info.kind = _HALT
+    else:  # pragma: no cover - defensive
+        raise ExecutorError(f"unhandled terminator {term.render()!r}")
+
+
+def build_block_infos(program: Program) -> Dict[Tuple[str, str], BlockInfo]:
+    """Build the resolved :class:`BlockInfo` graph for a program.
+
+    Shared by the reference :class:`BlockExecutor` and the compiled
+    engine (:mod:`repro.engine.compiled`), so both execute the exact
+    same successor resolution (branch inversion, continuations, calls).
+    """
+    infos: Dict[Tuple[str, str], BlockInfo] = {}
+    # First pass: create one BlockInfo per block.
+    for function in program.functions.values():
+        for block in function.blocks:
+            infos[(function.name, block.label)] = BlockInfo(
+                function.name, block
+            )
+    # Second pass: resolve successors.
+    for function in program.functions.values():
+        blocks = function.blocks
+        for i, block in enumerate(blocks):
+            info = infos[(function.name, block.label)]
+            next_info = (
+                infos[(function.name, blocks[i + 1].label)]
+                if i + 1 < len(blocks)
+                else None
+            )
+            _resolve_info(infos, program, info, function.name, block, next_info)
+    return infos
+
+
 class BlockExecutor:
     """Executes a program against a behavior model and phase script."""
 
@@ -139,100 +245,9 @@ class BlockExecutor:
         self.branch_hooks = list(branch_hooks)
         self.block_hook = block_hook
         self.limits = limits or ExecutionLimits()
-        self._infos: Dict[Tuple[str, str], BlockInfo] = {}
-        self._build_infos()
-
-    # -- preparation ----------------------------------------------------
-    def _build_infos(self) -> None:
-        # First pass: create one BlockInfo per block.
-        for function in self.program.functions.values():
-            for block in function.blocks:
-                self._infos[(function.name, block.label)] = BlockInfo(
-                    function.name, block
-                )
-        # Second pass: resolve successors.
-        for function in self.program.functions.values():
-            blocks = function.blocks
-            for i, block in enumerate(blocks):
-                info = self._infos[(function.name, block.label)]
-                next_info = (
-                    self._infos[(function.name, blocks[i + 1].label)]
-                    if i + 1 < len(blocks)
-                    else None
-                )
-                self._resolve(info, function.name, block, next_info)
-
-    def _lookup_target(self, function: str, target: str) -> BlockInfo:
-        if is_cross_function(target):
-            remote_fn, remote_label = split_cross_function(target)
-            key = (remote_fn, remote_label)
-        else:
-            key = (function, target)
-        try:
-            return self._infos[key]
-        except KeyError:
-            raise ExecutorError(f"unresolved control target {key}") from None
-
-    def _resolve(
-        self,
-        info: BlockInfo,
-        function: str,
-        block,
-        next_info: Optional[BlockInfo],
-    ) -> None:
-        # Continuations are stored as (function, label) pairs.
-        if block.continuations:
-            info.continuations = tuple(
-                self._infos[(fn, label)] for fn, label in block.continuations
-            )
-        term = block.terminator
-        if term is None:
-            if next_info is None:
-                raise ExecutorError(
-                    f"{function}/{block.label} falls off the end of the function"
-                )
-            info.kind = _FALL
-            info.fall = next_info
-        elif term.is_conditional_branch:
-            if next_info is None:
-                raise ExecutorError(
-                    f"{function}/{block.label} may fall off the function end"
-                )
-            info.kind = _BRANCH
-            info.branch_uid = term.root_origin()
-            info.target = self._lookup_target(function, term.target)
-            info.fall = next_info
-            if block.meta.get("branch_inverted"):
-                # The layout pass physically inverted this branch; the
-                # behavior model still speaks in original-taken terms,
-                # so swap the successors here.
-                info.target, info.fall = info.fall, info.target
-        elif term.opcode is Opcode.JUMP:
-            info.kind = _JUMP
-            info.target = self._lookup_target(function, term.target)
-        elif term.is_call:
-            if next_info is None:
-                raise ExecutorError(
-                    f"{function}/{block.label}: call at function end"
-                )
-            info.kind = _CALL
-            if is_cross_function(term.target):
-                # Patched launch point: call directly into a package block.
-                info.target = self._lookup_target(function, term.target)
-            else:
-                callee = self.program.functions.get(term.target)
-                if callee is None:
-                    raise ExecutorError(
-                        f"{function}/{block.label}: call to unknown {term.target!r}"
-                    )
-                info.target = self._infos[(callee.name, callee.entry_label)]
-            info.fall = next_info
-        elif term.is_return:
-            info.kind = _RET
-        elif term.opcode is Opcode.HALT:
-            info.kind = _HALT
-        else:  # pragma: no cover - defensive
-            raise ExecutorError(f"unhandled terminator {term.render()!r}")
+        self._infos: Dict[Tuple[str, str], BlockInfo] = build_block_infos(
+            program
+        )
 
     def info_of(self, function: str, label: str) -> BlockInfo:
         return self._infos[(function, label)]
@@ -246,12 +261,16 @@ class BlockExecutor:
         info: Optional[BlockInfo] = self._infos[start]
 
         summary = ExecutionSummary()
-        visits = summary.block_visits
+        visits: Dict[int, int] = defaultdict(int)
         stack: List[BlockInfo] = []
         cursor = self.phase_script.cursor()
-        occurrences: Dict[int, int] = {}
+        cursor_advance = cursor.advance
+        occurrences: Dict[int, int] = defaultdict(int)
         behavior_taken = self.behavior.taken
-        hooks = self.branch_hooks
+        # Hook dispatch is skipped entirely when nothing is registered;
+        # the common single-hook case avoids the loop as well.
+        hooks = tuple(self.branch_hooks) or None
+        single_hook = hooks[0] if hooks is not None and len(hooks) == 1 else None
         block_hook = self.block_hook
         max_branches = self.limits.max_branches
         max_instructions = self.limits.max_instructions
@@ -268,8 +287,7 @@ class BlockExecutor:
             if steps > max_steps:
                 summary.stop_reason = StopReason.STEP_LIMIT
                 break
-            uid = info.uid
-            visits[uid] = visits.get(uid, 0) + 1
+            visits[info.uid] += 1
             instructions += info.size
             if block_hook is not None:
                 block_hook(info)
@@ -282,15 +300,18 @@ class BlockExecutor:
                     summary.stop_reason = StopReason.BRANCH_LIMIT
                     break
                 buid = info.branch_uid
-                occ = occurrences.get(buid, 0)
+                occ = occurrences[buid]
                 occurrences[buid] = occ + 1
-                phase = cursor.advance()
+                phase = cursor_advance()
                 taken = behavior_taken(buid, occ, phase)
                 branches += 1
                 if taken:
                     taken_total += 1
-                for hook in hooks:
-                    hook(buid, taken, phase)
+                if single_hook is not None:
+                    single_hook(buid, taken, phase)
+                elif hooks is not None:
+                    for hook in hooks:
+                        hook(buid, taken, phase)
                 next_info = info.target if taken else info.fall
                 if taken and info.continuations:
                     stack.extend(info.continuations)
@@ -319,4 +340,5 @@ class BlockExecutor:
         summary.taken_branches = taken_total
         summary.calls = calls
         summary.steps = steps
+        summary.block_visits = dict(visits)
         return summary

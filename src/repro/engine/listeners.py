@@ -48,6 +48,21 @@ class HSDListener:
             self.raw_detections += 1
             self.filter.accept(record)
 
+    def consume_trace(self, uids, takens) -> None:
+        """Feed a whole recorded branch stream (numpy arrays or lists)
+        through the detector's chunked fast path.  Equivalent to calling
+        the listener once per event, detection-for-detection."""
+        address_of = self.address_of
+        uid_list = uids.tolist() if hasattr(uids, "tolist") else list(uids)
+        taken_list = (
+            takens.tolist() if hasattr(takens, "tolist") else list(takens)
+        )
+        addresses = [address_of[uid] for uid in uid_list]
+        accept = self.filter.accept
+        for record in self.detector.observe_stream(addresses, taken_list):
+            self.raw_detections += 1
+            accept(record)
+
     @property
     def unique_records(self) -> List[HotSpotRecord]:
         return list(self.filter.accepted)

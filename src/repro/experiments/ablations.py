@@ -16,9 +16,9 @@ from typing import List, Optional, Sequence, Tuple
 from repro.hsd.config import HSDConfig
 from repro.postlink.vacuum import VacuumPacker
 from repro.regions.config import RegionConfig
-from repro.workloads.base import Workload
-from repro.workloads.suite import BenchmarkInput, load_benchmark
+from repro.workloads.suite import load_benchmark
 
+from .parallel import parallel_map
 from .report import format_percent, format_table
 
 #: Default subset: inputs whose behavior is sensitive to the ablated
@@ -32,13 +32,6 @@ DEFAULT_SUBSET: Sequence[Tuple[str, str]] = (
 )
 
 
-def _workloads(
-    subset: Optional[Sequence[Tuple[str, str]]], scale: Optional[float]
-) -> List[Workload]:
-    subset = subset or DEFAULT_SUBSET
-    return [load_benchmark(b, i, scale) for b, i in subset]
-
-
 @dataclass
 class AblationReport:
     title: str
@@ -49,33 +42,65 @@ class AblationReport:
         return format_table(self.headers, self.rows, title=self.title)
 
 
+def _max_blocks_row(
+    args: Tuple[str, str, Optional[float], Tuple[int, ...]],
+) -> List[object]:
+    benchmark, input_name, scale, budgets = args
+    workload = load_benchmark(benchmark, input_name, scale)
+    profile = VacuumPacker().profile(workload)
+    row: List[object] = [workload.name]
+    for budget in budgets:
+        packer = VacuumPacker(
+            region_config=RegionConfig(max_growth_blocks=budget)
+        )
+        result = packer.pack(workload, profile=profile)
+        row.append(format_percent(result.coverage.package_fraction))
+    return row
+
+
 def run_max_blocks_ablation(
     budgets: Sequence[int] = (0, 1, 2, 4),
     subset: Optional[Sequence[Tuple[str, str]]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> AblationReport:
     """Coverage as the growth budget MAX_BLOCKS varies (paper: 1)."""
     report = AblationReport(
         title="Ablation A1: coverage vs MAX_BLOCKS growth budget",
         headers=["benchmark"] + [f"MAX_BLOCKS={b}" for b in budgets],
     )
-    for workload in _workloads(subset, scale):
-        profile = VacuumPacker().profile(workload)
-        row: List[object] = [workload.name]
-        for budget in budgets:
-            packer = VacuumPacker(
-                region_config=RegionConfig(max_growth_blocks=budget)
-            )
-            result = packer.pack(workload, profile=profile)
-            row.append(format_percent(result.coverage.package_fraction))
-        report.rows.append(row)
+    work = [
+        (b, i, scale, tuple(budgets)) for b, i in subset or DEFAULT_SUBSET
+    ]
+    report.rows = parallel_map(_max_blocks_row, work, jobs=jobs)
     return report
+
+
+def _bbb_row(
+    args: Tuple[str, str, Optional[float], Tuple[Tuple[int, int], ...]],
+) -> List[object]:
+    benchmark, input_name, scale, geometries = args
+    workload = load_benchmark(benchmark, input_name, scale)
+    row: List[object] = [workload.name]
+    for sets, ways in geometries:
+        hsd = HSDConfig(bbb_sets=sets, bbb_ways=ways)
+        cells = []
+        for inference in (True, False):
+            packer = VacuumPacker(
+                hsd_config=hsd,
+                region_config=RegionConfig(inference=inference),
+            )
+            result = packer.pack(workload)
+            cells.append(format_percent(result.coverage.package_fraction))
+        row.append(f"{cells[0]} / {cells[1]}")
+    return row
 
 
 def run_bbb_ablation(
     geometries: Sequence[Tuple[int, int]] = ((2, 2), (4, 2), (16, 4), (512, 4)),
     subset: Optional[Sequence[Tuple[str, str]]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> AblationReport:
     """Coverage vs BBB geometry, with inference on and off.
 
@@ -91,26 +116,35 @@ def run_bbb_ablation(
         title="Ablation A2: coverage (inference on / off) vs BBB geometry",
         headers=["benchmark"] + [f"{s}x{w}" for s, w in geometries],
     )
-    for workload in _workloads(subset, scale):
-        row: List[object] = [workload.name]
-        for sets, ways in geometries:
-            hsd = HSDConfig(bbb_sets=sets, bbb_ways=ways)
-            cells = []
-            for inference in (True, False):
-                packer = VacuumPacker(
-                    hsd_config=hsd,
-                    region_config=RegionConfig(inference=inference),
-                )
-                result = packer.pack(workload)
-                cells.append(format_percent(result.coverage.package_fraction))
-            row.append(f"{cells[0]} / {cells[1]}")
-        report.rows.append(row)
+    work = [
+        (b, i, scale, tuple(geometries)) for b, i in subset or DEFAULT_SUBSET
+    ]
+    report.rows = parallel_map(_bbb_row, work, jobs=jobs)
     return report
+
+
+def _ordering_row(
+    args: Tuple[str, str, Optional[float], Tuple[str, ...]],
+) -> List[object]:
+    benchmark, input_name, scale, modes = args
+    workload = load_benchmark(benchmark, input_name, scale)
+    profile = VacuumPacker().profile(workload)
+    row: List[object] = [workload.name]
+    for mode in modes:
+        packer = VacuumPacker(ordering=mode)
+        result = packer.pack(workload, profile=profile)
+        total_rank = sum(g.rank for g in result.plan.groups)
+        row.append(
+            f"{format_percent(result.coverage.package_fraction)} / "
+            f"{total_rank:.2f}"
+        )
+    return row
 
 
 def run_ordering_ablation(
     subset: Optional[Sequence[Tuple[str, str]]] = None,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> AblationReport:
     """Rank-guided ordering vs worst/construction order (coverage + rank)."""
     modes = ("best", "first", "worst")
@@ -118,16 +152,6 @@ def run_ordering_ablation(
         title="Ablation A3: package ordering policy",
         headers=["benchmark"] + [f"{m} (cov / total rank)" for m in modes],
     )
-    for workload in _workloads(subset, scale):
-        profile = VacuumPacker().profile(workload)
-        row: List[object] = [workload.name]
-        for mode in modes:
-            packer = VacuumPacker(ordering=mode)
-            result = packer.pack(workload, profile=profile)
-            total_rank = sum(g.rank for g in result.plan.groups)
-            row.append(
-                f"{format_percent(result.coverage.package_fraction)} / "
-                f"{total_rank:.2f}"
-            )
-        report.rows.append(row)
+    work = [(b, i, scale, modes) for b, i in subset or DEFAULT_SUBSET]
+    report.rows = parallel_map(_ordering_row, work, jobs=jobs)
     return report

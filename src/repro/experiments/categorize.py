@@ -19,7 +19,7 @@ stacked bars; branches never captured in any hot spot are reported as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.listeners import HSDListener
 from repro.hsd.detector import HotSpotDetector
@@ -28,6 +28,7 @@ from repro.program.image import ProgramImage
 from repro.workloads.base import Workload
 from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
 
+from .parallel import parallel_map
 from .report import format_percent, format_table
 
 CATEGORIES = [
@@ -158,18 +159,26 @@ def categorize_workload(workload: Workload) -> CategorizationRow:
     )
 
 
+def _measure_entry(
+    args: Tuple[BenchmarkInput, Optional[float]]
+) -> CategorizationRow:
+    entry, scale = args
+    workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+    return categorize_workload(workload)
+
+
 def run_figure9(
     entries: Optional[Sequence[BenchmarkInput]] = None,
     scale: Optional[float] = None,
     verbose: bool = False,
+    jobs: Optional[int] = None,
 ) -> CategorizationReport:
     """Regenerate Figure 9 over the (sub)suite."""
     report = CategorizationReport()
-    for entry in entries or SUITE:
-        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
-        row = categorize_workload(workload)
-        report.rows.append(row)
-        if verbose:
+    work = [(entry, scale) for entry in entries or SUITE]
+    report.rows = parallel_map(_measure_entry, work, jobs=jobs)
+    if verbose:
+        for row in report.rows:
             print(
                 f"  {row.name:18s} "
                 + " ".join(

@@ -10,13 +10,14 @@ code — exactly the paper's section 5.1 methodology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.postlink.vacuum import ProfileResult
 from repro.workloads.base import Workload
 from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
 
 from .configs import FOUR_CONFIGS, FormationConfig
+from .parallel import parallel_map
 from .report import format_percent, format_table
 
 
@@ -83,18 +84,24 @@ def measure_input(
     )
 
 
+def _measure_entry(args: Tuple[BenchmarkInput, Optional[float]]) -> CoverageRow:
+    entry, scale = args
+    workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+    return measure_input(workload)
+
+
 def run_figure8(
     entries: Optional[Sequence[BenchmarkInput]] = None,
     scale: Optional[float] = None,
     verbose: bool = False,
+    jobs: Optional[int] = None,
 ) -> CoverageReport:
     """Regenerate Figure 8 over the (sub)suite."""
     report = CoverageReport()
-    for entry in entries or SUITE:
-        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
-        row = measure_input(workload)
-        report.rows.append(row)
-        if verbose:
+    work = [(entry, scale) for entry in entries or SUITE]
+    report.rows = parallel_map(_measure_entry, work, jobs=jobs)
+    if verbose:
+        for row in report.rows:
             bars = " ".join(format_percent(c) for c in row.coverage)
             print(f"  {row.name:18s} {bars}", flush=True)
     return report

@@ -11,11 +11,12 @@ selected, yielding an average replication factor ... of approximately
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
 
 from .configs import FULL_CONFIG
+from .parallel import parallel_map
 from .report import format_table
 
 
@@ -76,26 +77,32 @@ class ExpansionReport:
         return format_table(headers, table_rows, title="Table 3: code expansion")
 
 
+def _measure_entry(args: Tuple[BenchmarkInput, Optional[float]]) -> ExpansionRow:
+    entry, scale = args
+    workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+    result = FULL_CONFIG.packer().pack(workload)
+    row_data = result.expansion_row()
+    return ExpansionRow(
+        benchmark=entry.benchmark,
+        input_name=entry.input_name,
+        pct_increase=row_data["pct_increase"],
+        pct_selected=row_data["pct_selected"],
+        replication=row_data["replication"],
+    )
+
+
 def run_table3(
     entries: Optional[Sequence[BenchmarkInput]] = None,
     scale: Optional[float] = None,
     verbose: bool = False,
+    jobs: Optional[int] = None,
 ) -> ExpansionReport:
     """Regenerate Table 3 (full configuration) over the (sub)suite."""
     report = ExpansionReport()
-    for entry in entries or SUITE:
-        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
-        result = FULL_CONFIG.packer().pack(workload)
-        row_data = result.expansion_row()
-        row = ExpansionRow(
-            benchmark=entry.benchmark,
-            input_name=entry.input_name,
-            pct_increase=row_data["pct_increase"],
-            pct_selected=row_data["pct_selected"],
-            replication=row_data["replication"],
-        )
-        report.rows.append(row)
-        if verbose:
+    work = [(entry, scale) for entry in entries or SUITE]
+    report.rows = parallel_map(_measure_entry, work, jobs=jobs)
+    if verbose:
+        for row in report.rows:
             print(
                 f"  {row.name:18s} incr={row.pct_increase:5.1f}% "
                 f"sel={row.pct_selected:4.1f}% repl={row.replication:.2f}",

@@ -28,6 +28,7 @@ from repro.hsd.faults import ALL_FAULT_MODES, FaultInjector, FaultSpec
 from repro.postlink.vacuum import VacuumPacker
 from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
 
+from .parallel import parallel_map
 from .report import format_table
 
 #: Default campaign subset: the suite's smallest dynamic footprints,
@@ -157,6 +158,68 @@ def _resolve_entries(
     return [by_name[name] for name in DEFAULT_FAULT_ENTRIES]
 
 
+def _run_entry_trials(
+    args: Tuple[BenchmarkInput, Optional[float], int, int,
+                Tuple[str, ...], float, bool, bool],
+) -> EntrySummary:
+    """All trials for one benchmark input (the unit of fan-out).
+
+    Module-level so :func:`~repro.experiments.parallel.parallel_map`
+    can ship it to worker processes; trial seeds are ``seed + trial``
+    regardless of scheduling, so parallel runs reproduce serial ones
+    exactly.
+    """
+    entry, scale, seed, trials, modes, rate, strict, verbose = args
+    spec = FaultSpec(modes=modes, rate=rate)
+    packer = VacuumPacker(strict=strict)
+
+    workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+    profile = packer.profile(workload)
+    baseline = packer.pack(workload, profile)
+    baseline_cov = baseline.coverage.package_fraction
+    summary = EntrySummary(entry=entry.full_name,
+                           baseline_coverage=baseline_cov)
+
+    for trial in range(trials):
+        trial_seed = seed + trial
+        injector = FaultInjector(seed=trial_seed, spec=spec,
+                                 hsd_config=packer.hsd_config)
+        faulty_records, log = injector.inject(profile.records)
+        faulty_profile = dataclasses.replace(
+            profile, records=faulty_records
+        )
+        result = TrialResult(
+            entry=entry.full_name,
+            seed=trial_seed,
+            faults_injected=log.total(),
+            records_in=len(faulty_records),
+            survived=False,
+        )
+        try:
+            pack = packer.pack(workload, faulty_profile)
+        except Exception as exc:  # noqa: BLE001 - the metric itself
+            result.error = f"{type(exc).__name__}: {exc}"
+        else:
+            result.survived = True
+            result.coverage = pack.coverage.package_fraction
+            result.retained = (
+                result.coverage / baseline_cov if baseline_cov else 1.0
+            )
+            result.packages = len(pack.packages)
+            result.quarantined = len(pack.quarantined_phases())
+            result.diagnostics = len(pack.diagnostics)
+            result.validation_ok = (
+                pack.validation.ok if pack.validation is not None else True
+            )
+        summary.trials.append(result)
+        if verbose:
+            status = "ok" if result.survived else "DIED"
+            print(f"  {entry.full_name} seed={trial_seed} {status} "
+                  f"faults={result.faults_injected} "
+                  f"retained={result.retained:.1%}", flush=True)
+    return summary
+
+
 def run_fault_campaign(
     entries: Optional[Sequence[BenchmarkInput]] = None,
     scale: Optional[float] = None,
@@ -166,6 +229,7 @@ def run_fault_campaign(
     rate: float = 0.25,
     strict: bool = False,
     verbose: bool = False,
+    jobs: Optional[int] = None,
 ) -> FaultCampaignReport:
     """Run ``trials`` seeded fault-injection packs per benchmark input.
 
@@ -173,58 +237,14 @@ def run_fault_campaign(
     ``FaultInjector(seed + trial)`` and re-packs.  ``strict=True``
     packs with the quarantine loop disabled (first error raises) —
     useful to demonstrate what degraded mode is saving you from.
+    ``jobs`` fans entries out across processes (default: ``REPRO_JOBS``
+    or serial) with identical results in any configuration.
     """
-    spec = FaultSpec(modes=tuple(modes), rate=rate)
-    packer = VacuumPacker(strict=strict)
-    summaries: List[EntrySummary] = []
-
-    for entry in _resolve_entries(entries):
-        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
-        profile = packer.profile(workload)
-        baseline = packer.pack(workload, profile)
-        baseline_cov = baseline.coverage.package_fraction
-        summary = EntrySummary(entry=entry.full_name,
-                               baseline_coverage=baseline_cov)
-
-        for trial in range(trials):
-            trial_seed = seed + trial
-            injector = FaultInjector(seed=trial_seed, spec=spec,
-                                     hsd_config=packer.hsd_config)
-            faulty_records, log = injector.inject(profile.records)
-            faulty_profile = dataclasses.replace(
-                profile, records=faulty_records
-            )
-            result = TrialResult(
-                entry=entry.full_name,
-                seed=trial_seed,
-                faults_injected=log.total(),
-                records_in=len(faulty_records),
-                survived=False,
-            )
-            try:
-                pack = packer.pack(workload, faulty_profile)
-            except Exception as exc:  # noqa: BLE001 - the metric itself
-                result.error = f"{type(exc).__name__}: {exc}"
-            else:
-                result.survived = True
-                result.coverage = pack.coverage.package_fraction
-                result.retained = (
-                    result.coverage / baseline_cov if baseline_cov else 1.0
-                )
-                result.packages = len(pack.packages)
-                result.quarantined = len(pack.quarantined_phases())
-                result.diagnostics = len(pack.diagnostics)
-                result.validation_ok = (
-                    pack.validation.ok if pack.validation is not None else True
-                )
-            summary.trials.append(result)
-            if verbose:
-                status = "ok" if result.survived else "DIED"
-                print(f"  {entry.full_name} seed={trial_seed} {status} "
-                      f"faults={result.faults_injected} "
-                      f"retained={result.retained:.1%}")
-        summaries.append(summary)
-
+    work = [
+        (entry, scale, seed, trials, tuple(modes), rate, strict, verbose)
+        for entry in _resolve_entries(entries)
+    ]
+    summaries = parallel_map(_run_entry_trials, work, jobs=jobs)
     return FaultCampaignReport(
         entries=summaries,
         seed=seed,

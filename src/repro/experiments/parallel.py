@@ -1,0 +1,65 @@
+"""Deterministic process-level fan-out for the experiment drivers.
+
+Every ``run_*`` driver in this package iterates independent units of
+work — one benchmark input per Table 1 / Figure 8 / Figure 10 row, one
+entry per fault-campaign summary — whose results depend only on their
+own inputs (all randomness is seeded per unit, never drawn from shared
+state).  :func:`parallel_map` fans those units out over a
+``ProcessPoolExecutor`` while preserving input order, so a parallel run
+produces byte-identical reports to a serial one.
+
+``jobs`` resolution: an explicit argument wins; otherwise the
+``REPRO_JOBS`` environment variable; otherwise 1 (serial).  ``jobs=0``
+means "one worker per CPU".  With one job (or one item) no pool is
+created at all — the driver runs inline exactly as before, which also
+keeps pdb/profilers usable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+_ITEM = TypeVar("_ITEM")
+_RESULT = TypeVar("_RESULT")
+
+_ENV_JOBS = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count from an explicit value, ``REPRO_JOBS``, or 1."""
+    if jobs is None:
+        env = os.environ.get(_ENV_JOBS, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def parallel_map(
+    fn: Callable[[_ITEM], _RESULT],
+    items: Iterable[_ITEM],
+    jobs: Optional[int] = None,
+) -> List[_RESULT]:
+    """``[fn(item) for item in items]``, optionally across processes.
+
+    ``fn`` must be a module-level (picklable) callable.  Results come
+    back in input order regardless of completion order; a worker
+    exception propagates to the caller just as it would serially.
+    """
+    items = list(items)
+    workers = min(resolve_jobs(jobs), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+__all__ = ["parallel_map", "resolve_jobs"]

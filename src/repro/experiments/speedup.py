@@ -11,7 +11,7 @@ improvements in coverage".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cpu.timing import TimingSimulator
 from repro.optimize.passes import baseline_block_costs, packed_block_costs
@@ -20,6 +20,7 @@ from repro.workloads.base import Workload
 from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
 
 from .configs import FOUR_CONFIGS, FormationConfig
+from .parallel import parallel_map
 from .report import format_table
 
 
@@ -101,18 +102,24 @@ def measure_speedups(
     )
 
 
+def _measure_entry(args: Tuple[BenchmarkInput, Optional[float]]) -> SpeedupRow:
+    entry, scale = args
+    workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+    return measure_speedups(workload)
+
+
 def run_figure10(
     entries: Optional[Sequence[BenchmarkInput]] = None,
     scale: Optional[float] = None,
     verbose: bool = False,
+    jobs: Optional[int] = None,
 ) -> SpeedupReport:
     """Regenerate Figure 10 over the (sub)suite."""
     report = SpeedupReport()
-    for entry in entries or SUITE:
-        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
-        row = measure_speedups(workload)
-        report.rows.append(row)
-        if verbose:
+    work = [(entry, scale) for entry in entries or SUITE]
+    report.rows = parallel_map(_measure_entry, work, jobs=jobs)
+    if verbose:
+        for row in report.rows:
             bars = " ".join(f"{s:.3f}" for s in row.speedups)
             print(f"  {row.name:18s} {bars}", flush=True)
     return report

@@ -12,8 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from typing import Tuple
+
 from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
 
+from .parallel import parallel_map
 from .report import format_table
 
 
@@ -56,28 +59,34 @@ class Table1Report:
         )
 
 
+def _measure_entry(args: Tuple[BenchmarkInput, Optional[float]]) -> Table1Row:
+    entry, scale = args
+    workload = load_benchmark(entry.benchmark, entry.input_name, scale)
+    summary = workload.run()
+    return Table1Row(
+        benchmark=entry.benchmark,
+        input_name=entry.input_name,
+        input_description=entry.input_description,
+        paper_minsts=entry.paper_minsts,
+        measured_instructions=summary.instructions,
+        measured_branches=summary.branches,
+        static_instructions=workload.program.static_size(),
+        functions=len(workload.program.functions),
+    )
+
+
 def run_table1(
     entries: Optional[Sequence[BenchmarkInput]] = None,
     scale: Optional[float] = None,
     verbose: bool = False,
+    jobs: Optional[int] = None,
 ) -> Table1Report:
     """Regenerate Table 1 with measured dynamic sizes."""
     report = Table1Report()
-    for entry in entries or SUITE:
-        workload = load_benchmark(entry.benchmark, entry.input_name, scale)
-        summary = workload.run()
-        row = Table1Row(
-            benchmark=entry.benchmark,
-            input_name=entry.input_name,
-            input_description=entry.input_description,
-            paper_minsts=entry.paper_minsts,
-            measured_instructions=summary.instructions,
-            measured_branches=summary.branches,
-            static_instructions=workload.program.static_size(),
-            functions=len(workload.program.functions),
-        )
-        report.rows.append(row)
-        if verbose:
+    work = [(entry, scale) for entry in entries or SUITE]
+    report.rows = parallel_map(_measure_entry, work, jobs=jobs)
+    if verbose:
+        for row in report.rows:
             print(
                 f"  {row.benchmark:12s} {row.input_name}: "
                 f"{row.measured_instructions:,} insts", flush=True,

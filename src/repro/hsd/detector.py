@@ -24,9 +24,9 @@ spot detections").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
-from .bbb import BranchBehaviorBuffer
+from .bbb import BBBEntry, BranchBehaviorBuffer
 from .config import HSDConfig
 from .records import HotSpotRecord
 
@@ -53,6 +53,9 @@ class HotSpotDetector:
         self._branches_since_clear = 0
         self._tick_at_last_refresh = 0
         self._records: List[HotSpotRecord] = []
+        # Memoized tuple view of _records; rebuilt only after a new
+        # detection (the old property copied the list on every access).
+        self._records_view: Tuple[HotSpotRecord, ...] = ()
 
     # -- the per-branch pipeline ------------------------------------
     def observe(self, address: int, taken: bool) -> Optional[HotSpotRecord]:
@@ -80,6 +83,117 @@ class HotSpotDetector:
             self._clear()
         return None
 
+    def observe_stream(
+        self, addresses: Sequence[int], takens: Sequence[bool]
+    ) -> List[HotSpotRecord]:
+        """Feed a chunk of retired branches; returns records detected.
+
+        Semantically identical to calling :meth:`observe` per event (the
+        equivalence is asserted in ``tests/test_compiled_engine.py``)
+        but an order of magnitude cheaper per branch: the BBB access,
+        counter update, and HDC walk are inlined with all configuration
+        and table state held in locals, and the rare maintenance events
+        (detection, refresh timer, clear timer) drop back to the
+        reference methods.  The compiled trace engine feeds cached
+        traces through this path chunk by chunk.
+        """
+        records: List[HotSpotRecord] = []
+        config = self.config
+        bbb = self.bbb
+        shift = config.address_shift
+        set_mask = config.bbb_sets - 1
+        ways = config.bbb_ways
+        counter_max = config.counter_max
+        cand_thresh = config.candidate_threshold
+        step_c = config.hdc_candidate_step
+        step_n = config.hdc_noncandidate_step
+        hdc_max = config.hdc_max
+        refresh_interval = config.refresh_interval
+        clear_interval = config.clear_interval
+
+        sets = bbb._sets
+        tick = bbb._tick
+        hdc = self.hdc
+        observed = self.stats.branches_observed
+        since_refresh = self._branches_since_refresh
+        since_clear = self._branches_since_clear
+
+        for address, taken in zip(addresses, takens):
+            observed += 1
+            since_refresh += 1
+            since_clear += 1
+            tick += 1
+            bbb_set = sets[(address >> shift) & set_mask]
+            entry = bbb_set.get(address)
+            if entry is None:
+                if len(bbb_set) < ways:
+                    entry = BBBEntry(address)
+                    bbb_set[address] = entry
+                else:
+                    # LRU among non-candidates; ties keep the first, as
+                    # min() does in BranchBehaviorBuffer._allocate.
+                    victim = None
+                    for way in bbb_set.values():
+                        if not way.candidate and (
+                            victim is None or way.last_use < victim.last_use
+                        ):
+                            victim = way
+                    if victim is None:
+                        bbb.misses_untracked += 1
+                    else:
+                        del bbb_set[victim.address]
+                        entry = BBBEntry(address)
+                        bbb_set[address] = entry
+            if entry is not None:
+                entry.last_use = tick
+                executed = entry.executed
+                if executed < counter_max:
+                    entry.executed = executed = executed + 1
+                    if taken:
+                        entry.taken += 1
+                if executed >= cand_thresh:
+                    entry.candidate = True
+                    hdc -= step_c
+                    if hdc < 0:
+                        hdc = 0
+                else:
+                    hdc += step_n
+                    if hdc > hdc_max:
+                        hdc = hdc_max
+            else:
+                hdc += step_n
+                if hdc > hdc_max:
+                    hdc = hdc_max
+
+            if hdc == 0 or since_refresh >= refresh_interval \
+                    or since_clear >= clear_interval:
+                # Rare maintenance: sync state, reuse the reference
+                # event methods, reload locals (they reset tables).
+                bbb._tick = tick
+                self.hdc = hdc
+                self.stats.branches_observed = observed
+                self._branches_since_refresh = since_refresh
+                self._branches_since_clear = since_clear
+                if hdc == 0:
+                    records.append(self._detect())
+                else:
+                    if since_refresh >= refresh_interval:
+                        self._refresh()
+                    if self._branches_since_clear >= clear_interval:
+                        self._clear()
+                sets = bbb._sets
+                tick = bbb._tick
+                hdc = self.hdc
+                since_refresh = self._branches_since_refresh
+                since_clear = self._branches_since_clear
+
+        bbb._tick = tick
+        self.hdc = hdc
+        self.stats.branches_observed = observed
+        self._branches_since_refresh = since_refresh
+        self._branches_since_clear = since_clear
+        return records
+
     # -- events ----------------------------------------------------------
     def _detect(self) -> HotSpotRecord:
         record = HotSpotRecord(
@@ -88,6 +202,7 @@ class HotSpotDetector:
             branches=self.bbb.snapshot_profiles(),
         )
         self._records.append(record)
+        self._records_view = tuple(self._records)
         self.stats.detections += 1
         # Restart monitoring for the next phase.
         self.bbb.clear()
@@ -122,6 +237,10 @@ class HotSpotDetector:
 
     # -- results -----------------------------------------------------------
     @property
-    def records(self) -> List[HotSpotRecord]:
-        """All raw (unfiltered) hot spot records detected so far."""
-        return list(self._records)
+    def records(self) -> Tuple[HotSpotRecord, ...]:
+        """All raw (unfiltered) hot spot records detected so far.
+
+        An immutable view memoized per detection — repeated accesses no
+        longer copy the whole history each time.
+        """
+        return self._records_view

@@ -36,6 +36,8 @@ INSTRUCTION_BYTES = 8
 _NO_REG = 0xFF
 _FLOAT_FLAG = 0x80
 
+_WORD = struct.Struct("<BBBBi")
+
 
 class EncodingError(Exception):
     """Raised when an instruction cannot be encoded or decoded."""
@@ -77,11 +79,11 @@ def encode_instruction(
                 f"instruction {inst.render()!r} needs a target resolver"
             )
         imm = resolve_target(inst.target) - address
-    src1 = inst.srcs[0] if len(inst.srcs) > 0 else None
-    src2 = inst.srcs[1] if len(inst.srcs) > 1 else None
+    srcs = inst.srcs
+    src1 = srcs[0] if len(srcs) > 0 else None
+    src2 = srcs[1] if len(srcs) > 1 else None
     try:
-        return struct.pack(
-            "<BBBBi",
+        return _WORD.pack(
             inst.opcode.code,
             _encode_reg(inst.dest),
             _encode_reg(src1),
@@ -101,7 +103,7 @@ def decode_instruction(data: bytes, address: int = 0) -> Instruction:
     """
     if len(data) != INSTRUCTION_BYTES:
         raise EncodingError(f"expected {INSTRUCTION_BYTES} bytes, got {len(data)}")
-    code, dest_b, src1_b, src2_b, imm = struct.unpack("<BBBBi", data)
+    code, dest_b, src1_b, src2_b, imm = _WORD.unpack(data)
     opcode = OPCODE_BY_CODE.get(code)
     if opcode is None:
         raise EncodingError(f"unknown opcode byte 0x{code:02x}")

@@ -101,17 +101,13 @@ class Opcode(Enum):
     # code is removed (paper section 3.3.1).
     CONSUME = ("consume", FuClass.PSEUDO, 0x7F)
 
-    @property
-    def mnemonic(self) -> str:
-        return self.value[0]
-
-    @property
-    def fu_class(self) -> FuClass:
-        return self.value[1]
-
-    @property
-    def code(self) -> int:
-        return self.value[2]
+    # Plain attributes, not properties: opcode classification sits on
+    # the hottest paths (encoding, block sizing, scheduling) and a
+    # descriptor call per access is measurable there.
+    def __init__(self, mnemonic: str, fu_class: FuClass, code: int):
+        self.mnemonic = mnemonic
+        self.fu_class = fu_class
+        self.code = code
 
 
 OPCODE_BY_MNEMONIC = {op.mnemonic: op for op in Opcode}
@@ -171,13 +167,17 @@ class Instruction:
     def fu_class(self) -> FuClass:
         return self.opcode.fu_class
 
+    # Classification avoids frozenset membership (enum hashing is
+    # surprisingly hot): control opcodes are exactly the BRANCH
+    # functional-unit class, pseudo exactly the PSEUDO class.
     @property
     def is_control(self) -> bool:
-        return self.opcode in CONTROL_OPCODES
+        return self.opcode.fu_class is FuClass.BRANCH
 
     @property
     def is_conditional_branch(self) -> bool:
-        return self.opcode in CONDITIONAL_BRANCHES
+        opcode = self.opcode
+        return opcode is Opcode.BRZ or opcode is Opcode.BRNZ
 
     @property
     def is_call(self) -> bool:
@@ -197,11 +197,11 @@ class Instruction:
 
     @property
     def is_memory(self) -> bool:
-        return self.fu_class is FuClass.MEM
+        return self.opcode.fu_class is FuClass.MEM
 
     @property
     def is_pseudo(self) -> bool:
-        return self.fu_class is FuClass.PSEUDO
+        return self.opcode.fu_class is FuClass.PSEUDO
 
     # -- data-flow ------------------------------------------------
     def defs(self) -> Tuple[Reg, ...]:
@@ -224,8 +224,19 @@ class Instruction:
 
     # -- copying ---------------------------------------------------
     def clone(self) -> "Instruction":
-        """Copy this instruction, recording its provenance in ``origin``."""
-        return replace(self, uid=_next_uid(), origin=self.root_origin())
+        """Copy this instruction, recording its provenance in ``origin``.
+
+        Built by copying ``__dict__`` directly: package extraction and
+        the rewriter clone whole programs, and ``dataclasses.replace``
+        (or even ``__init__``) costs a multiple of this per copy.
+        """
+        new = object.__new__(Instruction)
+        d = dict(self.__dict__)
+        d["uid"] = _next_uid()
+        if d["origin"] is None:
+            d["origin"] = self.uid
+        new.__dict__ = d
+        return new
 
     def retargeted(self, target: str) -> "Instruction":
         """Copy of this instruction with a different control target.
@@ -233,7 +244,15 @@ class Instruction:
         The uid is preserved: retargeting models a post-link patch of
         the same binary instruction, not a new instruction.
         """
-        return replace(self, target=target)
+        return Instruction(
+            opcode=self.opcode,
+            dest=self.dest,
+            srcs=self.srcs,
+            imm=self.imm,
+            target=target,
+            uid=self.uid,
+            origin=self.origin,
+        )
 
     # -- printing --------------------------------------------------
     def render(self) -> str:

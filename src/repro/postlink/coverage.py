@@ -15,7 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.engine.compiled import ReplayDivergence, compiled_enabled, run_workload
 from repro.engine.executor import ExecutionSummary
+from repro.engine.trace_cache import traced_run
 from repro.workloads.base import Workload
 
 from .rewriter import PackedProgram
@@ -79,6 +81,23 @@ def classify_summary(
 
 
 def measure_coverage(workload: Workload, packed: PackedProgram) -> CoverageResult:
-    """Run the workload over the packed program and classify it."""
-    summary = workload.run(program=packed.program)
+    """Run the workload over the packed program and classify it.
+
+    Under the compiled engine the packed run *replays* the original
+    program's cached branch stream (identical by construction — copies
+    resolve behaviour through origin uids) with per-event uid
+    verification, skipping outcome computation entirely.  A
+    :class:`ReplayDivergence` — a genuinely mis-rewritten program —
+    falls back to a computed run so the divergence surfaces through the
+    normal coverage/differential numbers rather than an engine error.
+    """
+    if compiled_enabled():
+        trace = traced_run(workload)
+        try:
+            summary = run_workload(workload, program=packed.program,
+                                   replay=trace)
+        except ReplayDivergence:
+            summary = workload.run(program=packed.program)
+    else:
+        summary = workload.run(program=packed.program)
     return classify_summary(packed, summary)

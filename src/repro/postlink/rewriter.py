@@ -46,6 +46,52 @@ def clone_program(program: Program) -> Program:
     return Program(functions, entry=program.entry)
 
 
+def _share_program(program: Program) -> Program:
+    """Copy-on-write clone for rewriting: fresh Program and Function
+    shells (private CFGs and block lists) over *shared* block objects.
+
+    The rewriter patches only a handful of launch-point blocks per
+    pack, so deep-copying every instruction (see :func:`clone_program`)
+    is almost entirely wasted work — instead, each block the rewriter
+    wants to change is first privatized with :func:`_cow_block`.
+    Nothing downstream mutates original-code blocks in place: the
+    optimizer only touches package functions, and trampolines are
+    fresh blocks.
+
+    The CFG object is shared as well: CFGs are only ever replaced
+    wholesale (``Function.replace_blocks`` installs a brand-new graph),
+    never edited, so a function the rewriter leaves alone can keep the
+    original's arc structure without re-deriving it.
+    """
+    functions = []
+    for function in program.functions.values():
+        copy = object.__new__(Function)
+        copy.name = function.name
+        copy.cfg = function.cfg
+        functions.append(copy)
+    return Program(functions, entry=program.entry)
+
+
+def _cow_block(block: BasicBlock) -> BasicBlock:
+    """Private copy of a shared block, about to be patched.
+
+    Keeps the block uid and instruction objects: this is the *same*
+    binary block, merely un-aliased from the profiled program so the
+    patch cannot leak into it.  The patch itself replaces the
+    terminator entry in the fresh ``instructions`` list.
+    """
+    copy = object.__new__(BasicBlock)
+    copy.label = block.label
+    copy.instructions = list(block.instructions)
+    copy.uid = block.uid
+    copy.origin = block.origin
+    copy.context = block.context
+    copy.continuations = block.continuations
+    copy.meta = dict(block.meta)
+    copy._size_memo = block._size_memo
+    return copy
+
+
 @dataclass
 class RewriteStats:
     """What the rewriter changed."""
@@ -118,7 +164,7 @@ def rewrite_program(
     original: Program, plan: PackagedProgramPlan
 ) -> PackedProgram:
     """Produce the packed program for an already-linked package plan."""
-    packed = clone_program(original)
+    packed = _share_program(original)
     launch = _launch_assignments(plan)
     stats = RewriteStats()
 
@@ -138,10 +184,15 @@ def rewrite_program(
         package_names.add(function.name)
 
     # 2. Patch explicit branch/jump transfers into entry locations.
+    #    Blocks are shared with the profiled program (copy-on-write),
+    #    so each patched block is privatized first and the function's
+    #    block list reinstalled once, keeping its CFG coherent.
     for function in list(packed.functions.values()):
         if function.name in package_names:
             continue
-        for block in function.blocks:
+        blocks = function.blocks
+        new_blocks: Optional[List[BasicBlock]] = None
+        for index, block in enumerate(blocks):
             term = block.terminator
             if term is None:
                 continue
@@ -149,13 +200,19 @@ def rewrite_program(
                 key = (function.name, term.target)
                 dest = launch.get(key)
                 if dest is not None:
-                    block.instructions[-1] = term.retargeted(
+                    patched = _cow_block(block)
+                    patched.instructions[-1] = term.retargeted(
                         cross_function_target(*dest)
                     )
+                    if new_blocks is None:
+                        new_blocks = list(blocks)
+                    new_blocks[index] = patched
                     if term.is_conditional_branch:
                         stats.branch_patches += 1
                     else:
                         stats.jump_patches += 1
+        if new_blocks is not None:
+            function.replace_blocks(new_blocks)
 
     # 3. Entry locations that are function prologues get a launch
     #    trampoline spliced in as the new function entry, so *every*

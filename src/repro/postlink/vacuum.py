@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.executor import ExecutionSummary
 from repro.engine.listeners import HSDListener
+from repro.engine.trace_cache import compiled_enabled, image_for, traced_run
 from repro.errors import ProfileError, ReproError, RewriteError
 from repro.hsd.config import HSDConfig
 from repro.hsd.detector import HotSpotDetector
@@ -197,8 +198,14 @@ class VacuumPacker:
 
     # -- step 1 ------------------------------------------------------
     def profile(self, workload: Workload) -> ProfileResult:
-        """Run the workload under the Hot Spot Detector."""
-        image = ProgramImage(workload.program)
+        """Run the workload under the Hot Spot Detector.
+
+        With the compiled engine (the default) the retired-branch trace
+        comes through the content-addressed trace cache and is fed to
+        the detector's chunked fast path; ``REPRO_ENGINE=reference``
+        keeps the original per-event interpreter plumbing.
+        """
+        image = image_for(workload.program)
         address_of = {
             uid: address
             for uid, address in image.instruction_address.items()
@@ -206,7 +213,12 @@ class VacuumPacker:
         listener = HSDListener(
             HotSpotDetector(self.hsd_config), address_of, self.similarity
         )
-        summary = workload.run(branch_hooks=[listener])
+        if compiled_enabled():
+            trace = traced_run(workload)
+            listener.consume_trace(trace.uids, trace.taken)
+            summary = trace.summary
+        else:
+            summary = workload.run(branch_hooks=[listener])
         return ProfileResult(
             records=listener.unique_records,
             raw_detections=listener.raw_detections,

@@ -28,6 +28,10 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
+from repro.engine.compiled import compiled_enabled, run_workload
+from repro.engine.trace_cache import traced_run
 from repro.errors import ValidationError
 from repro.isa.instructions import Opcode
 from repro.packages.construct import PackagedProgramPlan
@@ -456,6 +460,21 @@ class _StreamHasher:
         return self._hash.hexdigest()
 
 
+#: Packed record layout matching ``struct.pack("<q?", uid, taken)``.
+_EVENT_DTYPE = np.dtype([("u", "<i8"), ("t", "?")])
+
+
+def digest_stream_arrays(uids, taken) -> str:
+    """The :class:`_StreamHasher` digest of a whole recorded stream,
+    computed in one shot from (uid, taken) arrays."""
+    events = np.empty(len(uids), dtype=_EVENT_DTYPE)
+    events["u"] = uids
+    events["t"] = taken
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(events.tobytes())
+    return digest.hexdigest()
+
+
 def retired_work_instructions(program: Program, summary) -> int:
     """Dynamic non-control (work) instructions retired by one run."""
     per_block: Dict[int, int] = {}
@@ -479,25 +498,52 @@ def differential_check(
     The behavior model and phase script are keyed by branch *origin*
     uids and occurrence counts, so both replays consume the identical
     ground truth; any divergence is the rewriter's fault.
+
+    Under the compiled engine the original side comes through the trace
+    cache, the packed side is *recomputed* (never replayed — replay
+    would assume the very stream equality this oracle checks), and the
+    digests are taken over the recorded arrays in bulk.
     """
     report = DifferentialReport()
-    original_hash = _StreamHasher()
-    packed_hash = _StreamHasher()
-    try:
-        original_run = workload.run(branch_hooks=[original_hash])
-        packed_run = workload.run(
-            program=packed.program, branch_hooks=[packed_hash]
+    if compiled_enabled():
+        try:
+            original_trace = traced_run(workload)
+            packed_trace = run_workload(
+                workload, program=packed.program, collect_trace=True
+            )
+        except Exception as exc:
+            report.error = f"{type(exc).__name__}: {exc}"
+            return report
+        original_run = original_trace.summary
+        packed_run = packed_trace.summary
+        report.branches_original = len(original_trace)
+        report.branches_packed = len(packed_trace)
+        report.taken_original = original_run.taken_branches
+        report.taken_packed = packed_run.taken_branches
+        report.stream_digest_original = digest_stream_arrays(
+            original_trace.uids, original_trace.taken
         )
-    except Exception as exc:
-        report.error = f"{type(exc).__name__}: {exc}"
-        return report
+        report.stream_digest_packed = digest_stream_arrays(
+            packed_trace.uids, packed_trace.taken
+        )
+    else:
+        original_hash = _StreamHasher()
+        packed_hash = _StreamHasher()
+        try:
+            original_run = workload.run(branch_hooks=[original_hash])
+            packed_run = workload.run(
+                program=packed.program, branch_hooks=[packed_hash]
+            )
+        except Exception as exc:
+            report.error = f"{type(exc).__name__}: {exc}"
+            return report
+        report.branches_original = original_hash.events
+        report.branches_packed = packed_hash.events
+        report.taken_original = original_hash.taken
+        report.taken_packed = packed_hash.taken
+        report.stream_digest_original = original_hash.digest()
+        report.stream_digest_packed = packed_hash.digest()
 
-    report.branches_original = original_hash.events
-    report.branches_packed = packed_hash.events
-    report.taken_original = original_hash.taken
-    report.taken_packed = packed_hash.taken
-    report.stream_digest_original = original_hash.digest()
-    report.stream_digest_packed = packed_hash.digest()
     report.work_original = retired_work_instructions(
         workload.program, original_run
     )

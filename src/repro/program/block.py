@@ -11,7 +11,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.instructions import FuClass, Instruction, Opcode
+
+_BRANCH_FU = FuClass.BRANCH
 
 _block_uid_counter = itertools.count(1)
 
@@ -48,13 +50,17 @@ class BasicBlock:
     meta: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        self._size_memo: Optional[tuple] = None
         self.validate()
 
     # -- structure -------------------------------------------------
     def validate(self) -> None:
         """Check the one-control-instruction-at-the-end invariant."""
-        for i, inst in enumerate(self.instructions):
-            if inst.is_control and i != len(self.instructions) - 1:
+        # Runs on every construction (package extraction clones blocks
+        # in bulk), so check the body without per-instruction property
+        # dispatch: control opcodes are exactly the BRANCH FU class.
+        for inst in self.instructions[:-1]:
+            if inst.opcode.fu_class is _BRANCH_FU:
                 raise ValueError(
                     f"block {self.label}: control instruction "
                     f"{inst.render()!r} is not last"
@@ -64,8 +70,11 @@ class BasicBlock:
     def terminator(self) -> Optional[Instruction]:
         """The trailing control instruction, or ``None`` for a
         fallthrough-only block."""
-        if self.instructions and self.instructions[-1].is_control:
-            return self.instructions[-1]
+        insts = self.instructions
+        if insts:
+            last = insts[-1]
+            if last.opcode.fu_class is _BRANCH_FU:
+                return last
         return None
 
     @property
@@ -97,21 +106,46 @@ class BasicBlock:
         return term is not None and term.opcode is Opcode.HALT
 
     def size(self) -> int:
-        """Number of real (non-pseudo) instructions."""
-        return sum(1 for inst in self.instructions if not inst.is_pseudo)
+        """Number of real (non-pseudo) instructions.
+
+        Memoized on the instruction-list length: every optimizer pass
+        that changes a block's real-instruction count also changes its
+        length (same-length replacements — retargeting, branch
+        inversion, copy propagation, constant folding — all preserve
+        pseudo-ness), so the pair stays coherent without an explicit
+        invalidation hook.  Sizing is hot in coverage classification
+        and program linking.
+        """
+        insts = self.instructions
+        n = len(insts)
+        memo = self._size_memo
+        if memo is not None and memo[0] == n:
+            return memo[1]
+        size = sum(1 for inst in insts if not inst.is_pseudo)
+        self._size_memo = (n, size)
+        return size
 
     def root_origin(self) -> int:
         return self.origin if self.origin is not None else self.uid
 
     # -- copying ---------------------------------------------------
     def clone(self, new_label: str, context: tuple = ()) -> "BasicBlock":
-        """Deep-copy for package extraction, tracking provenance."""
-        return BasicBlock(
-            label=new_label,
-            instructions=[inst.clone() for inst in self.instructions],
-            origin=self.root_origin(),
-            context=context,
-        )
+        """Deep-copy for package extraction, tracking provenance.
+
+        Bypasses ``__init__``: a copy of a valid block is valid, so
+        re-running :meth:`validate` per clone (program cloning copies
+        every block) would only re-prove the source's invariant.
+        """
+        block = object.__new__(BasicBlock)
+        block.label = new_label
+        block.instructions = [inst.clone() for inst in self.instructions]
+        block.uid = next(_block_uid_counter)
+        block.origin = self.root_origin()
+        block.context = context
+        block.continuations = ()
+        block.meta = {}
+        block._size_memo = self._size_memo
+        return block
 
     # -- printing ----------------------------------------------------
     def render(self, indent: str = "  ") -> str:

@@ -25,7 +25,9 @@ from repro.isa.encoding import (
     encode_instruction,
     patch_target,
 )
-from repro.isa.instructions import Instruction
+from repro.isa.instructions import FuClass, Instruction
+
+_PSEUDO = FuClass.PSEUDO
 
 from .cfg import is_cross_function, split_cross_function
 from .program import Program
@@ -70,6 +72,8 @@ class ProgramImage:
 
     def _layout(self) -> None:
         address = self.base_address
+        instruction_address = self.instruction_address
+        address_instruction = self.address_instruction
         for name in self._function_order():
             function = self.program.functions[name]
             self.function_address[name] = address
@@ -77,25 +81,41 @@ class ProgramImage:
                 self.block_address[(name, block.label)] = address
                 self.symbols.append(Symbol(name, block.label, address))
                 for inst in block.instructions:
-                    if inst.is_pseudo:
+                    if inst.opcode.fu_class is _PSEUDO:
                         continue
-                    self.instruction_address[inst.uid] = address
-                    self.address_instruction[address] = inst
+                    instruction_address[inst.uid] = address
+                    address_instruction[address] = inst
                     address += INSTRUCTION_BYTES
         self.end_address = address
 
     def _encode(self) -> bytearray:
         image = bytearray(self.end_address - self.base_address)
+        base = self.base_address
+        instruction_address = self.instruction_address
         for name in self._function_order():
             function = self.program.functions[name]
+            resolver = self._resolver_for(name)
             for block in function.blocks:
                 for inst in block.instructions:
-                    if inst.is_pseudo:
+                    if inst.opcode.fu_class is _PSEUDO:
                         continue
-                    address = self.instruction_address[inst.uid]
-                    resolver = self._resolver_for(name)
-                    encoded = encode_instruction(inst, address, resolver)
-                    offset = address - self.base_address
+                    address = instruction_address[inst.uid]
+                    if inst.target is None:
+                        # Target-less encodings are address-independent
+                        # (the displacement slot holds the plain
+                        # immediate), and instructions are never
+                        # field-mutated after construction — so the
+                        # bytes can live on the instruction itself.
+                        # Packing re-links the same shared original
+                        # blocks once per trial; this skips nearly all
+                        # of that re-encoding.
+                        encoded = inst.__dict__.get("_encoded")
+                        if encoded is None:
+                            encoded = encode_instruction(inst, address)
+                            inst.__dict__["_encoded"] = encoded
+                    else:
+                        encoded = encode_instruction(inst, address, resolver)
+                    offset = address - base
                     image[offset : offset + INSTRUCTION_BYTES] = encoded
         return image
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.engine.behavior import BehaviorModel
+from repro.engine.compiled import CompiledExecutor, compiled_enabled
 from repro.engine.executor import (
     BlockExecutor,
     ExecutionLimits,
@@ -54,4 +55,19 @@ class Workload:
         )
 
     def run(self, program: Optional[Program] = None, **kwargs) -> ExecutionSummary:
+        """Run to the budget; equivalent under either engine.
+
+        Uses the compiled trace engine (``REPRO_ENGINE=compiled``, the
+        default) unless a ``block_hook`` is requested — block-level
+        callbacks (the timing model) need the reference interpreter.
+        """
+        if kwargs.get("block_hook") is None and compiled_enabled():
+            kwargs.pop("block_hook", None)
+            return CompiledExecutor(
+                program or self.program,
+                self.behavior,
+                self.phase_script,
+                limits=self.limits,
+                **kwargs,
+            ).run()
         return self.executor(program, **kwargs).run()

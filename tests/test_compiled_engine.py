@@ -1,0 +1,218 @@
+"""Compiled trace engine: equivalence with the reference interpreter.
+
+The contract (see :mod:`repro.engine.compiled`) is *bit-identical*
+results: the same :class:`ExecutionSummary` (including ``block_visits``
+and ``stop_reason``), the same ``(branch_uid, taken, phase)`` event
+stream, and detection-for-detection agreement of the Hot Spot Detector
+fed from either engine.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.engine.compiled import CompiledExecutor, ReplayDivergence
+from repro.engine.executor import (
+    BlockExecutor,
+    ExecutionLimits,
+    StopReason,
+)
+from repro.engine.listeners import HSDListener
+from repro.engine.phases import PhaseScript
+from repro.engine.behavior import BehaviorModel
+from repro.hsd.detector import HotSpotDetector
+from repro.isa.assembler import assemble
+from repro.program.image import ProgramImage
+from repro.workloads.synthetic import MIN_PHASE_BRANCHES, SyntheticSpec, build_workload
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="t.compiled",
+        seed=11,
+        phases=2,
+        work_functions=4,
+        functions_per_phase=2,
+        cold_functions=3,
+        cold_blocks_per_function=4,
+        branch_budget=2 * MIN_PHASE_BRANCHES,
+    )
+    defaults.update(overrides)
+    return SyntheticSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(small_spec())
+
+
+def summary_tuple(summary):
+    return (
+        summary.instructions,
+        summary.branches,
+        summary.taken_branches,
+        summary.calls,
+        summary.steps,
+        summary.stop_reason,
+        tuple(sorted(summary.block_visits.items())),
+    )
+
+
+def detection_tuple(detector):
+    return tuple(
+        (
+            record.index,
+            record.detected_at_branch,
+            tuple(sorted(
+                (address, profile.executed, profile.taken)
+                for address, profile in record.branches.items()
+            )),
+        )
+        for record in detector._records
+    )
+
+
+def run_both(workload, limits=None):
+    """Run reference and compiled engines; return both result bundles."""
+    limits = limits or workload.limits
+    address_of = dict(ProgramImage(workload.program).instruction_address)
+    results = []
+    for engine in (BlockExecutor, CompiledExecutor):
+        detector = HotSpotDetector()
+        listener = HSDListener(detector, address_of)
+        events = []
+        hooks = [listener, lambda uid, taken, phase: events.append((uid, taken, phase))]
+        executor = engine(
+            workload.program,
+            workload.behavior,
+            workload.phase_script,
+            branch_hooks=hooks,
+            limits=limits,
+        )
+        results.append((executor.run(), detector, events))
+    return results
+
+
+class TestEquivalence:
+    def test_summary_and_stream_parity(self, workload):
+        (s_ref, d_ref, e_ref), (s_cmp, d_cmp, e_cmp) = run_both(workload)
+        assert summary_tuple(s_ref) == summary_tuple(s_cmp)
+        assert e_ref == e_cmp
+        assert detection_tuple(d_ref) == detection_tuple(d_cmp)
+        assert s_ref.stop_reason is StopReason.BRANCH_LIMIT
+
+    def test_parity_across_seeds(self):
+        for seed in (1, 2, 7):
+            wl = build_workload(small_spec(seed=seed))
+            (s_ref, _, e_ref), (s_cmp, _, e_cmp) = run_both(wl)
+            assert summary_tuple(s_ref) == summary_tuple(s_cmp)
+            assert e_ref == e_cmp
+
+
+class TestStopReasons:
+    @pytest.mark.parametrize(
+        "limits, reason",
+        [
+            (ExecutionLimits(max_steps=1_000), StopReason.STEP_LIMIT),
+            (ExecutionLimits(max_branches=50), StopReason.BRANCH_LIMIT),
+            (
+                ExecutionLimits(max_instructions=500),
+                StopReason.INSTRUCTION_LIMIT,
+            ),
+        ],
+    )
+    def test_limit_parity(self, workload, limits, reason):
+        (s_ref, _, e_ref), (s_cmp, _, e_cmp) = run_both(workload, limits)
+        assert s_ref.stop_reason is reason
+        assert summary_tuple(s_ref) == summary_tuple(s_cmp)
+        assert e_ref == e_cmp
+
+    def test_stack_underflow_parity(self):
+        program = assemble(
+            """
+            func main:
+              entry:
+                movi r1, 1
+                ret
+            """
+        )
+        behavior = BehaviorModel()
+        script = PhaseScript.from_pairs([(0, 10)])
+        summaries = []
+        for engine in (BlockExecutor, CompiledExecutor):
+            summaries.append(
+                engine(program, behavior, script, limits=ExecutionLimits()).run()
+            )
+        assert summaries[0].stop_reason is StopReason.STACK_UNDERFLOW
+        assert summary_tuple(summaries[0]) == summary_tuple(summaries[1])
+
+
+class TestReplay:
+    def test_replay_reproduces_run(self, workload):
+        recorder = CompiledExecutor(
+            workload.program,
+            workload.behavior,
+            workload.phase_script,
+            limits=workload.limits,
+        )
+        recorded = recorder.run(collect_trace=True)
+        trace = recorder.last_trace
+
+        events = []
+        player = CompiledExecutor(
+            workload.program,
+            workload.behavior,
+            workload.phase_script,
+            branch_hooks=[
+                lambda uid, taken, phase: events.append((uid, taken, phase))
+            ],
+            limits=workload.limits,
+        )
+        replayed = player.run(replay=trace)
+        assert summary_tuple(replayed) == summary_tuple(recorded)
+        assert len(events) == recorded.branches
+
+    def test_replay_divergence_detected(self, workload):
+        trace = CompiledExecutor(
+            workload.program,
+            workload.behavior,
+            workload.phase_script,
+            limits=workload.limits,
+        ).run_traced()
+
+        other = build_workload(small_spec(seed=99))
+        player = CompiledExecutor(
+            other.program,
+            other.behavior,
+            other.phase_script,
+            limits=other.limits,
+        )
+        with pytest.raises(ReplayDivergence):
+            player.run(replay=trace)
+
+
+class TestDetectorStream:
+    def test_observe_stream_matches_observe(self, workload):
+        trace = CompiledExecutor(
+            workload.program,
+            workload.behavior,
+            workload.phase_script,
+            limits=replace(workload.limits, max_branches=20_000),
+        ).run_traced()
+        address_of = dict(
+            ProgramImage(workload.program).instruction_address
+        )
+        addresses = [address_of[uid] for uid in trace.uids.tolist()]
+        takens = trace.taken.tolist()
+
+        one_by_one = HotSpotDetector()
+        for address, taken in zip(addresses, takens):
+            one_by_one.observe(address, taken)
+        chunked = HotSpotDetector()
+        for _ in chunked.observe_stream(addresses, takens):
+            pass
+        assert detection_tuple(one_by_one) == detection_tuple(chunked)
+        assert (
+            one_by_one.stats.branches_observed
+            == chunked.stats.branches_observed
+        )

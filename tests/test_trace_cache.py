@@ -1,0 +1,116 @@
+"""Content-addressed trace cache: hits, invalidation-by-key, robustness."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.engine.trace_cache import TraceCache, trace_key, traced_run
+from repro.workloads.synthetic import MIN_PHASE_BRANCHES, SyntheticSpec, build_workload
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="t.cache",
+        seed=21,
+        phases=2,
+        work_functions=3,
+        functions_per_phase=2,
+        cold_functions=2,
+        cold_blocks_per_function=3,
+        branch_budget=2 * MIN_PHASE_BRANCHES,
+    )
+    defaults.update(overrides)
+    return SyntheticSpec(**defaults)
+
+
+@pytest.fixture()
+def workload():
+    return build_workload(small_spec())
+
+
+def key_of(workload):
+    return trace_key(
+        workload.program,
+        workload.behavior,
+        workload.phase_script,
+        workload.limits,
+    )
+
+
+def traces_equal(a, b):
+    return (
+        np.array_equal(a.uids, b.uids)
+        and np.array_equal(a.taken, b.taken)
+        and a.summary.block_visits == b.summary.block_visits
+        and a.summary.stop_reason == b.summary.stop_reason
+        and a.summary.instructions == b.summary.instructions
+    )
+
+
+class TestHit:
+    def test_second_run_is_served_from_cache(self, workload, tmp_path):
+        cache = TraceCache(root=str(tmp_path))
+        first = traced_run(workload, cache=cache)
+        assert cache.stats.puts == 1
+        second = traced_run(workload, cache=cache)
+        assert cache.stats.hits == 1
+        assert traces_equal(first, second)
+
+    def test_disk_entry_survives_new_cache_instance(self, workload, tmp_path):
+        first = traced_run(workload, cache=TraceCache(root=str(tmp_path)))
+        fresh = TraceCache(root=str(tmp_path))
+        second = traced_run(workload, cache=fresh)
+        assert fresh.stats.hits == 1
+        assert fresh.stats.puts == 0
+        assert traces_equal(first, second)
+
+
+class TestInvalidation:
+    def test_program_content_changes_key(self, workload):
+        other = build_workload(small_spec(seed=22))
+        assert key_of(workload) != key_of(other)
+
+    def test_limits_change_key(self, workload):
+        shorter = replace(workload, limits=replace(workload.limits, max_branches=10))
+        assert key_of(workload) != key_of(shorter)
+
+    def test_behavior_change_key(self, workload):
+        uid = int(next(iter(workload.behavior._stable_id)))
+        before = key_of(workload)
+        workload.behavior.set_bias(uid, 0.123)
+        assert key_of(workload) != before
+
+    def test_changed_workload_reruns_instead_of_hitting(
+        self, workload, tmp_path
+    ):
+        cache = TraceCache(root=str(tmp_path))
+        traced_run(workload, cache=cache)
+        shorter = replace(
+            workload, limits=replace(workload.limits, max_branches=25)
+        )
+        trace = traced_run(shorter, cache=cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.puts == 2
+        assert trace.summary.branches == 25
+
+
+class TestRobustness:
+    def test_corrupt_file_is_a_miss_and_removed(self, workload, tmp_path):
+        cache = TraceCache(root=str(tmp_path))
+        traced_run(workload, cache=cache)
+        path = cache.path_of(key_of(workload))
+        with open(path, "wb") as handle:
+            handle.write(b"not an npz file")
+        fresh = TraceCache(root=str(tmp_path))
+        trace = traced_run(workload, cache=fresh)
+        assert fresh.stats.errors == 1
+        assert trace.summary.branches == workload.limits.max_branches
+
+    def test_disabled_cache_never_stores(self, workload, monkeypatch):
+        cache = TraceCache(root="off")
+        assert not cache.enabled
+        trace = traced_run(workload, cache=cache)
+        assert cache.stats.puts == 0
+        assert cache.stats.hits == 0
+        assert trace.summary.branches == workload.limits.max_branches
