@@ -144,6 +144,43 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        mispatch_launch,
+        parse_budget,
+        parse_seed_range,
+        replay_case,
+        resolve_corpus,
+        run_fuzz,
+    )
+
+    mutator = mispatch_launch if args.inject_mispatch else None
+    if args.replay:
+        case, report = replay_case(args.replay, mutate_packed=mutator)
+        program = case.workload.program
+        print(f"replay {args.replay}: seed {case.seed}, "
+              f"{len(program.functions)} function(s)"
+              + (f" — {case.note}" if case.note else ""))
+        print(report.render())
+        return 0 if report.ok else 1
+
+    try:
+        seeds = parse_seed_range(args.seed_range)
+        budget = parse_budget(args.budget)
+    except ValueError as exc:
+        raise SystemExit(f"repro fuzz: {exc}")
+    report = run_fuzz(
+        seeds,
+        jobs=args.jobs,
+        budget=budget,
+        corpus=resolve_corpus(args.corpus),
+        shrink=not args.no_shrink,
+        mutate_packed=mutator,
+    )
+    _emit(report.render(), args.out)
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main_bench
 
@@ -227,6 +264,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes, one entry per worker "
                              "(0 = one per CPU; default REPRO_JOBS or serial)")
     faults.set_defaults(func=_cmd_faults)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing (generator + oracle stack)",
+    )
+    fuzz.add_argument("--seed-range", default="0:50", metavar="LO:HI",
+                      help="half-open seed interval to fuzz (default 0:50)")
+    fuzz.add_argument("--budget", default=None, metavar="TIME",
+                      help="stop scheduling after this long (e.g. 60s, 2m)")
+    fuzz.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (0 = one per CPU; "
+                           "default REPRO_JOBS or serial)")
+    fuzz.add_argument("--corpus", default=None,
+                      help="corpus directory (default REPRO_FUZZ_CORPUS; "
+                           "unset = no persistence)")
+    fuzz.add_argument("--replay", metavar="CASE.json",
+                      help="re-run one persisted repro file and exit")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report failures without minimizing them")
+    fuzz.add_argument("--inject-mispatch", action="store_true",
+                      help="sabotage one launch point per pack (proves the "
+                           "oracles catch rewriter bugs; forces serial)")
+    fuzz.add_argument("--out", help="also write the report to this file")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     bench = sub.add_parser(
         "bench",

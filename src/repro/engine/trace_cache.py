@@ -55,8 +55,13 @@ from repro.engine.phases import PhaseScript
 from repro.program.image import ProgramImage
 from repro.program.program import Program
 
-#: Bump when the trace layout or engine semantics change.
-_FORMAT_VERSION = 1
+#: Bump when the trace layout or engine semantics change.  The version
+#: participates in the content key (stale-format entries are never
+#: addressed) *and* is embedded in every payload (an entry whose file
+#: name somehow disagrees with its content — tampering, a tool writing
+#: under the wrong name, a partial copy — is detected on load and
+#: treated as a miss, never trusted).
+_FORMAT_VERSION = 2
 
 _ENV_DIR = "REPRO_TRACE_CACHE"
 _DISABLED_VALUES = {"off", "0", "none", "disabled"}
@@ -206,6 +211,22 @@ def _encode_trace(
     }
 
 
+class _StampMismatch(Exception):
+    """Entry payload disagrees with its file name or schema version."""
+
+
+def _stamp(key: str) -> np.ndarray:
+    return np.asarray([key, f"v{_FORMAT_VERSION}"])
+
+
+def _stamp_matches(payload, key: str) -> bool:
+    try:
+        stamp = payload["stamp"]
+        return str(stamp[0]) == key and str(stamp[1]) == f"v{_FORMAT_VERSION}"
+    except (KeyError, IndexError):
+        return False
+
+
 def _decode_trace(
     payload, program: Program, image: ProgramImage
 ) -> Optional[TraceData]:
@@ -307,6 +328,10 @@ class TraceCache:
         path = self.path_of(key)
         try:
             with np.load(path, allow_pickle=False) as payload:
+                if not _stamp_matches(payload, key):
+                    # Truncated-then-rewritten, stale-schema, or
+                    # misnamed entry: drop it and recompute.
+                    raise _StampMismatch()
                 trace = _decode_trace(
                     payload, program, image or image_for(program)
                 )
@@ -340,6 +365,7 @@ class TraceCache:
         payload = _encode_trace(trace, program, image or image_for(program))
         if payload is None:
             return False
+        payload["stamp"] = _stamp(key)
         self._remember(key, trace, program)
         path = self.path_of(key)
         try:

@@ -105,6 +105,37 @@ class RewriteError(ReproError):
         self.package = package
 
 
+class DifferentialError(ReproError):
+    """The original and packed replays did not run to the same end.
+
+    Raised by :func:`~repro.postlink.validate.differential_check` when
+    the two runs terminate for *different reasons* (e.g. one halts
+    while the other hits the branch budget): the recorded streams then
+    cover different execution prefixes, so comparing their digests
+    would silently vacuously pass.  ``original`` and ``packed`` carry
+    the two stop-reason names.
+    """
+
+    default_hint = (
+        "the packed replay diverged before the comparison window "
+        "closed; the rewrite changed control flow — do not trust "
+        "stream digests computed over mismatched prefixes"
+    )
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        original: str = "",
+        packed: str = "",
+        phase: Optional[int] = None,
+        hint: Optional[str] = None,
+    ):
+        super().__init__(message, phase=phase, hint=hint)
+        self.original = original
+        self.packed = packed
+
+
 class ValidationError(ReproError):
     """A validation oracle rejected a plan or packed program.
 

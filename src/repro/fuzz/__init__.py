@@ -1,0 +1,66 @@
+"""Differential conformance fuzzing.
+
+The paper's contract is that vacuum packing preserves program semantics
+while working from lossy hardware profiles; this package machine-checks
+that contract at scale:
+
+* :mod:`repro.fuzz.genprog` — a seeded random *program generator* that
+  emits structurally-valid linked images (nested loops,
+  irreducible-ish CFG fragments, call chains) with matching behavior
+  models and phase scripts, plus the *reduction* engine the shrinker
+  uses to minimize failing cases;
+* :mod:`repro.fuzz.oracles` — the four-oracle conformance stack
+  (engine equivalence, pack differential, structural validation,
+  trace-cache round-trip stability);
+* :mod:`repro.fuzz.driver` — the coverage-guided fuzz driver with
+  corpus persistence, deterministic parallel seed partitioning, greedy
+  shrinking, and repro-file replay (``repro fuzz``).
+"""
+
+from .driver import (
+    FuzzReport,
+    SeedResult,
+    parse_budget,
+    parse_seed_range,
+    replay_case,
+    resolve_corpus,
+    run_fuzz,
+    shrink_case,
+)
+from .genprog import (
+    FuzzCase,
+    GenConfig,
+    Reduction,
+    apply_reduction,
+    build_case,
+    case_from_dict,
+    case_to_dict,
+    generate_case,
+    load_case,
+    save_case,
+)
+from .oracles import CaseReport, OracleResult, mispatch_launch, run_oracle_stack
+
+__all__ = [
+    "CaseReport",
+    "FuzzCase",
+    "FuzzReport",
+    "GenConfig",
+    "OracleResult",
+    "Reduction",
+    "SeedResult",
+    "apply_reduction",
+    "build_case",
+    "case_from_dict",
+    "case_to_dict",
+    "generate_case",
+    "load_case",
+    "mispatch_launch",
+    "parse_budget",
+    "parse_seed_range",
+    "replay_case",
+    "resolve_corpus",
+    "run_fuzz",
+    "save_case",
+    "shrink_case",
+]

@@ -1,0 +1,526 @@
+"""The fuzz driver: seed scheduling, corpus persistence, shrinking.
+
+``run_fuzz`` walks a deterministic seed range, derives a per-seed
+:class:`~repro.fuzz.genprog.GenConfig` variation (so the range explores
+the knob space, not one fixed shape), runs every case through the
+oracle stack, and:
+
+* keeps cases whose *coverage signature* is novel in the corpus
+  directory (``--corpus`` or ``REPRO_FUZZ_CORPUS``) — that is the
+  coverage guidance;
+* greedily **shrinks** any failing case (drop functions → cut branches
+  → shorten the phase script) and writes a replayable repro file, which
+  ``repro fuzz --replay <case.json>`` re-runs through the full stack.
+
+Seeds are partitioned across worker processes with
+:func:`~repro.experiments.parallel.parallel_map`; results are
+deterministic and input-ordered, so a parallel run reports exactly what
+a serial run would.  Fault-injection hooks (``mutate_packed``) force
+the serial path — closures do not pickle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.experiments.parallel import parallel_map, resolve_jobs
+from repro.postlink.rewriter import PackedProgram
+
+from .genprog import (
+    FuzzCase,
+    GenConfig,
+    Reduction,
+    ReductionError,
+    build_case,
+    case_to_dict,
+    load_case,
+    save_case,
+)
+from .oracles import CaseReport, run_oracle_stack
+
+_ENV_CORPUS = "REPRO_FUZZ_CORPUS"
+
+#: Every Nth seed runs a detection-sized phase script (>= 45k branches
+#: per segment, so the HSD finds phases and packing actually packs);
+#: the rest run small scripts that exercise the same pipeline paths in
+#: a few milliseconds.
+_DETECTION_SEED_STRIDE = 16
+
+
+# ---------------------------------------------------------------------------
+# argument parsing helpers (shared by the CLI and tests)
+# ---------------------------------------------------------------------------
+
+def parse_seed_range(spec: str) -> range:
+    """``"0:200"`` → ``range(0, 200)``; ``"42"`` → ``range(42, 43)``."""
+    text = spec.strip()
+    if ":" in text:
+        lo_text, hi_text = text.split(":", 1)
+        lo, hi = int(lo_text or 0), int(hi_text)
+    else:
+        lo = int(text)
+        hi = lo + 1
+    if hi <= lo:
+        raise ValueError(f"empty seed range {spec!r}")
+    return range(lo, hi)
+
+
+def parse_budget(spec: Optional[str]) -> Optional[float]:
+    """``"60s"`` / ``"2m"`` / ``"90"`` → seconds; ``None`` → no budget."""
+    if spec is None:
+        return None
+    text = str(spec).strip().lower()
+    if not text:
+        return None
+    scale = 1.0
+    if text.endswith("ms"):
+        scale, text = 0.001, text[:-2]
+    elif text.endswith("s"):
+        text = text[:-1]
+    elif text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("h"):
+        scale, text = 3600.0, text[:-1]
+    value = float(text) * scale
+    if value <= 0:
+        raise ValueError(f"budget {spec!r} must be positive")
+    return value
+
+
+def resolve_corpus(explicit: Optional[str] = None) -> Optional[str]:
+    """Corpus directory: explicit argument, else ``REPRO_FUZZ_CORPUS``,
+    else ``None`` (persistence disabled)."""
+    if explicit:
+        return explicit
+    env = os.environ.get(_ENV_CORPUS, "").strip()
+    return env or None
+
+
+# ---------------------------------------------------------------------------
+# per-seed configuration
+# ---------------------------------------------------------------------------
+
+def config_for_seed(seed: int, base: Optional[GenConfig] = None) -> GenConfig:
+    """Deterministic knob variation for one seed.
+
+    Derived from the seed alone (not from process state), so any seed's
+    case regenerates identically anywhere.  When ``base`` is given its
+    shape is kept and only the phase-script size policy applies.
+    """
+    import random
+
+    rng = random.Random(f"fuzzcfg:{seed}")
+    detect = seed % _DETECTION_SEED_STRIDE == 0
+    if base is None:
+        base = GenConfig(
+            functions=rng.randrange(1, 5),
+            loop_depth=rng.randrange(1, 4),
+            call_fanout=rng.randrange(0, 3),
+            chain_depth=rng.randrange(1, 3),
+            diamonds=rng.randrange(1, 4),
+            block_size=rng.randrange(2, 7),
+            phases=rng.randrange(1, 4),
+            phase_pattern=rng.choice(("sequence", "repeat")),
+            irreducible_fraction=rng.uniform(0.0, 0.8),
+            recursion=rng.random() < 0.3,
+            cold_functions=rng.randrange(0, 3),
+        )
+    branches = 45_000 if detect else rng.randrange(3_000, 9_000)
+    return dataclasses.replace(base, phase_branches=branches)
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SeedResult:
+    """Oracle verdicts for one seed."""
+
+    seed: int
+    ok: bool
+    failing: Tuple[str, ...] = ()
+    signature: Tuple[str, ...] = ()
+    packages: int = 0
+    records: int = 0
+    detail: str = ""
+    duration: float = 0.0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one ``run_fuzz`` invocation."""
+
+    results: List[SeedResult] = field(default_factory=list)
+    #: Shrunk failing cases (same seed order as ``results``).
+    failures: List[FuzzCase] = field(default_factory=list)
+    failure_paths: List[str] = field(default_factory=list)
+    novel_signatures: int = 0
+    corpus_dir: Optional[str] = None
+    elapsed: float = 0.0
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def seeds_run(self) -> int:
+        return len(self.results)
+
+    def render(self) -> str:
+        failed = [r for r in self.results if not r.ok]
+        lines = [
+            f"fuzz: {self.seeds_run} seeds in {self.elapsed:.1f}s — "
+            f"{len(failed)} failing, {self.novel_signatures} novel "
+            f"signatures"
+            + (f", corpus {self.corpus_dir}" if self.corpus_dir else "")
+            + (" (budget exhausted)" if self.budget_exhausted else "")
+        ]
+        for result in failed:
+            lines.append(
+                f"  seed {result.seed}: FAILED "
+                f"[{', '.join(result.failing)}] {result.detail}".rstrip()
+            )
+        for case, path in zip(self.failures, self.failure_paths):
+            program = case.workload.program
+            kind = "shrunk" if not case.reduction.is_identity else "repro"
+            lines.append(
+                f"  seed {case.seed} {kind}: {len(program.functions)} "
+                f"function(s), {sum(len(f.blocks) for f in program.functions.values())} "
+                f"blocks → {path or '(not persisted)'}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# workers
+# ---------------------------------------------------------------------------
+
+def _case_for(seed: int, config_payload: Optional[dict]) -> FuzzCase:
+    base = GenConfig.from_dict(config_payload) if config_payload else None
+    return build_case(seed, config_for_seed(seed, base))
+
+
+def _run_seed(item: Tuple[int, Optional[dict]]) -> dict:
+    """Module-level worker (must stay picklable for parallel_map)."""
+    seed, config_payload = item
+    started = time.perf_counter()
+    try:
+        case = _case_for(seed, config_payload)
+        report = run_oracle_stack(case)
+    except Exception as exc:
+        return SeedResult(
+            seed=seed,
+            ok=False,
+            failing=("harness",),
+            detail=f"{type(exc).__name__}: {exc}",
+            duration=time.perf_counter() - started,
+        ).to_dict()
+    failing = tuple(report.failing())
+    detail = "; ".join(
+        f"{r.name}: {r.detail}" for r in report.results if not r.ok
+    )
+    return SeedResult(
+        seed=seed,
+        ok=report.ok,
+        failing=failing,
+        signature=report.signature,
+        packages=report.packages,
+        records=report.records,
+        detail=detail[:500],
+        duration=time.perf_counter() - started,
+    ).to_dict()
+
+
+def _result_from_dict(payload: dict) -> SeedResult:
+    payload = dict(payload)
+    payload["failing"] = tuple(payload.get("failing", ()))
+    payload["signature"] = tuple(payload.get("signature", ()))
+    return SeedResult(**payload)
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+
+def _still_fails(
+    case: FuzzCase,
+    reduction: Reduction,
+    only: Optional[Tuple[str, ...]],
+    mutate_packed,
+) -> Optional[FuzzCase]:
+    """The reduced case iff it still fails the (restricted) stack."""
+    try:
+        candidate = build_case(case.seed, case.config, reduction)
+    except ReductionError:
+        return None
+    report = run_oracle_stack(candidate, only=only, mutate_packed=mutate_packed)
+    return candidate if not report.ok else None
+
+
+def shrink_case(
+    case: FuzzCase,
+    failing: Sequence[str] = (),
+    mutate_packed: Optional[
+        Callable[[PackedProgram], Optional[PackedProgram]]
+    ] = None,
+    max_probes: int = 200,
+) -> FuzzCase:
+    """Greedy minimization of a failing case.
+
+    Three passes, in the order the gains are largest: drop whole
+    functions, cut conditional branches (their blocks fall through and
+    unreachable code is pruned), then shorten the phase script — first
+    truncating to one segment, then halving the segment length.  Every
+    candidate is re-checked against the oracles that originally failed
+    (``failing``; empty = the full stack) and kept only if it still
+    fails; the result is always itself a replayable failing case.
+    """
+    only = tuple(failing) or None
+    current = case
+    probes = 0
+
+    # Pass 1: drop functions, re-trying until a fixpoint (removing one
+    # function can make another droppable).
+    changed = True
+    while changed and probes < max_probes:
+        changed = False
+        program = current.workload.program
+        for name in sorted(program.functions):
+            if name == program.entry or probes >= max_probes:
+                continue
+            reduction = dataclasses.replace(
+                current.reduction,
+                drop_functions=current.reduction.drop_functions + (name,),
+            )
+            probes += 1
+            reduced = _still_fails(case, reduction, only, mutate_packed)
+            if reduced is not None:
+                current = reduced
+                changed = True
+
+    # Pass 2: cut conditional branches (one at a time, single sweep —
+    # the fall-through keeps the program valid, pruning drops whatever
+    # became unreachable).
+    program = current.workload.program
+    branch_sites = [
+        (function.name, block.label)
+        for function in program.functions.values()
+        for block in function.blocks
+        if block.terminator is not None
+        and block.terminator.is_conditional_branch
+    ]
+    for site in branch_sites:
+        if probes >= max_probes:
+            break
+        reduction = dataclasses.replace(
+            current.reduction,
+            cut_branches=current.reduction.cut_branches + (site,),
+        )
+        probes += 1
+        reduced = _still_fails(case, reduction, only, mutate_packed)
+        if reduced is not None:
+            current = reduced
+
+    # Pass 3: shorten the phase script — truncate, then halve.
+    segments = len(current.workload.phase_script.segments)
+    if segments > 1 and probes < max_probes:
+        reduction = dataclasses.replace(current.reduction, phase_segments=1)
+        probes += 1
+        reduced = _still_fails(case, reduction, only, mutate_packed)
+        if reduced is not None:
+            current = reduced
+    scale = current.reduction.phase_scale
+    while scale > 1 / 64 and probes < max_probes:
+        scale /= 2
+        reduction = dataclasses.replace(
+            current.reduction, phase_scale=scale
+        )
+        probes += 1
+        reduced = _still_fails(case, reduction, only, mutate_packed)
+        if reduced is None:
+            break
+        current = reduced
+
+    return FuzzCase(
+        seed=current.seed,
+        config=current.config,
+        reduction=current.reduction,
+        workload=current.workload,
+        note=case.note or f"shrunk; fails {', '.join(only or ('stack',))}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# corpus persistence
+# ---------------------------------------------------------------------------
+
+def _load_known_signatures(corpus_dir: str) -> Set[Tuple[str, ...]]:
+    known: Set[Tuple[str, ...]] = set()
+    directory = os.path.join(corpus_dir, "corpus")
+    if not os.path.isdir(directory):
+        return known
+    for name in os.listdir(directory):
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(directory, name)) as handle:
+                payload = json.load(handle)
+            known.add(tuple(payload.get("signature", ())))
+        except (OSError, ValueError):
+            continue
+    return known
+
+
+def _persist_case(
+    corpus_dir: str, subdir: str, name: str, case: FuzzCase,
+    extra: Optional[dict] = None,
+) -> str:
+    directory = os.path.join(corpus_dir, subdir)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    payload = case_to_dict(case)
+    if extra:
+        payload.update(extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# the driver
+# ---------------------------------------------------------------------------
+
+def run_fuzz(
+    seeds: range,
+    base_config: Optional[GenConfig] = None,
+    jobs: Optional[int] = None,
+    budget: Optional[float] = None,
+    corpus: Optional[str] = None,
+    shrink: bool = True,
+    mutate_packed: Optional[
+        Callable[[PackedProgram], Optional[PackedProgram]]
+    ] = None,
+) -> FuzzReport:
+    """Fuzz a seed range through the oracle stack.
+
+    ``budget`` (seconds) stops scheduling new chunks once exceeded —
+    already-scheduled seeds finish, so the report stays deterministic
+    for the seeds it covers.  ``mutate_packed`` (fault-injection) forces
+    serial execution.
+    """
+    started = time.monotonic()
+    corpus_dir = resolve_corpus(corpus)
+    config_payload = base_config.to_dict() if base_config else None
+    report = FuzzReport(corpus_dir=corpus_dir)
+
+    known = _load_known_signatures(corpus_dir) if corpus_dir else set()
+    known.add(())  # the empty signature is never worth keeping
+
+    workers = resolve_jobs(jobs)
+    serial = mutate_packed is not None or workers <= 1
+    chunk_size = 1 if serial else max(workers * 4, 8)
+
+    pending = list(seeds)
+    while pending:
+        if budget is not None and time.monotonic() - started >= budget:
+            report.budget_exhausted = True
+            break
+        chunk, pending = pending[:chunk_size], pending[chunk_size:]
+        items = [(seed, config_payload) for seed in chunk]
+        if serial:
+            payloads = []
+            for item in items:
+                if mutate_packed is None:
+                    payloads.append(_run_seed(item))
+                else:
+                    payloads.append(
+                        _run_seed_mutating(item, mutate_packed)
+                    )
+        else:
+            payloads = parallel_map(_run_seed, items, jobs=workers)
+        for payload in payloads:
+            result = _result_from_dict(payload)
+            report.results.append(result)
+            if corpus_dir and result.ok and result.signature not in known:
+                known.add(result.signature)
+                report.novel_signatures += 1
+                case = _case_for(result.seed, config_payload)
+                _persist_case(
+                    corpus_dir, "corpus", f"seed{result.seed:06d}.json",
+                    case, extra={"signature": list(result.signature)},
+                )
+            elif result.signature and result.signature not in known:
+                known.add(result.signature)
+                report.novel_signatures += 1
+            if not result.ok:
+                case = _case_for(result.seed, config_payload)
+                failing = tuple(f for f in result.failing if f != "harness")
+                shrunk = case
+                if shrink and failing:
+                    shrunk = shrink_case(
+                        case, failing, mutate_packed=mutate_packed
+                    )
+                report.failures.append(shrunk)
+                path = ""
+                if corpus_dir:
+                    path = _persist_case(
+                        corpus_dir, "failures",
+                        f"fail-seed{result.seed:06d}.json", shrunk,
+                        extra={"failing": list(result.failing),
+                               "detail": result.detail},
+                    )
+                report.failure_paths.append(path)
+
+    report.elapsed = time.monotonic() - started
+    return report
+
+
+def _run_seed_mutating(item: Tuple[int, Optional[dict]], mutate_packed) -> dict:
+    """Serial-only variant of :func:`_run_seed` with a fault hook."""
+    seed, config_payload = item
+    started = time.perf_counter()
+    try:
+        case = _case_for(seed, config_payload)
+        report = run_oracle_stack(case, mutate_packed=mutate_packed)
+    except Exception as exc:
+        return SeedResult(
+            seed=seed, ok=False, failing=("harness",),
+            detail=f"{type(exc).__name__}: {exc}",
+            duration=time.perf_counter() - started,
+        ).to_dict()
+    detail = "; ".join(
+        f"{r.name}: {r.detail}" for r in report.results if not r.ok
+    )
+    return SeedResult(
+        seed=seed, ok=report.ok, failing=tuple(report.failing()),
+        signature=report.signature, packages=report.packages,
+        records=report.records, detail=detail[:500],
+        duration=time.perf_counter() - started,
+    ).to_dict()
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+
+def replay_case(
+    path: str,
+    mutate_packed: Optional[
+        Callable[[PackedProgram], Optional[PackedProgram]]
+    ] = None,
+) -> Tuple[FuzzCase, CaseReport]:
+    """Re-run a persisted repro file through the full oracle stack."""
+    case = load_case(path)
+    report = run_oracle_stack(case, mutate_packed=mutate_packed)
+    return case, report

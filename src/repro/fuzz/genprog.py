@@ -1,0 +1,725 @@
+"""Seeded random program generator for differential conformance fuzzing.
+
+Emits structurally-valid linked images — nested counted loops,
+irreducible-ish CFG fragments (side entries into loop interiors), call
+chains with configurable fan-out, bounded recursion, guarded cold code —
+plus the matching :class:`~repro.engine.behavior.BehaviorModel` and
+:class:`~repro.engine.phases.PhaseScript`, bundled as a
+:class:`~repro.workloads.base.Workload`.  The EPIC-style substrate has
+no indirect branches, so every generated image is indirect-branch-free
+by construction.
+
+Everything is a deterministic function of ``(seed, GenConfig)``: the
+same pair regenerates the identical program, behavior, and script in
+any process (branch outcomes key on the behavior model's registration
+order, not on process-global uid counters).  A failing case therefore
+serializes as just ``{seed, config, reduction}`` — see
+:func:`case_to_dict` / :func:`load_case`.
+
+**Validity invariants** (the oracles and the shrinker rely on these):
+
+* every function ends in a ``ret``/``halt`` block, and no block with
+  fall-through semantics (plain, conditional branch, call) is last;
+* every cycle — loop back-edges, recursion — passes through a
+  conditional branch, so neither engine can enter a branchless spin;
+* ``jump``/side-entry branches only target *forward* labels; the only
+  back-edges are conditional loop latches.
+
+The :class:`Reduction` machinery preserves all three: dropping a
+function strips the ``call`` terminators that reference it (the call
+block falls through to its original return continuation), cutting a
+branch removes its taken edge (the block falls through), and unreachable
+blocks are pruned afterwards — removing edges can only destroy cycles,
+never create them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.behavior import BehaviorModel
+from repro.engine.executor import ExecutionLimits
+from repro.engine.phases import PhaseScript
+from repro.isa.instructions import Opcode
+from repro.isa.registers import R
+from repro.program.block import BasicBlock
+from repro.program.builder import BlockBuilder, FunctionBuilder, ProgramBuilder
+from repro.program.function import Function
+from repro.program.program import Program
+from repro.workloads.base import Workload
+
+#: Registers free of the calling convention (mirrors the synthetic suite).
+_POOL = [R(i) for i in range(10, 32)]
+_BASE_PTR = R(58)
+_SCRATCH = R(59)
+
+#: Detection needs roughly hdc_max/2 candidate-dominated branches; phase
+#: segments below this are invisible to the HSD (packing packs nothing,
+#: which is still a valid — if weaker — conformance case).
+MIN_DETECTABLE_PHASE = 45_000
+
+
+class ReductionError(Exception):
+    """A reduction produced an invalid program (shrinker rejects it)."""
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Shape knobs of one generated conformance case."""
+
+    #: hot work functions dispatched from ``main``
+    functions: int = 3
+    #: nested loop levels inside each work function
+    loop_depth: int = 2
+    #: helper callees invoked from each work function's loop body
+    call_fanout: int = 1
+    #: call-chain depth below each helper callee
+    chain_depth: int = 1
+    #: data-dependent diamonds in each innermost loop body
+    diamonds: int = 2
+    #: straight-line instructions per generated block
+    block_size: int = 4
+    #: ground-truth phases in the phase script
+    phases: int = 2
+    #: "sequence" (0 1 2) or "repeat" (0 1 2 0 1 2)
+    phase_pattern: str = "sequence"
+    #: branch retirements per phase segment (>= MIN_DETECTABLE_PHASE for
+    #: the HSD to detect anything; smaller is valid but packs nothing)
+    phase_branches: int = MIN_DETECTABLE_PHASE
+    #: fraction of work functions whose outer loop gets a second entry
+    #: (a forward branch into the loop interior — irreducible-ish CFG)
+    irreducible_fraction: float = 0.35
+    #: give the first work function a bounded self-recursive callee
+    recursion: bool = False
+    #: statically-present, dynamically-dead filler functions
+    cold_functions: int = 2
+    #: blocks per cold function
+    cold_blocks: int = 6
+
+    def __post_init__(self) -> None:
+        if self.functions < 1:
+            raise ValueError("need at least one work function")
+        if self.loop_depth < 1:
+            raise ValueError("loop_depth must be >= 1")
+        if self.phases < 1:
+            raise ValueError("phases must be >= 1")
+        if self.phase_pattern not in ("sequence", "repeat"):
+            raise ValueError(f"unknown phase_pattern {self.phase_pattern!r}")
+        if self.phase_branches < 1:
+            raise ValueError("phase_branches must be positive")
+        if not 0.0 <= self.irreducible_fraction <= 1.0:
+            raise ValueError("irreducible_fraction out of range")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GenConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+# ---------------------------------------------------------------------------
+# reductions (the shrinker's transformation vocabulary)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Reduction:
+    """A validity-preserving simplification of a generated case.
+
+    Applied after generation, in this order: drop functions (stripping
+    every ``call`` that references them), cut branches (the block falls
+    through to its layout successor), prune blocks left unreachable,
+    then shorten the phase script (truncate to the first
+    ``phase_segments`` segments and scale segment lengths by
+    ``phase_scale``).
+    """
+
+    drop_functions: Tuple[str, ...] = ()
+    cut_branches: Tuple[Tuple[str, str], ...] = ()
+    phase_segments: Optional[int] = None
+    phase_scale: float = 1.0
+
+    @property
+    def is_identity(self) -> bool:
+        return (
+            not self.drop_functions
+            and not self.cut_branches
+            and self.phase_segments is None
+            and self.phase_scale == 1.0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "drop_functions": list(self.drop_functions),
+            "cut_branches": [list(pair) for pair in self.cut_branches],
+            "phase_segments": self.phase_segments,
+            "phase_scale": self.phase_scale,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[dict]) -> "Reduction":
+        if not payload:
+            return cls()
+        return cls(
+            drop_functions=tuple(payload.get("drop_functions", ())),
+            cut_branches=tuple(
+                (fn, label) for fn, label in payload.get("cut_branches", ())
+            ),
+            phase_segments=payload.get("phase_segments"),
+            phase_scale=float(payload.get("phase_scale", 1.0)),
+        )
+
+
+def _strip_terminator(block: BasicBlock) -> BasicBlock:
+    """A copy of ``block`` without its trailing control instruction."""
+    return BasicBlock(block.label, list(block.instructions[:-1]))
+
+
+def _layout_successors(
+    blocks: List[BasicBlock], position: Dict[str, int]
+) -> Dict[str, List[str]]:
+    """Intra-function successor labels, fall-through edges included."""
+    successors: Dict[str, List[str]] = {}
+    for i, block in enumerate(blocks):
+        out: List[str] = []
+        term = block.terminator
+        next_label = blocks[i + 1].label if i + 1 < len(blocks) else None
+        if term is None or term.is_call:
+            if next_label is not None:
+                out.append(next_label)
+        elif term.is_conditional_branch:
+            if term.target in position:
+                out.append(term.target)
+            if next_label is not None:
+                out.append(next_label)
+        elif term.opcode is Opcode.JUMP:
+            if term.target in position:
+                out.append(term.target)
+        # ret / halt: no local successors
+        successors[block.label] = out
+    return successors
+
+
+def _prune_unreachable(
+    blocks: List[BasicBlock], entry_label: str
+) -> List[BasicBlock]:
+    position = {b.label: i for i, b in enumerate(blocks)}
+    successors = _layout_successors(blocks, position)
+    reachable: Set[str] = set()
+    stack = [entry_label]
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        stack.extend(successors.get(label, ()))
+    return [b for b in blocks if b.label in reachable]
+
+
+def apply_reduction(workload: Workload, reduction: Reduction) -> Workload:
+    """Apply ``reduction`` to a generated workload.
+
+    Raises :class:`ReductionError` when the result is structurally
+    invalid (the shrinker treats that as a rejected candidate).
+    """
+    if reduction.is_identity:
+        return workload
+    program = workload.program
+    dropped = set(reduction.drop_functions)
+    if program.entry in dropped:
+        raise ReductionError("cannot drop the entry function")
+    unknown = dropped - set(program.functions)
+    if unknown:
+        raise ReductionError(f"unknown functions {sorted(unknown)}")
+    cuts = set(reduction.cut_branches)
+
+    functions: List[Function] = []
+    for function in program.functions.values():
+        if function.name in dropped:
+            continue
+        blocks: List[BasicBlock] = []
+        for block in function.blocks:
+            term = block.terminator
+            if term is not None and term.is_call and term.target in dropped:
+                blocks.append(_strip_terminator(block))
+            elif (
+                term is not None
+                and term.is_conditional_branch
+                and (function.name, block.label) in cuts
+            ):
+                blocks.append(_strip_terminator(block))
+            else:
+                blocks.append(block)
+        blocks = _prune_unreachable(blocks, function.entry_label)
+        if not blocks:
+            raise ReductionError(f"{function.name}: no blocks survive")
+        try:
+            functions.append(Function(function.name, blocks, function.entry_label))
+        except Exception as exc:
+            raise ReductionError(f"{function.name}: {exc}") from exc
+
+    try:
+        reduced = Program(functions, entry=program.entry)
+        reduced.validate()
+    except Exception as exc:
+        raise ReductionError(str(exc)) from exc
+
+    script = workload.phase_script
+    segments = list(script.segments)
+    if reduction.phase_segments is not None:
+        if reduction.phase_segments < 1:
+            raise ReductionError("phase_segments must keep >= 1 segment")
+        segments = segments[: reduction.phase_segments]
+    if not 0.0 < reduction.phase_scale <= 1.0:
+        raise ReductionError("phase_scale must be in (0, 1]")
+    pairs = [
+        (s.phase_id, max(1, int(s.branches * reduction.phase_scale)))
+        for s in segments
+    ]
+    script = PhaseScript.from_pairs(pairs)
+
+    return Workload(
+        name=workload.name,
+        program=reduced,
+        behavior=workload.behavior,
+        phase_script=script,
+        limits=ExecutionLimits(max_branches=script.total_branches),
+        description=workload.description + " (reduced)",
+        meta=dict(workload.meta),
+    )
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _GenState:
+    rng: random.Random
+    behavior: BehaviorModel
+    builder: ProgramBuilder = field(default_factory=ProgramBuilder)
+    cold_names: List[str] = field(default_factory=list)
+
+
+def _emit_filler(bb: BlockBuilder, rng: random.Random, size: int) -> None:
+    """Straight-line ALU/memory filler with real data-flow."""
+    regs = rng.sample(_POOL, min(6, len(_POOL)))
+    for i in range(size):
+        roll = rng.random()
+        d = regs[i % len(regs)]
+        a = regs[(i + 1) % len(regs)]
+        b = regs[(i + 2) % len(regs)]
+        if roll < 0.4:
+            bb.add(d, a, b)
+        elif roll < 0.55:
+            bb.addi(d, a, rng.randrange(1, 64))
+        elif roll < 0.65:
+            bb.mul(d, a, b)
+        elif roll < 0.75:
+            bb.xor(d, a, b)
+        elif roll < 0.88:
+            bb.load(d, _BASE_PTR, 8 * rng.randrange(0, 64))
+        else:
+            bb.store(a, _BASE_PTR, 8 * rng.randrange(0, 64))
+
+
+def _diamond_biases(
+    rng: random.Random, all_phases: Sequence[int]
+) -> Dict[int, float]:
+    """Per-phase taken probability for one diamond branch."""
+    style = rng.random()
+    biases: Dict[int, float] = {}
+    if style < 0.25 and len(all_phases) > 1:  # hard phase swing
+        low, high = rng.uniform(0.03, 0.12), rng.uniform(0.88, 0.97)
+        flip = rng.random() < 0.5
+        for i, phase in enumerate(all_phases):
+            biases[phase] = high if (i % 2 == 0) != flip else low
+    elif style < 0.45:  # uniform-ish, phase-independent
+        value = rng.uniform(0.4, 0.6)
+        for phase in all_phases:
+            biases[phase] = value
+    else:  # stable strong bias; occasionally a genuinely cold side
+        value = rng.uniform(0.02, 0.15)
+        if rng.random() < 0.5:
+            value = 1.0 - value
+        for phase in all_phases:
+            biases[phase] = min(0.999, max(0.001, value + rng.uniform(-0.01, 0.01)))
+    return biases
+
+
+def _build_cold_function(state: _GenState, name: str, blocks: int) -> None:
+    fb = FunctionBuilder(name)
+    for i in range(max(blocks - 1, 1)):
+        bb = fb.block(f"{name}_c{i}")
+        _emit_filler(bb, state.rng, 3)
+        if i % 3 == 2:
+            # Conditional back-edge keeps even cold cycles branch-guarded.
+            bb.sne(_SCRATCH, _POOL[0], _POOL[1])
+            bb.brnz(_SCRATCH, f"{name}_c{state.rng.randrange(max(i - 2, 0), i + 1)}")
+    fb.block(f"{name}_ret").ret()
+    state.builder.add(fb.build())
+
+
+def _build_helper_chain(
+    state: _GenState, config: GenConfig, base: str, depth: int
+) -> Optional[str]:
+    """A chain of small callees; returns the chain head's name."""
+    previous: Optional[str] = None
+    for level in range(depth, 0, -1):
+        name = f"{base}_h{level}"
+        fb = FunctionBuilder(name)
+        body = fb.block(f"{name}_b")
+        _emit_filler(body, state.rng, config.block_size)
+        body.sne(_SCRATCH, _POOL[3], _POOL[7])
+        branch = body.brnz(_SCRATCH, f"{name}_alt")
+        state.behavior.set_bias(branch.uid, state.rng.uniform(0.1, 0.35))
+        main_path = fb.block(f"{name}_m")
+        _emit_filler(main_path, state.rng, config.block_size)
+        if previous is not None:
+            fb.block(f"{name}_call").call(previous)
+        fb.block(f"{name}_ret").ret()
+        alt = fb.block(f"{name}_alt")
+        _emit_filler(alt, state.rng, 2)
+        alt.jump(f"{name}_ret")
+        state.builder.add(fb.build())
+        previous = name
+    return previous
+
+
+def _build_recursive(state: _GenState, config: GenConfig, name: str) -> str:
+    """A bounded self-recursive callee (stop probability per level)."""
+    fb = FunctionBuilder(name)
+    body = fb.block(f"{name}_b")
+    _emit_filler(body, state.rng, config.block_size)
+    body.slt(_SCRATCH, _POOL[1], _POOL[4])
+    branch = body.brnz(_SCRATCH, f"{name}_base")
+    state.behavior.set_bias(branch.uid, state.rng.uniform(0.35, 0.55))
+    recurse = fb.block(f"{name}_rec")
+    _emit_filler(recurse, state.rng, 2)
+    recurse.call(name)
+    after = fb.block(f"{name}_after")
+    _emit_filler(after, state.rng, 1)
+    after.ret()
+    base = fb.block(f"{name}_base")
+    _emit_filler(base, state.rng, 2)
+    base.ret()
+    state.builder.add(fb.build())
+    return name
+
+
+def _emit_diamond(
+    fb: FunctionBuilder,
+    state: _GenState,
+    config: GenConfig,
+    label: str,
+    all_phases: Sequence[int],
+) -> str:
+    """One data-dependent diamond; returns the merge block's label."""
+    rng = state.rng
+    cond = fb.block(label)
+    _emit_filler(cond, rng, max(config.block_size - 2, 1))
+    cond.sne(_SCRATCH, _POOL[1], _POOL[5])
+    branch = cond.brnz(_SCRATCH, f"{label}_e")
+    state.behavior.set_phase_biases(branch.uid, _diamond_biases(rng, all_phases))
+    then_block = fb.block(f"{label}_t")
+    _emit_filler(then_block, rng, config.block_size)
+    then_block.jump(f"{label}_m")
+    else_block = fb.block(f"{label}_e")
+    _emit_filler(else_block, rng, config.block_size)
+    merge = fb.block(f"{label}_m")
+    _emit_filler(merge, rng, 1)
+    return f"{label}_m"
+
+
+def _emit_loop_nest(
+    fb: FunctionBuilder,
+    state: _GenState,
+    config: GenConfig,
+    name: str,
+    level: int,
+    all_phases: Sequence[int],
+    callees: Sequence[str],
+) -> None:
+    """Loop level ``level`` (0 = outermost); innermost level holds the
+    diamonds and the helper calls."""
+    rng = state.rng
+    head = fb.block(f"{name}_l{level}h")
+    _emit_filler(head, rng, config.block_size)
+
+    innermost = level == config.loop_depth - 1
+    if innermost:
+        for d in range(config.diamonds):
+            _emit_diamond(fb, state, config, f"{name}_l{level}d{d}", all_phases)
+        for k, callee in enumerate(callees):
+            fb.block(f"{name}_l{level}c{k}").call(callee)
+    else:
+        _emit_loop_nest(
+            fb, state, config, name, level + 1, all_phases, callees
+        )
+
+    latch = fb.block(f"{name}_l{level}t")
+    _emit_filler(latch, rng, 2)
+    latch.slt(_SCRATCH, _POOL[2], _POOL[6])
+    back = latch.brnz(_SCRATCH, f"{name}_l{level}h")
+    # Inner levels iterate hot; outer levels cool off so the branch
+    # budget spreads across the nest instead of pinning the innermost.
+    bias = 0.88 if innermost else rng.uniform(0.45, 0.7)
+    state.behavior.set_bias(back.uid, bias)
+
+
+def _build_work_function(
+    state: _GenState,
+    config: GenConfig,
+    name: str,
+    all_phases: Sequence[int],
+    callees: Sequence[str],
+    cold_callee: Optional[str],
+    side_entry: bool,
+) -> None:
+    rng = state.rng
+    fb = FunctionBuilder(name)
+
+    prologue = fb.block(f"{name}_pro")
+    prologue.movi(_BASE_PTR, 0x4000)
+    _emit_filler(prologue, rng, 2)
+    if side_entry:
+        # Irreducible-ish fragment: a forward branch straight into the
+        # innermost loop's latch — a second entry that bypasses every
+        # loop header on the way in.
+        prologue.sne(_SCRATCH, _POOL[4], _POOL[8])
+        target = f"{name}_l{config.loop_depth - 1}t"
+        side = prologue.brnz(_SCRATCH, target)
+        state.behavior.set_bias(side.uid, rng.uniform(0.05, 0.25))
+
+    _emit_loop_nest(fb, state, config, name, 0, all_phases, callees)
+
+    if cold_callee is not None:
+        guard = fb.block(f"{name}_guard")
+        guard.seq(_SCRATCH, _POOL[0], _POOL[1])
+        cold_branch = guard.brnz(_SCRATCH, f"{name}_cold")
+        state.behavior.set_bias(cold_branch.uid, 0.0)  # never taken
+
+    fb.block(f"{name}_ret").ret()
+
+    if cold_callee is not None:
+        fb.block(f"{name}_cold").call(cold_callee)
+        fb.block(f"{name}_coldret").jump(f"{name}_ret")
+
+    state.builder.add(fb.build())
+
+
+def _build_main(
+    state: _GenState,
+    config: GenConfig,
+    targets: Sequence[str],
+    activity: Dict[str, List[int]],
+    all_phases: Sequence[int],
+) -> None:
+    """The dispatch root: one selector loop calling active targets.
+
+    Selector ``i`` takes with probability 1/(active targets remaining in
+    the current phase), so each iteration picks uniformly among the
+    phase's active work functions.  The latch never falls through — the
+    run is bounded by the phase script's branch budget.
+    """
+    rng = state.rng
+    fb = FunctionBuilder("main")
+    entry = fb.block("main_entry")
+    entry.movi(_BASE_PTR, 0x8000)
+    _emit_filler(entry, rng, 2)
+
+    head = fb.block("main_head")
+    _emit_filler(head, rng, 2)
+
+    for i, target in enumerate(targets):
+        sel = fb.block(f"main_sel{i}")
+        sel.sne(_SCRATCH, _POOL[i % len(_POOL)], _POOL[(i + 5) % len(_POOL)])
+        branch = sel.brnz(_SCRATCH, f"main_do{i}")
+        biases: Dict[int, float] = {}
+        for phase in all_phases:
+            remaining = [
+                t for t in targets[i:] if phase in activity.get(t, ())
+            ]
+            if phase in activity.get(target, ()):
+                biases[phase] = 1.0 / len(remaining)
+            else:
+                biases[phase] = 0.0
+        state.behavior.set_phase_biases(branch.uid, biases)
+
+    none_active = fb.block("main_none")
+    _emit_filler(none_active, rng, 1)
+    none_active.jump("main_latch")
+
+    for i, target in enumerate(targets):
+        fb.block(f"main_do{i}").call(target)
+        fb.block(f"main_back{i}").jump("main_latch")
+
+    latch = fb.block("main_latch")
+    _emit_filler(latch, rng, 1)
+    latch.slt(_SCRATCH, _POOL[6], _POOL[9])
+    loop = latch.brnz(_SCRATCH, "main_head")
+    state.behavior.set_bias(loop.uid, 1.0)
+
+    if state.cold_names:
+        guard = fb.block("main_coldguard")
+        guard.seq(_SCRATCH, _POOL[0], _POOL[2])
+        cold_branch = guard.brnz(_SCRATCH, "main_colddo")
+        state.behavior.set_bias(cold_branch.uid, 0.0)
+
+    fb.block("main_tail").halt()
+
+    if state.cold_names:
+        fb.block("main_colddo").call(state.cold_names[0])
+        fb.block("main_coldback").jump("main_tail")
+
+    state.builder.add(fb.build())
+
+
+def _phase_script(config: GenConfig) -> PhaseScript:
+    order = list(range(config.phases))
+    if config.phase_pattern == "repeat":
+        order = order + order
+    return PhaseScript.from_pairs(
+        [(phase, config.phase_branches) for phase in order]
+    )
+
+
+def generate_program(seed: int, config: GenConfig) -> Workload:
+    """The deterministic workload for ``(seed, config)``."""
+    rng = random.Random(f"genprog:{seed}")
+    behavior = BehaviorModel(seed=(seed * 0x9E3779B1 + 0xFA11) & 0x7FFFFFFF)
+    state = _GenState(rng=rng, behavior=behavior)
+    all_phases = list(range(config.phases))
+
+    for i in range(config.cold_functions):
+        name = f"fz_cold{i}"
+        _build_cold_function(state, name, config.cold_blocks)
+        state.cold_names.append(name)
+
+    # Phase activity: work function i runs in phase (i mod phases); the
+    # first function is shared across every phase so no phase is empty.
+    work_names = [f"fz_work{i}" for i in range(config.functions)]
+    activity: Dict[str, List[int]] = {}
+    for i, name in enumerate(work_names):
+        if i == 0:
+            activity[name] = list(all_phases)
+        else:
+            activity[name] = [i % config.phases]
+
+    for i, name in enumerate(work_names):
+        callees: List[str] = []
+        for k in range(config.call_fanout):
+            head = _build_helper_chain(
+                state, config, f"{name}_f{k}", max(config.chain_depth, 1)
+            )
+            if head is not None:
+                callees.append(head)
+        if config.recursion and i == 0:
+            callees.append(_build_recursive(state, config, f"{name}_rec"))
+        cold_callee = (
+            state.cold_names[i % len(state.cold_names)]
+            if state.cold_names
+            else None
+        )
+        _build_work_function(
+            state,
+            config,
+            name,
+            all_phases,
+            callees,
+            cold_callee,
+            side_entry=rng.random() < config.irreducible_fraction,
+        )
+
+    _build_main(state, config, work_names, activity, all_phases)
+
+    program = state.builder.build(entry="main")
+    script = _phase_script(config)
+    return Workload(
+        name=f"fuzz.s{seed}",
+        program=program,
+        behavior=behavior,
+        phase_script=script,
+        limits=ExecutionLimits(max_branches=script.total_branches),
+        description=(
+            f"generated conformance case (seed {seed}, "
+            f"{config.functions} work fns, depth {config.loop_depth})"
+        ),
+        meta={"seed": seed, "config": config},
+    )
+
+
+# ---------------------------------------------------------------------------
+# cases
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FuzzCase:
+    """One replayable conformance case: generator inputs + built workload."""
+
+    seed: int
+    config: GenConfig
+    reduction: Reduction
+    workload: Workload
+    note: str = ""
+
+    def reduced(self, reduction: Reduction, note: str = "") -> "FuzzCase":
+        """This case under a different reduction (rebuilt from scratch)."""
+        return build_case(self.seed, self.config, reduction,
+                          note=note or self.note)
+
+
+def generate_case(seed: int, config: Optional[GenConfig] = None) -> FuzzCase:
+    config = config or GenConfig()
+    return FuzzCase(seed, config, Reduction(), generate_program(seed, config))
+
+
+def build_case(
+    seed: int,
+    config: GenConfig,
+    reduction: Optional[Reduction] = None,
+    note: str = "",
+) -> FuzzCase:
+    """Regenerate ``(seed, config)`` and apply ``reduction``."""
+    reduction = reduction or Reduction()
+    workload = generate_program(seed, config)
+    workload = apply_reduction(workload, reduction)
+    return FuzzCase(seed, config, reduction, workload, note=note)
+
+
+def case_to_dict(case: FuzzCase) -> dict:
+    return {
+        "seed": case.seed,
+        "config": case.config.to_dict(),
+        "reduction": case.reduction.to_dict(),
+        "note": case.note,
+    }
+
+
+def case_from_dict(payload: dict) -> FuzzCase:
+    return build_case(
+        int(payload["seed"]),
+        GenConfig.from_dict(payload.get("config", {})),
+        Reduction.from_dict(payload.get("reduction")),
+        note=str(payload.get("note", "")),
+    )
+
+
+def save_case(path: str, case: FuzzCase) -> None:
+    with open(path, "w") as handle:
+        json.dump(case_to_dict(case), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_case(path: str) -> FuzzCase:
+    with open(path) as handle:
+        return case_from_dict(json.load(handle))

@@ -1,0 +1,359 @@
+"""The four-oracle conformance stack.
+
+Every generated case is pushed through four independent cross-checks,
+each of which would catch a different class of pipeline bug:
+
+1. ``engines`` — the reference interpreter and the compiled trace
+   engine must retire the bit-identical conditional-branch event
+   stream (and agree on every summary counter).  Catches engine bugs.
+2. ``structure`` — the packed program passes every structural
+   validator in :mod:`repro.postlink.validate`, including the
+   ``link_image()`` displacement round-trip.  Catches rewriter bugs
+   that leave the binary malformed.
+3. ``pack_differential`` — replaying the workload over the packed
+   program preserves the branch stream, the retired work-instruction
+   count, and the stop reason (a mismatch there raises
+   :class:`~repro.errors.DifferentialError`).  Catches rewriter bugs
+   that leave the binary well-formed but wrong.
+4. ``cache_replay`` — the detector records recomputed from a trace
+   that round-tripped through the content-addressed
+   :class:`~repro.engine.trace_cache.TraceCache` (disk encode →
+   decode → uid remap) are identical to the records from the live
+   trace.  Catches cache/serialization bugs that would silently feed
+   the profiler a corrupted history.
+
+The stack also derives a *coverage signature* — a sorted tuple of
+feature strings describing what the pipeline did with the case (package
+count, launch-point bucket, quarantine stages, linked exits, ...).  The
+driver keeps a case in the corpus iff its signature is novel, which is
+what makes the fuzzer coverage-guided without instrumenting the
+pipeline itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.engine.compiled import CompiledExecutor, TraceData
+from repro.engine.listeners import HSDListener
+from repro.engine.trace_cache import TraceCache, image_for, trace_key
+from repro.errors import DifferentialError
+from repro.hsd.detector import HotSpotDetector
+from repro.postlink.rewriter import PackedProgram, clone_program
+from repro.postlink.validate import (
+    _StreamHasher,
+    differential_check,
+    digest_stream_arrays,
+    validate_packed,
+    validate_plan,
+)
+from repro.postlink.vacuum import PackResult, VacuumPacker
+from repro.program.cfg import cross_function_target, split_cross_function
+from repro.workloads.base import Workload
+
+from .genprog import FuzzCase
+
+ORACLE_NAMES: Tuple[str, ...] = (
+    "engines",
+    "structure",
+    "pack_differential",
+    "cache_replay",
+)
+
+
+@dataclass
+class OracleResult:
+    """Verdict of one oracle on one case."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "ok" if self.ok else "FAIL"
+        tail = f" — {self.detail}" if self.detail else ""
+        return f"{self.name}: {mark}{tail}"
+
+
+@dataclass
+class CaseReport:
+    """All oracle verdicts for one case, plus its coverage signature."""
+
+    results: List[OracleResult] = field(default_factory=list)
+    signature: Tuple[str, ...] = ()
+    packages: int = 0
+    records: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def failing(self) -> List[str]:
+        return [r.name for r in self.results if not r.ok]
+
+    def result(self, name: str) -> Optional[OracleResult]:
+        for r in self.results:
+            if r.name == name:
+                return r
+        return None
+
+    def render(self) -> str:
+        lines = [r.render() for r in self.results]
+        lines.append(f"signature: {', '.join(self.signature) or '(empty)'}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# fault injection (for testing the oracles themselves)
+# ---------------------------------------------------------------------------
+
+def mispatch_launch(packed: PackedProgram) -> Optional[PackedProgram]:
+    """A copy of ``packed`` with one launch displacement mis-patched.
+
+    Retargets the first launch trampoline at a non-entry block of its
+    package — the canonical "rewriter bug" the oracle stack must catch.
+    Returns ``None`` when the pack deployed no launch points (nothing
+    to sabotage).  The mutation happens on a deep copy, so the caller's
+    packed program is untouched.
+    """
+    clone = clone_program(packed.program)
+    for function in clone.functions.values():
+        for block in function.blocks:
+            if not block.meta.get("launch_trampoline"):
+                continue
+            term = block.terminator
+            pkg_name, entry_label = split_cross_function(term.target)
+            pkg_fn = clone.functions.get(pkg_name)
+            if pkg_fn is None:
+                continue
+            wrong = next(
+                (b.label for b in pkg_fn.blocks if b.label != entry_label),
+                None,
+            )
+            if wrong is None:
+                continue
+            block.instructions[-1] = term.retargeted(
+                cross_function_target(pkg_name, wrong)
+            )
+            return dataclasses.replace(packed, program=clone)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# individual oracles
+# ---------------------------------------------------------------------------
+
+def _engines_oracle(workload: Workload) -> OracleResult:
+    hasher = _StreamHasher()
+    reference = workload.executor(branch_hooks=[hasher]).run()
+    trace = CompiledExecutor(
+        workload.program,
+        workload.behavior,
+        workload.phase_script,
+        limits=workload.limits,
+    ).run_traced()
+    compiled = trace.summary
+    problems: List[str] = []
+    if hasher.digest() != digest_stream_arrays(trace.uids, trace.taken):
+        problems.append("branch event streams differ")
+    for field_name in ("instructions", "branches", "taken_branches",
+                       "calls", "stop_reason"):
+        a = getattr(reference, field_name)
+        b = getattr(compiled, field_name)
+        if a != b:
+            problems.append(f"{field_name}: reference {a} vs compiled {b}")
+    if reference.block_visits != compiled.block_visits:
+        problems.append("block visit histograms differ")
+    return OracleResult("engines", not problems, "; ".join(problems))
+
+
+def _structure_oracle(
+    workload: Workload, packed: PackedProgram
+) -> OracleResult:
+    report = validate_plan(packed.plan, workload.program)
+    report.merge(validate_packed(packed))
+    detail = "" if report.ok else "; ".join(
+        issue.render() for issue in report.issues[:4]
+    )
+    return OracleResult("structure", report.ok, detail)
+
+
+def _pack_differential_oracle(
+    workload: Workload, packed: PackedProgram
+) -> OracleResult:
+    try:
+        report = differential_check(workload, packed)
+    except DifferentialError as exc:
+        return OracleResult("pack_differential", False, str(exc))
+    detail = "" if report.ok else report.render()
+    return OracleResult("pack_differential", report.ok, detail)
+
+
+def _summaries_equal(a, b) -> bool:
+    return (
+        a.instructions == b.instructions
+        and a.branches == b.branches
+        and a.taken_branches == b.taken_branches
+        and a.calls == b.calls
+        and a.stop_reason is b.stop_reason
+        and a.block_visits == b.block_visits
+    )
+
+
+def _records_of(workload: Workload, trace: TraceData):
+    image = image_for(workload.program)
+    listener = HSDListener(
+        HotSpotDetector(), dict(image.instruction_address)
+    )
+    listener.consume_trace(trace.uids, trace.taken)
+    return listener.raw_detections, listener.unique_records
+
+
+def _cache_replay_oracle(workload: Workload) -> OracleResult:
+    program = workload.program
+    image = image_for(program)
+    live = CompiledExecutor(
+        program, workload.behavior, workload.phase_script,
+        limits=workload.limits,
+    ).run_traced()
+    key = trace_key(
+        program, workload.behavior, workload.phase_script, workload.limits,
+        image=image,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-cache-") as tmp:
+        if not TraceCache(root=tmp).put(key, live, program, image=image):
+            return OracleResult("cache_replay", False, "trace not cacheable")
+        # A fresh cache object forces the full disk round-trip (decode +
+        # address→uid remap) instead of the in-memory LRU.
+        round_tripped = TraceCache(root=tmp).get(key, program, image=image)
+    if round_tripped is None:
+        return OracleResult(
+            "cache_replay", False, "round-tripped trace missed the cache"
+        )
+    problems: List[str] = []
+    if digest_stream_arrays(live.uids, live.taken) != digest_stream_arrays(
+        round_tripped.uids, round_tripped.taken
+    ):
+        problems.append("branch streams differ after round-trip")
+    if not _summaries_equal(live.summary, round_tripped.summary):
+        problems.append("summaries differ after round-trip")
+    live_raw, live_records = _records_of(workload, live)
+    rt_raw, rt_records = _records_of(workload, round_tripped)
+    if live_raw != rt_raw:
+        problems.append(
+            f"raw detections differ: live {live_raw} vs replayed {rt_raw}"
+        )
+    if live_records != rt_records:
+        problems.append("detector records differ after round-trip")
+    return OracleResult("cache_replay", not problems, "; ".join(problems))
+
+
+# ---------------------------------------------------------------------------
+# coverage signature
+# ---------------------------------------------------------------------------
+
+def _bucket(count: int) -> str:
+    if count <= 3:
+        return str(count)
+    if count <= 7:
+        return "4-7"
+    return "8+"
+
+
+def coverage_signature(result: PackResult) -> Tuple[str, ...]:
+    """Feature strings describing what the pipeline did with a case."""
+    features = {
+        f"packages:{_bucket(len(result.packed.package_names))}",
+        f"records:{_bucket(result.profile.phase_count)}",
+        f"launches:{_bucket(len(result.packed.launch_map))}",
+        f"stop:{result.profile.summary.stop_reason.name}",
+        f"coverage:{int(result.coverage.package_fraction * 4)}/4",
+    }
+    for diagnostic in result.diagnostics:
+        features.add(f"quarantine:{diagnostic.stage}")
+    for package in result.packages:
+        if package.name not in result.packed.package_names:
+            continue
+        if any(exit_site.is_linked for exit_site in package.exits):
+            features.add("linked_exits")
+        if len(package.entry_map) > 1:
+            features.add("multi_entry")
+    return tuple(sorted(features))
+
+
+# ---------------------------------------------------------------------------
+# the stack
+# ---------------------------------------------------------------------------
+
+def run_oracle_stack(
+    case: FuzzCase,
+    only: Optional[Sequence[str]] = None,
+    mutate_packed: Optional[
+        Callable[[PackedProgram], Optional[PackedProgram]]
+    ] = None,
+) -> CaseReport:
+    """Run the conformance oracles over one case.
+
+    ``only`` restricts to a subset of :data:`ORACLE_NAMES` (the
+    shrinker re-checks just the oracles that originally failed).
+    ``mutate_packed`` is a fault-injection hook applied to the packed
+    program before the structure/differential oracles — it receives the
+    pristine :class:`PackedProgram` and returns a sabotaged copy, or
+    ``None`` to leave the case unmutated (the hook exists to prove the
+    oracles catch the bugs they claim to catch).
+    """
+    selected = set(only) if only else set(ORACLE_NAMES)
+    unknown = selected - set(ORACLE_NAMES)
+    if unknown:
+        raise ValueError(f"unknown oracles: {sorted(unknown)}")
+    workload = case.workload
+    report = CaseReport()
+
+    if "engines" in selected:
+        report.results.append(_guarded("engines", _engines_oracle, workload))
+
+    needs_pack = bool(selected & {"structure", "pack_differential"})
+    if needs_pack:
+        packed: Optional[PackedProgram] = None
+        pack_error = ""
+        try:
+            # validate=False: the oracles below *are* the validation —
+            # letting the packer pre-quarantine invalid phases would
+            # mask exactly the bugs this stack exists to catch.
+            result = VacuumPacker(validate=False).pack(workload)
+            packed = result.packed
+            report.packages = len(packed.package_names)
+            report.records = result.profile.phase_count
+            report.signature = coverage_signature(result)
+            if mutate_packed is not None:
+                sabotaged = mutate_packed(packed)
+                if sabotaged is not None:
+                    packed = sabotaged
+        except Exception as exc:
+            pack_error = f"pack failed: {type(exc).__name__}: {exc}"
+        for name, oracle in (
+            ("structure", _structure_oracle),
+            ("pack_differential", _pack_differential_oracle),
+        ):
+            if name not in selected:
+                continue
+            if packed is None:
+                report.results.append(OracleResult(name, False, pack_error))
+            else:
+                report.results.append(_guarded(name, oracle, workload, packed))
+
+    if "cache_replay" in selected:
+        report.results.append(
+            _guarded("cache_replay", _cache_replay_oracle, workload)
+        )
+    return report
+
+
+def _guarded(name: str, oracle, *args) -> OracleResult:
+    try:
+        return oracle(*args)
+    except Exception as exc:  # an oracle crash is itself a failure
+        return OracleResult(name, False, f"{type(exc).__name__}: {exc}")

@@ -113,6 +113,11 @@ def _sink_from_block(package, cfg, liveness, block) -> int:
         for receiver in sinkable[i]:
             staged.setdefault(receiver, []).append(body[i].clone())
     for i in sorted(sinkable, reverse=True):
+        # The moved instruction now retires only when an exit path runs;
+        # record its origin so the differential oracle can tell this
+        # legitimate work-count reduction apart from a dropped
+        # instruction.
+        package.sunk_origins.add(body[i].root_origin())
         del body[i]
         moved += 1
     for receiver, instructions in staged.items():

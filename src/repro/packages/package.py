@@ -11,7 +11,7 @@ the packed binary by the post-link rewriter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.program.block import BasicBlock
 from repro.program.function import Function
@@ -68,6 +68,11 @@ class Package:
     #: (original location, context) -> package block label; the linking
     #: index (paper 3.3.4: links require identical calling contexts).
     location_index: Dict[Tuple[Location, tuple], str] = field(default_factory=dict)
+    #: Origin uids of instructions the cold-sinking pass moved out of
+    #: hot blocks into exit blocks.  These are the only instructions
+    #: allowed to retire *fewer* times in the packed binary than in the
+    #: original; the differential oracle consults this set.
+    sunk_origins: Set[int] = field(default_factory=set)
 
     # -- derived -----------------------------------------------------
     def branch_count(self) -> int:

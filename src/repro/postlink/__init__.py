@@ -1,6 +1,8 @@
 """Post-link rewriting, coverage measurement, validation oracles, and
 the VacuumPacker API."""
 
+from repro.errors import DifferentialError
+
 from .coverage import CoverageResult, classify_summary, measure_coverage
 from .rewriter import PackedProgram, RewriteStats, clone_program, rewrite_program
 from .vacuum import PackResult, PhaseDiagnostic, ProfileResult, VacuumPacker
@@ -18,6 +20,7 @@ from .validate import (
 
 __all__ = [
     "CoverageResult",
+    "DifferentialError",
     "DifferentialReport",
     "PackResult",
     "PackedProgram",

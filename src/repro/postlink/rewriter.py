@@ -38,10 +38,22 @@ from repro.program.program import Program, ProgramError
 
 
 def clone_program(program: Program) -> Program:
-    """Deep-copy a program; copies remember their origins."""
+    """Deep-copy a program; copies remember their origins.
+
+    Unlike :meth:`BasicBlock.clone` (built for package extraction,
+    where a fresh identity is the point), a program clone keeps each
+    block's calling context, continuations, and ``meta`` — a clone of
+    a packed program must still carry its launch-trampoline markers or
+    the image round-trip validator has nothing to check.
+    """
     functions = []
     for function in program.functions.values():
-        blocks = [block.clone(block.label) for block in function.blocks]
+        blocks = []
+        for block in function.blocks:
+            copy = block.clone(block.label, context=block.context)
+            copy.continuations = block.continuations
+            copy.meta = dict(block.meta)
+            blocks.append(copy)
         functions.append(Function(function.name, blocks, function.entry_label))
     return Program(functions, entry=program.entry)
 

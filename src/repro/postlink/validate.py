@@ -14,11 +14,15 @@ allowed to corrupt the output binary.  Two layers of defense live here:
 * **Differential oracle** — replays the workload over the original and
   packed programs and asserts the conditional-branch outcome stream is
   bit-identical (compared via a running digest, so arbitrarily long
-  streams cost constant memory) and that the retired *work* (non
-  control-transfer) instruction count is exactly preserved.  Packing
-  only adds/removes control glue — launch trampolines, exit jumps,
-  layout's eliminated jumps — so any drift in the work count means the
-  rewrite changed program semantics.
+  streams cost constant memory) and that retired *work* (non
+  control-transfer) instructions are preserved **per origin uid**.
+  Packing mostly adds/removes control glue — launch trampolines, exit
+  jumps, layout's eliminated jumps — but the cold-sinking pass (paper
+  section 5.4) legitimately moves a dead-on-hot-path instruction into
+  exit blocks, where it retires fewer times.  The oracle therefore
+  allows an origin recorded in :attr:`Package.sunk_origins` to retire
+  *fewer* times in the packed run (never more); any other per-origin
+  drift means the rewrite changed program semantics.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ import numpy as np
 
 from repro.engine.compiled import compiled_enabled, run_workload
 from repro.engine.trace_cache import traced_run
-from repro.errors import ValidationError
+from repro.errors import DifferentialError, ValidationError
 from repro.isa.instructions import Opcode
 from repro.packages.construct import PackagedProgramPlan
 from repro.packages.package import Package
@@ -396,6 +400,12 @@ class DifferentialReport:
     taken_packed: int = 0
     work_original: int = 0
     work_packed: int = 0
+    #: Dynamic retirements saved by instructions the sink pass moved
+    #: into exit blocks (a recorded, legitimate reduction).
+    work_sunk: int = 0
+    #: Origin uids whose retirement counts differ and are *not*
+    #: explained by recorded sinking — each one is a semantics change.
+    work_unexplained: List[int] = field(default_factory=list)
     stream_digest_original: str = ""
     stream_digest_packed: str = ""
     error: Optional[str] = None
@@ -409,7 +419,7 @@ class DifferentialReport:
 
     @property
     def work_matches(self) -> bool:
-        return self.work_original == self.work_packed
+        return not self.work_unexplained
 
     @property
     def ok(self) -> bool:
@@ -417,8 +427,9 @@ class DifferentialReport:
 
     def render(self) -> str:
         if self.ok:
+            sunk = f", {self.work_sunk} sunk" if self.work_sunk else ""
             return (f"differential ok: {self.branches_original} branches, "
-                    f"{self.work_original} work instructions")
+                    f"{self.work_original} work instructions{sunk}")
         parts = ["differential FAILED:"]
         if self.error:
             parts.append(f"replay error: {self.error}")
@@ -430,9 +441,11 @@ class DifferentialReport:
                 f"{self.branches_packed} branches "
                 f"{self.stream_digest_packed[:12]})")
         if not self.work_matches:
+            sample = ", ".join(str(u) for u in self.work_unexplained[:5])
             parts.append(f"work instructions differ "
                          f"(original {self.work_original}, "
-                         f"packed {self.work_packed})")
+                         f"packed {self.work_packed}; unexplained "
+                         f"origins: {sample})")
         return " ".join(parts)
 
 
@@ -490,6 +503,48 @@ def retired_work_instructions(program: Program, summary) -> int:
     )
 
 
+def retired_work_by_origin(program: Program, summary) -> Dict[int, int]:
+    """Dynamic work retirements keyed by original-binary instruction uid.
+
+    Replicated copies in packages aggregate onto the instruction they
+    were cloned from (via :meth:`Instruction.root_origin`), so the
+    packed map is directly comparable to the original program's map.
+    """
+    per_block: Dict[int, List[int]] = {}
+    for function in program.functions.values():
+        for block in function.blocks:
+            per_block[block.uid] = [
+                inst.root_origin()
+                for inst in block.instructions
+                if not inst.is_pseudo and not inst.is_control
+            ]
+    counts: Dict[int, int] = {}
+    for uid, visits in summary.block_visits.items():
+        for origin in per_block.get(uid, ()):
+            counts[origin] = counts.get(origin, 0) + visits
+    return counts
+
+
+def _work_divergences(
+    original: Dict[int, int],
+    packed: Dict[int, int],
+    sunk_origins: Set[int],
+) -> Tuple[List[int], int]:
+    """Split per-origin count differences into (unexplained, sunk savings)."""
+    unexplained: List[int] = []
+    sunk_savings = 0
+    for origin in set(original) | set(packed):
+        before = original.get(origin, 0)
+        after = packed.get(origin, 0)
+        if after == before:
+            continue
+        if origin in sunk_origins and after < before:
+            sunk_savings += before - after
+        else:
+            unexplained.append(origin)
+    return sorted(unexplained), sunk_savings
+
+
 def differential_check(
     workload: Workload, packed: PackedProgram
 ) -> DifferentialReport:
@@ -498,6 +553,11 @@ def differential_check(
     The behavior model and phase script are keyed by branch *origin*
     uids and occurrence counts, so both replays consume the identical
     ground truth; any divergence is the rewriter's fault.
+
+    Raises :class:`~repro.errors.DifferentialError` when the two runs
+    stop for different reasons: the traces then cover different
+    execution prefixes and none of the comparisons in the returned
+    report would be meaningful.
 
     Under the compiled engine the original side comes through the trace
     cache, the packed side is *recomputed* (never replayed — replay
@@ -550,10 +610,27 @@ def differential_check(
     report.work_packed = retired_work_instructions(
         packed.program, packed_run
     )
+    sunk_origins: Set[int] = set()
+    for package in plan_packages(packed):
+        sunk_origins |= package.sunk_origins
+    report.work_unexplained, report.work_sunk = _work_divergences(
+        retired_work_by_origin(workload.program, original_run),
+        retired_work_by_origin(packed.program, packed_run),
+        sunk_origins,
+    )
+    # A stop-reason mismatch means the two runs terminated for different
+    # reasons — the recorded streams then cover *different execution
+    # prefixes*, and every comparison above was computed over truncated,
+    # incommensurable data.  A mere failing report would let a caller
+    # that only consults streams_match/work_matches silently pass, so
+    # this is a loud, typed failure instead.
     if original_run.stop_reason is not packed_run.stop_reason:
-        report.error = (
+        raise DifferentialError(
             f"stop reasons diverge: original {original_run.stop_reason.value}, "
-            f"packed {packed_run.stop_reason.value}"
+            f"packed {packed_run.stop_reason.value} — traces cover different "
+            "prefixes and cannot be compared",
+            original=original_run.stop_reason.value,
+            packed=packed_run.stop_reason.value,
         )
     return report
 

@@ -16,10 +16,12 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ProfileError, RegionError, ReproError
+from repro.errors import DifferentialError, ProfileError, RegionError, ReproError
 from repro.hsd import ALL_FAULT_MODES, FaultInjector, FaultSpec, inject_faults
+from repro.isa.instructions import Instruction, Opcode
 from repro.postlink import (
     VacuumPacker,
+    clone_program,
     differential_check,
     validate_packed,
     validate_plan,
@@ -239,6 +241,32 @@ class TestDifferentialOracle:
 
         behavioral = differential_check(workload, sabotaged)
         assert not behavioral.ok
+
+    def test_stop_reason_mismatch_raises_typed_error(self, perl):
+        """A rewrite that changes *why* the run terminates must raise
+        DifferentialError, never return a truncated-prefix comparison.
+
+        The packed clone halts at its entry: the original replay runs
+        to the branch budget while the packed replay retires nothing,
+        so every digest/count in a returned report would be computed
+        over incommensurable prefixes — the silent-pass hazard this
+        error exists to close.
+        """
+        workload, packer, profile, _ = perl
+        result = packer.pack(workload, profile)
+        clone = clone_program(result.packed.program)
+        entry_fn = clone.functions[clone.entry]
+        entry_block = next(
+            b for b in entry_fn.blocks if b.label == entry_fn.entry_label
+        )
+        entry_block.instructions[:] = [Instruction(Opcode.HALT)]
+        sabotaged = dataclasses.replace(result.packed, program=clone)
+
+        with pytest.raises(DifferentialError) as excinfo:
+            differential_check(workload, sabotaged)
+        assert "stop reasons diverge" in str(excinfo.value)
+        assert excinfo.value.original == "branch_limit"
+        assert excinfo.value.packed == "halted"
 
 
 # ---------------------------------------------------------------------------

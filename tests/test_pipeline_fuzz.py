@@ -1,37 +1,40 @@
-"""Property-based fuzzing of the whole pipeline.
+"""Property-based fuzzing of the whole pipeline, on `repro.fuzz.genprog`.
 
-Hypothesis generates workload shapes (phase counts, sharing, root
-style, recursion, ...); for each, the full Vacuum Packing pipeline must
-uphold its invariants: the packed program validates and links, the
-conditional-branch stream is bit-identical between original and packed
-runs, coverage accounting is exact, and all launch/link targets
-resolve.
+Hypothesis drives the generator's knobs (loop depth, call fan-out,
+phase count, irreducibility, ...); for each generated case the full
+Vacuum Packing pipeline must uphold its invariants: the packed program
+validates and links, the conditional-branch stream is bit-identical
+between original and packed runs, coverage accounting is exact, and
+all launch/link targets resolve.  A second property pushes a smaller
+sample through the complete four-oracle conformance stack.
 """
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.fuzz import GenConfig, build_case, run_oracle_stack
 from repro.postlink import VacuumPacker
-from repro.workloads.synthetic import SyntheticSpec, build_workload
 
-spec_strategy = st.builds(
-    SyntheticSpec,
-    name=st.just("fuzz.bench"),
-    seed=st.integers(min_value=1, max_value=10_000),
+# The generator's knob space, as hypothesis strategies.  Most cases run
+# short phase scripts (milliseconds); detection-sized scripts get their
+# own dedicated corpus tests.
+config_strategy = st.builds(
+    GenConfig,
+    functions=st.integers(min_value=1, max_value=4),
+    loop_depth=st.integers(min_value=1, max_value=3),
+    call_fanout=st.integers(min_value=0, max_value=2),
+    chain_depth=st.integers(min_value=1, max_value=2),
+    diamonds=st.integers(min_value=1, max_value=3),
+    block_size=st.integers(min_value=2, max_value=6),
     phases=st.integers(min_value=1, max_value=3),
-    phase_pattern=st.sampled_from(["sequence", "repeat", "return"]),
-    work_functions=st.integers(min_value=2, max_value=6),
-    functions_per_phase=st.integers(min_value=1, max_value=3),
-    shared_fraction=st.floats(min_value=0.0, max_value=1.0),
-    shared_root=st.booleans(),
-    diamonds_per_function=st.integers(min_value=1, max_value=4),
-    block_size=st.integers(min_value=2, max_value=7),
-    call_depth=st.integers(min_value=0, max_value=2),
-    cold_functions=st.integers(min_value=0, max_value=8),
-    cold_blocks_per_function=st.integers(min_value=2, max_value=8),
+    phase_pattern=st.sampled_from(["sequence", "repeat"]),
+    phase_branches=st.integers(min_value=2_000, max_value=8_000),
+    irreducible_fraction=st.floats(min_value=0.0, max_value=1.0),
     recursion=st.booleans(),
-    branch_budget=st.just(90_000),
+    cold_functions=st.integers(min_value=0, max_value=3),
 )
+
+seed_strategy = st.integers(min_value=0, max_value=10_000)
 
 
 @settings(
@@ -39,9 +42,10 @@ spec_strategy = st.builds(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
-@given(spec=spec_strategy)
-def test_pipeline_invariants_hold_for_arbitrary_workloads(spec):
-    workload = build_workload(spec)
+@given(seed=seed_strategy, config=config_strategy)
+def test_pipeline_invariants_hold_for_arbitrary_workloads(seed, config):
+    case = build_case(seed, config)
+    workload = case.workload
     workload.program.validate()
 
     result = VacuumPacker().pack(workload)
@@ -85,3 +89,15 @@ def test_pipeline_invariants_hold_for_arbitrary_workloads(spec):
     row = result.expansion_row()
     assert row["pct_increase"] >= 0.0
     assert row["replication"] > 0.5 or row["pct_selected"] == 0.0
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(seed=seed_strategy, config=config_strategy)
+def test_oracle_stack_passes_on_generated_cases(seed, config):
+    case = build_case(seed, config)
+    report = run_oracle_stack(case)
+    assert report.ok, report.render()

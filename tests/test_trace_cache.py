@@ -1,11 +1,17 @@
 """Content-addressed trace cache: hits, invalidation-by-key, robustness."""
 
+import os
 from dataclasses import replace
 
 import numpy as np
 import pytest
 
-from repro.engine.trace_cache import TraceCache, trace_key, traced_run
+from repro.engine.trace_cache import (
+    _FORMAT_VERSION,
+    TraceCache,
+    trace_key,
+    traced_run,
+)
 from repro.workloads.synthetic import MIN_PHASE_BRANCHES, SyntheticSpec, build_workload
 
 
@@ -114,3 +120,72 @@ class TestRobustness:
         assert cache.stats.puts == 0
         assert cache.stats.hits == 0
         assert trace.summary.branches == workload.limits.max_branches
+
+    def test_truncated_file_is_a_miss_and_removed(self, workload, tmp_path):
+        cache = TraceCache(root=str(tmp_path))
+        reference = traced_run(workload, cache=cache)
+        path = cache.path_of(key_of(workload))
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        fresh = TraceCache(root=str(tmp_path))
+        trace = traced_run(workload, cache=fresh)
+        assert fresh.stats.errors == 1
+        assert fresh.stats.hits == 0
+        assert not os.path.exists(path) or fresh.stats.puts == 1
+        assert traces_equal(trace, reference)
+
+    def test_stale_schema_version_is_a_miss(self, workload, tmp_path):
+        cache = TraceCache(root=str(tmp_path))
+        reference = traced_run(workload, cache=cache)
+        key = key_of(workload)
+        path = cache.path_of(key)
+        # Rewrite the entry claiming an older schema version.
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        arrays["stamp"] = np.asarray([key, f"v{_FORMAT_VERSION - 1}"])
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        fresh = TraceCache(root=str(tmp_path))
+        trace = traced_run(workload, cache=fresh)
+        assert fresh.stats.errors == 1
+        assert fresh.stats.hits == 0
+        assert traces_equal(trace, reference)
+
+    def test_pre_stamp_entry_is_a_miss(self, workload, tmp_path):
+        cache = TraceCache(root=str(tmp_path))
+        traced_run(workload, cache=cache)
+        path = cache.path_of(key_of(workload))
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        del arrays["stamp"]
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        fresh = TraceCache(root=str(tmp_path))
+        assert fresh.get(key_of(workload), workload.program) is None
+        assert fresh.stats.errors == 1
+
+    def test_hash_mismatch_entry_is_a_miss(self, workload, tmp_path):
+        """An entry whose embedded key disagrees with its file name
+        (misnamed copy, tampering) must never be trusted."""
+        cache = TraceCache(root=str(tmp_path))
+        traced_run(workload, cache=cache)
+        source = cache.path_of(key_of(workload))
+        other = build_workload(small_spec(seed=22))
+        other_key = key_of(other)
+        with open(source, "rb") as src, open(
+            cache.path_of(other_key), "wb"
+        ) as dst:
+            dst.write(src.read())
+        fresh = TraceCache(root=str(tmp_path))
+        trace = traced_run(other, cache=fresh)
+        assert fresh.stats.errors == 1
+        assert fresh.stats.hits == 0
+        # The recomputed trace belongs to `other`, not to the workload
+        # whose bytes were copied over its slot.
+        assert trace.summary.branches == other.limits.max_branches
+        assert not np.array_equal(
+            trace.uids,
+            traced_run(workload, cache=TraceCache(root="off")).uids,
+        )
