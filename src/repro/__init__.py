@@ -25,6 +25,7 @@ The subpackages are:
 * :mod:`repro.postlink` — binary rewriting and the VacuumPacker API
 * :mod:`repro.workloads` — the synthetic Table 1 benchmark suite
 * :mod:`repro.experiments` — harnesses for Fig. 8/9/10 and Table 3
+* :mod:`repro.service` — fleet profile aggregation + sharded packing farm
 """
 
 __version__ = "1.0.0"

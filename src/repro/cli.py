@@ -181,6 +181,84 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_bench_spec(spec: str) -> tuple:
+    benchmark, _, input_name = spec.partition("/")
+    if not benchmark or not input_name:
+        raise SystemExit(
+            f"expected NAME/INPUT (e.g. 181.mcf/A), got {spec!r}"
+        )
+    return benchmark, input_name
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import simulate_fleet
+
+    benchmark, input_name = _parse_bench_spec(args.bench)
+    clients = simulate_fleet(
+        benchmark,
+        input_name,
+        runs=args.runs,
+        out_dir=args.out_dir,
+        base_seed=args.base_seed,
+        epochs=args.epochs,
+        scale=args.scale,
+    )
+    summary = {
+        "benchmark": args.bench,
+        "profiles": len(clients),
+        "out_dir": args.out_dir,
+        "runs": [
+            {"run_id": c.run_id, "seed": c.seed, "epoch": c.epoch,
+             "phases": c.phases, "path": c.path}
+            for c in clients
+        ],
+    }
+    print(_json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.experiments.parallel import resolve_jobs
+    from repro.service import (
+        ArtifactStore,
+        FarmConfig,
+        build_report,
+        default_store,
+        ingest_dir,
+        merge_runs,
+        pack_fleet,
+    )
+
+    benchmark, input_name = _parse_bench_spec(args.bench)
+    try:
+        ingest = ingest_dir(args.profiles)
+        fleet = merge_runs(ingest)
+        config = FarmConfig(
+            benchmark=benchmark,
+            input_name=input_name,
+            scale=args.scale,
+            classic=args.classic,
+            shard_size=args.shard_size,
+        )
+        store = (
+            ArtifactStore(args.store) if args.store else default_store()
+        )
+        packed = pack_fleet(fleet, config, jobs=args.jobs, store=store)
+    except ServiceError as exc:
+        message = f"repro serve: {exc}"
+        if exc.hint:
+            message += f" (hint: {exc.hint})"
+        raise SystemExit(message)
+    report = build_report(
+        ingest, fleet, packed, config, store, jobs=resolve_jobs(args.jobs)
+    )
+    _emit(report.to_json(), args.out)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main_bench
 
@@ -288,6 +366,49 @@ def build_parser() -> argparse.ArgumentParser:
                            "oracles catch rewriter bugs; forces serial)")
     fuzz.add_argument("--out", help="also write the report to this file")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="simulate a client fleet: N profiling runs -> profile docs",
+    )
+    ingest.add_argument("--bench", required=True, metavar="NAME/INPUT",
+                        help="benchmark binary the fleet runs")
+    ingest.add_argument("--runs", type=int, default=16,
+                        help="simulated client runs (default 16)")
+    ingest.add_argument("--base-seed", type=int, default=0,
+                        help="client i profiles with behavior seed "
+                             "base+i (default 0)")
+    ingest.add_argument("--epochs", type=int, default=1,
+                        help="spread runs over this many staleness "
+                             "epochs (default 1)")
+    ingest.add_argument("--scale", type=float, default=None)
+    ingest.add_argument("--out-dir", required=True,
+                        help="directory for the profile documents")
+    ingest.set_defaults(func=_cmd_ingest)
+
+    serve = sub.add_parser(
+        "serve",
+        help="fleet request: ingest profiles -> merge -> sharded pack "
+             "-> JSON report",
+    )
+    serve.add_argument("--profiles", required=True,
+                       help="directory of client profile documents")
+    serve.add_argument("--bench", required=True, metavar="NAME/INPUT",
+                       help="benchmark binary to pack")
+    serve.add_argument("--scale", type=float, default=None)
+    serve.add_argument("--classic", action="store_true",
+                       help="also apply the classic clean-up passes")
+    serve.add_argument("--shard-size", type=int, default=1,
+                       help="merged phases per farm shard (default 1)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (0 = one per CPU; "
+                            "default REPRO_JOBS or serial)")
+    serve.add_argument("--store", default=None,
+                       help="artifact store root (default "
+                            "REPRO_ARTIFACT_STORE or "
+                            "~/.cache/repro/artifacts; 'off' disables)")
+    serve.add_argument("--out", help="also write the JSON report here")
+    serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(
         "bench",

@@ -64,7 +64,36 @@ from repro.program.program import Program
 _FORMAT_VERSION = 2
 
 _ENV_DIR = "REPRO_TRACE_CACHE"
-_DISABLED_VALUES = {"off", "0", "none", "disabled"}
+
+#: Values of a store-root setting that turn the store off entirely.
+#: Shared with the artifact store (:mod:`repro.service.artifacts`).
+DISABLED_VALUES = frozenset({"off", "0", "none", "disabled"})
+_DISABLED_VALUES = DISABLED_VALUES
+
+
+def atomic_write(root: str, path: str, write) -> None:
+    """Write a store entry atomically (tmp file + rename).
+
+    ``write`` receives a binary file handle.  Creates ``root`` on
+    demand; on any failure the temp file is removed and the original
+    entry (if any) is left untouched.  Both content-addressed stores —
+    the trace cache here and the service artifact store — share this
+    discipline so concurrent workers can write one directory safely.
+    """
+    os.makedirs(root, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=root, prefix=".tmp-", suffix=os.path.splitext(path)[1]
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 # ---------------------------------------------------------------------------
@@ -369,20 +398,11 @@ class TraceCache:
         self._remember(key, trace, program)
         path = self.path_of(key)
         try:
-            os.makedirs(self.root, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=self.root, prefix=".tmp-", suffix=".npz"
+            atomic_write(
+                self.root,
+                path,
+                lambda handle: np.savez_compressed(handle, **payload),
             )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    np.savez_compressed(handle, **payload)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
         except OSError:
             self.stats.errors += 1
             return False
@@ -440,7 +460,9 @@ def traced_run(
 
 __all__ = [
     "CacheStats",
+    "DISABLED_VALUES",
     "TraceCache",
+    "atomic_write",
     "behavior_fingerprint",
     "compiled_enabled",
     "default_cache",

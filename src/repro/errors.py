@@ -47,6 +47,23 @@ class ProfileError(ReproError):
     )
 
 
+class ServiceError(ReproError):
+    """The fleet profile service could not complete a request.
+
+    Raised by :mod:`repro.service` when an ingest/merge/pack request is
+    unservable as a whole (empty ingest set, unknown benchmark binary,
+    unusable artifact store).  Per-client problems — a corrupt profile
+    document, a stale record — are *not* fatal: they are quarantined
+    into the fleet report's rejection list instead.
+    """
+
+    default_hint = (
+        "check the ingest directory, benchmark name, and artifact "
+        "store; per-client failures are quarantined into the fleet "
+        "report rather than raised"
+    )
+
+
 class RegionError(ReproError):
     """Region identification failed for one record (step 2).
 

@@ -47,19 +47,23 @@ def parallel_map(
     fn: Callable[[_ITEM], _RESULT],
     items: Iterable[_ITEM],
     jobs: Optional[int] = None,
+    chunksize: int = 1,
 ) -> List[_RESULT]:
     """``[fn(item) for item in items]``, optionally across processes.
 
     ``fn`` must be a module-level (picklable) callable.  Results come
     back in input order regardless of completion order; a worker
     exception propagates to the caller just as it would serially.
+    ``chunksize`` batches items per worker dispatch — leave it at 1
+    for coarse units (one benchmark entry, one packing shard), raise
+    it when the per-item work is small relative to pickling overhead.
     """
     items = list(items)
     workers = min(resolve_jobs(jobs), len(items))
     if workers <= 1:
         return [fn(item) for item in items]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        return list(pool.map(fn, items, chunksize=max(1, chunksize)))
 
 
 __all__ = ["parallel_map", "resolve_jobs"]

@@ -20,8 +20,11 @@ from .filtering import (
 )
 from .records import BranchProfile, HotSpotRecord
 from .serialize import (
+    ProfileDocument,
     ProfileFormatError,
+    load_document,
     load_profile,
+    make_provenance,
     records_from_json,
     records_to_json,
     save_profile,
@@ -41,10 +44,13 @@ __all__ = [
     "HotSpotDetector",
     "HotSpotFilter",
     "HotSpotRecord",
+    "ProfileDocument",
     "ProfileFormatError",
     "SimilarityPolicy",
     "TABLE2_CONFIG",
+    "load_document",
     "load_profile",
+    "make_provenance",
     "records_from_json",
     "records_to_json",
     "save_profile",

@@ -6,23 +6,130 @@ later ("the profiled program runs to completion before any of the
 phases are further processed by the software", paper section 3).  This
 module serializes the filtered phase records to a small, versioned JSON
 document so a profile can be captured once and re-optimized many times.
+
+Format v2 adds an embedded provenance stamp under ``meta.provenance``
+(run id, behavior seed, staleness epoch) so the fleet aggregation
+service (:mod:`repro.service`) can weigh and age profiles collected
+from many client runs.  v1 documents still load — they simply carry no
+provenance and are treated as epoch 0.  Mirroring the trace-cache v2
+stamp, parse failures are *typed*: every malformed document raises
+:class:`ProfileFormatError`, a :class:`~repro.errors.ProfileError`, so
+ingest loops quarantine bad profiles exactly like every other
+subsystem error.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import ProfileError
 
 from .records import BranchProfile, HotSpotRecord
 
 FORMAT_NAME = "vacuum-packing-profile"
-FORMAT_VERSION = 1
+#: Version written by :func:`records_to_dict`.
+FORMAT_VERSION = 2
+#: Versions :func:`document_from_dict` can still read.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Fields a provenance stamp must carry to be usable by the service.
+PROVENANCE_FIELDS = ("run_id", "seed", "epoch")
 
 
-class ProfileFormatError(Exception):
-    """Raised when a profile document cannot be parsed."""
+class ProfileFormatError(ProfileError):
+    """Raised when a profile document cannot be parsed.
 
+    A :class:`~repro.errors.ProfileError`, so the packer quarantine
+    loop and the service ingest loop both catch it as a typed,
+    per-profile failure instead of crashing the run.
+    """
+
+    default_hint = (
+        "the profile document is corrupt or from an incompatible "
+        "writer; re-capture the client profile or drop it from the "
+        "ingest set"
+    )
+
+
+def make_provenance(
+    run_id: str, seed: Optional[int], epoch: int, **extra
+) -> Dict:
+    """A v2 provenance stamp for ``meta['provenance']``."""
+    stamp = {"run_id": str(run_id), "seed": seed, "epoch": int(epoch)}
+    stamp.update(extra)
+    return stamp
+
+
+@dataclass
+class ProfileDocument:
+    """A parsed profile document: records plus their provenance."""
+
+    records: List[HotSpotRecord]
+    meta: Dict = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+    @property
+    def provenance(self) -> Dict:
+        """The embedded provenance stamp ({} for v1 documents)."""
+        return self.meta.get("provenance", {})
+
+    @property
+    def run_id(self) -> str:
+        return str(self.provenance.get("run_id", ""))
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.provenance.get("seed")
+
+    @property
+    def epoch(self) -> int:
+        return int(self.provenance.get("epoch", 0))
+
+
+# ---------------------------------------------------------------------------
+# record <-> entry
+# ---------------------------------------------------------------------------
+
+def record_to_entry(record: HotSpotRecord) -> Dict:
+    """Serializable representation of one phase record."""
+    return {
+        "index": record.index,
+        "detected_at_branch": record.detected_at_branch,
+        "branches": [
+            {
+                "address": profile.address,
+                "executed": profile.executed,
+                "taken": profile.taken,
+            }
+            for profile in sorted(
+                record.branches.values(), key=lambda p: p.address
+            )
+        ],
+    }
+
+
+def record_from_entry(entry: Dict) -> HotSpotRecord:
+    """Parse one entry produced by :func:`record_to_entry`."""
+    try:
+        branches = {
+            b["address"]: BranchProfile(b["address"], b["executed"], b["taken"])
+            for b in entry["branches"]
+        }
+        return HotSpotRecord(
+            index=entry["index"],
+            detected_at_branch=entry["detected_at_branch"],
+            branches=branches,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProfileFormatError(f"malformed record entry: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# documents
+# ---------------------------------------------------------------------------
 
 def records_to_dict(
     records: Iterable[HotSpotRecord], meta: Optional[Dict] = None
@@ -32,56 +139,55 @@ def records_to_dict(
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "meta": dict(meta or {}),
-        "records": [
-            {
-                "index": record.index,
-                "detected_at_branch": record.detected_at_branch,
-                "branches": [
-                    {
-                        "address": profile.address,
-                        "executed": profile.executed,
-                        "taken": profile.taken,
-                    }
-                    for profile in sorted(
-                        record.branches.values(), key=lambda p: p.address
-                    )
-                ],
-            }
-            for record in records
-        ],
+        "records": [record_to_entry(record) for record in records],
     }
 
 
-def records_from_dict(document: Dict) -> List[HotSpotRecord]:
-    """Parse a document produced by :func:`records_to_dict`."""
+def document_from_dict(document: Dict) -> ProfileDocument:
+    """Parse a document produced by :func:`records_to_dict`.
+
+    Accepts every version in :data:`SUPPORTED_VERSIONS`; anything else
+    — wrong format name, future version, missing or non-list
+    ``records``, a malformed provenance stamp — raises
+    :class:`ProfileFormatError`.
+    """
     if document.get("format") != FORMAT_NAME:
         raise ProfileFormatError(
             f"not a {FORMAT_NAME} document: format={document.get('format')!r}"
         )
-    if document.get("version") != FORMAT_VERSION:
+    version = document.get("version")
+    if version not in SUPPORTED_VERSIONS:
         raise ProfileFormatError(
-            f"unsupported profile version {document.get('version')!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"unsupported profile version {version!r} "
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
         )
-    records = []
-    for entry in document.get("records", []):
-        try:
-            branches = {
-                b["address"]: BranchProfile(
-                    b["address"], b["executed"], b["taken"]
-                )
-                for b in entry["branches"]
-            }
-            records.append(
-                HotSpotRecord(
-                    index=entry["index"],
-                    detected_at_branch=entry["detected_at_branch"],
-                    branches=branches,
-                )
+    entries = document.get("records")
+    if not isinstance(entries, list):
+        raise ProfileFormatError(
+            "profile document is missing its 'records' list"
+        )
+    meta = document.get("meta") or {}
+    if not isinstance(meta, dict):
+        raise ProfileFormatError("profile 'meta' must be a JSON object")
+    provenance = meta.get("provenance")
+    if provenance is not None:
+        if not isinstance(provenance, dict):
+            raise ProfileFormatError("'meta.provenance' must be an object")
+        missing = [f for f in PROVENANCE_FIELDS if f not in provenance]
+        if missing:
+            raise ProfileFormatError(
+                f"provenance stamp is missing fields: {', '.join(missing)}"
             )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ProfileFormatError(f"malformed record entry: {exc}") from exc
-    return records
+    return ProfileDocument(
+        records=[record_from_entry(entry) for entry in entries],
+        meta=meta,
+        version=version,
+    )
+
+
+def records_from_dict(document: Dict) -> List[HotSpotRecord]:
+    """Parse a document, returning just the records (meta dropped)."""
+    return document_from_dict(document).records
 
 
 def records_to_json(
@@ -90,14 +196,18 @@ def records_to_json(
     return json.dumps(records_to_dict(records, meta), indent=2, sort_keys=True)
 
 
-def records_from_json(text: str) -> List[HotSpotRecord]:
+def document_from_json(text: str) -> ProfileDocument:
     try:
         document = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ProfileFormatError(f"invalid JSON: {exc}") from exc
     if not isinstance(document, dict):
         raise ProfileFormatError("profile document must be a JSON object")
-    return records_from_dict(document)
+    return document_from_dict(document)
+
+
+def records_from_json(text: str) -> List[HotSpotRecord]:
+    return document_from_json(text).records
 
 
 def save_profile(
@@ -112,3 +222,8 @@ def save_profile(
 def load_profile(path: Union[str, Path]) -> List[HotSpotRecord]:
     """Read a profile document from ``path``."""
     return records_from_json(Path(path).read_text())
+
+
+def load_document(path: Union[str, Path]) -> ProfileDocument:
+    """Read a profile document, keeping its meta/provenance."""
+    return document_from_json(Path(path).read_text())

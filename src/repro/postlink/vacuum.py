@@ -226,6 +226,32 @@ class VacuumPacker:
             image=image,
         )
 
+    def pack_records(
+        self,
+        workload: Workload,
+        records: List[HotSpotRecord],
+        image: Optional[ProgramImage] = None,
+    ) -> PackResult:
+        """Pack from externally supplied phase records.
+
+        The records need not come from profiling ``workload`` in this
+        process: offline re-optimization loads them from a persisted
+        profile document, and the fleet service
+        (:mod:`repro.service`) hands over *merged* consensus records
+        aggregated across many client runs.  The only requirement is
+        that their branch addresses resolve in ``workload``'s linked
+        image (i.e. profile and pack the same binary) — stale
+        addresses are quarantined per phase as usual.  The synthetic
+        ``summary`` is empty because no run backs these records.
+        """
+        profile = ProfileResult(
+            records=list(records),
+            raw_detections=len(records),
+            summary=ExecutionSummary(),
+            image=image or image_for(workload.program),
+        )
+        return self.pack(workload, profile=profile)
+
     # -- step 2 -----------------------------------------------------------
     def identify(
         self, workload: Workload, profile: ProfileResult

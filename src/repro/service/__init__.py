@@ -1,0 +1,74 @@
+"""Fleet profile service: aggregate many client profiles, pack once.
+
+The deployment layer on top of the single-run pipeline (the BOLT
+model): profiles arrive from many client runs of the same binary,
+:mod:`~repro.service.aggregate` clusters and merges them into one
+provenance-stamped consensus profile, and the
+:mod:`~repro.service.farm` fans the merged phases out to worker
+processes through the content-addressed
+:mod:`~repro.service.artifacts` store.  ``repro ingest`` / ``repro
+serve`` drive the whole thing from the command line and emit the JSON
+:mod:`~repro.service.report`.
+"""
+
+from .aggregate import (
+    ClientRun,
+    FleetProfile,
+    IngestResult,
+    MergePolicy,
+    MergedPhase,
+    PhaseProvenance,
+    RejectedProfile,
+    ingest_dir,
+    ingest_paths,
+    merge_runs,
+)
+from .artifacts import (
+    ArtifactStats,
+    ArtifactStore,
+    artifact_key,
+    canonical_json,
+    default_store,
+    image_digest,
+    reset_default_store,
+)
+from .clients import SimulatedClient, simulate_fleet
+from .farm import (
+    FarmConfig,
+    FleetPackResult,
+    ShardOutcome,
+    pack_fleet,
+    shard_payload,
+    shard_profile_digest,
+)
+from .report import FleetReport, build_report
+
+__all__ = [
+    "ArtifactStats",
+    "ArtifactStore",
+    "ClientRun",
+    "FarmConfig",
+    "FleetPackResult",
+    "FleetProfile",
+    "FleetReport",
+    "IngestResult",
+    "MergePolicy",
+    "MergedPhase",
+    "PhaseProvenance",
+    "RejectedProfile",
+    "ShardOutcome",
+    "SimulatedClient",
+    "artifact_key",
+    "build_report",
+    "canonical_json",
+    "default_store",
+    "image_digest",
+    "ingest_dir",
+    "ingest_paths",
+    "merge_runs",
+    "pack_fleet",
+    "reset_default_store",
+    "shard_payload",
+    "shard_profile_digest",
+    "simulate_fleet",
+]

@@ -1,0 +1,362 @@
+"""Cross-run hot-spot aggregation: many client profiles, one consensus.
+
+The paper's workflow is single-run: one Hot Spot Detector profile
+feeds one packing pass.  At fleet scale the profiles arrive from many
+client runs of the *same binary* — different inputs, different days —
+and must be merged before the optimizer runs (the BOLT deployment
+model).  This module does that merge in three steps:
+
+1. **ingest** — load serialized profile documents
+   (:mod:`repro.hsd.serialize`), quarantining corrupt ones with typed
+   diagnostics instead of failing the batch;
+2. **cluster** — group phase records across runs by the paper's own
+   branch-set similarity criteria (section 3.1's 30 % rule + bias
+   flips, via :func:`repro.hsd.filtering.same_hot_spot`): records
+   that the single-run software filter would have called "the same
+   hot spot" are the same fleet phase;
+3. **merge** — combine each cluster's BBB branch profiles with
+   execution-weighted counter averaging (a heavy client run moves the
+   consensus more than a short one) into one consensus
+   :class:`~repro.hsd.records.HotSpotRecord` per phase, dropping
+   branches seen by too few contributors (``branch_quorum``).
+
+Every merged phase carries provenance: the contributing run ids, an
+agreement score (mean branch-set overlap between each contributor and
+the consensus), and epoch bounds from the profiles' v2 provenance
+stamps, so consumers can see how stale each phase is.
+
+Everything is deterministic: runs are processed in sorted run-id
+order, records in index order, and all merge arithmetic is a pure
+function of the ingested documents — the same profile set always
+produces the same fleet profile (and therefore the same artifact-store
+keys downstream).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ServiceError
+from repro.hsd.filtering import SimilarityPolicy, missing_fraction, same_hot_spot
+from repro.hsd.records import BranchProfile, HotSpotRecord
+from repro.hsd.serialize import (
+    ProfileDocument,
+    ProfileFormatError,
+    load_document,
+    record_to_entry,
+)
+
+from .artifacts import canonical_json
+
+
+# ---------------------------------------------------------------------------
+# ingest
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ClientRun:
+    """One ingested client profile document."""
+
+    run_id: str
+    seed: Optional[int]
+    epoch: int
+    path: str
+    records: List[HotSpotRecord]
+
+    @classmethod
+    def from_document(cls, path: str, doc: ProfileDocument) -> "ClientRun":
+        run_id = doc.run_id or Path(path).stem
+        return cls(
+            run_id=run_id,
+            seed=doc.seed,
+            epoch=doc.epoch,
+            path=str(path),
+            records=doc.records,
+        )
+
+
+@dataclass
+class RejectedProfile:
+    """Why one profile document was quarantined during ingest."""
+
+    path: str
+    error: str
+    exception_type: str
+    hint: str = ""
+
+    def render(self) -> str:
+        line = f"{self.path}: [{self.exception_type}] {self.error}"
+        if self.hint:
+            line += f" (hint: {self.hint})"
+        return line
+
+
+@dataclass
+class IngestResult:
+    """Usable client runs plus the quarantined rejects."""
+
+    runs: List[ClientRun] = field(default_factory=list)
+    rejected: List[RejectedProfile] = field(default_factory=list)
+
+
+def ingest_paths(paths: Iterable[Union[str, Path]]) -> IngestResult:
+    """Load profile documents, quarantining unparseable ones.
+
+    A corrupt document is a typed, per-profile failure
+    (:class:`~repro.hsd.serialize.ProfileFormatError`): it lands in
+    ``rejected`` with its hint and the rest of the batch proceeds —
+    the fleet must not fail because one client shipped a bad file.
+    """
+    result = IngestResult()
+    for path in sorted(str(p) for p in paths):
+        try:
+            doc = load_document(path)
+        except (ProfileFormatError, OSError) as exc:
+            hint = getattr(exc, "hint", "")
+            result.rejected.append(RejectedProfile(
+                path=path,
+                error=str(exc),
+                exception_type=type(exc).__name__,
+                hint=hint,
+            ))
+            continue
+        result.runs.append(ClientRun.from_document(path, doc))
+    result.runs.sort(key=lambda run: run.run_id)
+    return result
+
+
+def ingest_dir(
+    directory: Union[str, Path], pattern: str = "*.json"
+) -> IngestResult:
+    """Ingest every matching profile document under ``directory``."""
+    root = Path(directory)
+    if not root.is_dir():
+        raise ServiceError(
+            f"ingest directory {str(root)!r} does not exist",
+            hint="run `repro ingest` (or point --profiles at a "
+                 "directory of profile documents) first",
+        )
+    return ingest_paths(root.glob(pattern))
+
+
+# ---------------------------------------------------------------------------
+# clustering + merging
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MergePolicy:
+    """Knobs of the cross-run merge."""
+
+    #: The paper's similarity criteria decide cluster membership.
+    similarity: SimilarityPolicy = SimilarityPolicy()
+    #: Keep a branch in the consensus only if at least this fraction
+    #: of the cluster's contributing records saw it.
+    branch_quorum: float = 0.5
+    #: Drop merged phases contributed by fewer distinct runs.
+    min_runs: int = 1
+
+    def fingerprint(self) -> str:
+        sim = self.similarity
+        return (
+            f"merge:v1;missing={sim.missing_fraction!r};"
+            f"bias={sim.bias_threshold!r};flips={sim.max_bias_flips};"
+            f"quorum={self.branch_quorum!r};min_runs={self.min_runs}"
+        )
+
+
+@dataclass
+class PhaseProvenance:
+    """Where one merged phase came from and how much it agrees."""
+
+    #: Distinct contributing run ids, sorted.
+    run_ids: List[str]
+    #: Number of raw records merged (>= len(run_ids) when one run
+    #: contributed several same-phase records).
+    detections: int
+    #: Mean branch-set overlap between each contributor and the
+    #: consensus record (1.0 = every contributor saw every kept branch).
+    agreement: float
+    #: Oldest / newest contributing staleness epochs.
+    first_epoch: int
+    last_epoch: int
+    #: Fleet max epoch minus ``last_epoch``: 0 = fresh, larger = the
+    #: phase was last observed that many epochs ago.
+    staleness: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "run_ids": list(self.run_ids),
+            "detections": self.detections,
+            "agreement": round(self.agreement, 6),
+            "first_epoch": self.first_epoch,
+            "last_epoch": self.last_epoch,
+            "staleness": self.staleness,
+        }
+
+
+@dataclass
+class MergedPhase:
+    """One fleet phase: a consensus record plus its provenance."""
+
+    index: int
+    record: HotSpotRecord
+    provenance: PhaseProvenance
+
+    def to_dict(self) -> Dict:
+        return {
+            "record": record_to_entry(self.record),
+            "provenance": self.provenance.to_dict(),
+        }
+
+
+@dataclass
+class FleetProfile:
+    """The merged, provenance-stamped profile of a whole fleet."""
+
+    phases: List[MergedPhase]
+    runs: int
+    rejected: int
+    policy_fingerprint: str
+    max_epoch: int = 0
+
+    @property
+    def records(self) -> List[HotSpotRecord]:
+        return [phase.record for phase in self.phases]
+
+    def to_dict(self) -> Dict:
+        return {
+            "phases": [phase.to_dict() for phase in self.phases],
+            "runs": self.runs,
+            "rejected": self.rejected,
+            "policy": self.policy_fingerprint,
+            "max_epoch": self.max_epoch,
+        }
+
+    def digest(self) -> str:
+        """Content hash of the merged profile (artifact-key input)."""
+        return hashlib.blake2b(
+            canonical_json(self.to_dict()), digest_size=20
+        ).hexdigest()
+
+
+def _merge_cluster(
+    members: Sequence[Tuple[ClientRun, HotSpotRecord]],
+    index: int,
+    policy: MergePolicy,
+) -> MergedPhase:
+    """Execution-weighted consensus of one cluster's records."""
+    # Weight each contributing record by its own dynamic mass; an
+    # all-zero cluster degenerates to an unweighted mean.
+    weights = [max(record.total_executed(), 0) for _, record in members]
+    if not any(weights):
+        weights = [1] * len(members)
+
+    by_address: Dict[int, List[Tuple[int, BranchProfile]]] = {}
+    for (_, record), weight in zip(members, weights):
+        for address, profile in record.branches.items():
+            by_address.setdefault(address, []).append((weight, profile))
+
+    quorum = max(1, int(round(policy.branch_quorum * len(members))))
+    branches: Dict[int, BranchProfile] = {}
+    for address in sorted(by_address):
+        contributions = by_address[address]
+        if len(contributions) < quorum:
+            continue
+        total_weight = sum(w for w, _ in contributions)
+        executed = int(round(
+            sum(w * p.executed for w, p in contributions) / total_weight
+        ))
+        taken = int(round(
+            sum(w * p.taken for w, p in contributions) / total_weight
+        ))
+        branches[address] = BranchProfile(
+            address, executed, min(taken, executed)
+        )
+
+    consensus = HotSpotRecord(
+        index=index,
+        detected_at_branch=members[0][1].detected_at_branch,
+        branches=branches,
+    )
+    overlaps = [
+        1.0 - missing_fraction(record, consensus) for _, record in members
+    ]
+    epochs = [run.epoch for run, _ in members]
+    run_ids = sorted({run.run_id for run, _ in members})
+    return MergedPhase(
+        index=index,
+        record=consensus,
+        provenance=PhaseProvenance(
+            run_ids=run_ids,
+            detections=len(members),
+            agreement=sum(overlaps) / len(overlaps),
+            first_epoch=min(epochs),
+            last_epoch=max(epochs),
+        ),
+    )
+
+
+def merge_runs(
+    ingest: Union[IngestResult, Sequence[ClientRun]],
+    policy: Optional[MergePolicy] = None,
+) -> FleetProfile:
+    """Cluster and merge the ingested runs into one fleet profile."""
+    policy = policy or MergePolicy()
+    if isinstance(ingest, IngestResult):
+        runs, rejected = ingest.runs, len(ingest.rejected)
+    else:
+        runs, rejected = list(ingest), 0
+    if not runs:
+        raise ServiceError(
+            "no usable client profiles to merge",
+            hint="every ingested document was rejected (or the "
+                 "directory was empty); see the rejection list",
+        )
+
+    # Greedy clustering in deterministic order; each cluster is
+    # represented by its first member (the anchor), so membership does
+    # not depend on merge arithmetic.
+    clusters: List[List[Tuple[ClientRun, HotSpotRecord]]] = []
+    for run in sorted(runs, key=lambda r: r.run_id):
+        for record in sorted(run.records, key=lambda r: r.index):
+            if not record.branches:
+                continue
+            for members in clusters:
+                if same_hot_spot(record, members[0][1], policy.similarity):
+                    members.append((run, record))
+                    break
+            else:
+                clusters.append([(run, record)])
+
+    max_epoch = max(run.epoch for run in runs)
+    phases = []
+    for members in clusters:
+        if len({run.run_id for run, _ in members}) < policy.min_runs:
+            continue
+        phase = _merge_cluster(members, len(phases), policy)
+        phase.provenance.staleness = max_epoch - phase.provenance.last_epoch
+        phases.append(phase)
+    return FleetProfile(
+        phases=phases,
+        runs=len(runs),
+        rejected=rejected,
+        policy_fingerprint=policy.fingerprint(),
+        max_epoch=max_epoch,
+    )
+
+
+__all__ = [
+    "ClientRun",
+    "FleetProfile",
+    "IngestResult",
+    "MergePolicy",
+    "MergedPhase",
+    "PhaseProvenance",
+    "RejectedProfile",
+    "ingest_dir",
+    "ingest_paths",
+    "merge_runs",
+]

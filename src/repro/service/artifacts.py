@@ -1,0 +1,194 @@
+"""Content-addressed store of finished packing artifacts.
+
+The packing farm's unit of work — pack one shard of merged phases
+against one binary under one configuration — is a pure function of its
+inputs, so its result is cached exactly like the trace cache caches
+runs: by a content hash of everything that determines it,
+
+    key = H(program image bytes + block symbols + entry,
+            merged-profile digest (records + provenance),
+            pack configuration fingerprint,
+            store format version)
+
+and never invalidated — a changed binary, profile, or knob simply
+addresses a different entry.  Entries are canonical JSON (sorted keys,
+minimal separators), so a given pack result has exactly one byte
+representation: serial and parallel farms produce byte-identical
+store entries, which the service tests assert directly.
+
+Every entry embeds a ``stamp`` (its own key + format version),
+mirroring the trace-cache v2 discipline: an entry whose payload
+disagrees with its file name or schema — tampering, a partial copy, a
+stale format — is detected on load, deleted, and treated as a miss,
+never trusted.  Writes are atomic (shared tmp-file + rename helper
+from :mod:`repro.engine.trace_cache`), so concurrent farm workers can
+share one store directory.
+
+Layout: one ``<key>.json`` per artifact under ``REPRO_ARTIFACT_STORE``
+(or ``~/.cache/repro/artifacts``); setting the root to ``off`` (or
+``0``/``none``/``disabled``) disables the store entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.engine.trace_cache import DISABLED_VALUES, atomic_write
+from repro.program.image import ProgramImage
+
+#: Bump when the artifact payload schema changes; participates in both
+#: the content key and the embedded stamp.
+FORMAT_VERSION = 1
+
+_ENV_DIR = "REPRO_ARTIFACT_STORE"
+
+
+def canonical_json(payload: Dict) -> bytes:
+    """The one byte representation of ``payload`` (sorted, minimal)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def image_digest(image: ProgramImage) -> str:
+    """Content hash of a linked binary (bytes + symbols + entry)."""
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(bytes(image.data))
+    for symbol in image.symbols:
+        digest.update(
+            f"{symbol.function}/{symbol.label}@{symbol.address}".encode()
+        )
+    digest.update(image.program.entry.encode())
+    return digest.hexdigest()
+
+
+def artifact_key(
+    image: ProgramImage, profile_digest: str, config_fingerprint: str
+) -> str:
+    """Content hash addressing one shard's packing artifact."""
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(f"artifact-v{FORMAT_VERSION}".encode())
+    digest.update(image_digest(image).encode())
+    digest.update(profile_digest.encode())
+    digest.update(config_fingerprint.encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class ArtifactStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        looked_up = self.hits + self.misses + self.errors
+        return self.hits / looked_up if looked_up else 0.0
+
+
+class ArtifactStore:
+    """Disk store of canonical-JSON packing artifacts by content key."""
+
+    def __init__(self, root: Optional[str] = None):
+        env = os.environ.get(_ENV_DIR, "")
+        if root is None:
+            root = env
+        self.enabled = str(root).strip().lower() not in DISABLED_VALUES
+        if not root or not self.enabled:
+            root = os.path.join(
+                os.path.expanduser("~"), ".cache", "repro", "artifacts"
+            )
+        self.root = str(root)
+        self.stats = ArtifactStats()
+
+    def path_of(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        Corrupt entries — unparseable JSON, a missing/mismatched
+        stamp, a stale format version — are deleted and counted as
+        errors; they are never returned.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_of(key)
+        try:
+            with open(path, "rb") as handle:
+                document = json.loads(handle.read())
+            stamp = document["stamp"]
+            if stamp["key"] != key or stamp["version"] != FORMAT_VERSION:
+                raise ValueError("stamp mismatch")
+            payload = document["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("payload must be an object")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:  # corrupt/foreign entry: drop and miss
+            self.stats.errors += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict) -> bool:
+        """Persist a payload; returns False when the store is off or
+        the write failed (the farm then just keeps its in-memory
+        result)."""
+        if not self.enabled:
+            return False
+        document = canonical_json(
+            {
+                "stamp": {"key": key, "version": FORMAT_VERSION},
+                "payload": payload,
+            }
+        )
+        try:
+            atomic_write(
+                self.root,
+                self.path_of(key),
+                lambda handle: handle.write(document),
+            )
+        except OSError:
+            self.stats.errors += 1
+            return False
+        self.stats.puts += 1
+        return True
+
+
+_DEFAULT_STORE: Optional[ArtifactStore] = None
+
+
+def default_store() -> ArtifactStore:
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = ArtifactStore()
+    return _DEFAULT_STORE
+
+
+def reset_default_store() -> None:
+    """Re-read the environment (tests repoint ``REPRO_ARTIFACT_STORE``)."""
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = None
+
+
+__all__ = [
+    "ArtifactStats",
+    "ArtifactStore",
+    "FORMAT_VERSION",
+    "artifact_key",
+    "canonical_json",
+    "default_store",
+    "image_digest",
+    "reset_default_store",
+]

@@ -1,0 +1,88 @@
+"""Simulated client fleet: many profiling runs of one binary.
+
+At fleet scale, profiles of the same deployed binary arrive from many
+machines running different inputs.  This module models that with the
+existing workload generators: every simulated client runs the *same*
+Table 1 benchmark program under a *divergent* branch-behavior seed
+(different dynamic control flow, identical static binary) and ships
+its Hot Spot Detector profile as a v2 document with a provenance
+stamp (run id, seed, staleness epoch).
+
+Runs are spread uniformly over ``epochs`` staleness epochs so the
+aggregation layer's staleness accounting has something real to chew
+on.  Everything is deterministic in ``(benchmark, input, runs,
+base_seed, scale, epochs)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.hsd.serialize import make_provenance, save_profile
+from repro.postlink.vacuum import VacuumPacker
+from repro.workloads.suite import load_benchmark
+
+
+@dataclass
+class SimulatedClient:
+    """One simulated client run: its identity and profile location."""
+
+    run_id: str
+    seed: int
+    epoch: int
+    path: str
+    phases: int
+
+
+def simulate_fleet(
+    benchmark: str,
+    input_name: str,
+    runs: int,
+    out_dir: Union[str, Path],
+    base_seed: int = 0,
+    epochs: int = 1,
+    scale: Optional[float] = None,
+    packer: Optional[VacuumPacker] = None,
+) -> List[SimulatedClient]:
+    """Profile ``runs`` simulated clients and persist their documents.
+
+    Client ``i`` reruns the benchmark with behavior seed
+    ``base_seed + i`` and lands in epoch ``i * epochs // runs``.  The
+    documents are written as ``client-<i>.json`` under ``out_dir``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    packer = packer or VacuumPacker()
+    clients: List[SimulatedClient] = []
+    for i in range(runs):
+        workload = load_benchmark(benchmark, input_name, scale=scale)
+        seed = base_seed + i
+        # Same binary, divergent dynamic behavior: only the branch
+        # outcome seed changes, never the program.
+        workload.behavior.seed = seed
+        profile = packer.profile(workload)
+        run_id = f"{benchmark}/{input_name}#r{i:04d}"
+        epoch = i * epochs // runs if runs else 0
+        path = out / f"client-{i:04d}.json"
+        save_profile(
+            path,
+            profile.records,
+            meta={
+                "benchmark": f"{benchmark}/{input_name}",
+                "scale": scale,
+                "provenance": make_provenance(run_id, seed, epoch),
+            },
+        )
+        clients.append(SimulatedClient(
+            run_id=run_id,
+            seed=seed,
+            epoch=epoch,
+            path=str(path),
+            phases=profile.phase_count,
+        ))
+    return clients
+
+
+__all__ = ["SimulatedClient", "simulate_fleet"]

@@ -1,0 +1,260 @@
+"""Sharded packing farm: fan merged phases out to worker processes.
+
+Each shard — a contiguous slice of the fleet profile's merged phases —
+is packed independently against the same binary: the worker rebuilds
+the benchmark workload, hands the shard's consensus records to
+:meth:`~repro.postlink.vacuum.VacuumPacker.pack_records`, and reduces
+the result to a canonical JSON payload (packages, expansion, coverage,
+quarantine diagnostics).  Because a shard's payload is a pure function
+of (binary, shard records, pack config), the farm caches it in the
+content-addressed :class:`~repro.service.artifacts.ArtifactStore` and
+consults the store *before* dispatching: repeated requests hit disk
+instead of re-packing.
+
+Determinism: shards are formed, keyed, and reported in phase order,
+workers are pure, and the parent writes store entries from the
+returned payloads — so ``jobs=1`` and ``jobs=N`` produce byte-identical
+store entries and identical payloads, differing only in wall-clock
+timings.  Sharding trades cross-shard package linking for parallelism:
+packages are linked within a shard (``shard_size`` phases at a time)
+but never across shards — ``shard_size=1`` is maximal fan-out,
+``shard_size=len(phases)`` recovers the exact single-run pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.engine.trace_cache import image_for
+from repro.experiments.parallel import parallel_map
+from repro.hsd.serialize import record_from_entry, record_to_entry
+from repro.postlink.vacuum import PackResult, VacuumPacker
+from repro.workloads.suite import load_benchmark
+
+from .aggregate import FleetProfile, MergedPhase
+from .artifacts import ArtifactStore, artifact_key, canonical_json, default_store
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Everything that determines a shard's packing artifact."""
+
+    benchmark: str
+    input_name: str = "A"
+    scale: Optional[float] = None
+    classic: bool = False
+    link: bool = True
+    optimize: bool = True
+    ordering: str = "best"
+    #: Merged phases per worker dispatch (1 = maximal fan-out).
+    shard_size: int = 1
+
+    def packer_kwargs(self) -> Dict:
+        return {
+            "classic": self.classic,
+            "link": self.link,
+            "optimize": self.optimize,
+            "ordering": self.ordering,
+        }
+
+    def fingerprint(self) -> str:
+        """Pack-config part of the artifact key.
+
+        ``shard_size`` is deliberately absent: it only decides how
+        phases are *grouped*, and the grouping is already captured by
+        each shard's profile digest — two farms that happen to form
+        the same shard reuse each other's artifacts.
+        """
+        return (
+            f"farm:v1;bench={self.benchmark}/{self.input_name};"
+            f"scale={self.scale!r};classic={self.classic};"
+            f"link={self.link};optimize={self.optimize};"
+            f"ordering={self.ordering}"
+        )
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's artifact, and how it was obtained."""
+
+    shard: int
+    phases: List[int]
+    key: str
+    cached: bool
+    seconds: float
+    payload: Dict
+
+
+@dataclass
+class FleetPackResult:
+    """All shard outcomes of one farm request, in phase order."""
+
+    outcomes: List[ShardOutcome] = field(default_factory=list)
+
+    @property
+    def cached_shards(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def packed_shards(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def hit_rate(self) -> float:
+        total = len(self.outcomes)
+        return self.cached_shards / total if total else 0.0
+
+    @property
+    def total_packages(self) -> int:
+        return sum(len(o.payload["packages"]) for o in self.outcomes)
+
+    def phase_set(self) -> List[int]:
+        return sorted(
+            index for outcome in self.outcomes for index in outcome.phases
+        )
+
+
+def shard_profile_digest(shard: List[MergedPhase], policy: str) -> str:
+    """Content hash of one shard's merged records + provenance."""
+    body = canonical_json(
+        {"policy": policy, "phases": [phase.to_dict() for phase in shard]}
+    )
+    return hashlib.blake2b(body, digest_size=20).hexdigest()
+
+
+def shard_payload(result: PackResult, phases: List[int]) -> Dict:
+    """Reduce one pack to its canonical, store-able artifact payload."""
+    coverage = result.coverage
+    return {
+        "phases": list(phases),
+        "packages": [
+            {
+                "name": package.name,
+                "root": package.root,
+                "region_index": package.region_index,
+                "static_size": package.static_size(),
+                "exits": len(package.exits),
+                "linked_exits": sum(1 for e in package.exits if e.is_linked),
+            }
+            for package in result.packages
+        ],
+        "expansion": result.expansion_row(),
+        "coverage": {
+            "package_fraction": coverage.package_fraction,
+            "package_instructions": coverage.package_instructions,
+            "original_instructions": coverage.original_instructions,
+            "branches": coverage.branches,
+            "launch_entries": coverage.launch_entries,
+        },
+        "diagnostics": [diag.render() for diag in result.diagnostics],
+        "quarantined": sorted(result.quarantined_phases()),
+    }
+
+
+def _run_shard(task: Dict) -> Dict:
+    """Worker: pack one shard (module-level, hence picklable)."""
+    started = time.perf_counter()
+    workload = load_benchmark(
+        task["benchmark"], task["input_name"], scale=task["scale"]
+    )
+    records = [record_from_entry(entry) for entry in task["records"]]
+    packer = VacuumPacker(**task["packer"])
+    result = packer.pack_records(workload, records)
+    return {
+        "shard": task["shard"],
+        "key": task["key"],
+        "payload": shard_payload(result, task["phases"]),
+        "seconds": time.perf_counter() - started,
+    }
+
+
+def pack_fleet(
+    fleet: FleetProfile,
+    config: FarmConfig,
+    jobs: Optional[int] = None,
+    store: Optional[ArtifactStore] = None,
+) -> FleetPackResult:
+    """Pack every merged phase, through the artifact store.
+
+    Store lookups happen up front in the parent; only missed shards
+    are dispatched to workers, and their payloads are persisted on the
+    way back.  Results are identical for any ``jobs``.
+    """
+    if not fleet.phases:
+        raise ServiceError(
+            "fleet profile has no merged phases to pack",
+            hint="the merge produced nothing — were all client "
+                 "profiles rejected or below the min_runs quorum?",
+        )
+    try:
+        workload = load_benchmark(
+            config.benchmark, config.input_name, scale=config.scale
+        )
+    except KeyError as exc:
+        raise ServiceError(f"unknown benchmark binary: {exc}") from exc
+    image = image_for(workload.program)
+    store = store or default_store()
+    fingerprint = config.fingerprint()
+
+    size = max(1, config.shard_size)
+    shards = [
+        fleet.phases[start:start + size]
+        for start in range(0, len(fleet.phases), size)
+    ]
+
+    outcomes: List[Optional[ShardOutcome]] = [None] * len(shards)
+    tasks: List[Dict] = []
+    for number, shard in enumerate(shards):
+        digest = shard_profile_digest(shard, fleet.policy_fingerprint)
+        key = artifact_key(image, digest, fingerprint)
+        phases = [phase.index for phase in shard]
+        started = time.perf_counter()
+        payload = store.get(key)
+        if payload is not None:
+            outcomes[number] = ShardOutcome(
+                shard=number,
+                phases=phases,
+                key=key,
+                cached=True,
+                seconds=time.perf_counter() - started,
+                payload=payload,
+            )
+            continue
+        tasks.append({
+            "shard": number,
+            "key": key,
+            "phases": phases,
+            # Consensus records travel in document form: plain dicts
+            # pickle cheaply and rebuild identically in the worker.
+            "records": [record_to_entry(phase.record) for phase in shard],
+            "benchmark": config.benchmark,
+            "input_name": config.input_name,
+            "scale": config.scale,
+            "packer": config.packer_kwargs(),
+        })
+
+    for done in parallel_map(_run_shard, tasks, jobs=jobs):
+        store.put(done["key"], done["payload"])
+        outcomes[done["shard"]] = ShardOutcome(
+            shard=done["shard"],
+            phases=[p for p in done["payload"]["phases"]],
+            key=done["key"],
+            cached=False,
+            seconds=done["seconds"],
+            payload=done["payload"],
+        )
+    return FleetPackResult(outcomes=list(outcomes))
+
+
+__all__ = [
+    "FarmConfig",
+    "FleetPackResult",
+    "ShardOutcome",
+    "pack_fleet",
+    "shard_payload",
+    "shard_profile_digest",
+]

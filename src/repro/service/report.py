@@ -1,0 +1,108 @@
+"""The JSON fleet report: one document per ``repro serve`` request.
+
+Everything an operator needs to audit a fleet packing pass: how many
+client profiles were ingested and why any were rejected, what the
+merge produced (phases, contributors, agreement, staleness), how the
+packing farm fared (per-shard timings, artifact cache hit rate), and
+the packed totals.  The phase/package content of the report is
+deterministic for a given profile set; only the ``timings`` differ
+between invocations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .aggregate import FleetProfile, IngestResult
+from .artifacts import ArtifactStore
+from .farm import FarmConfig, FleetPackResult
+
+REPORT_VERSION = 1
+
+
+@dataclass
+class FleetReport:
+    """Structured outcome of one ingest → merge → pack request."""
+
+    document: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return self.document
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.document, indent=indent, sort_keys=True)
+
+    @property
+    def phase_set(self) -> List[int]:
+        return list(self.document["pack"]["phase_set"])
+
+    @property
+    def hit_rate(self) -> float:
+        return float(self.document["pack"]["cache"]["hit_rate"])
+
+
+def build_report(
+    ingest: IngestResult,
+    fleet: FleetProfile,
+    packed: FleetPackResult,
+    config: FarmConfig,
+    store: ArtifactStore,
+    jobs: int,
+) -> FleetReport:
+    """Assemble the fleet report document."""
+    shards = [
+        {
+            "shard": outcome.shard,
+            "phases": outcome.phases,
+            "key": outcome.key,
+            "cached": outcome.cached,
+            "seconds": round(outcome.seconds, 6),
+            "packages": len(outcome.payload["packages"]),
+            "coverage": outcome.payload["coverage"]["package_fraction"],
+            "diagnostics": outcome.payload["diagnostics"],
+        }
+        for outcome in packed.outcomes
+    ]
+    document = {
+        "report_version": REPORT_VERSION,
+        "benchmark": f"{config.benchmark}/{config.input_name}",
+        "scale": config.scale,
+        "jobs": jobs,
+        "ingest": {
+            "runs": fleet.runs,
+            "rejected": [r.render() for r in ingest.rejected],
+        },
+        "merge": {
+            "phases_merged": len(fleet.phases),
+            "max_epoch": fleet.max_epoch,
+            "policy": fleet.policy_fingerprint,
+            "profile_digest": fleet.digest(),
+            "phases": [
+                {
+                    "index": phase.index,
+                    "branches": len(phase.record.branches),
+                    **phase.provenance.to_dict(),
+                }
+                for phase in fleet.phases
+            ],
+        },
+        "pack": {
+            "config": config.fingerprint(),
+            "shard_size": max(1, config.shard_size),
+            "shards": shards,
+            "phase_set": packed.phase_set(),
+            "packages": packed.total_packages,
+            "cache": {
+                "cached_shards": packed.cached_shards,
+                "packed_shards": packed.packed_shards,
+                "hit_rate": round(packed.hit_rate, 6),
+                "store_root": store.root if store.enabled else "off",
+            },
+        },
+    }
+    return FleetReport(document=document)
+
+
+__all__ = ["FleetReport", "REPORT_VERSION", "build_report"]

@@ -4,16 +4,24 @@ import json
 
 import pytest
 
+from repro.errors import ProfileError, ReproError
 from repro.hsd import (
     BranchProfile,
     HotSpotRecord,
     ProfileFormatError,
+    load_document,
     load_profile,
+    make_provenance,
     records_from_json,
     records_to_json,
     save_profile,
 )
-from repro.hsd.serialize import FORMAT_VERSION, records_to_dict
+from repro.hsd.serialize import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    document_from_json,
+    records_to_dict,
+)
 
 
 def sample_records():
@@ -77,7 +85,81 @@ class TestRoundTrip:
         assert region.hot_block_count() == 11
 
 
+class TestFormatV2:
+    def test_writes_version_2(self):
+        assert FORMAT_VERSION == 2
+        assert records_to_dict(sample_records())["version"] == 2
+
+    def test_provenance_round_trip(self, tmp_path):
+        path = tmp_path / "v2.json"
+        save_profile(
+            path,
+            sample_records(),
+            meta={"provenance": make_provenance("fleet#r0001", 41, 3)},
+        )
+        doc = load_document(path)
+        assert doc.version == 2
+        assert doc.run_id == "fleet#r0001"
+        assert doc.seed == 41
+        assert doc.epoch == 3
+        assert len(doc.records) == 2
+
+    def test_v1_document_still_loads(self):
+        """The v2 reader keeps accepting pre-provenance documents."""
+        document = records_to_dict(sample_records())
+        document["version"] = 1
+        del document["meta"]
+        doc = document_from_json(json.dumps(document))
+        assert doc.version == 1
+        assert doc.provenance == {}
+        assert doc.epoch == 0
+        assert {r.index for r in doc.records} == {0, 7}
+
+
 class TestErrors:
+    """Corruption must surface as typed errors, never crashes.
+
+    ProfileFormatError sits on the repro.errors hierarchy, so ingest
+    and quarantine loops treat a bad document like any other typed
+    per-phase failure.
+    """
+
+    def test_is_a_typed_pipeline_error(self):
+        error = ProfileFormatError("bad document")
+        assert isinstance(error, ProfileError)
+        assert isinstance(error, ReproError)
+        assert error.hint
+
+    def test_rejects_truncated_json(self):
+        text = records_to_json(sample_records())
+        with pytest.raises(ProfileFormatError, match="JSON"):
+            records_from_json(text[: len(text) // 2])
+
+    def test_rejects_stale_future_version(self):
+        document = records_to_dict(sample_records())
+        document["version"] = FORMAT_VERSION + 1
+        with pytest.raises(ProfileFormatError, match="version"):
+            records_from_json(json.dumps(document))
+
+    def test_rejects_missing_records_list(self):
+        with pytest.raises(ProfileFormatError, match="records"):
+            records_from_json(
+                json.dumps({"format": FORMAT_NAME, "version": FORMAT_VERSION})
+            )
+
+    def test_rejects_missing_branch_fields(self):
+        document = records_to_dict(sample_records())
+        del document["records"][0]["branches"][0]["executed"]
+        with pytest.raises(ProfileFormatError, match="malformed"):
+            records_from_json(json.dumps(document))
+
+    def test_rejects_incomplete_provenance_stamp(self):
+        document = records_to_dict(
+            sample_records(), meta={"provenance": {"run_id": "r0"}}
+        )
+        with pytest.raises(ProfileFormatError, match="provenance"):
+            records_from_json(json.dumps(document))
+
     def test_rejects_wrong_format(self):
         with pytest.raises(ProfileFormatError, match="format"):
             records_from_json(json.dumps({"format": "other", "version": 1}))
