@@ -14,6 +14,7 @@ Run:  python examples/offline_reoptimize.py
 import tempfile
 from pathlib import Path
 
+from repro.api import PipelineConfig
 from repro.hsd import load_profile, save_profile
 from repro.postlink import VacuumPacker
 from repro.postlink.vacuum import ProfileResult
@@ -50,8 +51,8 @@ def main() -> None:
 
         print("\nre-optimizing offline with two policies:")
         for label, policy in (
-            ("with linking   ", VacuumPacker(link=True)),
-            ("without linking", VacuumPacker(link=False)),
+            ("with linking   ", PipelineConfig(link=True).packer()),
+            ("without linking", PipelineConfig(link=False).packer()),
         ):
             result = policy.pack(workload, profile=loaded)
             print(f"  {label}: {len(result.packages)} packages, "

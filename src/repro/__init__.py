@@ -2,14 +2,17 @@
 "Vacuum Packing: Extracting Hardware-Detected Program Phases for
 Post-Link Optimization" (MICRO 2002).
 
-Top-level convenience exports cover the common end-to-end flow::
+The recommended front door is :mod:`repro.api` — one declarative
+config, one call::
 
-    from repro import VacuumPacker, load_benchmark
+    import repro
 
-    workload = load_benchmark("134.perl", "A")
-    packer = VacuumPacker()
-    packed = packer.pack(workload)
-    print(packed.coverage().package_fraction)
+    config = repro.PipelineConfig(classic=True)
+    result = repro.pack("134.perl/A", config)
+    print(result.coverage.package_fraction)
+
+The lower-level spelling (``VacuumPacker(config).pack(workload)``)
+remains available for callers that manage workloads themselves.
 
 The subpackages are:
 
@@ -26,16 +29,34 @@ The subpackages are:
 * :mod:`repro.workloads` — the synthetic Table 1 benchmark suite
 * :mod:`repro.experiments` — harnesses for Fig. 8/9/10 and Table 3
 * :mod:`repro.service` — fleet profile aggregation + sharded packing farm
+* :mod:`repro.obs` — structured tracing + metrics (``repro trace``)
+* :mod:`repro.api` — :class:`~repro.api.PipelineConfig` and the
+  :func:`~repro.api.pack` / :func:`~repro.api.profile` facades
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["VacuumPacker", "load_benchmark", "__version__"]
+__all__ = [
+    "ObsConfig",
+    "PipelineConfig",
+    "VacuumPacker",
+    "load_benchmark",
+    "pack",
+    "profile",
+    "__version__",
+]
+
+#: repro.api names re-exported at the top level, lazily.
+_API_NAMES = ("ObsConfig", "PipelineConfig", "pack", "profile")
 
 
 def __getattr__(name):
     # Lazy imports keep `import repro` cheap and avoid import cycles
     # for users who only need a subpackage.
+    if name in _API_NAMES:
+        from repro import api
+
+        return getattr(api, name)
     if name == "VacuumPacker":
         from repro.postlink.vacuum import VacuumPacker
 

@@ -1,0 +1,283 @@
+"""``repro.api`` — the one front door to the Vacuum Packing pipeline.
+
+Historically every stage grew its own configuration object
+(:class:`~repro.hsd.config.HSDConfig`,
+:class:`~repro.regions.config.RegionConfig`,
+:class:`~repro.hsd.filtering.SimilarityPolicy`, plus a fistful of
+scattered ``VacuumPacker`` keyword arguments).  :class:`PipelineConfig`
+composes all of them — including the observability options — into one
+declarative, JSON-round-trippable document, and the module-level
+:func:`pack` / :func:`profile` facades run the pipeline from it:
+
+.. code-block:: python
+
+    import repro
+
+    config = repro.PipelineConfig(classic=True)
+    result = repro.pack("134.perl/A", config)
+    print(result.coverage.package_fraction)
+
+``PipelineConfig.from_dict`` powers the ``--config pipeline.json`` flag
+that every CLI subcommand accepts; ``to_dict`` round-trips exactly, so
+a config can be captured from code, committed, and replayed.
+
+The old scattered-kwarg spelling (``VacuumPacker(classic=True, ...)``)
+still works through a shim that emits a ``DeprecationWarning``; no
+in-repo caller uses it outside the shim's own tests, and CI asserts
+that stays true.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.hsd.config import HSDConfig
+from repro.hsd.filtering import SimilarityPolicy
+from repro.packages.ordering import check_ordering_mode
+from repro.regions.config import RegionConfig
+
+CONFIG_VERSION = 1
+
+
+def _from_mapping(cls, payload: Dict, context: str):
+    """Construct a config dataclass from a dict, rejecting unknown keys."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(
+            f"{context}: unknown key(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return cls(**payload)
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Observability options of one pipeline invocation.
+
+    * ``trace`` — enable span tracing for the run (the facades install
+      a fresh tracer; ``repro trace`` sets this for the whole process).
+    * ``trace_out`` — when tracing, also write the ledger here.
+    * ``trace_format`` — export format for ``trace_out``
+      (``chrome`` | ``jsonl``).
+    """
+
+    trace: bool = False
+    trace_out: Optional[str] = None
+    trace_format: str = "chrome"
+
+    def __post_init__(self) -> None:
+        from repro.obs.render import EXPORT_FORMATS
+
+        if self.trace_format not in EXPORT_FORMATS:
+            raise ValueError(
+                f"trace_format must be one of {', '.join(EXPORT_FORMATS)}, "
+                f"got {self.trace_format!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything that shapes one profile → identify → pack run."""
+
+    hsd: HSDConfig = field(default_factory=HSDConfig)
+    region: RegionConfig = field(default_factory=RegionConfig)
+    similarity: SimilarityPolicy = field(default_factory=SimilarityPolicy)
+    link: bool = True
+    optimize: bool = True
+    classic: bool = False
+    ordering: str = "best"
+    strict: bool = False
+    validate: bool = True
+    obs: ObsConfig = field(default_factory=ObsConfig)
+
+    def __post_init__(self) -> None:
+        check_ordering_mode(self.ordering)
+
+    # -- serialization -----------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-able document; ``from_dict`` round-trips it exactly."""
+        return {
+            "version": CONFIG_VERSION,
+            "hsd": dataclasses.asdict(self.hsd),
+            "region": dataclasses.asdict(self.region),
+            "similarity": dataclasses.asdict(self.similarity),
+            "link": self.link,
+            "optimize": self.optimize,
+            "classic": self.classic,
+            "ordering": self.ordering,
+            "strict": self.strict,
+            "validate": self.validate,
+            "obs": dataclasses.asdict(self.obs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PipelineConfig":
+        """Build a config from a (possibly partial) document.
+
+        Missing keys take their defaults; unknown keys — at any level —
+        raise ``ValueError`` rather than being silently dropped.
+        """
+        payload = dict(payload)
+        version = payload.pop("version", CONFIG_VERSION)
+        if version != CONFIG_VERSION:
+            raise ValueError(
+                f"unsupported pipeline config version {version!r} "
+                f"(this build reads version {CONFIG_VERSION})"
+            )
+        kwargs: Dict[str, object] = {}
+        for name, sub in (("hsd", HSDConfig), ("region", RegionConfig),
+                          ("similarity", SimilarityPolicy),
+                          ("obs", ObsConfig)):
+            if name in payload:
+                kwargs[name] = _from_mapping(
+                    sub, dict(payload.pop(name)), name
+                )
+        scalars = {f.name for f in dataclasses.fields(cls)} - {
+            "hsd", "region", "similarity", "obs",
+        }
+        unknown = sorted(set(payload) - scalars)
+        if unknown:
+            raise ValueError(
+                f"pipeline config: unknown key(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(scalars))} "
+                f"(+ hsd/region/similarity/obs sections)"
+            )
+        kwargs.update(payload)
+        return cls(**kwargs)
+
+    @classmethod
+    def load(cls, path: str) -> "PipelineConfig":
+        """Read a ``pipeline.json`` document (the ``--config`` flag)."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- convenience -------------------------------------------------
+    def replace(self, **changes) -> "PipelineConfig":
+        return dataclasses.replace(self, **changes)
+
+    def packer(self):
+        """A :class:`~repro.postlink.vacuum.VacuumPacker` for this
+        config (never warns — this is the supported path)."""
+        from repro.postlink.vacuum import VacuumPacker
+
+        return VacuumPacker(self)
+
+
+#: Maps the legacy ``VacuumPacker`` keyword names onto config fields.
+LEGACY_KWARGS = {
+    "hsd_config": "hsd",
+    "region_config": "region",
+    "similarity": "similarity",
+    "link": "link",
+    "optimize": "optimize",
+    "classic": "classic",
+    "ordering": "ordering",
+    "strict": "strict",
+    "validate": "validate",
+}
+
+
+def config_from_legacy(
+    base: Optional[PipelineConfig] = None, **legacy
+) -> PipelineConfig:
+    """A config with the given legacy kwargs applied over ``base``."""
+    changes = {
+        LEGACY_KWARGS[name]: value
+        for name, value in legacy.items()
+        if value is not None
+    }
+    return dataclasses.replace(base or PipelineConfig(), **changes)
+
+
+# ---------------------------------------------------------------------------
+# facade functions
+# ---------------------------------------------------------------------------
+
+def _resolve_workload(workload, scale: Optional[float] = None):
+    """Accept a :class:`~repro.workloads.base.Workload` or a Table 1
+    ``"benchmark/input"`` spec."""
+    if isinstance(workload, str):
+        from repro.workloads.suite import load_benchmark
+
+        benchmark, _, input_name = workload.partition("/")
+        return load_benchmark(benchmark, input_name or "A", scale=scale)
+    return workload
+
+
+def _traced(config: PipelineConfig):
+    """Context manager honoring ``config.obs`` for one facade call."""
+    from contextlib import contextmanager
+
+    from repro import obs
+    from repro.obs.render import write_export
+
+    @contextmanager
+    def runner():
+        if not config.obs.trace or obs.tracing_enabled():
+            # Either tracing is off, or an outer scope (repro trace)
+            # already owns the tracer — never steal it.
+            yield
+            return
+        tracer = obs.enable_tracing()
+        try:
+            yield
+        finally:
+            obs.disable_tracing()
+            if config.obs.trace_out:
+                write_export(
+                    config.obs.trace_out,
+                    tracer.spans(),
+                    obs.default_registry().snapshot(),
+                    fmt=config.obs.trace_format,
+                )
+
+    return runner()
+
+
+def pack(
+    workload: Union[str, object],
+    config: Optional[PipelineConfig] = None,
+    scale: Optional[float] = None,
+):
+    """Run the full Figure-1 pipeline; the recommended entry point.
+
+    ``workload`` is a :class:`~repro.workloads.base.Workload` or a
+    ``"benchmark/input"`` spec (``scale`` applies to specs only).
+    Returns a :class:`~repro.postlink.vacuum.PackResult`.
+    """
+    config = config or PipelineConfig()
+    target = _resolve_workload(workload, scale)
+    with _traced(config):
+        return config.packer().pack(target)
+
+
+def profile(
+    workload: Union[str, object],
+    config: Optional[PipelineConfig] = None,
+    scale: Optional[float] = None,
+):
+    """Run only the hardware-profiling step (Figure 1, stage 1).
+
+    Returns a :class:`~repro.postlink.vacuum.ProfileResult` that can be
+    handed back to :func:`pack` via ``VacuumPacker.pack(workload,
+    profile=...)`` or persisted with :mod:`repro.hsd.serialize`.
+    """
+    config = config or PipelineConfig()
+    target = _resolve_workload(workload, scale)
+    with _traced(config):
+        return config.packer().profile(target)
+
+
+__all__ = [
+    "CONFIG_VERSION",
+    "LEGACY_KWARGS",
+    "ObsConfig",
+    "PipelineConfig",
+    "config_from_legacy",
+    "pack",
+    "profile",
+]

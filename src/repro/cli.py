@@ -13,10 +13,21 @@ one benchmark input:
    python -m repro pack 134.perl B --scale 0.5
    python -m repro faults --seed 0 --trials 5 --jobs 4
    python -m repro bench --quick --check benchmarks/results/baseline.json
+   python -m repro trace pack 134.perl --export chrome
+   python -m repro stats trace-pack.json
 
-Experiment commands accept ``--jobs N`` (or ``REPRO_JOBS``) to fan
-independent benchmark entries out across worker processes with
-deterministic, serial-identical results.
+Flags are uniform across subcommands: ``--jobs N`` (or ``REPRO_JOBS``)
+fans work out across processes with deterministic, serial-identical
+results; ``--out PATH`` writes the command's report next to printing
+it; ``--seed N`` seeds whatever the command randomizes; and ``--config
+pipeline.json`` loads a :class:`repro.api.PipelineConfig` document —
+its pipeline knobs apply wherever the command builds a packer, and its
+``obs`` options (tracing) apply to every command.
+
+``repro trace <cmd> [args...]`` runs any other subcommand with span
+tracing enabled, prints the per-stage time/size table, and writes the
+ledger (``--export chrome|jsonl``, ``--trace-out PATH``); ``repro
+stats <ledger>`` re-renders the table from a written ledger.
 """
 
 from __future__ import annotations
@@ -59,6 +70,27 @@ def _emit(text: str, out: Optional[str]) -> None:
         print(f"\n(written to {out})")
 
 
+def _load_pipeline_config(path: Optional[str]):
+    """The ``--config pipeline.json`` document, or ``None``."""
+    if not path:
+        return None
+    from repro.api import PipelineConfig
+
+    try:
+        return PipelineConfig.load(path)
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot read --config {path}: {exc}")
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"repro: bad --config {path}: {exc}")
+
+
+def _base_config(args: argparse.Namespace):
+    """The command's base PipelineConfig (``--config`` or defaults)."""
+    from repro.api import PipelineConfig
+
+    return getattr(args, "pipeline", None) or PipelineConfig()
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     entries = _parse_entries(args.bench)
     runners = {
@@ -89,13 +121,15 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 
 
 def _cmd_pack(args: argparse.Namespace) -> int:
-    from repro.postlink import VacuumPacker
     from repro.workloads.suite import load_benchmark
 
+    config = _base_config(args)
+    if args.classic:
+        config = config.replace(classic=True)
+    if args.strict:
+        config = config.replace(strict=True)
     workload = load_benchmark(args.benchmark, args.input, scale=args.scale)
-    result = VacuumPacker(classic=args.classic, strict=args.strict).pack(
-        workload
-    )
+    result = config.packer().pack(workload)
     print(f"benchmark          : {args.benchmark}/{args.input}")
     print(f"static instructions: {workload.program.static_size():,}")
     print(f"dynamic branches   : {result.profile.summary.branches:,}")
@@ -139,6 +173,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         strict=args.strict,
         verbose=args.verbose,
         jobs=args.jobs,
+        config=getattr(args, "pipeline", None),
     )
     _emit(report.render(), args.out)
     return 0 if report.ok else 1
@@ -200,15 +235,15 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         benchmark,
         input_name,
         runs=args.runs,
-        out_dir=args.out_dir,
-        base_seed=args.base_seed,
+        out_dir=args.out,
+        base_seed=args.seed,
         epochs=args.epochs,
         scale=args.scale,
     )
     summary = {
         "benchmark": args.bench,
         "profiles": len(clients),
-        "out_dir": args.out_dir,
+        "out_dir": args.out,
         "runs": [
             {"run_id": c.run_id, "seed": c.seed, "epoch": c.epoch,
              "phases": c.phases, "path": c.path}
@@ -233,6 +268,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     benchmark, input_name = _parse_bench_spec(args.bench)
+    pipeline = _base_config(args)
+    if args.classic:
+        pipeline = pipeline.replace(classic=True)
     try:
         ingest = ingest_dir(args.profiles)
         fleet = merge_runs(ingest)
@@ -240,7 +278,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             benchmark=benchmark,
             input_name=input_name,
             scale=args.scale,
-            classic=args.classic,
+            pipeline=pipeline.to_dict(),
             shard_size=args.shard_size,
         )
         store = (
@@ -270,6 +308,131 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
 
+def _extract_trace_flags(rest: List[str]):
+    """Pull ``--export``/``--trace-out`` out of a REMAINDER list.
+
+    argparse's REMAINDER swallows every token after the wrapped
+    command, including flags meant for ``repro trace`` itself, so they
+    are extracted by hand wherever they appear.
+    """
+    fmt, out, cleaned = "chrome", None, []
+    tokens = list(rest)
+    while tokens:
+        token = tokens.pop(0)
+        name, eq, inline = token.partition("=")
+        if name not in ("--export", "--trace-out"):
+            cleaned.append(token)
+            continue
+        if eq:
+            value = inline
+        elif tokens:
+            value = tokens.pop(0)
+        else:
+            raise SystemExit(f"repro trace: {name} needs a value")
+        if name == "--export":
+            fmt = value
+        else:
+            out = value
+    return fmt, out, cleaned
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs.render import EXPORT_FORMATS, stage_table, write_export
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    fmt, out, cleaned = _extract_trace_flags(rest)
+    if fmt not in EXPORT_FORMATS:
+        raise SystemExit(
+            f"repro trace: --export must be one of "
+            f"{', '.join(EXPORT_FORMATS)}, got {fmt!r}"
+        )
+    if not cleaned:
+        raise SystemExit(
+            "repro trace: expected a repro command to run, e.g. "
+            "`repro trace pack 134.perl`"
+        )
+    command = cleaned[0]
+    if command in ("trace", "stats"):
+        raise SystemExit(f"repro trace: cannot trace {command!r}")
+    out = out or f"trace-{command}.{'json' if fmt == 'chrome' else 'jsonl'}"
+
+    obs.reset_metrics()
+    tracer = obs.enable_tracing()
+    try:
+        with obs.span(f"repro.{command}"):
+            status = main(cleaned)
+    except SystemExit as exc:
+        status = int(exc.code) if isinstance(exc.code, int) else 1
+    finally:
+        obs.disable_tracing()
+    metrics = obs.default_registry().snapshot()
+    write_export(out, tracer.spans(), metrics, fmt=fmt)
+    print()
+    print(stage_table(tracer.spans(), metrics))
+    print(f"\n(trace written to {out})")
+    return status
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.render import load_export, stage_table, write_export
+
+    try:
+        spans, metrics = load_export(args.ledger)
+    except OSError as exc:
+        raise SystemExit(f"repro stats: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"repro stats: {exc}")
+    print(stage_table(spans, metrics))
+    if args.out:
+        write_export(args.out, spans, metrics, fmt=args.export)
+        print(f"\n(re-exported to {args.out})")
+    return 0
+
+
+def _parents(*names: str) -> List[argparse.ArgumentParser]:
+    """Shared flag groups; one spelling of each flag for every command."""
+    registry = {}
+
+    config = argparse.ArgumentParser(add_help=False)
+    config.add_argument("--config", metavar="PIPELINE.json", default=None,
+                        help="PipelineConfig document; pipeline knobs "
+                             "apply where the command packs, obs options "
+                             "apply everywhere")
+    registry["config"] = config
+
+    scale = argparse.ArgumentParser(add_help=False)
+    scale.add_argument("--scale", type=float, default=None,
+                       help="dynamic-budget scale (default: REPRO_SCALE "
+                            "or 1.0)")
+    registry["scale"] = scale
+
+    jobs = argparse.ArgumentParser(add_help=False)
+    jobs.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (0 = one per CPU; "
+                           "default REPRO_JOBS or serial)")
+    registry["jobs"] = jobs
+
+    out = argparse.ArgumentParser(add_help=False)
+    out.add_argument("--out", help="also write the output to this file")
+    registry["out"] = out
+
+    verbose = argparse.ArgumentParser(add_help=False)
+    verbose.add_argument("--verbose", action="store_true",
+                         help="print per-item progress")
+    registry["verbose"] = verbose
+
+    bench_filter = argparse.ArgumentParser(add_help=False)
+    bench_filter.add_argument("--bench", action="append",
+                              metavar="NAME/INPUT",
+                              help="restrict to one input (repeatable)")
+    registry["bench_filter"] = bench_filter
+
+    return [registry[name] for name in names]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -284,31 +447,26 @@ def build_parser() -> argparse.ArgumentParser:
         ("figure9", "hot-spot branch categorization"),
         ("figure10", "speedup from relayout + rescheduling"),
     ]:
-        cmd = sub.add_parser(name, help=help_text)
-        cmd.add_argument("--scale", type=float, default=None,
-                         help="dynamic-budget scale (default: REPRO_SCALE or 1.0)")
-        cmd.add_argument("--bench", action="append", metavar="NAME/INPUT",
-                         help="restrict to one input (repeatable)")
-        cmd.add_argument("--out", help="also write the table to this file")
-        cmd.add_argument("--verbose", action="store_true",
-                         help="print per-input progress")
-        cmd.add_argument("--jobs", type=int, default=None,
-                         help="worker processes (0 = one per CPU; "
-                              "default REPRO_JOBS or serial)")
+        cmd = sub.add_parser(
+            name, help=help_text,
+            parents=_parents("config", "scale", "jobs", "out", "verbose",
+                             "bench_filter"),
+        )
         cmd.set_defaults(func=_cmd_experiment)
 
-    abl = sub.add_parser("ablations", help="run the three ablation studies")
-    abl.add_argument("--scale", type=float, default=None)
-    abl.add_argument("--out", help="also write the tables to this file")
-    abl.add_argument("--jobs", type=int, default=None,
-                     help="worker processes (0 = one per CPU; "
-                          "default REPRO_JOBS or serial)")
+    abl = sub.add_parser(
+        "ablations", help="run the three ablation studies",
+        parents=_parents("config", "scale", "jobs", "out"),
+    )
     abl.set_defaults(func=_cmd_ablations)
 
-    pack = sub.add_parser("pack", help="run the pipeline on one input")
-    pack.add_argument("benchmark")
+    pack = sub.add_parser(
+        "pack", help="run the pipeline on one input",
+        parents=_parents("config", "scale"),
+    )
+    pack.add_argument("benchmark", nargs="?", default="134.perl",
+                      help="Table 1 benchmark (default 134.perl)")
     pack.add_argument("input", nargs="?", default="A")
-    pack.add_argument("--scale", type=float, default=None)
     pack.add_argument("--classic", action="store_true",
                       help="also apply the classic clean-up passes")
     pack.add_argument("--strict", action="store_true",
@@ -319,6 +477,8 @@ def build_parser() -> argparse.ArgumentParser:
     faults = sub.add_parser(
         "faults",
         help="fault-injection campaign over lossy hardware profiles",
+        parents=_parents("config", "scale", "jobs", "out", "verbose",
+                         "bench_filter"),
     )
     faults.add_argument("--seed", type=int, default=0,
                         help="base RNG seed (trial i uses seed+i)")
@@ -328,32 +488,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-record fault probability for each mode")
     faults.add_argument("--mode", action="append",
                         help="fault mode to enable (repeatable; default all)")
-    faults.add_argument("--bench", action="append", metavar="NAME/INPUT",
-                        help="restrict to one input (repeatable; default a "
-                             "fast four-input subset)")
-    faults.add_argument("--scale", type=float, default=None)
     faults.add_argument("--strict", action="store_true",
                         help="pack without the quarantine loop (errors are "
                              "counted as campaign failures)")
-    faults.add_argument("--verbose", action="store_true",
-                        help="print per-trial progress")
-    faults.add_argument("--out", help="also write the report to this file")
-    faults.add_argument("--jobs", type=int, default=None,
-                        help="worker processes, one entry per worker "
-                             "(0 = one per CPU; default REPRO_JOBS or serial)")
     faults.set_defaults(func=_cmd_faults)
 
     fuzz = sub.add_parser(
         "fuzz",
         help="differential conformance fuzzing (generator + oracle stack)",
+        parents=_parents("config", "jobs", "out"),
     )
     fuzz.add_argument("--seed-range", default="0:50", metavar="LO:HI",
                       help="half-open seed interval to fuzz (default 0:50)")
     fuzz.add_argument("--budget", default=None, metavar="TIME",
                       help="stop scheduling after this long (e.g. 60s, 2m)")
-    fuzz.add_argument("--jobs", type=int, default=None,
-                      help="worker processes (0 = one per CPU; "
-                           "default REPRO_JOBS or serial)")
     fuzz.add_argument("--corpus", default=None,
                       help="corpus directory (default REPRO_FUZZ_CORPUS; "
                            "unset = no persistence)")
@@ -364,25 +512,25 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--inject-mispatch", action="store_true",
                       help="sabotage one launch point per pack (proves the "
                            "oracles catch rewriter bugs; forces serial)")
-    fuzz.add_argument("--out", help="also write the report to this file")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     ingest = sub.add_parser(
         "ingest",
         help="simulate a client fleet: N profiling runs -> profile docs",
+        parents=_parents("config", "scale"),
     )
     ingest.add_argument("--bench", required=True, metavar="NAME/INPUT",
                         help="benchmark binary the fleet runs")
     ingest.add_argument("--runs", type=int, default=16,
                         help="simulated client runs (default 16)")
-    ingest.add_argument("--base-seed", type=int, default=0,
+    ingest.add_argument("--seed", "--base-seed", dest="seed", type=int,
+                        default=0,
                         help="client i profiles with behavior seed "
                              "base+i (default 0)")
     ingest.add_argument("--epochs", type=int, default=1,
                         help="spread runs over this many staleness "
                              "epochs (default 1)")
-    ingest.add_argument("--scale", type=float, default=None)
-    ingest.add_argument("--out-dir", required=True,
+    ingest.add_argument("--out", "--out-dir", dest="out", required=True,
                         help="directory for the profile documents")
     ingest.set_defaults(func=_cmd_ingest)
 
@@ -390,34 +538,29 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="fleet request: ingest profiles -> merge -> sharded pack "
              "-> JSON report",
+        parents=_parents("config", "scale", "jobs", "out"),
     )
     serve.add_argument("--profiles", required=True,
                        help="directory of client profile documents")
     serve.add_argument("--bench", required=True, metavar="NAME/INPUT",
                        help="benchmark binary to pack")
-    serve.add_argument("--scale", type=float, default=None)
     serve.add_argument("--classic", action="store_true",
                        help="also apply the classic clean-up passes")
     serve.add_argument("--shard-size", type=int, default=1,
                        help="merged phases per farm shard (default 1)")
-    serve.add_argument("--jobs", type=int, default=None,
-                       help="worker processes (0 = one per CPU; "
-                            "default REPRO_JOBS or serial)")
     serve.add_argument("--store", default=None,
                        help="artifact store root (default "
                             "REPRO_ARTIFACT_STORE or "
                             "~/.cache/repro/artifacts; 'off' disables)")
-    serve.add_argument("--out", help="also write the JSON report here")
     serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(
         "bench",
         help="pinned micro-benchmark suite (engine, detector, pipeline)",
+        parents=_parents("config", "out"),
     )
     bench.add_argument("--quick", action="store_true",
                        help="single repetitions + short campaign (CI smoke)")
-    bench.add_argument("--out",
-                       help="report path (default BENCH_<date>.json)")
     bench.add_argument("--check", metavar="BASELINE",
                        help="compare against a baseline JSON and fail on "
                             "regression")
@@ -425,11 +568,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed slowdown vs baseline (default 0.25)")
     bench.set_defaults(func=_cmd_bench)
 
+    trace = sub.add_parser(
+        "trace",
+        help="run any repro command with span tracing; prints the "
+             "per-stage table and writes the ledger",
+    )
+    trace.add_argument("rest", nargs=argparse.REMAINDER,
+                       metavar="COMMAND [args...]",
+                       help="the repro command to trace; accepts "
+                            "--export chrome|jsonl and --trace-out PATH")
+    trace.set_defaults(func=_cmd_trace)
+
+    stats = sub.add_parser(
+        "stats",
+        help="render the per-stage table from a written trace ledger",
+        parents=_parents("out"),
+    )
+    stats.add_argument("ledger", help="a ledger written by repro trace")
+    stats.add_argument("--export", choices=("chrome", "jsonl"),
+                       default="chrome",
+                       help="format for --out re-export (default chrome)")
+    stats.set_defaults(func=_cmd_stats)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    args.pipeline = _load_pipeline_config(getattr(args, "config", None))
+    if args.pipeline is not None and args.pipeline.obs.trace:
+        from repro.api import _traced
+
+        with _traced(args.pipeline):
+            return args.func(args)
     return args.func(args)
 
 

@@ -51,6 +51,7 @@ from repro.engine.executor import (
     build_block_infos,
 )
 from repro.engine.phases import PhaseScript
+from repro.obs import inc, span
 from repro.program.program import Program
 
 _MASK64 = (1 << 64) - 1
@@ -414,7 +415,9 @@ def compile_program(program: Program, refresh: bool = False) -> CompiledProgram:
         cached = None if refresh else _COMPILED.get(program)
         if cached is not None and cached[0] == signature:
             return cached[1]
-        compiled = CompiledProgram(program)
+        with span("engine.compile", functions=len(program.functions)):
+            compiled = CompiledProgram(program)
+        inc("engine.compile.programs")
         _COMPILED[program] = (signature, compiled)
         return compiled
     except TypeError:  # pragma: no cover - non-weakref-able subclass

@@ -52,6 +52,7 @@ from repro.engine.compiled import (
 )
 from repro.engine.executor import ExecutionLimits, ExecutionSummary, StopReason
 from repro.engine.phases import PhaseScript
+from repro.obs import annotate, inc, span
 from repro.program.image import ProgramImage
 from repro.program.program import Program
 
@@ -353,6 +354,7 @@ class TraceCache:
         if cached is not None and cached[1] is program:
             self._memory.move_to_end(key)
             self.stats.hits += 1
+            inc("trace_cache.hits", tier="memory")
             return cached[0]
         path = self.path_of(key)
         try:
@@ -366,9 +368,11 @@ class TraceCache:
                 )
         except FileNotFoundError:
             self.stats.misses += 1
+            inc("trace_cache.misses")
             return None
         except Exception:  # corrupt/foreign file: drop and miss
             self.stats.errors += 1
+            inc("trace_cache.errors")
             try:
                 os.unlink(path)
             except OSError:
@@ -376,8 +380,10 @@ class TraceCache:
             return None
         if trace is None:
             self.stats.errors += 1
+            inc("trace_cache.errors")
             return None
         self.stats.hits += 1
+        inc("trace_cache.hits", tier="disk")
         self._remember(key, trace, program)
         return trace
 
@@ -405,8 +411,10 @@ class TraceCache:
             )
         except OSError:
             self.stats.errors += 1
+            inc("trace_cache.errors")
             return False
         self.stats.puts += 1
+        inc("trace_cache.puts")
         return True
 
 
@@ -447,13 +455,17 @@ def traced_run(
     trace = cache.get(key, program, image=image)
     if trace is not None:
         return trace
-    executor = CompiledExecutor(
-        program,
-        workload.behavior,
-        workload.phase_script,
-        limits=workload.limits,
-    )
-    trace = executor.run_traced()
+    with span("engine.traced_run", workload=workload.name) as entry:
+        executor = CompiledExecutor(
+            program,
+            workload.behavior,
+            workload.phase_script,
+            limits=workload.limits,
+        )
+        trace = executor.run_traced()
+        annotate(entry, branches=trace.summary.branches,
+                 instructions=trace.summary.instructions)
+    inc("engine.simulated_branches", trace.summary.branches)
     cache.put(key, trace, program, image=image)
     return trace
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.api import PipelineConfig
 from repro.hsd.config import HSDConfig
 from repro.postlink.vacuum import VacuumPacker
 from repro.regions.config import RegionConfig
@@ -50,9 +51,9 @@ def _max_blocks_row(
     profile = VacuumPacker().profile(workload)
     row: List[object] = [workload.name]
     for budget in budgets:
-        packer = VacuumPacker(
-            region_config=RegionConfig(max_growth_blocks=budget)
-        )
+        packer = VacuumPacker(PipelineConfig(
+            region=RegionConfig(max_growth_blocks=budget)
+        ))
         result = packer.pack(workload, profile=profile)
         row.append(format_percent(result.coverage.package_fraction))
     return row
@@ -86,10 +87,10 @@ def _bbb_row(
         hsd = HSDConfig(bbb_sets=sets, bbb_ways=ways)
         cells = []
         for inference in (True, False):
-            packer = VacuumPacker(
-                hsd_config=hsd,
-                region_config=RegionConfig(inference=inference),
-            )
+            packer = VacuumPacker(PipelineConfig(
+                hsd=hsd,
+                region=RegionConfig(inference=inference),
+            ))
             result = packer.pack(workload)
             cells.append(format_percent(result.coverage.package_fraction))
         row.append(f"{cells[0]} / {cells[1]}")
@@ -131,7 +132,7 @@ def _ordering_row(
     profile = VacuumPacker().profile(workload)
     row: List[object] = [workload.name]
     for mode in modes:
-        packer = VacuumPacker(ordering=mode)
+        packer = VacuumPacker(PipelineConfig(ordering=mode))
         result = packer.pack(workload, profile=profile)
         total_rank = sum(g.rank for g in result.plan.groups)
         row.append(

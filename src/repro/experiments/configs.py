@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.api import PipelineConfig
 from repro.postlink.vacuum import VacuumPacker
 from repro.regions.config import RegionConfig
 
@@ -24,12 +25,14 @@ class FormationConfig:
     inference: bool
     linking: bool
 
-    def packer(self, **kwargs) -> VacuumPacker:
-        return VacuumPacker(
-            region_config=RegionConfig(inference=self.inference),
+    def pipeline_config(self, **changes) -> PipelineConfig:
+        return PipelineConfig(
+            region=RegionConfig(inference=self.inference),
             link=self.linking,
-            **kwargs,
-        )
+        ).replace(**changes)
+
+    def packer(self, **changes) -> VacuumPacker:
+        return VacuumPacker(self.pipeline_config(**changes))
 
 
 #: Paper bar order: (inference?, linking?) =

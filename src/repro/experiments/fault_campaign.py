@@ -24,6 +24,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.api import PipelineConfig
 from repro.hsd.faults import ALL_FAULT_MODES, FaultInjector, FaultSpec
 from repro.postlink.vacuum import VacuumPacker
 from repro.workloads.suite import SUITE, BenchmarkInput, load_benchmark
@@ -169,9 +170,13 @@ def _run_entry_trials(
     regardless of scheduling, so parallel runs reproduce serial ones
     exactly.
     """
-    entry, scale, seed, trials, modes, rate, strict, verbose = args
+    entry, scale, seed, trials, modes, rate, strict, verbose, config_doc = args
     spec = FaultSpec(modes=modes, rate=rate)
-    packer = VacuumPacker(strict=strict)
+    base = (
+        PipelineConfig.from_dict(config_doc) if config_doc
+        else PipelineConfig()
+    )
+    packer = VacuumPacker(base.replace(strict=strict))
 
     workload = load_benchmark(entry.benchmark, entry.input_name, scale)
     profile = packer.profile(workload)
@@ -230,6 +235,7 @@ def run_fault_campaign(
     strict: bool = False,
     verbose: bool = False,
     jobs: Optional[int] = None,
+    config: Optional[PipelineConfig] = None,
 ) -> FaultCampaignReport:
     """Run ``trials`` seeded fault-injection packs per benchmark input.
 
@@ -237,11 +243,15 @@ def run_fault_campaign(
     ``FaultInjector(seed + trial)`` and re-packs.  ``strict=True``
     packs with the quarantine loop disabled (first error raises) —
     useful to demonstrate what degraded mode is saving you from.
-    ``jobs`` fans entries out across processes (default: ``REPRO_JOBS``
-    or serial) with identical results in any configuration.
+    ``config`` is the base :class:`~repro.api.PipelineConfig` every
+    pack runs under (``strict`` overrides its strictness).  ``jobs``
+    fans entries out across processes (default: ``REPRO_JOBS`` or
+    serial) with identical results in any configuration.
     """
+    config_doc = config.to_dict() if config is not None else None
     work = [
-        (entry, scale, seed, trials, tuple(modes), rate, strict, verbose)
+        (entry, scale, seed, trials, tuple(modes), rate, strict, verbose,
+         config_doc)
         for entry in _resolve_entries(entries)
     ]
     summaries = parallel_map(_run_entry_trials, work, jobs=jobs)

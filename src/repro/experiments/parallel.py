@@ -62,8 +62,11 @@ def parallel_map(
     workers = min(resolve_jobs(jobs), len(items))
     if workers <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+    from repro.obs import span
+
+    with span("parallel.map", items=len(items), jobs=workers):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
 
 
 __all__ = ["parallel_map", "resolve_jobs"]

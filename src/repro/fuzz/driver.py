@@ -28,7 +28,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.experiments.parallel import parallel_map, resolve_jobs
+from repro.obs import annotate, inc, span
 from repro.postlink.rewriter import PackedProgram
 
 from .genprog import (
@@ -214,31 +216,48 @@ def _run_seed(item: Tuple[int, Optional[dict]]) -> dict:
     """Module-level worker (must stay picklable for parallel_map)."""
     seed, config_payload = item
     started = time.perf_counter()
-    try:
-        case = _case_for(seed, config_payload)
-        report = run_oracle_stack(case)
-    except Exception as exc:
-        return SeedResult(
-            seed=seed,
-            ok=False,
-            failing=("harness",),
-            detail=f"{type(exc).__name__}: {exc}",
-            duration=time.perf_counter() - started,
-        ).to_dict()
-    failing = tuple(report.failing())
-    detail = "; ".join(
-        f"{r.name}: {r.detail}" for r in report.results if not r.ok
-    )
-    return SeedResult(
-        seed=seed,
-        ok=report.ok,
-        failing=failing,
-        signature=report.signature,
-        packages=report.packages,
-        records=report.records,
-        detail=detail[:500],
-        duration=time.perf_counter() - started,
-    ).to_dict()
+    capture = obs.start_capture()
+    with span("fuzz.seed", seed=seed) as entry:
+        try:
+            case = _case_for(seed, config_payload)
+            report = run_oracle_stack(case)
+        except Exception as exc:
+            annotate(entry, ok=False, error=type(exc).__name__)
+            result = SeedResult(
+                seed=seed,
+                ok=False,
+                failing=("harness",),
+                detail=f"{type(exc).__name__}: {exc}",
+                duration=time.perf_counter() - started,
+            ).to_dict()
+        else:
+            failing = tuple(report.failing())
+            detail = "; ".join(
+                f"{r.name}: {r.detail}" for r in report.results if not r.ok
+            )
+            annotate(entry, ok=report.ok, packages=report.packages)
+            result = SeedResult(
+                seed=seed,
+                ok=report.ok,
+                failing=failing,
+                signature=report.signature,
+                packages=report.packages,
+                records=report.records,
+                detail=detail[:500],
+                duration=time.perf_counter() - started,
+            ).to_dict()
+    return _attach_obs(result, capture)
+
+
+def _attach_obs(result: dict, capture) -> dict:
+    """Attach a finished worker capture as ``result["obs"]``.
+
+    ``run_fuzz`` pops the key and absorbs it into the parent ledger
+    before the payload is turned back into a :class:`SeedResult`.
+    """
+    if capture is not None:
+        result["obs"] = obs.finish_capture(capture)
+    return result
 
 
 def _result_from_dict(payload: dict) -> SeedResult:
@@ -450,11 +469,16 @@ def run_fuzz(
         else:
             payloads = parallel_map(_run_seed, items, jobs=workers)
         for payload in payloads:
+            obs.absorb(payload.pop("obs", None))
             result = _result_from_dict(payload)
             report.results.append(result)
+            inc("fuzz.seeds")
+            if not result.ok:
+                inc("fuzz.failures")
             if corpus_dir and result.ok and result.signature not in known:
                 known.add(result.signature)
                 report.novel_signatures += 1
+                inc("fuzz.novel_signatures")
                 case = _case_for(result.seed, config_payload)
                 _persist_case(
                     corpus_dir, "corpus", f"seed{result.seed:06d}.json",
@@ -463,6 +487,7 @@ def run_fuzz(
             elif result.signature and result.signature not in known:
                 known.add(result.signature)
                 report.novel_signatures += 1
+                inc("fuzz.novel_signatures")
             if not result.ok:
                 case = _case_for(result.seed, config_payload)
                 failing = tuple(f for f in result.failing if f != "harness")
@@ -490,24 +515,27 @@ def _run_seed_mutating(item: Tuple[int, Optional[dict]], mutate_packed) -> dict:
     """Serial-only variant of :func:`_run_seed` with a fault hook."""
     seed, config_payload = item
     started = time.perf_counter()
-    try:
-        case = _case_for(seed, config_payload)
-        report = run_oracle_stack(case, mutate_packed=mutate_packed)
-    except Exception as exc:
+    with span("fuzz.seed", seed=seed) as entry:
+        try:
+            case = _case_for(seed, config_payload)
+            report = run_oracle_stack(case, mutate_packed=mutate_packed)
+        except Exception as exc:
+            annotate(entry, ok=False, error=type(exc).__name__)
+            return SeedResult(
+                seed=seed, ok=False, failing=("harness",),
+                detail=f"{type(exc).__name__}: {exc}",
+                duration=time.perf_counter() - started,
+            ).to_dict()
+        detail = "; ".join(
+            f"{r.name}: {r.detail}" for r in report.results if not r.ok
+        )
+        annotate(entry, ok=report.ok, packages=report.packages)
         return SeedResult(
-            seed=seed, ok=False, failing=("harness",),
-            detail=f"{type(exc).__name__}: {exc}",
+            seed=seed, ok=report.ok, failing=tuple(report.failing()),
+            signature=report.signature, packages=report.packages,
+            records=report.records, detail=detail[:500],
             duration=time.perf_counter() - started,
         ).to_dict()
-    detail = "; ".join(
-        f"{r.name}: {r.detail}" for r in report.results if not r.ok
-    )
-    return SeedResult(
-        seed=seed, ok=report.ok, failing=tuple(report.failing()),
-        signature=report.signature, packages=report.packages,
-        records=report.records, detail=detail[:500],
-        duration=time.perf_counter() - started,
-    ).to_dict()
 
 
 # ---------------------------------------------------------------------------

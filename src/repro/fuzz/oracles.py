@@ -50,6 +50,7 @@ from repro.postlink.validate import (
     validate_packed,
     validate_plan,
 )
+from repro.api import PipelineConfig
 from repro.postlink.vacuum import PackResult, VacuumPacker
 from repro.program.cfg import cross_function_target, split_cross_function
 from repro.workloads.base import Workload
@@ -323,7 +324,7 @@ def run_oracle_stack(
             # validate=False: the oracles below *are* the validation —
             # letting the packer pre-quarantine invalid phases would
             # mask exactly the bugs this stack exists to catch.
-            result = VacuumPacker(validate=False).pack(workload)
+            result = VacuumPacker(PipelineConfig(validate=False)).pack(workload)
             packed = result.packed
             report.packages = len(packed.package_names)
             report.records = result.profile.phase_count

@@ -1,0 +1,125 @@
+"""``repro.obs`` — zero-dependency structured tracing + metrics.
+
+The pipeline observability layer: every Figure-1 stage, cache, farm
+shard and fuzz seed reports *where time went and what was dropped*
+through two primitives —
+
+* :mod:`repro.obs.spans` — nestable monotonic-clock spans with a
+  context-var current span, exported as Chrome ``trace_event`` JSON or
+  a flat JSONL ledger (``repro trace <cmd>``);
+* :mod:`repro.obs.metrics` — a process-local counter/gauge/histogram
+  registry (cache hits, quarantine drops, oracle verdicts, bytes
+  rewritten, per-stage wall time) with label support and a
+  ``snapshot()`` API (``repro stats``).
+
+Instrumentation sites cost one ``None`` check while tracing is off and
+one dict update per metric event, so they stay on in production paths.
+
+**Cross-process discipline.**  ``ProcessPoolExecutor`` workers cannot
+append to the parent's ledger, so worker entry points bracket each task
+with :func:`start_capture` / :func:`finish_capture` (no-ops unless the
+parent exported ``REPRO_OBS=1`` via ``enable_tracing``), ship the
+returned payload home inside their result, and the parent folds it in
+with :func:`absorb` — re-based span ids, parent links pointing at the
+dispatching span, counters added.  Payloads are plain JSON-able dicts,
+so they ride the existing pickled result path unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import (
+    MetricsRegistry,
+    default_registry,
+    inc,
+    observe,
+    reset_metrics,
+    set_gauge,
+    stable_snapshot,
+    swap_registry,
+)
+from .spans import (
+    Span,
+    Tracer,
+    active_tracer,
+    annotate,
+    disable_tracing,
+    enable_tracing,
+    env_enabled,
+    span,
+    tracing_enabled,
+)
+
+
+class _Capture:
+    """One worker task's isolated tracer + metrics registry."""
+
+    def __init__(self, tracer: Tracer, previous_registry: MetricsRegistry):
+        self.tracer = tracer
+        self.previous_registry = previous_registry
+
+
+def start_capture() -> Optional[_Capture]:
+    """Begin capturing one worker task's observability data.
+
+    Returns ``None`` — capture not needed — when tracing is already
+    active in this process (spans land on the live tracer and metrics
+    on the live registry directly; nothing must travel) or when no
+    parent asked for capture (``REPRO_OBS`` unset).  Otherwise installs
+    a fresh tracer and metrics registry for the duration of the task.
+    """
+    if tracing_enabled() or not env_enabled():
+        return None
+    tracer = enable_tracing(export_env=False)
+    return _Capture(tracer, swap_registry(MetricsRegistry()))
+
+
+def finish_capture(capture: Optional[_Capture]) -> Optional[dict]:
+    """End a capture; returns the JSON-able payload (or ``None``)."""
+    if capture is None:
+        return None
+    payload = capture.tracer.export()
+    payload["metrics"] = default_registry().snapshot()
+    swap_registry(capture.previous_registry)
+    disable_tracing(clear_env=False)
+    return payload
+
+
+def absorb(payload: Optional[dict], parent_id: Optional[int] = None) -> None:
+    """Fold a worker capture payload into this process' ledger.
+
+    Safe to call with ``None`` (worker had nothing to capture) and
+    with tracing disabled (metrics still merge — counters from worker
+    tasks always count).
+    """
+    if not payload:
+        return
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.merge(payload, parent_id=parent_id)
+    default_registry().merge(payload.get("metrics"))
+
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "absorb",
+    "active_tracer",
+    "annotate",
+    "default_registry",
+    "disable_tracing",
+    "enable_tracing",
+    "env_enabled",
+    "finish_capture",
+    "inc",
+    "observe",
+    "reset_metrics",
+    "set_gauge",
+    "span",
+    "stable_snapshot",
+    "start_capture",
+    "swap_registry",
+    "tracing_enabled",
+]

@@ -1,0 +1,186 @@
+"""Process-local metrics: counters, gauges, histograms, with labels.
+
+The registry is a plain dictionary keyed by ``name{label=value,...}``
+series keys — no background threads, no exposition server, no
+dependencies.  Instrumentation sites call the module-level helpers
+(:func:`inc`, :func:`set_gauge`, :func:`observe`) against the default
+registry; a cost of one dict update per event keeps them safe to leave
+on everywhere (the per-stage pipeline sites fire a handful of times per
+pack, never per simulated instruction).
+
+Naming scheme (see ``docs/observability.md``):
+
+* dot-separated subsystem prefixes — ``pipeline.*``, ``trace_cache.*``,
+  ``artifact_store.*``, ``fuzz.*``, ``farm.*``, ``engine.*``;
+* wall-clock series end in ``.seconds`` and are histograms.  That
+  suffix is a *contract*: :func:`stable_snapshot` strips those series
+  so two identical runs compare equal modulo timing.
+
+Cross-process: a worker's registry snapshot travels home in its result
+payload and is folded in with :meth:`MetricsRegistry.merge` — counters
+and histograms add, gauges last-write-wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Series-name suffix reserved for wall-clock measurements.
+TIME_SUFFIX = ".seconds"
+
+
+def series_key(name: str, labels: Dict[str, object]) -> str:
+    """Canonical ``name{k=v,...}`` key (labels sorted by name)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def series_name(key: str) -> str:
+    """The metric name of a series key (labels stripped)."""
+    brace = key.find("{")
+    return key if brace < 0 else key[:brace]
+
+
+class MetricsRegistry:
+    """Counter/gauge/histogram store with a mergeable snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+
+    # -- writes ------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        key = series_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self._gauges[series_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = series_key(name, labels)
+        entry = self._histograms.get(key)
+        if entry is None:
+            self._histograms[key] = {
+                "count": 1, "total": value, "min": value, "max": value,
+            }
+        else:
+            entry["count"] += 1
+            entry["total"] += value
+            entry["min"] = min(entry["min"], value)
+            entry["max"] = max(entry["max"], value)
+
+    # -- reads -------------------------------------------------------
+    def counter(self, name: str, **labels) -> float:
+        return self._counters.get(series_key(name, labels), 0)
+
+    def snapshot(self) -> dict:
+        """JSON-able copy of every series (keys sorted)."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                key: dict(value)
+                for key, value in sorted(self._histograms.items())
+            },
+        }
+
+    # -- maintenance -------------------------------------------------
+    def merge(self, snapshot: Optional[dict]) -> None:
+        """Fold a (worker) snapshot in: counters/histograms add,
+        gauges take the incoming value."""
+        if not snapshot:
+            return
+        for key, value in snapshot.get("counters", {}).items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, value in snapshot.get("gauges", {}).items():
+            self._gauges[key] = value
+        for key, incoming in snapshot.get("histograms", {}).items():
+            entry = self._histograms.get(key)
+            if entry is None:
+                self._histograms[key] = dict(incoming)
+            else:
+                entry["count"] += incoming["count"]
+                entry["total"] += incoming["total"]
+                entry["min"] = min(entry["min"], incoming["min"])
+                entry["max"] = max(entry["max"], incoming["max"])
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def stable_snapshot(snapshot: dict) -> dict:
+    """``snapshot`` with every wall-clock series removed.
+
+    Strips series whose *name* ends in :data:`TIME_SUFFIX` from all
+    three kinds, so two identical runs produce equal stable snapshots
+    no matter how long each stage took.
+    """
+    def keep(key: str) -> bool:
+        return not series_name(key).endswith(TIME_SUFFIX)
+
+    return {
+        kind: {
+            key: value for key, value in snapshot.get(kind, {}).items()
+            if keep(key)
+        }
+        for kind in ("counters", "gauges", "histograms")
+    }
+
+
+# ---------------------------------------------------------------------------
+# default registry + module-level helpers
+# ---------------------------------------------------------------------------
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _DEFAULT
+
+
+def swap_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the default; returns the previous one.
+
+    Used by worker-task capture to isolate one task's metrics, and by
+    tests to start from a clean slate.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = registry
+    return previous
+
+
+def reset_metrics() -> None:
+    _DEFAULT.reset()
+
+
+def inc(name: str, value: float = 1, **labels) -> None:
+    _DEFAULT.inc(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    _DEFAULT.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    _DEFAULT.observe(name, value, **labels)
+
+
+__all__ = [
+    "MetricsRegistry",
+    "TIME_SUFFIX",
+    "default_registry",
+    "inc",
+    "observe",
+    "reset_metrics",
+    "series_key",
+    "series_name",
+    "set_gauge",
+    "stable_snapshot",
+    "swap_registry",
+]

@@ -1,0 +1,269 @@
+"""Nestable span tracing on the monotonic clock.
+
+A :class:`Span` is one timed piece of work (a pipeline stage, a cache
+fill, a farm shard) with a name, free-form attributes, and a parent —
+the span that was *current* (a context variable, so ``async``/thread
+use is safe) when it started.  Span ids are allocated from a plain
+per-tracer counter, so a deterministic run produces a deterministic
+span tree; nothing in the id depends on wall clock or process identity.
+
+Tracing is off by default and costs one module-global ``None`` check
+per instrumentation site.  :func:`enable_tracing` installs a fresh
+:class:`Tracer` and exports ``REPRO_OBS=1`` so worker processes forked
+afterwards know to capture their own spans (see
+:func:`repro.obs.start_capture`); cross-process ledgers are merged back
+with :meth:`Tracer.merge`, which re-bases the child ids onto the parent
+counter and re-parents the child's root spans under the parent span
+that dispatched the work.
+
+Exporters live in :mod:`repro.obs.render`: Chrome ``trace_event`` JSON
+(load it at ``chrome://tracing`` / https://ui.perfetto.dev) and a flat
+JSONL ledger.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Environment flag that tells worker processes to capture spans and
+#: metrics for their parent.  Set/cleared by enable/disable_tracing.
+ENV_FLAG = "REPRO_OBS"
+
+#: Schema version of exported ledgers (JSONL header + chrome metadata).
+LEDGER_VERSION = 1
+
+
+@dataclass
+class Span:
+    """One finished (or still-open) timed operation."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    #: Seconds since the owning tracer's origin (monotonic clock).
+    start: float
+    end: float = 0.0
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            name=str(payload["name"]),
+            span_id=int(payload["id"]),
+            parent_id=(
+                None if payload.get("parent") is None
+                else int(payload["parent"])
+            ),
+            start=float(payload.get("start", 0.0)),
+            end=float(payload.get("end", 0.0)),
+            attributes=dict(payload.get("attrs", {})),
+        )
+
+
+class Tracer:
+    """Collects spans for one process (or one captured worker task)."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+        self._next_id = 1
+        self._finished: List[Span] = []
+        self._open: Dict[int, Span] = {}
+        self._current: "contextvars.ContextVar[Optional[int]]" = (
+            contextvars.ContextVar("repro_obs_current", default=None)
+        )
+        # Restored by finish_capture when this tracer shadowed another.
+        self._previous: Optional["Tracer"] = None
+
+    # -- recording ---------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attributes):
+        span_id = self._next_id
+        self._next_id += 1
+        entry = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=self._current.get(),
+            start=time.monotonic() - self._origin,
+            attributes=dict(attributes),
+        )
+        self._open[span_id] = entry
+        token = self._current.set(span_id)
+        try:
+            yield entry
+        finally:
+            self._current.reset(token)
+            entry.end = time.monotonic() - self._origin
+            del self._open[span_id]
+            self._finished.append(entry)
+
+    @property
+    def current_id(self) -> Optional[int]:
+        return self._current.get()
+
+    # -- reading -----------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Finished spans in id (creation) order."""
+        return sorted(self._finished, key=lambda s: s.span_id)
+
+    def export(self) -> dict:
+        """JSON-able ledger of the finished spans (local ids)."""
+        return {
+            "version": LEDGER_VERSION,
+            "spans": [span.to_dict() for span in self.spans()],
+        }
+
+    # -- cross-process merge -----------------------------------------
+    def merge(
+        self, payload: dict, parent_id: Optional[int] = None
+    ) -> Dict[int, int]:
+        """Fold a worker ledger into this tracer.
+
+        Child ids are re-based onto this tracer's counter (in the
+        child's own creation order, so merging is deterministic when
+        payloads arrive in a deterministic order); intra-payload parent
+        links are preserved and the payload's root spans are
+        re-parented under ``parent_id`` (default: the caller's current
+        span).  Child timestamps are shifted so the merged subtree
+        starts inside the span it is parented under.  Returns the
+        old-id → new-id mapping.
+        """
+        if parent_id is None:
+            parent_id = self.current_id
+        entries = sorted(
+            (Span.from_dict(item) for item in payload.get("spans", ())),
+            key=lambda s: s.span_id,
+        )
+        shift = 0.0
+        if entries:
+            base = 0.0
+            if parent_id is not None and parent_id in self._open:
+                base = self._open[parent_id].start
+            shift = base - min(span.start for span in entries)
+        mapping: Dict[int, int] = {}
+        for span in entries:
+            new_id = self._next_id
+            self._next_id += 1
+            mapping[span.span_id] = new_id
+            parent = (
+                mapping.get(span.parent_id, parent_id)
+                if span.parent_id is not None
+                else parent_id
+            )
+            self._finished.append(Span(
+                name=span.name,
+                span_id=new_id,
+                parent_id=parent,
+                start=span.start + shift,
+                end=span.end + shift,
+                attributes=dict(span.attributes),
+            ))
+        return mapping
+
+
+# ---------------------------------------------------------------------------
+# process-global tracer
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+#: Pid that installed ``_ACTIVE``.  A forked worker inherits the
+#: parent's tracer object but must never treat it as its own — its
+#: spans could not reach the parent — so every read is pid-guarded.
+_ACTIVE_PID: Optional[int] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    if _ACTIVE is None or _ACTIVE_PID != os.getpid():
+        return None
+    return _ACTIVE
+
+
+def tracing_enabled() -> bool:
+    return active_tracer() is not None
+
+
+def enable_tracing(export_env: bool = True) -> Tracer:
+    """Install (and return) a fresh process-global tracer.
+
+    ``export_env`` additionally sets :data:`ENV_FLAG` so worker
+    processes created afterwards capture their own ledgers for the
+    parent to merge.
+    """
+    global _ACTIVE, _ACTIVE_PID
+    _ACTIVE = Tracer()
+    _ACTIVE_PID = os.getpid()
+    if export_env:
+        os.environ[ENV_FLAG] = "1"
+    return _ACTIVE
+
+
+def disable_tracing(clear_env: bool = True) -> None:
+    """Drop the process-global tracer.
+
+    ``clear_env=False`` keeps :data:`ENV_FLAG` exported — used by
+    worker-task capture, where the *parent's* request to capture must
+    survive into the worker's next task.
+    """
+    global _ACTIVE
+    _ACTIVE = None
+    if clear_env:
+        os.environ.pop(ENV_FLAG, None)
+
+
+def env_enabled() -> bool:
+    """Did a parent process ask workers to capture observability data?"""
+    return os.environ.get(ENV_FLAG, "").strip() == "1"
+
+
+@contextmanager
+def span(name: str, **attributes):
+    """Record a span on the active tracer; no-op (yields ``None``)
+    when tracing is disabled."""
+    if _ACTIVE is None:  # cheap fast path for the common case
+        yield None
+        return
+    tracer = active_tracer()
+    if tracer is None:  # inherited from a forked parent — not ours
+        yield None
+        return
+    with tracer.span(name, **attributes) as entry:
+        yield entry
+
+
+def annotate(entry: Optional[Span], **attributes) -> None:
+    """Attach attributes to a span from :func:`span` (``None``-safe)."""
+    if entry is not None:
+        entry.attributes.update(attributes)
+
+
+__all__ = [
+    "ENV_FLAG",
+    "LEDGER_VERSION",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "annotate",
+    "disable_tracing",
+    "enable_tracing",
+    "env_enabled",
+    "span",
+    "tracing_enabled",
+]

@@ -16,19 +16,36 @@ structured :class:`PhaseDiagnostic` and the pipeline completes with the
 surviving packages.  ``strict=True`` is the escape hatch that re-raises
 the first typed error instead.
 
-Example::
+The recommended entry point is the :mod:`repro.api` facade, which
+composes every knob into one :class:`~repro.api.PipelineConfig`::
 
-    packer = VacuumPacker()
-    result = packer.pack(workload)
+    import repro
+
+    config = repro.PipelineConfig()           # paper defaults
+    result = repro.pack("134.perl/A", config)
     print(result.coverage.package_fraction)   # Figure 8's metric
     for diag in result.diagnostics:           # quarantined phases
         print(diag.render())
+
+Constructing :class:`VacuumPacker` with a config is equivalent
+(``VacuumPacker(config).pack(workload)``); the historical scattered
+keyword arguments (``VacuumPacker(classic=True, strict=True)``) still
+work through a shim that emits a ``DeprecationWarning``.
+
+Every stage reports to :mod:`repro.obs`: the Figure-1 spans
+(``pipeline.profile`` … ``pipeline.validate``) when tracing is enabled
+(``repro trace``), and the ``pipeline.*`` metrics (quarantine drops,
+per-stage wall time, bytes rewritten) always.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
+
+from repro.obs import annotate, inc, observe, span
 
 from repro.engine.executor import ExecutionSummary
 from repro.engine.listeners import HSDListener
@@ -48,7 +65,7 @@ from repro.packages.ordering import check_ordering_mode
 from repro.program.image import ProgramImage
 from repro.regions.config import RegionConfig
 from repro.regions.identify import branch_locator_from_image, identify_region
-from repro.regions.region import HotRegion
+from repro.regions.region import HotRegion, selected_origins
 from repro.workloads.base import Workload
 
 from .coverage import CoverageResult, measure_coverage
@@ -133,11 +150,20 @@ class PackResult:
             if d.phase is not None and d.phase not in packed_phases
         }
 
+    def unique_selected_instructions(self) -> int:
+        """Static instructions selected into ≥ 1 package (Table 3).
+
+        Counts via the shared :func:`repro.regions.region.
+        selected_origins` helper — the same implementation the fleet
+        service's shard payloads use.
+        """
+        return len(selected_origins(self.regions))
+
     def expansion_row(self) -> dict:
         """Table 3 metrics for this workload."""
         original = self.packed.original_static_size
         # Unique static instructions selected into at least one package.
-        unique_selected = _unique_selected_instructions(self.regions)
+        unique_selected = self.unique_selected_instructions()
         return {
             "benchmark": self.workload.name,
             "pct_increase": 100.0 * self.packed.static_size_increase(),
@@ -151,50 +177,84 @@ class PackResult:
         }
 
 
-def _unique_selected_instructions(regions: List[HotRegion]) -> int:
-    selected = set()
-    for region in regions:
-        for name in region.function_names():
-            function = region.program.function(name)
-            for label in region.subgraph(name).blocks:
-                for inst in function.cfg.by_label[label].instructions:
-                    if not inst.is_pseudo:
-                        selected.add(inst.root_origin())
-    return len(selected)
-
-
 class VacuumPacker:
     """End-to-end Vacuum Packing pipeline with the paper's defaults.
 
-    ``strict=False`` (the default) degrades per phase: any record whose
-    processing fails is quarantined with a :class:`PhaseDiagnostic` and
-    the pipeline completes with the survivors.  ``strict=True``
-    re-raises the first error instead.  ``validate`` controls whether
-    the structural oracles (:mod:`repro.postlink.validate`) gate every
-    pack.
+    Configure with one :class:`~repro.api.PipelineConfig`
+    (``VacuumPacker(config)``); with no argument the paper defaults
+    apply.  ``strict=False`` (the default) degrades per phase: any
+    record whose processing fails is quarantined with a
+    :class:`PhaseDiagnostic` and the pipeline completes with the
+    survivors.  ``strict=True`` re-raises the first error instead.
+    ``validate`` controls whether the structural oracles
+    (:mod:`repro.postlink.validate`) gate every pack.
+
+    The pre-:mod:`repro.api` scattered keyword arguments
+    (``hsd_config=`` … ``validate=``) still work but emit a
+    ``DeprecationWarning``; they are folded into a config by
+    :func:`repro.api.config_from_legacy`.
     """
 
     def __init__(
         self,
+        config=None,
+        *,
         hsd_config: Optional[HSDConfig] = None,
         region_config: Optional[RegionConfig] = None,
         similarity: Optional[SimilarityPolicy] = None,
-        link: bool = True,
-        optimize: bool = True,
-        classic: bool = False,
-        ordering: str = "best",
-        strict: bool = False,
-        validate: bool = True,
+        link: Optional[bool] = None,
+        optimize: Optional[bool] = None,
+        classic: Optional[bool] = None,
+        ordering: Optional[str] = None,
+        strict: Optional[bool] = None,
+        validate: Optional[bool] = None,
     ):
-        self.hsd_config = hsd_config or HSDConfig()
-        self.region_config = region_config or RegionConfig()
-        self.similarity = similarity or SimilarityPolicy()
-        self.link = link
-        self.optimize = optimize
-        self.classic = classic
-        self.ordering = check_ordering_mode(ordering)
-        self.strict = strict
-        self.validate = validate
+        from repro.api import PipelineConfig, config_from_legacy
+
+        legacy = {
+            name: value
+            for name, value in (
+                ("hsd_config", hsd_config),
+                ("region_config", region_config),
+                ("similarity", similarity),
+                ("link", link),
+                ("optimize", optimize),
+                ("classic", classic),
+                ("ordering", ordering),
+                ("strict", strict),
+                ("validate", validate),
+            )
+            if value is not None
+        }
+        if config is not None and not isinstance(config, PipelineConfig):
+            if isinstance(config, HSDConfig):
+                # Oldest spelling: the HSD config passed positionally.
+                legacy.setdefault("hsd_config", config)
+                config = None
+            else:
+                raise TypeError(
+                    "VacuumPacker() expects a repro.api.PipelineConfig, "
+                    f"got {type(config).__name__}"
+                )
+        if legacy:
+            warnings.warn(
+                "VacuumPacker's scattered keyword arguments are "
+                "deprecated; pass repro.api.PipelineConfig "
+                f"(got: {', '.join(sorted(legacy))})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = config_from_legacy(config, **legacy)
+        self.config = config or PipelineConfig()
+        self.hsd_config = self.config.hsd
+        self.region_config = self.config.region
+        self.similarity = self.config.similarity
+        self.link = self.config.link
+        self.optimize = self.config.optimize
+        self.classic = self.config.classic
+        self.ordering = check_ordering_mode(self.config.ordering)
+        self.strict = self.config.strict
+        self.validate = self.config.validate
 
     # -- step 1 ------------------------------------------------------
     def profile(self, workload: Workload) -> ProfileResult:
@@ -205,20 +265,31 @@ class VacuumPacker:
         the detector's chunked fast path; ``REPRO_ENGINE=reference``
         keeps the original per-event interpreter plumbing.
         """
-        image = image_for(workload.program)
-        address_of = {
-            uid: address
-            for uid, address in image.instruction_address.items()
-        }
-        listener = HSDListener(
-            HotSpotDetector(self.hsd_config), address_of, self.similarity
-        )
-        if compiled_enabled():
-            trace = traced_run(workload)
-            listener.consume_trace(trace.uids, trace.taken)
-            summary = trace.summary
-        else:
-            summary = workload.run(branch_hooks=[listener])
+        started = time.perf_counter()
+        with span("pipeline.profile", workload=workload.name) as entry:
+            image = image_for(workload.program)
+            address_of = {
+                uid: address
+                for uid, address in image.instruction_address.items()
+            }
+            listener = HSDListener(
+                HotSpotDetector(self.hsd_config), address_of, self.similarity
+            )
+            if compiled_enabled():
+                trace = traced_run(workload)
+                listener.consume_trace(trace.uids, trace.taken)
+                summary = trace.summary
+            else:
+                summary = workload.run(branch_hooks=[listener])
+            annotate(
+                entry,
+                records=len(listener.unique_records),
+                raw_detections=listener.raw_detections,
+                branches=summary.branches,
+            )
+        observe("pipeline.stage.seconds", time.perf_counter() - started,
+                stage="profile")
+        inc("pipeline.phases_detected", len(listener.unique_records))
         return ProfileResult(
             records=listener.unique_records,
             raw_detections=listener.raw_detections,
@@ -271,36 +342,59 @@ class VacuumPacker:
         self, workload: Workload, profile: Optional[ProfileResult] = None
     ) -> PackResult:
         """Run the full pipeline; profiles first if not given one."""
-        profile = profile or self.profile(workload)
-        diagnostics: List[PhaseDiagnostic] = []
+        with span("vacuum.pack", workload=workload.name) as root:
+            profile = profile or self.profile(workload)
+            diagnostics: List[PhaseDiagnostic] = []
 
-        records = self._screen_records(profile.records, diagnostics)
-        regions = self._identify_surviving(workload, profile, records,
-                                           diagnostics)
+            records = self._screen_records(profile.records, diagnostics)
+            started = time.perf_counter()
+            with span("pipeline.identify", records=len(records)) as entry:
+                regions = self._identify_surviving(
+                    workload, profile, records, diagnostics
+                )
+                annotate(entry, regions=len(regions))
+            observe("pipeline.stage.seconds",
+                    time.perf_counter() - started, stage="identify")
 
-        surviving = list(regions)
-        validation = None
-        while True:
-            plan, packed, validation, failed = self._attempt(
-                workload, surviving, diagnostics
+            surviving = list(regions)
+            validation = None
+            while True:
+                plan, packed, validation, failed = self._attempt(
+                    workload, surviving, diagnostics
+                )
+                if not failed:
+                    break
+                next_surviving = [
+                    r for r in surviving if r.record.index not in failed
+                ]
+                if len(next_surviving) == len(surviving):  # pragma: no cover
+                    # Failure not attributable to any surviving phase;
+                    # drop everything rather than loop forever.
+                    diagnostics.append(PhaseDiagnostic(
+                        stage="rewrite",
+                        error="unattributable failure; quarantining all "
+                              "remaining phases",
+                    ))
+                    next_surviving = []
+                surviving = next_surviving
+
+            started = time.perf_counter()
+            with span("pipeline.coverage") as entry:
+                coverage = self._measure(workload, packed, diagnostics)
+                annotate(entry, branches=coverage.branches)
+            observe("pipeline.stage.seconds",
+                    time.perf_counter() - started, stage="coverage")
+
+            for diagnostic in diagnostics:
+                inc("pipeline.quarantined", stage=diagnostic.stage)
+            inc("pipeline.packs")
+            inc("pipeline.phases_packed", len(surviving))
+            annotate(
+                root,
+                phases=len(surviving),
+                packages=len(plan.packages) if plan is not None else 0,
+                quarantined=len(diagnostics),
             )
-            if not failed:
-                break
-            next_surviving = [
-                r for r in surviving if r.record.index not in failed
-            ]
-            if len(next_surviving) == len(surviving):  # pragma: no cover
-                # Failure not attributable to any surviving phase; drop
-                # everything rather than loop forever.
-                diagnostics.append(PhaseDiagnostic(
-                    stage="rewrite",
-                    error="unattributable failure; quarantining all "
-                          "remaining phases",
-                ))
-                next_surviving = []
-            surviving = next_surviving
-
-        coverage = self._measure(workload, packed, diagnostics)
         return PackResult(
             workload=workload,
             profile=profile,
@@ -377,66 +471,97 @@ class VacuumPacker:
         """
         failed: Set[int] = set()
 
-        per_region: List[RegionPackages] = []
-        for region in regions:
-            index = region.record.index
-            try:
-                per_region.append(construct_packages(region))
-            except ReproError as exc:
-                if self.strict:
-                    raise
-                diagnostics.append(PhaseDiagnostic.from_exception(
-                    "construct", exc, phase=index
-                ))
-                failed.add(index)
-        if failed:
-            return None, None, None, failed
-
-        plan = assemble_plan(per_region, link=self.link,
-                             ordering=self.ordering)
-
-        if self.optimize:
-            from repro.optimize.passes import (
-                optimize_package,
-                region_taken_probabilities,
-            )
-
-            taken_prob = region_taken_probabilities(regions)
-            for package in plan.packages:
+        started = time.perf_counter()
+        with span("pipeline.pack", regions=len(regions)) as pack_span:
+            per_region: List[RegionPackages] = []
+            for region in regions:
+                index = region.record.index
                 try:
-                    optimize_package(
-                        package, taken_prob, enable_classic=self.classic
-                    )
-                except Exception as exc:
+                    per_region.append(construct_packages(region))
+                except ReproError as exc:
                     if self.strict:
                         raise
                     diagnostics.append(PhaseDiagnostic.from_exception(
-                        "optimize", exc, phase=package.region_index
+                        "construct", exc, phase=index
                     ))
-                    failed.add(package.region_index)
+                    failed.add(index)
             if failed:
-                return plan, None, None, failed
+                observe("pipeline.stage.seconds",
+                        time.perf_counter() - started, stage="pack")
+                return None, None, None, failed
 
-        try:
-            packed = rewrite_program(workload.program, plan)
-        except RewriteError as exc:
-            if self.strict:
-                raise
-            diagnostics.append(
-                PhaseDiagnostic.from_exception("rewrite", exc)
+            plan = assemble_plan(per_region, link=self.link,
+                                 ordering=self.ordering)
+
+            if self.optimize:
+                from repro.optimize.passes import (
+                    optimize_package,
+                    region_taken_probabilities,
+                )
+
+                taken_prob = region_taken_probabilities(regions)
+                for package in plan.packages:
+                    try:
+                        optimize_package(
+                            package, taken_prob, enable_classic=self.classic
+                        )
+                    except Exception as exc:
+                        if self.strict:
+                            raise
+                        diagnostics.append(PhaseDiagnostic.from_exception(
+                            "optimize", exc, phase=package.region_index
+                        ))
+                        failed.add(package.region_index)
+            annotate(
+                pack_span,
+                packages=len(plan.packages),
+                package_instructions=sum(
+                    p.static_size() for p in plan.packages
+                ),
             )
-            if exc.phase is not None:
-                failed.add(exc.phase)
-            else:
-                failed.update(r.record.index for r in regions)
+        observe("pipeline.stage.seconds",
+                time.perf_counter() - started, stage="pack")
+        if failed:
             return plan, None, None, failed
+
+        started = time.perf_counter()
+        with span("pipeline.rewrite") as rewrite_span:
+            try:
+                packed = rewrite_program(workload.program, plan)
+            except RewriteError as exc:
+                observe("pipeline.stage.seconds",
+                        time.perf_counter() - started, stage="rewrite")
+                if self.strict:
+                    raise
+                diagnostics.append(
+                    PhaseDiagnostic.from_exception("rewrite", exc)
+                )
+                if exc.phase is not None:
+                    failed.add(exc.phase)
+                else:
+                    failed.update(r.record.index for r in regions)
+                return plan, None, None, failed
+            bytes_rewritten = packed.package_static_size() * 8
+            annotate(rewrite_span,
+                     static_size=packed.package_static_size(),
+                     bytes_rewritten=bytes_rewritten)
+        observe("pipeline.stage.seconds",
+                time.perf_counter() - started, stage="rewrite")
+        inc("pipeline.bytes_rewritten", bytes_rewritten)
 
         validation = None
         if self.validate:
             from .validate import validate_packed, validate_plan
 
-            validation = validate_plan(plan, workload.program)
-            validation.merge(validate_packed(packed))
+            started = time.perf_counter()
+            with span("pipeline.validate") as validate_span:
+                validation = validate_plan(plan, workload.program)
+                validation.merge(validate_packed(packed))
+                annotate(validate_span, checks=validation.checks,
+                         ok=validation.ok)
+            observe("pipeline.stage.seconds",
+                    time.perf_counter() - started, stage="validate")
+            inc("pipeline.validation_checks", validation.checks)
             if not validation.ok:
                 if self.strict:
                     validation.raise_if_failed()

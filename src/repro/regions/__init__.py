@@ -4,7 +4,7 @@ from .config import DEFAULT_REGION_CONFIG, RegionConfig
 from .growth import adopt_unknown_arcs, entry_blocks_of, grow_entry_predecessors, grow_region
 from .identify import branch_locator_from_image, identify_region, identify_regions
 from .inference import infer_temperatures
-from .region import HotRegion, HotSubgraph
+from .region import HotRegion, HotSubgraph, selected_origins
 from .seeding import seed_marking
 from .temperature import FunctionMarking, RegionMarking, Temp
 
@@ -25,4 +25,5 @@ __all__ = [
     "identify_regions",
     "infer_temperatures",
     "seed_marking",
+    "selected_origins",
 ]

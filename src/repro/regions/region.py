@@ -8,7 +8,7 @@ subgraph and its call-graph slice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.analysis.weights import WeightEstimate, estimate_weights
 from repro.hsd.records import HotSpotRecord
@@ -120,3 +120,25 @@ class HotRegion:
             f"{self.hot_block_count()} blocks across "
             f"{len(self.function_names())} functions>"
         )
+
+
+def selected_origins(regions: Iterable["HotRegion"]) -> Set[int]:
+    """Original-binary instruction uids selected into ≥ 1 region.
+
+    The one shared implementation of Table 3's "static instructions
+    selected" set: :meth:`PackResult.expansion_row
+    <repro.postlink.vacuum.PackResult.expansion_row>` and the fleet
+    service's shard payloads both count from here (a regression test
+    asserts they agree).  Pseudo instructions never count; replicated
+    copies collapse onto the instruction they were cloned from via
+    :meth:`~repro.isa.instructions.Instruction.root_origin`.
+    """
+    selected: Set[int] = set()
+    for region in regions:
+        for name in region.function_names():
+            function = region.program.function(name)
+            for label in region.subgraph(name).blocks:
+                for inst in function.cfg.by_label[label].instructions:
+                    if not inst.is_pseudo:
+                        selected.add(inst.root_origin())
+    return selected

@@ -38,11 +38,13 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.engine.trace_cache import DISABLED_VALUES, atomic_write
+from repro.obs import inc
 from repro.program.image import ProgramImage
 
 #: Bump when the artifact payload schema changes; participates in both
 #: the content key and the embedded stamp.
-FORMAT_VERSION = 1
+#: v2: shard payloads carry ``unique_selected`` (shared Table-3 count).
+FORMAT_VERSION = 2
 
 _ENV_DIR = "REPRO_ARTIFACT_STORE"
 
@@ -130,15 +132,18 @@ class ArtifactStore:
                 raise ValueError("payload must be an object")
         except FileNotFoundError:
             self.stats.misses += 1
+            inc("artifact_store.misses")
             return None
         except Exception:  # corrupt/foreign entry: drop and miss
             self.stats.errors += 1
+            inc("artifact_store.errors")
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        inc("artifact_store.hits")
         return payload
 
     def put(self, key: str, payload: Dict) -> bool:
@@ -161,8 +166,10 @@ class ArtifactStore:
             )
         except OSError:
             self.stats.errors += 1
+            inc("artifact_store.errors")
             return False
         self.stats.puts += 1
+        inc("artifact_store.puts")
         return True
 
 

@@ -28,11 +28,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
+from repro.api import PipelineConfig
 from repro.errors import ServiceError
 from repro.engine.trace_cache import image_for
 from repro.experiments.parallel import parallel_map
 from repro.hsd.serialize import record_from_entry, record_to_entry
-from repro.postlink.vacuum import PackResult, VacuumPacker
+from repro.obs import annotate, inc, span
+from repro.postlink.vacuum import PackResult
 from repro.workloads.suite import load_benchmark
 
 from .aggregate import FleetProfile, MergedPhase
@@ -50,16 +53,29 @@ class FarmConfig:
     link: bool = True
     optimize: bool = True
     ordering: str = "best"
+    #: Full :class:`~repro.api.PipelineConfig` document.  When given it
+    #: defines the pack configuration *entirely* (the four scalar knobs
+    #: above are ignored); when ``None`` the scalars apply over
+    #: pipeline defaults.  Either way :meth:`pipeline_config` is the
+    #: one resolved truth.
+    pipeline: Optional[Dict] = None
     #: Merged phases per worker dispatch (1 = maximal fan-out).
     shard_size: int = 1
 
-    def packer_kwargs(self) -> Dict:
-        return {
-            "classic": self.classic,
-            "link": self.link,
-            "optimize": self.optimize,
-            "ordering": self.ordering,
-        }
+    def pipeline_config(self) -> PipelineConfig:
+        """The resolved pack configuration of this farm."""
+        if self.pipeline is not None:
+            return PipelineConfig.from_dict(self.pipeline)
+        return PipelineConfig(
+            classic=self.classic,
+            link=self.link,
+            optimize=self.optimize,
+            ordering=self.ordering,
+        )
+
+    def pipeline_dict(self) -> Dict:
+        """Canonical pipeline document (what workers receive)."""
+        return self.pipeline_config().to_dict()
 
     def fingerprint(self) -> str:
         """Pack-config part of the artifact key.
@@ -67,13 +83,17 @@ class FarmConfig:
         ``shard_size`` is deliberately absent: it only decides how
         phases are *grouped*, and the grouping is already captured by
         each shard's profile digest — two farms that happen to form
-        the same shard reuse each other's artifacts.
+        the same shard reuse each other's artifacts.  v2: the pack
+        configuration participates as the full canonical pipeline
+        document, so *every* knob (similarity policy, region growth,
+        ...) addresses its own artifacts.
         """
+        document = self.pipeline_dict()
+        document.pop("obs", None)  # tracing never changes pack output
+        doc = canonical_json(document).decode()
         return (
-            f"farm:v1;bench={self.benchmark}/{self.input_name};"
-            f"scale={self.scale!r};classic={self.classic};"
-            f"link={self.link};optimize={self.optimize};"
-            f"ordering={self.ordering}"
+            f"farm:v2;bench={self.benchmark}/{self.input_name};"
+            f"scale={self.scale!r};pipeline={doc}"
         )
 
 
@@ -143,6 +163,7 @@ def shard_payload(result: PackResult, phases: List[int]) -> Dict:
             for package in result.packages
         ],
         "expansion": result.expansion_row(),
+        "unique_selected": result.unique_selected_instructions(),
         "coverage": {
             "package_fraction": coverage.package_fraction,
             "package_instructions": coverage.package_instructions,
@@ -158,18 +179,27 @@ def shard_payload(result: PackResult, phases: List[int]) -> Dict:
 def _run_shard(task: Dict) -> Dict:
     """Worker: pack one shard (module-level, hence picklable)."""
     started = time.perf_counter()
-    workload = load_benchmark(
-        task["benchmark"], task["input_name"], scale=task["scale"]
-    )
-    records = [record_from_entry(entry) for entry in task["records"]]
-    packer = VacuumPacker(**task["packer"])
-    result = packer.pack_records(workload, records)
-    return {
+    capture = obs.start_capture()
+    with span("farm.shard", shard=task["shard"],
+              phases=len(task["phases"])) as entry:
+        workload = load_benchmark(
+            task["benchmark"], task["input_name"], scale=task["scale"]
+        )
+        records = [record_from_entry(entry) for entry in task["records"]]
+        packer = PipelineConfig.from_dict(task["packer"]).packer()
+        result = packer.pack_records(workload, records)
+        payload = shard_payload(result, task["phases"])
+        annotate(entry, packages=len(payload["packages"]))
+    done = {
         "shard": task["shard"],
         "key": task["key"],
-        "payload": shard_payload(result, task["phases"]),
+        "payload": payload,
         "seconds": time.perf_counter() - started,
     }
+    ledger = obs.finish_capture(capture)
+    if ledger is not None:
+        done["obs"] = ledger
+    return done
 
 
 def pack_fleet(
@@ -206,46 +236,55 @@ def pack_fleet(
         for start in range(0, len(fleet.phases), size)
     ]
 
-    outcomes: List[Optional[ShardOutcome]] = [None] * len(shards)
-    tasks: List[Dict] = []
-    for number, shard in enumerate(shards):
-        digest = shard_profile_digest(shard, fleet.policy_fingerprint)
-        key = artifact_key(image, digest, fingerprint)
-        phases = [phase.index for phase in shard]
-        started = time.perf_counter()
-        payload = store.get(key)
-        if payload is not None:
-            outcomes[number] = ShardOutcome(
-                shard=number,
-                phases=phases,
-                key=key,
-                cached=True,
-                seconds=time.perf_counter() - started,
-                payload=payload,
-            )
-            continue
-        tasks.append({
-            "shard": number,
-            "key": key,
-            "phases": phases,
-            # Consensus records travel in document form: plain dicts
-            # pickle cheaply and rebuild identically in the worker.
-            "records": [record_to_entry(phase.record) for phase in shard],
-            "benchmark": config.benchmark,
-            "input_name": config.input_name,
-            "scale": config.scale,
-            "packer": config.packer_kwargs(),
-        })
+    with span("farm.pack_fleet", shards=len(shards)) as farm_span:
+        outcomes: List[Optional[ShardOutcome]] = [None] * len(shards)
+        tasks: List[Dict] = []
+        for number, shard in enumerate(shards):
+            digest = shard_profile_digest(shard, fleet.policy_fingerprint)
+            key = artifact_key(image, digest, fingerprint)
+            phases = [phase.index for phase in shard]
+            started = time.perf_counter()
+            payload = store.get(key)
+            if payload is not None:
+                outcomes[number] = ShardOutcome(
+                    shard=number,
+                    phases=phases,
+                    key=key,
+                    cached=True,
+                    seconds=time.perf_counter() - started,
+                    payload=payload,
+                )
+                inc("farm.cached_shards")
+                continue
+            tasks.append({
+                "shard": number,
+                "key": key,
+                "phases": phases,
+                # Consensus records travel in document form: plain dicts
+                # pickle cheaply and rebuild identically in the worker.
+                "records": [record_to_entry(phase.record) for phase in shard],
+                "benchmark": config.benchmark,
+                "input_name": config.input_name,
+                "scale": config.scale,
+                "packer": config.pipeline_dict(),
+            })
 
-    for done in parallel_map(_run_shard, tasks, jobs=jobs):
-        store.put(done["key"], done["payload"])
-        outcomes[done["shard"]] = ShardOutcome(
-            shard=done["shard"],
-            phases=[p for p in done["payload"]["phases"]],
-            key=done["key"],
-            cached=False,
-            seconds=done["seconds"],
-            payload=done["payload"],
+        for done in parallel_map(_run_shard, tasks, jobs=jobs):
+            obs.absorb(done.pop("obs", None))
+            store.put(done["key"], done["payload"])
+            outcomes[done["shard"]] = ShardOutcome(
+                shard=done["shard"],
+                phases=[p for p in done["payload"]["phases"]],
+                key=done["key"],
+                cached=False,
+                seconds=done["seconds"],
+                payload=done["payload"],
+            )
+            inc("farm.packed_shards")
+        annotate(
+            farm_span,
+            cached=sum(1 for o in outcomes if o is not None and o.cached),
+            packed=len(tasks),
         )
     return FleetPackResult(outcomes=list(outcomes))
 

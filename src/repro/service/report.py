@@ -60,6 +60,7 @@ def build_report(
             "cached": outcome.cached,
             "seconds": round(outcome.seconds, 6),
             "packages": len(outcome.payload["packages"]),
+            "unique_selected": outcome.payload.get("unique_selected"),
             "coverage": outcome.payload["coverage"]["package_fraction"],
             "diagnostics": outcome.payload["diagnostics"],
         }

@@ -1,0 +1,179 @@
+"""Tests for the repro.api facade, PipelineConfig, and the legacy shim."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.api import (
+    CONFIG_VERSION,
+    ObsConfig,
+    PipelineConfig,
+    config_from_legacy,
+)
+from repro.hsd.config import HSDConfig
+from repro.postlink.vacuum import VacuumPacker
+from repro.regions import selected_origins
+from repro.regions.config import RegionConfig
+from repro.service.farm import shard_payload
+from repro.workloads.suite import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def mcf():
+    return load_benchmark("181.mcf", "A", scale=0.2)
+
+
+# ---------------------------------------------------------------------------
+# config round-trips
+# ---------------------------------------------------------------------------
+
+class TestPipelineConfig:
+    def test_to_dict_from_dict_round_trip(self):
+        config = PipelineConfig(
+            hsd=HSDConfig(counter_bits=8),
+            region=RegionConfig(max_growth_blocks=3),
+            classic=True,
+            ordering="worst",
+            strict=True,
+            validate=False,
+            obs=ObsConfig(trace=True, trace_format="jsonl"),
+        )
+        assert PipelineConfig.from_dict(config.to_dict()) == config
+
+    def test_document_is_json_round_trippable(self):
+        document = PipelineConfig().to_dict()
+        assert document["version"] == CONFIG_VERSION
+        assert PipelineConfig.from_dict(
+            json.loads(json.dumps(document))
+        ) == PipelineConfig()
+
+    def test_partial_document_takes_defaults(self):
+        config = PipelineConfig.from_dict(
+            {"classic": True, "hsd": {"counter_bits": 7}}
+        )
+        assert config.classic is True
+        assert config.hsd.counter_bits == 7
+        assert config.region == RegionConfig()
+        assert config.validate is True
+
+    def test_unknown_top_level_key_raises(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            PipelineConfig.from_dict({"clasic": True})
+
+    def test_unknown_nested_key_raises(self):
+        with pytest.raises(ValueError, match="hsd"):
+            PipelineConfig.from_dict({"hsd": {"counter_bitz": 9}})
+
+    def test_version_mismatch_raises(self):
+        with pytest.raises(ValueError, match="version"):
+            PipelineConfig.from_dict({"version": 99})
+
+    def test_bad_ordering_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(ordering="bogus")
+
+    def test_load_reads_config_file(self, tmp_path):
+        path = tmp_path / "pipeline.json"
+        path.write_text(json.dumps({"link": False}))
+        assert PipelineConfig.load(str(path)).link is False
+
+    def test_replace_returns_modified_copy(self):
+        base = PipelineConfig()
+        changed = base.replace(strict=True)
+        assert changed.strict is True and base.strict is False
+
+    def test_config_from_legacy_maps_kwargs(self):
+        config = config_from_legacy(
+            hsd_config=HSDConfig(counter_bits=6), classic=True
+        )
+        assert config.hsd.counter_bits == 6
+        assert config.classic is True
+
+
+# ---------------------------------------------------------------------------
+# facades
+# ---------------------------------------------------------------------------
+
+class TestFacades:
+    def test_pack_matches_vacuum_packer(self, mcf):
+        via_facade = repro.pack(mcf)
+        direct = VacuumPacker(PipelineConfig()).pack(mcf)
+        assert via_facade.expansion_row() == direct.expansion_row()
+
+    def test_pack_accepts_benchmark_spec(self):
+        result = repro.pack("181.mcf/A", scale=0.2)
+        assert result.packages
+
+    def test_profile_facade(self, mcf):
+        profile = repro.profile(mcf)
+        assert profile.records
+
+    def test_lazy_exports_resolve(self):
+        assert repro.PipelineConfig is PipelineConfig
+        assert repro.ObsConfig is ObsConfig
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+
+# ---------------------------------------------------------------------------
+# legacy shim
+# ---------------------------------------------------------------------------
+
+class TestLegacyShim:
+    def test_config_path_never_warns(self, mcf):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            packer = VacuumPacker(PipelineConfig(validate=False))
+            packer.pack(mcf)
+
+    def test_legacy_kwargs_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="PipelineConfig"):
+            packer = VacuumPacker(strict=True, link=False)
+        assert packer.config.strict is True
+        assert packer.config.link is False
+
+    def test_legacy_positional_hsd_config_warns(self):
+        hsd = HSDConfig(counter_bits=8)
+        with pytest.warns(DeprecationWarning):
+            packer = VacuumPacker(hsd)
+        assert packer.config.hsd == hsd
+        assert packer.hsd_config == hsd  # back-compat mirror
+
+    def test_wrong_config_type_raises(self):
+        with pytest.raises(TypeError, match="PipelineConfig"):
+            VacuumPacker(config="classic")
+
+    def test_shim_matches_config_spelling(self, mcf):
+        with pytest.warns(DeprecationWarning):
+            legacy = VacuumPacker(classic=True, validate=False)
+        modern = VacuumPacker(
+            PipelineConfig(classic=True, validate=False)
+        )
+        assert (
+            legacy.pack(mcf).expansion_row()
+            == modern.pack(mcf).expansion_row()
+        )
+
+
+# ---------------------------------------------------------------------------
+# one shared unique-selected-instruction count (satellite regression)
+# ---------------------------------------------------------------------------
+
+class TestUniqueSelected:
+    def test_expansion_row_and_shard_payload_agree(self, mcf):
+        result = repro.pack(mcf)
+        expected = len(selected_origins(result.regions))
+        assert result.unique_selected_instructions() == expected
+        row = result.expansion_row()
+        original = result.packed.original_static_size
+        assert row["pct_selected"] == 100.0 * expected / original
+        phases = sorted(
+            {region.record.index for region in result.regions}
+        )
+        payload = shard_payload(result, phases)
+        assert payload["unique_selected"] == expected

@@ -49,3 +49,113 @@ class TestCommands:
         code = main(["pack", "181.mcf", "A", "--scale", "0.2", "--classic"])
         assert code == 0
         assert "coverage" in capsys.readouterr().out
+
+
+class TestConfigFlag:
+    def test_pack_accepts_pipeline_config(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "pipeline.json"
+        path.write_text(json.dumps({"classic": True, "validate": False}))
+        code = main(["pack", "181.mcf", "A", "--scale", "0.2",
+                     "--config", str(path)])
+        assert code == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_missing_config_file_exits(self):
+        with pytest.raises(SystemExit):
+            main(["pack", "181.mcf", "A", "--config", "/nope/missing.json"])
+
+    def test_invalid_config_document_exits(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"clasic": true}')
+        with pytest.raises(SystemExit):
+            main(["pack", "181.mcf", "A", "--config", str(path)])
+
+    def test_ingest_flag_aliases(self, tmp_path):
+        parser = build_parser()
+        canonical = parser.parse_args(
+            ["ingest", "--bench", "181.mcf/A", "--runs", "2",
+             "--seed", "7", "--out", str(tmp_path)]
+        )
+        aliased = parser.parse_args(
+            ["ingest", "--bench", "181.mcf/A", "--runs", "2",
+             "--base-seed", "7", "--out-dir", str(tmp_path)]
+        )
+        assert canonical.seed == aliased.seed == 7
+        assert canonical.out == aliased.out == str(tmp_path)
+
+    def test_jobs_flag_uniform(self):
+        parser = build_parser()
+        serve_required = ["--profiles", "p", "--bench", "181.mcf/A"]
+        for argv in (["faults", "--jobs", "2"],
+                     ["fuzz", "--jobs", "2"],
+                     ["serve", "--jobs", "2"] + serve_required,
+                     ["figure8", "--jobs", "2"]):
+            assert parser.parse_args(argv).jobs == 2
+
+
+class TestTraceCommand:
+    def test_trace_pack_writes_parseable_ledger(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "ledger.json"
+        code = main([
+            "trace", "pack", "181.mcf", "A", "--scale", "0.2",
+            "--trace-out", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "pipeline.profile" in captured
+        assert "trace written to" in captured
+        document = json.loads(out.read_text())
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "repro.pack" in names and "vacuum.pack" in names
+
+    def test_trace_jsonl_export(self, tmp_path):
+        out = tmp_path / "ledger.jsonl"
+        code = main([
+            "trace", "pack", "181.mcf", "A", "--scale", "0.2",
+            "--export=jsonl", "--trace-out=" + str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+
+    def test_trace_rejects_tracing_trace(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "trace", "pack", "181.mcf"])
+
+    def test_trace_rejects_empty_command(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_trace_rejects_bad_export_format(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "pack", "181.mcf", "--export", "xml"])
+
+    def test_stats_renders_written_ledger(self, capsys, tmp_path):
+        out = tmp_path / "ledger.json"
+        main(["trace", "pack", "181.mcf", "A", "--scale", "0.2",
+              "--trace-out", str(out)])
+        capsys.readouterr()
+        code = main(["stats", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "pipeline.pack" in captured
+
+    def test_stats_reexports(self, capsys, tmp_path):
+        src = tmp_path / "ledger.json"
+        dst = tmp_path / "ledger.jsonl"
+        main(["trace", "pack", "181.mcf", "A", "--scale", "0.2",
+              "--trace-out", str(src)])
+        capsys.readouterr()
+        code = main(["stats", str(src), "--export", "jsonl",
+                     "--out", str(dst)])
+        assert code == 0
+        assert dst.exists()
+
+    def test_stats_on_garbage_exits(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json")
+        with pytest.raises(SystemExit):
+            main(["stats", str(path)])

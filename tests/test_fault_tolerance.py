@@ -16,6 +16,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.api import PipelineConfig
 from repro.errors import DifferentialError, ProfileError, RegionError, ReproError
 from repro.hsd import ALL_FAULT_MODES, FaultInjector, FaultSpec, inject_faults
 from repro.isa.instructions import Instruction, Opcode
@@ -135,7 +136,7 @@ def test_any_fault_mix_survives_nonstrict_pack(perl, seed, modes, rate):
 class TestStrictMode:
     def test_duplicate_record_raises(self, perl):
         workload, _, profile, _ = perl
-        strict = VacuumPacker(strict=True)
+        strict = VacuumPacker(PipelineConfig(strict=True))
         doubled = dataclasses.replace(
             profile, records=list(profile.records) + [profile.records[0]]
         )
@@ -156,7 +157,7 @@ class TestStrictMode:
 
     def test_unknown_ordering_rejected_eagerly(self):
         with pytest.raises(ValueError, match="best, worst, first"):
-            VacuumPacker(ordering="bogus")
+            VacuumPacker(PipelineConfig(ordering="bogus"))
 
     def test_region_error_carries_addresses(self, perl):
         workload, packer, profile, _ = perl
@@ -188,7 +189,7 @@ class TestStrictMode:
             },
         )
         bad_profile = dataclasses.replace(profile, records=[hostile])
-        strict = VacuumPacker(strict=True)
+        strict = VacuumPacker(PipelineConfig(strict=True))
         with pytest.raises(ReproError):
             strict.pack(workload, bad_profile)
         # Non-strict: quarantined at identify, pipeline completes empty.

@@ -21,6 +21,7 @@ from repro.engine import BehaviorModel, ExecutionLimits, PhaseScript
 from repro.isa.assembler import assemble
 from repro.packages.linking import compute_links
 from repro.packages.ordering import rank_from_links
+from repro.api import PipelineConfig
 from repro.postlink import VacuumPacker
 from repro.workloads.base import Workload
 
@@ -183,7 +184,7 @@ class TestFigure7:
     def test_phase_transitions_covered(self, figure7):
         workload, result = figure7
         assert result.coverage.package_fraction > 0.85
-        no_link = VacuumPacker(link=False).pack(
+        no_link = VacuumPacker(PipelineConfig(link=False)).pack(
             workload, profile=result.profile
         )
         assert result.coverage.package_fraction >= \

@@ -35,6 +35,7 @@ from repro.fuzz import (
     save_case,
     shrink_case,
 )
+from repro.api import PipelineConfig
 from repro.postlink import VacuumPacker, differential_check
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
@@ -66,7 +67,7 @@ def test_sunk_work_is_accounted_not_flagged():
     work; the differential oracle must attribute the delta to recorded
     sunk origins instead of failing."""
     case = load_case(os.path.join(CORPUS_DIR, "case14-seed12.json"))
-    result = VacuumPacker(validate=False).pack(case.workload)
+    result = VacuumPacker(PipelineConfig(validate=False)).pack(case.workload)
     report = differential_check(case.workload, result.packed)
     assert report.ok, report.render()
     assert report.work_sunk > 0

@@ -1,0 +1,335 @@
+"""Tests for repro.obs: spans, metrics, exporters, worker capture."""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.api import ObsConfig, PipelineConfig
+from repro.obs.metrics import (
+    MetricsRegistry,
+    series_key,
+    series_name,
+    stable_snapshot,
+)
+from repro.obs.render import (
+    STAGE_ORDER,
+    load_export,
+    stage_table,
+    to_chrome,
+    write_export,
+)
+from repro.obs.spans import Tracer
+from repro.workloads.suite import load_benchmark
+
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with tracing off and metrics empty."""
+    obs.disable_tracing()
+    obs.reset_metrics()
+    yield
+    obs.disable_tracing()
+    obs.reset_metrics()
+
+
+# ---------------------------------------------------------------------------
+# tracer basics
+# ---------------------------------------------------------------------------
+
+class TestTracer:
+    def test_ids_are_sequential_and_parents_nest(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b", depth=2):
+                pass
+            with tracer.span("c"):
+                pass
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["a", "b", "c"]
+        assert [s.span_id for s in spans] == [1, 2, 3]
+        a, b, c = spans
+        assert a.parent_id is None
+        assert b.parent_id == a.span_id
+        assert c.parent_id == a.span_id
+        assert b.attributes == {"depth": 2}
+        assert all(s.end >= s.start for s in spans)
+
+    def test_module_span_is_noop_when_disabled(self):
+        assert not obs.tracing_enabled()
+        with obs.span("nothing") as entry:
+            assert entry is None
+        obs.annotate(entry, ignored=True)  # None-safe
+
+    def test_enable_disable_round_trip(self):
+        tracer = obs.enable_tracing(export_env=False)
+        try:
+            assert obs.active_tracer() is tracer
+            with obs.span("x") as entry:
+                assert entry is not None
+        finally:
+            obs.disable_tracing()
+        assert obs.active_tracer() is None
+        assert [s.name for s in tracer.spans()] == ["x"]
+
+    def test_merge_rebases_ids_and_reparents_roots(self):
+        child = Tracer()
+        with child.span("task"):
+            with child.span("inner"):
+                pass
+        payload = child.export()
+
+        parent = Tracer()
+        with parent.span("dispatch"):
+            mapping = parent.merge(payload)
+        spans = {s.name: s for s in parent.spans()}
+        assert spans["task"].parent_id == spans["dispatch"].span_id
+        assert spans["inner"].parent_id == spans["task"].span_id
+        # Re-based ids continue the parent's counter.
+        assert sorted(mapping.values()) == [
+            spans["task"].span_id, spans["inner"].span_id
+        ]
+        ids = [s.span_id for s in parent.spans()]
+        assert len(set(ids)) == len(ids)
+
+
+# ---------------------------------------------------------------------------
+# cross-process capture
+# ---------------------------------------------------------------------------
+
+def _pool_task(seed: int):
+    """Module-level worker; forked children inherit the parent tracer
+    object and must still capture into a fresh one."""
+    capture = obs.start_capture()
+    with obs.span("task", seed=seed):
+        with obs.span("step"):
+            obs.inc("worker.events")
+    return seed, obs.finish_capture(capture)
+
+
+def _run_pool_round():
+    tracer = obs.enable_tracing()
+    try:
+        with obs.span("dispatch"):
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                results = list(pool.map(_pool_task, [0, 1, 2]))
+            for _, payload in results:
+                obs.absorb(payload)
+    finally:
+        obs.disable_tracing()
+    return tracer
+
+
+class TestWorkerCapture:
+    def test_pool_spans_merge_with_parent_links(self):
+        tracer = _run_pool_round()
+        spans = tracer.spans()
+        dispatch = next(s for s in spans if s.name == "dispatch")
+        tasks = [s for s in spans if s.name == "task"]
+        steps = [s for s in spans if s.name == "step"]
+        assert len(tasks) == 3 and len(steps) == 3
+        assert all(t.parent_id == dispatch.span_id for t in tasks)
+        by_id = {s.span_id: s for s in spans}
+        for step in steps:
+            assert by_id[step.parent_id].name == "task"
+        # Payloads absorbed in input order -> seeds appear in order.
+        seeds = [
+            t.attributes["seed"]
+            for t in sorted(tasks, key=lambda s: s.span_id)
+        ]
+        assert seeds == [0, 1, 2]
+        # Worker counters merged home.
+        assert obs.default_registry().counter("worker.events") == 3
+
+    def test_pool_span_tree_is_deterministic(self):
+        def shape(tracer):
+            return [
+                (s.span_id, s.name, s.parent_id) for s in tracer.spans()
+            ]
+
+        first = shape(_run_pool_round())
+        obs.reset_metrics()
+        second = shape(_run_pool_round())
+        assert first == second
+
+    def test_start_capture_is_noop_without_env_or_with_live_tracer(self):
+        assert obs.start_capture() is None  # REPRO_OBS unset
+        obs.enable_tracing()
+        try:
+            assert obs.start_capture() is None  # live tracer owns spans
+        finally:
+            obs.disable_tracing()
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_series_keys_sort_labels(self):
+        key = series_key("hits", {"b": 1, "a": 2})
+        assert key == "hits{a=2,b=1}"
+        assert series_name(key) == "hits"
+        assert series_name("plain") == "plain"
+
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("n", 2, kind="x")
+        reg.inc("n", kind="x")
+        reg.set_gauge("g", 7)
+        reg.observe("h.seconds", 0.5)
+        reg.observe("h.seconds", 1.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"n{kind=x}": 3}
+        assert snap["gauges"] == {"g": 7}
+        hist = snap["histograms"]["h.seconds"]
+        assert hist == {"count": 2, "total": 2.0, "min": 0.5, "max": 1.5}
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 1)
+        b.inc("n", 2)
+        a.observe("t.seconds", 1.0)
+        b.observe("t.seconds", 3.0)
+        b.set_gauge("g", 9)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 3
+        assert snap["gauges"]["g"] == 9
+        assert snap["histograms"]["t.seconds"]["count"] == 2
+        assert snap["histograms"]["t.seconds"]["max"] == 3.0
+
+    def test_stable_snapshot_strips_wall_clock_series(self):
+        reg = MetricsRegistry()
+        reg.inc("pipeline.packs")
+        reg.observe("pipeline.stage.seconds", 0.1, stage="profile")
+        stable = stable_snapshot(reg.snapshot())
+        assert stable["counters"] == {"pipeline.packs": 1}
+        assert stable["histograms"] == {}
+
+
+# ---------------------------------------------------------------------------
+# the instrumented pipeline
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def mcf():
+    return load_benchmark("181.mcf", "A", scale=0.2)
+
+
+def _traced_pack(workload):
+    tracer = obs.enable_tracing()
+    try:
+        from repro import api
+
+        result = api.pack(workload)
+    finally:
+        obs.disable_tracing()
+    return tracer, result
+
+
+class TestPipelineTracing:
+    def test_pack_emits_the_pipeline_stage_spans(self, mcf):
+        tracer, result = _traced_pack(mcf)
+        names = {s.name for s in tracer.spans()}
+        assert "vacuum.pack" in names
+        for stage in STAGE_ORDER:
+            if stage == "pipeline.validate" and result.validation is None:
+                continue
+            assert stage in names, f"missing {stage}"
+        root = next(s for s in tracer.spans() if s.name == "vacuum.pack")
+        stages = [
+            s for s in tracer.spans()
+            if s.name in ("pipeline.identify", "pipeline.coverage")
+        ]
+        assert stages and all(
+            s.parent_id == root.span_id for s in stages
+        )
+
+    def test_metrics_stable_across_identical_runs(self, mcf, tmp_path,
+                                                  monkeypatch):
+        from repro.engine.trace_cache import reset_default_cache
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+        reset_default_cache()
+        try:
+            _traced_pack(mcf)  # warm the trace cache
+            obs.reset_metrics()
+            _traced_pack(mcf)
+            first = stable_snapshot(obs.default_registry().snapshot())
+            obs.reset_metrics()
+            _traced_pack(mcf)
+            second = stable_snapshot(obs.default_registry().snapshot())
+        finally:
+            reset_default_cache()
+        assert first == second
+        assert first["counters"]["pipeline.packs"] == 1
+
+    def test_chrome_export_round_trips(self, mcf, tmp_path):
+        tracer, _ = _traced_pack(mcf)
+        metrics = obs.default_registry().snapshot()
+        path = tmp_path / "trace.json"
+        write_export(str(path), tracer.spans(), metrics, fmt="chrome")
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        spans, loaded_metrics = load_export(str(path))
+        assert [s.name for s in spans] == [
+            s.name for s in tracer.spans()
+        ]
+        assert loaded_metrics == json.loads(json.dumps(metrics))
+
+    def test_jsonl_export_round_trips(self, mcf, tmp_path):
+        tracer, _ = _traced_pack(mcf)
+        path = tmp_path / "trace.jsonl"
+        write_export(str(path), tracer.spans(),
+                     obs.default_registry().snapshot(), fmt="jsonl")
+        spans, metrics = load_export(str(path))
+        assert len(spans) == len(tracer.spans())
+        assert "counters" in metrics
+
+    def test_load_export_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{\"neither\": true}")
+        with pytest.raises(ValueError):
+            load_export(str(path))
+
+    def test_stage_table_mentions_stages_and_quarantine(self, mcf):
+        tracer, _ = _traced_pack(mcf)
+        table = stage_table(
+            tracer.spans(), obs.default_registry().snapshot()
+        )
+        assert "pipeline.profile" in table
+        assert "quarantined phases:" in table
+
+    def test_chrome_export_empty_ledger(self):
+        document = to_chrome([], None)
+        assert document["traceEvents"] == []
+
+
+# ---------------------------------------------------------------------------
+# facade obs options
+# ---------------------------------------------------------------------------
+
+class TestObsConfig:
+    def test_facade_writes_trace_out(self, mcf, tmp_path):
+        out = tmp_path / "facade.json"
+        from repro import api
+
+        config = PipelineConfig(
+            obs=ObsConfig(trace=True, trace_out=str(out))
+        )
+        api.pack(mcf, config)
+        assert not obs.tracing_enabled()  # facade cleaned up
+        spans, _ = load_export(str(out))
+        assert any(s.name == "vacuum.pack" for s in spans)
+
+    def test_bad_trace_format_rejected(self):
+        with pytest.raises(ValueError, match="trace_format"):
+            ObsConfig(trace_format="xml")

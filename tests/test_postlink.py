@@ -17,6 +17,7 @@ from repro.engine import (
 from repro.hsd.records import BranchProfile, HotSpotRecord
 from repro.isa.assembler import assemble
 from repro.packages import construct_all
+from repro.api import PipelineConfig
 from repro.postlink import VacuumPacker, clone_program, rewrite_program
 from repro.regions import identify_region
 from repro.workloads.base import Workload
@@ -278,7 +279,7 @@ class TestVacuumPackerEndToEnd:
         assert result.coverage.package_fraction > 0.85
 
     def test_linking_never_hurts_coverage(self, result):
-        no_link = VacuumPacker(link=False).pack(
+        no_link = VacuumPacker(PipelineConfig(link=False)).pack(
             result.workload, profile=result.profile
         )
         assert (
@@ -294,7 +295,7 @@ class TestVacuumPackerEndToEnd:
         workload = inline_dispatch_workload()
         packer = VacuumPacker()
         linked = packer.pack(workload)
-        unlinked = VacuumPacker(link=False).pack(
+        unlinked = VacuumPacker(PipelineConfig(link=False)).pack(
             workload, profile=linked.profile
         )
         assert linked.profile.phase_count >= 2
