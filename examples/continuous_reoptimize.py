@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Continuous re-optimization: drift, detection, and self-healing.
+
+The paper's end vision is transparent reoptimization — hardware
+detects phases, software re-optimizes as behavior changes.  This
+example closes that loop end to end:
+
+1. a simulated client fleet profiles a benchmark every epoch;
+2. the controller ships a packed artifact and then *probes* it each
+   epoch, projecting its selected regions onto current behavior;
+3. at a chosen epoch the fleet's behavior drifts (cold branch guards
+   warm up), projected coverage decays, and the detector fires;
+4. the controller re-aggregates recent profiles, re-packs through the
+   fault-tolerant farm, and ships a fresh artifact — measuring
+   time-to-recover.
+
+Run:  python examples/continuous_reoptimize.py
+"""
+
+import tempfile
+
+from repro.service import ControllerConfig, DriftSpec, run_controller
+
+
+def main() -> None:
+    config = ControllerConfig(
+        benchmark="181.mcf",
+        input_name="A",
+        scale=0.2,
+        epochs=6,
+        clients_per_epoch=3,
+        epoch_window=2,
+        drift=DriftSpec(epoch=2, severity=0.5, warm_bias=0.4),
+    )
+    print("simulating 6 service epochs with drift at epoch 2 ...\n")
+    with tempfile.TemporaryDirectory() as work:
+        report = run_controller(config, work, jobs=2)
+
+    print(report.render())
+
+    recovery = report.document["recovery"]
+    print(f"\nthe drift warmed {recovery['warmed_branches']} formerly-cold "
+          f"branch guard(s); the shipped artifact's projected coverage "
+          f"fell to {recovery['drifted_coverage']:.1%} before the "
+          f"re-pack restored {recovery['post_recovery_coverage']:.1%}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -297,6 +297,109 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_drift(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.errors import ServiceError
+    from repro.service import (
+        ArtifactStore,
+        ControllerConfig,
+        DriftSpec,
+        run_controller,
+    )
+
+    benchmark, input_name = _parse_bench_spec(args.bench)
+    pipeline = _base_config(args)
+    try:
+        config = ControllerConfig(
+            benchmark=benchmark,
+            input_name=input_name,
+            scale=args.scale,
+            epochs=args.epochs,
+            clients_per_epoch=args.clients,
+            base_seed=args.seed,
+            epoch_window=args.epoch_window,
+            shard_size=args.shard_size,
+            drift=DriftSpec(
+                epoch=args.drift_epoch,
+                severity=args.severity,
+                warm_bias=args.warm_bias,
+                seed=args.seed,
+            ),
+            decay_threshold=args.decay_threshold,
+            min_staleness=args.min_staleness,
+            patience=args.patience,
+            pipeline=pipeline.to_dict(),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro drift: {exc}")
+    store = ArtifactStore(args.store) if args.store else ArtifactStore("off")
+    try:
+        if args.work_dir:
+            report = run_controller(
+                config, args.work_dir, jobs=args.jobs, store=store,
+                verbose=args.verbose,
+            )
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-drift-") as work:
+                report = run_controller(
+                    config, work, jobs=args.jobs, store=store,
+                    verbose=args.verbose,
+                )
+    except ServiceError as exc:
+        message = f"repro drift: {exc}"
+        if exc.hint:
+            message += f" (hint: {exc.hint})"
+        raise SystemExit(message)
+    print(report.render())
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"\n(written to {args.out})")
+    return 0 if report.recovered else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.experiments.chaos_campaign import run_chaos_campaign
+    from repro.service import ALL_SERVICE_FAULT_MODES
+
+    modes = tuple(args.mode or ALL_SERVICE_FAULT_MODES)
+    unknown = [m for m in modes if m not in ALL_SERVICE_FAULT_MODES]
+    if unknown:
+        known = ", ".join(ALL_SERVICE_FAULT_MODES)
+        raise SystemExit(
+            f"repro chaos: unknown mode(s) {', '.join(unknown)}; "
+            f"known: {known}"
+        )
+    benchmark, input_name = _parse_bench_spec(args.bench)
+    report = run_chaos_campaign(
+        benchmark=benchmark,
+        input_name=input_name,
+        scale=args.scale,
+        seed=args.seed,
+        trials=args.trials,
+        modes=modes,
+        runs=args.runs,
+        epochs=args.epochs,
+        shard_size=args.shard_size,
+        jobs=args.jobs,
+        work_dir=args.work_dir,
+        verbose=args.verbose,
+        config=getattr(args, "pipeline", None),
+    )
+    print(report.render())
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(
+                _json.dumps(report.to_dict(), indent=2, sort_keys=True)
+                + "\n"
+            )
+        print(f"\n(written to {args.out})")
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main_bench
 
@@ -553,6 +656,79 @@ def build_parser() -> argparse.ArgumentParser:
                             "REPRO_ARTIFACT_STORE or "
                             "~/.cache/repro/artifacts; 'off' disables)")
     serve.set_defaults(func=_cmd_serve)
+
+    drift = sub.add_parser(
+        "drift",
+        help="continuous re-optimization loop: simulate epochs, inject "
+             "drift, detect decay, re-pack, measure time-to-recover",
+        parents=_parents("config", "scale", "jobs", "out", "verbose"),
+    )
+    drift.add_argument("--bench", required=True, metavar="NAME/INPUT",
+                       help="benchmark binary the fleet runs")
+    drift.add_argument("--epochs", type=int, default=6,
+                       help="service epochs to simulate (default 6)")
+    drift.add_argument("--clients", type=int, default=4,
+                       help="client profiling runs per epoch (default 4)")
+    drift.add_argument("--seed", type=int, default=0,
+                       help="base seed for clients and the drift draw")
+    drift.add_argument("--drift-epoch", type=int, default=2,
+                       help="epoch at which fleet behavior drifts "
+                            "(default 2)")
+    drift.add_argument("--severity", type=float, default=0.5,
+                       help="fraction of cold guards that warm up "
+                            "(default 0.5)")
+    drift.add_argument("--warm-bias", type=float, default=0.4,
+                       help="taken probability a warmed guard acquires "
+                            "(default 0.4)")
+    drift.add_argument("--epoch-window", type=int, default=2,
+                       help="epochs of profiles a re-aggregation looks "
+                            "back over (default 2)")
+    drift.add_argument("--decay-threshold", type=float, default=0.1,
+                       help="relative coverage decay that counts as a "
+                            "strike (default 0.1)")
+    drift.add_argument("--min-staleness", type=int, default=1,
+                       help="artifact staleness before decay counts "
+                            "(default 1)")
+    drift.add_argument("--patience", type=int, default=1,
+                       help="consecutive decayed epochs before a re-pack "
+                            "(default 1)")
+    drift.add_argument("--shard-size", type=int, default=1,
+                       help="merged phases per farm shard (default 1)")
+    drift.add_argument("--store", default=None,
+                       help="artifact store root (default: off for a "
+                            "self-contained run)")
+    drift.add_argument("--work-dir", default=None,
+                       help="keep per-epoch profiles here (default: a "
+                            "temporary directory)")
+    drift.set_defaults(func=_cmd_drift)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fleet chaos campaign: inject service-scale faults and "
+             "check the farm self-heals to the fault-free pack",
+        parents=_parents("config", "scale", "jobs", "out", "verbose"),
+    )
+    chaos.add_argument("--bench", default="181.mcf/A", metavar="NAME/INPUT",
+                       help="benchmark binary the fleet runs "
+                            "(default 181.mcf/A)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (fleet, fault placement, "
+                            "backoff)")
+    chaos.add_argument("--trials", type=int, default=1,
+                       help="injections per fault mode (default 1)")
+    chaos.add_argument("--mode", action="append",
+                       help="fault mode to enable (repeatable; "
+                            "default all)")
+    chaos.add_argument("--runs", type=int, default=6,
+                       help="simulated client runs (default 6)")
+    chaos.add_argument("--epochs", type=int, default=2,
+                       help="staleness epochs the fleet spans (default 2)")
+    chaos.add_argument("--shard-size", type=int, default=1,
+                       help="merged phases per farm shard (default 1)")
+    chaos.add_argument("--work-dir", default=None,
+                       help="keep trial state here (default: a temporary "
+                            "directory)")
+    chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser(
         "bench",

@@ -19,7 +19,7 @@ has two properties the experiments rely on:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -95,6 +95,43 @@ class BehaviorModel:
     def known_branches(self) -> Dict[int, Dict[Optional[int], float]]:
         """The configured bias table (read-only view for tooling)."""
         return {uid: dict(phases) for uid, phases in self._bias.items()}
+
+    def default_cold_branches(self) -> List[int]:
+        """Branches whose only bias entry is a phase-independent 0.0.
+
+        These are the workload generator's never-taken guards into cold
+        code — the lever the drift simulator pulls: warming one routes
+        real execution into blocks no profile ever saw.  Sorted by uid,
+        which is construction order, so the list is structurally stable
+        across seeded rebuilds of the same workload.
+        """
+        return sorted(
+            uid for uid, table in self._bias.items()
+            if set(table) == {None} and table[None] == 0.0
+        )
+
+    def stable_id(self, branch_uid: int) -> int:
+        """The registration-order id outcomes are hashed on.
+
+        Stable across seeded rebuilds of the same workload (uids shift
+        with process-global allocation; registration order does not),
+        which lets drift simulation key per-branch decisions on it.
+        """
+        return self._stable_id.get(branch_uid, branch_uid)
+
+    def bias_snapshot(self) -> Dict[int, Dict[Optional[int], float]]:
+        """A deep copy of the bias table, for later :meth:`restore_biases`."""
+        return {uid: dict(phases) for uid, phases in self._bias.items()}
+
+    def restore_biases(
+        self, snapshot: Dict[int, Dict[Optional[int], float]]
+    ) -> None:
+        """Reset the bias table to a :meth:`bias_snapshot` copy.
+
+        Stable ids are left untouched: branches keep the registration
+        order they were created with, so outcomes after a restore match
+        the original model exactly."""
+        self._bias = {uid: dict(phases) for uid, phases in snapshot.items()}
 
     def __contains__(self, branch_uid: int) -> bool:
         return branch_uid in self._bias

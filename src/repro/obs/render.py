@@ -256,6 +256,18 @@ def stage_table(spans: Sequence[Span], metrics: Optional[dict] = None) -> str:
             summary.append(line)
     quarantined = _counter_total(metrics, "pipeline.quarantined")
     summary.append(f"quarantined phases: {quarantined:.0f}")
+    # Service-layer fault counters only appear once the fleet service
+    # has actually seen trouble — a clean run stays clean.
+    for label, name in (
+        ("quarantined ingests", "service.ingest.quarantined"),
+        ("corrupt artifacts", "service.artifacts.corrupt"),
+        ("farm shard failures", "farm.shard_failures"),
+        ("farm shards degraded", "farm.shards_quarantined"),
+        ("farm pool respawns", "farm.pool_respawns"),
+    ):
+        total = _counter_total(metrics, name)
+        if total:
+            summary.append(f"{label}: {total:.0f}")
     for key, hist in metrics.get("histograms", {}).items():
         if series_name(key) == "pipeline.stage.seconds":
             summary.append(

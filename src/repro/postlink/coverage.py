@@ -13,7 +13,7 @@ and classifies dynamic instructions by the block they came from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable, Optional, Set
 
 from repro.engine.compiled import ReplayDivergence, compiled_enabled, run_workload
 from repro.engine.executor import ExecutionSummary
@@ -40,6 +40,15 @@ class CoverageResult:
     def package_fraction(self) -> float:
         total = self.total_instructions
         return self.package_instructions / total if total else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "package_fraction": self.package_fraction,
+            "package_instructions": self.package_instructions,
+            "original_instructions": self.original_instructions,
+            "branches": self.branches,
+            "launch_entries": self.launch_entries,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return (
@@ -77,6 +86,53 @@ def classify_summary(
         original_instructions=original_count,
         branches=summary.branches,
         launch_entries=launch_entries,
+    )
+
+
+def project_coverage(
+    workload: Workload,
+    selected_uids: Iterable[int],
+    summary: Optional[ExecutionSummary] = None,
+) -> CoverageResult:
+    """Project a selected-instruction set onto an *original-program* run.
+
+    :func:`measure_coverage` executes the packed binary, which is only
+    semantically faithful under the behaviour stream it was profiled
+    from (outcomes are occurrence-indexed).  When the question is "how
+    well would the shipped packages cover *today's* behaviour?" — the
+    drift controller's question — the honest measurement runs the
+    original program under the current behaviour and classifies each
+    dynamic instruction by whether its uid was selected into a package.
+    This is exactly the paper's section 5.1 tabulation, computed from
+    the profile side instead of the rewritten binary.
+
+    ``selected_uids`` is an instruction-origin uid set (e.g.
+    :func:`repro.regions.region.selected_origins` over a pack's
+    regions).  Pass ``summary`` to classify an existing run instead of
+    re-executing.  ``launch_entries`` is 0: no packed binary runs here.
+    """
+    selected: Set[int] = set(selected_uids)
+    sizes: Dict[int, int] = {}
+    chosen: Dict[int, int] = {}
+    for function in workload.program.functions.values():
+        for block in function.blocks:
+            sizes[block.uid] = block.size()
+            chosen[block.uid] = sum(
+                1 for inst in block.instructions if inst.uid in selected
+            )
+    if summary is None:
+        summary = workload.run()
+    package_count = 0
+    original_count = 0
+    for uid, visits in summary.block_visits.items():
+        inside = chosen.get(uid, 0)
+        package_count += visits * inside
+        original_count += visits * (sizes.get(uid, 0) - inside)
+    return CoverageResult(
+        package_instructions=package_count,
+        original_instructions=original_count,
+        branches=summary.branches,
+        launch_entries=0,
     )
 
 

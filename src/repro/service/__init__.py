@@ -1,4 +1,5 @@
-"""Fleet profile service: aggregate many client profiles, pack once.
+"""Fleet profile service: aggregate many client profiles, pack once —
+then keep the artifact fresh as the fleet's behavior drifts.
 
 The deployment layer on top of the single-run pipeline (the BOLT
 model): profiles arrive from many client runs of the same binary,
@@ -9,6 +10,15 @@ processes through the content-addressed
 :mod:`~repro.service.artifacts` store.  ``repro ingest`` / ``repro
 serve`` drive the whole thing from the command line and emit the JSON
 :mod:`~repro.service.report`.
+
+On top of the one-shot request sits the continuous re-optimization
+loop: :mod:`~repro.service.drift` injects and detects behavior drift,
+:mod:`~repro.service.controller` closes the probe → detect →
+re-aggregate → re-pack cycle (``repro drift``), and
+:mod:`~repro.service.chaos` injects service-scale faults — worker
+crashes, shard hangs, corrupt artifacts, truncated uploads, clock skew
+— that the fault-tolerant farm (:class:`~repro.service.farm.FarmPolicy`)
+must survive (``repro chaos``).
 """
 
 from .aggregate import (
@@ -32,11 +42,24 @@ from .artifacts import (
     image_digest,
     reset_default_store,
 )
+from .chaos import (
+    ALL_SERVICE_FAULT_MODES,
+    ChaosSpec,
+    armed,
+    chaos_hook,
+    corrupt_artifact_entry,
+    skew_profile_epoch,
+    truncate_profile,
+)
 from .clients import SimulatedClient, simulate_fleet
+from .controller import ControllerConfig, ControllerReport, run_controller
+from .drift import DriftDetector, DriftSpec, apply_drift
 from .farm import (
     FarmConfig,
+    FarmPolicy,
     FleetPackResult,
     ShardOutcome,
+    degraded_payload,
     pack_fleet,
     shard_payload,
     shard_profile_digest,
@@ -44,10 +67,17 @@ from .farm import (
 from .report import FleetReport, build_report
 
 __all__ = [
+    "ALL_SERVICE_FAULT_MODES",
     "ArtifactStats",
     "ArtifactStore",
+    "ChaosSpec",
     "ClientRun",
+    "ControllerConfig",
+    "ControllerReport",
+    "DriftDetector",
+    "DriftSpec",
     "FarmConfig",
+    "FarmPolicy",
     "FleetPackResult",
     "FleetProfile",
     "FleetReport",
@@ -58,17 +88,25 @@ __all__ = [
     "RejectedProfile",
     "ShardOutcome",
     "SimulatedClient",
+    "apply_drift",
+    "armed",
     "artifact_key",
     "build_report",
     "canonical_json",
+    "chaos_hook",
+    "corrupt_artifact_entry",
     "default_store",
+    "degraded_payload",
     "image_digest",
     "ingest_dir",
     "ingest_paths",
     "merge_runs",
     "pack_fleet",
     "reset_default_store",
+    "run_controller",
     "shard_payload",
     "shard_profile_digest",
     "simulate_fleet",
+    "skew_profile_epoch",
+    "truncate_profile",
 ]

@@ -35,11 +35,12 @@ keys downstream).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ServiceError
+from repro.obs import inc
 from repro.hsd.filtering import SimilarityPolicy, missing_fraction, same_hot_spot
 from repro.hsd.records import BranchProfile, HotSpotRecord
 from repro.hsd.serialize import (
@@ -116,6 +117,8 @@ def ingest_paths(paths: Iterable[Union[str, Path]]) -> IngestResult:
             doc = load_document(path)
         except (ProfileFormatError, OSError) as exc:
             hint = getattr(exc, "hint", "")
+            inc("service.ingest.quarantined",
+                exception_type=type(exc).__name__)
             result.rejected.append(RejectedProfile(
                 path=path,
                 error=str(exc),
@@ -157,13 +160,32 @@ class MergePolicy:
     branch_quorum: float = 0.5
     #: Drop merged phases contributed by fewer distinct runs.
     min_runs: int = 1
+    #: Epoch-window decay: drop client runs older than this many
+    #: epochs behind the fleet max epoch *before* clustering, so a
+    #: phase seen only by aged-out clients disappears from the
+    #: consensus — and stays gone when the old documents are replayed
+    #: through ingest (the window is anchored at the max epoch, which
+    #: a replay cannot move backwards).  ``None`` = keep everything.
+    epoch_window: Optional[int] = None
+    #: Clock-skew clamp: a run's epoch is capped at the fleet median
+    #: epoch plus this margin, so one client with a wild clock cannot
+    #: define the max epoch (and thereby age every honest client out
+    #: of the window).  ``None`` = trust client clocks.
+    max_epoch_skew: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.epoch_window is not None and self.epoch_window < 0:
+            raise ValueError("epoch_window must be >= 0 (or None)")
+        if self.max_epoch_skew is not None and self.max_epoch_skew < 0:
+            raise ValueError("max_epoch_skew must be >= 0 (or None)")
 
     def fingerprint(self) -> str:
         sim = self.similarity
         return (
-            f"merge:v1;missing={sim.missing_fraction!r};"
+            f"merge:v2;missing={sim.missing_fraction!r};"
             f"bias={sim.bias_threshold!r};flips={sim.max_bias_flips};"
-            f"quorum={self.branch_quorum!r};min_runs={self.min_runs}"
+            f"quorum={self.branch_quorum!r};min_runs={self.min_runs};"
+            f"window={self.epoch_window!r};skew={self.max_epoch_skew!r}"
         )
 
 
@@ -221,6 +243,8 @@ class FleetProfile:
     rejected: int
     policy_fingerprint: str
     max_epoch: int = 0
+    #: Runs dropped by the merge policy's epoch window.
+    aged_out: int = 0
 
     @property
     def records(self) -> List[HotSpotRecord]:
@@ -233,6 +257,7 @@ class FleetProfile:
             "rejected": self.rejected,
             "policy": self.policy_fingerprint,
             "max_epoch": self.max_epoch,
+            "aged_out": self.aged_out,
         }
 
     def digest(self) -> str:
@@ -316,6 +341,33 @@ def merge_runs(
                  "directory was empty); see the rejection list",
         )
 
+    # Clock-skew clamp first: epochs feed the window and every
+    # staleness stamp, so a wild client clock must be contained before
+    # any epoch arithmetic happens.  The reference is the fleet median
+    # (robust: a single skewed client cannot move it).
+    if policy.max_epoch_skew is not None:
+        epochs = sorted(run.epoch for run in runs)
+        ceiling = epochs[(len(epochs) - 1) // 2] + policy.max_epoch_skew
+        clamped: List[ClientRun] = []
+        for run in runs:
+            if run.epoch > ceiling:
+                inc("service.merge.epoch_clamped")
+                run = replace(run, epoch=ceiling)
+            clamped.append(run)
+        runs = clamped
+
+    max_epoch = max(run.epoch for run in runs)
+    aged_out = 0
+    if policy.epoch_window is not None:
+        fresh = [
+            run for run in runs
+            if run.epoch >= max_epoch - policy.epoch_window
+        ]
+        aged_out = len(runs) - len(fresh)
+        if aged_out:
+            inc("service.merge.aged_out", aged_out)
+        runs = fresh
+
     # Greedy clustering in deterministic order; each cluster is
     # represented by its first member (the anchor), so membership does
     # not depend on merge arithmetic.
@@ -331,7 +383,6 @@ def merge_runs(
             else:
                 clusters.append([(run, record)])
 
-    max_epoch = max(run.epoch for run in runs)
     phases = []
     for members in clusters:
         if len({run.run_id for run, _ in members}) < policy.min_runs:
@@ -345,6 +396,7 @@ def merge_runs(
         rejected=rejected,
         policy_fingerprint=policy.fingerprint(),
         max_epoch=max_epoch,
+        aged_out=aged_out,
     )
 
 

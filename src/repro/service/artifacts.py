@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -47,6 +48,8 @@ from repro.program.image import ProgramImage
 FORMAT_VERSION = 2
 
 _ENV_DIR = "REPRO_ARTIFACT_STORE"
+
+logger = logging.getLogger(__name__)
 
 
 def canonical_json(payload: Dict) -> bytes:
@@ -134,9 +137,14 @@ class ArtifactStore:
             self.stats.misses += 1
             inc("artifact_store.misses")
             return None
-        except Exception:  # corrupt/foreign entry: drop and miss
+        except Exception as exc:  # corrupt/foreign entry: drop and miss
             self.stats.errors += 1
             inc("artifact_store.errors")
+            inc("service.artifacts.corrupt")
+            logger.warning(
+                "artifact store: corrupt entry %s (%s: %s); deleting and "
+                "treating as a miss", path, type(exc).__name__, exc,
+            )
             try:
                 os.unlink(path)
             except OSError:

@@ -1,0 +1,233 @@
+"""Service-scale fault injection for the packing farm and ingest path.
+
+The PR-1 fault injector (:mod:`repro.hsd.faults`) corrupts *profiles*
+before they reach the pipeline; this module extends the same idea to
+the faults a fleet service actually dies from: a worker process that
+crashes or hangs mid-shard, an artifact-store entry that rots on disk,
+a profile document truncated mid-upload, and a client whose clock
+stamps profiles from the future.  The chaos campaign
+(:mod:`repro.experiments.chaos_campaign`) drives these against the
+full ingest → merge → farm path and checks the service survives.
+
+Worker faults travel through the ``REPRO_CHAOS`` environment variable
+as a JSON :class:`ChaosSpec`: farm workers call :func:`chaos_hook` at
+the top of each shard, and the hook fires the configured fault.
+Triggering is bounded and race-free across processes: each firing
+atomically claims a token file (``O_CREAT | O_EXCL``) under the spec's
+``tokens_dir``, so at most ``max_triggers`` faults fire per armed spec
+no matter how many workers, retries, or pool respawns race for them —
+which is what lets a bounded-retry farm deterministically outlast a
+bounded chaos budget.
+
+Store/ingest faults do not need a hook — they are plain file
+corruption the campaign applies between service calls:
+:func:`corrupt_artifact_entry`, :func:`truncate_profile`, and
+:func:`skew_profile_epoch`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import ServiceError
+
+#: Environment variable carrying the armed spec into farm workers.
+ENV_CHAOS = "REPRO_CHAOS"
+
+#: Faults fired inside a farm worker via :func:`chaos_hook`.
+WORKER_FAULT_MODES = ("worker_crash", "worker_exception", "shard_hang")
+
+#: Faults applied to files between service calls.
+FILE_FAULT_MODES = ("corrupt_artifact", "truncated_profile", "epoch_skew")
+
+ALL_SERVICE_FAULT_MODES = WORKER_FAULT_MODES + FILE_FAULT_MODES
+
+#: The exit status a chaos-crashed worker dies with (distinctive in
+#: pool tracebacks and logs).
+CRASH_EXIT_CODE = 13
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One armed worker fault: what fires, where, and how often."""
+
+    mode: str
+    #: Directory for trigger-claim token files; must be shared by every
+    #: process participating in the campaign trial.
+    tokens_dir: str
+    #: Shard numbers eligible to fire the fault; empty = any shard.
+    shards: Tuple[int, ...] = ()
+    #: Total firings across all workers/retries of the armed spec.
+    max_triggers: int = 1
+    #: ``shard_hang`` sleep length (the farm's per-shard timeout must
+    #: be shorter for the hang to register as a timeout).
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in WORKER_FAULT_MODES:
+            raise ServiceError(
+                f"unknown worker chaos mode {self.mode!r}",
+                hint=f"known modes: {', '.join(WORKER_FAULT_MODES)}",
+            )
+        if self.max_triggers < 1:
+            raise ServiceError("chaos max_triggers must be >= 1")
+        if self.hang_seconds <= 0:
+            raise ServiceError("chaos hang_seconds must be positive")
+        if not self.tokens_dir:
+            raise ServiceError("chaos spec needs a tokens_dir")
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "tokens_dir": self.tokens_dir,
+            "shards": list(self.shards),
+            "max_triggers": self.max_triggers,
+            "hang_seconds": self.hang_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "ChaosSpec":
+        return cls(
+            mode=document["mode"],
+            tokens_dir=document["tokens_dir"],
+            shards=tuple(document.get("shards", ())),
+            max_triggers=int(document.get("max_triggers", 1)),
+            hang_seconds=float(document.get("hang_seconds", 30.0)),
+        )
+
+
+@contextmanager
+def armed(spec: ChaosSpec) -> Iterator[ChaosSpec]:
+    """Arm ``spec`` for every farm worker spawned inside the block."""
+    Path(spec.tokens_dir).mkdir(parents=True, exist_ok=True)
+    previous = os.environ.get(ENV_CHAOS)
+    os.environ[ENV_CHAOS] = json.dumps(spec.to_dict())
+    try:
+        yield spec
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_CHAOS, None)
+        else:
+            os.environ[ENV_CHAOS] = previous
+
+
+def _claim_trigger(spec: ChaosSpec) -> bool:
+    """Atomically claim one of the spec's trigger tokens.
+
+    Token files are created with ``O_CREAT | O_EXCL`` so exactly one
+    process wins each token even when workers race; once all
+    ``max_triggers`` tokens exist, the fault is spent."""
+    for index in range(spec.max_triggers):
+        path = os.path.join(spec.tokens_dir, f"trigger-{index:04d}")
+        try:
+            handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        except OSError:
+            return False
+        os.close(handle)
+        return True
+    return False
+
+
+def chaos_hook(site: str, shard: int) -> None:
+    """Fire the armed worker fault, if any applies to this dispatch.
+
+    Called by the farm worker at the top of each shard.  A missing or
+    unparseable ``REPRO_CHAOS`` value is a no-op: chaos must never be
+    able to break a production run by accident."""
+    raw = os.environ.get(ENV_CHAOS)
+    if not raw:
+        return
+    try:
+        spec = ChaosSpec.from_dict(json.loads(raw))
+    except (ValueError, KeyError, TypeError, ServiceError):
+        return
+    if site != "farm.shard":
+        return
+    if spec.shards and shard not in spec.shards:
+        return
+    if not _claim_trigger(spec):
+        return
+    if spec.mode == "worker_crash":
+        # Die the way a real worker dies: no exception, no cleanup —
+        # the parent sees a BrokenProcessPool.
+        os._exit(CRASH_EXIT_CODE)
+    if spec.mode == "worker_exception":
+        raise ServiceError(
+            f"chaos: injected worker fault on shard {shard}",
+            hint="this is the chaos harness, not a real failure",
+        )
+    if spec.mode == "shard_hang":
+        time.sleep(spec.hang_seconds)
+
+
+# ---------------------------------------------------------------------------
+# file-level faults (applied by the campaign between service calls)
+# ---------------------------------------------------------------------------
+
+def _pick(paths, rng) -> Path:
+    ordered = sorted(paths)
+    if not ordered:
+        raise ServiceError("no files to inject a fault into")
+    return Path(ordered[rng.randrange(len(ordered))])
+
+
+def corrupt_artifact_entry(store_root: Union[str, Path], rng) -> str:
+    """Truncate one artifact-store entry to garbage; returns its path.
+
+    Models bit-rot / a partial copy: the store's stamp discipline must
+    detect the damage on the next lookup, drop the entry, and re-pack.
+    """
+    path = _pick(Path(store_root).glob("*.json"), rng)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, len(data) // 2)])
+    return str(path)
+
+
+def truncate_profile(profiles_dir: Union[str, Path], rng) -> str:
+    """Truncate one client profile document mid-body; returns its path.
+
+    Models an upload cut off mid-transfer: ingest must quarantine the
+    document and merge the remaining fleet."""
+    path = _pick(Path(profiles_dir).glob("*.json"), rng)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, len(data) // 2)])
+    return str(path)
+
+
+def skew_profile_epoch(
+    profiles_dir: Union[str, Path], rng, delta: int = 10_000
+) -> str:
+    """Stamp one profile with a far-future epoch; returns its path.
+
+    Models client clock skew: one bad clock must not define the fleet
+    max epoch (and thereby age every honest client out of an
+    epoch-window merge) — ``MergePolicy.max_epoch_skew`` clamps it."""
+    path = _pick(Path(profiles_dir).glob("*.json"), rng)
+    document = json.loads(path.read_text())
+    provenance = document["meta"]["provenance"]
+    provenance["epoch"] = int(provenance.get("epoch", 0)) + delta
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+__all__ = [
+    "ALL_SERVICE_FAULT_MODES",
+    "CRASH_EXIT_CODE",
+    "ChaosSpec",
+    "ENV_CHAOS",
+    "FILE_FAULT_MODES",
+    "WORKER_FAULT_MODES",
+    "armed",
+    "chaos_hook",
+    "corrupt_artifact_entry",
+    "skew_profile_epoch",
+    "truncate_profile",
+]

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from repro.hsd.serialize import make_provenance, save_profile
 from repro.postlink.vacuum import VacuumPacker
+from repro.workloads.base import Workload
 from repro.workloads.suite import load_benchmark
 
 
@@ -45,12 +46,24 @@ def simulate_fleet(
     epochs: int = 1,
     scale: Optional[float] = None,
     packer: Optional[VacuumPacker] = None,
+    epoch_offset: int = 0,
+    run_prefix: str = "r",
+    file_prefix: str = "client",
+    mutate: Optional[Callable[[Workload, int], None]] = None,
 ) -> List[SimulatedClient]:
     """Profile ``runs`` simulated clients and persist their documents.
 
     Client ``i`` reruns the benchmark with behavior seed
-    ``base_seed + i`` and lands in epoch ``i * epochs // runs``.  The
-    documents are written as ``client-<i>.json`` under ``out_dir``.
+    ``base_seed + i`` and lands in epoch ``epoch_offset + i * epochs
+    // runs``.  The documents are written as ``<file_prefix>-<i>.json``
+    under ``out_dir`` with run ids ``...#<run_prefix><i>``; the drift
+    controller batches one ``simulate_fleet`` call per service epoch,
+    using the prefixes to keep run ids unique across batches.
+
+    ``mutate`` (called with the freshly built workload and the client
+    index, after the behavior seed is set) is the drift hook: it edits
+    branch behavior in place before profiling, modelling a fleet whose
+    dynamic control flow has moved away from the shipped profile.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -62,10 +75,12 @@ def simulate_fleet(
         # Same binary, divergent dynamic behavior: only the branch
         # outcome seed changes, never the program.
         workload.behavior.seed = seed
+        if mutate is not None:
+            mutate(workload, i)
         profile = packer.profile(workload)
-        run_id = f"{benchmark}/{input_name}#r{i:04d}"
-        epoch = i * epochs // runs if runs else 0
-        path = out / f"client-{i:04d}.json"
+        run_id = f"{benchmark}/{input_name}#{run_prefix}{i:04d}"
+        epoch = epoch_offset + (i * epochs // runs if runs else 0)
+        path = out / f"{file_prefix}-{i:04d}.json"
         save_profile(
             path,
             profile.records,

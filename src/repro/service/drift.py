@@ -1,0 +1,134 @@
+"""Phase drift: simulated behavior change, and its detection.
+
+The paper's end vision is *transparent reoptimization*: phases are
+detected in hardware and the binary is re-optimized as behavior
+changes.  That only matters if behavior actually changes — so this
+module supplies both halves of the experiment:
+
+* :func:`apply_drift` injects a drift event into a workload's
+  :class:`~repro.engine.behavior.BehaviorModel` by *warming formerly
+  cold branches*: guards the generator pinned at probability 0.0 (the
+  never-taken dives into cold code) get a real taken probability, so
+  execution starts flowing into blocks no profile ever saw and the
+  shipped packages' coverage decays.  This is the drift mode that
+  matters to vacuum packing — per-phase bias shuffles merely move
+  execution around *inside* the already-selected region union, which
+  the packages still cover.
+
+* :class:`DriftDetector` is the controller's trigger: it watches the
+  projected coverage of the shipped artifact
+  (:func:`repro.postlink.coverage.project_coverage`) decay against the
+  artifact's provenance staleness (the epoch stamps
+  :mod:`~repro.service.aggregate` merges into the fleet profile), and
+  fires when both say the artifact is out of date.
+
+Both halves are deterministic.  ``apply_drift`` keys each cold guard's
+warm-or-not draw on the branch's *registration-order* stable id
+(:meth:`~repro.engine.behavior.BehaviorModel.stable_id`) — so the same
+drift hits the structurally-same branches in every seeded rebuild of
+the workload (simulated clients rebuild their own workload instances;
+see :func:`repro.service.clients.simulate_fleet`), and re-applying a
+spec to an already-drifted model is a no-op: surviving cold guards
+keep the exact draws that left them cold the first time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.engine.behavior import BehaviorModel
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """One injected drift event."""
+
+    #: Service epoch at which the fleet's behavior changes.
+    epoch: int = 2
+    #: Fraction of cold guards that warm up (0 = no drift).
+    severity: float = 0.5
+    #: Taken probability a warmed guard acquires.
+    warm_bias: float = 0.4
+    #: Seed of the guard-selection draw.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError(f"drift severity {self.severity} out of [0, 1]")
+        if not 0.0 < self.warm_bias <= 1.0:
+            raise ValueError(f"warm_bias {self.warm_bias} out of (0, 1]")
+        if self.epoch < 0:
+            raise ValueError("drift epoch must be >= 0")
+
+    def to_dict(self) -> Dict:
+        return {
+            "epoch": self.epoch,
+            "severity": self.severity,
+            "warm_bias": self.warm_bias,
+            "seed": self.seed,
+        }
+
+
+def apply_drift(behavior: BehaviorModel, spec: DriftSpec) -> int:
+    """Warm cold guards in place; returns how many branches changed.
+
+    Each guard's draw is keyed on ``(spec, stable id)`` rather than on
+    a shared RNG stream: a stream would realign over the shrunken cold
+    list on a second application and warm different guards, whereas
+    per-branch keys make the function idempotent — guards that stayed
+    cold keep the same losing draw forever.
+    """
+    prefix = f"drift:{spec.seed}:{spec.severity!r}:{spec.warm_bias!r}"
+    warmed = 0
+    for uid in behavior.default_cold_branches():
+        draw = random.Random(f"{prefix}:{behavior.stable_id(uid)}").random()
+        if draw < spec.severity:
+            behavior.set_bias(uid, spec.warm_bias)
+            warmed += 1
+    return warmed
+
+
+@dataclass
+class DriftDetector:
+    """Coverage-decay trigger for the re-optimization controller.
+
+    ``observe`` is called once per service epoch with the artifact's
+    relative coverage decay and its provenance staleness (epochs since
+    the newest contributing profile).  Both gates must open — decay
+    without staleness is measurement noise on a fresh artifact, and
+    staleness without decay is an artifact that still fits — and must
+    stay open for ``patience`` consecutive epochs before the detector
+    fires, debouncing one-epoch blips.
+    """
+
+    #: Relative coverage decay (1 - coverage/baseline) that counts as
+    #: a strike.
+    decay_threshold: float = 0.1
+    #: Minimum artifact staleness (epochs) before decay counts.
+    min_staleness: int = 1
+    #: Consecutive decayed epochs required to fire.
+    patience: int = 1
+    strikes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.decay_threshold < 0:
+            raise ValueError("decay_threshold must be >= 0")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+    def observe(self, decay: float, staleness: int) -> bool:
+        """Record one epoch's reading; True when a re-pack is due."""
+        if decay >= self.decay_threshold and staleness >= self.min_staleness:
+            self.strikes += 1
+        else:
+            self.strikes = 0
+        return self.strikes >= self.patience
+
+    def reset(self) -> None:
+        """Clear the strike count (called after a re-pack ships)."""
+        self.strikes = 0
+
+
+__all__ = ["DriftDetector", "DriftSpec", "apply_drift"]

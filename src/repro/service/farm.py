@@ -19,20 +19,37 @@ timings.  Sharding trades cross-shard package linking for parallelism:
 packages are linked within a shard (``shard_size`` phases at a time)
 but never across shards — ``shard_size=1`` is maximal fan-out,
 ``shard_size=len(phases)`` recovers the exact single-run pipeline.
+
+Fault tolerance (:class:`FarmPolicy`): the farm is built to run
+unattended under the re-optimization controller, so one bad shard can
+never take down the fleet.  A worker exception, a crashed worker
+process (``BrokenProcessPool``), or a shard that exceeds the per-shard
+timeout costs that shard one bounded-retry attempt; between rounds the
+parent sleeps a seeded exponential backoff, respawns the pool, and
+re-dispatches *only* the unfinished shards.  A shard that exhausts its
+attempts is quarantined: it ships a degraded payload that keeps the
+original layout for its phases (empty package list, zero coverage)
+instead of failing the request — and degraded payloads are never
+persisted to the store, so a later healthy pack repairs them.  On the
+fault-free path none of this machinery changes a single byte.
 """
 
 from __future__ import annotations
 
 import hashlib
+import random
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.api import PipelineConfig
 from repro.errors import ServiceError
 from repro.engine.trace_cache import image_for
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import resolve_jobs
 from repro.hsd.serialize import record_from_entry, record_to_entry
 from repro.obs import annotate, inc, span
 from repro.postlink.vacuum import PackResult
@@ -40,6 +57,7 @@ from repro.workloads.suite import load_benchmark
 
 from .aggregate import FleetProfile, MergedPhase
 from .artifacts import ArtifactStore, artifact_key, canonical_json, default_store
+from .chaos import chaos_hook
 
 
 @dataclass(frozen=True)
@@ -97,6 +115,50 @@ class FarmConfig:
         )
 
 
+@dataclass(frozen=True)
+class FarmPolicy:
+    """How the farm survives bad workers.
+
+    The retry budget and timeout apply per shard; the backoff between
+    retry rounds is seeded, so two runs of the same faulty farm sleep
+    the same schedule.  None of these knobs participates in artifact
+    keys — fault handling never changes what a healthy pack produces.
+    """
+
+    #: Dispatch attempts per shard before it is quarantined.
+    max_attempts: int = 3
+    #: Wall-clock limit for one shard dispatch (``None`` = unlimited).
+    #: Enforcing a timeout requires a worker pool (``jobs >= 2``):
+    #: inline execution cannot interrupt a hung shard.
+    shard_timeout: Optional[float] = None
+    #: First-retry backoff (seconds); doubles each round, with jitter.
+    backoff_base: float = 0.05
+    #: Backoff ceiling per round (seconds).
+    backoff_cap: float = 2.0
+    #: Seed of the jittered backoff schedule.
+    backoff_seed: int = 0
+    #: Quarantine exhausted shards into degraded original-layout
+    #: payloads instead of raising (``False`` = strict: raise).
+    quarantine: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive (or None)")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+
+    def backoff(self, round_index: int) -> float:
+        """Seeded, jittered exponential backoff before retry round
+        ``round_index`` (1-based)."""
+        if self.backoff_base <= 0:
+            return 0.0
+        rng = random.Random(f"farm-backoff:{self.backoff_seed}:{round_index}")
+        raw = self.backoff_base * (2 ** (round_index - 1))
+        return min(self.backoff_cap, raw) * rng.uniform(0.5, 1.0)
+
+
 @dataclass
 class ShardOutcome:
     """One shard's artifact, and how it was obtained."""
@@ -107,6 +169,13 @@ class ShardOutcome:
     cached: bool
     seconds: float
     payload: Dict
+    #: Dispatches this shard consumed (1 on the clean path).
+    attempts: int = 1
+    #: True when the shard exhausted its retries and fell back to the
+    #: original layout for its phases.
+    degraded: bool = False
+    #: Last failure message (empty on the clean path).
+    error: str = ""
 
 
 @dataclass
@@ -122,6 +191,19 @@ class FleetPackResult:
     @property
     def packed_shards(self) -> int:
         return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def degraded_shards(self) -> int:
+        return sum(1 for o in self.outcomes if o.degraded)
+
+    @property
+    def retried_shards(self) -> int:
+        return sum(1 for o in self.outcomes if o.attempts > 1)
+
+    @property
+    def ok(self) -> bool:
+        """True when every shard shipped a real packing artifact."""
+        return self.degraded_shards == 0
 
     @property
     def hit_rate(self) -> float:
@@ -176,30 +258,180 @@ def shard_payload(result: PackResult, phases: List[int]) -> Dict:
     }
 
 
+def degraded_payload(phases: List[int], error: str, attempts: int) -> Dict:
+    """Original-layout fallback for a shard that exhausted its retries.
+
+    The phases keep running unpacked — no packages, zero package
+    coverage — which is always semantically safe; the payload carries
+    the failure in its diagnostics and is *never* written to the
+    artifact store, so the next healthy farm pass repairs the shard.
+    """
+    return {
+        "phases": list(phases),
+        "packages": [],
+        "expansion": None,
+        "unique_selected": 0,
+        "coverage": {
+            "package_fraction": 0.0,
+            "package_instructions": 0,
+            "original_instructions": 0,
+            "branches": 0,
+            "launch_entries": 0,
+        },
+        "diagnostics": [
+            f"[farm] shard degraded to original layout after "
+            f"{attempts} attempt(s): {error}"
+        ],
+        "quarantined": list(phases),
+        "degraded": True,
+    }
+
+
 def _run_shard(task: Dict) -> Dict:
     """Worker: pack one shard (module-level, hence picklable)."""
     started = time.perf_counter()
     capture = obs.start_capture()
-    with span("farm.shard", shard=task["shard"],
-              phases=len(task["phases"])) as entry:
-        workload = load_benchmark(
-            task["benchmark"], task["input_name"], scale=task["scale"]
-        )
-        records = [record_from_entry(entry) for entry in task["records"]]
-        packer = PipelineConfig.from_dict(task["packer"]).packer()
-        result = packer.pack_records(workload, records)
-        payload = shard_payload(result, task["phases"])
-        annotate(entry, packages=len(payload["packages"]))
-    done = {
-        "shard": task["shard"],
-        "key": task["key"],
-        "payload": payload,
-        "seconds": time.perf_counter() - started,
-    }
-    ledger = obs.finish_capture(capture)
+    try:
+        chaos_hook("farm.shard", task["shard"])
+        with span("farm.shard", shard=task["shard"],
+                  phases=len(task["phases"])) as entry:
+            workload = load_benchmark(
+                task["benchmark"], task["input_name"], scale=task["scale"]
+            )
+            records = [record_from_entry(entry) for entry in task["records"]]
+            packer = PipelineConfig.from_dict(task["packer"]).packer()
+            result = packer.pack_records(workload, records)
+            payload = shard_payload(result, task["phases"])
+            annotate(entry, packages=len(payload["packages"]))
+        done = {
+            "shard": task["shard"],
+            "key": task["key"],
+            "payload": payload,
+            "seconds": time.perf_counter() - started,
+        }
+    finally:
+        # Restore the parent registry even on a failing inline run —
+        # a leaked capture would swallow the parent's own metrics.
+        ledger = obs.finish_capture(capture)
     if ledger is not None:
         done["obs"] = ledger
     return done
+
+
+def _run_batch_pool(
+    batch: List[Dict], workers: int, timeout: Optional[float]
+) -> Tuple[Dict[int, Dict], Dict[int, str]]:
+    """One dispatch round over a fresh worker pool.
+
+    Returns ``(results, errors)`` keyed by shard number.  Shards whose
+    futures were abandoned (queued behind a hung worker, or cancelled
+    when the pool broke) appear in neither map — they are re-dispatched
+    next round without consuming a retry attempt.
+    """
+    results: Dict[int, Dict] = {}
+    errors: Dict[int, str] = {}
+    executor = ProcessPoolExecutor(max_workers=workers)
+    future_of = {
+        executor.submit(_run_shard, task): task["shard"] for task in batch
+    }
+    hung = False
+    try:
+        outstanding = set(future_of)
+        while outstanding:
+            done, outstanding = futures_wait(outstanding, timeout=timeout)
+            if not done:
+                # Nothing finished inside one full timeout window: the
+                # running shards are hung.  Queued shards are cancelled
+                # back to pending; the pool is abandoned.
+                hung = True
+                for future in outstanding:
+                    if future.cancel():
+                        continue
+                    errors[future_of[future]] = (
+                        f"shard timed out after {timeout:g}s"
+                    )
+                break
+            for future in done:
+                number = future_of[future]
+                try:
+                    results[number] = future.result()
+                except BrokenProcessPool as exc:
+                    errors[number] = (
+                        f"worker pool broke: {exc or type(exc).__name__}"
+                    )
+                except Exception as exc:  # worker raised: charge a retry
+                    errors[number] = f"{type(exc).__name__}: {exc}"
+    finally:
+        # Snapshot before shutdown: the executor clears _processes.
+        processes = list(
+            (getattr(executor, "_processes", None) or {}).values()
+        )
+        executor.shutdown(wait=not hung, cancel_futures=True)
+        if hung:
+            # A sleeping worker would otherwise outlive the farm; the
+            # pool is already abandoned, so reap its processes.
+            for process in processes:
+                process.terminate()
+    return results, errors
+
+
+def _dispatch_shards(
+    tasks: List[Dict], workers: int, policy: FarmPolicy
+) -> Tuple[Dict[int, Dict], Dict[int, int], Dict[int, Tuple[int, str]]]:
+    """Run shard tasks to completion under the farm policy.
+
+    Returns ``(results, attempts, quarantined)``: worker result dicts,
+    per-shard dispatch counts, and ``{shard: (attempts, last_error)}``
+    for shards that exhausted their retry budget.
+    """
+    pending = {task["shard"]: task for task in tasks}
+    failures = {number: 0 for number in pending}
+    last_error: Dict[int, str] = {}
+    results: Dict[int, Dict] = {}
+    quarantined: Dict[int, Tuple[int, str]] = {}
+    round_index = 0
+    while pending:
+        for number in sorted(pending):
+            if failures[number] >= policy.max_attempts:
+                quarantined[number] = (failures[number], last_error[number])
+                del pending[number]
+                inc("farm.shards_quarantined")
+        if not pending:
+            break
+        if round_index:
+            inc("farm.retry_rounds")
+            if workers > 1:
+                inc("farm.pool_respawns")
+            delay = policy.backoff(round_index)
+            if delay:
+                time.sleep(delay)
+        batch = [pending[number] for number in sorted(pending)]
+        errors: Dict[int, str]
+        if workers <= 1:
+            errors = {}
+            for task in batch:
+                number = task["shard"]
+                try:
+                    results[number] = _run_shard(task)
+                except Exception as exc:
+                    errors[number] = f"{type(exc).__name__}: {exc}"
+        else:
+            batch_results, errors = _run_batch_pool(
+                batch, workers, policy.shard_timeout
+            )
+            results.update(batch_results)
+        for number in results:
+            pending.pop(number, None)
+        for number, message in errors.items():
+            failures[number] += 1
+            last_error[number] = message
+            inc("farm.shard_failures")
+        round_index += 1
+    attempts = {
+        number: failures[number] + (1 if number in results else 0)
+        for number in failures
+    }
+    return results, attempts, quarantined
 
 
 def pack_fleet(
@@ -207,12 +439,16 @@ def pack_fleet(
     config: FarmConfig,
     jobs: Optional[int] = None,
     store: Optional[ArtifactStore] = None,
+    policy: Optional[FarmPolicy] = None,
 ) -> FleetPackResult:
     """Pack every merged phase, through the artifact store.
 
     Store lookups happen up front in the parent; only missed shards
     are dispatched to workers, and their payloads are persisted on the
-    way back.  Results are identical for any ``jobs``.
+    way back.  Results are identical for any ``jobs``.  Dispatch runs
+    under ``policy`` (default :class:`FarmPolicy`): worker failures
+    are retried with seeded backoff and exhausted shards degrade to
+    the original layout instead of failing the fleet.
     """
     if not fleet.phases:
         raise ServiceError(
@@ -228,7 +464,9 @@ def pack_fleet(
         raise ServiceError(f"unknown benchmark binary: {exc}") from exc
     image = image_for(workload.program)
     store = store or default_store()
+    policy = policy or FarmPolicy()
     fingerprint = config.fingerprint()
+    workers = resolve_jobs(jobs)
 
     size = max(1, config.shard_size)
     shards = [
@@ -269,7 +507,22 @@ def pack_fleet(
                 "packer": config.pipeline_dict(),
             })
 
-        for done in parallel_map(_run_shard, tasks, jobs=jobs):
+        task_of = {task["shard"]: task for task in tasks}
+        results, attempts, exhausted = _dispatch_shards(
+            tasks, workers, policy
+        )
+        if exhausted and not policy.quarantine:
+            detail = "; ".join(
+                f"shard {number}: {error} ({tries} attempt(s))"
+                for number, (tries, error) in sorted(exhausted.items())
+            )
+            raise ServiceError(
+                f"{len(exhausted)} farm shard(s) failed: {detail}",
+                hint="set FarmPolicy.quarantine=True to degrade failed "
+                     "shards to the original layout instead",
+            )
+        for number in sorted(results):
+            done = results[number]
             obs.absorb(done.pop("obs", None))
             store.put(done["key"], done["payload"])
             outcomes[done["shard"]] = ShardOutcome(
@@ -279,20 +532,39 @@ def pack_fleet(
                 cached=False,
                 seconds=done["seconds"],
                 payload=done["payload"],
+                attempts=attempts[number],
             )
             inc("farm.packed_shards")
+        for number, (tries, error) in sorted(exhausted.items()):
+            task = task_of[number]
+            # Degraded payloads are deliberately NOT stored: the miss
+            # stays a miss, and a later healthy pass repairs the shard.
+            outcomes[number] = ShardOutcome(
+                shard=number,
+                phases=list(task["phases"]),
+                key=task["key"],
+                cached=False,
+                seconds=0.0,
+                payload=degraded_payload(task["phases"], error, tries),
+                attempts=tries,
+                degraded=True,
+                error=error,
+            )
         annotate(
             farm_span,
             cached=sum(1 for o in outcomes if o is not None and o.cached),
-            packed=len(tasks),
+            packed=len(results),
+            degraded=len(exhausted),
         )
     return FleetPackResult(outcomes=list(outcomes))
 
 
 __all__ = [
     "FarmConfig",
+    "FarmPolicy",
     "FleetPackResult",
     "ShardOutcome",
+    "degraded_payload",
     "pack_fleet",
     "shard_payload",
     "shard_profile_digest",

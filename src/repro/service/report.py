@@ -19,7 +19,10 @@ from .aggregate import FleetProfile, IngestResult
 from .artifacts import ArtifactStore
 from .farm import FarmConfig, FleetPackResult
 
-REPORT_VERSION = 1
+#: v2: ingest carries the quarantined count, shards carry their retry
+#: attempts and degraded flag, and the pack section summarizes farm
+#: fault handling.
+REPORT_VERSION = 2
 
 
 @dataclass
@@ -42,6 +45,14 @@ class FleetReport:
     def hit_rate(self) -> float:
         return float(self.document["pack"]["cache"]["hit_rate"])
 
+    @property
+    def degraded_shards(self) -> int:
+        return int(self.document["pack"]["faults"]["degraded_shards"])
+
+    @property
+    def quarantined_ingests(self) -> int:
+        return int(self.document["ingest"]["quarantined"])
+
 
 def build_report(
     ingest: IngestResult,
@@ -59,6 +70,8 @@ def build_report(
             "key": outcome.key,
             "cached": outcome.cached,
             "seconds": round(outcome.seconds, 6),
+            "attempts": outcome.attempts,
+            "degraded": outcome.degraded,
             "packages": len(outcome.payload["packages"]),
             "unique_selected": outcome.payload.get("unique_selected"),
             "coverage": outcome.payload["coverage"]["package_fraction"],
@@ -73,11 +86,13 @@ def build_report(
         "jobs": jobs,
         "ingest": {
             "runs": fleet.runs,
+            "quarantined": len(ingest.rejected),
             "rejected": [r.render() for r in ingest.rejected],
         },
         "merge": {
             "phases_merged": len(fleet.phases),
             "max_epoch": fleet.max_epoch,
+            "aged_out": fleet.aged_out,
             "policy": fleet.policy_fingerprint,
             "profile_digest": fleet.digest(),
             "phases": [
@@ -100,6 +115,10 @@ def build_report(
                 "packed_shards": packed.packed_shards,
                 "hit_rate": round(packed.hit_rate, 6),
                 "store_root": store.root if store.enabled else "off",
+            },
+            "faults": {
+                "degraded_shards": packed.degraded_shards,
+                "retried_shards": packed.retried_shards,
             },
         },
     }

@@ -1,0 +1,150 @@
+"""Service-scale chaos: spec plumbing, token claims, and the campaign."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ChaosSpec, armed, chaos_hook
+from repro.service.chaos import ENV_CHAOS, _claim_trigger
+
+
+class TestChaosSpec:
+    def test_unknown_mode_is_a_service_error(self):
+        with pytest.raises(ServiceError):
+            ChaosSpec(mode="worker_meltdown", tokens_dir="/tmp/x")
+
+    def test_file_fault_modes_are_not_worker_specs(self):
+        # corrupt_artifact etc. are applied by the campaign directly;
+        # arming them in workers would silently never fire.
+        with pytest.raises(ServiceError):
+            ChaosSpec(mode="corrupt_artifact", tokens_dir="/tmp/x")
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            ChaosSpec(mode="worker_exception", tokens_dir="")
+        with pytest.raises(ServiceError):
+            ChaosSpec(mode="worker_exception", tokens_dir="/tmp/x",
+                      max_triggers=0)
+        with pytest.raises(ServiceError):
+            ChaosSpec(mode="shard_hang", tokens_dir="/tmp/x",
+                      hang_seconds=0)
+
+    def test_round_trips_through_dict(self, tmp_path):
+        spec = ChaosSpec(mode="shard_hang", tokens_dir=str(tmp_path),
+                         shards=(1, 3), max_triggers=2, hang_seconds=5.0)
+        assert ChaosSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestTriggerTokens:
+    def test_claims_are_bounded_by_max_triggers(self, tmp_path):
+        spec = ChaosSpec(mode="worker_exception",
+                         tokens_dir=str(tmp_path), max_triggers=2)
+        assert _claim_trigger(spec)
+        assert _claim_trigger(spec)
+        assert not _claim_trigger(spec)  # budget spent
+        assert len(list(tmp_path.iterdir())) == 2
+
+    def test_armed_sets_and_restores_the_environment(self, tmp_path):
+        spec = ChaosSpec(mode="worker_exception",
+                         tokens_dir=str(tmp_path / "tokens"))
+        assert ENV_CHAOS not in os.environ
+        with armed(spec):
+            assert json.loads(os.environ[ENV_CHAOS])["mode"] == (
+                "worker_exception"
+            )
+            assert (tmp_path / "tokens").is_dir()
+        assert ENV_CHAOS not in os.environ
+
+
+class TestChaosHook:
+    def test_noop_without_armed_spec(self):
+        chaos_hook("farm.shard", 0)  # must not raise
+
+    def test_noop_on_garbage_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "{not json")
+        chaos_hook("farm.shard", 0)  # must not raise
+
+    def test_fires_only_on_matching_site_and_shard(self, tmp_path):
+        spec = ChaosSpec(mode="worker_exception",
+                         tokens_dir=str(tmp_path), shards=(2,),
+                         max_triggers=5)
+        with armed(spec):
+            chaos_hook("somewhere.else", 2)  # wrong site: no-op
+            chaos_hook("farm.shard", 0)  # wrong shard: no-op
+            with pytest.raises(ServiceError):
+                chaos_hook("farm.shard", 2)
+        assert len(list(tmp_path.glob("trigger-*"))) == 1
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.experiments.chaos_campaign import run_chaos_campaign
+
+        # The fast subset: worker crash/hang recovery is exercised by
+        # test_farm_faults; here the end-to-end serve path is the point.
+        return run_chaos_campaign(
+            benchmark="181.mcf", input_name="A", scale=0.2, seed=0,
+            trials=1,
+            modes=("worker_exception", "corrupt_artifact",
+                   "truncated_profile", "epoch_skew"),
+            jobs=2,
+        )
+
+    def test_campaign_survives_every_mode(self, report):
+        assert report.survival_rate == 1.0
+        assert report.ok
+        assert not report.failures()
+
+    def test_recoverable_modes_match_the_control(self, report):
+        by_mode = {trial.mode: trial for trial in report.trials}
+        assert by_mode["worker_exception"].matched is True
+        assert by_mode["worker_exception"].retried_shards >= 1
+        assert by_mode["corrupt_artifact"].matched is True
+        assert by_mode["corrupt_artifact"].corrupt_detected >= 1
+        assert by_mode["epoch_skew"].matched is True
+
+    def test_truncated_profile_quarantines_exactly_one_ingest(self, report):
+        trial = next(
+            t for t in report.trials if t.mode == "truncated_profile"
+        )
+        assert trial.matched is None  # lossy by construction
+        assert trial.quarantined_ingests == 1
+        assert trial.degraded_shards == 0
+
+    def test_document_is_json_able(self, report):
+        document = json.loads(
+            json.dumps(report.to_dict(), sort_keys=True)
+        )
+        assert document["survival_rate"] == 1.0
+        assert document["ok"] is True
+        assert len(document["trials"]) == 4
+
+    def test_render_summarizes_per_mode(self, report):
+        text = report.render()
+        assert "100% survival" in text
+        assert "truncated_profile" in text
+
+    def test_cli_exit_code_reflects_campaign_health(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "chaos.json"
+        code = main([
+            "chaos", "--bench", "181.mcf/A", "--scale", "0.2",
+            "--mode", "worker_exception", "--mode", "epoch_skew",
+            "--jobs", "2", "--out", str(out),
+        ])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["ok"] is True
+        assert {t["mode"] for t in document["trials"]} == {
+            "worker_exception", "epoch_skew"
+        }
+
+    def test_cli_rejects_unknown_mode(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["chaos", "--bench", "181.mcf/A", "--mode", "nope"])

@@ -1,0 +1,191 @@
+"""Fault tolerance of the packing farm: retries, timeouts, quarantine.
+
+The farm's contract under faults: worker failures never abort the
+fleet request; a shard that fails within the retry budget recovers
+with a payload byte-identical to a clean run; a shard that exhausts
+the budget degrades to the original layout (empty packages) instead
+of poisoning the request; and none of the fault machinery changes
+what a healthy farm produces at any ``--jobs``.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    ArtifactStore,
+    ChaosSpec,
+    FarmConfig,
+    FarmPolicy,
+    armed,
+    degraded_payload,
+    ingest_dir,
+    merge_runs,
+    pack_fleet,
+    simulate_fleet,
+)
+
+BENCH, INPUT, SCALE = "134.perl", "C", None
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """A small merged fleet profile (several shards' worth of phases)."""
+    out = tmp_path_factory.mktemp("farm-fault-profiles")
+    simulate_fleet(BENCH, INPUT, runs=4, out_dir=out, base_seed=0,
+                   scale=SCALE)
+    merged = merge_runs(ingest_dir(out))
+    assert len(merged.phases) >= 2  # the fault tests need >1 shard
+    return merged
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FarmConfig(benchmark=BENCH, input_name=INPUT, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def clean_payloads(fleet, config):
+    packed = pack_fleet(fleet, config, jobs=1, store=ArtifactStore("off"))
+    return [outcome.payload for outcome in packed.outcomes]
+
+
+def _spec(tmp_path, mode, **kwargs):
+    return ChaosSpec(mode=mode, tokens_dir=str(tmp_path / "tokens"),
+                     **kwargs)
+
+
+class TestFarmPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FarmPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            FarmPolicy(shard_timeout=-1.0)
+        with pytest.raises(ValueError):
+            FarmPolicy(backoff_base=-0.1)
+
+    def test_backoff_is_seeded_and_bounded(self):
+        policy = FarmPolicy(backoff_base=0.05, backoff_cap=0.2,
+                            backoff_seed=3)
+        again = FarmPolicy(backoff_base=0.05, backoff_cap=0.2,
+                           backoff_seed=3)
+        delays = [policy.backoff(round_index) for round_index in (1, 2, 3)]
+        assert delays == [again.backoff(i) for i in (1, 2, 3)]
+        assert all(0 < delay <= 0.2 for delay in delays)
+
+    def test_fault_free_run_is_jobs_invariant_under_any_policy(
+        self, fleet, config, clean_payloads
+    ):
+        policy = FarmPolicy(max_attempts=2, shard_timeout=60.0,
+                            backoff_base=0.01, backoff_seed=9)
+        serial = pack_fleet(fleet, config, jobs=1,
+                            store=ArtifactStore("off"), policy=policy)
+        pooled = pack_fleet(fleet, config, jobs=4,
+                            store=ArtifactStore("off"), policy=policy)
+        assert [o.payload for o in serial.outcomes] == clean_payloads
+        assert [o.payload for o in pooled.outcomes] == clean_payloads
+        assert [o.key for o in serial.outcomes] == [
+            o.key for o in pooled.outcomes
+        ]
+        assert serial.degraded_shards == pooled.degraded_shards == 0
+
+
+class TestWorkerFaultRecovery:
+    def test_worker_exception_is_retried_not_fatal(
+        self, fleet, config, clean_payloads, tmp_path
+    ):
+        policy = FarmPolicy(max_attempts=3, backoff_base=0.01)
+        with armed(_spec(tmp_path, "worker_exception")):
+            packed = pack_fleet(fleet, config, jobs=2,
+                                store=ArtifactStore("off"), policy=policy)
+        assert packed.ok
+        assert packed.degraded_shards == 0
+        assert packed.retried_shards >= 1
+        assert [o.payload for o in packed.outcomes] == clean_payloads
+        assert max(o.attempts for o in packed.outcomes) >= 2
+
+    def test_crashing_worker_cannot_abort_the_fleet(
+        self, fleet, config, clean_payloads, tmp_path
+    ):
+        # os._exit in a worker breaks the whole pool: the farm must
+        # re-spawn it and re-run only the missed shards.
+        policy = FarmPolicy(max_attempts=3, backoff_base=0.01)
+        with armed(_spec(tmp_path, "worker_crash")):
+            packed = pack_fleet(fleet, config, jobs=2,
+                                store=ArtifactStore("off"), policy=policy)
+        assert packed.ok
+        assert packed.degraded_shards == 0
+        assert packed.retried_shards >= 1
+        assert [o.payload for o in packed.outcomes] == clean_payloads
+
+    def test_inline_dispatch_recovers_from_worker_exception(
+        self, fleet, config, clean_payloads, tmp_path
+    ):
+        policy = FarmPolicy(max_attempts=3, backoff_base=0.01)
+        with armed(_spec(tmp_path, "worker_exception")):
+            packed = pack_fleet(fleet, config, jobs=1,
+                                store=ArtifactStore("off"), policy=policy)
+        assert packed.ok
+        assert [o.payload for o in packed.outcomes] == clean_payloads
+
+    def test_hung_shard_times_out_and_recovers(
+        self, fleet, config, clean_payloads, tmp_path
+    ):
+        policy = FarmPolicy(max_attempts=3, shard_timeout=3.0,
+                            backoff_base=0.01)
+        spec = _spec(tmp_path, "shard_hang", hang_seconds=30.0)
+        with armed(spec):
+            packed = pack_fleet(fleet, config, jobs=2,
+                                store=ArtifactStore("off"), policy=policy)
+        assert packed.ok
+        assert packed.retried_shards >= 1
+        assert [o.payload for o in packed.outcomes] == clean_payloads
+
+
+class TestQuarantine:
+    def test_poisoned_shard_degrades_to_original_layout(
+        self, fleet, config, clean_payloads, tmp_path
+    ):
+        # More firings than the retry budget, pinned to shard 0: the
+        # farm must quarantine that shard and keep the rest healthy.
+        policy = FarmPolicy(max_attempts=2, backoff_base=0.01)
+        store = ArtifactStore(str(tmp_path / "store"))
+        spec = _spec(tmp_path, "worker_exception", shards=(0,),
+                     max_triggers=99)
+        with armed(spec):
+            packed = pack_fleet(fleet, config, jobs=2, store=store,
+                                policy=policy)
+        assert not packed.ok
+        assert packed.degraded_shards == 1
+        poisoned = packed.outcomes[0]
+        assert poisoned.degraded
+        assert poisoned.attempts == 2
+        assert poisoned.payload["packages"] == []
+        assert poisoned.payload["coverage"]["package_fraction"] == 0.0
+        assert poisoned.payload["quarantined"] == poisoned.phases
+        assert "degraded to original layout" in poisoned.payload[
+            "diagnostics"][0]
+        # The degraded placeholder must never be persisted as if it
+        # were a real artifact.
+        assert store.get(poisoned.key) is None
+        for outcome, payload in zip(packed.outcomes[1:], clean_payloads[1:]):
+            assert not outcome.degraded
+            assert outcome.payload == payload
+
+    def test_strict_policy_raises_instead_of_degrading(
+        self, fleet, config, tmp_path
+    ):
+        policy = FarmPolicy(max_attempts=2, backoff_base=0.01,
+                            quarantine=False)
+        spec = _spec(tmp_path, "worker_exception", shards=(0,),
+                     max_triggers=99)
+        with armed(spec), pytest.raises(ServiceError):
+            pack_fleet(fleet, config, jobs=2, store=ArtifactStore("off"),
+                       policy=policy)
+
+    def test_degraded_payload_shape(self):
+        payload = degraded_payload([3, 5], "boom", attempts=2)
+        assert payload["degraded"] is True
+        assert payload["packages"] == []
+        assert payload["quarantined"] == [3, 5]
+        assert payload["expansion"] is None
+        assert "boom" in payload["diagnostics"][0]

@@ -169,6 +169,121 @@ class TestIngest:
         assert isinstance(info.value, ReproError)
 
 
+class TestStalenessEdges:
+    def test_reobservation_at_fleet_max_epoch_resets_staleness(self):
+        # A phase last corroborated at the fleet's newest epoch is
+        # fresh, no matter how long ago it was first seen.
+        runs = [
+            client("r0", [rec(0, {0x10: (100, 90)})], epoch=1),
+            client("r1", [rec(0, {0x10: (100, 90)})], epoch=5),
+            client("r2", [rec(1, {0x99: (100, 90)})], epoch=5),
+        ]
+        fleet = merge_runs(runs)
+        assert fleet.max_epoch == 5
+        phase = next(
+            p for p in fleet.phases if 0x10 in p.record.branches
+        )
+        assert phase.provenance.first_epoch == 1
+        assert phase.provenance.last_epoch == 5
+        assert phase.provenance.staleness == 0
+
+    def test_epoch_window_ages_out_old_runs(self):
+        old = client("old", [rec(0, {0x10: (100, 90)})], epoch=0)
+        new = client("new", [rec(1, {0x99: (100, 90)})], epoch=10)
+        fleet = merge_runs([old, new], MergePolicy(epoch_window=2))
+        assert fleet.aged_out == 1
+        (phase,) = fleet.phases
+        assert 0x99 in phase.record.branches
+
+    def test_replayed_ingest_does_not_resurrect_aged_out_phase(self):
+        # The same stale document arriving twice (an upload replay)
+        # must not out-vote the window: aged-out is decided purely by
+        # epoch, not by how many copies showed up.
+        old = client("old", [rec(0, {0x10: (100, 90)})], epoch=0)
+        replay = client("old-again", [rec(0, {0x10: (100, 90)})], epoch=0)
+        new = client("new", [rec(1, {0x99: (100, 90)})], epoch=10)
+        fleet = merge_runs([old, replay, new], MergePolicy(epoch_window=2))
+        assert fleet.aged_out == 2
+        assert all(
+            0x10 not in p.record.branches for p in fleet.phases
+        )
+
+    def test_max_epoch_skew_clamps_a_runaway_clock(self):
+        from repro import obs
+
+        honest = [
+            client(f"r{i}", [rec(0, {0x10: (100, 90)})], epoch=i)
+            for i in range(3)
+        ]
+        skewed = client("skewed", [rec(1, {0x99: (100, 90)})],
+                        epoch=10_000)
+        policy = MergePolicy(epoch_window=4, max_epoch_skew=2)
+        before = obs.default_registry().counter(
+            "service.merge.epoch_clamped"
+        )
+        fleet = merge_runs(honest + [skewed], policy)
+        # Ceiling = median honest epoch (1) + skew (2): one bad clock
+        # cannot define the fleet max epoch and age everyone else out.
+        assert fleet.max_epoch == 3
+        assert fleet.aged_out == 0
+        assert len(fleet.phases) == 2
+        assert obs.default_registry().counter(
+            "service.merge.epoch_clamped"
+        ) == before + 1
+
+    def test_window_and_skew_participate_in_the_policy_fingerprint(self):
+        plain = MergePolicy().fingerprint()
+        windowed = MergePolicy(epoch_window=2).fingerprint()
+        skewed = MergePolicy(max_epoch_skew=2).fingerprint()
+        assert len({plain, windowed, skewed}) == 3
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            MergePolicy(epoch_window=-1)
+        with pytest.raises(ValueError):
+            MergePolicy(max_epoch_skew=-1)
+
+
+class TestServiceCounters:
+    def test_ingest_quarantine_counts_by_exception_type(self, tmp_path):
+        from repro import obs
+
+        (tmp_path / "bad.json").write_text('{"format": "vacuum-pack')
+        before = obs.default_registry().counter(
+            "service.ingest.quarantined",
+            exception_type="ProfileFormatError",
+        )
+        result = ingest_dir(tmp_path)
+        assert len(result.rejected) == 1
+        assert obs.default_registry().counter(
+            "service.ingest.quarantined",
+            exception_type="ProfileFormatError",
+        ) == before + 1
+
+    def test_corrupt_artifact_is_counted_and_rewritable(self, tmp_path):
+        from repro import obs
+
+        store = ArtifactStore(root=str(tmp_path))
+        payload = {"packages": [{"name": "pkg0"}], "coverage": 0.5}
+        key = "k" * 40
+        assert store.put(key, payload)
+        path = store.path_of(key)
+        with open(path, "rb") as handle:
+            body = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(body[: len(body) // 2])
+
+        before = obs.default_registry().counter("service.artifacts.corrupt")
+        assert store.get(key) is None  # detected, deleted, counted
+        assert not os.path.exists(path)
+        assert obs.default_registry().counter(
+            "service.artifacts.corrupt"
+        ) == before + 1
+        # The slot is clean again: a rewrite round-trips bit-exact.
+        assert store.put(key, payload)
+        assert store.get(key) == payload
+
+
 class TestProfileFormatErrorHierarchy:
     def test_reparented_onto_typed_errors(self):
         error = ProfileFormatError("boom")
