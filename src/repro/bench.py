@@ -10,7 +10,12 @@ engine regressions are caught by number, not anecdote:
 * ``detector_observe_stream`` — the chunked detector fast path;
 * ``pack_pipeline`` — one full ``VacuumPacker.pack`` (cold caches);
 * ``fault_campaign`` — the end-to-end campaign driver on one entry
-  (the acceptance workload for this engine's speedup target).
+  (the acceptance workload for this engine's speedup target);
+* ``batched_fleet`` — the 16-client service smoke shape: one
+  :class:`~repro.engine.batched.BatchedExecutor` batch vs sixteen
+  sequential compiled runs (the batched engine's speedup target);
+* ``batched_grid`` — clients × phases scalability grid for the
+  batched engine on synthetic workloads.
 
 Results are written to ``BENCH_<date>.json``; ``--check BASELINE``
 compares against a committed baseline and fails on a >25% regression
@@ -184,6 +189,110 @@ def _bench_campaign(trials: int) -> Dict[str, object]:
     }
 
 
+def _bench_batched_fleet(repeats: int) -> Dict[str, object]:
+    from repro.engine.batched import BatchedExecutor, row_behavior
+    from repro.engine.compiled import CompiledExecutor
+
+    workload = _load_bench_workload()
+    seeds = list(range(16))
+
+    def batched() -> None:
+        BatchedExecutor(
+            workload.program, workload.behavior, workload.phase_script,
+            seeds=seeds, limits=workload.limits,
+        ).run_traced()
+
+    def sequential() -> None:
+        for seed in seeds:
+            CompiledExecutor(
+                workload.program,
+                row_behavior(workload.behavior, seed),
+                workload.phase_script,
+                limits=workload.limits,
+            ).run()
+
+    batched()  # warm the shared tables and kernel: steady-state cost
+    seconds = _best_of(batched, repeats)
+    sequential_seconds = _best_of(sequential, repeats)
+    summary = workload.run()
+    branches = summary.branches * len(seeds)
+    return {
+        "seconds": seconds,
+        "sequential_seconds": sequential_seconds,
+        "clients": len(seeds),
+        "branches": branches,
+        "branches_per_second": branches / seconds if seconds else 0.0,
+        "speedup": sequential_seconds / seconds if seconds else 0.0,
+    }
+
+
+#: Axes of the batched-engine scalability grid (full mode).
+GRID_CLIENTS = (4, 16, 64)
+GRID_PHASES = (2, 4, 8)
+
+
+def _bench_batched_grid(quick: bool) -> Dict[str, object]:
+    from repro.engine.batched import BatchedExecutor, row_behavior
+    from repro.engine.compiled import CompiledExecutor
+    from repro.workloads.synthetic import (
+        MIN_PHASE_BRANCHES,
+        SyntheticSpec,
+        build_workload,
+    )
+
+    clients_axis = GRID_CLIENTS[:2] if quick else GRID_CLIENTS
+    phases_axis = GRID_PHASES[:2] if quick else GRID_PHASES
+    cells: List[Dict[str, object]] = []
+    start = time.perf_counter()
+    for phases in phases_axis:
+        spec = SyntheticSpec(
+            name=f"bench.grid.p{phases}",
+            seed=29 + phases,
+            phases=phases,
+            work_functions=4,
+            functions_per_phase=2,
+            branch_budget=phases * MIN_PHASE_BRANCHES,
+        )
+        workload = build_workload(spec)
+        for clients in clients_axis:
+            seeds = list(range(clients))
+
+            def batched() -> None:
+                BatchedExecutor(
+                    workload.program, workload.behavior,
+                    workload.phase_script, seeds=seeds,
+                    limits=workload.limits,
+                ).run_traced()
+
+            def sequential() -> None:
+                for seed in seeds:
+                    CompiledExecutor(
+                        workload.program,
+                        row_behavior(workload.behavior, seed),
+                        workload.phase_script,
+                        limits=workload.limits,
+                    ).run()
+
+            batched()  # warm per-cell tables before timing
+            batched_seconds = _best_of(batched, 1)
+            sequential_seconds = _best_of(sequential, 1)
+            cells.append({
+                "clients": clients,
+                "phases": phases,
+                "batched_seconds": round(batched_seconds, 6),
+                "sequential_seconds": round(sequential_seconds, 6),
+                "speedup": round(
+                    sequential_seconds / batched_seconds, 3
+                ) if batched_seconds else 0.0,
+            })
+    return {
+        "seconds": time.perf_counter() - start,
+        "clients_axis": list(clients_axis),
+        "phases_axis": list(phases_axis),
+        "cells": cells,
+    }
+
+
 # ---------------------------------------------------------------------------
 # suite driver
 # ---------------------------------------------------------------------------
@@ -210,6 +319,8 @@ def run_bench(quick: bool = False) -> Dict[str, object]:
             )
             results["pack_pipeline"] = _bench_pack(repeats)
             results["fault_campaign"] = _bench_campaign(campaign_trials)
+            results["batched_fleet"] = _bench_batched_fleet(repeats)
+            results["batched_grid"] = _bench_batched_grid(quick)
         finally:
             if previous_cache is None:
                 os.environ.pop("REPRO_TRACE_CACHE", None)
@@ -247,9 +358,16 @@ def render_report(report: Dict[str, object]) -> str:
         extras = " ".join(
             f"{k}={v:,.0f}" if isinstance(v, float) and v > 100 else f"{k}={v}"
             for k, v in sorted(result.items())
-            if k != "seconds"
+            if k != "seconds" and not isinstance(v, (list, dict))
         )
         lines.append(f"  {name:26s} {result['seconds']:8.3f}s  {extras}")
+        for cell in result.get("cells", ()):
+            lines.append(
+                f"    clients={cell['clients']:3d} phases={cell['phases']}  "
+                f"batched={cell['batched_seconds']:8.3f}s  "
+                f"sequential={cell['sequential_seconds']:8.3f}s  "
+                f"speedup={cell['speedup']:.1f}x"
+            )
     return "\n".join(lines)
 
 

@@ -533,7 +533,20 @@ def _parents(*names: str) -> List[argparse.ArgumentParser]:
                               help="restrict to one input (repeatable)")
     registry["bench_filter"] = bench_filter
 
+    engine = argparse.ArgumentParser(add_help=False)
+    engine.add_argument("--engine", default=None, type=_normalize_engine,
+                        choices=("batched", "compiled", "reference"),
+                        help="execution engine (sets REPRO_ENGINE): batched "
+                             "lockstep fleet rows (default; falls back to "
+                             "compiled for single runs), per-client "
+                             "compiled, or the reference interpreter")
+    registry["engine"] = engine
+
     return [registry[name] for name in names]
+
+
+def _normalize_engine(value: str) -> str:
+    return value.strip().lower()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -620,7 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest = sub.add_parser(
         "ingest",
         help="simulate a client fleet: N profiling runs -> profile docs",
-        parents=_parents("config", "scale"),
+        parents=_parents("config", "scale", "engine"),
     )
     ingest.add_argument("--bench", required=True, metavar="NAME/INPUT",
                         help="benchmark binary the fleet runs")
@@ -641,7 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="fleet request: ingest profiles -> merge -> sharded pack "
              "-> JSON report",
-        parents=_parents("config", "scale", "jobs", "out"),
+        parents=_parents("config", "scale", "jobs", "out", "engine"),
     )
     serve.add_argument("--profiles", required=True,
                        help="directory of client profile documents")
@@ -661,7 +674,8 @@ def build_parser() -> argparse.ArgumentParser:
         "drift",
         help="continuous re-optimization loop: simulate epochs, inject "
              "drift, detect decay, re-pack, measure time-to-recover",
-        parents=_parents("config", "scale", "jobs", "out", "verbose"),
+        parents=_parents("config", "scale", "jobs", "out", "verbose",
+                         "engine"),
     )
     drift.add_argument("--bench", required=True, metavar="NAME/INPUT",
                        help="benchmark binary the fleet runs")
@@ -706,7 +720,8 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="fleet chaos campaign: inject service-scale faults and "
              "check the farm self-heals to the fault-free pack",
-        parents=_parents("config", "scale", "jobs", "out", "verbose"),
+        parents=_parents("config", "scale", "jobs", "out", "verbose",
+                         "engine"),
     )
     chaos.add_argument("--bench", default="181.mcf/A", metavar="NAME/INPUT",
                        help="benchmark binary the fleet runs "
@@ -733,7 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="pinned micro-benchmark suite (engine, detector, pipeline)",
-        parents=_parents("config", "out"),
+        parents=_parents("config", "out", "engine"),
     )
     bench.add_argument("--quick", action="store_true",
                        help="single repetitions + short campaign (CI smoke)")
@@ -771,6 +786,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "engine", None):
+        import os
+
+        os.environ["REPRO_ENGINE"] = args.engine
     args.pipeline = _load_pipeline_config(getattr(args, "config", None))
     if args.pipeline is not None and args.pipeline.obs.trace:
         from repro.api import _traced

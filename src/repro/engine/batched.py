@@ -1,0 +1,786 @@
+"""Batched execution: N client runs of one binary advanced in lockstep.
+
+Fleet features (service ingest, the drift controller's per-epoch
+probes, the bench suite) simulate clients by re-running the compiled
+engine once per client.  All of those runs share one
+:class:`~repro.engine.compiled.CompiledProgram`; only the per-row
+behavior seed (and, under drift, the per-row bias table) differs.
+This module batches them:
+
+* :class:`BatchTables` lowers the compiled program's lazily-built
+  segment/fused tables into flat numpy arrays shared by every row —
+  built once per program, cached alongside the compiled tables;
+* :class:`BatchedExecutor` advances N rows through three interchangeable
+  kernels, all **bit-identical** to N sequential
+  :class:`~repro.engine.compiled.CompiledExecutor` runs:
+
+  - ``lockstep`` — pure numpy: one vector op advances every active row
+    one branch retirement (per-row splitmix64 state via
+    :func:`~repro.engine.compiled._vec_splitmix64` arithmetic, per-row
+    continuation stacks, early-halting rows masked out and parked);
+  - ``native`` — the same walk compiled to a tiny C kernel at runtime
+    with the system C compiler (see :mod:`repro.engine.native`); used
+    automatically when a compiler is available, because numpy dispatch
+    overhead puts a floor under lockstep throughput at small N;
+  - ``scalar`` — one :class:`CompiledExecutor` per row: the exactness
+    fallback for hazards (instruction-limited budgets, step-guard
+    crossings, branchless cycles, stack overflow) and for N=1.
+
+  Kernel choice: ``REPRO_BATCH_KERNEL`` = ``auto`` (default) | ``native``
+  | ``lockstep`` | ``scalar``.
+
+Equivalence is contractual, exactly as for the compiled engine:
+identical :class:`~repro.engine.executor.ExecutionSummary` fields and
+identical ``(branch_uid, taken, phase)`` event streams per row, for
+divergent per-row behavior seeds over one binary
+(``tests/test_batched_engine.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.engine.behavior import BehaviorModel
+from repro.engine.compiled import (
+    CompiledExecutor,
+    CompiledProgram,
+    OutcomeTable,
+    TraceData,
+    _build_fused,
+    _build_segment,
+    _FUSE_PAD,
+    compile_program,
+    phases_for,
+    share_outcome_table,
+)
+from repro.engine.executor import (
+    KIND_BRANCH,
+    KIND_HALT,
+    KIND_RET,
+    ExecutionLimits,
+    ExecutionSummary,
+    StopReason,
+)
+from repro.engine.phases import PhaseScript
+from repro.obs import annotate, inc, span
+from repro.program.program import Program
+
+_MASK64 = (1 << 64) - 1
+_FNV = 0x100000001B3
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+#: seg_kind / f_kind encoding shared with the native kernel.
+_K_BRANCH, _K_RET, _K_HALT, _K_HAZARD = 0, 1, 2, 3
+
+_STOP = (StopReason.HALTED, StopReason.BRANCH_LIMIT, StopReason.STACK_UNDERFLOW)
+
+
+def batch_kernel() -> str:
+    """``REPRO_BATCH_KERNEL``: ``auto`` (default), ``native``,
+    ``lockstep``, or ``scalar``."""
+    return os.environ.get("REPRO_BATCH_KERNEL", "auto").strip().lower()
+
+
+def fleet_batching_enabled() -> bool:
+    """Whether fleet simulation advances clients through the batched
+    engine (the default).  ``REPRO_ENGINE=compiled`` or ``reference``
+    opts back into the sequential per-client path; ``batched`` (also
+    accepted by the ``--engine`` flag) requests it explicitly."""
+    engine = os.environ.get("REPRO_ENGINE")
+    if engine is None:
+        return True
+    return engine.strip().lower() == "batched"
+
+
+def row_behavior(base: BehaviorModel, seed: int) -> BehaviorModel:
+    """A view of ``base`` with its own outcome seed.
+
+    Shares the bias and stable-id tables by reference (rows of a fleet
+    run one binary; only the seed diverges), so per-row probability
+    lookups cost nothing extra and an
+    :class:`~repro.engine.compiled.OutcomeTable` keyed on the view
+    never serves units hashed under another row's seed.  Views of the
+    same ``(base, seed)`` share one outcome table — unit draws depend
+    only on (stable key, seed) — so repeat rows (the controller's
+    per-epoch fleet probe replays the same client seeds every epoch)
+    reuse grown unit tables instead of rehashing them.
+    """
+    view = BehaviorModel.__new__(BehaviorModel)
+    view.default_prob = base.default_prob
+    view.seed = seed
+    view._bias = base._bias
+    view._stable_id = base._stable_id
+    try:
+        by_seed = _ROW_TABLES.get(base)
+        if by_seed is None:
+            by_seed = {}
+            _ROW_TABLES[base] = by_seed
+        table = by_seed.get(seed)
+        if table is None:
+            table = OutcomeTable(view)
+            by_seed[seed] = table
+        share_outcome_table(view, table)
+    except TypeError:  # pragma: no cover - non-weakref-able subclass
+        pass
+    return view
+
+
+_ROW_TABLES: "WeakKeyDictionary[BehaviorModel, Dict[int, OutcomeTable]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _flatten(tuples: Sequence[Tuple[int, ...]]):
+    """Ragged tuple-per-entry -> (offsets, counts, flat data) arrays."""
+    offsets = np.zeros(len(tuples), dtype=np.int32)
+    counts = np.zeros(len(tuples), dtype=np.int32)
+    data: List[int] = []
+    for k, tup in enumerate(tuples):
+        offsets[k] = len(data)
+        counts[k] = len(tup)
+        data.extend(tup)
+    return offsets, counts, np.asarray(data, dtype=np.int32)
+
+
+class BatchTables:
+    """The compiled program's segment/fused tables as flat arrays.
+
+    Everything the lockstep and native kernels index per event, built
+    once per :class:`CompiledProgram` (all segments and fused
+    transitions force-built up front) and shared by every batch.
+    Blocks whose segment walk is a branchless cycle are marked
+    ``_K_HAZARD``; rows that reach one bail out to the scalar kernel,
+    mirroring the compiled engine's own fallback.
+    """
+
+    def __init__(self, cp: CompiledProgram):
+        n = len(cp.kind)
+        self.nblocks = n
+        for b in range(n):
+            if cp.seg_end[b] is None:
+                _build_segment(cp, b)
+        for j in range(n):
+            if cp.kind[j] == KIND_BRANCH:
+                for outcome in (0, 1):
+                    if cp.fused[2 * j + outcome] is None:
+                        _build_fused(cp, 2 * j + outcome)
+
+        self.seg_end = np.asarray(
+            [-1 if e is None else e for e in cp.seg_end], dtype=np.int32
+        )
+        kind_of = {KIND_BRANCH: _K_BRANCH, KIND_RET: _K_RET, KIND_HALT: _K_HALT}
+        self.seg_kind = np.asarray(
+            [
+                _K_HAZARD if cp.seg_end[b] is None else kind_of[cp.seg_kind[b]]
+                for b in range(n)
+            ],
+            dtype=np.uint8,
+        )
+        self.seg_instr = np.asarray(cp.seg_instr, dtype=np.int64)
+        self.seg_steps = np.asarray(cp.seg_steps, dtype=np.int64)
+        self.seg_calls = np.asarray(cp.seg_calls, dtype=np.int64)
+        self.seg_push_off, self.seg_push_cnt, self.seg_push_data = _flatten(
+            cp.seg_pushes
+        )
+
+        nk = 2 * n
+        self.f_valid = np.zeros(nk, dtype=np.uint8)
+        self.f_end = np.full(nk, -1, dtype=np.int32)
+        self.f_kind = np.zeros(nk, dtype=np.uint8)
+        self.f_instr = np.zeros(nk, dtype=np.int64)
+        self.f_steps = np.zeros(nk, dtype=np.int64)
+        self.f_calls = np.zeros(nk, dtype=np.int64)
+        f_pushes: List[Tuple[int, ...]] = [()] * nk
+        #: Per-key unique visited blocks + per-walk counts, for
+        #: block_visits reconstruction (mirrors the scalar engine).
+        self.fb_blocks: List[Optional[np.ndarray]] = [None] * nk
+        self.fb_counts: List[Optional[np.ndarray]] = [None] * nk
+        #: Per-key successor when the key is unfused: the branch's raw
+        #: taken/fall edge, continuation pushes included.
+        self.u_next = np.full(nk, -1, dtype=np.int32)
+        u_pushes: List[Tuple[int, ...]] = [()] * nk
+        for j in range(n):
+            if cp.kind[j] != KIND_BRANCH:
+                continue
+            for outcome in (0, 1):
+                key = 2 * j + outcome
+                if outcome:
+                    self.u_next[key] = cp.target[j]
+                    u_pushes[key] = cp.conts[j]
+                else:
+                    self.u_next[key] = cp.fall[j]
+                f = cp.fused[key]
+                if f is None or f is False:
+                    continue
+                self.f_valid[key] = 1
+                self.f_kind[key] = kind_of[f[6]]
+                self.f_end[key] = f[7]
+                self.f_instr[key] = f[2]
+                self.f_steps[key] = f[3]
+                self.f_calls[key] = f[4]
+                f_pushes[key] = f[5]
+                self.fb_blocks[key] = f[0]
+                self.fb_counts[key] = f[1]
+        self.f_push_off, self.f_push_cnt, self.f_push_data = _flatten(f_pushes)
+        self.u_push_off, self.u_push_cnt, self.u_push_data = _flatten(u_pushes)
+
+        self.branch_dense = np.asarray(cp.branch_dense, dtype=np.int32)
+        self.ndense = len(cp.branch_uids)
+        self.branch_uids = np.asarray(cp.branch_uids, dtype=np.int64)
+        #: branch origin uid per *block* (for log -> event stream).
+        self.block_buid = np.asarray(
+            [
+                cp.branch_uids[cp.branch_dense[b]]
+                if cp.branch_dense[b] >= 0
+                else -1
+                for b in range(n)
+            ],
+            dtype=np.int64,
+        )
+        self.uid = cp.uid
+        self.seg_blocks = cp.seg_blocks
+        self.entry_index = cp.entry_index
+
+
+_TABLES: "WeakKeyDictionary[CompiledProgram, BatchTables]" = WeakKeyDictionary()
+
+
+def batch_tables_for(cp: CompiledProgram) -> BatchTables:
+    tables = _TABLES.get(cp)
+    if tables is None:
+        tables = BatchTables(cp)
+        _TABLES[cp] = tables
+    return tables
+
+
+def stable_fnv_for(behavior: BehaviorModel, tables: BatchTables) -> np.ndarray:
+    """Per-dense-branch ``stable_id * FNV`` (the outer hash key)."""
+    stable = behavior._stable_id
+    return np.asarray(
+        [
+            (stable.get(int(buid), int(buid)) * _FNV) & _MASK64
+            for buid in tables.branch_uids.tolist()
+        ],
+        dtype=np.uint64,
+    )
+
+
+def prob_matrix(
+    behavior: BehaviorModel, tables: BatchTables, phase_ids: Sequence[int]
+) -> np.ndarray:
+    """``[ndense, nphase]`` taken probabilities (phase ids dense from 0,
+    exactly like :meth:`OutcomeTable.probs`)."""
+    top = max(phase_ids) if phase_ids else 0
+    prob = behavior.prob
+    return np.asarray(
+        [
+            [prob(int(buid), phase) for phase in range(top + 1)]
+            for buid in tables.branch_uids.tolist()
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass
+class BatchRun:
+    """One completed batch: per-row traces + which kernel ran them."""
+
+    traces: List[TraceData]
+    kernel: str
+    #: Rows that bailed to the scalar kernel (hazards), by index.
+    scalar_rows: List[int]
+
+    @property
+    def summaries(self) -> List[ExecutionSummary]:
+        return [trace.summary for trace in self.traces]
+
+
+class BatchedExecutor:
+    """Advance N client runs of one program in lockstep.
+
+    ``seeds`` gives each row its behavior seed; ``row_probs`` optionally
+    overrides the per-row probability matrix (shape ``[ndense, nphase]``,
+    see :func:`prob_matrix`) for fleets whose rows drifted apart.  The
+    phase script and limits are shared — that is what makes lockstep
+    sound: every active row retires its ``t``-th branch on iteration
+    ``t``, so the phase id is a scalar per iteration and per-row phase
+    cursors only diverge when a row halts early (it parks; its cursor
+    freezes).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        behavior: BehaviorModel,
+        phase_script: PhaseScript,
+        seeds: Sequence[int],
+        limits: Optional[ExecutionLimits] = None,
+        row_probs: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ):
+        self.program = program
+        self.behavior = behavior
+        self.phase_script = phase_script
+        self.seeds = [int(s) for s in seeds]
+        self.limits = limits or ExecutionLimits()
+        self.compiled = compile_program(program)
+        self.tables = batch_tables_for(self.compiled)
+        self.row_probs = list(row_probs) if row_probs is not None else None
+        if self.row_probs is not None and len(self.row_probs) != len(self.seeds):
+            raise ValueError("row_probs must align with seeds")
+
+    # -- public API ---------------------------------------------------
+    def run_traced(self) -> BatchRun:
+        """Run every row; bit-identical per-row traces + summaries."""
+        n = len(self.seeds)
+        kernel = self._pick_kernel(n)
+        with span("engine.batched.run", rows=n, kernel=kernel) as entry:
+            inc("engine.batched.rows", n, kernel=kernel)
+            if kernel == "scalar":
+                traces = [self._scalar_row(i) for i in range(n)]
+                run = BatchRun(traces=traces, kernel=kernel,
+                               scalar_rows=list(range(n)))
+            elif kernel == "native":
+                run = self._run_native()
+            else:
+                run = self._run_lockstep()
+            steps = sum(t.summary.steps for t in run.traces)
+            inc("engine.batched.steps", steps, kernel=run.kernel)
+            inc(
+                "engine.batched.retired_rows",
+                n - len(run.scalar_rows),
+                kernel=run.kernel,
+            )
+            annotate(entry, steps=steps, scalar_rows=len(run.scalar_rows))
+        return run
+
+    # -- kernel selection ---------------------------------------------
+    def _pick_kernel(self, n: int) -> str:
+        choice = batch_kernel()
+        if choice not in ("auto", "native", "lockstep", "scalar"):
+            raise ValueError(f"unknown REPRO_BATCH_KERNEL {choice!r}")
+        if choice == "scalar" or n <= 1:
+            return "scalar"
+        # The vector kernels share limits across rows and pre-size the
+        # event log from max_branches; instruction-limited or unbounded
+        # budgets take the compiled engine's own exact paths per row.
+        if (
+            self.limits.max_instructions is not None
+            or self.limits.max_branches is None
+            or self.limits.max_branches > (1 << 26)
+        ):
+            return "scalar"
+        if choice in ("auto", "native"):
+            from repro.engine.native import native_kernel
+
+            if native_kernel() is not None:
+                return "native"
+            if choice == "native":
+                raise RuntimeError(
+                    "REPRO_BATCH_KERNEL=native but no working C compiler; "
+                    "unset it or use lockstep/scalar"
+                )
+        # Lockstep's event log is [max_branches, N]; keep it bounded.
+        if self.limits.max_branches * n > (1 << 24):
+            return "scalar"
+        return "lockstep"
+
+    # -- shared row plumbing ------------------------------------------
+    def _phase_arrays(self):
+        segments = self.phase_script.segments
+        sp = np.asarray([s.phase_id for s in segments], dtype=np.int64)
+        sl = np.asarray([s.branches for s in segments], dtype=np.int64)
+        return sp, sl
+
+    def _row_prob(self, i: int, shared: np.ndarray) -> np.ndarray:
+        if self.row_probs is not None and self.row_probs[i] is not None:
+            return np.ascontiguousarray(self.row_probs[i], dtype=np.float64)
+        return shared
+
+    def _scalar_row(self, i: int) -> TraceData:
+        """Exact per-row fallback: a sequential compiled run."""
+        executor = CompiledExecutor(
+            self.program,
+            row_behavior(self.behavior, self.seeds[i]),
+            self.phase_script,
+            limits=self.limits,
+        )
+        if self.row_probs is not None and self.row_probs[i] is not None:
+            # Drifted rows carry their own probabilities; the behavior
+            # view reflects them only if the caller captured the bias
+            # table at the same time.  simulate_fleet does (it restores
+            # biases between rows), so a scalar rerun re-reads the
+            # shared bias dict -- which may have moved on.  Rebind the
+            # outcome table's prob source to the captured matrix.
+            matrix = self._row_prob(i, None)
+            tables = self.tables
+            uid_probs = {
+                int(buid): matrix[d].tolist()
+                for d, buid in enumerate(tables.branch_uids.tolist())
+            }
+            outcomes = executor.outcomes
+
+            class _Pinned:
+                def units(self, uid, need=512):
+                    return outcomes.units(uid, need)
+
+                def grow(self, uid, need):
+                    return outcomes.grow(uid, need)
+
+                def probs(self, uid, phase_ids):
+                    if uid in uid_probs:
+                        return uid_probs[uid]
+                    return outcomes.probs(uid, phase_ids)
+
+            executor.outcomes = _Pinned()
+        executor.run(collect_trace=True)
+        return executor.last_trace
+
+    def _summary_from_counts(
+        self,
+        instr: int,
+        branches: int,
+        taken: int,
+        calls: int,
+        steps: int,
+        stop: int,
+        seg_cnt: np.ndarray,
+        fused_cnt_keys: np.ndarray,
+        fused_cnt_vals: np.ndarray,
+    ) -> ExecutionSummary:
+        tables = self.tables
+        visit_counts = np.zeros(tables.nblocks, dtype=np.int64)
+        for b in np.nonzero(seg_cnt)[0].tolist():
+            visit_counts[tables.seg_blocks[b]] += int(seg_cnt[b])
+        for key, count in zip(fused_cnt_keys.tolist(), fused_cnt_vals.tolist()):
+            visit_counts[tables.fb_blocks[key]] += (
+                tables.fb_counts[key] * int(count)
+            )
+        uid = tables.uid
+        return ExecutionSummary(
+            instructions=int(instr),
+            branches=int(branches),
+            taken_branches=int(taken),
+            calls=int(calls),
+            steps=int(steps),
+            stop_reason=_STOP[int(stop)],
+            block_visits={
+                uid[j]: count
+                for j, count in enumerate(visit_counts.tolist())
+                if count
+            },
+        )
+
+    def _trace_from_log(self, log_row: np.ndarray, summary) -> TraceData:
+        tables = self.tables
+        return TraceData(
+            uids=tables.block_buid[log_row >> 1],
+            taken=(log_row & 1).astype(bool),
+            summary=summary,
+        )
+
+    # -- native kernel ------------------------------------------------
+    def _run_native(self) -> BatchRun:
+        from repro.engine.native import native_kernel
+
+        kernel = native_kernel()
+        tables = self.tables
+        sp, sl = self._phase_arrays()
+        shared_probs = prob_matrix(
+            self.behavior, tables, sp.tolist()
+        )
+        stable_fnv = stable_fnv_for(self.behavior, tables)
+        nphase = shared_probs.shape[1] if shared_probs.size else 1
+        max_branches = self.limits.max_branches
+        step_guard = (
+            self.limits.max_steps - 4 * tables.nblocks - _FUSE_PAD
+        )
+        traces: List[Optional[TraceData]] = [None] * len(self.seeds)
+        scalar_rows: List[int] = []
+        state = kernel.row_state(tables, max_branches)
+        for i, seed in enumerate(self.seeds):
+            probs = self._row_prob(i, shared_probs)
+            result = kernel.run_row(
+                tables,
+                state,
+                stable_fnv,
+                probs,
+                nphase,
+                sp,
+                sl,
+                seed & _MASK64,
+                max_branches,
+                step_guard,
+            )
+            if result is None:
+                scalar_rows.append(i)
+                traces[i] = self._scalar_row(i)
+                continue
+            instr, branches, taken, calls, steps, stop, nev = result
+            log_row = state.log[:nev].copy()
+            fused_keys = np.nonzero(state.fused_cnt)[0]
+            summary = self._summary_from_counts(
+                instr, branches, taken, calls, steps, stop,
+                state.seg_cnt, fused_keys, state.fused_cnt[fused_keys],
+            )
+            traces[i] = self._trace_from_log(log_row, summary)
+        return BatchRun(traces=traces, kernel="native",
+                        scalar_rows=scalar_rows)
+
+    # -- lockstep kernel ----------------------------------------------
+    def _run_lockstep(self) -> BatchRun:
+        tables = self.tables
+        n = len(self.seeds)
+        nblocks = tables.nblocks
+        ndense = max(tables.ndense, 1)
+        max_branches = int(self.limits.max_branches)
+        step_guard = self.limits.max_steps - 4 * nblocks - _FUSE_PAD
+
+        sp, sl = self._phase_arrays()
+        phase_of_event = phases_for(self.phase_script, max_branches)
+        shared_probs = prob_matrix(self.behavior, tables, sp.tolist())
+        nphase = shared_probs.shape[1] if shared_probs.size else 1
+        # [N, ndense, nphase]; rows share storage unless drifted.
+        if self.row_probs is None:
+            prob_cube = np.broadcast_to(
+                shared_probs, (n,) + shared_probs.shape
+            )
+        else:
+            prob_cube = np.stack(
+                [self._row_prob(i, shared_probs) for i in range(n)]
+            )
+        stable_fnv = stable_fnv_for(self.behavior, tables)
+        seeds = np.asarray(
+            [s & _MASK64 for s in self.seeds], dtype=np.uint64
+        )
+
+        cur = np.full(n, -1, dtype=np.int64)
+        occ = np.zeros((n, ndense), dtype=np.uint64)
+        instr = np.zeros(n, dtype=np.int64)
+        steps = np.zeros(n, dtype=np.int64)
+        calls = np.zeros(n, dtype=np.int64)
+        taken_tot = np.zeros(n, dtype=np.int64)
+        nev = np.zeros(n, dtype=np.int64)
+        stop = np.zeros(n, dtype=np.int64)
+        seg_cnt = np.zeros((n, nblocks), dtype=np.int64)
+        stack_cap = 64
+        stack = np.zeros((n, stack_cap), dtype=np.int32)
+        sp_depth = np.zeros(n, dtype=np.int64)
+        log = np.zeros((max_branches, n), dtype=np.int32)
+        hazard = np.zeros(n, dtype=bool)
+        parked = np.zeros(n, dtype=bool)
+
+        def _park(rows: np.ndarray, reason: int) -> None:
+            parked[rows] = True
+            stop[rows] = reason
+
+        def _grow_stack() -> None:
+            nonlocal stack, stack_cap
+            stack_cap *= 2
+            bigger = np.zeros((n, stack_cap), dtype=np.int32)
+            bigger[:, : stack.shape[1]] = stack
+            stack = bigger
+
+        def _push_from(rows, off, cnt, data) -> None:
+            """Vectorized continuation pushes (off/cnt per row); the
+            single-push case (CALL chains) is the fast path, multi-push
+            (JUMP continuations) loops over its few rows."""
+            if not rows.size:
+                return
+            while int(np.max(sp_depth[rows] + cnt)) > stack_cap:
+                _grow_stack()
+            single = cnt == 1
+            ones = rows[single]
+            if ones.size:
+                stack[ones, sp_depth[ones]] = data[off[single]]
+                sp_depth[ones] += 1
+            rest = np.nonzero(~single)[0]
+            for k in rest.tolist():  # multi-push: rare, tiny
+                r = int(rows[k])
+                o, c = int(off[k]), int(cnt[k])
+                stack[r, sp_depth[r]: sp_depth[r] + c] = data[o: o + c]
+                sp_depth[r] += c
+
+        def _advance_segments(rows: np.ndarray, ivec: np.ndarray) -> None:
+            """Step rows through segments until each reaches a pending
+            branch (``cur`` set), parks, or flags a hazard."""
+            while rows.size:
+                kind = tables.seg_kind[ivec]
+                bad = kind == _K_HAZARD
+                if bad.any():
+                    hazard[rows[bad]] = True
+                    rows, ivec, kind = rows[~bad], ivec[~bad], kind[~bad]
+                    if not rows.size:
+                        return
+                seg_cnt[rows, ivec] += 1
+                instr[rows] += tables.seg_instr[ivec]
+                steps[rows] += tables.seg_steps[ivec]
+                calls[rows] += tables.seg_calls[ivec]
+                over = steps[rows] > step_guard
+                if over.any():
+                    hazard[rows[over]] = True
+                    rows, ivec, kind = rows[~over], ivec[~over], kind[~over]
+                    if not rows.size:
+                        return
+                cnt = tables.seg_push_cnt[ivec]
+                pushing = cnt > 0
+                if pushing.any():
+                    _push_from(
+                        rows[pushing],
+                        tables.seg_push_off[ivec[pushing]],
+                        cnt[pushing],
+                        tables.seg_push_data,
+                    )
+                at_branch = kind == _K_BRANCH
+                if at_branch.any():
+                    cur[rows[at_branch]] = tables.seg_end[ivec[at_branch]]
+                halted = kind == _K_HALT
+                if halted.any():
+                    _park(rows[halted], 0)
+                returning = kind == _K_RET
+                rows, ivec = rows[returning], ivec[returning]
+                if not rows.size:
+                    return
+                under = sp_depth[rows] == 0
+                if under.any():
+                    _park(rows[under], 2)
+                    rows = rows[~under]
+                    if not rows.size:
+                        return
+                sp_depth[rows] -= 1
+                ivec = stack[rows, sp_depth[rows]].astype(np.int64)
+
+        all_rows = np.arange(n, dtype=np.int64)
+        _advance_segments(
+            all_rows, np.full(n, tables.entry_index, dtype=np.int64)
+        )
+
+        t = 0
+        while True:
+            act = np.nonzero(~(parked | hazard))[0]
+            if not act.size:
+                break
+            if t >= max_branches:
+                _park(act, 1)
+                break
+            phase = int(phase_of_event[t])
+            j = cur[act]
+            dense = tables.branch_dense[j].astype(np.int64)
+            o = occ[act, dense]
+            occ[act, dense] = o + np.uint64(1)
+            x = o ^ seeds[act]
+            x = x + _GOLDEN
+            x = x ^ (x >> np.uint64(30))
+            x = x * _MIX1
+            x = x ^ (x >> np.uint64(27))
+            x = x * _MIX2
+            x = x ^ (x >> np.uint64(31))
+            x = x ^ stable_fnv[dense]
+            x = x + _GOLDEN
+            x = x ^ (x >> np.uint64(30))
+            x = x * _MIX1
+            x = x ^ (x >> np.uint64(27))
+            x = x * _MIX2
+            x = x ^ (x >> np.uint64(31))
+            unit = x / 2.0**64
+            taken = unit < prob_cube[act, dense, phase]
+            key = 2 * j + taken
+            log[t, act] = key
+            taken_tot[act] += taken
+            nev[act] = t + 1
+
+            valid = tables.f_valid[key] == 1
+            vrows, vkey = act[valid], key[valid]
+            if vrows.size:
+                instr[vrows] += tables.f_instr[vkey]
+                steps[vrows] += tables.f_steps[vkey]
+                calls[vrows] += tables.f_calls[vkey]
+                over = steps[vrows] > step_guard
+                if over.any():
+                    hazard[vrows[over]] = True
+                    vrows, vkey = vrows[~over], vkey[~over]
+                cnt = tables.f_push_cnt[vkey]
+                pushing = cnt > 0
+                if pushing.any():
+                    _push_from(
+                        vrows[pushing],
+                        tables.f_push_off[vkey[pushing]],
+                        cnt[pushing],
+                        tables.f_push_data,
+                    )
+                fkind = tables.f_kind[vkey]
+                ends = fkind == _K_BRANCH
+                if ends.any():
+                    cur[vrows[ends]] = tables.f_end[vkey[ends]]
+                halted = fkind == _K_HALT
+                if halted.any():
+                    _park(vrows[halted], 0)
+                returning = np.nonzero(fkind == _K_RET)[0]
+                if returning.size:
+                    rrows = vrows[returning]
+                    under = sp_depth[rrows] == 0
+                    if under.any():
+                        _park(rrows[under], 2)
+                        rrows = rrows[~under]
+                    if rrows.size:
+                        sp_depth[rrows] -= 1
+                        _advance_segments(
+                            rrows,
+                            stack[rrows, sp_depth[rrows]].astype(np.int64),
+                        )
+            urows, ukey = act[~valid], key[~valid]
+            if urows.size:
+                cnt = tables.u_push_cnt[ukey]
+                pushing = cnt > 0
+                if pushing.any():
+                    _push_from(
+                        urows[pushing],
+                        tables.u_push_off[ukey[pushing]],
+                        cnt[pushing],
+                        tables.u_push_data,
+                    )
+                _advance_segments(
+                    urows, tables.u_next[ukey].astype(np.int64)
+                )
+            t += 1
+
+        traces: List[Optional[TraceData]] = [None] * n
+        scalar_rows: List[int] = []
+        branches_of = nev  # rows retire one event per log entry
+        for i in range(n):
+            if hazard[i]:
+                scalar_rows.append(i)
+                traces[i] = self._scalar_row(i)
+                continue
+            log_row = log[: int(nev[i]), i].copy()
+            key_hist = np.bincount(
+                log_row, minlength=2 * nblocks
+            ).astype(np.int64)
+            key_hist[tables.f_valid == 0] = 0
+            fused_keys = np.nonzero(key_hist)[0]
+            summary = self._summary_from_counts(
+                instr[i], branches_of[i], taken_tot[i], calls[i],
+                steps[i], stop[i], seg_cnt[i],
+                fused_keys, key_hist[fused_keys],
+            )
+            traces[i] = self._trace_from_log(log_row, summary)
+        return BatchRun(traces=traces, kernel="lockstep",
+                        scalar_rows=scalar_rows)
+
+
+__all__ = [
+    "BatchRun",
+    "BatchTables",
+    "BatchedExecutor",
+    "batch_kernel",
+    "batch_tables_for",
+    "prob_matrix",
+    "row_behavior",
+    "stable_fnv_for",
+]

@@ -19,7 +19,7 @@ has two properties the experiments rely on:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -74,6 +74,22 @@ class BehaviorModel:
     def set_phase_biases(self, branch_uid: int, by_phase: Dict[int, float]) -> None:
         for phase, probability in by_phase.items():
             self.set_bias(branch_uid, probability, phase)
+
+    def register_branches(self, branch_uids: Iterable[int]) -> None:
+        """Assign stable ids to branches without configuring a bias.
+
+        Outcomes hash on the stable id with the raw uid as fallback, and
+        uids shift with process-global allocation — so any *unregistered*
+        branch that executes (default-probability code that only drift or
+        a mutated fleet reaches) would resolve differently depending on
+        how many workloads were built first in the process.  The workload
+        generator registers every conditional branch at build time so the
+        model's determinism contract holds for all reachable code, not
+        just biased branches.  Idempotent; existing ids never move.
+        """
+        for uid in branch_uids:
+            if uid not in self._stable_id:
+                self._stable_id[uid] = len(self._stable_id) + 1
 
     # -- queries ----------------------------------------------------------
     def prob(self, branch_uid: int, phase: int) -> float:

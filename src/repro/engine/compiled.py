@@ -159,6 +159,20 @@ def outcome_table_for(behavior: BehaviorModel) -> OutcomeTable:
         return OutcomeTable(behavior)
 
 
+def share_outcome_table(behavior: BehaviorModel, table: OutcomeTable) -> None:
+    """Pre-seed :func:`outcome_table_for` for ``behavior``.
+
+    The batched engine's per-row behavior views alias one base model's
+    bias/stable-id state; views of the same (base, seed) draw identical
+    units, so their unit tables are interchangeable.  Registering the
+    shared table here keeps repeat rows (the controller's per-epoch
+    fleet re-probe) from regrowing every branch's table from scratch."""
+    try:
+        _OUTCOME_TABLES[behavior] = table
+    except TypeError:  # pragma: no cover - non-weakref-able subclass
+        pass
+
+
 class CompiledProgram:
     """A program lowered to flat, dense-index successor tables."""
 
@@ -441,8 +455,33 @@ class TraceData:
         return phases_for(phase_script, len(self))
 
 
+_PHASE_ARRAYS: "WeakKeyDictionary[PhaseScript, np.ndarray]" = (
+    WeakKeyDictionary()
+)
+
+
 def phases_for(script: PhaseScript, n: int) -> np.ndarray:
-    """Phase id of each of the first ``n`` branch retirements."""
+    """Phase id of each of the first ``n`` branch retirements.
+
+    Memoized per script (read-only views of one grown array): a batched
+    fleet reconstructs this for every client row of the same script, and
+    the controller re-asks every epoch."""
+    try:
+        cached = _PHASE_ARRAYS.get(script)
+    except TypeError:  # pragma: no cover - non-weakref-able subclass
+        cached = None
+    if cached is not None and len(cached) >= n:
+        return cached[:n]
+    arr = _phases_for(script, n)
+    arr.setflags(write=False)
+    try:
+        _PHASE_ARRAYS[script] = arr
+    except TypeError:  # pragma: no cover - non-weakref-able subclass
+        pass
+    return arr
+
+
+def _phases_for(script: PhaseScript, n: int) -> np.ndarray:
     ids: List[int] = []
     lengths: List[int] = []
     total = 0

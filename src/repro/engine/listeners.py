@@ -50,9 +50,24 @@ class HSDListener:
 
     def consume_trace(self, uids, takens) -> None:
         """Feed a whole recorded branch stream (numpy arrays or lists)
-        through the detector's chunked fast path.  Equivalent to calling
-        the listener once per event, detection-for-detection."""
+        through the detector's fast paths.  Equivalent to calling the
+        listener once per event, detection-for-detection.
+
+        Prefers the compiled C detector port (:mod:`repro.hsd.native`)
+        when available; it declines (returns ``None``) rather than
+        approximate, and the Python chunked path below remains the
+        exact fallback."""
         address_of = self.address_of
+        if hasattr(uids, "dtype") and len(uids):
+            from repro.hsd.native import try_consume
+
+            records = try_consume(self.detector, address_of, uids, takens)
+            if records is not None:
+                accept = self.filter.accept
+                for record in records:
+                    self.raw_detections += 1
+                    accept(record)
+                return
         uid_list = uids.tolist() if hasattr(uids, "tolist") else list(uids)
         taken_list = (
             takens.tolist() if hasattr(takens, "tolist") else list(takens)

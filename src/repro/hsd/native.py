@@ -1,0 +1,189 @@
+"""Native fast path for feeding a whole trace to the Hot Spot Detector.
+
+:meth:`~repro.hsd.detector.HotSpotDetector.observe_stream` already
+inlines the per-event work, but at fleet scale its Python loop is the
+second-largest cost after the engine itself.  This module drives the
+``hsd_stream`` C port compiled by :mod:`repro.engine.native` — the BBB
+lowered to flat per-slot arrays over dense address ids — and leaves the
+detector in *exactly* the state the Python path would: same records
+(including snapshot dict insertion order, which serialized documents
+preserve), same stats, same residual BBB contents, same timer values.
+
+:func:`try_consume` returns ``None`` whenever the fast path cannot
+guarantee that — no compiled kernel, a detector that has already
+observed events, oversized geometry — and the caller falls back to
+``observe_stream``.  ``REPRO_NATIVE=off`` disables it globally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.native import native_kernel
+from repro.hsd.bbb import BBBEntry
+from repro.hsd.detector import HotSpotDetector
+from repro.hsd.records import BranchProfile, HotSpotRecord
+from repro.obs import inc
+
+#: Upper bound on per-run snapshot buffer entries before we prefer the
+#: Python path (tiny custom HDC configs can detect every few events).
+_SNAP_BUDGET = 4_000_000
+
+
+def _fresh(detector: HotSpotDetector) -> bool:
+    bbb = detector.bbb
+    return (
+        detector.stats.branches_observed == 0
+        and bbb._tick == 0
+        and not detector._records
+        and detector.hdc == detector.config.hdc_max
+        and detector._branches_since_refresh == 0
+        and detector._branches_since_clear == 0
+        and detector._tick_at_last_refresh == 0
+        and bbb.occupancy() == 0
+    )
+
+
+def try_consume(
+    detector: HotSpotDetector,
+    address_of: Dict[int, int],
+    uids: np.ndarray,
+    takens: np.ndarray,
+) -> Optional[List[HotSpotRecord]]:
+    """Feed ``(uids, takens)`` through the C detector port.
+
+    Returns the detected records (already appended to the detector)
+    or ``None`` when the caller must use the Python path.  On ``None``
+    the detector is untouched — all kernel state lives in scratch
+    arrays until the final commit.
+    """
+    kernel = native_kernel()
+    if kernel is None or not _fresh(detector):
+        return None
+    config = detector.config
+    if config.bbb_ways > 64:
+        return None
+    n = int(len(uids))
+
+    uid_arr = np.fromiter(
+        address_of.keys(), dtype=np.int64, count=len(address_of)
+    )
+    addr_arr = np.fromiter(
+        address_of.values(), dtype=np.int64, count=len(address_of)
+    )
+    order = np.argsort(uid_arr, kind="stable")
+    sorted_uids = uid_arr[order]
+    sorted_addr = addr_arr[order]
+
+    ev_uids = np.ascontiguousarray(uids, dtype=np.int64)
+    ev_id64 = np.searchsorted(sorted_uids, ev_uids)
+    if n and (
+        int(ev_id64.max(initial=0)) >= len(sorted_uids)
+        or not np.array_equal(sorted_uids[ev_id64], ev_uids)
+    ):
+        return None  # a uid without an address: let the dict KeyError
+    ev_id = np.ascontiguousarray(ev_id64, dtype=np.int32)
+    ev_taken = np.ascontiguousarray(takens, dtype=np.uint8)
+
+    set_of = np.ascontiguousarray(
+        (sorted_addr >> config.address_shift) & (config.bbb_sets - 1),
+        dtype=np.int32,
+    )
+
+    # A detection needs the HDC walked from hdc_max to 0 after the last
+    # maintenance reset: at least ceil(hdc_max / candidate_step) events.
+    min_spacing = max(
+        1, -(-config.hdc_max // config.hdc_candidate_step)
+    )
+    det_cap = n // min_spacing + 4
+    snap_cap = det_cap * config.bbb_entries
+    if snap_cap > _SNAP_BUDGET:
+        return None
+
+    nslots = config.bbb_entries
+    slot_addr = np.full(nslots, -1, dtype=np.int32)
+    slot_exec = np.zeros(nslots, dtype=np.int32)
+    slot_taken = np.zeros(nslots, dtype=np.int32)
+    slot_cand = np.zeros(nslots, dtype=np.uint8)
+    slot_last = np.zeros(nslots, dtype=np.int64)
+    slot_seq = np.zeros(nslots, dtype=np.int64)
+    det_at = np.zeros(det_cap, dtype=np.int64)
+    det_size = np.zeros(det_cap, dtype=np.int32)
+    snap_id = np.zeros(snap_cap, dtype=np.int32)
+    snap_exec = np.zeros(snap_cap, dtype=np.int32)
+    snap_taken = np.zeros(snap_cap, dtype=np.int32)
+    out = np.zeros(12, dtype=np.int64)
+
+    code = kernel.hsd_stream(
+        ev_id, ev_taken, n,
+        set_of,
+        config.bbb_sets, config.bbb_ways,
+        config.counter_max, config.candidate_threshold,
+        config.hdc_candidate_step, config.hdc_noncandidate_step,
+        config.hdc_max,
+        config.refresh_interval, config.clear_interval,
+        slot_addr, slot_exec, slot_taken, slot_cand, slot_last, slot_seq,
+        det_at, det_size, det_cap,
+        snap_id, snap_exec, snap_taken, snap_cap,
+        out,
+    )
+    if code != 0:
+        return None
+
+    # -- commit: records ---------------------------------------------
+    ndet = int(out[8])
+    records: List[HotSpotRecord] = []
+    pos = 0
+    for k in range(ndet):
+        size = int(det_size[k])
+        branches: Dict[int, BranchProfile] = {}
+        for s in range(pos, pos + size):
+            address = int(sorted_addr[snap_id[s]])
+            branches[address] = BranchProfile(
+                address, int(snap_exec[s]), int(snap_taken[s])
+            )
+        pos += size
+        records.append(HotSpotRecord(
+            index=len(detector._records) + k,
+            detected_at_branch=int(det_at[k]),
+            branches=branches,
+        ))
+
+    # -- commit: detector state (exactly what observe_stream leaves) --
+    stats = detector.stats
+    stats.branches_observed += n
+    stats.detections += ndet
+    stats.refreshes += int(out[6])
+    stats.clears += int(out[7])
+    detector.hdc = int(out[0])
+    detector._branches_since_refresh = int(out[1])
+    detector._branches_since_clear = int(out[2])
+    detector._tick_at_last_refresh = int(out[4])
+    detector._records.extend(records)
+    detector._records_view = tuple(detector._records)
+
+    bbb = detector.bbb
+    bbb._tick = int(out[3])
+    bbb.misses_untracked += int(out[5])
+    sets: List[Dict[int, BBBEntry]] = [{} for _ in range(config.bbb_sets)]
+    live = np.nonzero(slot_addr >= 0)[0]
+    # Rebuild each set's dict in table insertion order (alloc sequence).
+    for s in sorted(live.tolist(), key=lambda s: int(slot_seq[s])):
+        address = int(sorted_addr[slot_addr[s]])
+        sets[s // config.bbb_ways][address] = BBBEntry(
+            address=address,
+            executed=int(slot_exec[s]),
+            taken=int(slot_taken[s]),
+            candidate=bool(slot_cand[s]),
+            last_use=int(slot_last[s]),
+        )
+    bbb._sets = sets
+
+    inc("hsd.native.events", n)
+    inc("hsd.native.detections", ndet)
+    return records
+
+
+__all__ = ["try_consume"]

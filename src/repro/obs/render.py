@@ -256,6 +256,15 @@ def stage_table(spans: Sequence[Span], metrics: Optional[dict] = None) -> str:
             summary.append(line)
     quarantined = _counter_total(metrics, "pipeline.quarantined")
     summary.append(f"quarantined phases: {quarantined:.0f}")
+    # Batched-engine counters appear when a fleet advanced in lockstep.
+    batched_rows = _counter_total(metrics, "engine.batched.rows")
+    if batched_rows:
+        retired = _counter_total(metrics, "engine.batched.retired_rows")
+        steps = _counter_total(metrics, "engine.batched.steps")
+        summary.append(
+            f"batched engine: {batched_rows:.0f} client row(s), "
+            f"{retired:.0f} retired in lockstep, {steps:.0f} steps"
+        )
     # Service-layer fault counters only appear once the fleet service
     # has actually seen trouble — a clean run stays clean.
     for label, name in (

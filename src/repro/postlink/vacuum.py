@@ -297,6 +297,49 @@ class VacuumPacker:
             image=image,
         )
 
+    def profile_trace(
+        self,
+        workload: Workload,
+        trace,
+        image: Optional[ProgramImage] = None,
+    ) -> ProfileResult:
+        """Profile from an already-recorded branch trace.
+
+        The batched fleet engine (:mod:`repro.engine.batched`) advances
+        many clients through one program in lockstep and hands each
+        row's :class:`~repro.engine.trace_cache.TraceData` here; the
+        detector/filter stage is identical to :meth:`profile`, only the
+        engine run is skipped.  Pass ``image`` to share the linked
+        image across rows instead of re-deriving it per client.
+        """
+        started = time.perf_counter()
+        with span("pipeline.profile", workload=workload.name) as entry:
+            image = image or image_for(workload.program)
+            address_of = {
+                uid: address
+                for uid, address in image.instruction_address.items()
+            }
+            listener = HSDListener(
+                HotSpotDetector(self.hsd_config), address_of, self.similarity
+            )
+            listener.consume_trace(trace.uids, trace.taken)
+            summary = trace.summary
+            annotate(
+                entry,
+                records=len(listener.unique_records),
+                raw_detections=listener.raw_detections,
+                branches=summary.branches,
+            )
+        observe("pipeline.stage.seconds", time.perf_counter() - started,
+                stage="profile")
+        inc("pipeline.phases_detected", len(listener.unique_records))
+        return ProfileResult(
+            records=listener.unique_records,
+            raw_detections=listener.raw_detections,
+            summary=summary,
+            image=image,
+        )
+
     def pack_records(
         self,
         workload: Workload,

@@ -54,6 +54,7 @@ from .artifacts import ArtifactStore, default_store
 from .clients import simulate_fleet
 from .drift import DriftDetector, DriftSpec, apply_drift
 from .farm import FarmConfig, FarmPolicy, pack_fleet
+from .report import batched_engine_section
 
 CONTROLLER_VERSION = 1
 
@@ -478,6 +479,7 @@ def run_controller(
             "degraded_shards": farm_totals["degraded"],
             "store_root": store.root if store.enabled else "off",
         },
+        "engine": {"batched": batched_engine_section()},
     }
     if not recovery["recovered"]:
         raise_hint = (

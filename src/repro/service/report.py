@@ -54,6 +54,30 @@ class FleetReport:
         return int(self.document["ingest"]["quarantined"])
 
 
+def batched_engine_section() -> Dict[str, int]:
+    """Batched-engine counter totals (summed across kernel labels).
+
+    ``{"rows": ..., "retired_rows": ..., "steps": ...}`` from this
+    process's metrics registry — all zero for a request served purely
+    from on-disk profiles, live counts when the fleet was simulated in
+    lockstep (``repro ingest``/``drift``).  Deterministic for a given
+    request: row/step counts are part of the engine's bit-identity
+    contract, unlike wall-clock timings.
+    """
+    from repro.obs import default_registry
+    from repro.obs.metrics import series_name
+
+    snapshot = default_registry().snapshot()
+    totals = {"rows": 0, "retired_rows": 0, "steps": 0}
+    for key, value in snapshot.get("counters", {}).items():
+        name = series_name(key)
+        if name.startswith("engine.batched."):
+            field_name = name[len("engine.batched."):]
+            if field_name in totals:
+                totals[field_name] += int(value)
+    return totals
+
+
 def build_report(
     ingest: IngestResult,
     fleet: FleetProfile,
@@ -121,8 +145,14 @@ def build_report(
                 "retried_shards": packed.retried_shards,
             },
         },
+        "engine": {"batched": batched_engine_section()},
     }
     return FleetReport(document=document)
 
 
-__all__ = ["FleetReport", "REPORT_VERSION", "build_report"]
+__all__ = [
+    "FleetReport",
+    "REPORT_VERSION",
+    "batched_engine_section",
+    "build_report",
+]

@@ -501,6 +501,16 @@ def build_workload(spec: SyntheticSpec) -> Workload:
     )
 
     program = state.program_builder.build(entry="main")
+    # Give every conditional branch a stable id (construction order), so
+    # outcomes in default-probability code that only drift reaches don't
+    # hash on process-global uids — see BehaviorModel.register_branches.
+    behavior.register_branches(
+        instruction.uid
+        for function in program.functions.values()
+        for block in function.blocks
+        for instruction in block.instructions
+        if instruction.is_conditional_branch
+    )
     script = _build_phase_script(spec, all_phases)
     limits = ExecutionLimits(max_branches=script.total_branches)
     return Workload(
