@@ -293,15 +293,175 @@ def _bench_batched_grid(quick: bool) -> Dict[str, object]:
     }
 
 
+#: Fleet sizes for the aggregation scalability bench (full mode).
+AGG_CLIENTS = (1_000, 10_000, 100_000)
+#: Fresh arrivals absorbed (with an up-to-date merged profile after
+#: each) at every fleet size.
+AGG_ARRIVALS = 16
+#: The ``repro bench agg_scale`` acceptance floor at the 1k shape.
+AGG_SPEEDUP_TARGET = 10.0
+
+
+def _bench_agg_scale(quick: bool) -> Dict[str, object]:
+    """Streaming vs from-scratch aggregation, clients × arrival cost.
+
+    Seeds the shape with a real fleet (:data:`BENCH_WORKLOAD`, batched
+    engine), then synthesizes N clients by deterministically scaling
+    each base profile's counters — address sets and branch biases are
+    preserved, so the section 3.1 clustering is identical and only the
+    execution weights vary.  The measured contest is the steady-state
+    service loop: absorb :data:`AGG_ARRIVALS` fresh uploads with an
+    up-to-date merged profile after each one.  Streaming pays
+    O(phases) + snapshot per upload; batch re-clusters all N documents
+    ever seen per upload.  Batch is timed at the 1k shape (the
+    acceptance shape — larger shapes are streaming-only, since batch
+    cost is the measured 1k number scaled by N).  The two final merged
+    profiles must satisfy the determinism contract (``equivalent``).
+    """
+    from repro.hsd.records import BranchProfile, HotSpotRecord
+    from repro.service.aggregate import (
+        ClientRun,
+        IncrementalAggregator,
+        IngestResult,
+        ingest_paths,
+        merge_runs,
+        profiles_equivalent,
+    )
+    from repro.service.clients import simulate_fleet
+
+    benchmark, input_name = BENCH_WORKLOAD
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-agg-bench-") as out_dir:
+        simulate_fleet(
+            benchmark, input_name, runs=16, out_dir=out_dir, epochs=4
+        )
+        base_runs = ingest_paths(
+            sorted(os.path.join(out_dir, p) for p in os.listdir(out_dir))
+        ).runs
+    if not base_runs:
+        raise RuntimeError("agg_scale: fleet simulation produced no profiles")
+
+    def synth_run(j: int) -> ClientRun:
+        base = base_runs[j % len(base_runs)]
+        factor = 1.0 + 0.25 * (j % 7)
+        records = []
+        for record in base.records:
+            branches = {}
+            for address, profile in record.branches.items():
+                executed = int(profile.executed * factor)
+                branches[address] = BranchProfile(
+                    address, executed, min(int(profile.taken * factor),
+                                           executed)
+                )
+            records.append(HotSpotRecord(
+                index=record.index,
+                detected_at_branch=record.detected_at_branch,
+                branches=branches,
+            ))
+        return ClientRun(
+            run_id=f"{benchmark}/{input_name}#s{j:06d}",
+            seed=j, epoch=j % 4, path=f"<synthetic-{j}>", records=records,
+        )
+
+    clients_axis = AGG_CLIENTS[:1] if quick else AGG_CLIENTS
+    arrivals = 8 if quick else AGG_ARRIVALS
+    shapes: List[Dict[str, object]] = []
+    speedup_1k = 0.0
+    equivalent = False
+    for n_clients in clients_axis:
+        aggregator = IncrementalAggregator()
+        fold_started = time.perf_counter()
+        for j in range(n_clients):
+            aggregator.ingest_run(synth_run(j))
+        fold_seconds = time.perf_counter() - fold_started
+
+        stream_started = time.perf_counter()
+        for k in range(arrivals):
+            aggregator.ingest_run(synth_run(n_clients + k))
+            aggregator.snapshot()
+        streaming_seconds = time.perf_counter() - stream_started
+
+        shape: Dict[str, object] = {
+            "clients": n_clients,
+            "phases": len(aggregator.snapshot().phases),
+            "arrivals": arrivals,
+            "fold_seconds": round(fold_seconds, 6),
+            "docs_per_second": round(
+                n_clients / fold_seconds, 1
+            ) if fold_seconds else 0.0,
+            "streaming_seconds": round(streaming_seconds, 6),
+        }
+        if n_clients == clients_axis[0]:
+            # The acceptance head-to-head: same arrivals through the
+            # from-scratch batch aggregator (re-cluster everything per
+            # upload), then the contract check on the final profiles.
+            runs = [synth_run(j) for j in range(n_clients)]
+            batch_started = time.perf_counter()
+            for k in range(arrivals):
+                runs.append(synth_run(n_clients + k))
+                runs.sort(key=lambda run: run.run_id)
+                batch_fleet = merge_runs(IngestResult(runs=runs))
+            batch_seconds = time.perf_counter() - batch_started
+            speedup_1k = (
+                batch_seconds / streaming_seconds if streaming_seconds
+                else 0.0
+            )
+            equivalent = profiles_equivalent(
+                aggregator.snapshot(), batch_fleet
+            )
+            shape["batch_seconds"] = round(batch_seconds, 6)
+            shape["speedup"] = round(speedup_1k, 1)
+            shape["equivalent"] = equivalent
+        shapes.append(shape)
+    return {
+        "seconds": time.perf_counter() - started,
+        "clients_axis": list(clients_axis),
+        "arrivals": arrivals,
+        "speedup_1k": round(speedup_1k, 1),
+        "speedup_target": AGG_SPEEDUP_TARGET,
+        "equivalent": equivalent,
+        "shapes": shapes,
+    }
+
+
 # ---------------------------------------------------------------------------
 # suite driver
 # ---------------------------------------------------------------------------
 
-def run_bench(quick: bool = False) -> Dict[str, object]:
-    """Run the pinned suite; ``quick`` uses single repetitions and a
-    shorter campaign (the CI smoke configuration)."""
+def bench_suite(quick: bool) -> Dict[str, Callable[[], Dict[str, object]]]:
+    """Name → runner for every pinned benchmark."""
     repeats = 1 if quick else 3
     campaign_trials = 2 if quick else 5
+    return {
+        "interpreter_loop": lambda: _bench_interpreter(repeats),
+        "compiled_loop": lambda: _bench_compiled(repeats),
+        "detector_observe": lambda: _bench_detector(repeats),
+        "detector_observe_stream": lambda: _bench_detector_stream(repeats),
+        "pack_pipeline": lambda: _bench_pack(repeats),
+        "fault_campaign": lambda: _bench_campaign(campaign_trials),
+        "batched_fleet": lambda: _bench_batched_fleet(repeats),
+        "batched_grid": lambda: _bench_batched_grid(quick),
+        "agg_scale": lambda: _bench_agg_scale(quick),
+    }
+
+
+def run_bench(
+    quick: bool = False, only: Optional[List[str]] = None
+) -> Dict[str, object]:
+    """Run the pinned suite; ``quick`` uses single repetitions and a
+    shorter campaign (the CI smoke configuration).  ``only`` restricts
+    the run to the named benchmarks (``repro bench agg_scale``)."""
+    suite = bench_suite(quick)
+    if only:
+        unknown = sorted(set(only) - set(suite))
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {', '.join(unknown)}; "
+                f"known: {', '.join(suite)}"
+            )
+        selected = [name for name in suite if name in set(only)]
+    else:
+        selected = list(suite)
 
     previous_cache = os.environ.get("REPRO_TRACE_CACHE")
     results: Dict[str, Dict[str, object]] = {}
@@ -311,16 +471,8 @@ def run_bench(quick: bool = False) -> Dict[str, object]:
 
         reset_default_cache()
         try:
-            results["interpreter_loop"] = _bench_interpreter(repeats)
-            results["compiled_loop"] = _bench_compiled(repeats)
-            results["detector_observe"] = _bench_detector(repeats)
-            results["detector_observe_stream"] = _bench_detector_stream(
-                repeats
-            )
-            results["pack_pipeline"] = _bench_pack(repeats)
-            results["fault_campaign"] = _bench_campaign(campaign_trials)
-            results["batched_fleet"] = _bench_batched_fleet(repeats)
-            results["batched_grid"] = _bench_batched_grid(quick)
+            for name in selected:
+                results[name] = suite[name]()
         finally:
             if previous_cache is None:
                 os.environ.pop("REPRO_TRACE_CACHE", None)
@@ -368,6 +520,21 @@ def render_report(report: Dict[str, object]) -> str:
                 f"sequential={cell['sequential_seconds']:8.3f}s  "
                 f"speedup={cell['speedup']:.1f}x"
             )
+        for shape in result.get("shapes", ()):
+            line = (
+                f"    clients={shape['clients']:6d} "
+                f"phases={shape['phases']}  "
+                f"fold={shape['fold_seconds']:8.3f}s  "
+                f"streaming={shape['streaming_seconds']:8.3f}s"
+                f"/{shape['arrivals']} arrivals"
+            )
+            if "batch_seconds" in shape:
+                line += (
+                    f"  batch={shape['batch_seconds']:8.3f}s  "
+                    f"speedup={shape['speedup']:.1f}x  "
+                    f"equivalent={shape['equivalent']}"
+                )
+            lines.append(line)
     return "\n".join(lines)
 
 
@@ -405,8 +572,13 @@ def main_bench(
     out: Optional[str] = None,
     check: Optional[str] = None,
     threshold: float = DEFAULT_THRESHOLD,
+    only: Optional[List[str]] = None,
 ) -> int:
-    report = run_bench(quick=quick)
+    try:
+        report = run_bench(quick=quick, only=only)
+    except ValueError as exc:
+        print(f"repro bench: {exc}")
+        return 2
     print(render_report(report))
     path = out or default_report_path(report)
     write_report(report, path)

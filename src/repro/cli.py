@@ -228,9 +228,12 @@ def _parse_bench_spec(spec: str) -> tuple:
 def _cmd_ingest(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.service import simulate_fleet
+    from repro.service import IncrementalAggregator, simulate_fleet
 
     benchmark, input_name = _parse_bench_spec(args.bench)
+    aggregator = (
+        IncrementalAggregator() if args.aggregator == "streaming" else None
+    )
     clients = simulate_fleet(
         benchmark,
         input_name,
@@ -239,6 +242,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         epochs=args.epochs,
         scale=args.scale,
+        aggregator=aggregator,
     )
     summary = {
         "benchmark": args.bench,
@@ -250,16 +254,30 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             for c in clients
         ],
     }
+    if aggregator is not None:
+        fleet = aggregator.snapshot()
+        summary["aggregate"] = {
+            "mode": "streaming",
+            "documents": aggregator.documents,
+            "quarantined": len(aggregator.rejected),
+            "phases_merged": len(fleet.phases),
+            "max_epoch": fleet.max_epoch,
+            "profile_digest": fleet.digest(),
+        }
     print(_json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.errors import ServiceError
     from repro.experiments.parallel import resolve_jobs
     from repro.service import (
         ArtifactStore,
         FarmConfig,
+        IncrementalAggregator,
+        MergePolicy,
         build_report,
         default_store,
         ingest_dir,
@@ -272,17 +290,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.classic:
         pipeline = pipeline.replace(classic=True)
     try:
-        ingest = ingest_dir(args.profiles)
-        fleet = merge_runs(ingest)
+        store = (
+            ArtifactStore(args.store) if args.store else default_store()
+        )
+        aggregate_section = None
+        if args.aggregator == "streaming":
+            # The live state checkpoints under the profiles directory's
+            # identity: a restarted serve over the same directory
+            # restores it and the per-path dedup skips every document
+            # already folded, so only new uploads cost ingest work.
+            policy = MergePolicy()
+            tag = f"serve:{Path(args.profiles).resolve()}"
+            restored = IncrementalAggregator.restore(store, tag, policy)
+            aggregator = restored or IncrementalAggregator(policy)
+            folded = aggregator.ingest_paths(
+                sorted(Path(args.profiles).glob("*.json"))
+            )
+            ingest = aggregator.ingest_view()
+            fleet = aggregator.snapshot()
+            aggregator.save_checkpoint(store, tag)
+            aggregate_section = {
+                "mode": "streaming",
+                "checkpoint": "restored" if restored else "cold",
+                "documents": aggregator.documents,
+                "folded_now": folded,
+                "deduplicated": aggregator.duplicates,
+            }
+        else:
+            ingest = ingest_dir(args.profiles)
+            fleet = merge_runs(ingest)
         config = FarmConfig(
             benchmark=benchmark,
             input_name=input_name,
             scale=args.scale,
             pipeline=pipeline.to_dict(),
             shard_size=args.shard_size,
-        )
-        store = (
-            ArtifactStore(args.store) if args.store else default_store()
         )
         packed = pack_fleet(fleet, config, jobs=args.jobs, store=store)
     except ServiceError as exc:
@@ -291,7 +333,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             message += f" (hint: {exc.hint})"
         raise SystemExit(message)
     report = build_report(
-        ingest, fleet, packed, config, store, jobs=resolve_jobs(args.jobs)
+        ingest, fleet, packed, config, store, jobs=resolve_jobs(args.jobs),
+        aggregate=aggregate_section,
     )
     _emit(report.to_json(), args.out)
     return 0
@@ -330,6 +373,7 @@ def _cmd_drift(args: argparse.Namespace) -> int:
             min_staleness=args.min_staleness,
             patience=args.patience,
             pipeline=pipeline.to_dict(),
+            aggregator=args.aggregator,
         )
     except ValueError as exc:
         raise SystemExit(f"repro drift: {exc}")
@@ -408,6 +452,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         out=args.out,
         check=args.check,
         threshold=args.threshold,
+        only=args.names or None,
     )
 
 
@@ -542,6 +587,15 @@ def _parents(*names: str) -> List[argparse.ArgumentParser]:
                              "compiled, or the reference interpreter")
     registry["engine"] = engine
 
+    aggregator = argparse.ArgumentParser(add_help=False)
+    aggregator.add_argument(
+        "--aggregator", default="batch", choices=("streaming", "batch"),
+        help="profile aggregation strategy: streaming folds each "
+             "document into a live IncrementalAggregator (O(phases) per "
+             "document, checkpointable); batch re-clusters the whole "
+             "set from scratch (default)")
+    registry["aggregator"] = aggregator
+
     return [registry[name] for name in names]
 
 
@@ -633,7 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest = sub.add_parser(
         "ingest",
         help="simulate a client fleet: N profiling runs -> profile docs",
-        parents=_parents("config", "scale", "engine"),
+        parents=_parents("config", "scale", "engine", "aggregator"),
     )
     ingest.add_argument("--bench", required=True, metavar="NAME/INPUT",
                         help="benchmark binary the fleet runs")
@@ -654,7 +708,8 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="fleet request: ingest profiles -> merge -> sharded pack "
              "-> JSON report",
-        parents=_parents("config", "scale", "jobs", "out", "engine"),
+        parents=_parents("config", "scale", "jobs", "out", "engine",
+                         "aggregator"),
     )
     serve.add_argument("--profiles", required=True,
                        help="directory of client profile documents")
@@ -675,7 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="continuous re-optimization loop: simulate epochs, inject "
              "drift, detect decay, re-pack, measure time-to-recover",
         parents=_parents("config", "scale", "jobs", "out", "verbose",
-                         "engine"),
+                         "engine", "aggregator"),
     )
     drift.add_argument("--bench", required=True, metavar="NAME/INPUT",
                        help="benchmark binary the fleet runs")
@@ -750,6 +805,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="pinned micro-benchmark suite (engine, detector, pipeline)",
         parents=_parents("config", "out", "engine"),
     )
+    bench.add_argument("names", nargs="*", metavar="NAME",
+                       help="run only these benchmarks (e.g. agg_scale; "
+                            "default: the whole suite)")
     bench.add_argument("--quick", action="store_true",
                        help="single repetitions + short campaign (CI smoke)")
     bench.add_argument("--check", metavar="BASELINE",

@@ -39,12 +39,23 @@ SUPPORTED_VERSIONS = (1, 2)
 PROVENANCE_FIELDS = ("run_id", "seed", "epoch")
 
 
+#: Validation stages a profile document passes through, in order.
+#: ``ProfileFormatError.stage`` names the first one that failed, so
+#: quarantine metrics can attribute *why* documents are rejected:
+#: ``parse`` (not JSON / not an object), ``schema`` (format name,
+#: version, records list, meta shape), ``records`` (a malformed record
+#: entry), ``provenance`` (a bad v2 provenance stamp).
+VALIDATION_STAGES = ("parse", "schema", "records", "provenance")
+
+
 class ProfileFormatError(ProfileError):
     """Raised when a profile document cannot be parsed.
 
     A :class:`~repro.errors.ProfileError`, so the packer quarantine
     loop and the service ingest loop both catch it as a typed,
-    per-profile failure instead of crashing the run.
+    per-profile failure instead of crashing the run.  ``stage`` names
+    the validation stage that failed (one of
+    :data:`VALIDATION_STAGES`), so ingest metrics attribute causes.
     """
 
     default_hint = (
@@ -52,6 +63,10 @@ class ProfileFormatError(ProfileError):
         "writer; re-capture the client profile or drop it from the "
         "ingest set"
     )
+
+    def __init__(self, message: str, *, stage: str = "parse", **kwargs):
+        super().__init__(message, **kwargs)
+        self.stage = stage
 
 
 def make_provenance(
@@ -124,7 +139,9 @@ def record_from_entry(entry: Dict) -> HotSpotRecord:
             branches=branches,
         )
     except (KeyError, TypeError, ValueError) as exc:
-        raise ProfileFormatError(f"malformed record entry: {exc}") from exc
+        raise ProfileFormatError(
+            f"malformed record entry: {exc}", stage="records"
+        ) from exc
 
 
 # ---------------------------------------------------------------------------
@@ -153,30 +170,49 @@ def document_from_dict(document: Dict) -> ProfileDocument:
     """
     if document.get("format") != FORMAT_NAME:
         raise ProfileFormatError(
-            f"not a {FORMAT_NAME} document: format={document.get('format')!r}"
+            f"not a {FORMAT_NAME} document: format={document.get('format')!r}",
+            stage="schema",
         )
     version = document.get("version")
     if version not in SUPPORTED_VERSIONS:
         raise ProfileFormatError(
             f"unsupported profile version {version!r} "
-            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})",
+            stage="schema",
         )
     entries = document.get("records")
     if not isinstance(entries, list):
         raise ProfileFormatError(
-            "profile document is missing its 'records' list"
+            "profile document is missing its 'records' list",
+            stage="schema",
         )
     meta = document.get("meta") or {}
     if not isinstance(meta, dict):
-        raise ProfileFormatError("profile 'meta' must be a JSON object")
+        raise ProfileFormatError(
+            "profile 'meta' must be a JSON object", stage="schema"
+        )
     provenance = meta.get("provenance")
     if provenance is not None:
         if not isinstance(provenance, dict):
-            raise ProfileFormatError("'meta.provenance' must be an object")
+            raise ProfileFormatError(
+                "'meta.provenance' must be an object", stage="provenance"
+            )
         missing = [f for f in PROVENANCE_FIELDS if f not in provenance]
         if missing:
             raise ProfileFormatError(
-                f"provenance stamp is missing fields: {', '.join(missing)}"
+                f"provenance stamp is missing fields: {', '.join(missing)}",
+                stage="provenance",
+            )
+        epoch = provenance.get("epoch")
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise ProfileFormatError(
+                f"provenance epoch must be an integer, got {epoch!r}",
+                stage="provenance",
+            )
+        if not isinstance(provenance.get("run_id"), str):
+            raise ProfileFormatError(
+                "provenance run_id must be a string",
+                stage="provenance",
             )
     return ProfileDocument(
         records=[record_from_entry(entry) for entry in entries],
@@ -200,9 +236,13 @@ def document_from_json(text: str) -> ProfileDocument:
     try:
         document = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise ProfileFormatError(f"invalid JSON: {exc}") from exc
+        raise ProfileFormatError(
+            f"invalid JSON: {exc}", stage="parse"
+        ) from exc
     if not isinstance(document, dict):
-        raise ProfileFormatError("profile document must be a JSON object")
+        raise ProfileFormatError(
+            "profile document must be a JSON object", stage="parse"
+        )
     return document_from_dict(document)
 
 

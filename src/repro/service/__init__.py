@@ -22,16 +22,27 @@ must survive (``repro chaos``).
 """
 
 from .aggregate import (
+    AGGREGATOR_MODES,
+    AGGREGATOR_STATE_VERSION,
+    CONTRACT,
     ClientRun,
+    ContractTolerance,
     FleetProfile,
+    IncrementalAggregator,
     IngestResult,
     MergePolicy,
     MergedPhase,
     PhaseProvenance,
     RejectedProfile,
+    checkpoint_key,
+    equivalence_diffs,
     ingest_dir,
     ingest_paths,
+    load_client_run,
     merge_runs,
+    merge_stream,
+    profiles_equivalent,
+    quarantine_profile,
 )
 from .artifacts import (
     ArtifactStats,
@@ -67,11 +78,16 @@ from .farm import (
 from .report import FleetReport, build_report
 
 __all__ = [
+    "AGGREGATOR_MODES",
+    "AGGREGATOR_STATE_VERSION",
     "ALL_SERVICE_FAULT_MODES",
     "ArtifactStats",
     "ArtifactStore",
+    "CONTRACT",
     "ChaosSpec",
     "ClientRun",
+    "ContractTolerance",
+    "IncrementalAggregator",
     "ControllerConfig",
     "ControllerReport",
     "DriftDetector",
@@ -94,14 +110,20 @@ __all__ = [
     "build_report",
     "canonical_json",
     "chaos_hook",
+    "checkpoint_key",
+    "equivalence_diffs",
     "corrupt_artifact_entry",
     "default_store",
     "degraded_payload",
     "image_digest",
     "ingest_dir",
     "ingest_paths",
+    "load_client_run",
     "merge_runs",
+    "merge_stream",
     "pack_fleet",
+    "profiles_equivalent",
+    "quarantine_profile",
     "reset_default_store",
     "run_controller",
     "shard_payload",

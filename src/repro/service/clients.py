@@ -26,9 +26,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 from repro.hsd.serialize import make_provenance, save_profile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .aggregate import IncrementalAggregator
 from repro.postlink.vacuum import ProfileResult, VacuumPacker
 from repro.workloads.base import Workload
 from repro.workloads.suite import load_benchmark
@@ -166,6 +169,7 @@ def simulate_fleet(
     run_prefix: str = "r",
     file_prefix: str = "client",
     mutate: Optional[Callable[[Workload, int], None]] = None,
+    aggregator: Optional["IncrementalAggregator"] = None,
 ) -> List[SimulatedClient]:
     """Profile ``runs`` simulated clients and persist their documents.
 
@@ -185,6 +189,12 @@ def simulate_fleet(
     (build/compile/link once, one numpy row per client); set
     ``REPRO_ENGINE=compiled`` to force the original per-client loop.
     Both paths write byte-identical documents.
+
+    ``aggregator`` (an
+    :class:`~repro.service.aggregate.IncrementalAggregator`) streams
+    each document into the live merged state as it is written, so the
+    fleet is absorbed while it is generated instead of re-ingested
+    afterwards; re-running over an unchanged directory deduplicates.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -217,6 +227,8 @@ def simulate_fleet(
                 "provenance": make_provenance(run_id, seed, epoch),
             },
         )
+        if aggregator is not None:
+            aggregator.ingest_path(path)
         clients.append(SimulatedClient(
             run_id=run_id,
             seed=seed,

@@ -85,8 +85,16 @@ def build_report(
     config: FarmConfig,
     store: ArtifactStore,
     jobs: int,
+    aggregate: Optional[Dict] = None,
 ) -> FleetReport:
-    """Assemble the fleet report document."""
+    """Assemble the fleet report document.
+
+    ``aggregate`` (optional) is the streaming-aggregator section —
+    mode, live-state document counts, checkpoint disposition — added
+    verbatim under ``document["aggregate"]`` when the request was
+    served by an :class:`~repro.service.aggregate.IncrementalAggregator`
+    instead of a from-scratch batch merge.
+    """
     shards = [
         {
             "shard": outcome.shard,
@@ -147,6 +155,8 @@ def build_report(
         },
         "engine": {"batched": batched_engine_section()},
     }
+    if aggregate is not None:
+        document["aggregate"] = aggregate
     return FleetReport(document=document)
 
 

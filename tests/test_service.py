@@ -231,6 +231,98 @@ class TestStalenessEdges:
             "service.merge.epoch_clamped"
         ) == before + 1
 
+    def test_aged_out_phase_that_recurs_gets_a_fresh_cluster(self):
+        # Streaming decay semantics: once every contribution to a
+        # cluster has aged out of the epoch window, the cluster goes
+        # dormant — a later recurrence of the same hot spot founds a
+        # *fresh* cluster whose epoch bounds start at the recurrence,
+        # not at the long-dead sightings.
+        from repro.service import IncrementalAggregator
+
+        policy = MergePolicy(epoch_window=2)
+        agg = IncrementalAggregator(policy)
+        shape = {0x10: (100, 90), 0x18: (80, 10)}
+        agg.ingest_run(client("old", [rec(0, shape)], epoch=0))
+        agg.ingest_run(client("new", [rec(0, {0x99: (100, 90)})], epoch=10))
+        fleet = agg.snapshot()
+        assert fleet.aged_out == 1
+        assert all(0x10 not in p.record.branches for p in fleet.phases)
+
+        agg.ingest_run(client("recur", [rec(0, shape)], epoch=10))
+        fleet = agg.snapshot()
+        phase = next(
+            p for p in fleet.phases if 0x10 in p.record.branches
+        )
+        # Fresh provenance: only the recurrence contributes.
+        assert phase.provenance.run_ids == ["recur"]
+        assert phase.provenance.first_epoch == 10
+        assert phase.provenance.last_epoch == 10
+        assert phase.provenance.staleness == 0
+        # And the batch aggregator agrees on the final state.
+        batch = merge_runs([
+            client("old", [rec(0, shape)], epoch=0),
+            client("new", [rec(0, {0x99: (100, 90)})], epoch=10),
+            client("recur", [rec(0, shape)], epoch=10),
+        ], policy)
+        from repro.service import profiles_equivalent
+        assert profiles_equivalent(fleet, batch)
+
+    def test_skew_clamp_interacts_with_aging_order_invariantly(self):
+        # A runaway clock must not age the honest fleet out — and that
+        # must hold no matter whether the skewed document arrives
+        # first or last.  The clamp ceiling (median + skew) and the
+        # window are both evaluated lazily at snapshot time, so an
+        # early skewed arrival cannot define a transient max epoch
+        # that permanently evicts honest runs.
+        import itertools
+
+        from repro.service import IncrementalAggregator, equivalence_diffs
+
+        policy = MergePolicy(epoch_window=4, max_epoch_skew=2)
+        honest = [
+            client(f"r{i}", [rec(0, {0x10: (100, 90)})], epoch=i)
+            for i in range(3)
+        ]
+        skewed = client("skewed", [rec(1, {0x99: (100, 90)})],
+                        epoch=10_000)
+        batch = merge_runs(honest + [skewed], policy)
+        assert batch.max_epoch == 3  # median 1 + skew 2
+        assert batch.aged_out == 0
+        for order in itertools.permutations(honest + [skewed]):
+            agg = IncrementalAggregator(policy)
+            for run in order:
+                agg.ingest_run(run)
+            snap = agg.snapshot()
+            assert snap.max_epoch == 3
+            assert snap.aged_out == 0
+            assert not equivalence_diffs(batch, snap)
+
+    def test_skewed_clock_cannot_age_itself_into_a_fresh_cluster(self):
+        # The clamp caps the skewed run's *effective* epoch at the
+        # ceiling, so it stays inside the window (aging uses clamped
+        # epochs, not raw ones) — streaming and batch agree.
+        from repro.service import IncrementalAggregator, profiles_equivalent
+
+        policy = MergePolicy(epoch_window=1, max_epoch_skew=1)
+        runs = [
+            client("r0", [rec(0, {0x10: (100, 90)})], epoch=2),
+            client("r1", [rec(0, {0x10: (100, 90)})], epoch=2),
+            client("skewed", [rec(1, {0x99: (100, 90)})], epoch=50),
+        ]
+        batch = merge_runs(runs, policy)
+        # Ceiling = median (2) + skew (1) = 3: the skewed run lands at
+        # effective epoch 3, max epoch 3, window covers 2..3 — nobody
+        # ages out, and the skewed phase reports the clamped epoch.
+        assert batch.aged_out == 0
+        skew_phase = next(
+            p for p in batch.phases if 0x99 in p.record.branches
+        )
+        assert skew_phase.provenance.last_epoch == 3
+        agg = IncrementalAggregator(policy)
+        for run in reversed(runs):  # skewed-first arrival order
+            agg.ingest_run(run)
+        assert profiles_equivalent(agg.snapshot(), batch)
+
     def test_window_and_skew_participate_in_the_policy_fingerprint(self):
         plain = MergePolicy().fingerprint()
         windowed = MergePolicy(epoch_window=2).fingerprint()
@@ -245,20 +337,73 @@ class TestStalenessEdges:
 
 
 class TestServiceCounters:
-    def test_ingest_quarantine_counts_by_exception_type(self, tmp_path):
+    def test_ingest_quarantine_counts_by_exception_type_and_stage(
+        self, tmp_path
+    ):
         from repro import obs
 
         (tmp_path / "bad.json").write_text('{"format": "vacuum-pack')
         before = obs.default_registry().counter(
             "service.ingest.quarantined",
-            exception_type="ProfileFormatError",
+            exception_type="ProfileFormatError", stage="parse",
         )
         result = ingest_dir(tmp_path)
         assert len(result.rejected) == 1
+        assert result.rejected[0].stage == "parse"
+        assert "[ProfileFormatError/parse]" in result.rejected[0].render()
         assert obs.default_registry().counter(
             "service.ingest.quarantined",
-            exception_type="ProfileFormatError",
+            exception_type="ProfileFormatError", stage="parse",
         ) == before + 1
+
+    def test_quarantine_counts_only_after_provenance_validation(
+        self, tmp_path
+    ):
+        # The document parses and its stamp is a JSON object, but the
+        # stamp itself is unusable: the counter must attribute the
+        # failure to the provenance stage (and fire exactly once,
+        # after all validation) instead of mislabeling it as a parse
+        # failure on the way in.
+        from repro import obs
+
+        document = {
+            "format": "vacuum-packing-profile",
+            "version": 2,
+            "meta": {"provenance": {
+                "run_id": "r0", "seed": 1, "epoch": "not-an-epoch",
+            }},
+            "records": [],
+        }
+        (tmp_path / "bad-stamp.json").write_text(json.dumps(document))
+        registry = obs.default_registry()
+        before_prov = registry.counter(
+            "service.ingest.quarantined",
+            exception_type="ProfileFormatError", stage="provenance",
+        )
+        before_parse = registry.counter(
+            "service.ingest.quarantined",
+            exception_type="ProfileFormatError", stage="parse",
+        )
+        result = ingest_dir(tmp_path)
+        assert not result.runs
+        assert len(result.rejected) == 1
+        assert result.rejected[0].stage == "provenance"
+        assert registry.counter(
+            "service.ingest.quarantined",
+            exception_type="ProfileFormatError", stage="provenance",
+        ) == before_prov + 1
+        assert registry.counter(
+            "service.ingest.quarantined",
+            exception_type="ProfileFormatError", stage="parse",
+        ) == before_parse
+
+    def test_unreadable_file_is_attributed_to_the_read_stage(
+        self, tmp_path
+    ):
+        result = ingest_paths([tmp_path / "missing.json"])
+        assert len(result.rejected) == 1
+        assert result.rejected[0].stage == "read"
+        assert result.rejected[0].exception_type == "FileNotFoundError"
 
     def test_corrupt_artifact_is_counted_and_rewritable(self, tmp_path):
         from repro import obs
