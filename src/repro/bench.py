@@ -15,7 +15,11 @@ engine regressions are caught by number, not anecdote:
   :class:`~repro.engine.batched.BatchedExecutor` batch vs sixteen
   sequential compiled runs (the batched engine's speedup target);
 * ``batched_grid`` — clients × phases scalability grid for the
-  batched engine on synthetic workloads.
+  batched engine on synthetic workloads;
+* ``agg_scale`` — streaming vs from-scratch aggregation at fleet
+  scale (the incremental aggregator's speedup target);
+* ``http_ingest`` — daemon NDJSON ingest over localhost vs direct
+  ``ingest_paths``, docs/sec and overhead ratio.
 
 Results are written to ``BENCH_<date>.json``; ``--check BASELINE``
 compares against a committed baseline and fails on a >25% regression
@@ -424,6 +428,126 @@ def _bench_agg_scale(quick: bool) -> Dict[str, object]:
     }
 
 
+#: Documents pushed through each ingest path by ``http_ingest``.
+HTTP_INGEST_DOCS = 256
+#: Documents per ``POST /profiles`` batch.
+HTTP_INGEST_BATCH = 64
+
+
+def _bench_http_ingest(quick: bool) -> Dict[str, object]:
+    """HTTP daemon ingest vs direct ``ingest_paths``, docs/sec.
+
+    Seeds a real fleet (:data:`BENCH_WORKLOAD`), synthesizes N profile
+    documents from it (counter scaling, clustering-preserving — the
+    ``agg_scale`` trick), then folds the same documents twice: straight
+    into an :class:`~repro.service.aggregate.IncrementalAggregator`
+    from disk, and over localhost HTTP through the
+    :mod:`repro.server` daemon in NDJSON batches of
+    :data:`HTTP_INGEST_BATCH`.  Reports docs/sec on both paths, the
+    HTTP overhead ratio, and ``equivalent`` — the two merged snapshots
+    must carry the same digest (the wire adds transport, never
+    semantics).
+    """
+    from repro.hsd.serialize import make_provenance, records_to_dict
+    from repro.server import DaemonClient, ServerConfig, start_daemon_thread
+    from repro.service import ArtifactStore, IncrementalAggregator
+    from repro.service.aggregate import ingest_paths
+    from repro.service.clients import simulate_fleet
+
+    benchmark, input_name = BENCH_WORKLOAD
+    started = time.perf_counter()
+    docs = 64 if quick else HTTP_INGEST_DOCS
+    with tempfile.TemporaryDirectory(prefix="repro-http-bench-") as out_dir:
+        fleet_dir = os.path.join(out_dir, "fleet")
+        simulate_fleet(
+            benchmark, input_name, runs=8, out_dir=fleet_dir, epochs=4
+        )
+        base_runs = ingest_paths(
+            sorted(os.path.join(fleet_dir, p) for p in os.listdir(fleet_dir))
+        ).runs
+        if not base_runs:
+            raise RuntimeError(
+                "http_ingest: fleet simulation produced no profiles"
+            )
+
+        from repro.hsd.records import BranchProfile, HotSpotRecord
+
+        doc_dir = os.path.join(out_dir, "docs")
+        os.makedirs(doc_dir)
+        texts = []
+        for j in range(docs):
+            base = base_runs[j % len(base_runs)]
+            factor = 1.0 + 0.25 * (j % 7)
+            records = []
+            for record in base.records:
+                branches = {}
+                for address, profile in record.branches.items():
+                    executed = int(profile.executed * factor)
+                    branches[address] = BranchProfile(
+                        address, executed,
+                        min(int(profile.taken * factor), executed),
+                    )
+                records.append(HotSpotRecord(
+                    index=record.index,
+                    detected_at_branch=record.detected_at_branch,
+                    branches=branches,
+                ))
+            meta = {"provenance": make_provenance(
+                f"http-client-{j:06d}", seed=j, epoch=j % 4
+            )}
+            text = json.dumps(records_to_dict(records, meta),
+                              sort_keys=True)
+            texts.append(text)
+            with open(os.path.join(doc_dir, f"doc-{j:06d}.json"),
+                      "w") as handle:
+                handle.write(text)
+
+        direct = IncrementalAggregator()
+        direct_started = time.perf_counter()
+        direct.ingest_paths(
+            sorted(os.path.join(doc_dir, p) for p in os.listdir(doc_dir))
+        )
+        direct_seconds = time.perf_counter() - direct_started
+        direct_digest = direct.snapshot().digest()
+
+        handle = start_daemon_thread(
+            ServerConfig(benchmark=benchmark, input_name=input_name,
+                         port=0, tag="bench"),
+            store=ArtifactStore("off"),
+        )
+        try:
+            with DaemonClient.for_daemon(handle) as client:
+                http_started = time.perf_counter()
+                for start in range(0, docs, HTTP_INGEST_BATCH):
+                    status, _ = client.post_profiles(
+                        texts[start:start + HTTP_INGEST_BATCH]
+                    )
+                    if status != 200:
+                        raise RuntimeError(
+                            f"http_ingest: POST /profiles -> {status}"
+                        )
+                http_seconds = time.perf_counter() - http_started
+                _, snap = client.snapshot()
+        finally:
+            handle.stop()
+
+    direct_rate = docs / direct_seconds if direct_seconds else 0.0
+    http_rate = docs / http_seconds if http_seconds else 0.0
+    return {
+        "seconds": time.perf_counter() - started,
+        "documents": docs,
+        "batch_size": HTTP_INGEST_BATCH,
+        "direct_seconds": round(direct_seconds, 6),
+        "direct_docs_per_second": round(direct_rate, 1),
+        "http_seconds": round(http_seconds, 6),
+        "http_docs_per_second": round(http_rate, 1),
+        "http_overhead": round(
+            direct_rate / http_rate, 2
+        ) if http_rate else 0.0,
+        "equivalent": snap["digest"] == direct_digest,
+    }
+
+
 # ---------------------------------------------------------------------------
 # suite driver
 # ---------------------------------------------------------------------------
@@ -442,6 +566,7 @@ def bench_suite(quick: bool) -> Dict[str, Callable[[], Dict[str, object]]]:
         "batched_fleet": lambda: _bench_batched_fleet(repeats),
         "batched_grid": lambda: _bench_batched_grid(quick),
         "agg_scale": lambda: _bench_agg_scale(quick),
+        "http_ingest": lambda: _bench_http_ingest(quick),
     }
 
 

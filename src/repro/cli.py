@@ -15,6 +15,7 @@ one benchmark input:
    python -m repro bench --quick --check benchmarks/results/baseline.json
    python -m repro trace pack 134.perl --export chrome
    python -m repro stats trace-pack.json
+   python -m repro server --bench 181.mcf/A --listen 127.0.0.1:8080
 
 Flags are uniform across subcommands: ``--jobs N`` (or ``REPRO_JOBS``)
 fans work out across processes with deterministic, serial-identical
@@ -268,6 +269,51 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(spec: str) -> tuple:
+    host, _, port_text = spec.rpartition(":")
+    if not host or not port_text:
+        raise SystemExit(
+            f"expected HOST:PORT (e.g. 127.0.0.1:8080), got {spec!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"--listen port must be an integer, got "
+                         f"{port_text!r}")
+    return host, port
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    from repro.service import ArtifactStore, default_store
+    from repro.server import ProfileDaemon, ServerConfig
+
+    benchmark, input_name = _parse_bench_spec(args.bench)
+    host, port = _parse_listen(args.listen)
+    pipeline = _base_config(args)
+    if args.classic:
+        pipeline = pipeline.replace(classic=True)
+    # The daemon's ingest is always the streaming aggregator — that is
+    # the point of a daemon; --aggregator batch only affects one-shot
+    # serve.  Knobs absent from the serve parser fall back to daemon
+    # defaults, so both entry points build the same config.
+    config = ServerConfig(
+        benchmark=benchmark,
+        input_name=input_name,
+        host=host,
+        port=port,
+        scale=args.scale,
+        shard_size=args.shard_size,
+        jobs=args.jobs,
+        pipeline=pipeline.to_dict(),
+        tag=getattr(args, "checkpoint_tag", "server"),
+        gc_max_bytes=getattr(args, "gc_max_bytes", None),
+        gc_interval=getattr(args, "gc_interval", 30.0),
+        profiles_dir=getattr(args, "profiles", None),
+    )
+    store = ArtifactStore(args.store) if args.store else default_store()
+    return ProfileDaemon(config, store=store).run()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -285,6 +331,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pack_fleet,
     )
 
+    if getattr(args, "listen", None):
+        return _cmd_server(args)
     benchmark, input_name = _parse_bench_spec(args.bench)
     pipeline = _base_config(args)
     if args.classic:
@@ -596,6 +644,21 @@ def _parents(*names: str) -> List[argparse.ArgumentParser]:
              "set from scratch (default)")
     registry["aggregator"] = aggregator
 
+    # Shared by the one-shot fleet request (serve) and the daemon
+    # (server), so both spell the packing knobs identically.
+    fleet = argparse.ArgumentParser(add_help=False)
+    fleet.add_argument("--bench", required=True, metavar="NAME/INPUT",
+                       help="benchmark binary to pack")
+    fleet.add_argument("--classic", action="store_true",
+                       help="also apply the classic clean-up passes")
+    fleet.add_argument("--shard-size", type=int, default=1,
+                       help="merged phases per farm shard (default 1)")
+    fleet.add_argument("--store", default=None,
+                       help="artifact store root (default "
+                            "REPRO_ARTIFACT_STORE or "
+                            "~/.cache/repro/artifacts; 'off' disables)")
+    registry["fleet"] = fleet
+
     return [registry[name] for name in names]
 
 
@@ -709,21 +772,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet request: ingest profiles -> merge -> sharded pack "
              "-> JSON report",
         parents=_parents("config", "scale", "jobs", "out", "engine",
-                         "aggregator"),
+                         "aggregator", "fleet"),
     )
     serve.add_argument("--profiles", required=True,
                        help="directory of client profile documents")
-    serve.add_argument("--bench", required=True, metavar="NAME/INPUT",
-                       help="benchmark binary to pack")
-    serve.add_argument("--classic", action="store_true",
-                       help="also apply the classic clean-up passes")
-    serve.add_argument("--shard-size", type=int, default=1,
-                       help="merged phases per farm shard (default 1)")
-    serve.add_argument("--store", default=None,
-                       help="artifact store root (default "
-                            "REPRO_ARTIFACT_STORE or "
-                            "~/.cache/repro/artifacts; 'off' disables)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="run as the long-lived HTTP daemon instead "
+                            "of one shot, preloading --profiles "
+                            "(same as `repro server`)")
     serve.set_defaults(func=_cmd_serve)
+
+    server = sub.add_parser(
+        "server",
+        help="long-running HTTP profile daemon: streaming NDJSON "
+             "ingest, /snapshot, /repack, /artifacts, dashboard, "
+             "store GC",
+        parents=_parents("config", "scale", "jobs", "engine",
+                         "aggregator", "fleet"),
+    )
+    server.add_argument("--listen", default="127.0.0.1:8080",
+                        metavar="HOST:PORT",
+                        help="bind address (port 0 = ephemeral; "
+                             "default 127.0.0.1:8080)")
+    server.add_argument("--profiles", default=None,
+                        help="directory of profile documents preloaded "
+                             "into the aggregator on boot")
+    server.add_argument("--gc-max-bytes", type=int, default=None,
+                        help="artifact-store byte cap enforced by "
+                             "periodic LRU eviction (default: GC off)")
+    server.add_argument("--gc-interval", type=float, default=30.0,
+                        help="seconds between GC sweeps (default 30)")
+    server.add_argument("--checkpoint-tag", default="server",
+                        help="aggregator checkpoint slot identity "
+                             "(default 'server'); daemons sharing a "
+                             "store and tag resume each other's state")
+    server.set_defaults(func=_cmd_server)
 
     drift = sub.add_parser(
         "drift",

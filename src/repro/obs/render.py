@@ -256,6 +256,18 @@ def stage_table(spans: Sequence[Span], metrics: Optional[dict] = None) -> str:
             summary.append(line)
     quarantined = _counter_total(metrics, "pipeline.quarantined")
     summary.append(f"quarantined phases: {quarantined:.0f}")
+    # Artifact-store GC bookkeeping (PR 9): read stamps, evictions,
+    # and the post-sweep byte gauge, when the store saw any traffic.
+    stamped = _counter_total(metrics, "service.artifacts.hits")
+    evicted = _counter_total(metrics, "service.artifacts.evictions")
+    if stamped or evicted:
+        summary.append(
+            f"artifact reads stamped: {stamped:.0f}, "
+            f"evicted: {evicted:.0f}"
+        )
+    for key, value in metrics.get("gauges", {}).items():
+        if series_name(key) == "service.artifacts.bytes":
+            summary.append(f"artifact store bytes: {value:,.0f}")
     # Batched-engine counters appear when a fleet advanced in lockstep.
     batched_rows = _counter_total(metrics, "engine.batched.rows")
     if batched_rows:

@@ -1,0 +1,33 @@
+"""HTTP front door for the fleet profile service.
+
+The long-running counterpart of the one-shot ``repro serve`` request
+(the BOLT deployment loop): a stdlib/asyncio daemon that accepts
+streaming NDJSON profile uploads into a checkpointed
+:class:`~repro.service.aggregate.IncrementalAggregator`, serves
+content-addressed packing artifacts and merged snapshots back, re-packs
+on demand through the sharded farm, keeps the artifact store bounded
+with LRU GC, and shuts down gracefully (drain → final checkpoint).
+
+Start it with ``repro server --bench NAME/INPUT --listen HOST:PORT``
+(or ``repro serve ... --listen``), or in-process via
+:func:`start_daemon_thread`; drive it with
+:class:`~repro.server.client.DaemonClient`.
+"""
+
+from .app import DaemonHandle, ProfileDaemon, ServerConfig, start_daemon_thread
+from .client import DaemonClient
+from .http import BadRequest, Request, Response
+from .routes import MAX_UPLOAD_BYTES, dispatch
+
+__all__ = [
+    "BadRequest",
+    "DaemonClient",
+    "DaemonHandle",
+    "MAX_UPLOAD_BYTES",
+    "ProfileDaemon",
+    "Request",
+    "Response",
+    "ServerConfig",
+    "dispatch",
+    "start_daemon_thread",
+]

@@ -1,0 +1,361 @@
+"""The long-running profile daemon: asyncio loop, lifecycle, GC.
+
+This is the deployment shape of the BOLT data-center loop: clients
+push serialized HSD profile documents over HTTP, the daemon folds each
+one into a checkpointed
+:class:`~repro.service.aggregate.IncrementalAggregator` as it arrives,
+and operators pull merged snapshots, re-packed artifacts, and a
+dashboard back out.  The module splits cleanly:
+
+* :class:`ServerConfig` — everything that parameterizes one daemon;
+* :class:`ProfileDaemon` — the asyncio server plus aggregator/store
+  lifecycle: restore-or-cold-start on boot, checkpoint after every
+  mutating request, periodic artifact-store GC sweeps under
+  ``gc_max_bytes`` (checkpoint slot pinned, so eviction can never eat
+  the daemon's own state), and graceful shutdown — SIGTERM stops the
+  listener, drains in-flight requests, and writes a final checkpoint,
+  so a restarted daemon resumes with no double-counting (replayed
+  uploads dedup by content digest);
+* :func:`start_daemon_thread` — the test/example harness: the same
+  daemon on an ephemeral port in a background thread, with a handle
+  that stops it synchronously.
+
+Request routing lives in :mod:`repro.server.routes`; the HTTP wire
+plumbing in :mod:`repro.server.http`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.obs import inc, set_gauge
+from repro.service import (
+    ArtifactStore,
+    FarmPolicy,
+    IncrementalAggregator,
+    MergePolicy,
+    checkpoint_key,
+    default_store,
+)
+
+from .http import BadRequest, Response, read_request, write_response
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything that parameterizes one profile daemon."""
+
+    #: Benchmark binary ``/repack`` packs against (``NAME`` + input).
+    benchmark: str
+    input_name: str = "A"
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (read it back from
+    #: :attr:`ProfileDaemon.port` or the printed banner).
+    port: int = 0
+    scale: Optional[float] = None
+    #: Merged phases per farm shard on ``/repack``.
+    shard_size: int = 1
+    jobs: Optional[int] = None
+    #: Full pipeline-config document for the packer (``None`` =
+    #: defaults), exactly as :class:`~repro.service.farm.FarmConfig`
+    #: takes it.
+    pipeline: Optional[Dict] = None
+    #: Checkpoint-slot identity: one daemon tag = one resumable state.
+    tag: str = "server"
+    #: Artifact-store byte cap enforced by the periodic GC sweep
+    #: (``None`` = GC off).
+    gc_max_bytes: Optional[int] = None
+    #: Seconds between GC sweeps.
+    gc_interval: float = 30.0
+    #: Optional directory of profile documents preloaded (and dedup'd)
+    #: into the aggregator on boot — the ``repro serve --listen``
+    #: migration path.
+    profiles_dir: Optional[str] = None
+    #: Seconds shutdown waits for in-flight requests to drain.
+    drain_timeout: float = 5.0
+
+
+class ProfileDaemon:
+    """One long-running profile service over one aggregator + store."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        store: Optional[ArtifactStore] = None,
+        policy: Optional[MergePolicy] = None,
+        farm_policy: Optional[FarmPolicy] = None,
+    ):
+        self.config = config
+        self.store = store or default_store()
+        self.policy = policy or MergePolicy()
+        self.farm_policy = farm_policy or FarmPolicy()
+        self.checkpoint_slot = checkpoint_key(config.tag, self.policy)
+        # The daemon's own state must survive any GC pressure.
+        self.store.pin(self.checkpoint_slot)
+
+        restored = IncrementalAggregator.restore(
+            self.store, config.tag, self.policy
+        )
+        self.aggregator = restored or IncrementalAggregator(self.policy)
+        self.restored = restored is not None
+        if config.profiles_dir:
+            self.aggregator.ingest_paths(
+                sorted(Path(config.profiles_dir).glob("*.json"))
+            )
+
+        self.started = time.time()
+        self.port: Optional[int] = None
+        #: Set (thread-safely readable) once the listener is bound.
+        self.ready = threading.Event()
+        #: Report dict of the most recent successful ``/repack``.
+        self.last_report: Optional[Dict] = None
+        self.requests = 0
+        self.gc_sweeps = 0
+        self.checkpoints = 0
+
+        self._inflight = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._repack_lock: Optional[asyncio.Lock] = None
+
+    # -- state the routes read/write ---------------------------------
+
+    @property
+    def uptime(self) -> float:
+        return time.time() - self.started
+
+    def server_stats(self) -> Dict:
+        return {
+            "requests": self.requests,
+            "inflight": self._inflight,
+            "gc_sweeps": self.gc_sweeps,
+            "checkpoints": self.checkpoints,
+            "uptime": round(self.uptime, 3),
+        }
+
+    def checkpoint(self) -> bool:
+        """Persist the aggregator; counted, never fatal."""
+        if not self.aggregator.documents:
+            return False
+        saved = self.aggregator.save_checkpoint(self.store, self.config.tag)
+        if saved:
+            self.checkpoints += 1
+        return saved
+
+    def sweep_store(self) -> int:
+        """One GC pass under the configured byte cap; evicted count."""
+        if self.config.gc_max_bytes is None:
+            return 0
+        evicted = self.store.evict(self.config.gc_max_bytes)
+        self.gc_sweeps += 1
+        if evicted:
+            logger.info(
+                "server gc: evicted %d artifact(s), store now %d byte(s)",
+                len(evicted), self.store.total_bytes(),
+            )
+        return len(evicted)
+
+    # -- asyncio lifecycle -------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        from .routes import dispatch
+
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except BadRequest as exc:
+                    await write_response(
+                        writer, Response.error(exc.status, str(exc)), False
+                    )
+                    break
+                if request is None:
+                    break
+                self.requests += 1
+                self._inflight += 1
+                try:
+                    response = await dispatch(self, request)
+                    # An unread body would desynchronize keep-alive
+                    # framing; a handler that failed mid-body closes.
+                    try:
+                        await request.drain()
+                    except BadRequest:
+                        request.headers["connection"] = "close"
+                except BadRequest as exc:
+                    response = Response.error(exc.status, str(exc))
+                    request.headers["connection"] = "close"
+                except Exception as exc:  # route bug: 500, keep serving
+                    logger.exception("server: unhandled error on %s %s",
+                                     request.method, request.path)
+                    response = Response.error(
+                        500, f"{type(exc).__name__}: {exc}"
+                    )
+                finally:
+                    self._inflight -= 1
+                inc("server.requests",
+                    method=request.method, status=str(response.status))
+                keep = request.keep_alive and not (
+                    self._shutdown and self._shutdown.is_set()
+                )
+                await write_response(writer, response, keep)
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-exchange; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _gc_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.gc_interval)
+            # Checkpoint first so the slot the sweep must keep is the
+            # *current* state, then shrink under the cap.
+            await asyncio.to_thread(self.checkpoint)
+            await asyncio.to_thread(self.sweep_store)
+
+    async def serve(self) -> None:
+        """Run the daemon until shutdown is requested."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._repack_lock = asyncio.Lock()
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self._shutdown.set)
+            except (NotImplementedError, ValueError, RuntimeError):
+                # Not the main thread (the test harness) or an
+                # event-loop policy without signal support: the owner
+                # stops us via request_shutdown() instead.
+                break
+        gc_task = (
+            asyncio.ensure_future(self._gc_loop())
+            if self.config.gc_max_bytes is not None
+            else None
+        )
+        print(
+            f"repro server: listening on "
+            f"http://{self.config.host}:{self.port} "
+            f"({self.config.benchmark}/{self.config.input_name}, "
+            f"checkpoint {'restored' if self.restored else 'cold'})",
+            flush=True,
+        )
+        self.ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            # Stop accepting, drain what is in flight, then write the
+            # final checkpoint — the order SIGTERM semantics promise.
+            server.close()
+            await server.wait_closed()
+            deadline = time.monotonic() + self.config.drain_timeout
+            while self._inflight and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+            if gc_task is not None:
+                gc_task.cancel()
+                try:
+                    await gc_task
+                except asyncio.CancelledError:
+                    pass
+            await asyncio.to_thread(self.checkpoint)
+            set_gauge("server.uptime_seconds", round(self.uptime, 3))
+            print("repro server: checkpointed and stopped", flush=True)
+
+    def run(self) -> int:
+        """Blocking entry point (the CLI's daemon path)."""
+        asyncio.run(self.serve())
+        return 0
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger (harness equivalent of SIGTERM)."""
+        loop, event = self._loop, self._shutdown
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass  # loop already closed
+
+
+@dataclass
+class DaemonHandle:
+    """A running background daemon plus its lifecycle controls."""
+
+    daemon: ProfileDaemon
+    thread: threading.Thread
+
+    @property
+    def port(self) -> int:
+        assert self.daemon.port is not None
+        return self.daemon.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.daemon.config.host}:{self.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: drain, final checkpoint, join."""
+        self.daemon.request_shutdown()
+        self.thread.join(timeout=timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("daemon thread did not stop in time")
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.thread.is_alive():
+            self.stop()
+
+
+def start_daemon_thread(
+    config: ServerConfig,
+    store: Optional[ArtifactStore] = None,
+    policy: Optional[MergePolicy] = None,
+    farm_policy: Optional[FarmPolicy] = None,
+    timeout: float = 10.0,
+) -> DaemonHandle:
+    """Run a daemon on a background thread; returns once it is bound.
+
+    The tests' and examples' front door: an ephemeral port (``port=0``
+    recommended), a real socket, the full route surface — without
+    subprocess management.
+    """
+    daemon = ProfileDaemon(
+        config, store=store, policy=policy, farm_policy=farm_policy
+    )
+    thread = threading.Thread(
+        target=daemon.run, name="repro-server", daemon=True
+    )
+    thread.start()
+    if not daemon.ready.wait(timeout=timeout):
+        daemon.request_shutdown()
+        raise RuntimeError("daemon failed to bind within the timeout")
+    return DaemonHandle(daemon=daemon, thread=thread)
+
+
+__all__ = [
+    "DaemonHandle",
+    "ProfileDaemon",
+    "ServerConfig",
+    "start_daemon_thread",
+]

@@ -1,0 +1,177 @@
+"""The daemon's ``GET /`` page: one self-contained HTML document.
+
+No JavaScript, no external assets, no template engine — just escaped
+HTML built from the same structures the JSON endpoints serve, so the
+dashboard can never disagree with the API.  Sections:
+
+* daemon summary (benchmark, uptime, ingest counters, checkpoint
+  disposition, store root/bytes);
+* the merged-phase provenance table from the current snapshot
+  (branches, contributing runs, detections, agreement, epoch bounds,
+  staleness) — the fleet analog of the paper's per-phase tables;
+* the most recent ``POST /repack`` report (per-shard rows with
+  ``/artifacts/<key>`` links, cache hit rate, fault counters);
+* the ``repro stats`` per-stage span/metric table
+  (:func:`repro.obs.render.stage_table`) in a ``<pre>`` block;
+* the tail of the quarantine log.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import TYPE_CHECKING, List
+
+from repro.errors import ServiceError
+from repro.obs import default_registry
+from repro.obs.render import stage_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .app import ProfileDaemon
+
+_STYLE = """
+body { font-family: monospace; margin: 2em; background: #fdfdfd; }
+h1, h2 { font-family: sans-serif; }
+table { border-collapse: collapse; margin: 0.5em 0 1.5em; }
+th, td { border: 1px solid #999; padding: 2px 8px; text-align: right; }
+th { background: #eee; }
+td.l, th.l { text-align: left; }
+pre { background: #f2f2f2; padding: 1em; overflow-x: auto; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _table(headers: List[str], rows: List[List[str]],
+           left: int = 1) -> List[str]:
+    """An HTML table; the first ``left`` columns are left-aligned."""
+    def cells(tag: str, row: List[str]) -> str:
+        parts = []
+        for index, cell in enumerate(row):
+            cls = ' class="l"' if index < left else ""
+            parts.append(f"<{tag}{cls}>{_esc(cell)}</{tag}>")
+        return "".join(parts)
+
+    out = ["<table>", f"<tr>{cells('th', headers)}</tr>"]
+    out.extend(f"<tr>{cells('td', row)}</tr>" for row in rows)
+    out.append("</table>")
+    return out
+
+
+def render_dashboard(daemon: "ProfileDaemon") -> str:
+    agg = daemon.aggregator
+    cfg = daemon.config
+    store = daemon.store
+    out = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>repro server — {_esc(cfg.benchmark)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>repro server — {_esc(cfg.benchmark)}/"
+        f"{_esc(cfg.input_name)}</h1>",
+    ]
+
+    stats = daemon.server_stats()
+    out.extend(_table(
+        ["field", "value"],
+        [
+            ["uptime", f"{daemon.uptime:.1f}s"],
+            ["requests", stats["requests"]],
+            ["documents folded", agg.documents],
+            ["duplicates deduped", agg.duplicates],
+            ["quarantined", len(agg.rejected)],
+            ["checkpoint", "restored" if daemon.restored else "cold"],
+            ["checkpoints written", stats["checkpoints"]],
+            ["gc sweeps", stats["gc_sweeps"]],
+            ["store root", store.root if store.enabled else "off"],
+            ["store bytes", f"{store.total_bytes():,}"
+             if store.enabled else "-"],
+            ["store evictions", store.stats.evictions],
+        ],
+    ))
+
+    out.append("<h2>Merged fleet snapshot</h2>")
+    try:
+        fleet = agg.snapshot()
+    except ServiceError as exc:
+        out.append(f"<p>no snapshot yet: {_esc(exc)}</p>")
+    else:
+        out.append(
+            f"<p>{len(fleet.phases)} merged phase(s) from {fleet.runs} "
+            f"run(s) (max epoch {fleet.max_epoch}, {fleet.aged_out} aged "
+            f"out); digest <code>{_esc(fleet.digest())}</code></p>"
+        )
+        out.extend(_table(
+            ["phase", "branches", "runs", "detections", "agreement",
+             "epochs", "staleness"],
+            [
+                [
+                    phase.index,
+                    len(phase.record.branches),
+                    len(phase.provenance.run_ids),
+                    phase.provenance.detections,
+                    f"{phase.provenance.agreement:.4f}",
+                    f"{phase.provenance.first_epoch}.."
+                    f"{phase.provenance.last_epoch}",
+                    phase.provenance.staleness,
+                ]
+                for phase in fleet.phases
+            ],
+        ))
+
+    out.append("<h2>Last repack</h2>")
+    report = daemon.last_report
+    if report is None:
+        out.append("<p>no repack yet — <code>POST /repack</code></p>")
+    else:
+        pack = report["pack"]
+        cache = pack["cache"]
+        out.append(
+            f"<p>{pack['packages']} package(s) over phases "
+            f"{_esc(pack['phase_set'])}; cache hit rate "
+            f"{float(cache['hit_rate']):.1%}; "
+            f"{pack['faults']['degraded_shards']} degraded shard(s)</p>"
+        )
+        rows = []
+        for shard in pack["shards"]:
+            key = str(shard["key"])
+            link = (f'<a href="/artifacts/{_esc(key)}">'
+                    f"{_esc(key[:16])}…</a>")
+            rows.append([
+                shard["shard"], _esc(shard["phases"]), link,
+                "hit" if shard["cached"] else "packed",
+                shard["packages"], f"{float(shard['coverage']):.1%}",
+                shard["attempts"],
+                "degraded" if shard["degraded"] else "ok",
+            ])
+        # The artifact link is pre-built HTML; bypass the escaping
+        # table helper for that one column.
+        out.append("<table><tr>" + "".join(
+            f"<th>{h}</th>" for h in
+            ["shard", "phases", "artifact", "source", "packages",
+             "coverage", "attempts", "state"]
+        ) + "</tr>")
+        for row in rows:
+            cells = []
+            for index, cell in enumerate(row):
+                cells.append(f"<td>{cell}</td>" if index in (1, 2)
+                             else f"<td>{_esc(cell)}</td>")
+            out.append("<tr>" + "".join(cells) + "</tr>")
+        out.append("</table>")
+
+    out.append("<h2>Stages and metrics</h2>")
+    out.append("<pre>"
+               + _esc(stage_table([], default_registry().snapshot()))
+               + "</pre>")
+
+    if agg.rejected:
+        out.append("<h2>Quarantine log (last 10)</h2><pre>")
+        out.extend(_esc(reject.render()) for reject in agg.rejected[-10:])
+        out.append("</pre>")
+
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+__all__ = ["render_dashboard"]

@@ -1,0 +1,214 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams.
+
+The daemon deliberately speaks raw HTTP over ``asyncio.start_server``
+instead of pulling in a framework: the repo's no-new-dependency rule
+holds, and the profile wire protocol needs exactly one non-trivial
+feature — *streaming* request bodies, so ``POST /profiles`` can fold
+NDJSON documents into the aggregator as the bytes arrive instead of
+buffering a fleet-sized upload.
+
+Supported surface (all the daemon needs, nothing more): request-line +
+headers parsing, ``Content-Length``-framed bodies exposed as an async
+chunk iterator, ``Content-Length``-framed responses, and HTTP/1.1
+keep-alive (a ``Connection: close`` request header or HTTP/1.0 closes
+after the response).  ``Transfer-Encoding: chunked`` requests are
+refused with 411 (clients must frame uploads) rather than
+half-implemented.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Optional
+from urllib.parse import parse_qsl, unquote
+
+#: Response reason phrases for the statuses the daemon emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Hard cap on request-line/header sizes; a line longer than this is a
+#: malformed request, not a buffering exercise.
+_MAX_LINE = 16 * 1024
+#: Body read granularity for the streaming iterator.
+_CHUNK = 64 * 1024
+
+
+class BadRequest(ValueError):
+    """Malformed HTTP that warrants a 400 (or given status) reply."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed request; the body is *not* read yet."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    reader: asyncio.StreamReader
+    length: int = 0
+    _consumed: int = 0
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    async def chunks(self) -> AsyncIterator[bytes]:
+        """Stream the body in arrival-sized chunks.
+
+        Raises :class:`BadRequest` when the peer hangs up before
+        delivering ``Content-Length`` bytes (a truncated upload is the
+        *sender's* error, never a 500).
+        """
+        while self._consumed < self.length:
+            chunk = await self.reader.read(
+                min(_CHUNK, self.length - self._consumed)
+            )
+            if not chunk:
+                raise BadRequest(
+                    f"request body truncated at {self._consumed} of "
+                    f"{self.length} bytes"
+                )
+            self._consumed += len(chunk)
+            yield chunk
+
+    async def body(self) -> bytes:
+        parts = [chunk async for chunk in self.chunks()]
+        return b"".join(parts)
+
+    async def drain(self) -> None:
+        """Discard any unread body so keep-alive stays framed."""
+        async for _ in self.chunks():
+            pass
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload, status: int = 200) -> "Response":
+        return cls(
+            status=status,
+            body=(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            .encode(),
+            content_type="application/json",
+        )
+
+    @classmethod
+    def error(cls, status: int, message: str, **extra) -> "Response":
+        return cls.json({"error": message, **extra}, status=status)
+
+    @classmethod
+    def html(cls, text: str, status: int = 200) -> "Response":
+        return cls(
+            status=status,
+            body=text.encode(),
+            content_type="text/html; charset=utf-8",
+        )
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request head; ``None`` on a clean EOF between requests."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequest("truncated request line")
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request line too long", status=413)
+    if len(line) > _MAX_LINE:
+        raise BadRequest("request line too long", status=413)
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise BadRequest(f"malformed request line: {line[:80]!r}")
+    method, target, version = parts
+
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise BadRequest("truncated request headers")
+        if len(line) > _MAX_LINE:
+            raise BadRequest("request header too long", status=413)
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise BadRequest(
+            "chunked uploads are not supported; send Content-Length",
+            status=411,
+        )
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise BadRequest("unparseable Content-Length")
+    if length < 0:
+        raise BadRequest("negative Content-Length")
+
+    path, _, query_string = target.partition("?")
+    request = Request(
+        method=method.upper(),
+        path=unquote(path) or "/",
+        query=dict(parse_qsl(query_string)),
+        headers=headers,
+        reader=reader,
+        length=length,
+    )
+    if version == "HTTP/1.0" and headers.get(
+            "connection", "").lower() != "keep-alive":
+        request.headers["connection"] = "close"
+    return request
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    response: Response,
+    keep_alive: bool,
+) -> None:
+    reason = REASONS.get(response.status, "Unknown")
+    head = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    head.extend(f"{k}: {v}" for k, v in response.headers.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+    await writer.drain()
+
+
+__all__ = [
+    "BadRequest",
+    "REASONS",
+    "Request",
+    "Response",
+    "read_request",
+    "write_response",
+]

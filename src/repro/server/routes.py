@@ -1,0 +1,248 @@
+"""Endpoint dispatch for the profile daemon.
+
+The wire surface, all JSON except the dashboard:
+
+====================== ==============================================
+``POST /profiles``     NDJSON stream of profile documents, folded
+                       into the aggregator as chunks arrive; corrupt
+                       lines quarantine (4xx, never 500), duplicate
+                       content dedups, success checkpoints.
+``GET /snapshot``      current merged fleet profile + digest.
+``POST /repack``       sharded farm pack against the snapshot; the
+                       full fleet report plus artifact keys.
+``GET /artifacts/<k>`` content-addressed artifact retrieval (stamps
+                       the read for GC).
+``GET /healthz``       liveness + aggregator/store counters.
+``GET /metrics``       ``repro.obs`` registry snapshot.
+``GET /``              the HTML dashboard.
+====================== ==============================================
+
+Every handler returns a :class:`~repro.server.http.Response`; protocol
+errors raise :class:`~repro.server.http.BadRequest`.  Handlers run on
+the event loop but push blocking work (packing, checkpoint writes)
+through ``asyncio.to_thread``, so ingest keeps streaming while a
+repack runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.errors import ServiceError
+from repro.obs import default_registry
+from repro.service import FarmConfig, build_report, canonical_json, pack_fleet
+
+from .http import BadRequest, Request, Response
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .app import ProfileDaemon
+
+#: Upload size cap: a fleet posts documents in batches, not the whole
+#: fleet in one request.
+MAX_UPLOAD_BYTES = 64 * 1024 * 1024
+
+
+async def _profiles(daemon: "ProfileDaemon", request: Request) -> Response:
+    """Streaming NDJSON ingest: one profile document JSON per line."""
+    if request.length > MAX_UPLOAD_BYTES:
+        raise BadRequest(
+            f"upload of {request.length} bytes exceeds the "
+            f"{MAX_UPLOAD_BYTES}-byte cap; batch the fleet", status=413,
+        )
+    agg = daemon.aggregator
+    received = folded = duplicates = 0
+    rejected: List[Dict] = []
+    truncated = None
+
+    def ingest_line(line: bytes) -> None:
+        nonlocal received, folded, duplicates
+        text = line.decode("utf-8", errors="replace").strip()
+        if not text:
+            return
+        received += 1
+        before_rejects = len(agg.rejected)
+        before_dupes = agg.duplicates
+        if agg.ingest_text(text):
+            folded += 1
+        elif agg.duplicates > before_dupes:
+            duplicates += 1
+        elif len(agg.rejected) > before_rejects:
+            reject = agg.rejected[-1]
+            rejected.append({
+                "line": received,
+                "error": reject.error,
+                "stage": reject.stage,
+                "exception_type": reject.exception_type,
+            })
+
+    buffer = b""
+    try:
+        async for chunk in request.chunks():
+            buffer += chunk
+            while True:
+                line, sep, buffer = buffer.partition(b"\n")
+                if not sep:
+                    buffer = line
+                    break
+                ingest_line(line)
+    except BadRequest as exc:
+        # A peer that hung up mid-body gets its partial work accounted
+        # and a 400 — the documents already folded stay folded.
+        truncated = str(exc)
+    if buffer and truncated is None:
+        ingest_line(buffer)
+
+    if folded:
+        await asyncio.to_thread(daemon.checkpoint)
+    body = {
+        "received": received,
+        "folded": folded,
+        "duplicates": duplicates,
+        "rejected": rejected,
+        "documents": agg.documents,
+    }
+    if truncated is not None:
+        body["truncated"] = truncated
+    status = 400 if rejected or truncated is not None else 200
+    return Response.json(body, status=status)
+
+
+def _snapshot_payload(daemon: "ProfileDaemon") -> Dict:
+    fleet = daemon.aggregator.snapshot()
+    return {"fleet": fleet.to_dict(), "digest": fleet.digest()}
+
+
+async def _snapshot(daemon: "ProfileDaemon", request: Request) -> Response:
+    try:
+        payload = await asyncio.to_thread(_snapshot_payload, daemon)
+    except ServiceError as exc:
+        return Response.error(404, str(exc), hint=exc.hint)
+    return Response.json(payload)
+
+
+def _repack_sync(daemon: "ProfileDaemon") -> Dict:
+    from repro.experiments.parallel import resolve_jobs
+
+    cfg = daemon.config
+    fleet = daemon.aggregator.snapshot()
+    farm = FarmConfig(
+        benchmark=cfg.benchmark,
+        input_name=cfg.input_name,
+        scale=cfg.scale,
+        pipeline=cfg.pipeline,
+        shard_size=cfg.shard_size,
+    )
+    packed = pack_fleet(
+        fleet, farm, jobs=cfg.jobs, store=daemon.store,
+        policy=daemon.farm_policy,
+    )
+    report = build_report(
+        daemon.aggregator.ingest_view(), fleet, packed, farm,
+        daemon.store, jobs=resolve_jobs(cfg.jobs),
+        aggregate={
+            "mode": "streaming",
+            "checkpoint": "restored" if daemon.restored else "cold",
+            "documents": daemon.aggregator.documents,
+            "deduplicated": daemon.aggregator.duplicates,
+        },
+    )
+    return {
+        "report": report.to_dict(),
+        "artifacts": [outcome.key for outcome in packed.outcomes],
+    }
+
+
+async def _repack(daemon: "ProfileDaemon", request: Request) -> Response:
+    lock = daemon._repack_lock
+    assert lock is not None
+    async with lock:
+        try:
+            body = await asyncio.to_thread(_repack_sync, daemon)
+        except ServiceError as exc:
+            return Response.error(409, str(exc), hint=exc.hint)
+        daemon.last_report = body["report"]
+        await asyncio.to_thread(daemon.checkpoint)
+    return Response.json(body)
+
+
+async def _artifact(daemon: "ProfileDaemon", request: Request) -> Response:
+    key = request.path[len("/artifacts/"):]
+    if not key or "/" in key:
+        raise BadRequest(f"malformed artifact key {key!r}")
+    payload = await asyncio.to_thread(daemon.store.get, key)
+    if payload is None:
+        return Response.error(404, f"no artifact under key {key!r}")
+    # Canonical bytes, exactly as a local store.get would canonicalize:
+    # the HTTP round trip is byte-identical to the on-disk payload.
+    return Response(status=200, body=canonical_json(payload),
+                    content_type="application/json")
+
+
+async def _healthz(daemon: "ProfileDaemon", request: Request) -> Response:
+    agg = daemon.aggregator
+    store = daemon.store
+    return Response.json({
+        "status": "ok",
+        "benchmark": f"{daemon.config.benchmark}/"
+                     f"{daemon.config.input_name}",
+        "uptime": round(daemon.uptime, 3),
+        "documents": agg.documents,
+        "duplicates": agg.duplicates,
+        "quarantined": len(agg.rejected),
+        "checkpoint": "restored" if daemon.restored else "cold",
+        "store": {
+            "root": store.root if store.enabled else "off",
+            "hits": store.stats.hits,
+            "misses": store.stats.misses,
+            "puts": store.stats.puts,
+            "evictions": store.stats.evictions,
+        },
+    })
+
+
+async def _metrics(daemon: "ProfileDaemon", request: Request) -> Response:
+    return Response.json({
+        "metrics": default_registry().snapshot(),
+        "server": daemon.server_stats(),
+    })
+
+
+async def _dashboard(daemon: "ProfileDaemon", request: Request) -> Response:
+    from .dashboard import render_dashboard
+
+    html = await asyncio.to_thread(render_dashboard, daemon)
+    return Response.html(html)
+
+
+#: (method, exact path) -> handler; prefix routes handled in dispatch.
+_EXACT = {
+    ("POST", "/profiles"): _profiles,
+    ("GET", "/snapshot"): _snapshot,
+    ("POST", "/repack"): _repack,
+    ("GET", "/healthz"): _healthz,
+    ("GET", "/metrics"): _metrics,
+    ("GET", "/"): _dashboard,
+}
+
+#: Paths that exist (for 405-vs-404 on a method mismatch).
+_KNOWN_PATHS = {path for _, path in _EXACT} | {"/artifacts/"}
+
+
+async def dispatch(daemon: "ProfileDaemon", request: Request) -> Response:
+    """Route one request; 404 unknown paths, 405 wrong methods."""
+    handler = _EXACT.get((request.method, request.path))
+    if handler is not None:
+        return await handler(daemon, request)
+    if request.path.startswith("/artifacts/"):
+        if request.method != "GET":
+            return Response.error(405, "artifacts are read-only")
+        return await _artifact(daemon, request)
+    if any(path == request.path for path in _KNOWN_PATHS):
+        return Response.error(
+            405, f"{request.method} not supported on {request.path}"
+        )
+    return Response.error(404, f"no route for {request.path}")
+
+
+__all__ = ["MAX_UPLOAD_BYTES", "dispatch"]

@@ -45,6 +45,8 @@ from .aggregate import (
     quarantine_profile,
 )
 from .artifacts import (
+    HIT_SIDECAR_SUFFIX,
+    ArtifactEntry,
     ArtifactStats,
     ArtifactStore,
     artifact_key,
@@ -81,6 +83,7 @@ __all__ = [
     "AGGREGATOR_MODES",
     "AGGREGATOR_STATE_VERSION",
     "ALL_SERVICE_FAULT_MODES",
+    "ArtifactEntry",
     "ArtifactStats",
     "ArtifactStore",
     "CONTRACT",
@@ -97,6 +100,7 @@ __all__ = [
     "FleetPackResult",
     "FleetProfile",
     "FleetReport",
+    "HIT_SIDECAR_SUFFIX",
     "IngestResult",
     "MergePolicy",
     "MergedPhase",

@@ -260,6 +260,17 @@ class PhaseProvenance:
             "staleness": self.staleness,
         }
 
+    @classmethod
+    def from_dict(cls, entry: Dict) -> "PhaseProvenance":
+        return cls(
+            run_ids=[str(run_id) for run_id in entry["run_ids"]],
+            detections=int(entry["detections"]),
+            agreement=float(entry["agreement"]),
+            first_epoch=int(entry["first_epoch"]),
+            last_epoch=int(entry["last_epoch"]),
+            staleness=int(entry.get("staleness", 0)),
+        )
+
 
 @dataclass
 class MergedPhase:
@@ -274,6 +285,14 @@ class MergedPhase:
             "record": record_to_entry(self.record),
             "provenance": self.provenance.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, index: int, entry: Dict) -> "MergedPhase":
+        return cls(
+            index=index,
+            record=record_from_entry(entry["record"]),
+            provenance=PhaseProvenance.from_dict(entry["provenance"]),
+        )
 
 
 @dataclass
@@ -307,6 +326,29 @@ class FleetProfile:
         return hashlib.blake2b(
             canonical_json(self.to_dict()), digest_size=20
         ).hexdigest()
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "FleetProfile":
+        """Rebuild a fleet profile from :meth:`to_dict` output.
+
+        The wire-format inverse used by ``GET /snapshot`` consumers:
+        ``from_dict(p.to_dict())`` round-trips bit-exactly (the
+        provenance agreement score is already rounded to the wire's
+        six decimals by ``to_dict``), so re-serializing reproduces the
+        same :meth:`digest`.  Raises ``KeyError``/``TypeError``/
+        ``ValueError`` on a malformed document.
+        """
+        return cls(
+            phases=[
+                MergedPhase.from_dict(index, entry)
+                for index, entry in enumerate(document["phases"])
+            ],
+            runs=int(document["runs"]),
+            rejected=int(document["rejected"]),
+            policy_fingerprint=str(document["policy"]),
+            max_epoch=int(document["max_epoch"]),
+            aged_out=int(document.get("aged_out", 0)),
+        )
 
 
 def _merge_cluster(
@@ -798,6 +840,44 @@ class IncrementalAggregator:
         """Fold one already-parsed document into the live state."""
         self.ingest_run(ClientRun.from_document(path, doc))
 
+    def ingest_text(
+        self, text: str, name: Optional[str] = None
+    ) -> bool:
+        """Validate and fold one document given as JSON text.
+
+        The network ingest path (``POST /profiles`` feeds each NDJSON
+        line here): corrupt documents are quarantined exactly like the
+        batch ingest (typed, stage-labeled, counted after validation),
+        and re-ingesting already-folded *content* is a deduplicated
+        no-op.  The dedup ledger key is ``name`` when given (a file
+        path — its content may legitimately change and re-fold) or the
+        content digest itself (an anonymous upload — identical bytes
+        can never double-count, which is what lets a restarted daemon
+        receive replayed uploads safely).
+        """
+        digest = hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+        key = name or f"upload:{digest}"
+        if self._seen.get(key) == digest:
+            self.duplicates += 1
+            inc("service.agg.duplicates")
+            return False
+        label = name or f"<upload:{digest[:12]}>"
+        try:
+            doc = document_from_json(text)
+            run = ClientRun.from_document(label, doc)
+        except ProfileFormatError as exc:
+            self.rejected.append(quarantine_profile(label, exc))
+            return False
+        except (TypeError, ValueError) as exc:
+            wrapped = ProfileFormatError(
+                f"unusable provenance stamp: {exc}", stage="provenance"
+            )
+            self.rejected.append(quarantine_profile(label, wrapped))
+            return False
+        self._seen[key] = digest
+        self.ingest_run(run)
+        return True
+
     def ingest_path(self, path: Union[str, Path]) -> bool:
         """Load, validate, and fold one document; False if skipped.
 
@@ -813,26 +893,7 @@ class IncrementalAggregator:
         except OSError as exc:
             self.rejected.append(quarantine_profile(path, exc))
             return False
-        digest = hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
-        if self._seen.get(path) == digest:
-            self.duplicates += 1
-            inc("service.agg.duplicates")
-            return False
-        try:
-            doc = document_from_json(text)
-            run = ClientRun.from_document(path, doc)
-        except ProfileFormatError as exc:
-            self.rejected.append(quarantine_profile(path, exc))
-            return False
-        except (TypeError, ValueError) as exc:
-            wrapped = ProfileFormatError(
-                f"unusable provenance stamp: {exc}", stage="provenance"
-            )
-            self.rejected.append(quarantine_profile(path, wrapped))
-            return False
-        self._seen[path] = digest
-        self.ingest_run(run)
-        return True
+        return self.ingest_text(text, name=path)
 
     def ingest_paths(self, paths: Iterable[Union[str, Path]]) -> int:
         """Ingest many paths (sorted for determinism); folded count."""

@@ -27,6 +27,18 @@ share one store directory.
 Layout: one ``<key>.json`` per artifact under ``REPRO_ARTIFACT_STORE``
 (or ``~/.cache/repro/artifacts``); setting the root to ``off`` (or
 ``0``/``none``/``disabled``) disables the store entirely.
+
+**Read-time bookkeeping and GC.**  Every successful :meth:`get` stamps
+a ``<key>.hits.json`` sidecar (atomic, via the shared
+:func:`~repro.engine.trace_cache.atomic_write`) carrying the entry's
+``hit_count`` and ``last_hit`` wall-clock time, so the store knows
+which artifacts still earn their bytes.  :meth:`ArtifactStore.evict`
+shrinks the store under a byte cap by deleting the least-recently-hit
+entries first (entries never read rank by file mtime); keys registered
+with :meth:`~ArtifactStore.pin` — the long-running daemon pins its
+aggregator checkpoint slots — are never evicted.  Counters
+``service.artifacts.{hits,evictions}`` and the
+``service.artifacts.bytes`` gauge surface in ``repro stats``.
 """
 
 from __future__ import annotations
@@ -35,11 +47,12 @@ import hashlib
 import json
 import logging
 import os
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.engine.trace_cache import DISABLED_VALUES, atomic_write
-from repro.obs import inc
+from repro.obs import inc, set_gauge
 from repro.program.image import ProgramImage
 
 #: Bump when the artifact payload schema changes; participates in both
@@ -48,6 +61,9 @@ from repro.program.image import ProgramImage
 FORMAT_VERSION = 2
 
 _ENV_DIR = "REPRO_ARTIFACT_STORE"
+
+#: Suffix of the read-bookkeeping sidecar written next to each entry.
+HIT_SIDECAR_SUFFIX = ".hits.json"
 
 logger = logging.getLogger(__name__)
 
@@ -89,11 +105,25 @@ class ArtifactStats:
     misses: int = 0
     puts: int = 0
     errors: int = 0
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
         looked_up = self.hits + self.misses + self.errors
         return self.hits / looked_up if looked_up else 0.0
+
+
+@dataclass
+class ArtifactEntry:
+    """One stored artifact as the GC sees it."""
+
+    key: str
+    #: Entry bytes on disk (payload file + hit sidecar).
+    bytes: int
+    #: Wall-clock time of the last read (file mtime if never read).
+    last_hit: float
+    hit_count: int
+    pinned: bool = False
 
 
 class ArtifactStore:
@@ -110,9 +140,45 @@ class ArtifactStore:
             )
         self.root = str(root)
         self.stats = ArtifactStats()
+        #: Keys :meth:`evict` must never delete (checkpoint slots).
+        self.pinned: Set[str] = set()
 
     def path_of(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
+
+    def sidecar_of(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}{HIT_SIDECAR_SUFFIX}")
+
+    def pin(self, key: str) -> None:
+        """Exempt ``key`` from eviction (e.g. a checkpoint slot)."""
+        self.pinned.add(key)
+
+    def unpin(self, key: str) -> None:
+        self.pinned.discard(key)
+
+    def _stamp_hit(self, key: str) -> None:
+        """Record a read in the entry's ``.hits.json`` sidecar.
+
+        Bookkeeping must never break a read: a corrupt sidecar resets
+        the count, a failed write is dropped silently.
+        """
+        path = self.sidecar_of(key)
+        count = 0
+        try:
+            with open(path, "rb") as handle:
+                count = int(json.loads(handle.read())["hit_count"])
+        except (OSError, ValueError, TypeError, KeyError):
+            count = 0
+        stamp = canonical_json({
+            "key": key,
+            "hit_count": count + 1,
+            "last_hit": round(time.time(), 6),
+        })
+        try:
+            atomic_write(self.root, path, lambda handle: handle.write(stamp))
+        except OSError:
+            return
+        inc("service.artifacts.hits")
 
     def get(self, key: str) -> Optional[Dict]:
         """The stored payload for ``key``, or ``None`` on a miss.
@@ -152,6 +218,7 @@ class ArtifactStore:
             return None
         self.stats.hits += 1
         inc("artifact_store.hits")
+        self._stamp_hit(key)
         return payload
 
     def put(self, key: str, payload: Dict) -> bool:
@@ -180,6 +247,85 @@ class ArtifactStore:
         inc("artifact_store.puts")
         return True
 
+    # -- GC ----------------------------------------------------------
+
+    def entries(self) -> List[ArtifactEntry]:
+        """Every stored artifact with its GC bookkeeping.
+
+        Sidecars and in-flight temp files are not entries; an entry
+        that was never read ranks by its payload file's mtime with a
+        zero hit count.
+        """
+        if not self.enabled:
+            return []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        result: List[ArtifactEntry] = []
+        for name in sorted(names):
+            if (not name.endswith(".json")
+                    or name.endswith(HIT_SIDECAR_SUFFIX)
+                    or name.startswith(".tmp-")):
+                continue
+            key = name[: -len(".json")]
+            path = os.path.join(self.root, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue  # raced with a concurrent eviction
+            size = stat.st_size
+            last_hit, hit_count = stat.st_mtime, 0
+            sidecar = self.sidecar_of(key)
+            try:
+                size += os.path.getsize(sidecar)
+                with open(sidecar, "rb") as handle:
+                    stamp = json.loads(handle.read())
+                last_hit = float(stamp["last_hit"])
+                hit_count = int(stamp["hit_count"])
+            except (OSError, ValueError, TypeError, KeyError):
+                pass  # unread or corrupt sidecar: mtime ordering
+            result.append(ArtifactEntry(
+                key=key, bytes=size, last_hit=last_hit,
+                hit_count=hit_count, pinned=key in self.pinned,
+            ))
+        return result
+
+    def total_bytes(self) -> int:
+        return sum(entry.bytes for entry in self.entries())
+
+    def evict(self, max_bytes: int) -> List[str]:
+        """Delete least-recently-hit entries until the store fits
+        under ``max_bytes``; returns the evicted keys.
+
+        LRU by ``last_hit`` (sidecar stamp, else payload mtime), ties
+        broken by key for determinism.  Pinned keys — checkpoint slots
+        a daemon registered with :meth:`pin` — are never deleted, even
+        if the store stays over the cap because of them.
+        """
+        if not self.enabled or max_bytes is None:
+            return []
+        entries = self.entries()
+        total = sum(entry.bytes for entry in entries)
+        evicted: List[str] = []
+        for entry in sorted(entries, key=lambda e: (e.last_hit, e.key)):
+            if total <= max_bytes:
+                break
+            if entry.pinned:
+                continue
+            for path in (self.path_of(entry.key),
+                         self.sidecar_of(entry.key)):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            total -= entry.bytes
+            evicted.append(entry.key)
+            self.stats.evictions += 1
+            inc("service.artifacts.evictions")
+        set_gauge("service.artifacts.bytes", total)
+        return evicted
+
 
 _DEFAULT_STORE: Optional[ArtifactStore] = None
 
@@ -198,9 +344,11 @@ def reset_default_store() -> None:
 
 
 __all__ = [
+    "ArtifactEntry",
     "ArtifactStats",
     "ArtifactStore",
     "FORMAT_VERSION",
+    "HIT_SIDECAR_SUFFIX",
     "artifact_key",
     "canonical_json",
     "default_store",

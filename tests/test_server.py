@@ -1,0 +1,433 @@
+"""The HTTP profile daemon: ingest, equivalence, artifacts, GC, restart."""
+
+import json
+import os
+import random
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.hsd.records import BranchProfile, HotSpotRecord
+from repro.hsd.serialize import make_provenance, records_to_dict
+from repro.obs.render import stage_table
+from repro.server import DaemonClient, ServerConfig, start_daemon_thread
+from repro.service import (
+    ArtifactStore,
+    ClientRun,
+    ContractTolerance,
+    FarmConfig,
+    FleetProfile,
+    MergePolicy,
+    canonical_json,
+    checkpoint_key,
+    equivalence_diffs,
+    merge_runs,
+    pack_fleet,
+    simulate_fleet,
+)
+from repro.hsd.serialize import document_from_json
+
+BENCH, INPUT, SCALE = "181.mcf", "A", 0.2
+
+#: The snapshot travels through ``FleetProfile.to_dict``, which rounds
+#: the provenance agreement score to six decimals on the wire; every
+#: other field (counters, run ids, epochs, branch sets) is exact.  The
+#: relaxation absorbs wire rounding only — not aggregation divergence.
+WIRE_CONTRACT = ContractTolerance(agreement_abs_tol=5e-7)
+
+
+def rec(index, branches, detected=0):
+    """branches = {address: (executed, taken)}"""
+    return HotSpotRecord(
+        index=index,
+        detected_at_branch=detected,
+        branches={
+            addr: BranchProfile(addr, executed, taken)
+            for addr, (executed, taken) in branches.items()
+        },
+    )
+
+
+def doc_text(i):
+    """One pinned-seed synthetic profile document as NDJSON-safe text."""
+    rng = random.Random(1000 + i)
+    phase = i % 5
+    base = 0x100 * (phase + 1)
+    branches = {}
+    for b in range(4 + phase % 3):
+        executed = 50 + rng.randrange(200)
+        branches[base + 8 * b] = (executed, rng.randrange(executed + 1))
+    meta = {"provenance": make_provenance(
+        f"client-{i:04d}", seed=i, epoch=i % 3
+    )}
+    return json.dumps(records_to_dict([rec(0, branches, detected=base)], meta))
+
+
+def runs_of(texts):
+    """Batch-ingest the same texts locally for comparison."""
+    runs = []
+    for text in texts:
+        doc = document_from_json(text)
+        runs.append(ClientRun.from_document(doc.run_id, doc))
+    return runs
+
+
+def daemon_config(**overrides):
+    defaults = dict(
+        benchmark=BENCH, input_name=INPUT, port=0, scale=SCALE, tag="test"
+    )
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+class TestIngestEquivalence:
+    N_DOCS = 1000
+
+    @pytest.fixture(scope="class")
+    def posted(self, tmp_path_factory):
+        """Daemon fed N pinned docs over HTTP; returns (texts, snapshot)."""
+        store = ArtifactStore(str(tmp_path_factory.mktemp("store")))
+        texts = [doc_text(i) for i in range(self.N_DOCS)]
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                for start in range(0, len(texts), 250):
+                    status, body = client.post_profiles(
+                        texts[start:start + 250]
+                    )
+                    assert status == 200
+                    assert body["folded"] == 250
+                status, snap = client.snapshot()
+                assert status == 200
+        return texts, snap
+
+    def test_snapshot_equivalent_to_batch_merge(self, posted):
+        texts, snap = posted
+        wire = FleetProfile.from_dict(snap["fleet"])
+        batch = merge_runs(runs_of(texts))
+        assert equivalence_diffs(batch, wire, WIRE_CONTRACT) == []
+
+    def test_wire_digest_matches_reserialized_profile(self, posted):
+        _, snap = posted
+        assert FleetProfile.from_dict(snap["fleet"]).digest() == snap["digest"]
+
+    def test_corrupt_documents_quarantine_as_4xx_never_500(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                status, body = client.post_profiles([
+                    doc_text(0),
+                    "this is not json",
+                    '{"format": "wrong"}',
+                    doc_text(1),
+                ])
+                assert status == 400
+                assert body["folded"] == 2
+                stages = {r["stage"] for r in body["rejected"]}
+                assert stages == {"parse", "schema"}
+                assert all(r["line"] in (2, 3) for r in body["rejected"])
+                status, health = client.healthz()
+                assert status == 200
+                assert health["quarantined"] == 2
+                assert health["documents"] == 2
+
+    def test_truncated_upload_is_a_400_not_a_500(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            payload = doc_text(0).encode()
+            sock = socket.create_connection(("127.0.0.1", handle.port), 5)
+            try:
+                head = (
+                    f"POST /profiles HTTP/1.1\r\n"
+                    f"Host: x\r\nContent-Length: {len(payload) + 500}\r\n"
+                    f"\r\n"
+                ).encode()
+                sock.sendall(head + payload[: len(payload) // 2])
+                sock.shutdown(socket.SHUT_WR)
+                response = b""
+                while chunk := sock.recv(4096):
+                    response += chunk
+            finally:
+                sock.close()
+            assert b"HTTP/1.1 400" in response
+            assert b"truncated" in response
+            # The daemon survives and keeps serving.
+            with DaemonClient.for_daemon(handle) as client:
+                assert client.healthz()[0] == 200
+
+    def test_duplicate_content_dedups(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                texts = [doc_text(i) for i in range(8)]
+                assert client.post_profiles(texts)[0] == 200
+                status, body = client.post_profiles(texts)
+                assert status == 200
+                assert body["folded"] == 0
+                assert body["duplicates"] == 8
+                assert body["documents"] == 8
+
+    def test_empty_aggregator_snapshot_is_404(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                assert client.snapshot()[0] == 404
+
+    def test_routing_errors(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                assert client.request("GET", "/nope")[0] == 404
+                assert client.request("DELETE", "/profiles")[0] == 405
+                assert client.request("POST", "/artifacts/abc")[0] == 405
+
+
+class TestArtifactsAndRepack:
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        """A repacked daemon over a real simulated fleet."""
+        root = tmp_path_factory.mktemp("repack")
+        profiles = root / "profiles"
+        store = ArtifactStore(str(root / "store"))
+        simulate_fleet(BENCH, INPUT, runs=6, out_dir=str(profiles),
+                       base_seed=0, epochs=2, scale=SCALE)
+        texts = [p.read_text() for p in sorted(profiles.glob("*.json"))]
+        handle = start_daemon_thread(daemon_config(), store=store)
+        client = DaemonClient.for_daemon(handle)
+        assert client.post_profiles(texts)[0] == 200
+        status, repack = client.repack()
+        assert status == 200
+        yield client, store, repack
+        client.close()
+        handle.stop()
+
+    def test_artifact_get_round_trips_store_bytes(self, served):
+        client, store, repack = served
+        assert repack["artifacts"]
+        for key in repack["artifacts"]:
+            status, raw = client.artifact(key)
+            assert status == 200
+            assert raw == canonical_json(store.get(key))
+
+    def test_repack_matches_local_pack_fleet(self, served, tmp_path):
+        client, _, repack = served
+        status, snap = client.snapshot()
+        assert status == 200
+        fleet = FleetProfile.from_dict(snap["fleet"])
+        config = FarmConfig(
+            benchmark=BENCH, input_name=INPUT, scale=SCALE,
+            pipeline=None, shard_size=1,
+        )
+        local_store = ArtifactStore(str(tmp_path / "local-store"))
+        local = pack_fleet(fleet, config, store=local_store)
+        # Wire rounding can nudge the profile digest, so compare the
+        # packed payloads — byte-identical artifacts either way.
+        assert [o.payload for o in local.outcomes] == [
+            json.loads(client.artifact(key)[1])
+            for key in repack["artifacts"]
+        ]
+
+    def test_artifact_miss_is_404(self, served):
+        client, _, _ = served
+        assert client.artifact("0" * 40)[0] == 404
+
+    def test_dashboard_renders_fleet_and_repack(self, served):
+        client, _, repack = served
+        status, page = client.dashboard()
+        assert status == 200
+        assert "Merged fleet snapshot" in page
+        assert "Last repack" in page
+        assert f"/artifacts/{repack['artifacts'][0]}" in page
+
+    def test_metrics_snapshot_counts_requests(self, served):
+        client, _, _ = served
+        status, body = client.metrics()
+        assert status == 200
+        assert body["server"]["requests"] > 0
+        assert any(key.startswith("server.requests")
+                   for key in body["metrics"]["counters"])
+
+
+class TestStoreGC:
+    def put_n(self, store, n, size=200):
+        for i in range(n):
+            store.put(f"key-{i}", {"index": i, "pad": "x" * size})
+
+    def test_get_stamps_hit_sidecar(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.put("k", {"v": 1})
+        assert not os.path.exists(store.sidecar_of("k"))
+        store.get("k")
+        store.get("k")
+        stamp = json.loads(Path(store.sidecar_of("k")).read_text())
+        assert stamp["hit_count"] == 2
+        assert stamp["key"] == "k"
+        (entry,) = store.entries()
+        assert entry.hit_count == 2
+        assert entry.last_hit == stamp["last_hit"]
+
+    def test_evict_drops_least_recently_hit_first(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        self.put_n(store, 4)
+        # Hit 2 and 0, in that order: LRU order is 1, 3, 2, 0.
+        store.get("key-2")
+        time.sleep(0.02)
+        store.get("key-0")
+        per_entry = store.total_bytes() // 4
+        evicted = store.evict(per_entry * 2 + per_entry // 2)
+        assert evicted == ["key-1", "key-3"]
+        assert store.get("key-0") is not None
+        assert store.get("key-2") is not None
+        assert not os.path.exists(store.path_of("key-1"))
+        assert not os.path.exists(store.sidecar_of("key-1"))
+        assert store.stats.evictions == 2
+
+    def test_evict_never_touches_pinned_keys(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        self.put_n(store, 3)
+        store.pin("key-0")
+        evicted = store.evict(0)
+        assert "key-0" not in evicted
+        assert sorted(evicted) == ["key-1", "key-2"]
+        # Still over the (zero) cap because of the pin — by design.
+        assert store.get("key-0") is not None
+
+    def test_evict_on_disabled_store_is_a_noop(self):
+        store = ArtifactStore("off")
+        assert store.evict(0) == []
+
+    def test_gc_counters_surface_in_stage_table(self, tmp_path):
+        from repro.obs import default_registry
+
+        store = ArtifactStore(str(tmp_path / "store"))
+        self.put_n(store, 2)
+        store.get("key-0")
+        store.evict(0)
+        table = stage_table([], default_registry().snapshot())
+        assert "artifact reads stamped" in table
+        assert "artifact store bytes" in table
+
+    def test_daemon_sweep_bounds_store_and_keeps_checkpoint(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        self.put_n(store, 6, size=500)
+        config = daemon_config(gc_max_bytes=1200, gc_interval=0.05)
+        with start_daemon_thread(config, store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                assert client.post_profiles([doc_text(0)])[0] == 200
+                deadline = time.time() + 5
+                while handle.daemon.gc_sweeps < 2 and time.time() < deadline:
+                    time.sleep(0.05)
+            assert handle.daemon.gc_sweeps >= 2
+        slot = checkpoint_key("test", MergePolicy())
+        keys = {entry.key for entry in store.entries()}
+        # The junk entries were evicted under the cap; the (pinned)
+        # checkpoint slot survives even though it alone may exceed it.
+        assert slot in keys
+        assert not any(key.startswith("key-") for key in keys)
+
+
+class TestRestart:
+    def test_checkpoint_restart_never_double_counts(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        texts = [doc_text(i) for i in range(24)]
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                assert client.post_profiles(texts)[0] == 200
+                first = client.snapshot()[1]
+
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                status, health = client.healthz()
+                assert health["checkpoint"] == "restored"
+                assert health["documents"] == len(texts)
+                # Replaying every upload is pure dedup: nothing folds
+                # twice, and the snapshot digest is unchanged.
+                status, body = client.post_profiles(texts)
+                assert status == 200
+                assert body["folded"] == 0
+                assert body["duplicates"] == len(texts)
+                second = client.snapshot()[1]
+        assert first["digest"] == second["digest"]
+
+    def test_sigterm_checkpoints_and_subprocess_restart_resumes(
+        self, tmp_path
+    ):
+        store_dir = str(tmp_path / "store")
+        env = dict(os.environ, PYTHONUNBUFFERED="1")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                str(Path(__file__).resolve().parent.parent / "src"),
+                env.get("PYTHONPATH", ""),
+            ) if p
+        )
+        command = [
+            sys.executable, "-m", "repro", "server",
+            "--bench", f"{BENCH}/{INPUT}", "--listen", "127.0.0.1:0",
+            "--scale", str(SCALE), "--store", store_dir,
+        ]
+
+        def launch():
+            proc = subprocess.Popen(
+                command, stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT, text=True, env=env,
+            )
+            banner = proc.stdout.readline()
+            port = int(re.search(r":(\d+) ", banner).group(1))
+            return proc, banner, port
+
+        proc, banner, port = launch()
+        try:
+            assert "checkpoint cold" in banner
+            with DaemonClient("127.0.0.1", port) as client:
+                texts = [doc_text(i) for i in range(6)]
+                assert client.post_profiles(texts)[0] == 200
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        slot = checkpoint_key("server", MergePolicy())
+        assert ArtifactStore(store_dir).get(slot) is not None
+
+        proc, banner, port = launch()
+        try:
+            assert "checkpoint restored" in banner
+            with DaemonClient("127.0.0.1", port) as client:
+                status, health = client.healthz()
+                assert health["documents"] == 6
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+
+class TestCliSurface:
+    def test_server_and_serve_share_the_fleet_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        server = parser.parse_args(["server", "--bench", "181.mcf/A"])
+        assert server.listen == "127.0.0.1:8080"
+        assert server.shard_size == 1 and server.store is None
+        serve = parser.parse_args([
+            "serve", "--bench", "181.mcf/A", "--profiles", "p",
+            "--listen", "0.0.0.0:0",
+        ])
+        assert serve.listen == "0.0.0.0:0"
+        assert serve.shard_size == 1 and serve.store is None
+
+    def test_parse_listen_rejects_garbage(self):
+        from repro.cli import _parse_listen
+
+        assert _parse_listen("127.0.0.1:8080") == ("127.0.0.1", 8080)
+        with pytest.raises(SystemExit):
+            _parse_listen("8080")
+        with pytest.raises(SystemExit):
+            _parse_listen("host:port")
