@@ -112,6 +112,14 @@ class ProfileDaemon:
                 sorted(Path(config.profiles_dir).glob("*.json"))
             )
 
+        #: Serializes every aggregator touch: ingest mutates on the
+        #: event loop while snapshots/checkpoints/dashboard renders run
+        #: in worker threads, and the aggregator has no locking of its
+        #: own — an unguarded overlap tears ``to_state()`` or raises
+        #: mid-iteration.  Held only around in-memory work (fold,
+        #: serialize, materialize), never across disk writes.
+        self.agg_lock = threading.Lock()
+
         self.started = time.time()
         self.port: Optional[int] = None
         #: Set (thread-safely readable) once the listener is bound.
@@ -142,11 +150,28 @@ class ProfileDaemon:
             "uptime": round(self.uptime, 3),
         }
 
+    def snapshot(self):
+        """Materialize the merged fleet under :attr:`agg_lock`.
+
+        The returned :class:`~repro.service.merge.FleetProfile` is
+        built from fresh structures, so callers may use it unlocked.
+        """
+        with self.agg_lock:
+            return self.aggregator.snapshot()
+
     def checkpoint(self) -> bool:
-        """Persist the aggregator; counted, never fatal."""
-        if not self.aggregator.documents:
-            return False
-        saved = self.aggregator.save_checkpoint(self.store, self.config.tag)
+        """Persist the aggregator; counted, never fatal.
+
+        State is serialized under :attr:`agg_lock` so a concurrent
+        ingest cannot tear it; the disk write happens unlocked.
+        """
+        with self.agg_lock:
+            if not self.aggregator.documents:
+                return False
+            state = self.aggregator.to_state()
+        saved = self.aggregator.save_checkpoint(
+            self.store, self.config.tag, state=state
+        )
         if saved:
             self.checkpoints += 1
         return saved
@@ -203,6 +228,9 @@ class ProfileDaemon:
                     response = Response.error(
                         500, f"{type(exc).__name__}: {exc}"
                     )
+                    # The handler may have died mid-body; unread bytes
+                    # would desynchronize keep-alive framing.
+                    request.headers["connection"] = "close"
                 finally:
                     self._inflight -= 1
                 inc("server.requests",

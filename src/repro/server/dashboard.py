@@ -93,7 +93,7 @@ def render_dashboard(daemon: "ProfileDaemon") -> str:
 
     out.append("<h2>Merged fleet snapshot</h2>")
     try:
-        fleet = agg.snapshot()
+        fleet = daemon.snapshot()
     except ServiceError as exc:
         out.append(f"<p>no snapshot yet: {_esc(exc)}</p>")
     else:
@@ -165,9 +165,11 @@ def render_dashboard(daemon: "ProfileDaemon") -> str:
                + _esc(stage_table([], default_registry().snapshot()))
                + "</pre>")
 
-    if agg.rejected:
+    with daemon.agg_lock:
+        quarantine_tail = list(agg.rejected[-10:])
+    if quarantine_tail:
         out.append("<h2>Quarantine log (last 10)</h2><pre>")
-        out.extend(_esc(reject.render()) for reject in agg.rejected[-10:])
+        out.extend(_esc(reject.render()) for reject in quarantine_tail)
         out.append("</pre>")
 
     out.append("</body></html>")

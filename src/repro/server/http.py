@@ -157,7 +157,17 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
         name, sep, value = line.decode("latin-1").partition(":")
         if not sep:
             raise BadRequest(f"malformed header line: {line[:80]!r}")
-        headers[name.strip().lower()] = value.strip()
+        name, value = name.strip().lower(), value.strip()
+        if name in headers:
+            # Duplicated framing headers are a smuggling vector, not a
+            # merge candidate; everything else list-combines per RFC
+            # 7230 §3.2.2.
+            if name in ("content-length", "transfer-encoding",
+                        "connection", "host"):
+                raise BadRequest(f"duplicate {name} header")
+            headers[name] = f"{headers[name]}, {value}"
+        else:
+            headers[name] = value
 
     if "chunked" in headers.get("transfer-encoding", "").lower():
         raise BadRequest(

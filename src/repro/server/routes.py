@@ -21,7 +21,10 @@ Every handler returns a :class:`~repro.server.http.Response`; protocol
 errors raise :class:`~repro.server.http.BadRequest`.  Handlers run on
 the event loop but push blocking work (packing, checkpoint writes)
 through ``asyncio.to_thread``, so ingest keeps streaming while a
-repack runs.
+repack runs.  Because of that split, every aggregator touch — folding
+a document on the loop, serializing or snapshotting in a worker
+thread — happens under ``daemon.agg_lock``; the aggregator itself has
+no locking.
 """
 
 from __future__ import annotations
@@ -61,20 +64,21 @@ async def _profiles(daemon: "ProfileDaemon", request: Request) -> Response:
         if not text:
             return
         received += 1
-        before_rejects = len(agg.rejected)
-        before_dupes = agg.duplicates
-        if agg.ingest_text(text):
-            folded += 1
-        elif agg.duplicates > before_dupes:
-            duplicates += 1
-        elif len(agg.rejected) > before_rejects:
-            reject = agg.rejected[-1]
-            rejected.append({
-                "line": received,
-                "error": reject.error,
-                "stage": reject.stage,
-                "exception_type": reject.exception_type,
-            })
+        with daemon.agg_lock:
+            before_rejects = len(agg.rejected)
+            before_dupes = agg.duplicates
+            if agg.ingest_text(text):
+                folded += 1
+            elif agg.duplicates > before_dupes:
+                duplicates += 1
+            elif len(agg.rejected) > before_rejects:
+                reject = agg.rejected[-1]
+                rejected.append({
+                    "line": received,
+                    "error": reject.error,
+                    "stage": reject.stage,
+                    "exception_type": reject.exception_type,
+                })
 
     buffer = b""
     try:
@@ -109,7 +113,7 @@ async def _profiles(daemon: "ProfileDaemon", request: Request) -> Response:
 
 
 def _snapshot_payload(daemon: "ProfileDaemon") -> Dict:
-    fleet = daemon.aggregator.snapshot()
+    fleet = daemon.snapshot()
     return {"fleet": fleet.to_dict(), "digest": fleet.digest()}
 
 
@@ -125,7 +129,14 @@ def _repack_sync(daemon: "ProfileDaemon") -> Dict:
     from repro.experiments.parallel import resolve_jobs
 
     cfg = daemon.config
-    fleet = daemon.aggregator.snapshot()
+    # One lock hold: the snapshot, the rejection view, and the ingest
+    # counters must describe the same instant; packing and report
+    # building below work on materialized copies, unlocked.
+    with daemon.agg_lock:
+        fleet = daemon.aggregator.snapshot()
+        ingest = daemon.aggregator.ingest_view()
+        documents = daemon.aggregator.documents
+        deduplicated = daemon.aggregator.duplicates
     farm = FarmConfig(
         benchmark=cfg.benchmark,
         input_name=cfg.input_name,
@@ -138,13 +149,13 @@ def _repack_sync(daemon: "ProfileDaemon") -> Dict:
         policy=daemon.farm_policy,
     )
     report = build_report(
-        daemon.aggregator.ingest_view(), fleet, packed, farm,
+        ingest, fleet, packed, farm,
         daemon.store, jobs=resolve_jobs(cfg.jobs),
         aggregate={
             "mode": "streaming",
             "checkpoint": "restored" if daemon.restored else "cold",
-            "documents": daemon.aggregator.documents,
-            "deduplicated": daemon.aggregator.duplicates,
+            "documents": documents,
+            "deduplicated": deduplicated,
         },
     )
     return {

@@ -1195,9 +1195,17 @@ class IncrementalAggregator:
             canonical_json(state), digest_size=20
         ).hexdigest()
 
-    def save_checkpoint(self, store, tag: str) -> bool:
-        """Persist the live state through the artifact store."""
-        state = self.to_state()
+    def save_checkpoint(
+        self, store, tag: str, state: Optional[Dict] = None
+    ) -> bool:
+        """Persist the live state through the artifact store.
+
+        ``state`` (a :meth:`to_state` document) lets a concurrent
+        caller serialize under its own lock and keep only the disk
+        write outside it — the aggregator itself has no locking.
+        """
+        if state is None:
+            state = self.to_state()
         saved = store.put(checkpoint_key(tag, self.policy), {
             "kind": "aggregator-checkpoint",
             "agg_version": AGGREGATOR_STATE_VERSION,

@@ -149,8 +149,21 @@ class ArtifactStore:
     def sidecar_of(self, key: str) -> str:
         return os.path.join(self.root, f"{key}{HIT_SIDECAR_SUFFIX}")
 
+    @staticmethod
+    def _check_key(key: str) -> None:
+        """Reject keys whose payload path collides with another key's
+        hit sidecar: ``path_of('<k>.hits')`` == ``sidecar_of('<k>')``,
+        so such an entry would be invisible to :meth:`entries` and a
+        read stamp of ``<k>`` would overwrite its payload."""
+        if key.endswith(".hits"):
+            raise ValueError(
+                f"artifact key {key!r} collides with the "
+                f"{HIT_SIDECAR_SUFFIX!r} sidecar namespace"
+            )
+
     def pin(self, key: str) -> None:
         """Exempt ``key`` from eviction (e.g. a checkpoint slot)."""
+        self._check_key(key)
         self.pinned.add(key)
 
     def unpin(self, key: str) -> None:
@@ -189,6 +202,12 @@ class ArtifactStore:
         """
         if not self.enabled:
             return None
+        if key.endswith(".hits"):
+            # The would-be payload path is another key's hit sidecar;
+            # a plain miss, without reading (or corrupt-deleting) it.
+            self.stats.misses += 1
+            inc("artifact_store.misses")
+            return None
         path = self.path_of(key)
         try:
             with open(path, "rb") as handle:
@@ -224,7 +243,9 @@ class ArtifactStore:
     def put(self, key: str, payload: Dict) -> bool:
         """Persist a payload; returns False when the store is off or
         the write failed (the farm then just keeps its in-memory
-        result)."""
+        result).  Raises ``ValueError`` on a key that collides with
+        the hit-sidecar namespace."""
+        self._check_key(key)
         if not self.enabled:
             return False
         document = canonical_json(

@@ -8,6 +8,7 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -16,7 +17,12 @@ import pytest
 from repro.hsd.records import BranchProfile, HotSpotRecord
 from repro.hsd.serialize import make_provenance, records_to_dict
 from repro.obs.render import stage_table
-from repro.server import DaemonClient, ServerConfig, start_daemon_thread
+from repro.server import (
+    DaemonClient,
+    ProfileDaemon,
+    ServerConfig,
+    start_daemon_thread,
+)
 from repro.service import (
     ArtifactStore,
     ClientRun,
@@ -235,6 +241,8 @@ class TestArtifactsAndRepack:
     def test_artifact_miss_is_404(self, served):
         client, _, _ = served
         assert client.artifact("0" * 40)[0] == 404
+        # A key aimed at the hit-sidecar namespace is a plain miss.
+        assert client.artifact("0" * 40 + ".hits")[0] == 404
 
     def test_dashboard_renders_fleet_and_repack(self, served):
         client, _, repack = served
@@ -251,6 +259,139 @@ class TestArtifactsAndRepack:
         assert body["server"]["requests"] > 0
         assert any(key.startswith("server.requests")
                    for key in body["metrics"]["counters"])
+
+
+class TestWireHardening:
+    def raw(self, port, payload):
+        """One raw exchange; reads until the server closes."""
+        sock = socket.create_connection(("127.0.0.1", port), 5)
+        try:
+            sock.settimeout(5)
+            sock.sendall(payload)
+            response = b""
+            while chunk := sock.recv(4096):
+                response += chunk
+        finally:
+            sock.close()
+        return response
+
+    def test_duplicate_content_length_is_rejected(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            response = self.raw(handle.port, (
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 0\r\nContent-Length: 5\r\n\r\n"
+            ))
+        assert b"HTTP/1.1 400" in response
+        assert b"duplicate content-length" in response
+
+    def test_repeated_benign_headers_list_combine(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            response = self.raw(handle.port, (
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                b"Accept: application/json\r\nAccept: text/html\r\n"
+                b"Connection: close\r\n\r\n"
+            ))
+        assert b"HTTP/1.1 200" in response
+
+    def test_handler_crash_closes_the_keep_alive_connection(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.server import routes
+
+        async def boom(daemon, request):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setitem(routes._EXACT, ("POST", "/boom"), boom)
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            body = b'{"unread": "body"}'
+            response = self.raw(handle.port, (
+                b"POST /boom HTTP/1.1\r\nHost: x\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            ))
+        # Exactly one response: the 500 must close the connection
+        # instead of letting the unread body desynchronize keep-alive
+        # framing into a spurious second (400) response.
+        assert b"HTTP/1.1 500" in response
+        assert response.count(b"HTTP/1.1") == 1
+        assert b"Connection: close" in response
+
+
+class TestAggregatorLocking:
+    def test_checkpoint_serializes_state_under_the_lock(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        daemon = ProfileDaemon(daemon_config(), store=store)
+        assert daemon.aggregator.ingest_text(doc_text(0))
+        locked_during = []
+        original = daemon.aggregator.to_state
+
+        def spy():
+            locked_during.append(daemon.agg_lock.locked())
+            return original()
+
+        daemon.aggregator.to_state = spy
+        assert daemon.checkpoint()
+        assert locked_during == [True]
+
+    def test_snapshot_helper_holds_the_lock(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        daemon = ProfileDaemon(daemon_config(), store=store)
+        assert daemon.aggregator.ingest_text(doc_text(0))
+        locked_during = []
+        original = daemon.aggregator.snapshot
+
+        def spy():
+            locked_during.append(daemon.agg_lock.locked())
+            return original()
+
+        daemon.aggregator.snapshot = spy
+        daemon.snapshot()
+        assert locked_during == [True]
+
+    def test_concurrent_ingest_and_snapshot_never_500(self, tmp_path):
+        """Uploads racing snapshots/checkpoints must never tear state.
+
+        Unsynchronized, the worker-thread ``to_state()``/``snapshot()``
+        iterations race event-loop ingest mutations into
+        ``RuntimeError: dictionary changed size during iteration``
+        (surfacing as 500s) — the lock makes this deterministic."""
+        store = ArtifactStore(str(tmp_path / "store"))
+        texts = [doc_text(i) for i in range(240)]
+        failures = []
+        done = threading.Event()
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+
+            def post():
+                try:
+                    with DaemonClient.for_daemon(handle) as client:
+                        for start in range(0, len(texts), 8):
+                            status, _ = client.post_profiles(
+                                texts[start:start + 8]
+                            )
+                            if status != 200:
+                                failures.append(("post", status))
+                finally:
+                    done.set()
+
+            def snap():
+                with DaemonClient.for_daemon(handle) as client:
+                    while not done.is_set():
+                        status, _ = client.snapshot()
+                        if status not in (200, 404):
+                            failures.append(("snapshot", status))
+
+            threads = [threading.Thread(target=post)] + [
+                threading.Thread(target=snap) for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(thread.is_alive() for thread in threads)
+        assert failures == []
 
 
 class TestStoreGC:
@@ -296,6 +437,21 @@ class TestStoreGC:
         assert sorted(evicted) == ["key-1", "key-2"]
         # Still over the (zero) cap because of the pin — by design.
         assert store.get("key-0") is not None
+
+    def test_hits_suffixed_keys_cannot_alias_sidecars(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.put("k", {"v": 1})
+        assert store.get("k") is not None  # writes the read stamp
+        with pytest.raises(ValueError):
+            store.put("k.hits", {"evil": True})
+        with pytest.raises(ValueError):
+            store.pin("k.hits")
+        # Reading the colliding key is a plain miss and must not
+        # corrupt-delete k's sidecar.
+        assert store.get("k.hits") is None
+        stamp = json.loads(Path(store.sidecar_of("k")).read_text())
+        assert stamp["hit_count"] == 1
+        assert [entry.key for entry in store.entries()] == ["k"]
 
     def test_evict_on_disabled_store_is_a_noop(self):
         store = ArtifactStore("off")
