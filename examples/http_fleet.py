@@ -2,9 +2,10 @@
 """A fleet talking to the profile daemon over HTTP.
 
 The deployment shape of the fleet service: a long-running daemon
-(`repro server`) holds one checkpointed streaming aggregator and one
-artifact store, while client machines POST their profile documents to
-it over plain HTTP.  This example runs the whole loop in one process:
+(`repro server`) holds one checkpointed streaming aggregator per
+tenant (one tenant per benchmark) and one shared artifact store,
+while client machines POST their profile documents to it over plain
+HTTP.  This example runs the whole loop in one process:
 
 1. simulate a 12-client fleet of the same binary (batched engine),
    persisting one provenance-stamped profile document per client;
@@ -17,7 +18,11 @@ it over plain HTTP.  This example runs the whole loop in one process:
 5. stop the daemon gracefully (drain, final checkpoint) and restart
    it against the same store: it resumes from the checkpoint, and
    replaying every upload folds nothing — at-least-once clients
-   cannot double-count.
+   cannot double-count;
+6. run a second fleet for a *different* benchmark against the same
+   daemon: documents stamped with `meta.benchmark` are routed to
+   that tenant's aggregator, and each tenant repacks its own
+   benchmark independently.
 
 Run:  python examples/http_fleet.py
 """
@@ -30,26 +35,46 @@ from repro.service import ArtifactStore, simulate_fleet
 from repro.server import DaemonClient, ServerConfig, start_daemon_thread
 
 BENCH, INPUT, SCALE = "181.mcf", "A", 0.2
+OTHER_BENCH, OTHER_INPUT = "099.go", "A"
 
 
-def upload(client: DaemonClient, texts) -> dict:
-    status, body = client.post_profiles(texts)
-    print(f"  POST /profiles -> {status}: folded={body['folded']} "
-          f"duplicates={body['duplicates']} "
+def read_fleet(work: Path, bench: str, input_name: str, runs: int,
+               base_seed: int) -> list:
+    profiles = work / f"profiles-{bench}"
+    simulate_fleet(bench, input_name, runs=runs, out_dir=profiles,
+                   base_seed=base_seed, epochs=3, scale=SCALE)
+    return [path.read_text() for path in sorted(profiles.glob("*.json"))]
+
+
+def stamp(texts, bench: str) -> list:
+    """Stamp each document with the tenant it belongs to.
+
+    The flat POST /profiles endpoint demultiplexes per line by
+    `meta.benchmark`; unstamped lines fold into the default tenant.
+    """
+    out = []
+    for text in texts:
+        doc = json.loads(text)
+        doc.setdefault("meta", {})["benchmark"] = bench
+        out.append(json.dumps(doc))
+    return out
+
+
+def upload(tenant, texts) -> dict:
+    status, body = tenant.upload(texts)
+    print(f"  POST {tenant.path('profiles')} -> {status}: "
+          f"folded={body['folded']} duplicates={body['duplicates']} "
           f"rejected={len(body['rejected'])}")
     return body
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as work:
-        profiles = Path(work) / "profiles"
+        work = Path(work)
         print("simulating 12 clients (batched engine) ...")
-        simulate_fleet(BENCH, INPUT, runs=12, out_dir=profiles,
-                       base_seed=7, epochs=3, scale=SCALE)
-        texts = [path.read_text()
-                 for path in sorted(profiles.glob("*.json"))]
+        texts = read_fleet(work, BENCH, INPUT, runs=12, base_seed=7)
 
-        store = ArtifactStore(Path(work) / "store")
+        store = ArtifactStore(work / "store")
         config = ServerConfig(benchmark=BENCH, input_name=INPUT,
                               port=0, scale=SCALE, jobs=2,
                               gc_max_bytes=50_000_000)
@@ -57,15 +82,16 @@ def main() -> None:
         print("\nfirst daemon lifetime:")
         with start_daemon_thread(config, store=store) as handle:
             with DaemonClient.for_daemon(handle) as client:
-                upload(client, texts)
-                upload(client, ["{not json", json.dumps({"bad": 1})])
+                flat = client.tenant()  # the default tenant's flat routes
+                upload(flat, texts)
+                upload(flat, ["{not json", json.dumps({"bad": 1})])
 
                 status, health = client.healthz()
                 print(f"  GET /healthz -> {status}: "
                       f"documents={health['documents']} "
                       f"quarantined={health['quarantined']}")
 
-                status, repack = client.repack()
+                status, repack = flat.repack()
                 report = repack["report"]
                 print(f"  POST /repack -> {status}: "
                       f"{len(report['merge']['phases'])} merged phase(s), "
@@ -86,10 +112,41 @@ def main() -> None:
                 print(f"  GET /healthz -> {status}: "
                       f"checkpoint={health['checkpoint']} "
                       f"documents={health['documents']}")
-                body = upload(client, texts)  # replay: all duplicates
+                flat = client.tenant()
+                body = upload(flat, texts)  # replay: all duplicates
                 assert body["folded"] == 0, "replayed upload must dedup"
+
+                # A second fleet, different benchmark, same daemon:
+                # stamped documents route to their own tenant.
+                print(f"\n  second fleet ({OTHER_BENCH}/{OTHER_INPUT}) "
+                      "through the same daemon:")
+                other_texts = stamp(
+                    read_fleet(work, OTHER_BENCH, OTHER_INPUT,
+                               runs=6, base_seed=23),
+                    f"{OTHER_BENCH}/{OTHER_INPUT}")
+                body = upload(flat, other_texts)
+                assert body["tenants"] == {
+                    f"{OTHER_BENCH}/{OTHER_INPUT}": 6}, body["tenants"]
+
+                status, index = client.tenants()
+                print(f"  GET /tenants -> {status}: "
+                      f"{sorted(index['tenants'])}")
+
+                scoped = client.tenant(f"{OTHER_BENCH}/{OTHER_INPUT}")
+                status, snap = scoped.snapshot()
+                print(f"  GET {scoped.path('snapshot')} -> {status}: "
+                      f"{len(snap['fleet']['phases'])} phase(s), "
+                      f"digest {snap['digest'][:16]}...")
+
+                status, repack = scoped.repack()
+                print(f"  POST {scoped.path('repack')} -> {status}: "
+                      f"packed {repack['report']['benchmark']} with "
+                      f"{len(repack['artifacts'])} artifact(s)")
+                assert (repack["report"]["benchmark"]
+                        == f"{OTHER_BENCH}/{OTHER_INPUT}")
         print("\nthe restart resumed from the checkpoint; replaying the "
-              "fleet's uploads folded nothing.")
+              "fleet's uploads folded nothing, and the second benchmark "
+              "aggregated in its own tenant.")
 
 
 if __name__ == "__main__":

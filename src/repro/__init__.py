@@ -39,6 +39,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ObsConfig",
     "PipelineConfig",
+    "ServerConfig",
     "VacuumPacker",
     "load_benchmark",
     "pack",
@@ -47,7 +48,8 @@ __all__ = [
 ]
 
 #: repro.api names re-exported at the top level, lazily.
-_API_NAMES = ("ObsConfig", "PipelineConfig", "pack", "profile")
+_API_NAMES = ("ObsConfig", "PipelineConfig", "ServerConfig", "pack",
+              "profile")
 
 
 def __getattr__(name):

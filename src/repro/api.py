@@ -21,6 +21,12 @@ declarative, JSON-round-trippable document, and the module-level
 that every CLI subcommand accepts; ``to_dict`` round-trips exactly, so
 a config can be captured from code, committed, and replayed.
 
+:class:`ServerConfig` gives the long-running profile daemon
+(:mod:`repro.server`) the same treatment: one frozen, strictly-parsed
+document for everything that parameterizes a daemon — bind address,
+default benchmark, checkpoint tag, GC budget, the embedded pipeline
+document — powering ``repro server --config server.json``.
+
 The old scattered-kwarg spelling (``VacuumPacker(classic=True, ...)``)
 still works through a shim that emits a ``DeprecationWarning``; no
 in-repo caller uses it outside the shim's own tests, and CI asserts
@@ -167,6 +173,123 @@ class PipelineConfig:
         return VacuumPacker(self)
 
 
+SERVER_CONFIG_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything that parameterizes one profile daemon.
+
+    The daemon (:class:`repro.server.ProfileDaemon`) is multi-tenant:
+    one process serves many binaries, each behind its own aggregator
+    and checkpoint slot, over one shared artifact store.  ``benchmark``
+    and ``input_name`` name the *default tenant* — the one the PR-9
+    flat routes alias and the one unstamped uploads fold into.
+
+    Like :class:`PipelineConfig`, the document round-trips exactly
+    through :meth:`to_dict` / :meth:`from_dict`, and unknown keys — at
+    the top level or inside the embedded ``pipeline`` section — raise
+    ``ValueError`` instead of being silently dropped.  This powers
+    ``repro server --config server.json``.
+    """
+
+    #: Benchmark binary of the default tenant (``NAME`` + input).
+    benchmark: str
+    input_name: str = "A"
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (read it back from
+    #: :attr:`repro.server.ProfileDaemon.port` or the printed banner).
+    port: int = 0
+    scale: Optional[float] = None
+    #: Merged phases per farm shard on ``/repack``.
+    shard_size: int = 1
+    jobs: Optional[int] = None
+    #: Full pipeline-config document for the packer (``None`` =
+    #: defaults), exactly as :class:`~repro.service.farm.FarmConfig`
+    #: takes it.
+    pipeline: Optional[Dict] = None
+    #: Checkpoint-slot identity: one daemon tag = one resumable state.
+    #: The default tenant checkpoints under the tag itself (so a
+    #: single-tenant PR-9 checkpoint restores as the default tenant);
+    #: tenant ``T`` checkpoints under ``tag:T``.
+    tag: str = "server"
+    #: Artifact-store byte cap enforced by the periodic GC sweep
+    #: (``None`` = GC off).  The budget is shared by every tenant;
+    #: only pinned slots (each tenant's checkpoint, the tenant
+    #: directory) are exempt from eviction.
+    gc_max_bytes: Optional[int] = None
+    #: Seconds between GC sweeps.
+    gc_interval: float = 30.0
+    #: Optional directory of profile documents preloaded (and dedup'd)
+    #: into the aggregators on boot — the ``repro serve --listen``
+    #: migration path.  Documents route by their ``meta.benchmark``
+    #: stamp exactly like uploads.
+    profiles_dir: Optional[str] = None
+    #: Seconds shutdown waits for in-flight requests to drain.
+    drain_timeout: float = 5.0
+    #: Artifact store root (``None`` = REPRO_ARTIFACT_STORE or the
+    #: user cache default; ``"off"`` disables persistence).
+    store: Optional[str] = None
+
+    @property
+    def default_tenant(self) -> str:
+        """Tenant name the flat (PR-9) routes alias."""
+        return f"{self.benchmark}/{self.input_name}"
+
+    # -- serialization -----------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-able document; ``from_dict`` round-trips it exactly."""
+        payload = dataclasses.asdict(self)
+        payload["version"] = SERVER_CONFIG_VERSION
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ServerConfig":
+        """Build a config from a (possibly partial) document.
+
+        Missing keys take their defaults; unknown keys raise
+        ``ValueError``.  A non-``None`` ``pipeline`` section is
+        validated by parsing it as a :class:`PipelineConfig` document
+        (then stored back as its full ``to_dict`` form, so partial
+        pipeline sections normalize).
+        """
+        payload = dict(payload)
+        version = payload.pop("version", SERVER_CONFIG_VERSION)
+        if version != SERVER_CONFIG_VERSION:
+            raise ValueError(
+                f"unsupported server config version {version!r} "
+                f"(this build reads version {SERVER_CONFIG_VERSION})"
+            )
+        pipeline = payload.pop("pipeline", None)
+        if pipeline is not None:
+            if not isinstance(pipeline, dict):
+                raise ValueError(
+                    "server config: 'pipeline' must be a PipelineConfig "
+                    f"document (JSON object), got {type(pipeline).__name__}"
+                )
+            try:
+                pipeline = PipelineConfig.from_dict(pipeline).to_dict()
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"server config: bad 'pipeline' section: {exc}"
+                ) from exc
+        if "benchmark" not in payload:
+            raise ValueError(
+                "server config: missing required key 'benchmark'"
+            )
+        config = _from_mapping(cls, payload, "server config")
+        return dataclasses.replace(config, pipeline=pipeline)
+
+    @classmethod
+    def load(cls, path: str) -> "ServerConfig":
+        """Read a ``server.json`` document (the ``--config`` flag)."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def replace(self, **changes) -> "ServerConfig":
+        return dataclasses.replace(self, **changes)
+
+
 #: Maps the legacy ``VacuumPacker`` keyword names onto config fields.
 LEGACY_KWARGS = {
     "hsd_config": "hsd",
@@ -277,6 +400,8 @@ __all__ = [
     "LEGACY_KWARGS",
     "ObsConfig",
     "PipelineConfig",
+    "SERVER_CONFIG_VERSION",
+    "ServerConfig",
     "config_from_legacy",
     "pack",
     "profile",

@@ -19,7 +19,10 @@ engine regressions are caught by number, not anecdote:
 * ``agg_scale`` — streaming vs from-scratch aggregation at fleet
   scale (the incremental aggregator's speedup target);
 * ``http_ingest`` — daemon NDJSON ingest over localhost vs direct
-  ``ingest_paths``, docs/sec and overhead ratio.
+  ``ingest_paths``, docs/sec and overhead ratio;
+* ``http_concurrency`` — the multi-tenant daemon under N uploader
+  threads × 3 interleaved tenants: docs/sec per axis point, with
+  per-tenant wire digests checked against local streaming merges.
 
 Results are written to ``BENCH_<date>.json``; ``--check BASELINE``
 compares against a committed baseline and fails on a >25% regression
@@ -517,9 +520,10 @@ def _bench_http_ingest(quick: bool) -> Dict[str, object]:
         )
         try:
             with DaemonClient.for_daemon(handle) as client:
+                flat = client.tenant()
                 http_started = time.perf_counter()
                 for start in range(0, docs, HTTP_INGEST_BATCH):
-                    status, _ = client.post_profiles(
+                    status, _ = flat.upload(
                         texts[start:start + HTTP_INGEST_BATCH]
                     )
                     if status != 200:
@@ -527,7 +531,7 @@ def _bench_http_ingest(quick: bool) -> Dict[str, object]:
                             f"http_ingest: POST /profiles -> {status}"
                         )
                 http_seconds = time.perf_counter() - http_started
-                _, snap = client.snapshot()
+                _, snap = flat.snapshot()
         finally:
             handle.stop()
 
@@ -545,6 +549,163 @@ def _bench_http_ingest(quick: bool) -> Dict[str, object]:
             direct_rate / http_rate, 2
         ) if http_rate else 0.0,
         "equivalent": snap["digest"] == direct_digest,
+    }
+
+
+def _bench_http_concurrency(quick: bool) -> Dict[str, object]:
+    """Multi-tenant daemon under N uploader threads × T tenants.
+
+    Seeds a real fleet (:data:`BENCH_WORKLOAD`), synthesizes a
+    per-tenant document set for three tenants (the daemon's default
+    plus two others), stamps each document's ``meta.benchmark``, and
+    interleaves them round-robin.  For each point on the N-uploader
+    axis a fresh daemon ingests the full interleaved set through the
+    flat ``POST /profiles`` demultiplexer, split across N concurrent
+    client threads.  Reports docs/sec per axis point and
+    ``equivalent`` — every tenant's wire snapshot digest must equal a
+    local per-tenant streaming merge (concurrency adds throughput,
+    never cross-tenant bleed).
+    """
+    import threading
+
+    from repro.hsd.records import BranchProfile, HotSpotRecord
+    from repro.hsd.serialize import make_provenance, records_to_dict
+    from repro.server import DaemonClient, ServerConfig, start_daemon_thread
+    from repro.service import ArtifactStore, IncrementalAggregator
+    from repro.service.aggregate import ingest_paths
+    from repro.service.clients import simulate_fleet
+
+    benchmark, input_name = BENCH_WORKLOAD
+    started = time.perf_counter()
+    docs_per_tenant = 24 if quick else 64
+    uploaders_axis = (1, 4) if quick else (1, 4, 8)
+    tenants = (f"{benchmark}/{input_name}", "fleet.alpha/A",
+               "fleet.beta/B")
+
+    with tempfile.TemporaryDirectory(prefix="repro-http-conc-") as out_dir:
+        fleet_dir = os.path.join(out_dir, "fleet")
+        simulate_fleet(
+            benchmark, input_name, runs=8, out_dir=fleet_dir, epochs=4
+        )
+        base_runs = ingest_paths(
+            sorted(os.path.join(fleet_dir, p) for p in os.listdir(fleet_dir))
+        ).runs
+        if not base_runs:
+            raise RuntimeError(
+                "http_concurrency: fleet simulation produced no profiles"
+            )
+
+        per_tenant: Dict[str, List[str]] = {}
+        for t_index, tenant in enumerate(tenants):
+            texts = []
+            for j in range(docs_per_tenant):
+                base = base_runs[(j + t_index) % len(base_runs)]
+                factor = 1.0 + 0.2 * ((j + 3 * t_index) % 9)
+                records = []
+                for record in base.records:
+                    branches = {}
+                    for address, profile in record.branches.items():
+                        executed = int(profile.executed * factor)
+                        branches[address] = BranchProfile(
+                            address, executed,
+                            min(int(profile.taken * factor), executed),
+                        )
+                    records.append(HotSpotRecord(
+                        index=record.index,
+                        detected_at_branch=record.detected_at_branch,
+                        branches=branches,
+                    ))
+                meta = {
+                    "benchmark": tenant,
+                    "provenance": make_provenance(
+                        f"{tenant}#conc-{j:06d}", seed=j, epoch=j % 4
+                    ),
+                }
+                texts.append(json.dumps(records_to_dict(records, meta),
+                                        sort_keys=True))
+            per_tenant[tenant] = texts
+
+        # Local per-tenant streaming merges: the equivalence oracle.
+        local_digests = {}
+        for tenant, texts in per_tenant.items():
+            local = IncrementalAggregator()
+            for text in texts:
+                if not local.ingest_text(text):
+                    raise RuntimeError(
+                        "http_concurrency: local fold rejected a document"
+                    )
+            local_digests[tenant] = local.snapshot().digest()
+
+        interleaved = []
+        for j in range(docs_per_tenant):
+            for tenant in tenants:
+                interleaved.append(per_tenant[tenant][j])
+        total_docs = len(interleaved)
+
+        axis = []
+        equivalent = True
+        for uploaders in uploaders_axis:
+            handle = start_daemon_thread(
+                ServerConfig(benchmark=benchmark, input_name=input_name,
+                             port=0, tag="bench"),
+                store=ArtifactStore("off"),
+            )
+            failures: List[str] = []
+
+            def upload(shard: List[str]) -> None:
+                try:
+                    with DaemonClient.for_daemon(handle) as client:
+                        flat = client.tenant()
+                        for start in range(0, len(shard),
+                                           HTTP_INGEST_BATCH):
+                            status, _ = flat.upload(
+                                shard[start:start + HTTP_INGEST_BATCH]
+                            )
+                            if status != 200:
+                                failures.append(f"POST -> {status}")
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    failures.append(repr(exc))
+
+            shards = [interleaved[k::uploaders] for k in range(uploaders)]
+            threads = [
+                threading.Thread(target=upload, args=(shard,))
+                for shard in shards
+            ]
+            try:
+                point_started = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                point_seconds = time.perf_counter() - point_started
+                if failures:
+                    raise RuntimeError(
+                        f"http_concurrency: {failures[0]}"
+                    )
+                with DaemonClient.for_daemon(handle) as client:
+                    for tenant in tenants:
+                        _, snap = client.tenant(tenant).snapshot()
+                        if snap.get("digest") != local_digests[tenant]:
+                            equivalent = False
+            finally:
+                handle.stop()
+            axis.append({
+                "uploaders": uploaders,
+                "seconds": round(point_seconds, 6),
+                "docs_per_second": round(
+                    total_docs / point_seconds, 1
+                ) if point_seconds else 0.0,
+            })
+
+    return {
+        "seconds": time.perf_counter() - started,
+        "tenants": len(tenants),
+        "documents_per_tenant": docs_per_tenant,
+        "documents": total_docs,
+        "batch_size": HTTP_INGEST_BATCH,
+        "axis": axis,
+        "docs_per_second": max(p["docs_per_second"] for p in axis),
+        "equivalent": equivalent,
     }
 
 
@@ -567,6 +728,7 @@ def bench_suite(quick: bool) -> Dict[str, Callable[[], Dict[str, object]]]:
         "batched_grid": lambda: _bench_batched_grid(quick),
         "agg_scale": lambda: _bench_agg_scale(quick),
         "http_ingest": lambda: _bench_http_ingest(quick),
+        "http_concurrency": lambda: _bench_http_concurrency(quick),
     }
 
 
@@ -660,6 +822,12 @@ def render_report(report: Dict[str, object]) -> str:
                     f"equivalent={shape['equivalent']}"
                 )
             lines.append(line)
+        for point in result.get("axis", ()):
+            lines.append(
+                f"    uploaders={point['uploaders']:3d}  "
+                f"{point['seconds']:8.3f}s  "
+                f"docs/s={point['docs_per_second']:,.1f}"
+            )
     return "\n".join(lines)
 
 

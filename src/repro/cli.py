@@ -283,35 +283,85 @@ def _parse_listen(spec: str) -> tuple:
     return host, port
 
 
-def _cmd_server(args: argparse.Namespace) -> int:
-    from repro.service import ArtifactStore, default_store
-    from repro.server import ProfileDaemon, ServerConfig
+def _server_config_from_args(args: argparse.Namespace):
+    """The daemon's ServerConfig: ``--config server.json`` + overrides.
 
-    benchmark, input_name = _parse_bench_spec(args.bench)
-    host, port = _parse_listen(args.listen)
-    pipeline = _base_config(args)
-    if args.classic:
-        pipeline = pipeline.replace(classic=True)
+    ``repro server --config`` takes a :class:`repro.api.ServerConfig`
+    document (not a pipeline document — the pipeline section nests
+    inside it); explicit flags override file values.  The forwarding
+    path (``repro serve --listen``) has no server document and keeps
+    its pipeline ``--config`` semantics.
+    """
+    from repro.api import PipelineConfig, ServerConfig
+
+    base = None
+    if args.command == "server" and getattr(args, "config", None):
+        try:
+            base = ServerConfig.load(args.config)
+        except OSError as exc:
+            raise SystemExit(
+                f"repro: cannot read --config {args.config}: {exc}"
+            )
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"repro: bad --config {args.config}: {exc}")
+
+    bench = getattr(args, "bench", None)
+    if base is None and not bench:
+        raise SystemExit(
+            "repro server: --bench NAME/INPUT or --config SERVER.json "
+            "is required"
+        )
+
+    changes = {}
+    if bench:
+        benchmark, input_name = _parse_bench_spec(bench)
+        changes["benchmark"] = benchmark
+        changes["input_name"] = input_name
+    listen = getattr(args, "listen", None)
+    if listen:
+        changes["host"], changes["port"] = _parse_listen(listen)
+    elif base is None:
+        changes["host"], changes["port"] = "127.0.0.1", 8080
+    for attr, key in (
+        ("scale", "scale"),
+        ("jobs", "jobs"),
+        ("shard_size", "shard_size"),
+        ("profiles", "profiles_dir"),
+        ("gc_max_bytes", "gc_max_bytes"),
+        ("gc_interval", "gc_interval"),
+        ("checkpoint_tag", "tag"),
+        ("store", "store"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            changes[key] = value
+
     # The daemon's ingest is always the streaming aggregator — that is
     # the point of a daemon; --aggregator batch only affects one-shot
     # serve.  Knobs absent from the serve parser fall back to daemon
     # defaults, so both entry points build the same config.
-    config = ServerConfig(
-        benchmark=benchmark,
-        input_name=input_name,
-        host=host,
-        port=port,
-        scale=args.scale,
-        shard_size=args.shard_size,
-        jobs=args.jobs,
-        pipeline=pipeline.to_dict(),
-        tag=getattr(args, "checkpoint_tag", "server"),
-        gc_max_bytes=getattr(args, "gc_max_bytes", None),
-        gc_interval=getattr(args, "gc_interval", 30.0),
-        profiles_dir=getattr(args, "profiles", None),
-    )
-    store = ArtifactStore(args.store) if args.store else default_store()
-    return ProfileDaemon(config, store=store).run()
+    pipeline = getattr(args, "pipeline", None)
+    if pipeline is None and base is not None and base.pipeline is not None:
+        pipeline = PipelineConfig.from_dict(base.pipeline)
+    pipeline = pipeline or PipelineConfig()
+    if getattr(args, "classic", False):
+        pipeline = pipeline.replace(classic=True)
+    changes["pipeline"] = pipeline.to_dict()
+
+    if base is None:
+        base = ServerConfig(
+            benchmark=changes.pop("benchmark"),
+            input_name=changes.pop("input_name"),
+        )
+    return base.replace(**changes)
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    from repro.server import ProfileDaemon
+
+    config = _server_config_from_args(args)
+    # The daemon resolves the artifact store from config.store.
+    return ProfileDaemon(config).run()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -784,25 +834,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     server = sub.add_parser(
         "server",
-        help="long-running HTTP profile daemon: streaming NDJSON "
-             "ingest, /snapshot, /repack, /artifacts, dashboard, "
-             "store GC",
-        parents=_parents("config", "scale", "jobs", "engine",
-                         "aggregator", "fleet"),
+        help="long-running multi-tenant HTTP profile daemon: "
+             "streaming NDJSON ingest routed per meta.benchmark, "
+             "/tenants/<name>/{profiles,snapshot,repack}, /artifacts, "
+             "dashboards, store GC",
+        parents=_parents("scale", "jobs", "engine", "aggregator"),
     )
-    server.add_argument("--listen", default="127.0.0.1:8080",
+    server.add_argument("--config", metavar="SERVER.json", default=None,
+                        help="ServerConfig document (repro.api."
+                             "ServerConfig.to_dict); explicit flags "
+                             "override file values")
+    server.add_argument("--bench", metavar="NAME/INPUT", default=None,
+                        help="default tenant's benchmark binary "
+                             "(required unless --config provides it)")
+    server.add_argument("--classic", action="store_true",
+                        help="also apply the classic clean-up passes")
+    server.add_argument("--shard-size", type=int, default=None,
+                        help="merged phases per farm shard (default 1)")
+    server.add_argument("--store", default=None,
+                        help="artifact store root (default "
+                             "REPRO_ARTIFACT_STORE or "
+                             "~/.cache/repro/artifacts; 'off' disables)")
+    server.add_argument("--listen", default=None,
                         metavar="HOST:PORT",
                         help="bind address (port 0 = ephemeral; "
                              "default 127.0.0.1:8080)")
     server.add_argument("--profiles", default=None,
                         help="directory of profile documents preloaded "
-                             "into the aggregator on boot")
+                             "(routed per meta.benchmark) on boot")
     server.add_argument("--gc-max-bytes", type=int, default=None,
                         help="artifact-store byte cap enforced by "
                              "periodic LRU eviction (default: GC off)")
-    server.add_argument("--gc-interval", type=float, default=30.0,
+    server.add_argument("--gc-interval", type=float, default=None,
                         help="seconds between GC sweeps (default 30)")
-    server.add_argument("--checkpoint-tag", default="server",
+    server.add_argument("--checkpoint-tag", default=None, dest="checkpoint_tag",
                         help="aggregator checkpoint slot identity "
                              "(default 'server'); daemons sharing a "
                              "store and tag resume each other's state")
@@ -931,7 +996,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         import os
 
         os.environ["REPRO_ENGINE"] = args.engine
-    args.pipeline = _load_pipeline_config(getattr(args, "config", None))
+    # `repro server --config` is a ServerConfig document, parsed by the
+    # command itself; everywhere else --config is a pipeline document.
+    if getattr(args, "command", None) == "server":
+        args.pipeline = None
+    else:
+        args.pipeline = _load_pipeline_config(getattr(args, "config", None))
     if args.pipeline is not None and args.pipeline.obs.trace:
         from repro.api import _traced
 

@@ -2,20 +2,35 @@
 
 The long-running counterpart of the one-shot ``repro serve`` request
 (the BOLT deployment loop): a stdlib/asyncio daemon that accepts
-streaming NDJSON profile uploads into a checkpointed
-:class:`~repro.service.aggregate.IncrementalAggregator`, serves
-content-addressed packing artifacts and merged snapshots back, re-packs
-on demand through the sharded farm, keeps the artifact store bounded
-with LRU GC, and shuts down gracefully (drain → final checkpoint).
+streaming NDJSON profile uploads into checkpointed per-tenant
+:class:`~repro.service.aggregate.IncrementalAggregator` instances —
+one tenant per ``meta.benchmark`` value, lazily created by the
+:class:`~repro.server.app.TenantRegistry` — serves content-addressed
+packing artifacts and per-tenant merged snapshots back, re-packs on
+demand through the sharded farm, keeps the shared artifact store
+bounded with LRU GC under one global byte budget (every tenant's
+checkpoint slot pinned), and shuts down gracefully (drain → final
+checkpoint per tenant).
 
 Start it with ``repro server --bench NAME/INPUT --listen HOST:PORT``
-(or ``repro serve ... --listen``), or in-process via
+(or ``repro server --config server.json``), or in-process via
 :func:`start_daemon_thread`; drive it with
-:class:`~repro.server.client.DaemonClient`.
+:class:`~repro.server.client.DaemonClient` and its
+:meth:`~repro.server.client.DaemonClient.tenant` handles.
 """
 
-from .app import DaemonHandle, ProfileDaemon, ServerConfig, start_daemon_thread
-from .client import DaemonClient
+from .app import (
+    DaemonHandle,
+    ProfileDaemon,
+    RouteError,
+    ServerConfig,
+    Tenant,
+    TenantRegistry,
+    check_tenant_name,
+    start_daemon_thread,
+    tenant_directory_key,
+)
+from .client import DaemonClient, TenantClient
 from .http import BadRequest, Request, Response
 from .routes import MAX_UPLOAD_BYTES, dispatch
 
@@ -27,7 +42,13 @@ __all__ = [
     "ProfileDaemon",
     "Request",
     "Response",
+    "RouteError",
     "ServerConfig",
+    "Tenant",
+    "TenantClient",
+    "TenantRegistry",
+    "check_tenant_name",
     "dispatch",
     "start_daemon_thread",
+    "tenant_directory_key",
 ]

@@ -1,24 +1,44 @@
-"""The long-running profile daemon: asyncio loop, lifecycle, GC.
+"""The long-running profile daemon: asyncio loop, tenants, lifecycle, GC.
 
 This is the deployment shape of the BOLT data-center loop: clients
 push serialized HSD profile documents over HTTP, the daemon folds each
 one into a checkpointed
 :class:`~repro.service.aggregate.IncrementalAggregator` as it arrives,
 and operators pull merged snapshots, re-packed artifacts, and a
-dashboard back out.  The module splits cleanly:
+dashboard back out.
 
-* :class:`ServerConfig` — everything that parameterizes one daemon;
-* :class:`ProfileDaemon` — the asyncio server plus aggregator/store
-  lifecycle: restore-or-cold-start on boot, checkpoint after every
-  mutating request, periodic artifact-store GC sweeps under
-  ``gc_max_bytes`` (checkpoint slot pinned, so eviction can never eat
-  the daemon's own state), and graceful shutdown — SIGTERM stops the
-  listener, drains in-flight requests, and writes a final checkpoint,
-  so a restarted daemon resumes with no double-counting (replayed
-  uploads dedup by content digest);
+Since PR 10 the daemon is **multi-tenant**: one process collects
+profiles for *many* binaries.  Each distinct ``meta.benchmark`` stamp
+seen in uploads lazily becomes a tenant — its own aggregator, its own
+lock, its own pinned checkpoint slot — while the artifact store and
+the GC byte budget stay shared across tenants.  The module splits
+cleanly:
+
+* :class:`ServerConfig` — everything that parameterizes one daemon
+  (defined in :mod:`repro.api`, re-exported here);
+* :class:`Tenant` / :class:`TenantRegistry` — per-benchmark aggregator
+  state plus the lazy creation, restore, and routing rules;
+* :class:`ProfileDaemon` — the asyncio server plus registry/store
+  lifecycle: restore-or-cold-start every known tenant on boot,
+  checkpoint after every mutating request, periodic artifact-store GC
+  sweeps under ``gc_max_bytes`` (every tenant's checkpoint slot and
+  the tenant directory are pinned, so eviction can never eat daemon
+  state), and graceful shutdown — SIGTERM stops the listener, drains
+  in-flight requests, and writes a final checkpoint per tenant, so a
+  restarted daemon resumes every tenant with no double-counting
+  (replayed uploads dedup by content digest);
 * :func:`start_daemon_thread` — the test/example harness: the same
   daemon on an ephemeral port in a background thread, with a handle
   that stops it synchronously.
+
+The routing rule (documented in ``docs/service.md``): a scoped upload
+(``POST /tenants/<name>/profiles``) pins every line to ``<name>`` and
+quarantines lines stamped for a *different* tenant (stage ``route``);
+a flat upload (``POST /profiles``) demultiplexes per line by the
+``meta.benchmark`` stamp, with unstamped lines folding into the
+default tenant (``config.benchmark/config.input_name``).  Flat
+``/snapshot``, ``/repack``, and the per-tenant dashboard alias the
+default tenant, so every PR-9 caller keeps working unchanged.
 
 Request routing lives in :mod:`repro.server.routes`; the HTTP wire
 plumbing in :mod:`repro.server.http`.
@@ -27,14 +47,19 @@ plumbing in :mod:`repro.server.http`.
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
 import logging
+import re
 import signal
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.api import ServerConfig
+from repro.errors import ServiceError
 from repro.obs import inc, set_gauge
 from repro.service import (
     ArtifactStore,
@@ -44,48 +69,245 @@ from repro.service import (
     checkpoint_key,
     default_store,
 )
+from repro.service.aggregate import quarantine_profile
 
 from .http import BadRequest, Response, read_request, write_response
 
 logger = logging.getLogger(__name__)
 
+#: Version stamp of the tenant-directory slot payload.
+TENANT_DIRECTORY_VERSION = 1
 
-@dataclass(frozen=True)
-class ServerConfig:
-    """Everything that parameterizes one profile daemon."""
+#: Path segments a tenant name may not end in — they would collide
+#: with the ``/tenants/<name>/<verb>`` route suffixes.
+RESERVED_SEGMENTS = frozenset({"profiles", "snapshot", "repack", "tenants"})
 
-    #: Benchmark binary ``/repack`` packs against (``NAME`` + input).
-    benchmark: str
-    input_name: str = "A"
-    host: str = "127.0.0.1"
-    #: TCP port; 0 binds an ephemeral port (read it back from
-    #: :attr:`ProfileDaemon.port` or the printed banner).
-    port: int = 0
-    scale: Optional[float] = None
-    #: Merged phases per farm shard on ``/repack``.
-    shard_size: int = 1
-    jobs: Optional[int] = None
-    #: Full pipeline-config document for the packer (``None`` =
-    #: defaults), exactly as :class:`~repro.service.farm.FarmConfig`
-    #: takes it.
-    pipeline: Optional[Dict] = None
-    #: Checkpoint-slot identity: one daemon tag = one resumable state.
-    tag: str = "server"
-    #: Artifact-store byte cap enforced by the periodic GC sweep
-    #: (``None`` = GC off).
-    gc_max_bytes: Optional[int] = None
-    #: Seconds between GC sweeps.
-    gc_interval: float = 30.0
-    #: Optional directory of profile documents preloaded (and dedup'd)
-    #: into the aggregator on boot — the ``repro serve --listen``
-    #: migration path.
-    profiles_dir: Optional[str] = None
-    #: Seconds shutdown waits for in-flight requests to drain.
-    drain_timeout: float = 5.0
+#: Characters a tenant name may use (benchmark specs like
+#: ``181.mcf/A`` route cleanly; no URL escaping is ever needed).
+_TENANT_CHARS = re.compile(r"[A-Za-z0-9._/:+-]+\Z")
+
+_MAX_TENANT_NAME = 120
+
+
+class RouteError(ServiceError):
+    """A profile document that cannot be routed to a tenant.
+
+    Quarantined per line with stage ``route`` — a mis-addressed upload
+    is the sender's error and must never bleed into another tenant's
+    aggregate (nor 500 the daemon).
+    """
+
+    default_hint = (
+        "stamp meta.benchmark with the tenant the document belongs "
+        "to, or upload through that tenant's /tenants/<name>/profiles"
+    )
+
+    def __init__(self, message: str, **kwargs):
+        super().__init__(message, **kwargs)
+        self.stage = "route"
+
+
+def check_tenant_name(name: str) -> Optional[str]:
+    """Why ``name`` cannot name a tenant, or ``None`` if it can."""
+    if not isinstance(name, str) or not name:
+        return "tenant name must be a non-empty string"
+    if len(name) > _MAX_TENANT_NAME:
+        return f"tenant name exceeds {_MAX_TENANT_NAME} characters"
+    if not _TENANT_CHARS.match(name):
+        return ("tenant name may only use letters, digits, and ./:+-_ "
+                f"(got {name!r})")
+    segments = name.split("/")
+    if any(not segment for segment in segments):
+        return f"tenant name has an empty path segment: {name!r}"
+    if segments[-1] in RESERVED_SEGMENTS:
+        return (f"tenant name may not end in a reserved segment "
+                f"({', '.join(sorted(RESERVED_SEGMENTS))}): {name!r}")
+    return None
+
+
+def tenant_directory_key(tag: str) -> str:
+    """Artifact-store slot listing a daemon's known tenants.
+
+    A mutable slot like the checkpoint slots: keyed by daemon tag so a
+    restarted daemon can eagerly restore every tenant it served, not
+    just the ones that happen to receive traffic first.
+    """
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(f"tenant-directory-v{TENANT_DIRECTORY_VERSION};".encode())
+    digest.update(f"tag={tag};".encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class Tenant:
+    """One benchmark's aggregator state inside a multi-tenant daemon."""
+
+    name: str
+    #: Checkpoint tag: the daemon tag itself for the default tenant
+    #: (so PR-9 single-tenant checkpoints restore), ``tag:name`` else.
+    tag: str
+    #: Pinned artifact-store slot this tenant checkpoints into.
+    slot: str
+    aggregator: IncrementalAggregator
+    #: Serializes every touch of :attr:`aggregator`: ingest mutates on
+    #: the event loop while snapshots/checkpoints/dashboard renders
+    #: run in worker threads, and the aggregator has no locking of its
+    #: own.  Held only around in-memory work (fold, serialize,
+    #: materialize), never across disk writes.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    restored: bool = False
+    #: Report dict of this tenant's most recent successful ``/repack``.
+    last_report: Optional[Dict] = None
+
+    def snapshot(self):
+        """Materialize the merged fleet under :attr:`lock`.
+
+        The returned :class:`~repro.service.aggregate.FleetProfile` is
+        built from fresh structures, so callers may use it unlocked.
+        """
+        with self.lock:
+            return self.aggregator.snapshot()
+
+    def checkpoint(self, store: ArtifactStore) -> bool:
+        """Persist the aggregator; never fatal.
+
+        State is serialized under :attr:`lock` so a concurrent ingest
+        cannot tear it; the disk write happens unlocked.
+        """
+        with self.lock:
+            if not self.aggregator.documents:
+                return False
+            state = self.aggregator.to_state()
+        return self.aggregator.save_checkpoint(store, self.tag, state=state)
+
+    def counters(self) -> Dict:
+        """Thread-safe ingest counters for health/metrics/dashboard."""
+        with self.lock:
+            return {
+                "documents": self.aggregator.documents,
+                "duplicates": self.aggregator.duplicates,
+                "quarantined": len(self.aggregator.rejected),
+                "checkpoint": "restored" if self.restored else "cold",
+            }
+
+    def bench_spec(self, config: ServerConfig) -> Tuple[str, str]:
+        """(benchmark, input) this tenant's ``/repack`` packs against.
+
+        The default tenant packs the configured pair; a named tenant's
+        name *is* its benchmark spec (``NAME/INPUT``, or a bare name
+        that borrows the configured input).
+        """
+        if self.name == config.default_tenant:
+            return config.benchmark, config.input_name
+        if "/" in self.name:
+            benchmark, _, input_name = self.name.rpartition("/")
+            return benchmark, input_name
+        return self.name, config.input_name
+
+
+class TenantRegistry:
+    """Lazily-created per-``meta.benchmark`` tenants over one store.
+
+    Creation, restore, and the persisted tenant directory are
+    serialized under one registry lock; each created tenant's
+    checkpoint slot is pinned immediately, so the shared GC budget can
+    never evict live daemon state.  Tenants are never dropped — the
+    registry is append-only for a daemon's lifetime.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        store: ArtifactStore,
+        policy: MergePolicy,
+    ):
+        self.config = config
+        self.store = store
+        self.policy = policy
+        self._lock = threading.RLock()
+        self._tenants: Dict[str, Tenant] = {}
+        self.directory_slot = tenant_directory_key(config.tag)
+        self.store.pin(self.directory_slot)
+        # Read the persisted directory BEFORE any get() — creating a
+        # tenant rewrites the slot from the in-memory registry, so
+        # reading afterwards would see only what was just written.
+        known = self._stored_directory()
+        #: The tenant the flat (PR-9) routes alias.
+        self.default = self.get(config.default_tenant)
+        for name in known:
+            if check_tenant_name(name) is None:
+                self.get(name)
+
+    def _stored_directory(self) -> List[str]:
+        payload = self.store.get(self.directory_slot)
+        if not isinstance(payload, dict):
+            return []
+        if payload.get("version") != TENANT_DIRECTORY_VERSION:
+            return []
+        names = payload.get("tenants")
+        return [n for n in names if isinstance(n, str)] \
+            if isinstance(names, list) else []
+
+    def _save_directory(self) -> None:
+        self.store.put(self.directory_slot, {
+            "kind": "tenant-directory",
+            "version": TENANT_DIRECTORY_VERSION,
+            "tag": self.config.tag,
+            "tenants": sorted(self._tenants),
+        })
+
+    def get(self, name: str) -> Tenant:
+        """The named tenant, created (and checkpoint-restored) lazily.
+
+        Raises :class:`RouteError` for an invalid name — callers turn
+        that into a per-line quarantine or a 400, never a new tenant.
+        """
+        problem = check_tenant_name(name)
+        if problem is not None:
+            raise RouteError(problem)
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is not None:
+                return tenant
+            tag = (self.config.tag if name == self.config.default_tenant
+                   else f"{self.config.tag}:{name}")
+            slot = checkpoint_key(tag, self.policy)
+            # The tenant's state must survive any GC pressure; pin
+            # before the first checkpoint can exist so there is no
+            # window in which a sweep could take the slot.
+            self.store.pin(slot)
+            restored = IncrementalAggregator.restore(
+                self.store, tag, self.policy
+            )
+            tenant = Tenant(
+                name=name,
+                tag=tag,
+                slot=slot,
+                aggregator=restored or IncrementalAggregator(self.policy),
+                restored=restored is not None,
+            )
+            self._tenants[name] = tenant
+            inc("server.tenants.created")
+            self._save_directory()
+            return tenant
+
+    def peek(self, name: str) -> Optional[Tenant]:
+        """The named tenant if it exists; reads never create tenants."""
+        with self._lock:
+            return self._tenants.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def tenants(self) -> List[Tenant]:
+        """All tenants, sorted by name (a stable iteration snapshot)."""
+        with self._lock:
+            return [self._tenants[name] for name in sorted(self._tenants)]
 
 
 class ProfileDaemon:
-    """One long-running profile service over one aggregator + store."""
+    """One long-running profile service over N tenants + one store."""
 
     def __init__(
         self,
@@ -95,45 +317,62 @@ class ProfileDaemon:
         farm_policy: Optional[FarmPolicy] = None,
     ):
         self.config = config
-        self.store = store or default_store()
+        if store is None:
+            store = (ArtifactStore(config.store) if config.store
+                     else default_store())
+        self.store = store
         self.policy = policy or MergePolicy()
         self.farm_policy = farm_policy or FarmPolicy()
-        self.checkpoint_slot = checkpoint_key(config.tag, self.policy)
-        # The daemon's own state must survive any GC pressure.
-        self.store.pin(self.checkpoint_slot)
+        self.registry = TenantRegistry(config, self.store, self.policy)
 
-        restored = IncrementalAggregator.restore(
-            self.store, config.tag, self.policy
-        )
-        self.aggregator = restored or IncrementalAggregator(self.policy)
-        self.restored = restored is not None
         if config.profiles_dir:
-            self.aggregator.ingest_paths(
-                sorted(Path(config.profiles_dir).glob("*.json"))
-            )
-
-        #: Serializes every aggregator touch: ingest mutates on the
-        #: event loop while snapshots/checkpoints/dashboard renders run
-        #: in worker threads, and the aggregator has no locking of its
-        #: own — an unguarded overlap tears ``to_state()`` or raises
-        #: mid-iteration.  Held only around in-memory work (fold,
-        #: serialize, materialize), never across disk writes.
-        self.agg_lock = threading.Lock()
+            for path in sorted(Path(config.profiles_dir).glob("*.json")):
+                try:
+                    text = path.read_text()
+                except OSError as exc:
+                    tenant = self.registry.default
+                    with tenant.lock:
+                        tenant.aggregator.rejected.append(
+                            quarantine_profile(str(path), exc)
+                        )
+                    continue
+                self.route_text(text, name=str(path))
 
         self.started = time.time()
         self.port: Optional[int] = None
         #: Set (thread-safely readable) once the listener is bound.
         self.ready = threading.Event()
-        #: Report dict of the most recent successful ``/repack``.
-        self.last_report: Optional[Dict] = None
         self.requests = 0
         self.gc_sweeps = 0
         self.checkpoints = 0
 
         self._inflight = 0
+        self._writers: set = set()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._repack_lock: Optional[asyncio.Lock] = None
+
+    # -- single-tenant compatibility surface -------------------------
+    # The PR-9 daemon held exactly one aggregator; these properties
+    # keep that shape pointing at the default tenant so existing
+    # callers (tests, tooling poking a live daemon) stay correct.
+
+    @property
+    def aggregator(self) -> IncrementalAggregator:
+        return self.registry.default.aggregator
+
+    @property
+    def agg_lock(self) -> threading.Lock:
+        return self.registry.default.lock
+
+    @property
+    def restored(self) -> bool:
+        """True when any tenant resumed from a checkpoint."""
+        return any(t.restored for t in self.registry.tenants())
+
+    @property
+    def last_report(self) -> Optional[Dict]:
+        return self.registry.default.last_report
 
     # -- state the routes read/write ---------------------------------
 
@@ -147,37 +386,43 @@ class ProfileDaemon:
             "inflight": self._inflight,
             "gc_sweeps": self.gc_sweeps,
             "checkpoints": self.checkpoints,
+            "tenants": len(self.registry.names()),
             "uptime": round(self.uptime, 3),
         }
 
+    def totals(self) -> Dict:
+        """Ingest counters summed over every tenant."""
+        totals = {"documents": 0, "duplicates": 0, "quarantined": 0}
+        for tenant in self.registry.tenants():
+            counters = tenant.counters()
+            for key in totals:
+                totals[key] += counters[key]
+        return totals
+
     def snapshot(self):
-        """Materialize the merged fleet under :attr:`agg_lock`.
+        """The default tenant's merged fleet (PR-9 compatibility)."""
+        return self.registry.default.snapshot()
 
-        The returned :class:`~repro.service.merge.FleetProfile` is
-        built from fresh structures, so callers may use it unlocked.
-        """
-        with self.agg_lock:
-            return self.aggregator.snapshot()
-
-    def checkpoint(self) -> bool:
-        """Persist the aggregator; counted, never fatal.
-
-        State is serialized under :attr:`agg_lock` so a concurrent
-        ingest cannot tear it; the disk write happens unlocked.
-        """
-        with self.agg_lock:
-            if not self.aggregator.documents:
-                return False
-            state = self.aggregator.to_state()
-        saved = self.aggregator.save_checkpoint(
-            self.store, self.config.tag, state=state
-        )
+    def checkpoint_tenant(self, tenant: Tenant) -> bool:
+        saved = tenant.checkpoint(self.store)
         if saved:
             self.checkpoints += 1
         return saved
 
+    def checkpoint(self) -> bool:
+        """Persist every tenant; counted, never fatal."""
+        saved = False
+        for tenant in self.registry.tenants():
+            saved = self.checkpoint_tenant(tenant) or saved
+        return saved
+
     def sweep_store(self) -> int:
-        """One GC pass under the configured byte cap; evicted count."""
+        """One GC pass under the configured byte cap; evicted count.
+
+        The cap is one budget over the whole store — tenants share it,
+        and eviction accounting stays global; only pinned slots (every
+        tenant's checkpoint, the tenant directory) are exempt.
+        """
         if self.config.gc_max_bytes is None:
             return 0
         evicted = self.store.evict(self.config.gc_max_bytes)
@@ -189,6 +434,87 @@ class ProfileDaemon:
             )
         return len(evicted)
 
+    # -- per-line tenant routing -------------------------------------
+
+    def route_text(
+        self,
+        text: str,
+        pinned: Optional[Tenant] = None,
+        name: Optional[str] = None,
+    ) -> Tuple[str, Tenant, Optional[Dict]]:
+        """Route one profile document to its tenant and fold it.
+
+        The routing rule: ``pinned`` (a scoped upload's URL tenant)
+        wins, and a conflicting ``meta.benchmark`` stamp is
+        quarantined into ``pinned`` with stage ``route``; without a
+        pin, the stamp picks (and lazily creates) the tenant and
+        unstamped documents fold into the default tenant.
+
+        Returns ``(disposition, tenant, reject)`` where disposition is
+        ``folded`` | ``duplicate`` | ``rejected`` and ``reject`` (for
+        rejections only) carries the quarantine fields.
+        """
+        parsed: Optional[Dict] = None
+        stamp = None
+        try:
+            loaded = json.loads(text)
+        except ValueError:
+            loaded = None
+        if isinstance(loaded, dict):
+            parsed = loaded
+            meta = loaded.get("meta")
+            if isinstance(meta, dict):
+                stamp = meta.get("benchmark")
+
+        route_error: Optional[RouteError] = None
+        tenant = pinned
+        if stamp is not None:
+            if not isinstance(stamp, str) or check_tenant_name(stamp):
+                route_error = RouteError(
+                    f"unroutable meta.benchmark stamp {stamp!r}"
+                )
+            elif pinned is not None and stamp != pinned.name:
+                route_error = RouteError(
+                    f"document stamped for tenant {stamp!r} uploaded "
+                    f"to tenant {pinned.name!r}"
+                )
+            elif pinned is None:
+                tenant = self.registry.get(stamp)
+        if tenant is None:
+            tenant = self.registry.default
+
+        if route_error is not None:
+            label = name or "<upload:{}>".format(
+                hashlib.blake2b(text.encode(), digest_size=16)
+                .hexdigest()[:12]
+            )
+            reject = quarantine_profile(label, route_error)
+            with tenant.lock:
+                tenant.aggregator.rejected.append(reject)
+            return "rejected", tenant, {
+                "error": reject.error,
+                "stage": reject.stage,
+                "exception_type": reject.exception_type,
+            }
+
+        agg = tenant.aggregator
+        with tenant.lock:
+            before_rejects = len(agg.rejected)
+            before_dupes = agg.duplicates
+            if agg.ingest_text(text, name=name, parsed=parsed):
+                return "folded", tenant, None
+            if agg.duplicates > before_dupes:
+                return "duplicate", tenant, None
+            reject = agg.rejected[-1] if len(agg.rejected) > before_rejects \
+                else None
+        if reject is None:  # pragma: no cover - ingest_text invariant
+            return "duplicate", tenant, None
+        return "rejected", tenant, {
+            "error": reject.error,
+            "stage": reject.stage,
+            "exception_type": reject.exception_type,
+        }
+
     # -- asyncio lifecycle -------------------------------------------
 
     async def _handle_connection(
@@ -198,6 +524,7 @@ class ProfileDaemon:
     ) -> None:
         from .routes import dispatch
 
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -244,6 +571,7 @@ class ProfileDaemon:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # peer went away mid-exchange; nothing to answer
         finally:
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -253,8 +581,8 @@ class ProfileDaemon:
     async def _gc_loop(self) -> None:
         while True:
             await asyncio.sleep(self.config.gc_interval)
-            # Checkpoint first so the slot the sweep must keep is the
-            # *current* state, then shrink under the cap.
+            # Checkpoint first so the slots the sweep must keep hold
+            # the *current* state, then shrink under the cap.
             await asyncio.to_thread(self.checkpoint)
             await asyncio.to_thread(self.sweep_store)
 
@@ -280,11 +608,14 @@ class ProfileDaemon:
             if self.config.gc_max_bytes is not None
             else None
         )
+        tenants = self.registry.tenants()
+        restored = sum(1 for t in tenants if t.restored)
         print(
             f"repro server: listening on "
             f"http://{self.config.host}:{self.port} "
-            f"({self.config.benchmark}/{self.config.input_name}, "
-            f"checkpoint {'restored' if self.restored else 'cold'})",
+            f"(default tenant {self.config.default_tenant}, "
+            f"checkpoint {'restored' if restored else 'cold'} "
+            f"[{restored}/{len(tenants)} tenant(s)])",
             flush=True,
         )
         self.ready.set()
@@ -292,11 +623,18 @@ class ProfileDaemon:
             await self._shutdown.wait()
         finally:
             # Stop accepting, drain what is in flight, then write the
-            # final checkpoint — the order SIGTERM semantics promise.
+            # final checkpoints — the order SIGTERM semantics promise.
             server.close()
             await server.wait_closed()
             deadline = time.monotonic() + self.config.drain_timeout
             while self._inflight and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+            # Idle keep-alive connections are parked in read_request;
+            # close them so their handler tasks finish before the loop
+            # tears down (a cancelled reader would log noise instead).
+            for writer in list(self._writers):
+                writer.close()
+            while self._writers and time.monotonic() < deadline + 1.0:
                 await asyncio.sleep(0.01)
             if gc_task is not None:
                 gc_task.cancel()
@@ -384,6 +722,11 @@ def start_daemon_thread(
 __all__ = [
     "DaemonHandle",
     "ProfileDaemon",
+    "RouteError",
     "ServerConfig",
+    "Tenant",
+    "TenantRegistry",
+    "check_tenant_name",
     "start_daemon_thread",
+    "tenant_directory_key",
 ]

@@ -5,13 +5,69 @@ tests, the CI smoke job, and :mod:`examples.http_fleet` to drive the
 full route surface without any dependency.  Each helper mirrors one
 endpoint and returns parsed JSON plus the HTTP status, so callers can
 assert on both.
+
+Since PR 10 the daemon is multi-tenant and the client follows:
+:meth:`DaemonClient.tenant` returns a :class:`TenantClient` handle
+scoped to one tenant's routes::
+
+    with DaemonClient.for_daemon(handle) as client:
+        gcc = client.tenant("gcc/train")
+        gcc.upload(documents)
+        status, snap = gcc.snapshot()
+        status, packed = gcc.repack()
+
+``client.tenant()`` (no name) speaks the flat PR-9 routes, which
+alias the daemon's default tenant — ``POST /profiles`` through that
+handle still demultiplexes stamped lines per tenant.  The legacy flat
+methods (``post_profiles`` / ``snapshot`` / ``repack``) remain as
+thin shims over ``tenant()`` that emit a ``DeprecationWarning``,
+mirroring the ``VacuumPacker(**kwargs)`` shim.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from http.client import HTTPConnection, HTTPException
 from typing import Dict, Iterable, Optional, Tuple
+from urllib.parse import quote
+
+
+class TenantClient:
+    """One tenant's route surface over a shared :class:`DaemonClient`.
+
+    ``name=None`` binds the flat root routes (the default-tenant
+    aliases); a named handle speaks ``/tenants/<name>/…``.
+    """
+
+    def __init__(self, client: "DaemonClient", name: Optional[str] = None):
+        self.client = client
+        self.name = name
+
+    def path(self, verb: str) -> str:
+        if self.name is None:
+            return f"/{verb}"
+        return f"/tenants/{quote(self.name, safe='/')}/{verb}"
+
+    def upload(self, texts: Iterable[str]) -> Tuple[int, Dict]:
+        """POST documents as one NDJSON upload (one JSON per line)."""
+        body = "\n".join(
+            " ".join(text.split("\n")) for text in texts
+        ).encode()
+        return self.client.request_json(
+            "POST", self.path("profiles"), body=body,
+        )
+
+    def snapshot(self) -> Tuple[int, Dict]:
+        return self.client.request_json("GET", self.path("snapshot"))
+
+    def repack(self) -> Tuple[int, Dict]:
+        return self.client.request_json("POST", self.path("repack"))
+
+    def dashboard(self) -> Tuple[int, str]:
+        path = self.path("") if self.name is not None else "/"
+        status, body = self.client.request("GET", path)
+        return status, body.decode()
 
 
 class DaemonClient:
@@ -73,16 +129,17 @@ class DaemonClient:
         status, payload = self.request(method, path, body=body)
         return status, json.loads(payload)
 
-    # -- endpoint helpers --------------------------------------------
+    # -- tenant surface ----------------------------------------------
 
-    def post_profiles(self, texts: Iterable[str]) -> Tuple[int, Dict]:
-        """POST documents as one NDJSON upload (one JSON per line)."""
-        body = "\n".join(
-            " ".join(text.split("\n")) for text in texts
-        ).encode()
-        return self.request_json(
-            "POST", "/profiles", body=body,
-        )
+    def tenant(self, name: Optional[str] = None) -> TenantClient:
+        """A handle on one tenant's routes (``None`` = flat aliases)."""
+        return TenantClient(self, name)
+
+    def tenants(self) -> Tuple[int, Dict]:
+        """The JSON tenant index: names, counters, the default."""
+        return self.request_json("GET", "/tenants")
+
+    # -- daemon-wide endpoint helpers --------------------------------
 
     def healthz(self) -> Tuple[int, Dict]:
         return self.request_json("GET", "/healthz")
@@ -90,19 +147,42 @@ class DaemonClient:
     def metrics(self) -> Tuple[int, Dict]:
         return self.request_json("GET", "/metrics")
 
-    def snapshot(self) -> Tuple[int, Dict]:
-        return self.request_json("GET", "/snapshot")
-
-    def repack(self) -> Tuple[int, Dict]:
-        return self.request_json("POST", "/repack")
-
     def artifact(self, key: str) -> Tuple[int, bytes]:
         """Raw canonical bytes of one stored artifact (or a 404 body)."""
         return self.request("GET", f"/artifacts/{key}")
 
     def dashboard(self) -> Tuple[int, str]:
+        """The tenant index page (``GET /``)."""
         status, body = self.request("GET", "/")
         return status, body.decode()
 
+    # -- deprecated flat shims ---------------------------------------
+    # PR-9 spelled tenant operations as bare client methods; they now
+    # delegate to the default-tenant handle, like VacuumPacker's
+    # scattered kwargs fold into a PipelineConfig.
 
-__all__ = ["DaemonClient"]
+    def _deprecated(self, old: str, new: str) -> None:
+        warnings.warn(
+            f"DaemonClient.{old} is deprecated; use "
+            f"DaemonClient.tenant(){new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def post_profiles(self, texts: Iterable[str]) -> Tuple[int, Dict]:
+        """Deprecated: ``client.tenant().upload(texts)``."""
+        self._deprecated("post_profiles", ".upload(texts)")
+        return self.tenant().upload(texts)
+
+    def snapshot(self) -> Tuple[int, Dict]:
+        """Deprecated: ``client.tenant().snapshot()``."""
+        self._deprecated("snapshot", ".snapshot()")
+        return self.tenant().snapshot()
+
+    def repack(self) -> Tuple[int, Dict]:
+        """Deprecated: ``client.tenant().repack()``."""
+        self._deprecated("repack", ".repack()")
+        return self.tenant().repack()
+
+
+__all__ = ["DaemonClient", "TenantClient"]

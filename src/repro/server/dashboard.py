@@ -1,32 +1,41 @@
-"""The daemon's ``GET /`` page: one self-contained HTML document.
+"""The daemon's HTML pages: a tenant index plus per-tenant views.
 
 No JavaScript, no external assets, no template engine — just escaped
 HTML built from the same structures the JSON endpoints serve, so the
-dashboard can never disagree with the API.  Sections:
+dashboards can never disagree with the API.
 
-* daemon summary (benchmark, uptime, ingest counters, checkpoint
-  disposition, store root/bytes);
+``GET /`` renders :func:`render_index`: the daemon summary (uptime,
+request/GC/checkpoint counters, store root/bytes) plus one row per
+tenant — documents, duplicates, quarantined, checkpoint disposition —
+each linking to that tenant's page at ``/tenants/<name>/``.
+
+``GET /tenants/<name>/`` renders :func:`render_tenant`, the PR-9
+single-tenant dashboard scoped to one aggregator:
+
+* tenant summary (benchmark spec, ingest counters, checkpoint
+  disposition);
 * the merged-phase provenance table from the current snapshot
   (branches, contributing runs, detections, agreement, epoch bounds,
   staleness) — the fleet analog of the paper's per-phase tables;
-* the most recent ``POST /repack`` report (per-shard rows with
+* the tenant's most recent repack report (per-shard rows with
   ``/artifacts/<key>`` links, cache hit rate, fault counters);
 * the ``repro stats`` per-stage span/metric table
   (:func:`repro.obs.render.stage_table`) in a ``<pre>`` block;
-* the tail of the quarantine log.
+* the tail of the tenant's quarantine log.
 """
 
 from __future__ import annotations
 
 import html
 from typing import TYPE_CHECKING, List
+from urllib.parse import quote
 
 from repro.errors import ServiceError
 from repro.obs import default_registry
 from repro.obs.render import stage_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .app import ProfileDaemon
+    from .app import ProfileDaemon, Tenant
 
 _STYLE = """
 body { font-family: monospace; margin: 2em; background: #fdfdfd; }
@@ -59,29 +68,94 @@ def _table(headers: List[str], rows: List[List[str]],
     return out
 
 
-def render_dashboard(daemon: "ProfileDaemon") -> str:
-    agg = daemon.aggregator
-    cfg = daemon.config
-    store = daemon.store
-    out = [
+def _page(title: str, body: List[str]) -> str:
+    return "\n".join([
         "<!DOCTYPE html>",
         "<html><head><meta charset='utf-8'>",
-        f"<title>repro server — {_esc(cfg.benchmark)}</title>",
+        f"<title>{_esc(title)}</title>",
         f"<style>{_STYLE}</style></head><body>",
-        f"<h1>repro server — {_esc(cfg.benchmark)}/"
-        f"{_esc(cfg.input_name)}</h1>",
-    ]
+        *body,
+        "</body></html>",
+    ])
 
+
+def tenant_href(name: str) -> str:
+    """Dashboard URL for one tenant (``/`` is a path separator, kept)."""
+    return f"/tenants/{quote(name, safe='/')}/"
+
+
+def render_index(daemon: "ProfileDaemon") -> str:
+    """The ``GET /`` page: daemon summary + tenant index."""
+    cfg = daemon.config
+    store = daemon.store
     stats = daemon.server_stats()
+    out = ["<h1>repro server — tenant index</h1>"]
     out.extend(_table(
         ["field", "value"],
         [
+            ["default tenant", cfg.default_tenant],
             ["uptime", f"{daemon.uptime:.1f}s"],
             ["requests", stats["requests"]],
-            ["documents folded", agg.documents],
-            ["duplicates deduped", agg.duplicates],
-            ["quarantined", len(agg.rejected)],
-            ["checkpoint", "restored" if daemon.restored else "cold"],
+            ["tenants", stats["tenants"]],
+            ["checkpoints written", stats["checkpoints"]],
+            ["gc sweeps", stats["gc_sweeps"]],
+            ["store root", store.root if store.enabled else "off"],
+            ["store bytes", f"{store.total_bytes():,}"
+             if store.enabled else "-"],
+            ["store evictions", store.stats.evictions],
+        ],
+    ))
+
+    out.append("<h2>Tenants</h2>")
+    rows = []
+    for tenant in daemon.registry.tenants():
+        counters = tenant.counters()
+        label = (f"{tenant.name} (default)"
+                 if tenant.name == cfg.default_tenant else tenant.name)
+        link = (f'<a href="{_esc(tenant_href(tenant.name))}">'
+                f"{_esc(label)}</a>")
+        rows.append([
+            link,
+            _esc(counters["documents"]),
+            _esc(counters["duplicates"]),
+            _esc(counters["quarantined"]),
+            _esc(counters["checkpoint"]),
+        ])
+    # The tenant link is pre-built HTML; bypass the escaping helper
+    # for that one column.
+    headers = ["tenant", "documents", "duplicates", "quarantined",
+               "checkpoint"]
+    out.append("<table><tr>" + '<th class="l">' + headers[0] + "</th>"
+               + "".join(f"<th>{h}</th>" for h in headers[1:]) + "</tr>")
+    for row in rows:
+        out.append("<tr>" + "".join(
+            f'<td class="l">{cell}</td>' if index == 0 else f"<td>{cell}</td>"
+            for index, cell in enumerate(row)
+        ) + "</tr>")
+    out.append("</table>")
+    return _page("repro server — tenants", out)
+
+
+def render_tenant(daemon: "ProfileDaemon", tenant: "Tenant") -> str:
+    """One tenant's full dashboard (the PR-9 page, scoped)."""
+    agg = tenant.aggregator
+    store = daemon.store
+    stats = daemon.server_stats()
+    counters = tenant.counters()
+    out = [
+        f"<h1>repro server — tenant {_esc(tenant.name)}</h1>",
+        '<p><a href="/">&larr; tenant index</a></p>',
+    ]
+    out.extend(_table(
+        ["field", "value"],
+        [
+            ["tenant", tenant.name],
+            ["uptime", f"{daemon.uptime:.1f}s"],
+            ["requests", stats["requests"]],
+            ["documents folded", counters["documents"]],
+            ["duplicates deduped", counters["duplicates"]],
+            ["quarantined", counters["quarantined"]],
+            ["checkpoint", counters["checkpoint"]],
             ["checkpoints written", stats["checkpoints"]],
             ["gc sweeps", stats["gc_sweeps"]],
             ["store root", store.root if store.enabled else "off"],
@@ -93,7 +167,7 @@ def render_dashboard(daemon: "ProfileDaemon") -> str:
 
     out.append("<h2>Merged fleet snapshot</h2>")
     try:
-        fleet = daemon.snapshot()
+        fleet = tenant.snapshot()
     except ServiceError as exc:
         out.append(f"<p>no snapshot yet: {_esc(exc)}</p>")
     else:
@@ -121,9 +195,10 @@ def render_dashboard(daemon: "ProfileDaemon") -> str:
         ))
 
     out.append("<h2>Last repack</h2>")
-    report = daemon.last_report
+    report = tenant.last_report
     if report is None:
-        out.append("<p>no repack yet — <code>POST /repack</code></p>")
+        out.append("<p>no repack yet — <code>POST "
+                   f"{_esc(tenant_href(tenant.name))}repack</code></p>")
     else:
         pack = report["pack"]
         cache = pack["cache"]
@@ -165,15 +240,20 @@ def render_dashboard(daemon: "ProfileDaemon") -> str:
                + _esc(stage_table([], default_registry().snapshot()))
                + "</pre>")
 
-    with daemon.agg_lock:
+    with tenant.lock:
         quarantine_tail = list(agg.rejected[-10:])
     if quarantine_tail:
         out.append("<h2>Quarantine log (last 10)</h2><pre>")
         out.extend(_esc(reject.render()) for reject in quarantine_tail)
         out.append("</pre>")
 
-    out.append("</body></html>")
-    return "\n".join(out)
+    return _page(f"repro server — {tenant.name}", out)
 
 
-__all__ = ["render_dashboard"]
+def render_dashboard(daemon: "ProfileDaemon") -> str:
+    """PR-9 compatibility: the default tenant's full dashboard."""
+    return render_tenant(daemon, daemon.registry.default)
+
+
+__all__ = ["render_dashboard", "render_index", "render_tenant",
+           "tenant_href"]

@@ -47,6 +47,7 @@ from repro.hsd.records import BranchProfile, HotSpotRecord
 from repro.hsd.serialize import (
     ProfileDocument,
     ProfileFormatError,
+    document_from_dict,
     document_from_json,
     load_document,
     record_from_entry,
@@ -841,7 +842,8 @@ class IncrementalAggregator:
         self.ingest_run(ClientRun.from_document(path, doc))
 
     def ingest_text(
-        self, text: str, name: Optional[str] = None
+        self, text: str, name: Optional[str] = None,
+        parsed: Optional[Dict] = None,
     ) -> bool:
         """Validate and fold one document given as JSON text.
 
@@ -854,6 +856,11 @@ class IncrementalAggregator:
         content digest itself (an anonymous upload — identical bytes
         can never double-count, which is what lets a restarted daemon
         receive replayed uploads safely).
+
+        ``parsed`` lets a caller that already ran ``json.loads(text)``
+        (the daemon's per-line tenant router peeks at
+        ``meta.benchmark``) skip the second parse; it must be the
+        loaded form of ``text`` exactly.  Dedup still hashes ``text``.
         """
         digest = hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
         key = name or f"upload:{digest}"
@@ -863,7 +870,10 @@ class IncrementalAggregator:
             return False
         label = name or f"<upload:{digest[:12]}>"
         try:
-            doc = document_from_json(text)
+            if isinstance(parsed, dict):
+                doc = document_from_dict(parsed)
+            else:
+                doc = document_from_json(text)
             run = ClientRun.from_document(label, doc)
         except ProfileFormatError as exc:
             self.rejected.append(quarantine_profile(label, exc))

@@ -11,8 +11,10 @@ import repro
 from repro import api
 from repro.api import (
     CONFIG_VERSION,
+    SERVER_CONFIG_VERSION,
     ObsConfig,
     PipelineConfig,
+    ServerConfig,
     config_from_legacy,
 )
 from repro.hsd.config import HSDConfig
@@ -93,6 +95,80 @@ class TestPipelineConfig:
         )
         assert config.hsd.counter_bits == 6
         assert config.classic is True
+
+
+class TestServerConfig:
+    def test_to_dict_from_dict_round_trip(self):
+        config = ServerConfig(
+            benchmark="099.go",
+            input_name="A",
+            host="0.0.0.0",
+            port=9090,
+            scale=0.2,
+            jobs=4,
+            pipeline=PipelineConfig(classic=True).to_dict(),
+            tag="fleet",
+            gc_max_bytes=1_000_000,
+        )
+        assert ServerConfig.from_dict(config.to_dict()) == config
+
+    def test_document_is_json_round_trippable(self):
+        config = ServerConfig(benchmark="181.mcf")
+        document = config.to_dict()
+        assert document["version"] == SERVER_CONFIG_VERSION
+        assert ServerConfig.from_dict(
+            json.loads(json.dumps(document))
+        ) == config
+
+    def test_partial_document_takes_defaults(self):
+        config = ServerConfig.from_dict(
+            {"benchmark": "130.li", "port": 8080}
+        )
+        assert config.benchmark == "130.li"
+        assert config.port == 8080
+        assert config.input_name == "A"
+        assert config.pipeline is None
+        assert config.default_tenant == "130.li/A"
+
+    def test_partial_pipeline_section_normalizes(self):
+        config = ServerConfig.from_dict(
+            {"benchmark": "130.li", "pipeline": {"classic": True}}
+        )
+        assert config.pipeline == PipelineConfig(classic=True).to_dict()
+        assert PipelineConfig.from_dict(config.pipeline).classic is True
+
+    def test_benchmark_is_required(self):
+        with pytest.raises(ValueError, match="benchmark"):
+            ServerConfig.from_dict({"port": 8080})
+
+    def test_unknown_top_level_key_raises(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            ServerConfig.from_dict({"benchmark": "181.mcf", "prot": 1})
+
+    def test_unknown_nested_pipeline_key_raises(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            ServerConfig.from_dict(
+                {"benchmark": "181.mcf", "pipeline": {"clasic": True}}
+            )
+
+    def test_version_mismatch_raises(self):
+        with pytest.raises(ValueError, match="version"):
+            ServerConfig.from_dict({"benchmark": "181.mcf", "version": 99})
+
+    def test_load_reads_config_file(self, tmp_path):
+        path = tmp_path / "server.json"
+        path.write_text(json.dumps({"benchmark": "181.mcf", "jobs": 3}))
+        config = ServerConfig.load(str(path))
+        assert config.jobs == 3 and config.benchmark == "181.mcf"
+
+    def test_replace_returns_modified_copy(self):
+        base = ServerConfig(benchmark="181.mcf")
+        changed = base.replace(port=7777)
+        assert changed.port == 7777 and base.port == 0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ServerConfig(benchmark="181.mcf").port = 1
 
 
 # ---------------------------------------------------------------------------

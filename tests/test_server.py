@@ -60,8 +60,13 @@ def rec(index, branches, detected=0):
     )
 
 
-def doc_text(i):
-    """One pinned-seed synthetic profile document as NDJSON-safe text."""
+def doc_text(i, tenant=None):
+    """One pinned-seed synthetic profile document as NDJSON-safe text.
+
+    ``tenant`` stamps ``meta.benchmark``, which the daemon's flat
+    ``POST /profiles`` uses to demultiplex; unstamped documents fold
+    into the default tenant.
+    """
     rng = random.Random(1000 + i)
     phase = i % 5
     base = 0x100 * (phase + 1)
@@ -69,9 +74,11 @@ def doc_text(i):
     for b in range(4 + phase % 3):
         executed = 50 + rng.randrange(200)
         branches[base + 8 * b] = (executed, rng.randrange(executed + 1))
-    meta = {"provenance": make_provenance(
-        f"client-{i:04d}", seed=i, epoch=i % 3
-    )}
+    run_id = (f"{tenant}#client-{i:04d}" if tenant
+              else f"client-{i:04d}")
+    meta = {"provenance": make_provenance(run_id, seed=i, epoch=i % 3)}
+    if tenant is not None:
+        meta["benchmark"] = tenant
     return json.dumps(records_to_dict([rec(0, branches, detected=base)], meta))
 
 
@@ -103,12 +110,12 @@ class TestIngestEquivalence:
         with start_daemon_thread(daemon_config(), store=store) as handle:
             with DaemonClient.for_daemon(handle) as client:
                 for start in range(0, len(texts), 250):
-                    status, body = client.post_profiles(
+                    status, body = client.tenant().upload(
                         texts[start:start + 250]
                     )
                     assert status == 200
                     assert body["folded"] == 250
-                status, snap = client.snapshot()
+                status, snap = client.tenant().snapshot()
                 assert status == 200
         return texts, snap
 
@@ -126,7 +133,7 @@ class TestIngestEquivalence:
         store = ArtifactStore(str(tmp_path / "store"))
         with start_daemon_thread(daemon_config(), store=store) as handle:
             with DaemonClient.for_daemon(handle) as client:
-                status, body = client.post_profiles([
+                status, body = client.tenant().upload([
                     doc_text(0),
                     "this is not json",
                     '{"format": "wrong"}',
@@ -171,8 +178,8 @@ class TestIngestEquivalence:
         with start_daemon_thread(daemon_config(), store=store) as handle:
             with DaemonClient.for_daemon(handle) as client:
                 texts = [doc_text(i) for i in range(8)]
-                assert client.post_profiles(texts)[0] == 200
-                status, body = client.post_profiles(texts)
+                assert client.tenant().upload(texts)[0] == 200
+                status, body = client.tenant().upload(texts)
                 assert status == 200
                 assert body["folded"] == 0
                 assert body["duplicates"] == 8
@@ -182,7 +189,7 @@ class TestIngestEquivalence:
         store = ArtifactStore(str(tmp_path / "store"))
         with start_daemon_thread(daemon_config(), store=store) as handle:
             with DaemonClient.for_daemon(handle) as client:
-                assert client.snapshot()[0] == 404
+                assert client.tenant().snapshot()[0] == 404
 
     def test_routing_errors(self, tmp_path):
         store = ArtifactStore(str(tmp_path / "store"))
@@ -205,8 +212,8 @@ class TestArtifactsAndRepack:
         texts = [p.read_text() for p in sorted(profiles.glob("*.json"))]
         handle = start_daemon_thread(daemon_config(), store=store)
         client = DaemonClient.for_daemon(handle)
-        assert client.post_profiles(texts)[0] == 200
-        status, repack = client.repack()
+        assert client.tenant().upload(texts)[0] == 200
+        status, repack = client.tenant().repack()
         assert status == 200
         yield client, store, repack
         client.close()
@@ -222,7 +229,7 @@ class TestArtifactsAndRepack:
 
     def test_repack_matches_local_pack_fleet(self, served, tmp_path):
         client, _, repack = served
-        status, snap = client.snapshot()
+        status, snap = client.tenant().snapshot()
         assert status == 200
         fleet = FleetProfile.from_dict(snap["fleet"])
         config = FarmConfig(
@@ -246,11 +253,22 @@ class TestArtifactsAndRepack:
 
     def test_dashboard_renders_fleet_and_repack(self, served):
         client, _, repack = served
-        status, page = client.dashboard()
+        status, page = client.tenant(f"{BENCH}/{INPUT}").dashboard()
         assert status == 200
         assert "Merged fleet snapshot" in page
         assert "Last repack" in page
         assert f"/artifacts/{repack['artifacts'][0]}" in page
+
+    def test_index_page_links_tenant_dashboards(self, served):
+        client, _, _ = served
+        status, page = client.dashboard()
+        assert status == 200
+        assert "tenant index" in page
+        assert f'href="/tenants/{BENCH}/{INPUT}/"' in page
+        status, index = client.tenants()
+        assert status == 200
+        assert index["default"] == f"{BENCH}/{INPUT}"
+        assert f"{BENCH}/{INPUT}" in index["tenants"]
 
     def test_metrics_snapshot_counts_requests(self, served):
         client, _, _ = served
@@ -368,7 +386,7 @@ class TestAggregatorLocking:
                 try:
                     with DaemonClient.for_daemon(handle) as client:
                         for start in range(0, len(texts), 8):
-                            status, _ = client.post_profiles(
+                            status, _ = client.tenant().upload(
                                 texts[start:start + 8]
                             )
                             if status != 200:
@@ -379,7 +397,7 @@ class TestAggregatorLocking:
             def snap():
                 with DaemonClient.for_daemon(handle) as client:
                     while not done.is_set():
-                        status, _ = client.snapshot()
+                        status, _ = client.tenant().snapshot()
                         if status not in (200, 404):
                             failures.append(("snapshot", status))
 
@@ -474,7 +492,7 @@ class TestStoreGC:
         config = daemon_config(gc_max_bytes=1200, gc_interval=0.05)
         with start_daemon_thread(config, store=store) as handle:
             with DaemonClient.for_daemon(handle) as client:
-                assert client.post_profiles([doc_text(0)])[0] == 200
+                assert client.tenant().upload([doc_text(0)])[0] == 200
                 deadline = time.time() + 5
                 while handle.daemon.gc_sweeps < 2 and time.time() < deadline:
                     time.sleep(0.05)
@@ -493,8 +511,8 @@ class TestRestart:
         texts = [doc_text(i) for i in range(24)]
         with start_daemon_thread(daemon_config(), store=store) as handle:
             with DaemonClient.for_daemon(handle) as client:
-                assert client.post_profiles(texts)[0] == 200
-                first = client.snapshot()[1]
+                assert client.tenant().upload(texts)[0] == 200
+                first = client.tenant().snapshot()[1]
 
         with start_daemon_thread(daemon_config(), store=store) as handle:
             with DaemonClient.for_daemon(handle) as client:
@@ -503,11 +521,11 @@ class TestRestart:
                 assert health["documents"] == len(texts)
                 # Replaying every upload is pure dedup: nothing folds
                 # twice, and the snapshot digest is unchanged.
-                status, body = client.post_profiles(texts)
+                status, body = client.tenant().upload(texts)
                 assert status == 200
                 assert body["folded"] == 0
                 assert body["duplicates"] == len(texts)
-                second = client.snapshot()[1]
+                second = client.tenant().snapshot()[1]
         assert first["digest"] == second["digest"]
 
     def test_sigterm_checkpoints_and_subprocess_restart_resumes(
@@ -541,22 +559,44 @@ class TestRestart:
             assert "checkpoint cold" in banner
             with DaemonClient("127.0.0.1", port) as client:
                 texts = [doc_text(i) for i in range(6)]
-                assert client.post_profiles(texts)[0] == 200
+                assert client.tenant().upload(texts)[0] == 200
+                other = [doc_text(i, tenant="999.go/B") for i in range(4)]
+                assert client.tenant("999.go/B").upload(other)[0] == 200
             proc.send_signal(signal.SIGTERM)
             assert proc.wait(timeout=15) == 0
         finally:
             if proc.poll() is None:
                 proc.kill()
 
+        store = ArtifactStore(store_dir)
         slot = checkpoint_key("server", MergePolicy())
-        assert ArtifactStore(store_dir).get(slot) is not None
+        assert store.get(slot) is not None
+        # The named tenant checkpoints under its own derived slot.
+        other_slot = checkpoint_key("server:999.go/B", MergePolicy())
+        assert store.get(other_slot) is not None
 
         proc, banner, port = launch()
         try:
+            # Every tenant resumes, not just the first to see traffic.
             assert "checkpoint restored" in banner
+            assert "[2/2 tenant(s)]" in banner
             with DaemonClient("127.0.0.1", port) as client:
                 status, health = client.healthz()
-                assert health["documents"] == 6
+                assert health["documents"] == 10
+                assert health["tenants"][f"{BENCH}/{INPUT}"] == {
+                    "documents": 6, "duplicates": 0, "quarantined": 0,
+                    "checkpoint": "restored",
+                }
+                assert health["tenants"]["999.go/B"]["documents"] == 4
+                assert (health["tenants"]["999.go/B"]["checkpoint"]
+                        == "restored")
+                # Replaying an upload after restart is pure dedup.
+                status, body = client.tenant("999.go/B").upload(
+                    [doc_text(i, tenant="999.go/B") for i in range(4)]
+                )
+                assert status == 200
+                assert body["folded"] == 0
+                assert body["duplicates"] == 4
             proc.send_signal(signal.SIGTERM)
             assert proc.wait(timeout=15) == 0
         finally:
@@ -564,20 +604,366 @@ class TestRestart:
                 proc.kill()
 
 
+class TestMultiTenant:
+    """The PR-10 tentpole: many binaries behind one daemon."""
+
+    TENANTS = (f"{BENCH}/{INPUT}", "999.go/B", "256.bzip2/C")
+
+    def test_flat_upload_demuxes_by_stamp(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                docs = [
+                    doc_text(0),                                # unstamped
+                    doc_text(1, tenant="999.go/B"),
+                    doc_text(2, tenant=f"{BENCH}/{INPUT}"),     # = default
+                ]
+                status, body = client.tenant().upload(docs)
+                assert status == 200
+                assert body["folded"] == 3
+                assert body["tenants"] == {
+                    f"{BENCH}/{INPUT}": 2, "999.go/B": 1,
+                }
+                # `documents` on the flat route is the cross-tenant sum.
+                assert body["documents"] == 3
+                status_a, snap_a = client.tenant(
+                    f"{BENCH}/{INPUT}"
+                ).snapshot()
+                status_b, snap_b = client.tenant("999.go/B").snapshot()
+                assert status_a == 200 and status_b == 200
+                assert snap_a["digest"] != snap_b["digest"]
+                # The flat snapshot aliases the default tenant.
+                _, flat = client.request_json("GET", "/snapshot")
+                assert flat["digest"] == snap_a["digest"]
+                assert flat["tenant"] == f"{BENCH}/{INPUT}"
+
+    def test_scoped_upload_quarantines_misrouted_stamps(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                gcc = client.tenant("gcc/train")
+                status, body = gcc.upload([
+                    doc_text(0, tenant="gcc/train"),
+                    doc_text(1, tenant="999.go/B"),  # misaddressed
+                    doc_text(2),                     # unstamped: pinned
+                ])
+                assert status == 400
+                assert body["folded"] == 2
+                assert body["tenant"] == "gcc/train"
+                (reject,) = body["rejected"]
+                assert reject["stage"] == "route"
+                assert reject["tenant"] == "gcc/train"
+                # The misroute never creates (or bleeds into) the
+                # stamped tenant.
+                _, index = client.tenants()
+                assert "999.go/B" not in index["tenants"]
+                assert index["tenants"]["gcc/train"]["documents"] == 2
+                assert index["tenants"]["gcc/train"]["quarantined"] == 1
+
+    def test_unroutable_stamp_quarantines_into_default(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                bad = json.loads(doc_text(0))
+                bad["meta"]["benchmark"] = "no spaces allowed"
+                worse = json.loads(doc_text(1))
+                worse["meta"]["benchmark"] = 123
+                status, body = client.tenant().upload(
+                    [json.dumps(bad), json.dumps(worse)]
+                )
+                assert status == 400
+                assert [r["stage"] for r in body["rejected"]] == [
+                    "route", "route",
+                ]
+                assert all(r["tenant"] == f"{BENCH}/{INPUT}"
+                           for r in body["rejected"])
+                _, health = client.healthz()
+                assert health["quarantined"] == 2
+
+    def test_tenant_name_validation_and_reserved_segments(self, tmp_path):
+        from repro.server import check_tenant_name
+
+        assert check_tenant_name("gcc/train") is None
+        assert check_tenant_name("181.mcf/A") is None
+        for bad in ("", "repack", "a/profiles", "x/snapshot",
+                    "a//b", "/a", "a/", "sp ace", "x" * 200):
+            assert check_tenant_name(bad) is not None, bad
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                # A reserved-suffix name can never become a tenant.
+                status, body = client.tenant("bad/repack").upload(
+                    [doc_text(0)]
+                )
+                assert status == 400
+                assert "reserved" in body["error"]
+                # Reads of unknown tenants are 404s, never creations.
+                assert client.tenant("nope/X").snapshot()[0] == 404
+                assert client.tenant("nope/X").repack()[0] == 404
+                assert client.request("GET", "/tenants/nope/X/")[0] == 404
+                _, index = client.tenants()
+                assert list(index["tenants"]) == [f"{BENCH}/{INPUT}"]
+
+    def test_concurrent_multi_tenant_hammer(self, tmp_path):
+        """N uploader threads × T interleaved tenants on one daemon.
+
+        The acceptance bar: per-tenant wire snapshots digest-equal to
+        per-tenant local streaming merges (no cross-tenant bleed),
+        while snapshots and dashboards render concurrently.
+        """
+        from repro.service import IncrementalAggregator
+
+        store = ArtifactStore(str(tmp_path / "store"))
+        per_tenant = {
+            name: [doc_text(i, tenant=name) for i in range(64)]
+            for name in self.TENANTS
+        }
+        interleaved = []
+        for i in range(64):
+            for name in self.TENANTS:
+                interleaved.append(per_tenant[name][i])
+        n_uploaders = 4
+        shards = [interleaved[k::n_uploaders] for k in range(n_uploaders)]
+        failures = []
+        done = threading.Event()
+
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+
+            def upload(shard):
+                try:
+                    with DaemonClient.for_daemon(handle) as client:
+                        flat = client.tenant()
+                        for start in range(0, len(shard), 8):
+                            status, _ = flat.upload(shard[start:start + 8])
+                            if status != 200:
+                                failures.append(("upload", status))
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    failures.append(("upload", repr(exc)))
+
+            def watch():
+                with DaemonClient.for_daemon(handle) as client:
+                    while not done.is_set():
+                        status, _ = client.tenant(
+                            self.TENANTS[1]
+                        ).snapshot()
+                        if status not in (200, 404):
+                            failures.append(("snapshot", status))
+                        status, _ = client.request("GET", "/")
+                        if status != 200:
+                            failures.append(("dashboard", status))
+
+            uploaders = [
+                threading.Thread(target=upload, args=(shard,))
+                for shard in shards
+            ]
+            watcher = threading.Thread(target=watch)
+            for thread in uploaders:
+                thread.start()
+            watcher.start()
+            for thread in uploaders:
+                thread.join(timeout=300)
+            done.set()
+            watcher.join(timeout=30)
+            assert not any(t.is_alive() for t in uploaders + [watcher])
+            assert failures == []
+
+            with DaemonClient.for_daemon(handle) as client:
+                for name in self.TENANTS:
+                    status, snap = client.tenant(name).snapshot()
+                    assert status == 200
+                    local = IncrementalAggregator(MergePolicy())
+                    for text in per_tenant[name]:
+                        assert local.ingest_text(text)
+                    fleet = local.snapshot()
+                    assert snap["digest"] == fleet.digest()
+                    wire = FleetProfile.from_dict(snap["fleet"])
+                    assert equivalence_diffs(
+                        fleet, wire, WIRE_CONTRACT
+                    ) == []
+                _, health = client.healthz()
+                assert health["documents"] == 64 * len(self.TENANTS)
+
+    def test_named_tenant_repack_packs_its_own_benchmark(self, tmp_path):
+        profiles = tmp_path / "profiles"
+        store = ArtifactStore(str(tmp_path / "store"))
+        simulate_fleet("099.go", "A", runs=4, out_dir=str(profiles),
+                       base_seed=0, epochs=1, scale=SCALE)
+        texts = [p.read_text() for p in sorted(profiles.glob("*.json"))]
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                # simulate_fleet stamps meta.benchmark, so the flat
+                # route demuxes these into the 099.go/A tenant.
+                status, body = client.tenant().upload(texts)
+                assert status == 200
+                assert body["tenants"] == {"099.go/A": len(texts)}
+                status, repack = client.tenant("099.go/A").repack()
+                assert status == 200
+                assert repack["tenant"] == "099.go/A"
+                snap = client.tenant("099.go/A").snapshot()[1]
+                fleet = FleetProfile.from_dict(snap["fleet"])
+                local = pack_fleet(
+                    fleet,
+                    FarmConfig(benchmark="099.go", input_name="A",
+                               scale=SCALE, pipeline=None, shard_size=1),
+                    store=ArtifactStore(str(tmp_path / "local")),
+                )
+                assert [o.payload for o in local.outcomes] == [
+                    json.loads(client.artifact(key)[1])
+                    for key in repack["artifacts"]
+                ]
+                # The per-tenant dashboard shows that repack.
+                _, page = client.tenant("099.go/A").dashboard()
+                assert f"/artifacts/{repack['artifacts'][0]}" in page
+
+    def test_thread_restart_resumes_every_tenant(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        second = "999.go/B"
+        texts_a = [doc_text(i) for i in range(8)]
+        texts_b = [doc_text(i, tenant=second) for i in range(5)]
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                assert client.tenant().upload(texts_a)[0] == 200
+                assert client.tenant(second).upload(texts_b)[0] == 200
+                first_a = client.tenant().snapshot()[1]["digest"]
+                first_b = client.tenant(second).snapshot()[1]["digest"]
+
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                _, health = client.healthz()
+                # Both resumed eagerly (tenant directory), not only
+                # the first to see traffic.
+                for name in (f"{BENCH}/{INPUT}", second):
+                    assert health["tenants"][name]["checkpoint"] == \
+                        "restored"
+                # Replaying an upload is pure dedup per tenant.
+                body = client.tenant(second).upload(texts_b)[1]
+                assert body["folded"] == 0
+                assert body["duplicates"] == len(texts_b)
+                assert client.tenant().snapshot()[1]["digest"] == first_a
+                assert client.tenant(second).snapshot()[1]["digest"] \
+                    == first_b
+
+    def test_gc_never_evicts_any_tenant_checkpoint_slot(self, tmp_path):
+        from repro.server import tenant_directory_key
+
+        store = ArtifactStore(str(tmp_path / "store"))
+        for i in range(6):
+            store.put(f"key-{i}", {"index": i, "pad": "x" * 500})
+        config = daemon_config(gc_max_bytes=1, gc_interval=0.05)
+        with start_daemon_thread(config, store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                assert client.tenant().upload([doc_text(0)])[0] == 200
+                assert client.tenant("999.go/B").upload(
+                    [doc_text(1, tenant="999.go/B")]
+                )[0] == 200
+                deadline = time.time() + 5
+                while (handle.daemon.gc_sweeps < 2
+                       and time.time() < deadline):
+                    time.sleep(0.05)
+            assert handle.daemon.gc_sweeps >= 2
+        keys = {entry.key for entry in store.entries()}
+        # Under an impossible 1-byte budget every unpinned artifact is
+        # gone, yet every tenant's checkpoint slot and the tenant
+        # directory survive — pinned state is never GC fodder.
+        assert checkpoint_key("test", MergePolicy()) in keys
+        assert checkpoint_key("test:999.go/B", MergePolicy()) in keys
+        assert tenant_directory_key("test") in keys
+        assert not any(key.startswith("key-") for key in keys)
+
+
+class TestDeprecatedShims:
+    def test_flat_client_methods_warn_and_delegate(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with start_daemon_thread(daemon_config(), store=store) as handle:
+            with DaemonClient.for_daemon(handle) as client:
+                texts = [doc_text(i) for i in range(3)]
+                with pytest.deprecated_call():
+                    status, body = client.post_profiles(texts)
+                assert status == 200 and body["folded"] == 3
+                with pytest.deprecated_call():
+                    status, snap = client.snapshot()
+                assert status == 200
+                assert snap["tenant"] == f"{BENCH}/{INPUT}"
+                with pytest.deprecated_call():
+                    status, _ = client.repack()
+                assert status == 200
+
+
 class TestCliSurface:
-    def test_server_and_serve_share_the_fleet_flags(self):
+    def _server_args(self, *argv):
         from repro.cli import build_parser
 
-        parser = build_parser()
-        server = parser.parse_args(["server", "--bench", "181.mcf/A"])
-        assert server.listen == "127.0.0.1:8080"
-        assert server.shard_size == 1 and server.store is None
-        serve = parser.parse_args([
+        args = build_parser().parse_args(list(argv))
+        args.pipeline = None
+        return args
+
+    def test_server_flags_build_the_config(self):
+        from repro.cli import _server_config_from_args
+
+        args = self._server_args("server", "--bench", "181.mcf/A")
+        config = _server_config_from_args(args)
+        assert (config.host, config.port) == ("127.0.0.1", 8080)
+        assert config.benchmark == "181.mcf"
+        assert config.shard_size == 1 and config.store is None
+        assert config.tag == "server"
+
+    def test_serve_listen_forwards_with_fleet_flags(self):
+        from repro.cli import _server_config_from_args, build_parser
+
+        serve = build_parser().parse_args([
             "serve", "--bench", "181.mcf/A", "--profiles", "p",
             "--listen", "0.0.0.0:0",
         ])
+        serve.pipeline = None
         assert serve.listen == "0.0.0.0:0"
         assert serve.shard_size == 1 and serve.store is None
+        config = _server_config_from_args(serve)
+        assert (config.host, config.port) == ("0.0.0.0", 0)
+        assert config.profiles_dir == "p"
+
+    def test_server_config_file_with_flag_overrides(self, tmp_path):
+        from repro.cli import _server_config_from_args
+
+        path = tmp_path / "server.json"
+        base = ServerConfig(
+            benchmark=BENCH, input_name=INPUT, port=7777, scale=SCALE,
+            tag="filed", gc_max_bytes=4096,
+        )
+        path.write_text(json.dumps(base.to_dict()))
+        args = self._server_args(
+            "server", "--config", str(path), "--listen", "127.0.0.1:0",
+        )
+        config = _server_config_from_args(args)
+        # File values survive where no flag overrides them...
+        assert config.benchmark == BENCH
+        assert config.tag == "filed"
+        assert config.gc_max_bytes == 4096
+        assert config.scale == SCALE
+        # ...and explicit flags win.
+        assert config.port == 0
+        # The embedded pipeline section normalizes to a full document.
+        from repro.api import PipelineConfig
+
+        assert PipelineConfig.from_dict(config.pipeline)
+
+    def test_server_config_file_unknown_keys_are_a_typed_error(
+        self, tmp_path
+    ):
+        from repro.cli import _server_config_from_args
+
+        path = tmp_path / "server.json"
+        path.write_text(json.dumps({"benchmark": BENCH, "bogus": 1}))
+        args = self._server_args("server", "--config", str(path))
+        with pytest.raises(SystemExit, match="unknown key"):
+            _server_config_from_args(args)
+        with pytest.raises(ValueError, match="unknown key"):
+            ServerConfig.from_dict({"benchmark": BENCH, "bogus": 1})
+
+    def test_server_requires_bench_or_config(self):
+        from repro.cli import _server_config_from_args
+
+        with pytest.raises(SystemExit, match="--bench"):
+            _server_config_from_args(self._server_args("server"))
 
     def test_parse_listen_rejects_garbage(self):
         from repro.cli import _parse_listen
